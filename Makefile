@@ -1,0 +1,47 @@
+# Reproduction of "Leader Election in Asymmetric Labeled Unidirectional
+# Rings" (Altisen et al., IPPS 2017). Standard library only; Go >= 1.22.
+
+GO ?= go
+
+.PHONY: all build vet test test-race test-short bench experiments \
+        experiments-md fuzz figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment table (E1..E13).
+experiments:
+	$(GO) run ./cmd/ringbench
+
+experiments-md:
+	$(GO) run ./cmd/ringbench -format md
+
+# Randomized + exhaustive robustness campaign.
+fuzz:
+	$(GO) run ./cmd/ringfuzz -trials 500
+
+# The paper's figures: text + SVG Figure 1, DOT Figure 2.
+figures:
+	$(GO) run ./cmd/ringviz -figure1
+	$(GO) run ./cmd/ringviz -figure1 -svg > figure1.svg
+	$(GO) run ./cmd/ringviz -dot > figure2.dot
+
+clean:
+	rm -f figure1.svg figure2.dot test_output.txt bench_output.txt

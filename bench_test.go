@@ -1,0 +1,366 @@
+// Benchmarks regenerating the paper's artifacts, one per experiment table
+// or figure (see DESIGN.md §4), plus microbenchmarks of the word and ring
+// substrates. Domain metrics (messages, abstract time units) are attached
+// via ReportMetric so `go test -bench` output doubles as a measurement
+// table.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gorun"
+	"repro/internal/lowerbound"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/words"
+)
+
+// mustProto adapts (Protocol, error) constructors for inline use:
+// mustProto(b)(core.NewAProtocol(k, bits)).
+func mustProto(b *testing.B) func(core.Protocol, error) core.Protocol {
+	return func(p core.Protocol, err error) core.Protocol {
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+}
+
+func runSync(b *testing.B, r *ring.Ring, p core.Protocol) *sim.Result {
+	b.Helper()
+	res, err := sim.RunSync(r, p, sim.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func runUnit(b *testing.B, r *ring.Ring, p core.Protocol) *sim.Result {
+	b.Helper()
+	res, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkLemma1Construction regenerates E1/E2: build R_{n,k}, verify
+// property (*), and elicit the two-leader violation.
+func BenchmarkLemma1Construction(b *testing.B) {
+	base := ring.Distinct(6)
+	proto := mustProto(b)(core.NewAProtocol(2, ring.Label(999).Bits()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lowerbound.CheckIndistinguishability(base, 4, 999, proto, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		res, err := lowerbound.DemonstrateTwoLeaders(base, proto, 999, sim.Options{})
+		if err != nil || res.Violation == nil {
+			b.Fatalf("expected violation, got %v / %+v", err, res)
+		}
+	}
+}
+
+// BenchmarkLowerBoundSweep regenerates one point of E3: a synchronous run
+// against the Ω(kn) bound.
+func BenchmarkLowerBoundSweep(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		for _, k := range []int{2, 4} {
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				r := ring.Distinct(n)
+				p := mustProto(b)(core.NewAProtocol(k, r.LabelBits()))
+				var steps int
+				for i := 0; i < b.N; i++ {
+					steps = runSync(b, r, p).Steps
+				}
+				b.ReportMetric(float64(steps), "steps")
+				b.ReportMetric(float64(lowerbound.MinStepsBound(n, k)), "bound")
+			})
+		}
+	}
+}
+
+// BenchmarkAkTime regenerates E4 (Theorem 2): Ak on worst (M=1) and best
+// (M=k) cases under unit delays.
+func BenchmarkAkTime(b *testing.B) {
+	for _, n := range []int{16, 32, 64, 128} {
+		for _, k := range []int{2, 4} {
+			b.Run(fmt.Sprintf("worst/n=%d/k=%d", n, k), func(b *testing.B) {
+				r := ring.Distinct(n)
+				p := mustProto(b)(core.NewAProtocol(k, r.LabelBits()))
+				var res *sim.Result
+				for i := 0; i < b.N; i++ {
+					res = runUnit(b, r, p)
+				}
+				b.ReportMetric(res.TimeUnits, "timeunits")
+				b.ReportMetric(float64(res.Messages), "msgs")
+			})
+			if n%k == 0 && n/k >= 2 {
+				b.Run(fmt.Sprintf("best/n=%d/k=%d", n, k), func(b *testing.B) {
+					r, err := ring.BlockMultiplicity(n/k, k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p := mustProto(b)(core.NewAProtocol(k, r.LabelBits()))
+					var res *sim.Result
+					for i := 0; i < b.N; i++ {
+						res = runUnit(b, r, p)
+					}
+					b.ReportMetric(res.TimeUnits, "timeunits")
+					b.ReportMetric(float64(res.Messages), "msgs")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkBkTime regenerates E5 (Theorem 4): Bk under unit delays.
+func BenchmarkBkTime(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		for _, k := range []int{2, 4} {
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				r := ring.Distinct(n)
+				p := mustProto(b)(core.NewBProtocol(k, r.LabelBits()))
+				var res *sim.Result
+				for i := 0; i < b.N; i++ {
+					res = runUnit(b, r, p)
+				}
+				b.ReportMetric(res.TimeUnits, "timeunits")
+				b.ReportMetric(float64(res.Messages), "msgs")
+				b.ReportMetric(float64(res.PeakSpaceBits), "spacebits")
+			})
+		}
+	}
+}
+
+// BenchmarkAStarTime measures the extension variant at the (k+2)n point
+// (part of E9's ablation).
+func BenchmarkAStarTime(b *testing.B) {
+	for _, n := range []int{16, 32, 64, 128} {
+		for _, k := range []int{2, 4} {
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				r := ring.Distinct(n)
+				p := mustProto(b)(core.NewStarProtocol(k, r.LabelBits()))
+				var res *sim.Result
+				for i := 0; i < b.N; i++ {
+					res = runUnit(b, r, p)
+				}
+				b.ReportMetric(res.TimeUnits, "timeunits")
+				b.ReportMetric(float64(res.Messages), "msgs")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates E6: the traced Bk run plus the phase-table
+// reconstruction.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, res, err := experiments.RunFigure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bad := experiments.CheckFigure1(table, res.LeaderIndex); len(bad) > 0 {
+			b.Fatalf("figure mismatch: %v", bad)
+		}
+	}
+}
+
+// BenchmarkStateDiagram regenerates E7: a fully traced run with transition
+// extraction and Figure 2 conformance checking.
+func BenchmarkStateDiagram(b *testing.B) {
+	r := ring.Figure1()
+	p := mustProto(b)(core.NewBProtocol(3, r.LabelBits()))
+	for i := 0; i < b.N; i++ {
+		mem := &trace.Mem{}
+		if _, err := sim.RunSync(r, p, sim.Options{Sink: mem}); err != nil {
+			b.Fatal(err)
+		}
+		if bad := trace.CheckAgainstFigure2(trace.Transitions(mem.Events)); bad != nil {
+			b.Fatalf("rogue transitions: %v", bad)
+		}
+	}
+}
+
+// BenchmarkActionAttribution regenerates E8: a run under an action-counting
+// sink.
+func BenchmarkActionAttribution(b *testing.B) {
+	r := ring.Figure1()
+	p := mustProto(b)(core.NewAProtocol(3, r.LabelBits()))
+	for i := 0; i < b.N; i++ {
+		counts := trace.ActionCount{}
+		if _, err := sim.RunSync(r, p, sim.Options{Sink: counts}); err != nil {
+			b.Fatal(err)
+		}
+		if counts["A3"] != 1 {
+			b.Fatalf("attribution broken: %v", counts)
+		}
+	}
+}
+
+// BenchmarkTradeoff regenerates E9: all five algorithms on one
+// representative point.
+func BenchmarkTradeoff(b *testing.B) {
+	r := ring.Distinct(32)
+	bits := r.LabelBits()
+	algs := []core.Protocol{
+		mustProto(b)(core.NewAProtocol(3, bits)),
+		mustProto(b)(core.NewStarProtocol(3, bits)),
+		mustProto(b)(core.NewBProtocol(3, bits)),
+		mustProto(b)(baseline.NewCRProtocol(bits)),
+		mustProto(b)(baseline.NewPetersonProtocol(bits)),
+	}
+	for _, p := range algs {
+		b.Run(p.Name(), func(b *testing.B) {
+			var res *sim.Result
+			for i := 0; i < b.N; i++ {
+				res = runUnit(b, r, p)
+			}
+			b.ReportMetric(res.TimeUnits, "timeunits")
+			b.ReportMetric(float64(res.Messages), "msgs")
+			b.ReportMetric(float64(res.PeakSpaceBits), "spacebits")
+		})
+	}
+}
+
+// BenchmarkEngines regenerates E10: the same election through the
+// event-driven simulator and the goroutine runtime.
+func BenchmarkEngines(b *testing.B) {
+	r, err := ring.RandomAsymmetric(rand.New(rand.NewSource(1)), 64, 3, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := mustProto(b)(core.NewAProtocol(3, r.LabelBits()))
+	b.Run("simulator", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runUnit(b, r, p)
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gorun.Run(r, p, time.Minute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGorunScaling measures the goroutine engine's wall-clock cost as
+// the ring grows (one goroutine per process plus one pump per link — the
+// hpc-parallel angle: Θ(n) goroutines with Θ(messages) channel operations).
+func BenchmarkGorunScaling(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r, err := ring.RandomAsymmetric(rand.New(rand.NewSource(9)), n, 4, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := mustProto(b)(core.NewAProtocol(4, r.LabelBits()))
+			var msgs int
+			for i := 0; i < b.N; i++ {
+				res, err := gorun.Run(r, p, 5*time.Minute)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.Messages
+			}
+			b.ReportMetric(float64(msgs), "msgs")
+			b.ReportMetric(float64(msgs)/float64(b.Elapsed().Seconds()/float64(b.N))/1e6, "Mmsgs/s")
+		})
+	}
+}
+
+// BenchmarkGorunParallelism measures how the goroutine engine responds to
+// the number of OS threads.
+func BenchmarkGorunParallelism(b *testing.B) {
+	r, err := ring.RandomAsymmetric(rand.New(rand.NewSource(10)), 512, 4, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := mustProto(b)(core.NewAProtocol(4, r.LabelBits()))
+	for _, procs := range []int{1, 2, 4, 8} {
+		if procs > runtime.NumCPU() {
+			continue
+		}
+		b.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(b *testing.B) {
+			old := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(old)
+			for i := 0; i < b.N; i++ {
+				if _, err := gorun.Run(r, p, 5*time.Minute); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreAll measures the exhaustive schedule model checker.
+func BenchmarkExploreAll(b *testing.B) {
+	r := ring.MustNew(2, 1, 2, 1, 3)
+	p := mustProto(b)(core.NewAProtocol(2, r.LabelBits()))
+	var states int
+	for i := 0; i < b.N; i++ {
+		res, err := sim.ExploreAll(r, p, 2_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = res.States
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkWordsBooth measures the least-rotation substrate on ring-sized
+// sequences.
+func BenchmarkWordsBooth(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := make([]ring.Label, 4096)
+	for i := range s {
+		s[i] = ring.Label(rng.Intn(8))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		words.LeastRotationIndex(s)
+	}
+}
+
+// BenchmarkWordsIncremental measures the online failure-function append
+// used by Ak's string variable.
+func BenchmarkWordsIncremental(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	labels := make([]ring.Label, 4096)
+	for i := range labels {
+		labels[i] = ring.Label(rng.Intn(8))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var inc words.Incremental[ring.Label]
+		for _, l := range labels {
+			inc.Append(l)
+		}
+		if inc.SmallestPeriod() == 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkTrueLeader measures the Lyndon-based true-leader computation.
+func BenchmarkTrueLeader(b *testing.B) {
+	r, err := ring.RandomAsymmetric(rand.New(rand.NewSource(4)), 512, 4, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.TrueLeader(); !ok {
+			b.Fatal("asymmetric ring lost its leader")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command ringbench regenerates the experiment tables E1…E11 of DESIGN.md:
+// every table and figure artifact of "Leader Election in Asymmetric Labeled
+// Unidirectional Rings" (Altisen et al., IPPS 2017) as measured by the
+// simulator and goroutine engines.
+//
+// Usage:
+//
+//	ringbench            # run every experiment
+//	ringbench -e E4,E5   # run selected experiments
+//	ringbench -quick     # smaller parameter sweeps
+//	ringbench -seed 7    # change the randomization seed
+//	ringbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI with explicit streams so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		only   = fs.String("e", "", "comma-separated experiment ids to run (default: all)")
+		seed   = fs.Int64("seed", 1, "random seed for generated rings and schedules")
+		quick  = fs.Bool("quick", false, "shrink parameter sweeps")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		format = fs.String("format", "text", "output format: text, md")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, r := range experiments.Runners() {
+			fmt.Fprintf(stdout, "%-4s %s\n", r.ID, r.Title)
+		}
+		return 0
+	}
+
+	suite := &experiments.Suite{Seed: *seed, Quick: *quick}
+	var selected []experiments.Runner
+	if *only == "" {
+		selected = experiments.Runners()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			r, ok := experiments.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(stderr, "ringbench: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			selected = append(selected, r)
+		}
+	}
+
+	failed := 0
+	for _, r := range selected {
+		table, err := r.Run(suite)
+		if err != nil {
+			fmt.Fprintf(stderr, "ringbench: %s failed: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		var renderErr error
+		switch *format {
+		case "md":
+			renderErr = table.RenderMarkdown(stdout)
+		case "text":
+			renderErr = table.Render(stdout)
+		default:
+			fmt.Fprintf(stderr, "ringbench: unknown format %q (want text or md)\n", *format)
+			return 2
+		}
+		if renderErr != nil {
+			fmt.Fprintf(stderr, "ringbench: rendering %s: %v\n", r.ID, renderErr)
+			failed++
+		}
+		for _, n := range table.Notes {
+			if strings.HasPrefix(n, "FAIL") || strings.HasPrefix(n, "MISMATCH") {
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "ringbench: %d failure(s)\n", failed)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestList(t *testing.T) {
+	out, _, code := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"E1", "E6", "E11"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	out, errOut, code := runCLI(t, "-quick", "-e", "E6")
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errOut)
+	}
+	if !strings.Contains(out, "Figure 1 reproduced exactly") {
+		t.Errorf("E6 did not reproduce:\n%s", out)
+	}
+}
+
+func TestMultipleExperiments(t *testing.T) {
+	out, errOut, code := runCLI(t, "-quick", "-e", "E1, e2")
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errOut)
+	}
+	if !strings.Contains(out, "== E1:") || !strings.Contains(out, "== E2:") {
+		t.Errorf("missing tables:\n%s", out)
+	}
+}
+
+func TestMarkdownFormat(t *testing.T) {
+	out, errOut, code := runCLI(t, "-quick", "-e", "E6", "-format", "md")
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errOut)
+	}
+	for _, frag := range []string{"## E6 —", "| phase |", "|---|", "> Figure 1 reproduced exactly."} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, out)
+		}
+	}
+	if _, _, code := runCLI(t, "-e", "E6", "-format", "yaml"); code == 0 {
+		t.Error("unknown format must fail")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	_, errOut, code := runCLI(t, "-e", "E99")
+	if code == 0 || !strings.Contains(errOut, "unknown experiment") {
+		t.Errorf("exit %d, stderr %q", code, errOut)
+	}
+}
+
+func TestFullQuickSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite skipped in -short mode")
+	}
+	out, errOut, code := runCLI(t, "-quick")
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errOut)
+	}
+	for i := 1; i <= 11; i++ {
+		if !strings.Contains(out, "== E") {
+			t.Fatalf("no tables rendered")
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Command ringelect runs one leader election on a ring given on the
+// command line and reports the outcome and cost.
+//
+// Usage:
+//
+//	ringelect -ring "1 3 1 3 2 2 1 2" -alg B -k 3
+//	ringelect -ring "1 2 2" -alg A -k 2 -engine goroutines
+//	ringelect -n 32 -distinct -alg CR            # generated ring
+//	ringelect -ring "5 1 4 2 3" -alg A -k 1 -engine sync -trace
+//
+// Algorithms: A (paper Table 1), B (paper Table 2), Astar, CR
+// (Chang–Roberts), Peterson, KnownN. Engines: unit (default; asynchronous
+// with unit delays), sync (the paper's synchronous execution), random
+// (asynchronous with random delays), goroutines (real parallelism).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/trace"
+
+	repro "repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI with explicit streams so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringelect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		spec     = fs.String("ring", "", "clockwise label sequence, e.g. \"1 3 1 3 2 2 1 2\"")
+		n        = fs.Int("n", 0, "generate a ring of n processes instead of -ring")
+		distinct = fs.Bool("distinct", false, "with -n: distinct labels 1..n")
+		seed     = fs.Int64("seed", 1, "with -n and not -distinct: random asymmetric ring seed")
+		alpha    = fs.Int("alpha", 4, "with -n random rings: alphabet size")
+		algName  = fs.String("alg", "A", "algorithm: A, B, Astar, CR, Peterson, KnownN")
+		k        = fs.Int("k", 2, "multiplicity bound known to the processes")
+		engine   = fs.String("engine", "unit", "engine: unit, sync, random, goroutines")
+		doTrace  = fs.Bool("trace", false, "print every send/deliver event (sync/unit/random engines)")
+		record   = fs.String("record", "", "write the event trace as JSON to this file (golden trace)")
+		replay   = fs.String("replay", "", "compare this run's event trace against a golden trace file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	r, err := buildRing(*spec, *n, *distinct, *seed, *k, *alpha)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringelect:", err)
+		return 1
+	}
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringelect:", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "ring:    %s  (n=%d, max multiplicity %d, asymmetric=%t, unique label=%t, b=%d bits)\n",
+		r, r.N(), r.MaxMultiplicity(), r.IsAsymmetric(), r.HasUniqueLabel(), r.LabelBits())
+	if tl, ok := r.TrueLeader(); ok {
+		fmt.Fprintf(stdout, "true leader: p%d (label %s; counter-clockwise sequence is the Lyndon rotation)\n", tl, r.Label(tl))
+	}
+
+	if *engine == "goroutines" {
+		out, err := repro.ElectParallel(r, alg, *k, time.Minute)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringelect:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "elected: p%d (label %s) with %d messages [goroutine engine]\n", out.Leader, out.LeaderLabel, out.Messages)
+		return 0
+	}
+
+	p, err := repro.ProtocolFor(r, alg, *k)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringelect:", err)
+		return 1
+	}
+	var sink trace.Sink = trace.Nop{}
+	var mem *trace.Mem
+	if *doTrace || *record != "" || *replay != "" {
+		mem = &trace.Mem{}
+		sink = mem
+	}
+	var res *sim.Result
+	switch *engine {
+	case "sync":
+		res, err = sim.RunSync(r, p, sim.Options{Sink: sink})
+	case "unit":
+		res, err = sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{Sink: sink})
+	case "random":
+		res, err = sim.RunAsync(r, p, sim.NewUniformDelay(*seed, 0.01), sim.Options{Sink: sink})
+	default:
+		fmt.Fprintf(stderr, "ringelect: unknown engine %q\n", *engine)
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "ringelect:", err)
+		return 1
+	}
+	if *doTrace {
+		for _, e := range mem.Events {
+			printEvent(stdout, e)
+		}
+	}
+	if *record != "" {
+		data, err := trace.Marshal(mem.Events)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringelect:", err)
+			return 1
+		}
+		if err := os.WriteFile(*record, data, 0o644); err != nil {
+			fmt.Fprintln(stderr, "ringelect:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "recorded %d events to %s\n", len(mem.Events), *record)
+	}
+	if *replay != "" {
+		data, err := os.ReadFile(*replay)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringelect:", err)
+			return 1
+		}
+		golden, err := trace.Unmarshal(data)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringelect:", err)
+			return 1
+		}
+		if d := trace.Diff(golden, mem.Events); d != "" {
+			fmt.Fprintf(stderr, "ringelect: golden trace mismatch: %s\n", d)
+			return 1
+		}
+		fmt.Fprintf(stdout, "replay matches golden trace %s (%d events)\n", *replay, len(golden))
+	}
+	fmt.Fprintf(stdout, "elected: p%d (label %s)\n", res.LeaderIndex, r.Label(res.LeaderIndex))
+	fmt.Fprintf(stdout, "cost:    time %.0f units, %d messages, peak space %d bits/process, %d actions, max link depth %d\n",
+		res.TimeUnits, res.Messages, res.PeakSpaceBits, res.Actions, res.MaxLinkDepth)
+	return 0
+}
+
+func buildRing(spec string, n int, distinct bool, seed int64, k, alpha int) (*ring.Ring, error) {
+	switch {
+	case spec != "":
+		return ring.Parse(spec)
+	case n > 0 && distinct:
+		return ring.Distinct(n), nil
+	case n > 0:
+		return repro.RandomRing(seed, n, k, alpha)
+	default:
+		return nil, fmt.Errorf("provide -ring or -n (see -help)")
+	}
+}
+
+func parseAlg(s string) (repro.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "a", "ak":
+		return repro.AlgorithmA, nil
+	case "b", "bk":
+		return repro.AlgorithmB, nil
+	case "astar", "a*":
+		return repro.AlgorithmAStar, nil
+	case "cr", "changroberts":
+		return repro.AlgorithmChangRoberts, nil
+	case "peterson":
+		return repro.AlgorithmPeterson, nil
+	case "knownn":
+		return repro.AlgorithmKnownN, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want A, B, Astar, CR, Peterson, KnownN)", s)
+	}
+}
+
+func printEvent(w io.Writer, e trace.Event) {
+	switch e.Op {
+	case trace.OpInit:
+		fmt.Fprintf(w, "t=%7.2f  p%-3d %-4s -> state %s\n", e.Time, e.Proc, e.Action, e.State)
+	case trace.OpDeliver:
+		fmt.Fprintf(w, "t=%7.2f  p%-3d rcv %-14s %-4s -> state %s\n", e.Time, e.Proc, e.Msg, e.Action, e.State)
+	case trace.OpSend:
+		fmt.Fprintf(w, "t=%7.2f  p%-3d send %s\n", e.Time, e.Proc, e.Msg)
+	case trace.OpHalt:
+		fmt.Fprintf(w, "t=%7.2f  p%-3d halt\n", e.Time, e.Proc)
+	case trace.OpPhase:
+		fmt.Fprintf(w, "t=%7.2f  p%-3d enters phase %d (guest=%s, active=%t)\n", e.Time, e.Proc, e.Phase, e.Guest, e.Active)
+	}
+}

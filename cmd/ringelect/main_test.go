@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestElectFigure1Ring(t *testing.T) {
+	out, _, code := runCLI(t, "-ring", "1 3 1 3 2 2 1 2", "-alg", "B", "-k", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, frag := range []string{"max multiplicity 3", "true leader: p0", "elected: p0 (label 1)", "276 messages"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestAllAlgorithmsAndEngines(t *testing.T) {
+	algs := []string{"A", "B", "Astar", "KnownN"}
+	engines := []string{"unit", "sync", "random", "goroutines"}
+	for _, alg := range algs {
+		for _, engine := range engines {
+			out, errOut, code := runCLI(t, "-ring", "1 2 2", "-alg", alg, "-k", "2", "-engine", engine)
+			if code != 0 {
+				t.Fatalf("alg=%s engine=%s: exit %d (%s)", alg, engine, code, errOut)
+			}
+			if !strings.Contains(out, "elected: p0") {
+				t.Errorf("alg=%s engine=%s: wrong leader:\n%s", alg, engine, out)
+			}
+		}
+	}
+}
+
+func TestBaselinesOnDistinct(t *testing.T) {
+	for _, alg := range []string{"CR", "Peterson"} {
+		out, errOut, code := runCLI(t, "-n", "8", "-distinct", "-alg", alg, "-k", "1")
+		if code != 0 {
+			t.Fatalf("%s: exit %d (%s)", alg, code, errOut)
+		}
+		if !strings.Contains(out, "elected: p") {
+			t.Errorf("%s: no election reported:\n%s", alg, out)
+		}
+	}
+}
+
+func TestGeneratedRandomRing(t *testing.T) {
+	out, errOut, code := runCLI(t, "-n", "12", "-seed", "3", "-alg", "A", "-k", "3", "-alpha", "6")
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errOut)
+	}
+	if !strings.Contains(out, "n=12") {
+		t.Errorf("output missing ring info:\n%s", out)
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	out, _, code := runCLI(t, "-ring", "1 2", "-alg", "A", "-k", "1", "-engine", "sync", "-trace")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, frag := range []string{"A1", "send ⟨", "rcv", "halt"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("trace missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	golden := t.TempDir() + "/trace.json"
+	out, errOut, code := runCLI(t, "-ring", "1 2 2", "-alg", "B", "-k", "2", "-engine", "sync", "-record", golden)
+	if code != 0 {
+		t.Fatalf("record: exit %d (%s)", code, errOut)
+	}
+	if !strings.Contains(out, "recorded") {
+		t.Fatalf("no record confirmation:\n%s", out)
+	}
+	// Same run replays cleanly.
+	out, errOut, code = runCLI(t, "-ring", "1 2 2", "-alg", "B", "-k", "2", "-engine", "sync", "-replay", golden)
+	if code != 0 || !strings.Contains(out, "replay matches") {
+		t.Fatalf("replay: exit %d out=%q err=%q", code, out, errOut)
+	}
+	// A different ring must be flagged.
+	_, errOut, code = runCLI(t, "-ring", "2 1 2", "-alg", "B", "-k", "2", "-engine", "sync", "-replay", golden)
+	if code == 0 || !strings.Contains(errOut, "mismatch") {
+		t.Fatalf("divergent replay not flagged: exit %d err=%q", code, errOut)
+	}
+	// Missing golden file errors cleanly.
+	if _, _, code := runCLI(t, "-ring", "1 2 2", "-alg", "B", "-k", "2", "-replay", golden+".missing"); code == 0 {
+		t.Error("missing golden file must fail")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := [][]string{
+		{},                                  // no ring
+		{"-ring", "1 x"},                    // bad label
+		{"-ring", "1 2", "-alg", "nope"},    // bad algorithm
+		{"-ring", "1 2", "-engine", "warp"}, // bad engine
+		{"-ring", "1 2 1 2", "-alg", "A"},   // symmetric ring
+		{"-ring", "1 1 2", "-alg", "A", "-k", "1"}, // multiplicity above k
+		{"-ring", "1 1 2", "-alg", "CR"},           // homonyms for CR
+	}
+	for _, args := range cases {
+		if _, _, code := runCLI(t, args...); code == 0 {
+			t.Errorf("args %v: expected non-zero exit", args)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Command ringfuzz stress-tests the reproduction: it draws random rings
+// from A ∩ Kk, runs every algorithm under randomized and adversarial
+// schedules (plus the goroutine engine), checks the full election
+// specification and cross-engine agreement on each run, and exhaustively
+// model-checks all schedules of small rings. Any violation is reported
+// with the reproducing seed.
+//
+// Usage:
+//
+//	ringfuzz                 # 100 random trials + small-ring exploration
+//	ringfuzz -trials 10000   # longer campaign
+//	ringfuzz -seed 7 -maxn 48 -maxk 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gorun"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI with explicit streams so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		trials  = fs.Int("trials", 100, "number of random ring trials")
+		seed    = fs.Int64("seed", time.Now().UnixNano(), "base seed (printed for reproduction)")
+		maxN    = fs.Int("maxn", 32, "largest ring size")
+		maxK    = fs.Int("maxk", 4, "largest multiplicity bound")
+		explore = fs.Bool("explore", true, "also exhaustively model-check all schedules of small rings")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fmt.Fprintf(stdout, "ringfuzz: seed=%d trials=%d maxn=%d maxk=%d\n", *seed, *trials, *maxN, *maxK)
+
+	failures := 0
+	report := func(format string, a ...any) {
+		failures++
+		fmt.Fprintf(stderr, "FAIL: "+format+"\n", a...)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	for trial := 0; trial < *trials; trial++ {
+		fuzzOneTrial(trial, rng, *maxN, *maxK, report)
+		if trial%25 == 24 {
+			fmt.Fprintf(stdout, "  %d/%d trials done\n", trial+1, *trials)
+		}
+	}
+
+	if *explore {
+		fmt.Fprintln(stdout, "exhaustive schedule exploration on small rings…")
+		exploreSmallRings(stdout, report)
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(stderr, "ringfuzz: %d failure(s); reproduce with -seed %d\n", failures, *seed)
+		return 1
+	}
+	fmt.Fprintln(stdout, "ringfuzz: all runs satisfied the specification and agreed across engines.")
+	return 0
+}
+
+// fuzzOneTrial draws one random ring and cross-checks every algorithm
+// under several schedules against the synchronous reference run.
+func fuzzOneTrial(trial int, rng *rand.Rand, maxN, maxK int, report func(string, ...any)) {
+	n := 4 + rng.Intn(maxN-3)
+	k := 2 + rng.Intn(maxK-1)
+	r, err := ring.RandomAsymmetric(rng, n, k, max(6, n))
+	if err != nil {
+		report("trial %d: generator: %v", trial, err)
+		return
+	}
+	trueLeader, ok := r.TrueLeader()
+	if !ok {
+		report("trial %d: generator produced symmetric ring %s", trial, r)
+		return
+	}
+	b := r.LabelBits()
+	var protos []core.Protocol
+	if p, err := core.NewAProtocol(k, b); err == nil {
+		protos = append(protos, p)
+	}
+	if p, err := core.NewStarProtocol(k, b); err == nil {
+		protos = append(protos, p)
+	}
+	if p, err := core.NewBProtocol(k, b); err == nil {
+		protos = append(protos, p)
+	}
+	if p, err := baseline.NewKnownNProtocol(n, b); err == nil {
+		protos = append(protos, p)
+	}
+	// The Bk run doubles as an Observation 1 conformance check: its traced
+	// unit-delay execution must keep every message within its phase.
+	if pb, err := core.NewBProtocol(k, b); err == nil {
+		mem := &trace.Mem{}
+		if _, err := sim.RunAsync(r, pb, sim.ConstantDelay(1), sim.Options{Sink: mem}); err == nil {
+			if err := trace.CheckPhaseAlignment(mem.Events, n); err != nil {
+				report("trial %d: %s on %s: %v", trial, pb.Name(), r, err)
+			}
+		}
+	}
+	for _, p := range protos {
+		ref, err := sim.RunSync(r, p, sim.Options{})
+		if err != nil {
+			report("trial %d: %s on %s: sync: %v", trial, p.Name(), r, err)
+			continue
+		}
+		if ref.LeaderIndex != trueLeader {
+			report("trial %d: %s on %s elected p%d, true leader p%d", trial, p.Name(), r, ref.LeaderIndex, trueLeader)
+			continue
+		}
+		schedules := []struct {
+			name  string
+			delay sim.DelayModel
+		}{
+			{"unit", sim.ConstantDelay(1)},
+			{"random", sim.NewUniformDelay(rng.Int63(), 0)},
+			{"slow-link", sim.SlowLinkDelay{SlowFrom: rng.Intn(n), Fast: 0.01}},
+		}
+		for _, s := range schedules {
+			res, err := sim.RunAsync(r, p, s.delay, sim.Options{})
+			if err != nil {
+				report("trial %d: %s on %s (%s): %v", trial, p.Name(), r, s.name, err)
+				continue
+			}
+			if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages {
+				report("trial %d: %s on %s (%s): p%d/%d msgs vs sync p%d/%d",
+					trial, p.Name(), r, s.name, res.LeaderIndex, res.Messages, ref.LeaderIndex, ref.Messages)
+			}
+		}
+		if trial%10 == 0 { // the goroutine engine is slower; sample it
+			res, err := gorun.Run(r, p, time.Minute)
+			if err != nil {
+				report("trial %d: %s on %s (goroutines): %v", trial, p.Name(), r, err)
+			} else if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages {
+				report("trial %d: %s on %s (goroutines): p%d/%d msgs vs sync p%d/%d",
+					trial, p.Name(), r, res.LeaderIndex, res.Messages, ref.LeaderIndex, ref.Messages)
+			}
+		}
+	}
+}
+
+// exploreSmallRings exhaustively model-checks the schedule space of the
+// canonical small rings.
+func exploreSmallRings(stdout io.Writer, report func(string, ...any)) {
+	for _, spec := range []string{"1 2", "1 2 2", "2 1 3", "1 1 2 2", "2 1 2 1 3", "1 2 3 4 5", "2 1 2 1 3 3"} {
+		r, err := ring.Parse(spec)
+		if err != nil {
+			report("explore: %v", err)
+			continue
+		}
+		k := max(2, r.MaxMultiplicity())
+		var protos []core.Protocol
+		if p, err := core.NewAProtocol(k, r.LabelBits()); err == nil {
+			protos = append(protos, p)
+		}
+		if p, err := core.NewStarProtocol(k, r.LabelBits()); err == nil {
+			protos = append(protos, p)
+		}
+		for _, p := range protos {
+			res, err := sim.ExploreAll(r, p, 2_000_000)
+			if err != nil {
+				report("explore %s on %s: %v", p.Name(), r, err)
+				continue
+			}
+			fmt.Fprintf(stdout, "  %s on %-12s: %6d states, leader p%d, %d msgs, max link depth %d\n",
+				p.Name(), r, res.States, res.LeaderIndex, res.Messages, res.MaxLinkDepth)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestShortCampaignPasses(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-trials", "8", "-seed", "42", "-maxn", "16", "-maxk", "3"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errBuf.String())
+	}
+	for _, frag := range []string{"seed=42", "exhaustive schedule exploration", "all runs satisfied"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestNoExplore(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-trials", "2", "-seed", "7", "-explore=false"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errBuf.String())
+	}
+	if strings.Contains(out.String(), "exhaustive schedule exploration") {
+		t.Error("exploration ran despite -explore=false")
+	}
+}

@@ -1,0 +1,121 @@
+// Command ringviz renders the paper's visual artifacts:
+//
+//	ringviz -figure1          # Figure 1: phase table of Bk (k=3) on [1 3 1 3 2 2 1 2]
+//	ringviz -dot              # Figure 2: Bk state diagram as Graphviz DOT
+//	ringviz -dot -observed    # DOT of the transitions actually observed in a run
+//	ringviz -ring "1 2 2" -k 2 -phases 6   # phase table of any Bk run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI with explicit streams so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		figure1  = fs.Bool("figure1", false, "reproduce Figure 1 exactly and diff against the paper")
+		svg      = fs.Bool("svg", false, "with -figure1 or -ring: emit the phase panels as SVG instead of text")
+		dot      = fs.Bool("dot", false, "emit the Bk state diagram (Figure 2) as Graphviz DOT")
+		observed = fs.Bool("observed", false, "with -dot: emit observed transitions instead of the figure")
+		spec     = fs.String("ring", "", "ring to run Bk on for a phase table")
+		k        = fs.Int("k", 2, "multiplicity bound for -ring")
+		phases   = fs.Int("phases", 4, "number of phases to render")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "ringviz:", err)
+		return 1
+	}
+
+	switch {
+	case *figure1:
+		table, res, err := experiments.RunFigure1()
+		if err != nil {
+			return fail(err)
+		}
+		if *svg {
+			var ps []int
+			for i := 1; i <= min(*phases, table.Phases()); i++ {
+				ps = append(ps, i)
+			}
+			fmt.Fprint(stdout, table.RenderSVG(ring.Figure1(), trace.SVGOptions{Phases: ps}))
+			return 0
+		}
+		fmt.Fprint(stdout, table.Render(ring.Figure1(), 1, *phases))
+		fmt.Fprintf(stdout, "\nelected: p%d after %d phases (paper: p0)\n", res.LeaderIndex, table.Phases())
+		if bad := experiments.CheckFigure1(table, res.LeaderIndex); len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintln(stdout, "MISMATCH:", b)
+			}
+			return 1
+		}
+		fmt.Fprintln(stdout, "Figure 1 reproduced exactly (phases 1-4, active sets, guests, leader).")
+		return 0
+
+	case *dot && !*observed:
+		fmt.Fprint(stdout, trace.DOT("Bk_Figure2", trace.Figure2Edges))
+		return 0
+
+	case *dot && *observed:
+		r := ring.Figure1()
+		p, err := core.NewBProtocol(3, r.LabelBits())
+		if err != nil {
+			return fail(err)
+		}
+		mem := &trace.Mem{}
+		if _, err := sim.RunSync(r, p, sim.Options{Sink: mem}); err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, trace.DOT("Bk_observed", trace.Transitions(mem.Events)))
+		return 0
+
+	case *spec != "":
+		r, err := ring.Parse(*spec)
+		if err != nil {
+			return fail(err)
+		}
+		p, err := core.NewBProtocol(*k, r.LabelBits())
+		if err != nil {
+			return fail(err)
+		}
+		mem := &trace.Mem{}
+		res, err := sim.RunSync(r, p, sim.Options{Sink: mem})
+		if err != nil {
+			return fail(err)
+		}
+		table := trace.BuildPhaseTable(mem.Events, r.N())
+		if *svg {
+			var ps []int
+			for i := 1; i <= min(*phases, table.Phases()); i++ {
+				ps = append(ps, i)
+			}
+			fmt.Fprint(stdout, table.RenderSVG(r, trace.SVGOptions{Phases: ps}))
+			return 0
+		}
+		fmt.Fprint(stdout, table.Render(r, 1, *phases))
+		fmt.Fprintf(stdout, "\nelected: p%d after %d phases\n", res.LeaderIndex, table.Phases())
+		return 0
+
+	default:
+		fs.Usage()
+		return 2
+	}
+}

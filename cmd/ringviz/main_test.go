@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestFigure1(t *testing.T) {
+	out, _, code := runCLI(t, "-figure1")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, frag := range []string{"phase 1", "phase 4", "g=1", "elected: p0 after 9 phases", "reproduced exactly"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDOTFigure2(t *testing.T) {
+	out, _, code := runCLI(t, "-dot")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, frag := range []string{"digraph Bk_Figure2", "INIT -> COMPUTE", "WIN -> HALT", "label=\"B9\""} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDOTObserved(t *testing.T) {
+	out, _, code := runCLI(t, "-dot", "-observed")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "digraph Bk_observed") || !strings.Contains(out, "PASSIVE -> HALT") {
+		t.Errorf("observed DOT incomplete:\n%s", out)
+	}
+}
+
+func TestCustomRingPhaseTable(t *testing.T) {
+	out, errOut, code := runCLI(t, "-ring", "1 2 2", "-k", "2", "-phases", "3")
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errOut)
+	}
+	if !strings.Contains(out, "elected: p0") {
+		t.Errorf("phase table output wrong:\n%s", out)
+	}
+}
+
+func TestFigure1SVG(t *testing.T) {
+	out, _, code := runCLI(t, "-figure1", "-svg")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, frag := range []string{"<svg", `id="phase4"`, `fill="black"`, "</svg>"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+}
+
+func TestCustomRingSVG(t *testing.T) {
+	out, _, code := runCLI(t, "-ring", "1 2 2", "-k", "2", "-svg", "-phases", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, `id="phase2"`) {
+		t.Errorf("custom SVG missing panel:\n%s", out[:min(200, len(out))])
+	}
+}
+
+func TestErrorsAndUsage(t *testing.T) {
+	if _, _, code := runCLI(t); code == 0 {
+		t.Error("no mode must exit non-zero")
+	}
+	if _, errOut, code := runCLI(t, "-ring", "1 x"); code == 0 || !strings.Contains(errOut, "bad label") {
+		t.Errorf("bad ring: exit %d, stderr %q", code, errOut)
+	}
+	if _, _, code := runCLI(t, "-ring", "1 2 2", "-k", "1"); code == 0 {
+		t.Error("Bk with k=1 must fail")
+	}
+}

@@ -1,0 +1,27 @@
+// Package repro is a Go reproduction of "Leader Election in Asymmetric
+// Labeled Unidirectional Rings" (Altisen, Datta, Devismes, Durand, Larmore;
+// IPPS 2017): deterministic process-terminating leader election for rings
+// of homonym processes that know neither n nor any bound on it — only a
+// bound k on label multiplicity.
+//
+// The package is a façade over the implementation packages:
+//
+//   - internal/core — the guarded-action machine model and the paper's
+//     algorithms Ak (Table 1) and Bk (Table 2), plus the A* extension;
+//   - internal/sim — the deterministic simulator (synchronous, unit-delay,
+//     random and adversarial schedules) with time/message/space accounting;
+//   - internal/gorun — the goroutine/channel parallel runtime;
+//   - internal/ring — labeled rings, the classes Kk, A, U*, generators;
+//   - internal/lowerbound — the Lemma 1 / Theorem 1 constructions;
+//   - internal/experiments — the E1…E10 reproduction harness.
+//
+// Quick start:
+//
+//	r := repro.MustParseRing("1 3 1 3 2 2 1 2")
+//	out, err := repro.Elect(r, repro.AlgorithmB, 3)
+//	// out.Leader == 0, the process whose counter-clockwise label
+//	// sequence is a Lyndon word.
+//
+// See README.md for the architecture overview and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package repro

@@ -1,0 +1,44 @@
+package repro_test
+
+import (
+	"fmt"
+
+	repro "repro"
+)
+
+// Elect the leader of the paper's Figure 1 ring with algorithm Bk.
+func ExampleElect() {
+	r := repro.MustParseRing("1 3 1 3 2 2 1 2")
+	out, err := repro.Elect(r, repro.AlgorithmB, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("leader p%d (label %s), %d messages, %d bits/process\n",
+		out.Leader, out.LeaderLabel, out.Messages, out.PeakSpaceBits)
+	// Output:
+	// leader p0 (label 1), 276 messages, 15 bits/process
+}
+
+// The true leader is the process whose counter-clockwise label sequence is
+// a Lyndon word.
+func ExampleTrueLeader() {
+	r := repro.MustParseRing("3 1 2")
+	leader, ok := repro.TrueLeader(r)
+	fmt.Println(leader, ok)
+
+	sym := repro.MustParseRing("1 2 1 2")
+	_, ok = repro.TrueLeader(sym)
+	fmt.Println(ok)
+	// Output:
+	// 1 true
+	// false
+}
+
+// Symmetric rings and rings outside Kk are rejected before any messages
+// flow.
+func ExampleProtocolFor() {
+	_, err := repro.ProtocolFor(repro.MustParseRing("1 2 1 2"), repro.AlgorithmA, 2)
+	fmt.Println(err)
+	// Output:
+	// repro: ring [1 2 1 2] is symmetric; leader election is unsolvable on it
+}

@@ -1,0 +1,56 @@
+// Goroutines: run the election as real concurrency — one goroutine per
+// process, channel-backed FIFO links — and cross-check it against the
+// deterministic simulator.
+//
+// Because the ring is unidirectional with FIFO links and the machines are
+// deterministic, the sequence of messages each process receives is the
+// same in every schedule; the Go scheduler's nondeterminism changes only
+// the interleaving. The example demonstrates that: leader and exact
+// message count agree between the two engines across repeated parallel
+// runs.
+//
+// Run: go run ./examples/goroutines
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	repro "repro"
+)
+
+func main() {
+	// A 64-process asymmetric ring with homonyms (multiplicity ≤ 3 over a
+	// 30-label alphabet) that no process knows the size of.
+	r, err := repro.RandomRing(42, 64, 3, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ring: n=%d, max multiplicity %d, alphabet %d labels\n", r.N(), r.MaxMultiplicity(), len(r.Multiplicities()))
+
+	ref, err := repro.Elect(r, repro.AlgorithmB, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulator:  leader p%d (label %s), %d messages\n", ref.Leader, ref.LeaderLabel, ref.Messages)
+
+	for run := 1; run <= 5; run++ {
+		start := time.Now()
+		out, err := repro.ElectParallel(r, repro.AlgorithmB, 3, time.Minute)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agree := "agrees"
+		if out.Leader != ref.Leader || out.Messages != ref.Messages {
+			agree = "DISAGREES"
+		}
+		fmt.Printf("goroutines #%d: leader p%d, %d messages in %v (%s)\n",
+			run, out.Leader, out.Messages, time.Since(start).Round(time.Millisecond), agree)
+		if agree != "agrees" {
+			log.Fatal("engines disagree — schedule-independence violated")
+		}
+	}
+	fmt.Println("\nAll parallel runs elected the same leader with the same message count:")
+	fmt.Println("asynchrony changes interleavings, never outcomes, on FIFO unidirectional rings.")
+}

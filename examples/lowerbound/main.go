@@ -1,0 +1,70 @@
+// Lower bound: play out the proof of Theorem 1 ("there is no leader
+// election algorithm for the class U*") on a concrete algorithm.
+//
+// The construction of Lemma 1: take any algorithm ALG that terminates in T
+// synchronous steps on a distinct-label ring R_n. Build R_{n,k} — the
+// labels of R_n repeated k times, then one fresh label X — with k large
+// enough that T ≤ (k-2)n. R_{n,k} is in U* ∩ Kk, but within T steps the
+// processes at positions (k-2)n+ℓ and (k-1)n+ℓ cannot have heard from the
+// unique-labeled process, so they behave exactly like p_ℓ of R_n: both
+// declare themselves leader.
+//
+// Run: go run ./examples/lowerbound
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func main() {
+	n := 6
+	base := ring.Distinct(n)
+	fmt.Printf("base ring R_n = %s (distinct labels)\n\n", base)
+
+	// The victim: algorithm Ak hard-wired with k0 = 2. It is a correct,
+	// terminating election algorithm for every ring in A ∩ K2 — including
+	// every distinct-label ring.
+	alg, err := core.NewAProtocol(2, ring.Label(999).Bits())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.RunSync(base, alg, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on R_n: elects p%d in T = %d synchronous steps\n", alg.Name(), res.LeaderIndex, res.Steps)
+
+	// Property (*): on R_{n,k}, process q_j is indistinguishable from
+	// p_{j mod n} for the first j steps.
+	k := (res.Steps+n-1)/n + 3
+	rep, err := lowerbound.CheckIndistinguishability(base, k, 999, alg, sim.Options{})
+	if err != nil {
+		log.Fatalf("property (*) violated: %v", err)
+	}
+	fmt.Printf("property (*) verified on R_{n,%d}: %d state pairs compared over %d steps, all equal\n",
+		k, rep.PairsChecked, rep.StepsChecked)
+
+	// The contradiction: the same unchanged algorithm on R_{n,k}.
+	demo, err := lowerbound.DemonstrateTwoLeaders(base, alg, 999, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	big, _ := lowerbound.BuildRnk(base, demo.K, 999)
+	fmt.Printf("\nR_{n,k} with k=%d: %s  (kn+1 = %d processes; in U* ∩ K%d since label 999 is unique)\n",
+		demo.K, big, big.N(), demo.K)
+	if demo.Violation == nil {
+		log.Fatal("expected a spec violation — the construction should defeat the algorithm")
+	}
+	fmt.Printf("running %s there: %v\n\n", alg.Name(), demo.Violation)
+	fmt.Printf("Two processes declared themselves leader — the specification's bullet 1 is violated,\n")
+	fmt.Printf("exactly as Lemma 1 predicts. Knowing a multiplicity bound k is essential: no single\n")
+	fmt.Printf("algorithm works for all of U* (Theorem 1), and any correct algorithm for U* ∩ Kk\n")
+	fmt.Printf("needs ≥ 1+(k-2)n = %d steps on R_n (Corollary 2: Ω(kn)).\n",
+		lowerbound.MinStepsBound(n, demo.K))
+}

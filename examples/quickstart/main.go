@@ -1,0 +1,47 @@
+// Quickstart: elect a leader on a small ring of homonym processes.
+//
+// The ring [1 2 2] is the paper's introductory example: two of its three
+// processes share label 2, no process knows the ring size, yet leader
+// election is solvable because the labeling is asymmetric and every
+// process knows the multiplicity bound k = 2.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+func main() {
+	r := repro.MustParseRing("1 2 2")
+	fmt.Printf("ring %s: n=%d (unknown to the processes), max multiplicity %d\n",
+		r, r.N(), r.MaxMultiplicity())
+
+	// The "true leader" is the process whose counter-clockwise label
+	// sequence is a Lyndon word — the canonical distinguished process of an
+	// asymmetric ring.
+	if tl, ok := repro.TrueLeader(r); ok {
+		fmt.Printf("true leader: p%d (label %s)\n", tl, r.Label(tl))
+	}
+
+	// Both of the paper's algorithms elect exactly that process; they
+	// differ in cost, not outcome.
+	for _, alg := range []repro.Algorithm{repro.AlgorithmA, repro.AlgorithmB} {
+		out, err := repro.Elect(r, alg, 2)
+		if err != nil {
+			log.Fatalf("electing with %s: %v", alg, err)
+		}
+		fmt.Printf("%-3s elected p%d (label %s): %4.0f time units, %3d messages, %3d bits/process\n",
+			alg, out.Leader, out.LeaderLabel, out.TimeUnits, out.Messages, out.PeakSpaceBits)
+	}
+
+	// A symmetric ring, by contrast, is rejected up front: no deterministic
+	// algorithm can break its rotational symmetry (Angluin 1980).
+	sym := repro.MustParseRing("1 2 1 2")
+	if _, err := repro.Elect(sym, repro.AlgorithmA, 2); err != nil {
+		fmt.Printf("ring %s: %v\n", sym, err)
+	}
+}

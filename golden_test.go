@@ -1,0 +1,75 @@
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestGoldenTraces replays the recorded reference executions under
+// testdata/golden and fails on any event-level divergence. These traces
+// pin the complete observable behavior — every send, delivery, action id,
+// state and phase transition — of the canonical runs; any change to the
+// algorithms or engines that alters behavior must update them consciously
+// (regenerate with: go run ./cmd/ringelect ... -record <file>).
+func TestGoldenTraces(t *testing.T) {
+	cases := []struct {
+		file   string
+		spec   string
+		alg    string
+		k      int
+		engine string
+	}{
+		{"ring122_ak_sync.json", "1 2 2", "A", 2, "sync"},
+		{"ring122_bk_sync.json", "1 2 2", "B", 2, "sync"},
+		{"figure1_bk_unit.json", "1 3 1 3 2 2 1 2", "B", 3, "unit"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.file, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", "golden", c.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := trace.Unmarshal(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(golden) == 0 {
+				t.Fatal("empty golden trace")
+			}
+			r, err := ring.Parse(c.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var p core.Protocol
+			switch c.alg {
+			case "A":
+				p, err = core.NewAProtocol(c.k, r.LabelBits())
+			case "B":
+				p, err = core.NewBProtocol(c.k, r.LabelBits())
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem := &trace.Mem{}
+			switch c.engine {
+			case "sync":
+				_, err = sim.RunSync(r, p, sim.Options{Sink: mem})
+			case "unit":
+				_, err = sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{Sink: mem})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := trace.Diff(golden, mem.Events); d != "" {
+				t.Fatalf("behavior drifted from golden trace: %s", d)
+			}
+		})
+	}
+}

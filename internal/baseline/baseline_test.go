@@ -1,0 +1,202 @@
+package baseline_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func crFor(t *testing.T, r *ring.Ring) core.Protocol {
+	t.Helper()
+	p, err := baseline.NewCRProtocol(r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func petersonFor(t *testing.T, r *ring.Ring) core.Protocol {
+	t.Helper()
+	p, err := baseline.NewPetersonProtocol(r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := baseline.NewCRProtocol(0); err == nil {
+		t.Error("CR with labelBits=0 must fail")
+	}
+	if _, err := baseline.NewPetersonProtocol(0); err == nil {
+		t.Error("Peterson with labelBits=0 must fail")
+	}
+}
+
+// minIndex returns the index holding the minimum label.
+func minIndex(r *ring.Ring) int {
+	best := 0
+	for i := 1; i < r.N(); i++ {
+		if r.Label(i) < r.Label(best) {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestChangRobertsElectsMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(30)
+		r := ring.DistinctShuffled(n, rng)
+		p := crFor(t, r)
+		res, err := sim.RunSync(r, p, sim.Options{})
+		if err != nil {
+			t.Fatalf("CR on %s: %v", r, err)
+		}
+		want := minIndex(r)
+		if res.LeaderIndex != want {
+			t.Fatalf("CR on %s elected p%d, want min-label p%d", r, res.LeaderIndex, want)
+		}
+		// On a distinct-label ring the min-label process is the paper's
+		// true leader.
+		if tl, ok := r.TrueLeader(); !ok || tl != res.LeaderIndex {
+			t.Fatalf("CR leader p%d is not the true leader p%d on %s", res.LeaderIndex, tl, r)
+		}
+	}
+}
+
+func TestChangRobertsWorstCaseMessages(t *testing.T) {
+	// Ascending labels are the worst case for min-electing CR: the token
+	// with value v only dies at the minimum, after n-v+1 hops — the classic
+	// Θ(n²) case, but always within n(n+1)/2 + n.
+	n := 24
+	r := ring.Distinct(n)
+	p := crFor(t, r)
+	res, err := sim.RunSync(r, p, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := n*(n+1)/2 + n
+	if res.Messages > limit {
+		t.Errorf("CR worst case: %d messages > %d", res.Messages, limit)
+	}
+	if res.Messages < n*n/4 {
+		t.Errorf("CR on the adversarial ring used only %d messages — not the worst case?", res.Messages)
+	}
+}
+
+func TestPetersonSpecAndMessageBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(40)
+		r := ring.DistinctShuffled(n, rng)
+		p := petersonFor(t, r)
+		res, err := sim.RunSync(r, p, sim.Options{})
+		if err != nil {
+			t.Fatalf("Peterson on %s: %v", r, err)
+		}
+		// Peterson '82: ≤ 2n per phase (a P1 and a P2 crossing every link),
+		// ≤ ⌈log φ⌉+1 phases with φ the golden ratio — we use the loose
+		// classic bound 2n·(log2 n + 2) plus the closing lap.
+		limit := int(2*float64(n)*(math.Log2(float64(n))+2)) + n
+		if res.Messages > limit {
+			t.Errorf("Peterson on n=%d: %d messages > O(n log n) limit %d", n, res.Messages, limit)
+		}
+	}
+}
+
+func TestPetersonExhaustiveSmallPermutations(t *testing.T) {
+	// All permutations of 1..n for n ≤ 6: the election must satisfy the
+	// spec under every labeling order.
+	var permute func(n int, labels []ring.Label, used []bool, fn func([]ring.Label))
+	permute = func(n int, labels []ring.Label, used []bool, fn func([]ring.Label)) {
+		if len(labels) == n {
+			fn(labels)
+			return
+		}
+		for v := 1; v <= n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			permute(n, append(labels, ring.Label(v)), used, fn)
+			used[v] = false
+		}
+	}
+	for n := 2; n <= 6; n++ {
+		permute(n, nil, make([]bool, n+1), func(labels []ring.Label) {
+			r := ring.MustNew(labels...)
+			for _, p := range []core.Protocol{crFor(t, r), petersonFor(t, r)} {
+				if _, err := sim.RunSync(r, p, sim.Options{}); err != nil {
+					t.Fatalf("%s on %s: %v", p.Name(), r, err)
+				}
+			}
+		})
+	}
+}
+
+func TestBaselinesUnderAsynchrony(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		r := ring.DistinctShuffled(12, rng)
+		for _, p := range []core.Protocol{crFor(t, r), petersonFor(t, r)} {
+			want, err := sim.RunSync(r, p, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(0); seed < 5; seed++ {
+				got, err := sim.RunAsync(r, p, sim.NewUniformDelay(seed, 0), sim.Options{})
+				if err != nil {
+					t.Fatalf("%s async on %s: %v", p.Name(), r, err)
+				}
+				if got.LeaderIndex != want.LeaderIndex || got.Messages != want.Messages {
+					t.Fatalf("%s on %s: schedule changed the outcome", p.Name(), r)
+				}
+			}
+		}
+	}
+}
+
+func TestBaselineMachineErrors(t *testing.T) {
+	r := ring.Distinct(3)
+	cr := crFor(t, r).NewMachine(1)
+	var out core.Outbox
+	cr.Init(&out)
+	out.Drain()
+	if _, err := cr.Receive(core.PhaseShift(1), &out); err == nil {
+		t.Error("CR must reject PHASE_SHIFT")
+	}
+	pet := petersonFor(t, r).NewMachine(1)
+	pet.Init(&out)
+	out.Drain()
+	if _, err := pet.Receive(core.Token(2), &out); err == nil {
+		t.Error("Peterson must reject bare tokens")
+	}
+	if _, err := pet.Receive(core.Message{Kind: core.KindPeterson2, Label: 2}, &out); err == nil {
+		t.Error("Peterson active must reject P2 while awaiting P1")
+	}
+}
+
+func TestBaselineTimeLinear(t *testing.T) {
+	for _, n := range []int{8, 32, 128} {
+		r := ring.Distinct(n)
+		for _, p := range []core.Protocol{crFor(t, r), petersonFor(t, r)} {
+			res, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Both baselines complete within O(n) time units (CR ≤ 2n;
+			// Peterson ≤ n per phase over ≤ log n + 1 phases, but phases
+			// pipeline, keeping the span ≤ ~3n).
+			if res.TimeUnits > float64(4*n) {
+				t.Errorf("%s on n=%d: time %v > 4n", p.Name(), n, res.TimeUnits)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package baseline implements classic leader-election algorithms for
+// unidirectional rings with unique labels (the class K1): Chang–Roberts
+// and Peterson's O(n log n) algorithm. They anchor the complexity sweeps at
+// k = 1 and sanity-check the execution engines against well-understood
+// algorithms.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+// CRProtocol is the Chang–Roberts algorithm (1979), minimum-label variant:
+// every process launches its label; a process discards labels larger than
+// its own and forwards smaller ones; the process whose label comes back
+// around is the minimum and elects itself. On rings with distinct labels
+// the minimum-label process is exactly the paper's true leader (its
+// counter-clockwise label sequence is the Lyndon rotation).
+//
+// Worst-case message complexity Θ(n²) (labels sorted against the ring
+// direction), average Θ(n log n); time ≤ 2n.
+type CRProtocol struct {
+	// LabelBits is b, for SpaceBits accounting.
+	LabelBits int
+}
+
+// NewCRProtocol returns Chang–Roberts with the given label width.
+func NewCRProtocol(labelBits int) (*CRProtocol, error) {
+	if labelBits < 1 {
+		return nil, fmt.Errorf("baseline: Chang-Roberts requires labelBits >= 1, got %d", labelBits)
+	}
+	return &CRProtocol{LabelBits: labelBits}, nil
+}
+
+// Name implements core.Protocol.
+func (p *CRProtocol) Name() string { return "ChangRoberts" }
+
+// NewMachine implements core.Protocol.
+func (p *CRProtocol) NewMachine(id ring.Label) core.Machine {
+	return &crMachine{id: id, labelBits: p.LabelBits}
+}
+
+type crMachine struct {
+	id        ring.Label
+	labelBits int
+
+	isLeader bool
+	done     bool
+	leader   ring.Label
+	ledSet   bool
+	halted   bool
+	relay    bool // saw a smaller label; cannot win
+}
+
+// Init launches the process's own label (action CR1).
+func (m *crMachine) Init(out *core.Outbox) string {
+	out.Send(core.Token(m.id))
+	return "CR1"
+}
+
+// Receive implements the Chang–Roberts rules.
+func (m *crMachine) Receive(msg core.Message, out *core.Outbox) (string, error) {
+	if m.halted {
+		return "", fmt.Errorf("ChangRoberts: message %s delivered after halt", msg)
+	}
+	switch msg.Kind {
+	case core.KindToken:
+		x := msg.Label
+		switch {
+		case x == m.id:
+			// CR4: own label returned — every other label was larger.
+			m.isLeader = true
+			m.leader = m.id
+			m.ledSet = true
+			m.done = true
+			out.Send(core.FinishLabel(m.id))
+			return "CR4", nil
+		case x < m.id:
+			// CR2: a smaller label passes through; p can no longer win.
+			m.relay = true
+			out.Send(core.Token(x))
+			return "CR2", nil
+		default:
+			// CR3: discard a larger label.
+			return "CR3", nil
+		}
+	case core.KindFinishLabel:
+		if m.isLeader {
+			// CR6: announcement returned; halt.
+			m.halted = true
+			return "CR6", nil
+		}
+		// CR5: learn the leader, relay, halt.
+		m.leader = msg.Label
+		m.ledSet = true
+		m.done = true
+		out.Send(core.FinishLabel(msg.Label))
+		m.halted = true
+		return "CR5", nil
+	default:
+		return "", fmt.Errorf("ChangRoberts: unexpected message %s", msg)
+	}
+}
+
+// Clone implements core.Cloner: crMachine holds only value fields.
+func (m *crMachine) Clone() core.Machine {
+	cp := *m
+	return &cp
+}
+
+// Halted implements core.Machine.
+func (m *crMachine) Halted() bool { return m.halted }
+
+// Status implements core.Machine.
+func (m *crMachine) Status() core.Status {
+	return core.Status{IsLeader: m.isLeader, Done: m.done, Leader: m.leader, LeaderSet: m.ledSet}
+}
+
+// StateName implements core.Machine.
+func (m *crMachine) StateName() string {
+	switch {
+	case m.halted:
+		return "HALT"
+	case m.isLeader:
+		return "LEADER"
+	case m.relay:
+		return "RELAY"
+	default:
+		return "CANDIDATE"
+	}
+}
+
+// SpaceBits implements core.Machine: two labels (id, leader) plus four
+// bits of flags.
+func (m *crMachine) SpaceBits() int { return 2*m.labelBits + 4 }
+
+// Fingerprint implements core.Machine.
+func (m *crMachine) Fingerprint() string {
+	return fmt.Sprintf("CR id=%s state=%s isLeader=%t done=%t", m.id, m.StateName(), m.isLeader, m.done)
+}

@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/words"
+)
+
+// KnownNProtocol elects the true leader of any asymmetric ring when every
+// process knows the exact ring size n — the knowledge assumption of the
+// related work ([8], and [9]'s process-terminating variant) that the paper
+// contrasts with knowing only the multiplicity bound k.
+//
+// With n known the full-information approach needs a single lap: every
+// process launches its label, forwards what it receives while its
+// collected string is shorter than n, and stops forwarding once the string
+// is complete; a token therefore dies after exactly n-1 hops, and each
+// process assembles LLabels(p)^n after receiving n-1 tokens. The process
+// whose window is the Lyndon rotation elects itself and circulates
+// ⟨FINISH, id⟩.
+//
+// Cost: time ≤ 2n, messages n(n-1) + n = n², space ≈ nb bits — against
+// Ak's (2k+2)n time without any knowledge of n. Together with E9 this
+// quantifies the paper's closing observation that knowing k (plus
+// orientation) can be *more* useful than knowing n: KnownN is faster, but
+// it is unusable when n is unknown, while Ak and Bk run on the same rings
+// with no size information at all.
+type KnownNProtocol struct {
+	// N is the exact ring size, known a priori by every process.
+	N int
+	// LabelBits is b, for SpaceBits accounting.
+	LabelBits int
+}
+
+// NewKnownNProtocol returns the known-n algorithm for rings of exactly n
+// processes.
+func NewKnownNProtocol(n, labelBits int) (*KnownNProtocol, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("baseline: KnownN requires n >= 2, got %d", n)
+	}
+	if labelBits < 1 {
+		return nil, fmt.Errorf("baseline: KnownN requires labelBits >= 1, got %d", labelBits)
+	}
+	return &KnownNProtocol{N: n, LabelBits: labelBits}, nil
+}
+
+// Name implements core.Protocol.
+func (p *KnownNProtocol) Name() string { return fmt.Sprintf("KnownN(n=%d)", p.N) }
+
+// NewMachine implements core.Protocol.
+func (p *KnownNProtocol) NewMachine(id ring.Label) core.Machine {
+	m := &knownNMachine{id: id, n: p.N, labelBits: p.LabelBits}
+	return m
+}
+
+type knownNMachine struct {
+	id        ring.Label
+	n         int
+	labelBits int
+
+	str      []ring.Label // prefix of LLabels(p), up to length n
+	isLeader bool
+	done     bool
+	leader   ring.Label
+	ledSet   bool
+	halted   bool
+}
+
+// Init launches the process's own label (action N1).
+func (m *knownNMachine) Init(out *core.Outbox) string {
+	m.str = append(m.str, m.id)
+	out.Send(core.Token(m.id))
+	return "N1"
+}
+
+// decide runs once the window is complete: elect iff it is the Lyndon
+// rotation.
+func (m *knownNMachine) decide(out *core.Outbox) (string, error) {
+	if words.IsLyndon(m.str) {
+		// N3: the window is minimal among rotations — p is the true leader.
+		m.isLeader = true
+		m.leader = m.id
+		m.ledSet = true
+		m.done = true
+		out.Send(core.FinishLabel(m.id))
+		return "N3", nil
+	}
+	// N4: somebody else's window is smaller; await the announcement.
+	return "N4", nil
+}
+
+// Receive implements the single-lap collection rules.
+func (m *knownNMachine) Receive(msg core.Message, out *core.Outbox) (string, error) {
+	if m.halted {
+		return "", fmt.Errorf("KnownN: message %s delivered after halt", msg)
+	}
+	switch msg.Kind {
+	case core.KindToken:
+		if len(m.str) >= m.n {
+			return "", fmt.Errorf("KnownN: token %s after the window completed — is the configured n too small?", msg)
+		}
+		m.str = append(m.str, msg.Label)
+		if len(m.str) < m.n {
+			// N2: window incomplete; keep the token moving.
+			out.Send(core.Token(msg.Label))
+			return "N2", nil
+		}
+		// Window complete: the token has traveled its n-1 hops and dies here.
+		return m.decide(out)
+
+	case core.KindFinishLabel:
+		if m.isLeader {
+			// N6: the announcement returned; halt.
+			m.halted = true
+			return "N6", nil
+		}
+		if len(m.str) < m.n {
+			return "", fmt.Errorf("KnownN: FINISH overtook tokens (window %d/%d)", len(m.str), m.n)
+		}
+		// N5: learn the leader, relay, halt.
+		m.leader = msg.Label
+		m.ledSet = true
+		m.done = true
+		out.Send(core.FinishLabel(msg.Label))
+		m.halted = true
+		return "N5", nil
+
+	default:
+		return "", fmt.Errorf("KnownN: unexpected message %s", msg)
+	}
+}
+
+// Clone implements core.Cloner.
+func (m *knownNMachine) Clone() core.Machine {
+	cp := *m
+	cp.str = make([]ring.Label, len(m.str))
+	copy(cp.str, m.str)
+	return &cp
+}
+
+// Halted implements core.Machine.
+func (m *knownNMachine) Halted() bool { return m.halted }
+
+// Status implements core.Machine.
+func (m *knownNMachine) Status() core.Status {
+	return core.Status{IsLeader: m.isLeader, Done: m.done, Leader: m.leader, LeaderSet: m.ledSet}
+}
+
+// StateName implements core.Machine.
+func (m *knownNMachine) StateName() string {
+	switch {
+	case m.halted:
+		return "HALT"
+	case m.isLeader:
+		return "LEADER"
+	case len(m.str) >= m.n:
+		return "WAIT"
+	default:
+		return "COLLECT"
+	}
+}
+
+// SpaceBits implements core.Machine: the window (≤ n labels), id and
+// leader labels, and three flag bits.
+func (m *knownNMachine) SpaceBits() int {
+	return len(m.str)*m.labelBits + 2*m.labelBits + 3
+}
+
+// Fingerprint implements core.Machine.
+func (m *knownNMachine) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "KnownN halted=%t isLeader=%t done=%t str=", m.halted, m.isLeader, m.done)
+	for i, l := range m.str {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(l.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package baseline_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+func knownNFor(t *testing.T, r *ring.Ring) core.Protocol {
+	t.Helper()
+	p, err := baseline.NewKnownNProtocol(r.N(), r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestKnownNValidation(t *testing.T) {
+	if _, err := baseline.NewKnownNProtocol(1, 4); err == nil {
+		t.Error("n=1 must fail")
+	}
+	if _, err := baseline.NewKnownNProtocol(3, 0); err == nil {
+		t.Error("labelBits=0 must fail")
+	}
+}
+
+func TestKnownNElectsTrueLeaderOnHomonymRings(t *testing.T) {
+	// Unlike the K1 baselines, KnownN handles homonyms — it just needs n.
+	rng := rand.New(rand.NewSource(19))
+	rings := []*ring.Ring{ring.Ring122(), ring.Figure1(), ring.Distinct(9)}
+	for i := 0; i < 20; i++ {
+		n := 6 + i
+		r, err := ring.RandomAsymmetric(rng, n, 3, max(8, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings = append(rings, r)
+	}
+	for _, r := range rings {
+		p := knownNFor(t, r)
+		res, err := sim.RunSync(r, p, sim.Options{})
+		if err != nil {
+			t.Fatalf("KnownN on %s: %v", r, err)
+		}
+		want, _ := r.TrueLeader()
+		if res.LeaderIndex != want {
+			t.Fatalf("KnownN on %s elected p%d, true leader p%d", r, res.LeaderIndex, want)
+		}
+	}
+}
+
+func TestKnownNExactCost(t *testing.T) {
+	// One lap of n tokens dying after n-1 hops plus the announcement lap:
+	// exactly n(n-1) + n = n² messages and ≤ 2n time units.
+	for _, n := range []int{2, 5, 16, 33} {
+		r := ring.Distinct(n)
+		p := knownNFor(t, r)
+		res, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Messages != n*n {
+			t.Errorf("n=%d: messages = %d, want n² = %d", n, res.Messages, n*n)
+		}
+		if res.TimeUnits > float64(2*n) {
+			t.Errorf("n=%d: time %v > 2n", n, res.TimeUnits)
+		}
+	}
+}
+
+func TestKnownNExhaustiveSmall(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		ring.AllLabelings(n, 3, func(rr *ring.Ring) bool {
+			if !rr.IsAsymmetric() {
+				return true
+			}
+			r := ring.MustNew(rr.Labels()...)
+			p := knownNFor(t, r)
+			res, err := sim.RunSync(r, p, sim.Options{})
+			if err != nil {
+				t.Fatalf("KnownN on %s: %v", r, err)
+			}
+			if want, _ := r.TrueLeader(); res.LeaderIndex != want {
+				t.Fatalf("KnownN on %s elected p%d, want p%d", r, res.LeaderIndex, want)
+			}
+			return true
+		})
+	}
+}
+
+func TestKnownNDetectsSymmetricRing(t *testing.T) {
+	// On a symmetric ring no window is a Lyndon word: the execution
+	// terminates with no leader, which the spec checker reports as a
+	// bullet 1 violation — a *detected* impossibility rather than a hang.
+	r := ring.MustNew(1, 2, 1, 2)
+	p := knownNFor(t, r)
+	_, err := sim.RunSync(r, p, sim.Options{})
+	var v *spec.Violation
+	if !errors.As(err, &v) || v.Bullet != 1 {
+		t.Fatalf("err = %v, want bullet 1 (no leader)", err)
+	}
+}
+
+func TestKnownNWrongSizeIsDetectablyWrong(t *testing.T) {
+	// KnownN is only correct under its knowledge assumption. Feeding it a
+	// wrong n makes several length-n' windows Lyndon words at once — on
+	// this ring, claimed size 2 yields Lyndon windows at p0, p2 and p4 —
+	// and the spec checker reports the duplicate leaders. This is the
+	// knowledge-assumption mirror image of experiment E2.
+	r := ring.MustNew(1, 2, 1, 2, 1, 3)
+	p, err := baseline.NewKnownNProtocol(2, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.RunSync(r, p, sim.Options{MaxActions: 10000})
+	var v *spec.Violation
+	if !errors.As(err, &v) || v.Bullet != 1 {
+		t.Fatalf("err = %v, want bullet 1 (duplicate leaders)", err)
+	}
+}
+
+func TestKnownNAgreesAcrossSchedules(t *testing.T) {
+	r := ring.Figure1()
+	p := knownNFor(t, r)
+	want, err := sim.RunSync(r, p, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		got, err := sim.RunAsync(r, p, sim.NewUniformDelay(seed, 0), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.LeaderIndex != want.LeaderIndex || got.Messages != want.Messages {
+			t.Fatalf("seed %d changed the outcome", seed)
+		}
+	}
+}

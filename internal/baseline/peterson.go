@@ -1,0 +1,168 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+// PetersonProtocol is Peterson's unidirectional leader-election algorithm
+// (1982), minimum-value variant, with O(n log n) messages in the worst
+// case. Active processes hold a temporary value (initially their label);
+// in each phase an active process compares the values of its two nearest
+// active counter-clockwise predecessors (relayed through passive
+// processes) and survives iff its predecessor's value is a local minimum,
+// adopting that value. At least half of the active processes die per
+// phase; when a value travels the whole ring back to its holder, that
+// process is the unique survivor and elects itself.
+//
+// Note: Peterson elects the process that *ends up holding* the globally
+// minimal value — a spec-correct unique leader, though not necessarily the
+// paper's Lyndon-word true leader.
+type PetersonProtocol struct {
+	// LabelBits is b, for SpaceBits accounting.
+	LabelBits int
+}
+
+// NewPetersonProtocol returns Peterson's algorithm with the given label
+// width.
+func NewPetersonProtocol(labelBits int) (*PetersonProtocol, error) {
+	if labelBits < 1 {
+		return nil, fmt.Errorf("baseline: Peterson requires labelBits >= 1, got %d", labelBits)
+	}
+	return &PetersonProtocol{LabelBits: labelBits}, nil
+}
+
+// Name implements core.Protocol.
+func (p *PetersonProtocol) Name() string { return "Peterson" }
+
+// NewMachine implements core.Protocol.
+func (p *PetersonProtocol) NewMachine(id ring.Label) core.Machine {
+	return &petersonMachine{id: id, labelBits: p.LabelBits, tid: id}
+}
+
+type petersonMachine struct {
+	id        ring.Label
+	labelBits int
+
+	tid   ring.Label // current temporary value (active processes)
+	t1    ring.Label // first value received this phase
+	await core.Kind  // KindPeterson1 or KindPeterson2: what an active process expects next
+	relay bool       // passive: forwards everything
+
+	isLeader bool
+	done     bool
+	leader   ring.Label
+	ledSet   bool
+	halted   bool
+}
+
+// Init starts phase 1 (action P1): send the temporary value.
+func (m *petersonMachine) Init(out *core.Outbox) string {
+	m.await = core.KindPeterson1
+	out.Send(core.Message{Kind: core.KindPeterson1, Label: m.tid})
+	return "P1"
+}
+
+// Receive implements Peterson's phase rules.
+func (m *petersonMachine) Receive(msg core.Message, out *core.Outbox) (string, error) {
+	if m.halted {
+		return "", fmt.Errorf("Peterson: message %s delivered after halt", msg)
+	}
+	switch msg.Kind {
+	case core.KindPeterson1, core.KindPeterson2:
+		if m.relay {
+			// P6: passive processes relay candidate values.
+			out.Send(msg)
+			return "P6", nil
+		}
+		if msg.Kind != m.await {
+			return "", fmt.Errorf("Peterson: active process expected %s, got %s", m.await, msg)
+		}
+		if msg.Kind == core.KindPeterson1 {
+			if msg.Label == m.tid {
+				// P4: own value completed a full circle — sole survivor.
+				m.isLeader = true
+				m.leader = m.id
+				m.ledSet = true
+				m.done = true
+				out.Send(core.FinishLabel(m.id))
+				return "P4", nil
+			}
+			// P2: remember the nearest active predecessor's value and
+			// probe for the second-nearest.
+			m.t1 = msg.Label
+			m.await = core.KindPeterson2
+			out.Send(core.Message{Kind: core.KindPeterson2, Label: m.t1})
+			return "P2", nil
+		}
+		// KindPeterson2: end of phase.
+		t2 := msg.Label
+		if m.t1 < m.tid && m.t1 < t2 {
+			// P3: predecessor's value is a local minimum — survive with it.
+			m.tid = m.t1
+			m.await = core.KindPeterson1
+			out.Send(core.Message{Kind: core.KindPeterson1, Label: m.tid})
+			return "P3", nil
+		}
+		// P5: not a local minimum — become a relay.
+		m.relay = true
+		return "P5", nil
+
+	case core.KindFinishLabel:
+		if m.isLeader {
+			// P8: announcement returned; halt.
+			m.halted = true
+			return "P8", nil
+		}
+		// P7: learn the leader, relay, halt.
+		m.leader = msg.Label
+		m.ledSet = true
+		m.done = true
+		out.Send(core.FinishLabel(msg.Label))
+		m.halted = true
+		return "P7", nil
+
+	default:
+		return "", fmt.Errorf("Peterson: unexpected message %s", msg)
+	}
+}
+
+// Clone implements core.Cloner: petersonMachine holds only value fields.
+func (m *petersonMachine) Clone() core.Machine {
+	cp := *m
+	return &cp
+}
+
+// Halted implements core.Machine.
+func (m *petersonMachine) Halted() bool { return m.halted }
+
+// Status implements core.Machine.
+func (m *petersonMachine) Status() core.Status {
+	return core.Status{IsLeader: m.isLeader, Done: m.done, Leader: m.leader, LeaderSet: m.ledSet}
+}
+
+// StateName implements core.Machine.
+func (m *petersonMachine) StateName() string {
+	switch {
+	case m.halted:
+		return "HALT"
+	case m.isLeader:
+		return "LEADER"
+	case m.relay:
+		return "RELAY"
+	default:
+		return "ACTIVE"
+	}
+}
+
+// SpaceBits implements core.Machine: four labels (id, tid, t1, leader)
+// plus five bits of flags and expectation state.
+func (m *petersonMachine) SpaceBits() int { return 4*m.labelBits + 5 }
+
+// Fingerprint implements core.Machine.
+func (m *petersonMachine) Fingerprint() string {
+	return fmt.Sprintf("Peterson id=%s tid=%s state=%s await=%s isLeader=%t done=%t",
+		m.id, m.tid, m.StateName(), m.await, m.isLeader, m.done)
+}

@@ -1,0 +1,215 @@
+// Package boundedn reproduces the knowledge model of Dobrev and Pelc
+// ("Leader election in rings with nonunique labels", reference [4] of the
+// paper): processes know a lower bound m and an upper bound M on the
+// unknown ring size n, and must *decide whether leader election is
+// possible* for their knowledge — electing when it is, unanimously
+// reporting impossibility when it is not.
+//
+// The decision structure: after collecting a window of 2M consecutive
+// counter-clockwise labels (which always covers the ring at least twice),
+// every process knows the cyclic label sequence up to rotation and its
+// smallest cyclic period d. The true size n is some multiple of d in
+// [m, M]; any two such multiples are observationally indistinguishable,
+// and every multiple jd with j ≥ 2 names a ring with a non-trivial
+// rotational symmetry, on which election is impossible (Angluin). Hence
+// election is possible exactly when d is the *only* multiple of d in
+// [m, M]; then n = d, the ring is asymmetric, and each process decides
+// locally — no announcement lap is needed, because the complete window
+// already identifies the Lyndon position and label.
+//
+// This makes the paper's comparison claim executable (experiment E12):
+// the ring 1 2 2 with m=2, M=8 is *impossible* in this model — the
+// observer cannot exclude 1 2 2 1 2 2 — while the paper's algorithms,
+// knowing the multiplicity bound k=2 instead, elect on it.
+package boundedn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/words"
+)
+
+// Verdict is a process's terminal decision.
+type Verdict uint8
+
+const (
+	// VerdictUndecided means the window is still growing.
+	VerdictUndecided Verdict = iota
+	// VerdictElected means election was possible and completed.
+	VerdictElected
+	// VerdictImpossible means the knowledge (m, M) cannot exclude a
+	// symmetric interpretation: no algorithm can elect.
+	VerdictImpossible
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictUndecided:
+		return "undecided"
+	case VerdictElected:
+		return "elected"
+	case VerdictImpossible:
+		return "impossible"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// Decider exposes the decision of a bounded-n machine.
+type Decider interface {
+	Verdict() Verdict
+}
+
+// Protocol is the bounded-n decision protocol.
+type Protocol struct {
+	// M and Mlow are the known bounds: Mlow ≤ n ≤ M.
+	M, Mlow int
+	// LabelBits is b, for SpaceBits accounting.
+	LabelBits int
+}
+
+// NewProtocol returns the bounded-n protocol for 2 ≤ m ≤ M.
+func NewProtocol(m, M, labelBits int) (*Protocol, error) {
+	if m < 2 || M < m {
+		return nil, fmt.Errorf("boundedn: need 2 <= m <= M, got m=%d M=%d", m, M)
+	}
+	if labelBits < 1 {
+		return nil, fmt.Errorf("boundedn: need labelBits >= 1, got %d", labelBits)
+	}
+	return &Protocol{M: M, Mlow: m, LabelBits: labelBits}, nil
+}
+
+// Name implements core.Protocol.
+func (p *Protocol) Name() string { return fmt.Sprintf("BoundedN(m=%d,M=%d)", p.Mlow, p.M) }
+
+// NewMachine implements core.Protocol.
+func (p *Protocol) NewMachine(id ring.Label) core.Machine {
+	return &machine{id: id, m: p.Mlow, bigM: p.M, labelBits: p.LabelBits}
+}
+
+type machine struct {
+	id        ring.Label
+	m, bigM   int
+	labelBits int
+
+	str      []ring.Label
+	verdict  Verdict
+	isLeader bool
+	done     bool
+	leader   ring.Label
+	ledSet   bool
+	halted   bool
+}
+
+// windowLen is the collection target: 2M labels always cover the ring at
+// least twice, pinning the cyclic period.
+func (mc *machine) windowLen() int { return 2 * mc.bigM }
+
+// Init launches the process's own label (action D1).
+func (mc *machine) Init(out *core.Outbox) string {
+	mc.str = append(mc.str, mc.id)
+	out.Send(core.Token(mc.id))
+	return "D1"
+}
+
+// decide runs once the window is complete.
+func (mc *machine) decide() string {
+	d := words.SmallestPeriod(mc.str)
+	// Candidate sizes: multiples of d within [m, M]. The observed window is
+	// identical under every candidate, so election is possible only when
+	// the candidate is unique and equals d itself (asymmetric ring of
+	// size d); a candidate jd, j ≥ 2, names a ring with rotational
+	// symmetry d.
+	first := ((mc.m + d - 1) / d) * d // smallest multiple of d ≥ m
+	unique := first <= mc.bigM && first+d > mc.bigM
+	if !unique || first != d {
+		mc.verdict = VerdictImpossible
+		mc.halted = true
+		return "D3"
+	}
+	window := mc.str[:d]
+	lw, _ := words.LyndonRotation(window) // window is primitive: smallest period d = len
+	mc.leader = lw[0]
+	mc.ledSet = true
+	mc.done = true
+	mc.isLeader = words.IsLyndon(window)
+	mc.verdict = VerdictElected
+	mc.halted = true
+	if mc.isLeader {
+		return "D4"
+	}
+	return "D5"
+}
+
+// Receive collects the window, forwarding tokens that have not yet
+// traveled their 2M-1 hops.
+func (mc *machine) Receive(msg core.Message, out *core.Outbox) (string, error) {
+	if mc.halted {
+		return "", fmt.Errorf("BoundedN: message %s delivered after halt", msg)
+	}
+	if msg.Kind != core.KindToken {
+		return "", fmt.Errorf("BoundedN: unexpected message %s", msg)
+	}
+	if len(mc.str) >= mc.windowLen() {
+		return "", fmt.Errorf("BoundedN: token after window completed")
+	}
+	mc.str = append(mc.str, msg.Label)
+	if len(mc.str) < mc.windowLen() {
+		out.Send(core.Token(msg.Label))
+		return "D2", nil
+	}
+	return mc.decide(), nil
+}
+
+// Verdict implements Decider.
+func (mc *machine) Verdict() Verdict { return mc.verdict }
+
+// Clone implements core.Cloner.
+func (mc *machine) Clone() core.Machine {
+	cp := *mc
+	cp.str = make([]ring.Label, len(mc.str))
+	copy(cp.str, mc.str)
+	return &cp
+}
+
+// Halted implements core.Machine.
+func (mc *machine) Halted() bool { return mc.halted }
+
+// Status implements core.Machine.
+func (mc *machine) Status() core.Status {
+	return core.Status{IsLeader: mc.isLeader, Done: mc.done, Leader: mc.leader, LeaderSet: mc.ledSet}
+}
+
+// StateName implements core.Machine.
+func (mc *machine) StateName() string {
+	switch {
+	case mc.halted && mc.verdict == VerdictImpossible:
+		return "IMPOSSIBLE"
+	case mc.halted:
+		return "HALT"
+	default:
+		return "COLLECT"
+	}
+}
+
+// SpaceBits implements core.Machine.
+func (mc *machine) SpaceBits() int {
+	return len(mc.str)*mc.labelBits + 2*mc.labelBits + 3
+}
+
+// Fingerprint implements core.Machine.
+func (mc *machine) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BoundedN verdict=%s halted=%t str=", mc.verdict, mc.halted)
+	for i, l := range mc.str {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(l.String())
+	}
+	return b.String()
+}

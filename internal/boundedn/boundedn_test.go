@@ -1,0 +1,175 @@
+package boundedn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/boundedn"
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := boundedn.NewProtocol(1, 5, 4); err == nil {
+		t.Error("m=1 must fail")
+	}
+	if _, err := boundedn.NewProtocol(5, 4, 4); err == nil {
+		t.Error("m > M must fail")
+	}
+	if _, err := boundedn.NewProtocol(2, 5, 0); err == nil {
+		t.Error("labelBits=0 must fail")
+	}
+	if _, err := boundedn.Expected(ring.Ring122(), 4, 8); err == nil {
+		t.Error("n outside bounds must fail")
+	}
+}
+
+func TestPaperClaimRing122(t *testing.T) {
+	r := ring.Ring122()
+	// Loose bounds: 1 2 2 1 2 2 (size 6, symmetric) cannot be excluded.
+	res, err := boundedn.Run(r, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != boundedn.VerdictImpossible {
+		t.Fatalf("m=2 M=8 on %s: verdict %s, want impossible (paper's claim about [4]'s model)", r, res.Verdict)
+	}
+	// Tight bounds M < 2n: the symmetric double is excluded; election works.
+	res, err = boundedn.Run(r, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != boundedn.VerdictElected || res.LeaderIndex != 0 {
+		t.Fatalf("m=2 M=5 on %s: verdict %s leader p%d, want elected p0", r, res.Verdict, res.LeaderIndex)
+	}
+}
+
+func TestDistinctLabelsStillAmbiguousWithWideBounds(t *testing.T) {
+	// Even a fully distinct labeling is impossible in this model when M
+	// admits the doubled ring: 1 2 3 4 vs 1 2 3 4 1 2 3 4.
+	r := ring.Distinct(4)
+	res, err := boundedn.Run(r, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != boundedn.VerdictImpossible {
+		t.Fatalf("verdict %s, want impossible", res.Verdict)
+	}
+	res, err = boundedn.Run(r, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != boundedn.VerdictElected || res.LeaderIndex != 0 {
+		t.Fatalf("M=7: verdict %s leader p%d, want elected p0", res.Verdict, res.LeaderIndex)
+	}
+}
+
+func TestSymmetricRingAlwaysImpossible(t *testing.T) {
+	r := ring.MustNew(1, 2, 1, 2)
+	res, err := boundedn.Run(r, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != boundedn.VerdictImpossible {
+		t.Fatalf("symmetric ring: verdict %s, want impossible", res.Verdict)
+	}
+}
+
+// TestMatchesGroundTruth cross-checks the distributed decision against the
+// direct computation on random rings and random valid bounds.
+func TestMatchesGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	elected, impossible := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(10)
+		var r *ring.Ring
+		var err error
+		if trial%3 == 0 {
+			r = ring.Distinct(n)
+		} else {
+			r, err = ring.RandomAsymmetric(rng, n, 3, max(4, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		m := 2 + rng.Intn(n-1) // 2 ≤ m ≤ n
+		M := n + rng.Intn(n+4) // n ≤ M
+		want, err := boundedn.Expected(r, m, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := boundedn.Run(r, m, M)
+		if err != nil {
+			t.Fatalf("ring %s m=%d M=%d: %v", r, m, M, err)
+		}
+		if res.Verdict != want {
+			t.Fatalf("ring %s m=%d M=%d: verdict %s, ground truth %s", r, m, M, res.Verdict, want)
+		}
+		switch res.Verdict {
+		case boundedn.VerdictElected:
+			elected++
+		case boundedn.VerdictImpossible:
+			impossible++
+		}
+	}
+	if elected == 0 || impossible == 0 {
+		t.Fatalf("weak test: %d elected, %d impossible — both verdicts must be exercised", elected, impossible)
+	}
+}
+
+// TestExactCost pins the message count: n tokens each traveling 2M-1 hops.
+func TestExactCost(t *testing.T) {
+	r := ring.Distinct(5)
+	res, err := boundedn.Run(r, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5 * (2*7 - 1); res.Messages != want {
+		t.Errorf("messages = %d, want n(2M-1) = %d", res.Messages, want)
+	}
+	if res.TimeUnits > float64(2*7) {
+		t.Errorf("time %v > 2M", res.TimeUnits)
+	}
+}
+
+func TestMachineSurface(t *testing.T) {
+	p, err := boundedn.NewProtocol(2, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "BoundedN(m=2,M=4)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	m := p.NewMachine(7)
+	fp1 := m.Fingerprint()
+	var out core.Outbox
+	if m.Init(&out) != "D1" {
+		t.Error("Init must be action D1")
+	}
+	if m.Fingerprint() == fp1 {
+		t.Error("Init must change the fingerprint")
+	}
+	if m.StateName() != "COLLECT" {
+		t.Errorf("state = %q", m.StateName())
+	}
+	if m.SpaceBits() <= 0 {
+		t.Error("SpaceBits must be positive")
+	}
+	out.Drain()
+	if _, err := m.Receive(core.Finish(), &out); err == nil {
+		t.Error("BoundedN must reject non-token messages")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	names := map[boundedn.Verdict]string{
+		boundedn.VerdictUndecided:  "undecided",
+		boundedn.VerdictElected:    "elected",
+		boundedn.VerdictImpossible: "impossible",
+	}
+	for v, want := range names {
+		if v.String() != want {
+			t.Errorf("%d = %q, want %q", v, v.String(), want)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package boundedn_test
+
+import (
+	"fmt"
+
+	"repro/internal/boundedn"
+	"repro/internal/ring"
+)
+
+// The paper's comparison ring: with size bounds instead of a multiplicity
+// bound, [1 2 2] cannot be told apart from [1 2 2 1 2 2] once M ≥ 6, so
+// the Dobrev–Pelc-model protocol must report impossibility — while the
+// paper's Ak elects on the same ring knowing only k = 2.
+func ExampleRun() {
+	r := ring.Ring122()
+	loose, err := boundedn.Run(r, 2, 8)
+	if err != nil {
+		panic(err)
+	}
+	tight, err := boundedn.Run(r, 2, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bounds [2,8]: %s\n", loose.Verdict)
+	fmt.Printf("bounds [2,5]: %s (p%d)\n", tight.Verdict, tight.LeaderIndex)
+	// Output:
+	// bounds [2,8]: impossible
+	// bounds [2,5]: elected (p0)
+}

@@ -1,0 +1,128 @@
+package boundedn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/words"
+)
+
+// Result is the validated outcome of a bounded-n run.
+type Result struct {
+	// Verdict is the unanimous decision.
+	Verdict Verdict
+	// LeaderIndex is the elected process (VerdictElected only; -1
+	// otherwise).
+	LeaderIndex int
+	// Messages and TimeUnits are the run costs (unit-delay measure).
+	Messages  int
+	TimeUnits float64
+}
+
+// Expected computes the ground-truth verdict for r under bounds (m, M)
+// directly from the ring: election is possible iff the smallest cyclic
+// period d of the labeling is the only multiple of d in [m, M] (which
+// forces n = d and asymmetry). It errors when n violates the bounds,
+// which would make the processes' knowledge false.
+func Expected(r *ring.Ring, m, M int) (Verdict, error) {
+	n := r.N()
+	if n < m || n > M {
+		return VerdictUndecided, fmt.Errorf("boundedn: n=%d outside claimed bounds [%d, %d]", n, m, M)
+	}
+	labels := r.Labels()
+	// Smallest cyclic period: smallest divisor-like shift; equivalently the
+	// smallest period of the doubled sequence.
+	doubled := append(append([]ring.Label{}, labels...), labels...)
+	d := words.SmallestPeriod(doubled)
+	first := ((m + d - 1) / d) * d
+	if first == d && first+d > M {
+		return VerdictElected, nil
+	}
+	return VerdictImpossible, nil
+}
+
+// Run executes the bounded-n protocol on r under unit delays and validates
+// the decision problem's specification: every process halts, all verdicts
+// agree, and in the elected case exactly one process leads — the true
+// leader — with every process holding its label.
+func Run(r *ring.Ring, m, M int) (*Result, error) {
+	p, err := NewProtocol(m, M, r.LabelBits())
+	if err != nil {
+		return nil, err
+	}
+	n := r.N()
+	machines := make([]core.Machine, 0, n)
+	capture := &capturingProtocol{inner: p, machines: &machines}
+	res, err := sim.RunAsync(r, capture, sim.ConstantDelay(1), sim.Options{DisableSpec: true})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{LeaderIndex: -1, Messages: res.Messages, TimeUnits: res.TimeUnits}
+
+	if len(machines) != n {
+		return nil, fmt.Errorf("boundedn: %d machines created, want %d", len(machines), n)
+	}
+	verdict := VerdictUndecided
+	leaders := 0
+	for i, mach := range machines {
+		d, ok := mach.(Decider)
+		if !ok {
+			return nil, fmt.Errorf("boundedn: machine %d is not a Decider", i)
+		}
+		v := d.Verdict()
+		if v == VerdictUndecided {
+			return nil, fmt.Errorf("boundedn: process %d halted undecided", i)
+		}
+		if verdict == VerdictUndecided {
+			verdict = v
+		} else if v != verdict {
+			return nil, fmt.Errorf("boundedn: verdicts disagree: process %d says %s, earlier %s", i, v, verdict)
+		}
+		if mach.Status().IsLeader {
+			leaders++
+			out.LeaderIndex = i
+		}
+	}
+	out.Verdict = verdict
+	switch verdict {
+	case VerdictElected:
+		if leaders != 1 {
+			return nil, fmt.Errorf("boundedn: elected verdict with %d leaders", leaders)
+		}
+		want, ok := r.TrueLeader()
+		if !ok || out.LeaderIndex != want {
+			return nil, fmt.Errorf("boundedn: elected p%d, true leader p%d", out.LeaderIndex, want)
+		}
+		leaderLabel := r.Label(want)
+		for i, mach := range machines {
+			st := mach.Status()
+			if !st.Done || !st.LeaderSet || st.Leader != leaderLabel {
+				return nil, fmt.Errorf("boundedn: process %d did not learn the leader: %+v", i, st)
+			}
+		}
+	case VerdictImpossible:
+		if leaders != 0 {
+			return nil, fmt.Errorf("boundedn: impossible verdict with %d leaders", leaders)
+		}
+	}
+	return out, nil
+}
+
+// capturingProtocol wraps a protocol to retain the machines it creates, so
+// the runner can read their verdicts after the engine finishes.
+type capturingProtocol struct {
+	inner    core.Protocol
+	machines *[]core.Machine
+}
+
+// Name implements core.Protocol.
+func (c *capturingProtocol) Name() string { return c.inner.Name() }
+
+// NewMachine implements core.Protocol.
+func (c *capturingProtocol) NewMachine(id ring.Label) core.Machine {
+	m := c.inner.NewMachine(id)
+	*c.machines = append(*c.machines, m)
+	return m
+}

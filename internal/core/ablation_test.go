@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// TestAblatedThresholds pins the E13 counterexamples: the paper's
+// thresholds elect correctly on the critical rings while the reduced ones
+// produce duplicate leaders (Ak) or break the phase structure (Bk).
+func TestAblatedThresholds(t *testing.T) {
+	t.Run("Ak k+1 copies elects two leaders on [1 1 1 2]", func(t *testing.T) {
+		r := ring.MustNew(1, 1, 1, 2)
+		k := r.MaxMultiplicity() // 3
+		p, err := core.NewAProtocol(k, r.LabelBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Threshold = k + 1
+		_, err = sim.RunSync(r, p, sim.Options{MaxActions: 100000})
+		var v *spec.Violation
+		if !errors.As(err, &v) || v.Bullet != 1 {
+			t.Fatalf("err = %v, want bullet 1 (two leaders)", err)
+		}
+	})
+
+	t.Run("Ak k+2 copies elects two leaders on [1 1 1 1 2]", func(t *testing.T) {
+		r := ring.MustNew(1, 1, 1, 1, 2)
+		k := r.MaxMultiplicity() // 4
+		p, err := core.NewAProtocol(k, r.LabelBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Threshold = k + 2
+		_, err = sim.RunSync(r, p, sim.Options{MaxActions: 100000})
+		var v *spec.Violation
+		if !errors.As(err, &v) || v.Bullet != 1 {
+			t.Fatalf("err = %v, want bullet 1 (two leaders)", err)
+		}
+	})
+
+	t.Run("paper thresholds survive the same rings", func(t *testing.T) {
+		for _, spec := range []string{"1 1 1 2", "1 1 1 1 2", "1 1 2"} {
+			r, err := ring.Parse(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := r.MaxMultiplicity()
+			pa, err := core.NewAProtocol(k, r.LabelBits())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.RunSync(r, pa, sim.Options{})
+			if err != nil {
+				t.Fatalf("Ak on %s: %v", r, err)
+			}
+			if want, _ := r.TrueLeader(); res.LeaderIndex != want {
+				t.Fatalf("Ak on %s elected p%d, want p%d", r, res.LeaderIndex, want)
+			}
+			pb, err := core.NewBProtocol(max(2, k), r.LabelBits())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sim.RunSync(r, pb, sim.Options{}); err != nil {
+				t.Fatalf("Bk on %s: %v", r, err)
+			}
+		}
+	})
+
+	t.Run("Bk outer=k-1 breaks on [1 1 2]", func(t *testing.T) {
+		r := ring.MustNew(1, 1, 2)
+		p, err := core.NewBProtocol(2, r.LabelBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.OuterThreshold = 1
+		if _, err := sim.RunSync(r, p, sim.Options{MaxActions: 100000}); err == nil {
+			t.Fatal("ablated Bk terminated correctly — threshold not tight?")
+		}
+	})
+
+	t.Run("ablated names are distinguishable", func(t *testing.T) {
+		pa, _ := core.NewAProtocol(3, 2)
+		pa.Threshold = 4
+		if pa.Name() == "Ak(k=3)" {
+			t.Error("ablated Ak must advertise its threshold")
+		}
+		pb, _ := core.NewBProtocol(3, 2)
+		pb.OuterThreshold = 2
+		if pb.Name() == "Bk(k=3)" {
+			t.Error("ablated Bk must advertise its threshold")
+		}
+	})
+}

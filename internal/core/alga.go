@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ring"
+	"repro/internal/words"
+)
+
+// AProtocol is Algorithm Ak (Table 1): process-terminating leader election
+// for A ∩ Kk. Each process broadcasts its label clockwise and accumulates
+// the labels it receives into p.string, a growing prefix of LLabels(p).
+// Once some label has been seen 2k+1 times, the string determines the ring
+// completely (Lemma 6): its smallest repeating prefix is exactly the
+// counter-clockwise label sequence, and the process whose sequence is a
+// Lyndon word elects itself (the "true leader").
+//
+// Theorem 2: time ≤ (2k+2)n, messages ≤ n²(2k+1)+n, and space ≤
+// (2k+1)nb + 2b + 3 bits per process.
+type AProtocol struct {
+	// K is the multiplicity bound k ≥ 1 known a priori by every process.
+	K int
+	// LabelBits is b, the per-label storage cost used by SpaceBits.
+	LabelBits int
+	// Threshold overrides the copies-of-a-label count that triggers the
+	// Leader(σ) evaluation. Zero means the paper's 2k+1, the smallest
+	// sound value (Lemma 6). Any smaller value is an ABLATION ONLY: the
+	// threshold-tightness experiment (E13) shows rings where it elects
+	// two leaders.
+	Threshold int
+}
+
+// NewAProtocol returns Algorithm Ak for the given multiplicity bound and
+// label width.
+func NewAProtocol(k, labelBits int) (*AProtocol, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: Ak requires k >= 1, got %d", k)
+	}
+	if labelBits < 1 {
+		return nil, fmt.Errorf("core: Ak requires labelBits >= 1, got %d", labelBits)
+	}
+	return &AProtocol{K: k, LabelBits: labelBits}, nil
+}
+
+// Name implements Protocol.
+func (p *AProtocol) Name() string {
+	if p.Threshold > 0 && p.Threshold != 2*p.K+1 {
+		return fmt.Sprintf("Ak(k=%d,thr=%d)", p.K, p.Threshold)
+	}
+	return fmt.Sprintf("Ak(k=%d)", p.K)
+}
+
+// threshold returns the effective copies rule.
+func (p *AProtocol) threshold() int {
+	if p.Threshold > 0 {
+		return p.Threshold
+	}
+	return 2*p.K + 1
+}
+
+// NewMachine implements Protocol.
+func (p *AProtocol) NewMachine(id ring.Label) Machine {
+	return &algA{id: id, k: p.K, threshold: p.threshold(), labelBits: p.LabelBits, init: true}
+}
+
+// algA is the per-process state of Ak.
+type algA struct {
+	id        ring.Label
+	k         int
+	threshold int // copies rule: 2k+1 unless ablated
+	labelBits int
+
+	// Paper variables.
+	init     bool // p.INIT
+	isLeader bool
+	done     bool
+	leader   ring.Label
+	ledSet   bool
+	halted   bool
+
+	// p.string, kept with an online KMP failure table so srp is O(1).
+	str words.Incremental[ring.Label]
+
+	// Bookkeeping for the Leader(σ) predicate: label occurrence counts and
+	// the highest count. Once maxCount reaches 2k+1 the string length
+	// exceeds 2n, so srp(σ) is pinned to the ring's n-window forever
+	// (Lemma 5/6); the Lyndon verdict is then computed once and cached.
+	counts    map[ring.Label]int
+	maxCount  int
+	decided   bool // Leader(σ) verdict cached
+	candidate bool // cached verdict
+}
+
+// leaderPredicate evaluates Leader(p.string): true iff the string contains
+// at least 2k+1 copies of some label and srp(σ) = LW(srp(σ)).
+//
+// With the paper's threshold the verdict is cached: once 2k+1 copies
+// exist the string is longer than 2n, so srp is pinned to the ring window
+// forever (Lemmas 5/6) and the Lyndon verdict cannot change. An ablated
+// (smaller) threshold loses that guarantee, so it re-evaluates on every
+// receive, exactly as Table 1 is written.
+func (a *algA) leaderPredicate() bool {
+	if a.decided {
+		return a.candidate
+	}
+	if a.maxCount < a.threshold {
+		return false
+	}
+	verdict := words.IsLyndon(a.str.SRP())
+	if a.threshold >= 2*a.k+1 {
+		a.decided = true
+		a.candidate = verdict
+	}
+	return verdict
+}
+
+// appendLabel extends p.string with x, maintaining counts and the failure
+// table.
+func (a *algA) appendLabel(x ring.Label) {
+	a.str.Append(x)
+	if a.counts == nil {
+		a.counts = make(map[ring.Label]int)
+	}
+	a.counts[x]++
+	if a.counts[x] > a.maxCount {
+		a.maxCount = a.counts[x]
+	}
+}
+
+// Init executes action A1: INIT ← false, string ← id, send ⟨id⟩.
+func (a *algA) Init(out *Outbox) string {
+	a.init = false
+	a.appendLabel(a.id)
+	out.Send(Token(a.id))
+	return "A1"
+}
+
+// Receive dispatches on the head message exactly as the guards of Table 1.
+func (a *algA) Receive(m Message, out *Outbox) (string, error) {
+	if a.init {
+		return "", fmt.Errorf("Ak: message %s delivered before A1", m)
+	}
+	if a.halted {
+		return "", fmt.Errorf("Ak: message %s delivered after halt", m)
+	}
+	switch m.Kind {
+	case KindToken:
+		if a.isLeader {
+			// A5: the leader consumes remaining tokens.
+			return "A5", nil
+		}
+		a.appendLabel(m.Label)
+		if a.leaderPredicate() {
+			// A3: elect self, start the finishing phase.
+			a.isLeader = true
+			a.leader = a.id
+			a.ledSet = true
+			a.done = true
+			out.Send(Finish())
+			return "A3", nil
+		}
+		// A2: grow the string, forward the token.
+		out.Send(Token(m.Label))
+		return "A2", nil
+
+	case KindFinish:
+		if a.isLeader {
+			// A6: ⟨FINISH⟩ came back around; halt.
+			a.halted = true
+			return "A6", nil
+		}
+		// A4: learn the leader's label from the string, forward, halt.
+		w := a.str.SRP()
+		lw, ok := words.LyndonRotation(w)
+		if !ok {
+			return "", fmt.Errorf("Ak: srp %v not primitive at A4 (string too short, len=%d)", w, a.str.Len())
+		}
+		a.leader = lw[0]
+		a.ledSet = true
+		a.done = true
+		out.Send(Finish())
+		a.halted = true
+		return "A4", nil
+
+	default:
+		return "", fmt.Errorf("Ak: unexpected message %s", m)
+	}
+}
+
+// Clone implements Cloner.
+func (a *algA) Clone() Machine {
+	cp := *a
+	cp.str = a.str.Clone()
+	if a.counts != nil {
+		cp.counts = make(map[ring.Label]int, len(a.counts))
+		for l, c := range a.counts {
+			cp.counts[l] = c
+		}
+	}
+	return &cp
+}
+
+// Halted implements Machine.
+func (a *algA) Halted() bool { return a.halted }
+
+// Status implements Machine.
+func (a *algA) Status() Status {
+	return Status{IsLeader: a.isLeader, Done: a.done, Leader: a.leader, LeaderSet: a.ledSet}
+}
+
+// StateName implements Machine.
+func (a *algA) StateName() string {
+	switch {
+	case a.init:
+		return "INIT"
+	case a.halted:
+		return "HALT"
+	case a.isLeader:
+		return "LEADER"
+	default:
+		return "GROW"
+	}
+}
+
+// SpaceBits implements Machine: |string|·b for the string, 2b for id and
+// leader, 3 bits for the booleans INIT, isLeader, done — the unit system of
+// Theorem 2.
+func (a *algA) SpaceBits() int {
+	return a.str.Len()*a.labelBits + 2*a.labelBits + 3
+}
+
+// Fingerprint implements Machine.
+func (a *algA) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ak INIT=%c halted=%c %s str=", boolBit(a.init), boolBit(a.halted), statusFingerprint(a.Status()))
+	for i, l := range a.str.Seq() {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(l.String())
+	}
+	return b.String()
+}

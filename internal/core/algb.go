@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+)
+
+// BState is a control state of Algorithm Bk (Figure 2).
+type BState uint8
+
+const (
+	BInit BState = iota
+	BCompute
+	BShift
+	BPassive
+	BWin
+	BHalt
+)
+
+// String names the state as in the paper.
+func (s BState) String() string {
+	switch s {
+	case BInit:
+		return "INIT"
+	case BCompute:
+		return "COMPUTE"
+	case BShift:
+		return "SHIFT"
+	case BPassive:
+		return "PASSIVE"
+	case BWin:
+		return "WIN"
+	case BHalt:
+		return "HALT"
+	default:
+		return fmt.Sprintf("BSTATE(%d)", uint8(s))
+	}
+}
+
+// BProtocol is Algorithm Bk (Table 2): process-terminating leader election
+// for A ∩ Kk with k ≥ 2, trading time for space against Ak. The
+// lexicographically least counter-clockwise label sequence is computed one
+// position per phase: in phase i the value LLabels(p)[i] of every
+// still-active process circulates; processes holding a non-minimal value
+// turn passive; FIFO links realize a barrier between phases via
+// ⟨PHASE_SHIFT⟩ messages that shift every guest one process to the right.
+// An active process whose guest has taken its own label k+1 times knows at
+// least n phases have elapsed, so it is the sole survivor: the true leader.
+//
+// Theorem 4: time O(k²n²), messages O(k²n²), space 2⌈log k⌉ + 3b + 5 bits
+// per process.
+type BProtocol struct {
+	// K is the multiplicity bound k ≥ 2 known a priori by every process.
+	K int
+	// LabelBits is b, the per-label storage cost used by SpaceBits.
+	LabelBits int
+	// OuterThreshold overrides the number of times p.guest must take the
+	// value p.id before the process declares victory (action B9). Zero
+	// means the paper's k+1 occurrences (i.e. B9 fires at outer = k), the
+	// smallest value guaranteeing at least n phases have elapsed. Any
+	// smaller value is an ABLATION ONLY, used by the threshold-tightness
+	// experiment (E13).
+	OuterThreshold int
+}
+
+// NewBProtocol returns Algorithm Bk for the given multiplicity bound and
+// label width. The paper defines Bk for k ≥ 2.
+func NewBProtocol(k, labelBits int) (*BProtocol, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("core: Bk requires k >= 2, got %d", k)
+	}
+	if labelBits < 1 {
+		return nil, fmt.Errorf("core: Bk requires labelBits >= 1, got %d", labelBits)
+	}
+	return &BProtocol{K: k, LabelBits: labelBits}, nil
+}
+
+// Name implements Protocol.
+func (p *BProtocol) Name() string {
+	if p.OuterThreshold > 0 && p.OuterThreshold != p.K {
+		return fmt.Sprintf("Bk(k=%d,outer=%d)", p.K, p.OuterThreshold)
+	}
+	return fmt.Sprintf("Bk(k=%d)", p.K)
+}
+
+// outerThreshold returns the effective B9 trigger.
+func (p *BProtocol) outerThreshold() int {
+	if p.OuterThreshold > 0 {
+		return p.OuterThreshold
+	}
+	return p.K
+}
+
+// NewMachine implements Protocol.
+func (p *BProtocol) NewMachine(id ring.Label) Machine {
+	return &algB{id: id, k: p.K, winAt: p.outerThreshold(), labelBits: p.LabelBits, state: BInit}
+}
+
+// algB is the per-process state of Bk.
+type algB struct {
+	id        ring.Label
+	k         int
+	winAt     int // B9 fires when outer reaches this (k unless ablated)
+	labelBits int
+
+	// Paper variables.
+	state    BState
+	guest    ring.Label
+	inner    int // counts sightings of guest within the current phase
+	outer    int // counts phases in which guest == id
+	isLeader bool
+	done     bool
+	leader   ring.Label
+	ledSet   bool
+	halted   bool
+
+	// phase counts assignments to guest (Appendix A numbering); used only
+	// by the trace layer to reconstruct Figure 1, not by the algorithm.
+	phase int
+}
+
+// Init executes action B1: enter COMPUTE, adopt own label as guest, start
+// phase 1, send ⟨guest⟩.
+func (b *algB) Init(out *Outbox) string {
+	b.state = BCompute
+	b.guest = b.id
+	b.phase = 1
+	b.inner = 1
+	b.outer = 1
+	out.Send(Token(b.guest))
+	return "B1"
+}
+
+// Receive dispatches on the head message exactly as the guards of Table 2.
+func (b *algB) Receive(m Message, out *Outbox) (string, error) {
+	if b.halted {
+		return "", fmt.Errorf("Bk: message %s delivered after halt", m)
+	}
+	switch m.Kind {
+	case KindToken:
+		x := m.Label
+		switch b.state {
+		case BCompute:
+			switch {
+			case x > b.guest:
+				// B2: a larger value cannot be the minimum; discard.
+				return "B2", nil
+			case x == b.guest && b.inner < b.k:
+				// B3: count a sighting of the guest and forward.
+				b.inner++
+				out.Send(Token(x))
+				return "B3", nil
+			case x < b.guest:
+				// B4: some active process holds a smaller value; become
+				// passive but forward the evidence.
+				b.state = BPassive
+				out.Send(Token(x))
+				return "B4", nil
+			default: // x == b.guest && b.inner == b.k
+				// B5: the guest has been seen k+1 times in this phase —
+				// every other active process has been considered. End the
+				// phase.
+				b.state = BShift
+				out.Send(PhaseShift(b.guest))
+				return "B5", nil
+			}
+		case BPassive:
+			// B7: passive processes relay.
+			out.Send(Token(x))
+			return "B7", nil
+		default:
+			// Lemma 11: a process in SHIFT never has a ⟨x⟩ at the head of
+			// its link.
+			return "", fmt.Errorf("Bk: token %s in state %s violates Lemma 11", m, b.state)
+		}
+
+	case KindPhaseShift:
+		x := m.Label
+		switch b.state {
+		case BShift:
+			if x == b.id && b.outer == b.winAt {
+				// B9: guest is about to take the value id for the (k+1)-th
+				// time, so at least n phases have elapsed and p is the sole
+				// active process: the true leader.
+				b.state = BWin
+				b.isLeader = true
+				b.leader = b.id
+				b.ledSet = true
+				b.guest = b.id
+				b.phase++
+				out.Send(FinishLabel(b.id))
+				return "B9", nil
+			}
+			// B6: enter the next phase with the shifted guest.
+			b.state = BCompute
+			if x == b.id {
+				b.outer++
+			}
+			b.guest = x
+			b.phase++
+			b.inner = 1
+			out.Send(Token(b.guest))
+			return "B6", nil
+		case BPassive:
+			// B8: relay the phase shift, adopting the shifted guest.
+			out.Send(PhaseShift(b.guest))
+			b.guest = x
+			b.phase++
+			return "B8", nil
+		default:
+			return "", fmt.Errorf("Bk: %s in state %s violates Lemma 11", m, b.state)
+		}
+
+	case KindFinishLabel:
+		x := m.Label
+		switch b.state {
+		case BPassive:
+			// B10: learn the leader, relay, halt.
+			b.state = BHalt
+			out.Send(FinishLabel(x))
+			b.leader = x
+			b.ledSet = true
+			b.done = true
+			b.halted = true
+			return "B10", nil
+		case BWin:
+			// B11: the announcement came back around; halt.
+			b.state = BHalt
+			b.done = true
+			b.halted = true
+			return "B11", nil
+		default:
+			return "", fmt.Errorf("Bk: %s in state %s has no enabled action", m, b.state)
+		}
+
+	default:
+		return "", fmt.Errorf("Bk: unexpected message %s", m)
+	}
+}
+
+// Clone implements Cloner: algB holds only value fields.
+func (b *algB) Clone() Machine {
+	cp := *b
+	return &cp
+}
+
+// Halted implements Machine.
+func (b *algB) Halted() bool { return b.halted }
+
+// Status implements Machine.
+func (b *algB) Status() Status {
+	return Status{IsLeader: b.isLeader, Done: b.done, Leader: b.leader, LeaderSet: b.ledSet}
+}
+
+// StateName implements Machine.
+func (b *algB) StateName() string { return b.state.String() }
+
+// SpaceBits implements Machine: the two counters (bounded by k), three
+// labels (id, guest, leader) and 5 bits of control state — the exact
+// 2⌈log k⌉ + 3b + 5 of Theorem 4.
+func (b *algB) SpaceBits() int {
+	return 2*ceilLog2(b.k) + 3*b.labelBits + 5
+}
+
+// Fingerprint implements Machine.
+func (b *algB) Fingerprint() string {
+	return fmt.Sprintf("Bk state=%s guest=%s inner=%d outer=%d phase=%d halted=%c %s",
+		b.state, b.guest, b.inner, b.outer, b.phase, boolBit(b.halted), statusFingerprint(b.Status()))
+}
+
+// Phase implements PhaseReporter.
+func (b *algB) Phase() int { return b.phase }
+
+// Guest implements PhaseReporter.
+func (b *algB) Guest() ring.Label { return b.guest }
+
+// Active implements PhaseReporter: competing states per Figure 1's coloring
+// (white = still a candidate at the start of its phase).
+func (b *algB) Active() bool {
+	switch b.state {
+	case BInit, BCompute, BShift, BWin:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ring"
+	"repro/internal/words"
+)
+
+// StarProtocol is A*: a string-growth election like Ak but with a sharper
+// termination test based on the Fine–Wilf periodicity theorem, occupying
+// the ≈(k+2)n-time / O(knb)-space trade-off point of the authors' SSS 2016
+// algorithm for U* ∩ Kk (which this paper cites as its time-optimality
+// anchor; see DESIGN.md §3). Unlike that algorithm, A* needs no unique
+// label: it is correct on all of A ∩ Kk.
+//
+// Termination test. Let σ = p.string (a prefix of LLabels(p)), d the
+// smallest period of σ, and suppose some label has k+1 occurrences in σ,
+// the (k+1)-th at position q. Since every window of n consecutive labels
+// holds at most k copies (class Kk), q ≥ n+1, so P := q-1 ≥ n. If
+// |σ| ≥ d + P then |σ| ≥ d + n - gcd(d,n), so by Fine–Wilf gcd(d, n) is a
+// period of σ; σ covers a full ring window (|σ| > n), hence gcd(d, n)
+// would be a rotational symmetry of the ring — asymmetry forces
+// gcd(d, n) = n, i.e. d = n. The process then knows the ring exactly and
+// elects itself iff σ_d is a Lyndon word.
+//
+// On a ring of distinct labels this triggers at |σ| ≈ (k+1)n instead of
+// Ak's 2kn+1, giving total time ≈ (k+2)n versus (2k+2)n.
+type StarProtocol struct {
+	// K is the multiplicity bound k ≥ 1 known a priori by every process.
+	K int
+	// LabelBits is b, the per-label storage cost used by SpaceBits.
+	LabelBits int
+}
+
+// NewStarProtocol returns A* for the given multiplicity bound and label
+// width.
+func NewStarProtocol(k, labelBits int) (*StarProtocol, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: A* requires k >= 1, got %d", k)
+	}
+	if labelBits < 1 {
+		return nil, fmt.Errorf("core: A* requires labelBits >= 1, got %d", labelBits)
+	}
+	return &StarProtocol{K: k, LabelBits: labelBits}, nil
+}
+
+// Name implements Protocol.
+func (p *StarProtocol) Name() string { return fmt.Sprintf("A*(k=%d)", p.K) }
+
+// NewMachine implements Protocol.
+func (p *StarProtocol) NewMachine(id ring.Label) Machine {
+	return &algStar{id: id, k: p.K, labelBits: p.LabelBits, init: true, certP: -1}
+}
+
+// algStar is the per-process state of A*.
+type algStar struct {
+	id        ring.Label
+	k         int
+	labelBits int
+
+	init     bool
+	isLeader bool
+	done     bool
+	leader   ring.Label
+	ledSet   bool
+	halted   bool
+
+	str    words.Incremental[ring.Label]
+	counts map[ring.Label]int
+	// certP is P = q-1 where q is the position (1-based) at which some
+	// label first reached k+1 occurrences; -1 until that happens. It
+	// certifies n ≤ P.
+	certP int
+
+	decided   bool
+	candidate bool
+}
+
+// leaderPredicate evaluates the A* termination test on the current string.
+func (s *algStar) leaderPredicate() bool {
+	if s.decided {
+		return s.candidate
+	}
+	if s.certP < 0 {
+		return false
+	}
+	d := s.str.SmallestPeriod()
+	if s.str.Len() < d+s.certP {
+		return false
+	}
+	// d = n is now certain; the verdict is final either way.
+	s.decided = true
+	s.candidate = words.IsLyndon(s.str.Seq()[:d])
+	return s.candidate
+}
+
+// appendLabel extends p.string with x, maintaining counts and the k+1
+// certificate.
+func (s *algStar) appendLabel(x ring.Label) {
+	s.str.Append(x)
+	if s.counts == nil {
+		s.counts = make(map[ring.Label]int)
+	}
+	s.counts[x]++
+	if s.certP < 0 && s.counts[x] == s.k+1 {
+		s.certP = s.str.Len() - 1
+	}
+}
+
+// Init executes action S1 (the A1 analogue).
+func (s *algStar) Init(out *Outbox) string {
+	s.init = false
+	s.appendLabel(s.id)
+	out.Send(Token(s.id))
+	return "S1"
+}
+
+// Receive mirrors Table 1's dispatch with the A* termination test.
+func (s *algStar) Receive(m Message, out *Outbox) (string, error) {
+	if s.init {
+		return "", fmt.Errorf("A*: message %s delivered before S1", m)
+	}
+	if s.halted {
+		return "", fmt.Errorf("A*: message %s delivered after halt", m)
+	}
+	switch m.Kind {
+	case KindToken:
+		if s.isLeader {
+			return "S5", nil // consume, as A5
+		}
+		s.appendLabel(m.Label)
+		if s.leaderPredicate() {
+			s.isLeader = true
+			s.leader = s.id
+			s.ledSet = true
+			s.done = true
+			out.Send(Finish())
+			return "S3", nil
+		}
+		out.Send(Token(m.Label))
+		return "S2", nil
+
+	case KindFinish:
+		if s.isLeader {
+			s.halted = true
+			return "S6", nil
+		}
+		// As in A4: when ⟨FINISH⟩ arrives the string has length ≥ 2n-1 (the
+		// leader decided at length d+P ≥ 2n and FIFO delivered all tokens it
+		// forwarded first), so srp(σ) is the ring window by Fine–Wilf.
+		w := s.str.SRP()
+		lw, ok := words.LyndonRotation(w)
+		if !ok {
+			return "", fmt.Errorf("A*: srp %v not primitive at S4 (string too short, len=%d)", w, s.str.Len())
+		}
+		s.leader = lw[0]
+		s.ledSet = true
+		s.done = true
+		out.Send(Finish())
+		s.halted = true
+		return "S4", nil
+
+	default:
+		return "", fmt.Errorf("A*: unexpected message %s", m)
+	}
+}
+
+// Clone implements Cloner.
+func (s *algStar) Clone() Machine {
+	cp := *s
+	cp.str = s.str.Clone()
+	if s.counts != nil {
+		cp.counts = make(map[ring.Label]int, len(s.counts))
+		for l, c := range s.counts {
+			cp.counts[l] = c
+		}
+	}
+	return &cp
+}
+
+// Halted implements Machine.
+func (s *algStar) Halted() bool { return s.halted }
+
+// Status implements Machine.
+func (s *algStar) Status() Status {
+	return Status{IsLeader: s.isLeader, Done: s.done, Leader: s.leader, LeaderSet: s.ledSet}
+}
+
+// StateName implements Machine.
+func (s *algStar) StateName() string {
+	switch {
+	case s.init:
+		return "INIT"
+	case s.halted:
+		return "HALT"
+	case s.isLeader:
+		return "LEADER"
+	default:
+		return "GROW"
+	}
+}
+
+// SpaceBits implements Machine, with the same unit system as Ak plus the
+// ⌈log(kn)⌉-ish certificate position, accounted as one machine word of
+// log-scale state; we charge it at labelBits for comparability.
+func (s *algStar) SpaceBits() int {
+	return s.str.Len()*s.labelBits + 2*s.labelBits + 3 + s.labelBits
+}
+
+// Fingerprint implements Machine.
+func (s *algStar) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A* INIT=%c halted=%c certP=%d %s str=", boolBit(s.init), boolBit(s.halted), s.certP, statusFingerprint(s.Status()))
+	for i, l := range s.str.Seq() {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(l.String())
+	}
+	return b.String()
+}

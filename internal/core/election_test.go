@@ -1,0 +1,438 @@
+// Package core_test drives the algorithms through the engines (sim,
+// gorun), which the in-package tests cannot import without a cycle.
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// electSync runs p's synchronous execution on r and fails the test on any
+// engine or specification error.
+func electSync(t *testing.T, r *ring.Ring, p core.Protocol) *sim.Result {
+	t.Helper()
+	res, err := sim.RunSync(r, p, sim.Options{})
+	if err != nil {
+		t.Fatalf("%s on %s: %v", p.Name(), r, err)
+	}
+	return res
+}
+
+// checkTrueLeader asserts the run elected the ring's true leader and that
+// every process learned its label.
+func checkTrueLeader(t *testing.T, r *ring.Ring, p core.Protocol, res *sim.Result) {
+	t.Helper()
+	want, ok := r.TrueLeader()
+	if !ok {
+		t.Fatalf("ring %s has no true leader", r)
+	}
+	if res.LeaderIndex != want {
+		t.Fatalf("%s on %s elected p%d, true leader is p%d", p.Name(), r, res.LeaderIndex, want)
+	}
+	for i, st := range res.Statuses {
+		if !st.Done || !st.LeaderSet || st.Leader != r.Label(want) {
+			t.Fatalf("%s on %s: process %d status %+v, want leader label %s", p.Name(), r, i, st, r.Label(want))
+		}
+	}
+}
+
+func protoFor(t *testing.T, alg string, k int, r *ring.Ring) core.Protocol {
+	t.Helper()
+	var p core.Protocol
+	var err error
+	switch alg {
+	case "A":
+		p, err = core.NewAProtocol(k, r.LabelBits())
+	case "B":
+		p, err = core.NewBProtocol(k, r.LabelBits())
+	case "S":
+		p, err = core.NewStarProtocol(k, r.LabelBits())
+	default:
+		t.Fatalf("unknown alg %q", alg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProtocolValidation(t *testing.T) {
+	if _, err := core.NewAProtocol(0, 4); err == nil {
+		t.Error("Ak with k=0 must fail")
+	}
+	if _, err := core.NewAProtocol(1, 0); err == nil {
+		t.Error("Ak with labelBits=0 must fail")
+	}
+	if _, err := core.NewBProtocol(1, 4); err == nil {
+		t.Error("Bk with k=1 must fail (paper defines Bk for k >= 2)")
+	}
+	if _, err := core.NewBProtocol(2, 0); err == nil {
+		t.Error("Bk with labelBits=0 must fail")
+	}
+	if _, err := core.NewStarProtocol(0, 4); err == nil {
+		t.Error("A* with k=0 must fail")
+	}
+	if _, err := core.NewStarProtocol(1, 0); err == nil {
+		t.Error("A* with labelBits=0 must fail")
+	}
+	a, _ := core.NewAProtocol(3, 4)
+	if a.Name() != "Ak(k=3)" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	b, _ := core.NewBProtocol(2, 4)
+	if b.Name() != "Bk(k=2)" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	s, _ := core.NewStarProtocol(2, 4)
+	if s.Name() != "A*(k=2)" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestElectKnownRings(t *testing.T) {
+	cases := []struct {
+		spec string
+		k    int
+	}{
+		{"1 2", 1},
+		{"2 1", 1},
+		{"1 2 2", 2},
+		{"2 1 2", 2},
+		{"1 3 1 3 2 2 1 2", 3},
+		{"5 4 3 2 1", 1},
+		{"1 1 2 2 3 3", 2},
+		{"7 3 7 3 7 5", 3},
+	}
+	for _, c := range cases {
+		r, err := ring.Parse(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []string{"A", "S"} {
+			p := protoFor(t, alg, c.k, r)
+			checkTrueLeader(t, r, p, electSync(t, r, p))
+		}
+		kb := max(2, c.k)
+		p := protoFor(t, "B", kb, r)
+		checkTrueLeader(t, r, p, electSync(t, r, p))
+	}
+}
+
+// TestElectExhaustiveSmallRings is the small-model check: every asymmetric
+// labeling of rings with n ≤ 6 over a 3-label alphabet elects its true
+// leader under all three algorithms, with k equal to the exact maximum
+// multiplicity and with a slack bound k+1.
+func TestElectExhaustiveSmallRings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check skipped in -short mode")
+	}
+	// One representative per rotation class suffices: rotation
+	// equivariance (TestRotationEquivariance) transfers the result to the
+	// other n-1 rotations.
+	checked := 0
+	for n := 2; n <= 7; n++ {
+		ring.AllAsymmetricNecklaces(n, 3, func(rr *ring.Ring) bool {
+			r := ring.MustNew(rr.Labels()...) // the enumerator reuses its buffer
+			m := r.MaxMultiplicity()
+			for _, k := range []int{m, m + 1} {
+				for _, alg := range []string{"A", "S"} {
+					p := protoFor(t, alg, k, r)
+					checkTrueLeader(t, r, p, electSync(t, r, p))
+				}
+				kb := max(2, k)
+				p := protoFor(t, "B", kb, r)
+				checkTrueLeader(t, r, p, electSync(t, r, p))
+			}
+			checked++
+			return true
+		})
+	}
+	if checked < 400 {
+		t.Fatalf("only %d asymmetric rotation classes checked — enumerator broken?", checked)
+	}
+}
+
+// TestElectRandomRings drives larger random rings from A ∩ Kk through all
+// algorithms and schedulers.
+func TestElectRandomRings(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(25)
+		k := 2 + rng.Intn(3)
+		alpha := max(3, (n+k-1)/k+1)
+		r, err := ring.RandomAsymmetric(rng, n, k, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []string{"A", "S", "B"} {
+			p := protoFor(t, alg, k, r)
+			res := electSync(t, r, p)
+			checkTrueLeader(t, r, p, res)
+
+			// The same election under an asynchronous random schedule must
+			// produce the same leader and message count (confluence on FIFO
+			// rings).
+			res2, err := sim.RunAsync(r, p, sim.NewUniformDelay(int64(trial), 0.01), sim.Options{})
+			if err != nil {
+				t.Fatalf("%s async on %s: %v", p.Name(), r, err)
+			}
+			if res2.LeaderIndex != res.LeaderIndex || res2.Messages != res.Messages {
+				t.Fatalf("%s on %s: async disagreed with sync (p%d/%d vs p%d/%d)",
+					p.Name(), r, res2.LeaderIndex, res2.Messages, res.LeaderIndex, res.Messages)
+			}
+		}
+	}
+}
+
+// TestTheorem2Bounds property-checks Ak's proved bounds on random rings:
+// time ≤ (2k+2)n, messages ≤ n²(2k+1)+n, per-process space ≤
+// (2k+1)nb+2b+3.
+func TestTheorem2Bounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(29)
+		k := 1 + rng.Intn(4)
+		alpha := max(2, (n+k-1)/k+1)
+		r, err := ring.RandomAsymmetric(rng, n, k, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := protoFor(t, "A", k, r)
+		res, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := r.LabelBits()
+		if limit := float64((2*k + 2) * n); res.TimeUnits > limit {
+			t.Errorf("Ak time %v > (2k+2)n = %v on %s (k=%d)", res.TimeUnits, limit, r, k)
+		}
+		if limit := n*n*(2*k+1) + n; res.Messages > limit {
+			t.Errorf("Ak messages %d > n²(2k+1)+n = %d on %s (k=%d)", res.Messages, limit, r, k)
+		}
+		if limit := (2*k+1)*n*b + 2*b + 3; res.PeakSpaceBits > limit {
+			t.Errorf("Ak space %d > (2k+1)nb+2b+3 = %d on %s (k=%d)", res.PeakSpaceBits, limit, r, k)
+		}
+	}
+}
+
+// TestTheorem4Bounds property-checks Bk: space is exactly 2⌈log k⌉+3b+5 on
+// every ring, and time/messages stay within a small constant of k²n².
+func TestTheorem4Bounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(21)
+		k := 2 + rng.Intn(3)
+		alpha := max(2, (n+k-1)/k+1)
+		r, err := ring.RandomAsymmetric(rng, n, k, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := protoFor(t, "B", k, r)
+		res, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := r.LabelBits()
+		wantSpace := 2*ceilLog2(k) + 3*b + 5
+		if res.PeakSpaceBits != wantSpace {
+			t.Errorf("Bk space %d != 2⌈log k⌉+3b+5 = %d on %s", res.PeakSpaceBits, wantSpace, r)
+		}
+		// Theorem 4's O(k²n²) with the proof's constants: X ≤ (k+1)n phases
+		// of ≤ (k+1)n+n time each, plus the ending lap.
+		if limit := float64((k+1)*n*((k+1)*n+n) + 2*n); res.TimeUnits > limit {
+			t.Errorf("Bk time %v exceeds envelope %v on %s (k=%d)", res.TimeUnits, limit, r, k)
+		}
+	}
+}
+
+func ceilLog2(v int) int {
+	if v <= 1 {
+		return 0
+	}
+	b := 0
+	for p := 1; p < v; p <<= 1 {
+		b++
+	}
+	return b
+}
+
+// TestAkEarlyVsStar verifies the extension claim: A* terminates no later
+// than Ak and, on distinct-label rings, close to the (k+2)n point versus
+// Ak's (2k+2)n.
+func TestAkEarlyVsStar(t *testing.T) {
+	for _, n := range []int{8, 16, 32} {
+		for _, k := range []int{1, 2, 3, 4} {
+			r := ring.Distinct(n)
+			pa := protoFor(t, "A", k, r)
+			ps := protoFor(t, "S", k, r)
+			ra, err := sim.RunAsync(r, pa, sim.ConstantDelay(1), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := sim.RunAsync(r, ps, sim.ConstantDelay(1), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rs.TimeUnits > ra.TimeUnits {
+				t.Errorf("n=%d k=%d: A* time %v > Ak time %v", n, k, rs.TimeUnits, ra.TimeUnits)
+			}
+			if limit := float64((k + 2) * n); rs.TimeUnits > limit {
+				t.Errorf("n=%d k=%d: A* time %v > (k+2)n = %v", n, k, rs.TimeUnits, limit)
+			}
+			if rs.LeaderIndex != ra.LeaderIndex {
+				t.Errorf("n=%d k=%d: A* and Ak disagree on the leader", n, k)
+			}
+		}
+	}
+}
+
+// TestSymmetricRingNeverElects documents what happens outside the class A:
+// on a symmetric ring the string-growth predicate can never hold for
+// exactly one process. Ak's synchronous execution either runs forever
+// (caught by the action budget) or elects two leaders (caught by the spec
+// checker) — it must not terminate correctly.
+func TestSymmetricRingNeverElects(t *testing.T) {
+	r := ring.MustNew(1, 2, 1, 2)
+	p := protoFor(t, "A", 2, r)
+	_, err := sim.RunSync(r, p, sim.Options{MaxActions: 100000})
+	if err == nil {
+		t.Fatal("Ak terminated correctly on a symmetric ring — impossible")
+	}
+}
+
+// TestMachineDirect exercises machine-level error paths without an engine.
+func TestMachineDirect(t *testing.T) {
+	p, _ := core.NewAProtocol(1, 2)
+	m := p.NewMachine(1)
+	var out core.Outbox
+	if _, err := m.Receive(core.Token(2), &out); err == nil {
+		t.Error("Ak must reject a message before Init")
+	}
+	if got := m.Init(&out); got != "A1" {
+		t.Errorf("Init action = %q, want A1", got)
+	}
+	if out.Len() != 1 {
+		t.Errorf("A1 must send exactly one token, sent %d", out.Len())
+	}
+	out.Drain()
+	if _, err := m.Receive(core.PhaseShift(1), &out); err == nil {
+		t.Error("Ak must reject PHASE_SHIFT messages")
+	}
+
+	pb, _ := core.NewBProtocol(2, 2)
+	mb := pb.NewMachine(1)
+	if got := mb.Init(&out); got != "B1" {
+		t.Errorf("Bk Init action = %q, want B1", got)
+	}
+	out.Drain()
+	if _, err := mb.Receive(core.Finish(), &out); err == nil {
+		t.Error("Bk must reject bare FINISH messages")
+	}
+	// A COMPUTE-state process may not see PHASE_SHIFT (Lemma 11).
+	if _, err := mb.Receive(core.PhaseShift(1), &out); err == nil {
+		t.Error("Bk in COMPUTE must reject PHASE_SHIFT per Lemma 11")
+	}
+}
+
+// TestFingerprints checks that fingerprints separate observably different
+// states and are stable for identical machines.
+func TestFingerprints(t *testing.T) {
+	for _, alg := range []string{"A", "B", "S"} {
+		p := protoFor(t, alg, 2, ring.Ring122())
+		m1 := p.NewMachine(1)
+		m2 := p.NewMachine(1)
+		if m1.Fingerprint() != m2.Fingerprint() {
+			t.Errorf("%s: identical fresh machines differ: %q vs %q", alg, m1.Fingerprint(), m2.Fingerprint())
+		}
+		m3 := p.NewMachine(2)
+		var out core.Outbox
+		m1.Init(&out)
+		m3.Init(&out)
+		if m1.Fingerprint() == m3.Fingerprint() {
+			t.Errorf("%s: machines with different labels collide: %q", alg, m1.Fingerprint())
+		}
+		if m1.Fingerprint() == m2.Fingerprint() {
+			t.Errorf("%s: init must change the fingerprint", alg)
+		}
+	}
+}
+
+// TestStateNames pins the diagnostic state names.
+func TestStateNames(t *testing.T) {
+	p := protoFor(t, "B", 2, ring.Ring122())
+	m := p.NewMachine(1)
+	if m.StateName() != "INIT" {
+		t.Errorf("fresh Bk state = %q", m.StateName())
+	}
+	var out core.Outbox
+	m.Init(&out)
+	if m.StateName() != "COMPUTE" {
+		t.Errorf("Bk state after B1 = %q", m.StateName())
+	}
+	pa := protoFor(t, "A", 2, ring.Ring122())
+	ma := pa.NewMachine(1)
+	if ma.StateName() != "INIT" {
+		t.Errorf("fresh Ak state = %q", ma.StateName())
+	}
+	ma.Init(&out)
+	if ma.StateName() != "GROW" {
+		t.Errorf("Ak state after A1 = %q", ma.StateName())
+	}
+}
+
+// TestBStateString covers the state enum rendering.
+func TestBStateString(t *testing.T) {
+	names := map[core.BState]string{
+		core.BInit: "INIT", core.BCompute: "COMPUTE", core.BShift: "SHIFT",
+		core.BPassive: "PASSIVE", core.BWin: "WIN", core.BHalt: "HALT",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("BState %d = %q, want %q", s, s.String(), want)
+		}
+	}
+	if core.BState(99).String() == "" {
+		t.Error("unknown state must render something")
+	}
+}
+
+// TestGuestInvariant verifies HIi condition 1 (Lemma 8): in every phase i,
+// p.guest equals LLabels(p)[i]. The trace layer reports guest values at
+// each phase entry.
+func TestGuestInvariant(t *testing.T) {
+	rings := []*ring.Ring{ring.Figure1(), ring.Ring122(), ring.Distinct(7)}
+	ks := []int{3, 2, 2}
+	for i, r := range rings {
+		p := protoFor(t, "B", ks[i], r)
+		res, table := runWithPhases(t, r, p)
+		_ = res
+		for phase := 1; phase <= table.Phases(); phase++ {
+			guests, entered := table.Guests(phase)
+			for proc := 0; proc < r.N(); proc++ {
+				if !entered[proc] {
+					continue
+				}
+				want := r.LLabels(proc, phase)[phase-1]
+				if guests[proc] != want {
+					t.Fatalf("ring %s phase %d: p%d guest %s, want LLabels(p)[%d] = %s",
+						r, phase, proc, guests[proc], phase, want)
+				}
+			}
+		}
+	}
+}
+
+func runWithPhases(t *testing.T, r *ring.Ring, p core.Protocol) (*sim.Result, *trace.PhaseTable) {
+	t.Helper()
+	mem := &trace.Mem{}
+	res, err := sim.RunSync(r, p, sim.Options{Sink: mem})
+	if err != nil {
+		t.Fatalf("%s on %s: %v", p.Name(), r, err)
+	}
+	return res, trace.BuildPhaseTable(mem.Events, r.N())
+}

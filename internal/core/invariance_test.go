@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+// TestRotationEquivariance: the harness numbering of processes is
+// arbitrary — rotating the ring (renaming pi to p(i-d)) must elect the
+// same *process*, i.e. the elected index shifts by exactly -d, and costs
+// are unchanged.
+func TestRotationEquivariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(10)
+		r, err := ring.RandomAsymmetric(rng, n, 3, max(6, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := max(2, r.MaxMultiplicity())
+		for _, alg := range []string{"A", "S", "B"} {
+			p := protoFor(t, alg, k, r)
+			base := electSync(t, r, p)
+			for _, d := range []int{1, n / 2, n - 1} {
+				rot := r.Rotate(d)
+				pr := protoFor(t, alg, k, rot)
+				res := electSync(t, rot, pr)
+				want := ((base.LeaderIndex-d)%n + n) % n
+				if res.LeaderIndex != want {
+					t.Fatalf("%s on %s rotated by %d: leader p%d, want p%d",
+						p.Name(), r, d, res.LeaderIndex, want)
+				}
+				if res.Messages != base.Messages || res.Steps != base.Steps {
+					t.Fatalf("%s on %s rotated by %d: cost changed (%d/%d msgs, %d/%d steps)",
+						p.Name(), r, d, res.Messages, base.Messages, res.Steps, base.Steps)
+				}
+			}
+		}
+	}
+}
+
+// TestLabelRemapInvariance: algorithms may only compare labels, so any
+// strictly order-preserving relabeling must produce an identical execution
+// — same leader index, messages and steps.
+func TestLabelRemapInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(10)
+		r, err := ring.RandomAsymmetric(rng, n, 3, max(6, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build a strictly increasing random remapping of the label values.
+		var values []ring.Label
+		seen := map[ring.Label]bool{}
+		for _, l := range r.Labels() {
+			if !seen[l] {
+				seen[l] = true
+				values = append(values, l)
+			}
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		remap := map[ring.Label]ring.Label{}
+		next := ring.Label(1)
+		for _, v := range values {
+			next += ring.Label(1 + rng.Intn(40)) // strictly increasing, random gaps
+			remap[v] = next
+		}
+		mapped := make([]ring.Label, n)
+		for i, l := range r.Labels() {
+			mapped[i] = remap[l]
+		}
+		r2 := ring.MustNew(mapped...)
+
+		k := max(2, r.MaxMultiplicity())
+		for _, alg := range []string{"A", "S", "B"} {
+			p1 := protoFor(t, alg, k, r)
+			p2 := protoFor(t, alg, k, r2)
+			a := electSync(t, r, p1)
+			b := electSync(t, r2, p2)
+			if a.LeaderIndex != b.LeaderIndex {
+				t.Fatalf("%s: remapping %s -> %s moved the leader p%d -> p%d",
+					p1.Name(), r, r2, a.LeaderIndex, b.LeaderIndex)
+			}
+			if a.Messages != b.Messages || a.Steps != b.Steps {
+				t.Fatalf("%s: remapping changed costs (%d/%d msgs, %d/%d steps)",
+					p1.Name(), a.Messages, b.Messages, a.Steps, b.Steps)
+			}
+		}
+	}
+}
+
+// TestSpaceAccountingMonotone: Ak's footprint grows monotonically during
+// an execution (the string only grows) and the reported peak equals the
+// final size for the leader's full string.
+func TestSpaceAccountingMonotone(t *testing.T) {
+	r := ring.Figure1()
+	p, err := core.NewAProtocol(3, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMachine(r.Label(0))
+	var out core.Outbox
+	prev := m.SpaceBits()
+	m.Init(&out)
+	out.Drain()
+	if m.SpaceBits() <= prev {
+		t.Fatal("A1 must grow the string")
+	}
+	prev = m.SpaceBits()
+	for _, x := range []ring.Label{2, 1, 2, 2, 3} {
+		if _, err := m.Receive(core.Token(x), &out); err != nil {
+			t.Fatal(err)
+		}
+		out.Drain()
+		if sp := m.SpaceBits(); sp < prev {
+			t.Fatalf("space shrank from %d to %d", prev, sp)
+		} else {
+			prev = sp
+		}
+	}
+}

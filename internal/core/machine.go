@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+)
+
+// Status is the externally visible part of a process state: the variables
+// the leader-election specification of §II constrains.
+type Status struct {
+	// IsLeader is p.isLeader: initially false, never reverts to false, true
+	// for exactly one process in the terminal configuration.
+	IsLeader bool
+	// Done is p.done: initially false, monotone, true everywhere at
+	// termination; once true, Leader is permanently set to the elected
+	// leader's label.
+	Done bool
+	// Leader is p.leader; meaningful only when LeaderSet.
+	Leader ring.Label
+	// LeaderSet reports whether p.leader has been assigned.
+	LeaderSet bool
+}
+
+// Outbox collects the sends of a single atomic action. The engine drains it
+// after the action returns and appends the messages, in order, to the
+// process's outgoing link (FIFO).
+type Outbox struct {
+	msgs []Message
+}
+
+// Send enqueues m for the right neighbor.
+func (o *Outbox) Send(m Message) { o.msgs = append(o.msgs, m) }
+
+// Drain returns and clears the queued messages, releasing the backing
+// array to the caller (use when the messages are retained).
+func (o *Outbox) Drain() []Message {
+	m := o.msgs
+	o.msgs = nil
+	return m
+}
+
+// Messages returns a view of the queued messages without clearing them.
+// Combined with Reset it lets hot-path engines reuse one Outbox per
+// process instead of allocating per action; the view is invalidated by
+// the next Send or Reset.
+func (o *Outbox) Messages() []Message { return o.msgs }
+
+// Reset clears the outbox, retaining its backing array for reuse.
+func (o *Outbox) Reset() { o.msgs = o.msgs[:0] }
+
+// Len returns the number of queued messages.
+func (o *Outbox) Len() int { return len(o.msgs) }
+
+// Machine is one process's local algorithm: a deterministic guarded-action
+// automaton. Engines guarantee the model of §II — actions execute
+// atomically, the initial action runs first, messages arrive FIFO from the
+// left neighbor, and no message is delivered after Halted reports true.
+type Machine interface {
+	// Init executes the unique action triggerable without a message (A1 /
+	// B1). It is called exactly once, before any Receive. It returns the
+	// action's identifier for trace attribution.
+	Init(out *Outbox) (action string)
+
+	// Receive consumes the head message of the incoming link and executes
+	// the single enabled action for it. It returns the fired action's
+	// identifier, or an error when no guard matches (a model violation —
+	// Lemma 11 proves this cannot happen for Bk; surfacing it keeps the
+	// engines honest).
+	Receive(m Message, out *Outbox) (action string, err error)
+
+	// Halted reports whether the process has executed its halting
+	// statement. A halted process is disabled forever.
+	Halted() bool
+
+	// Status returns the specification variables.
+	Status() Status
+
+	// StateName names the current control state for diagnostics (Bk: INIT,
+	// COMPUTE, SHIFT, PASSIVE, WIN, HALT as in Figure 2).
+	StateName() string
+
+	// SpaceBits returns the current size of the process's variables in
+	// bits, in the units of Theorems 2 and 4 (labels cost b bits, booleans
+	// 1 bit, counters bounded by k cost ⌈log k⌉ bits).
+	SpaceBits() int
+
+	// Fingerprint serializes the full local state. Two processes are in
+	// the same state exactly when their fingerprints are equal; the
+	// Lemma 1 indistinguishability check (internal/lowerbound) relies on
+	// this.
+	Fingerprint() string
+}
+
+// Protocol constructs the identical local algorithm for each process — the
+// paper's "distributed algorithm" whose local algorithms differ only in the
+// label (§II).
+type Protocol interface {
+	// Name identifies the protocol, e.g. "Ak(k=3)".
+	Name() string
+	// NewMachine builds the local algorithm of a process labeled id.
+	NewMachine(id ring.Label) Machine
+}
+
+// Cloner is implemented by machines that can deep-copy their state. The
+// schedule-space explorer (internal/sim.ExploreAll) uses clones to branch
+// configurations in O(state) instead of replaying move prefixes; machines
+// without Clone are still explorable via replay. All production machines
+// in this repository implement it.
+type Cloner interface {
+	// Clone returns an independent deep copy: mutating the clone (or the
+	// original) must not affect the other.
+	Clone() Machine
+}
+
+// PhaseReporter is implemented by machines with a phase structure (Bk).
+// The trace layer uses it to reconstruct Figure 1.
+type PhaseReporter interface {
+	// Phase returns the process's current phase number i ≥ 1 (the number
+	// of assignments to p.guest so far; Appendix A).
+	Phase() int
+	// Guest returns p.guest, valid once Phase ≥ 1.
+	Guest() ring.Label
+	// Active reports whether the process is still competing (not PASSIVE,
+	// not halted-as-non-leader).
+	Active() bool
+}
+
+// boolBit maps a boolean to its 1-bit space cost representation in
+// fingerprints.
+func boolBit(b bool) byte {
+	if b {
+		return '1'
+	}
+	return '0'
+}
+
+// statusFingerprint renders the spec variables for inclusion in machine
+// fingerprints.
+func statusFingerprint(st Status) string {
+	leader := "-"
+	if st.LeaderSet {
+		leader = st.Leader.String()
+	}
+	return fmt.Sprintf("isLeader=%c done=%c leader=%s", boolBit(st.IsLeader), boolBit(st.Done), leader)
+}
+
+// ceilLog2 returns ⌈log2 v⌉ for v ≥ 1 (0 for v = 1), matching the paper's
+// ⌈log k⌉ counter cost.
+func ceilLog2(v int) int {
+	if v <= 1 {
+		return 0
+	}
+	bits := 0
+	for p := 1; p < v; p <<= 1 {
+		bits++
+	}
+	return bits
+}

@@ -1,0 +1,108 @@
+// Package core implements the paper's primary contribution: the
+// guarded-action process model of §II and the two process-terminating
+// leader-election algorithms for the class A ∩ Kk of asymmetric labeled
+// unidirectional rings with known multiplicity bound k —
+//
+//   - Algorithm Ak (Table 1): time ≤ (2k+2)n, messages ≤ n²(2k+1)+n,
+//     space ≤ (2k+1)nb + 2b + 3 bits per process (Theorem 2);
+//   - Algorithm Bk (Table 2, Figure 2): time and messages O(k²n²),
+//     space 2⌈log k⌉ + 3b + 5 bits per process (Theorem 4);
+//
+// plus A* — an extension variant with Fine–Wilf-based early termination at
+// the (k+2)n trade-off point of the authors' SSS 2016 algorithm (see
+// DESIGN.md §3).
+//
+// Machines are engine-agnostic: both the deterministic simulator
+// (internal/sim) and the goroutine runtime (internal/gorun) drive them.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+)
+
+// Kind tags the message vocabulary shared by all protocols in this
+// repository. Each protocol uses only its own subset; receiving a kind a
+// protocol never handles is a model violation surfaced as an error.
+type Kind uint8
+
+const (
+	// KindToken is ⟨x⟩: a circulating label (Ak actions A1–A3, A5; Bk
+	// actions B1–B5, B7).
+	KindToken Kind = iota
+	// KindFinish is ⟨FINISH⟩ without payload (Ak actions A3, A4, A6).
+	KindFinish
+	// KindPhaseShift is ⟨PHASE_SHIFT, x⟩ (Bk actions B5, B6, B8, B9).
+	KindPhaseShift
+	// KindFinishLabel is ⟨FINISH, x⟩ (Bk actions B9–B11; also the baseline
+	// algorithms' announcement message).
+	KindFinishLabel
+	// KindPeterson1 and KindPeterson2 carry the first and second candidate
+	// values of a Peterson/Dolev–Klawe–Rodeh phase (internal/baseline).
+	KindPeterson1
+	KindPeterson2
+)
+
+// String names the kind as in the paper.
+func (k Kind) String() string {
+	switch k {
+	case KindToken:
+		return "TOKEN"
+	case KindFinish:
+		return "FINISH"
+	case KindPhaseShift:
+		return "PHASE_SHIFT"
+	case KindFinishLabel:
+		return "FINISH_L"
+	case KindPeterson1:
+		return "PETERSON_1"
+	case KindPeterson2:
+		return "PETERSON_2"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// Message is the paper's tuple ⟨x1, …, xz⟩, restricted to the forms the
+// implemented protocols use: a kind tag plus at most one label payload.
+type Message struct {
+	Kind  Kind
+	Label ring.Label
+}
+
+// Token builds ⟨x⟩.
+func Token(x ring.Label) Message { return Message{Kind: KindToken, Label: x} }
+
+// Finish builds ⟨FINISH⟩.
+func Finish() Message { return Message{Kind: KindFinish} }
+
+// PhaseShift builds ⟨PHASE_SHIFT, x⟩.
+func PhaseShift(x ring.Label) Message { return Message{Kind: KindPhaseShift, Label: x} }
+
+// FinishLabel builds ⟨FINISH, x⟩.
+func FinishLabel(x ring.Label) Message { return Message{Kind: KindFinishLabel, Label: x} }
+
+// String renders the message as in the paper, e.g. "⟨3⟩" or
+// "⟨PHASE_SHIFT,2⟩".
+func (m Message) String() string {
+	switch m.Kind {
+	case KindToken:
+		return fmt.Sprintf("⟨%s⟩", m.Label)
+	case KindFinish:
+		return "⟨FINISH⟩"
+	default:
+		return fmt.Sprintf("⟨%s,%s⟩", m.Kind, m.Label)
+	}
+}
+
+// Bits returns the message's size in bits for accounting: a kind tag (3
+// bits here) plus b bits of label payload when present.
+func (m Message) Bits(labelBits int) int {
+	switch m.Kind {
+	case KindFinish:
+		return 3
+	default:
+		return 3 + labelBits
+	}
+}

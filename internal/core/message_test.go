@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMessageConstructors(t *testing.T) {
+	if m := Token(5); m.Kind != KindToken || m.Label != 5 {
+		t.Errorf("Token(5) = %+v", m)
+	}
+	if m := Finish(); m.Kind != KindFinish {
+		t.Errorf("Finish() = %+v", m)
+	}
+	if m := PhaseShift(7); m.Kind != KindPhaseShift || m.Label != 7 {
+		t.Errorf("PhaseShift(7) = %+v", m)
+	}
+	if m := FinishLabel(9); m.Kind != KindFinishLabel || m.Label != 9 {
+		t.Errorf("FinishLabel(9) = %+v", m)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	cases := map[string]string{
+		Token(3).String():       "⟨3⟩",
+		Finish().String():       "⟨FINISH⟩",
+		PhaseShift(2).String():  "⟨PHASE_SHIFT,2⟩",
+		FinishLabel(1).String(): "⟨FINISH_L,1⟩",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+	if !strings.Contains(Kind(250).String(), "250") {
+		t.Error("unknown kind must render its number")
+	}
+}
+
+func TestMessageBits(t *testing.T) {
+	if got := Finish().Bits(8); got != 3 {
+		t.Errorf("Finish bits = %d, want 3 (tag only)", got)
+	}
+	if got := Token(1).Bits(8); got != 11 {
+		t.Errorf("Token bits = %d, want 3+8", got)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	want := map[Kind]string{
+		KindToken: "TOKEN", KindFinish: "FINISH", KindPhaseShift: "PHASE_SHIFT",
+		KindFinishLabel: "FINISH_L", KindPeterson1: "PETERSON_1", KindPeterson2: "PETERSON_2",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind %d String = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestOutbox(t *testing.T) {
+	var o Outbox
+	if o.Len() != 0 {
+		t.Error("fresh outbox not empty")
+	}
+	o.Send(Token(1))
+	o.Send(Finish())
+	if o.Len() != 2 {
+		t.Errorf("Len = %d, want 2", o.Len())
+	}
+	msgs := o.Drain()
+	if len(msgs) != 2 || msgs[0].Kind != KindToken || msgs[1].Kind != KindFinish {
+		t.Errorf("Drain = %v", msgs)
+	}
+	if o.Len() != 0 || o.Drain() != nil {
+		t.Error("Drain must clear the outbox")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10}
+	for v, want := range cases {
+		if got := ceilLog2(v); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

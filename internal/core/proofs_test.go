@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/words"
+)
+
+// TestActSetEvolution verifies the central invariant of Bk's proof
+// (Lemmas 7 and 13): the set of processes still active at the beginning
+// of phase i+1 is exactly
+//
+//	Act_i = { p : LLabels(p)^i = LLabels(L)^i },
+//
+// the processes whose first i counter-clockwise labels coincide with the
+// true leader's.
+func TestActSetEvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	rings := []*ring.Ring{ring.Figure1(), ring.Ring122(), ring.Distinct(7)}
+	for i := 0; i < 10; i++ {
+		n := 5 + rng.Intn(10)
+		r, err := ring.RandomAsymmetric(rng, n, 3, max(5, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings = append(rings, r)
+	}
+	for _, r := range rings {
+		k := max(2, r.MaxMultiplicity())
+		p := protoFor(t, "B", k, r)
+		_, table := runWithPhases(t, r, p)
+		leader, _ := r.TrueLeader()
+		n := r.N()
+		for phase := 2; phase <= table.Phases(); phase++ {
+			i := phase - 1 // the completed phase
+			var want []int
+			ref := r.LLabels(leader, i)
+			for proc := 0; proc < n; proc++ {
+				if words.Compare(r.LLabels(proc, i), ref) == 0 {
+					want = append(want, proc)
+				}
+			}
+			got := table.ActiveSet(phase)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("Bk on %s: active set entering phase %d is %v, Act_%d = %v",
+					r, phase, got, i, want)
+			}
+		}
+	}
+}
+
+// TestAkStringIsLLabelsPrefix verifies Ak's core data invariant: at every
+// point of the execution, p.string is a prefix of LLabels(p). Checked via
+// the per-step fingerprints of the synchronous probe.
+func TestAkStringIsLLabelsPrefix(t *testing.T) {
+	rings := []*ring.Ring{ring.Figure1(), ring.Ring122(), ring.Distinct(6)}
+	ks := []int{3, 2, 1}
+	for ri, r := range rings {
+		p := protoFor(t, "A", ks[ri], r)
+		n := r.N()
+		// Fingerprints render the string as "str=a.b.c"; rebuild and compare.
+		_, err := sim.SyncProbe(r, p, sim.Options{}, func(step int, fps []string) bool {
+			for proc := 0; proc < n; proc++ {
+				var got []ring.Label
+				fp := fps[proc]
+				idx := -1
+				for i := 0; i+4 <= len(fp); i++ {
+					if fp[i:i+4] == "str=" {
+						idx = i + 4
+						break
+					}
+				}
+				if idx < 0 {
+					t.Fatalf("fingerprint without string: %q", fp)
+				}
+				cur := int64(0)
+				has := false
+				for i := idx; i <= len(fp); i++ {
+					if i == len(fp) || fp[i] == '.' {
+						if has {
+							got = append(got, ring.Label(cur))
+						}
+						cur, has = 0, false
+						continue
+					}
+					cur = cur*10 + int64(fp[i]-'0')
+					has = true
+				}
+				want := r.LLabels(proc, len(got))
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("step %d p%d: string %v is not a prefix of LLabels %v", step, proc, got, want)
+					}
+				}
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExactWorstCaseFormulas pins the exact (not just bounded) costs on
+// distinct-label rings, derived from the algorithms' structure:
+//
+//   - Ak: the leader's label recurs every n tokens, so the (2k+1)-th copy
+//     arrives with token 2kn; with the FINISH lap the total time is
+//     (2k+1)n time units exactly.
+//   - A*: the k+1 certificate lands at position kn+1 (P = kn) and the
+//     length condition needs len ≥ n + kn, reached after kn+n-1 tokens;
+//     plus the FINISH lap: (k+2)n - 1 exactly.
+//   - KnownN: one collection lap (n-1) plus one announcement lap: 2n - 1
+//     exactly, with exactly n² messages.
+func TestExactWorstCaseFormulas(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		r := ring.Distinct(n)
+		for _, k := range []int{1, 2, 3, 4} {
+			pa := protoFor(t, "A", k, r)
+			res, err := sim.RunAsync(r, pa, sim.ConstantDelay(1), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := float64((2*k + 1) * n); res.TimeUnits != want {
+				t.Errorf("Ak n=%d k=%d: time %v, exact formula %v", n, k, res.TimeUnits, want)
+			}
+
+			ps := protoFor(t, "S", k, r)
+			res, err = sim.RunAsync(r, ps, sim.ConstantDelay(1), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := float64((k+2)*n - 1); res.TimeUnits != want {
+				t.Errorf("A* n=%d k=%d: time %v, exact formula %v", n, k, res.TimeUnits, want)
+			}
+		}
+	}
+}

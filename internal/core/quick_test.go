@@ -1,0 +1,150 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// ringInstance is a random problem instance for testing/quick: a ring from
+// A ∩ Kk together with the bound k the processes are given.
+type ringInstance struct {
+	R *ring.Ring
+	K int
+}
+
+// Generate implements quick.Generator, drawing rings of 2–20 processes
+// with multiplicity bound 1–4 (enforcing k ≥ truth) and random alphabets.
+func (ringInstance) Generate(rng *rand.Rand, size int) reflect.Value {
+	for {
+		n := 2 + rng.Intn(19)
+		k := 1 + rng.Intn(4)
+		alpha := max((n+k-1)/k+1, 2+rng.Intn(n+2))
+		r, err := ring.RandomAsymmetric(rng, n, k, alpha)
+		if err != nil {
+			continue
+		}
+		// Give the processes either the exact max multiplicity or a looser
+		// bound — both must work.
+		bound := r.MaxMultiplicity() + rng.Intn(3)
+		return reflect.ValueOf(ringInstance{R: r, K: max(1, bound)})
+	}
+}
+
+// TestQuickAkProperties drives Ak on quick-generated instances: the true
+// leader is elected, every Theorem 2 bound holds, and the synchronous and
+// unit-delay runs agree.
+func TestQuickAkProperties(t *testing.T) {
+	prop := func(inst ringInstance) bool {
+		r, k := inst.R, inst.K
+		p, err := core.NewAProtocol(k, r.LabelBits())
+		if err != nil {
+			return false
+		}
+		res, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{})
+		if err != nil {
+			t.Logf("run failed on %s k=%d: %v", r, k, err)
+			return false
+		}
+		want, _ := r.TrueLeader()
+		n, b := r.N(), r.LabelBits()
+		if res.LeaderIndex != want {
+			t.Logf("wrong leader on %s k=%d", r, k)
+			return false
+		}
+		if res.TimeUnits > float64((2*k+2)*n) ||
+			res.Messages > n*n*(2*k+1)+n ||
+			res.PeakSpaceBits > (2*k+1)*n*b+2*b+3 {
+			t.Logf("bound violated on %s k=%d: %+v", r, k, res)
+			return false
+		}
+		sres, err := sim.RunSync(r, p, sim.Options{})
+		if err != nil || sres.LeaderIndex != res.LeaderIndex || sres.Messages != res.Messages {
+			t.Logf("engines disagree on %s k=%d", r, k)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBkProperties drives Bk on quick-generated instances: correct
+// leader, exact space formula, and schedule independence under a random
+// delay model.
+func TestQuickBkProperties(t *testing.T) {
+	prop := func(inst ringInstance, seed int64) bool {
+		r, k := inst.R, max(2, inst.K)
+		p, err := core.NewBProtocol(k, r.LabelBits())
+		if err != nil {
+			return false
+		}
+		res, err := sim.RunSync(r, p, sim.Options{})
+		if err != nil {
+			t.Logf("run failed on %s k=%d: %v", r, k, err)
+			return false
+		}
+		want, _ := r.TrueLeader()
+		if res.LeaderIndex != want {
+			return false
+		}
+		b := r.LabelBits()
+		if res.PeakSpaceBits != 2*ceilLog2(k)+3*b+5 {
+			t.Logf("space formula broken on %s k=%d: %d", r, k, res.PeakSpaceBits)
+			return false
+		}
+		ares, err := sim.RunAsync(r, p, sim.NewUniformDelay(seed, 0), sim.Options{})
+		if err != nil || ares.LeaderIndex != res.LeaderIndex || ares.Messages != res.Messages {
+			t.Logf("schedule dependence on %s k=%d seed=%d", r, k, seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAStarNeverSlowerThanAk is the ablation property: on every
+// instance, A* terminates no later than Ak in time units and uses no more
+// messages, while electing the same process.
+func TestQuickAStarNeverSlowerThanAk(t *testing.T) {
+	prop := func(inst ringInstance) bool {
+		r, k := inst.R, inst.K
+		pa, err := core.NewAProtocol(k, r.LabelBits())
+		if err != nil {
+			return false
+		}
+		ps, err := core.NewStarProtocol(k, r.LabelBits())
+		if err != nil {
+			return false
+		}
+		ra, err := sim.RunAsync(r, pa, sim.ConstantDelay(1), sim.Options{})
+		if err != nil {
+			return false
+		}
+		rs, err := sim.RunAsync(r, ps, sim.ConstantDelay(1), sim.Options{})
+		if err != nil {
+			return false
+		}
+		if rs.LeaderIndex != ra.LeaderIndex {
+			t.Logf("A* and Ak disagree on %s k=%d", r, k)
+			return false
+		}
+		if rs.TimeUnits > ra.TimeUnits || rs.Messages > ra.Messages {
+			t.Logf("A* slower than Ak on %s k=%d: %v/%d vs %v/%d",
+				r, k, rs.TimeUnits, rs.Messages, ra.TimeUnits, ra.Messages)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

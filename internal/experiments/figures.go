@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Figure1Phase is the expected situation of the 8 processes in one phase of
+// the paper's Figure 1 execution (Bk, k=3, ring [1 3 1 3 2 2 1 2]).
+type Figure1Phase struct {
+	Phase  int
+	Guests []ring.Label // gray labels next to each process (nil = not shown)
+	Active []int        // white processes at the beginning of the phase
+}
+
+// Figure1Expected transcribes Figure 1(a)–(d) exactly.
+var Figure1Expected = []Figure1Phase{
+	{Phase: 1, Guests: []ring.Label{1, 3, 1, 3, 2, 2, 1, 2}, Active: []int{0, 1, 2, 3, 4, 5, 6, 7}},
+	{Phase: 2, Guests: []ring.Label{2, 1, 3, 1, 3, 2, 2, 1}, Active: []int{0, 2, 6}},
+	{Phase: 3, Guests: []ring.Label{1, 2, 1, 3, 1, 3, 2, 2}, Active: []int{0, 6}},
+	{Phase: 4, Guests: nil, Active: []int{0}},
+}
+
+// Figure1Leader is the process Figure 1's caption says is elected.
+const Figure1Leader = 0
+
+// Figure1K is the multiplicity bound of the Figure 1 execution.
+const Figure1K = 3
+
+// RunFigure1 executes Bk (k=3) on the Figure 1 ring under the synchronous
+// scheduler and returns the reconstructed phase table plus the run result.
+func RunFigure1() (*trace.PhaseTable, *sim.Result, error) {
+	r := ring.Figure1()
+	p, err := core.NewBProtocol(Figure1K, r.LabelBits())
+	if err != nil {
+		return nil, nil, err
+	}
+	mem := &trace.Mem{}
+	res, err := sim.RunSync(r, p, sim.Options{Sink: mem})
+	if err != nil {
+		return nil, nil, err
+	}
+	return trace.BuildPhaseTable(mem.Events, r.N()), res, nil
+}
+
+// CheckFigure1 verifies a reconstructed phase table against
+// Figure1Expected, returning a list of discrepancies (empty when the
+// reproduction is exact).
+func CheckFigure1(t *trace.PhaseTable, leaderIndex int) []string {
+	var bad []string
+	if leaderIndex != Figure1Leader {
+		bad = append(bad, fmt.Sprintf("leader = p%d, figure says p%d", leaderIndex, Figure1Leader))
+	}
+	for _, exp := range Figure1Expected {
+		if t.Phases() < exp.Phase {
+			bad = append(bad, fmt.Sprintf("phase %d never reached", exp.Phase))
+			continue
+		}
+		got := t.ActiveSet(exp.Phase)
+		if fmt.Sprint(got) != fmt.Sprint(exp.Active) {
+			bad = append(bad, fmt.Sprintf("phase %d active set %v, figure says %v", exp.Phase, got, exp.Active))
+		}
+		if exp.Guests == nil {
+			continue
+		}
+		guests, entered := t.Guests(exp.Phase)
+		for p := range exp.Guests {
+			if !entered[p] {
+				bad = append(bad, fmt.Sprintf("phase %d: p%d never entered", exp.Phase, p))
+				continue
+			}
+			if guests[p] != exp.Guests[p] {
+				bad = append(bad, fmt.Sprintf("phase %d: p%d guest %s, figure says %s", exp.Phase, p, guests[p], exp.Guests[p]))
+			}
+		}
+	}
+	return bad
+}
+
+// E6 reproduces Figure 1 and diffs it against the paper.
+func (s *Suite) E6() (*Table, error) {
+	t := &Table{
+		ID:     "E6",
+		Title:  "Figure 1: Bk (k=3) on [1 3 1 3 2 2 1 2]",
+		Header: []string{"phase", "active (white)", "guests p0..p7", "matches figure"},
+	}
+	table, res, err := RunFigure1()
+	if err != nil {
+		return nil, err
+	}
+	bad := CheckFigure1(table, res.LeaderIndex)
+	for _, exp := range Figure1Expected {
+		guests := "-"
+		if exp.Phase <= table.Phases() {
+			gs, entered := table.Guests(exp.Phase)
+			parts := make([]string, len(gs))
+			for i := range gs {
+				if entered[i] {
+					parts[i] = gs[i].String()
+				} else {
+					parts[i] = "-"
+				}
+			}
+			guests = strings.Join(parts, " ")
+		}
+		match := "yes"
+		for _, b := range bad {
+			if strings.Contains(b, fmt.Sprintf("phase %d", exp.Phase)) {
+				match = "NO"
+			}
+		}
+		t.AddRow(exp.Phase, fmt.Sprint(table.ActiveSet(exp.Phase)), guests, match)
+	}
+	t.Note("elected leader: p%d (figure: p%d); total phases: %d (X = min prefix with k+1 = 4 copies of label 1 in LLabels(p0) = 9)",
+		res.LeaderIndex, Figure1Leader, table.Phases())
+	for _, b := range bad {
+		t.Note("MISMATCH: %s", b)
+	}
+	if len(bad) == 0 {
+		t.Note("Figure 1 reproduced exactly.")
+	}
+	return t, nil
+}
+
+// E7 checks Figure 2: across synchronous, unit-delay, random and
+// adversarial schedules on several rings, every observed Bk transition is
+// an edge of the figure's state diagram, and collectively the executions
+// cover all 11 edges.
+func (s *Suite) E7() (*Table, error) {
+	t := &Table{
+		ID:     "E7",
+		Title:  "Figure 2: Bk state-diagram conformance and coverage",
+		Header: []string{"edge", "covered"},
+	}
+	rings := []*ring.Ring{ring.Figure1(), ring.Ring122(), ring.Distinct(6)}
+	ks := []int{3, 2, 2}
+	seenTr := map[trace.Transition]bool{}
+	var observed []trace.Transition
+	merge := func(mem *trace.Mem) {
+		for _, tr := range trace.Transitions(mem.Events) {
+			if !seenTr[tr] {
+				seenTr[tr] = true
+				observed = append(observed, tr)
+			}
+		}
+	}
+	for i, r := range rings {
+		p, err := core.NewBProtocol(ks[i], r.LabelBits())
+		if err != nil {
+			return nil, err
+		}
+		// Each run gets a fresh sink: transitions are per-execution.
+		mem := &trace.Mem{}
+		if _, err := sim.RunSync(r, p, sim.Options{Sink: mem}); err != nil {
+			return nil, fmt.Errorf("E7 sync %s: %w", r, err)
+		}
+		merge(mem)
+		mem = &trace.Mem{}
+		if _, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{Sink: mem}); err != nil {
+			return nil, fmt.Errorf("E7 unit %s: %w", r, err)
+		}
+		merge(mem)
+		mem = &trace.Mem{}
+		if _, err := sim.RunAsync(r, p, sim.NewUniformDelay(s.Seed+int64(i), 0.05), sim.Options{Sink: mem}); err != nil {
+			return nil, fmt.Errorf("E7 random %s: %w", r, err)
+		}
+		merge(mem)
+		mem = &trace.Mem{}
+		if _, err := sim.RunAsync(r, p, sim.SlowLinkDelay{SlowFrom: 0, Fast: 0.01}, sim.Options{Sink: mem}); err != nil {
+			return nil, fmt.Errorf("E7 slow-link %s: %w", r, err)
+		}
+		merge(mem)
+	}
+	if bad := trace.CheckAgainstFigure2(observed); len(bad) > 0 {
+		for _, tr := range bad {
+			t.Note("FAIL: observed transition outside Figure 2: %s", tr)
+		}
+	}
+	covered := map[trace.Transition]bool{}
+	for _, tr := range observed {
+		covered[tr] = true
+	}
+	missing := 0
+	for _, e := range trace.Figure2Edges {
+		c := "yes"
+		if !covered[e] {
+			c, missing = "NO", missing+1
+		}
+		t.AddRow(e.String(), c)
+	}
+	if missing == 0 {
+		t.Note("All %d edges of Figure 2 observed; no extra transitions.", len(trace.Figure2Edges))
+	} else {
+		t.Note("FAIL: %d edges of Figure 2 never observed", missing)
+	}
+	return t, nil
+}
+
+// E8 attributes every executed action to its Table 1 / Table 2 identifier
+// and reports firing counts, checking conservation: receives = messages,
+// and per-algorithm structural identities.
+func (s *Suite) E8() (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Tables 1-2: action attribution on [1 3 1 3 2 2 1 2]",
+		Header: []string{"algorithm", "action", "firings"},
+	}
+	r := ring.Figure1()
+	for _, mk := range []struct {
+		name string
+		k    int
+		mkP  func(int, *ring.Ring) (core.Protocol, error)
+	}{{"Ak", 3, protoA}, {"A*", 3, protoStar}, {"Bk", 3, protoB}} {
+		p, err := mk.mkP(mk.k, r)
+		if err != nil {
+			return nil, err
+		}
+		counts := trace.ActionCount{}
+		res, err := sim.RunSync(r, p, sim.Options{Sink: counts})
+		if err != nil {
+			return nil, fmt.Errorf("E8 %s: %w", p.Name(), err)
+		}
+		total := 0
+		for _, action := range sortedKeys(counts) {
+			t.AddRow(p.Name(), action, counts[action])
+			total += counts[action]
+		}
+		receives := total - r.N() // all non-init actions consume one message
+		if receives != res.Messages {
+			t.Note("FAIL %s: %d receives but %d sends — undelivered messages", p.Name(), receives, res.Messages)
+		} else {
+			t.Note("%s: %d actions = %d inits + %d receives = inits + sends (conservation holds)",
+				p.Name(), total, r.N(), receives)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gorun"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// E9 is the headline comparison the paper's contribution section promises:
+// Ak and Bk "achieve the classical trade-off between time and space", with
+// A* at the (k+2)n intermediate point and the K1 baselines (Chang–Roberts,
+// Peterson) anchoring the identified case. All runs use unit message
+// delays, the paper's time-unit measure, on distinct-label rings (Ak's
+// worst case).
+func (s *Suite) E9() (*Table, error) {
+	t := &Table{
+		ID:     "E9",
+		Title:  "Time/space trade-off on distinct-label rings (unit delays)",
+		Header: []string{"algorithm", "n", "k", "time units", "messages", "peak space bits"},
+	}
+	ns := []int{16, 32, 64}
+	ks := []int{2, 4}
+	if s.Quick {
+		ns, ks = []int{16, 32}, []int{2}
+	}
+	for _, n := range ns {
+		r := ring.Distinct(n)
+		b := r.LabelBits()
+		for _, k := range ks {
+			type entry struct {
+				p   core.Protocol
+				err error
+			}
+			cr, errCR := baseline.NewCRProtocol(b)
+			pet, errPet := baseline.NewPetersonProtocol(b)
+			ak, errA := core.NewAProtocol(k, b)
+			star, errS := core.NewStarProtocol(k, b)
+			bk, errB := core.NewBProtocol(k, b)
+			for _, e := range []entry{{ak, errA}, {star, errS}, {bk, errB}, {cr, errCR}, {pet, errPet}} {
+				if e.err != nil {
+					return nil, e.err
+				}
+				res, err := sim.RunAsync(r, e.p, sim.ConstantDelay(1), sim.Options{})
+				if err != nil {
+					return nil, fmt.Errorf("E9 %s n=%d k=%d: %w", e.p.Name(), n, k, err)
+				}
+				t.AddRow(e.p.Name(), n, k, res.TimeUnits, res.Messages, res.PeakSpaceBits)
+			}
+		}
+	}
+	t.Note("Expected shape: time A* ≈ (k+2)n < Ak ≈ (2k+2)n ≪ Bk = Θ(k²n²);")
+	t.Note("space Bk = 2⌈log k⌉+3b+5 ≪ A*/Ak = Θ(knb). The K1 baselines are faster/leaner but need unique labels.")
+	return t, nil
+}
+
+// E10 first checks the introduction's example: the ring [1 2 2] admits
+// process-terminating election within A ∩ K2 (it is solvable here although
+// not in the models of [4], [9]). It then cross-validates the execution
+// engines: because links are FIFO and machines deterministic, every
+// schedule — synchronous, unit-delay, random-delay, adversarial, and the
+// real goroutine runtime — must elect the same leader with the same
+// message count.
+func (s *Suite) E10() (*Table, error) {
+	t := &Table{
+		ID:     "E10",
+		Title:  "Ring [1 2 2] + engine cross-validation (schedule-independence)",
+		Header: []string{"ring", "algorithm", "engine", "leader", "messages", "agrees"},
+	}
+	type run struct {
+		engine   string
+		leader   int
+		messages int
+	}
+	rings := []*ring.Ring{ring.Ring122(), ring.Figure1()}
+	if !s.Quick {
+		rng := newRand(s.Seed)
+		for i := 0; i < 3; i++ {
+			r, err := ring.RandomAsymmetric(rng, 10+2*i, 3, 5)
+			if err != nil {
+				return nil, err
+			}
+			rings = append(rings, r)
+		}
+	}
+	for _, r := range rings {
+		k := max(2, r.MaxMultiplicity())
+		for _, mk := range []func(int, *ring.Ring) (core.Protocol, error){protoA, protoStar, protoB} {
+			p, err := mk(k, r)
+			if err != nil {
+				return nil, err
+			}
+			var runs []run
+			if res, err := sim.RunSync(r, p, sim.Options{}); err != nil {
+				return nil, fmt.Errorf("E10 sync %s on %s: %w", p.Name(), r, err)
+			} else {
+				runs = append(runs, run{"sim/sync", res.LeaderIndex, res.Messages})
+			}
+			if res, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{}); err != nil {
+				return nil, fmt.Errorf("E10 unit %s on %s: %w", p.Name(), r, err)
+			} else {
+				runs = append(runs, run{"sim/unit", res.LeaderIndex, res.Messages})
+			}
+			if res, err := sim.RunAsync(r, p, sim.NewUniformDelay(s.Seed, 0.01), sim.Options{}); err != nil {
+				return nil, fmt.Errorf("E10 random %s on %s: %w", p.Name(), r, err)
+			} else {
+				runs = append(runs, run{"sim/random", res.LeaderIndex, res.Messages})
+			}
+			if res, err := gorun.Run(r, p, 30*time.Second); err != nil {
+				return nil, fmt.Errorf("E10 gorun %s on %s: %w", p.Name(), r, err)
+			} else {
+				runs = append(runs, run{"goroutines", res.LeaderIndex, res.Messages})
+			}
+			trueLeader, _ := r.TrueLeader()
+			for _, rr := range runs {
+				agrees := "yes"
+				if rr.leader != runs[0].leader || rr.messages != runs[0].messages {
+					agrees = "NO"
+					t.Note("FAIL: %s on %s disagrees across engines", p.Name(), r)
+				}
+				if rr.leader != trueLeader {
+					agrees = "NO (not true leader)"
+					t.Note("FAIL: %s on %s elected p%d, true leader is p%d", p.Name(), r, rr.leader, trueLeader)
+				}
+				t.AddRow(r.String(), p.Name(), rr.engine, fmt.Sprintf("p%d", rr.leader), rr.messages, agrees)
+			}
+		}
+	}
+	t.Note("FIFO links + deterministic machines make per-process receive sequences schedule-independent,")
+	t.Note("so every engine must agree on both the leader and the exact message count.")
+	return t, nil
+}

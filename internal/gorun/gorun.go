@@ -1,0 +1,258 @@
+// Package gorun executes a core.Protocol on a ring as real concurrency:
+// one goroutine per process, connected by channel-backed unbounded FIFO
+// links (one pump goroutine per link). The Go scheduler supplies the
+// asynchrony; fairness follows from channel semantics. It cross-validates
+// the deterministic simulator (same elected leader, spec respected) and
+// provides wall-clock parallel benchmarks.
+package gorun
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Result is the outcome of one parallel execution.
+type Result struct {
+	// Protocol is the protocol's display name.
+	Protocol string
+	// N is the ring size.
+	N int
+	// Messages is the total number of sends.
+	Messages int
+	// LeaderIndex is the elected process's index.
+	LeaderIndex int
+	// Statuses is the terminal status of every process.
+	Statuses []core.Status
+	// PeakSpacePerProc is each process's peak SpaceBits.
+	PeakSpacePerProc []int
+	// Wall is the elapsed wall-clock time of the run.
+	Wall time.Duration
+}
+
+// ErrTimeout reports that the execution did not terminate in time.
+var ErrTimeout = errors.New("gorun: execution timed out")
+
+// Run executes the protocol on r with one goroutine per process and
+// returns when every process has halted. A non-terminating or deadlocked
+// execution is aborted after timeout.
+func Run(r *ring.Ring, p core.Protocol, timeout time.Duration) (*Result, error) {
+	return RunTraced(r, p, timeout, nil)
+}
+
+// RunTraced is Run with event tracing. Each action's events (the delivery
+// or init, any phase changes, and the sends it performs) are recorded
+// atomically under one lock, so the resulting stream is a valid
+// linearization: per-process program order and per-link FIFO order are
+// preserved, and every send precedes its delivery. The same trace
+// analyses that run on simulator output (phase tables, Figure 2
+// conformance, Observation 1) therefore apply to real concurrent
+// executions. sink may be nil.
+func RunTraced(r *ring.Ring, p core.Protocol, timeout time.Duration, sink trace.Sink) (*Result, error) {
+	n := r.N()
+	machines := make([]core.Machine, n)
+	for i := 0; i < n; i++ {
+		machines[i] = p.NewMachine(r.Label(i))
+	}
+
+	res := &Result{
+		Protocol:         p.Name(),
+		N:                n,
+		LeaderIndex:      -1,
+		PeakSpacePerProc: make([]int, n),
+	}
+
+	var (
+		msgCount atomic.Int64
+		done     = make(chan struct{})
+		stopOnce sync.Once
+		firstErr atomic.Pointer[error]
+	)
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		e := err
+		firstErr.CompareAndSwap(nil, &e)
+		stopOnce.Do(func() { close(done) })
+	}
+
+	checker := spec.New(n)
+	var checkMu sync.Mutex
+	lastPhase := make([]int, n)
+	// observe serializes spec checking and, when tracing, records the
+	// action's events atomically: the init/delivery itself, phase
+	// transitions, and the sends it produced.
+	observe := func(i int, op trace.Op, action string, msg core.Message, sent []core.Message) error {
+		checkMu.Lock()
+		defer checkMu.Unlock()
+		if sink != nil {
+			m := machines[i]
+			sink.Record(trace.Event{Op: op, Proc: i, Action: action, Msg: msg, State: m.StateName()})
+			if pr, ok := m.(core.PhaseReporter); ok {
+				if ph := pr.Phase(); ph > lastPhase[i] {
+					for q := lastPhase[i] + 1; q <= ph; q++ {
+						sink.Record(trace.Event{Op: trace.OpPhase, Proc: i, Phase: q, Guest: pr.Guest(), Active: pr.Active()})
+					}
+					lastPhase[i] = ph
+				}
+			}
+			for _, sm := range sent {
+				sink.Record(trace.Event{Op: trace.OpSend, Proc: i, Msg: sm})
+			}
+			if m.Halted() {
+				sink.Record(trace.Event{Op: trace.OpHalt, Proc: i, State: m.StateName()})
+			}
+		}
+		return checker.Observe(i, machines[i].Status())
+	}
+
+	// inbox[i] is the delivery channel of process i; outbox[i] carries the
+	// sends of process i to the pump of link (i, i+1).
+	inbox := make([]chan core.Message, n)
+	outbox := make([]chan core.Message, n)
+	for i := 0; i < n; i++ {
+		inbox[i] = make(chan core.Message, 64)
+		outbox[i] = make(chan core.Message, 64)
+	}
+
+	var wg sync.WaitGroup
+
+	// Link pumps: unbounded FIFO buffering between process i and i+1, so a
+	// slow receiver can never deadlock a sender (the model's links hold
+	// arbitrarily many messages).
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			to := (i + 1) % n
+			var buf []core.Message
+			in := outbox[i]
+			for {
+				var out chan core.Message
+				var head core.Message
+				if len(buf) > 0 {
+					out = inbox[to]
+					head = buf[0]
+				} else if in == nil {
+					return // source closed and buffer drained
+				}
+				select {
+				case m, ok := <-in:
+					if !ok {
+						in = nil
+						if len(buf) == 0 {
+							return
+						}
+						continue
+					}
+					buf = append(buf, m)
+				case out <- head:
+					buf = buf[1:]
+				case <-done:
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Processes.
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(outbox[i])
+			m := machines[i]
+			peak := 0
+			defer func() { res.PeakSpacePerProc[i] = peak }()
+
+			send := func(msgs []core.Message) bool {
+				for _, msg := range msgs {
+					msgCount.Add(1)
+					select {
+					case outbox[i] <- msg:
+					case <-done:
+						return false
+					}
+				}
+				return true
+			}
+
+			var out core.Outbox
+			action := m.Init(&out)
+			if sp := m.SpaceBits(); sp > peak {
+				peak = sp
+			}
+			sent := out.Drain()
+			if err := observe(i, trace.OpInit, action, core.Message{}, sent); err != nil {
+				fail(err)
+				return
+			}
+			if !send(sent) {
+				return
+			}
+			for !m.Halted() {
+				var msg core.Message
+				select {
+				case msg = <-inbox[i]:
+				case <-done:
+					return
+				}
+				action, err := m.Receive(msg, &out)
+				if err != nil {
+					fail(fmt.Errorf("gorun: process %d: %w", i, err))
+					return
+				}
+				if sp := m.SpaceBits(); sp > peak {
+					peak = sp
+				}
+				sent := out.Drain()
+				if err := observe(i, trace.OpDeliver, action, msg, sent); err != nil {
+					fail(err)
+					return
+				}
+				if !send(sent) {
+					return
+				}
+			}
+		}(i)
+	}
+
+	start := time.Now()
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(timeout):
+		fail(ErrTimeout)
+		<-finished
+	}
+	res.Wall = time.Since(start)
+	res.Messages = int(msgCount.Load())
+
+	if errp := firstErr.Load(); errp != nil {
+		return res, *errp
+	}
+
+	res.Statuses = make([]core.Status, n)
+	ids := make([]ring.Label, n)
+	halted := make([]bool, n)
+	for i, m := range machines {
+		res.Statuses[i] = m.Status()
+		ids[i] = r.Label(i)
+		halted[i] = m.Halted()
+	}
+	leader, err := checker.Finalize(ids, halted)
+	if err != nil {
+		return res, err
+	}
+	res.LeaderIndex = leader
+	return res, nil
+}

@@ -1,0 +1,242 @@
+package gorun_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gorun"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestAgreesWithSimulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rings := []*ring.Ring{ring.Ring122(), ring.Figure1(), ring.Distinct(12)}
+	for i := 0; i < 4; i++ {
+		r, err := ring.RandomAsymmetric(rng, 8+3*i, 3, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings = append(rings, r)
+	}
+	for _, r := range rings {
+		k := max(2, r.MaxMultiplicity())
+		for _, mk := range []func(int, int) (core.Protocol, error){
+			func(k, b int) (core.Protocol, error) { return core.NewAProtocol(k, b) },
+			func(k, b int) (core.Protocol, error) { return core.NewStarProtocol(k, b) },
+			func(k, b int) (core.Protocol, error) { return core.NewBProtocol(k, b) },
+		} {
+			p, err := mk(k, r.LabelBits())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sim.RunSync(r, p, sim.Options{})
+			if err != nil {
+				t.Fatalf("sim %s on %s: %v", p.Name(), r, err)
+			}
+			got, err := gorun.Run(r, p, time.Minute)
+			if err != nil {
+				t.Fatalf("gorun %s on %s: %v", p.Name(), r, err)
+			}
+			if got.LeaderIndex != want.LeaderIndex {
+				t.Errorf("%s on %s: gorun leader p%d, sim p%d", p.Name(), r, got.LeaderIndex, want.LeaderIndex)
+			}
+			if got.Messages != want.Messages {
+				t.Errorf("%s on %s: gorun %d messages, sim %d", p.Name(), r, got.Messages, want.Messages)
+			}
+			for i := range got.Statuses {
+				if got.Statuses[i] != want.Statuses[i] {
+					t.Errorf("%s on %s: status[%d] %+v vs %+v", p.Name(), r, i, got.Statuses[i], want.Statuses[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPeakSpaceMatchesSim(t *testing.T) {
+	r := ring.Distinct(8)
+	p, err := core.NewBProtocol(2, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.RunSync(r, p, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := gorun.Run(r, p, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.PeakSpacePerProc {
+		if got.PeakSpacePerProc[i] != want.PeakSpacePerProc[i] {
+			t.Errorf("peak space[%d] = %d, sim %d", i, got.PeakSpacePerProc[i], want.PeakSpacePerProc[i])
+		}
+	}
+}
+
+// silentProtocol never halts nor sends: the run can only end by timeout.
+type silentProtocol struct{}
+
+func (silentProtocol) Name() string { return "silent" }
+func (silentProtocol) NewMachine(id ring.Label) core.Machine {
+	return silentMachine{}
+}
+
+type silentMachine struct{}
+
+func (silentMachine) Init(*core.Outbox) string { return "Z1" }
+func (silentMachine) Receive(core.Message, *core.Outbox) (string, error) {
+	return "Z2", nil
+}
+func (silentMachine) Halted() bool        { return false }
+func (silentMachine) Status() core.Status { return core.Status{} }
+func (silentMachine) StateName() string   { return "Z" }
+func (silentMachine) SpaceBits() int      { return 1 }
+func (silentMachine) Fingerprint() string { return "Z" }
+
+func TestTimeout(t *testing.T) {
+	r := ring.Distinct(3)
+	_, err := gorun.Run(r, silentProtocol{}, 50*time.Millisecond)
+	if !errors.Is(err, gorun.ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+// brokenProtocol rejects every received message, testing error propagation
+// out of a process goroutine.
+type brokenProtocol struct{}
+
+func (brokenProtocol) Name() string { return "broken" }
+func (brokenProtocol) NewMachine(id ring.Label) core.Machine {
+	return &brokenMachine{id: id}
+}
+
+type brokenMachine struct{ id ring.Label }
+
+func (m *brokenMachine) Init(out *core.Outbox) string {
+	out.Send(core.Token(m.id))
+	return "E1"
+}
+func (m *brokenMachine) Receive(msg core.Message, _ *core.Outbox) (string, error) {
+	return "", fmt.Errorf("broken machine rejects %s", msg)
+}
+func (m *brokenMachine) Halted() bool        { return false }
+func (m *brokenMachine) Status() core.Status { return core.Status{} }
+func (m *brokenMachine) StateName() string   { return "E" }
+func (m *brokenMachine) SpaceBits() int      { return 1 }
+func (m *brokenMachine) Fingerprint() string { return "E" }
+
+func TestMachineErrorPropagates(t *testing.T) {
+	r := ring.Distinct(3)
+	_, err := gorun.Run(r, brokenProtocol{}, 10*time.Second)
+	if err == nil || errors.Is(err, gorun.ErrTimeout) {
+		t.Errorf("err = %v, want machine error", err)
+	}
+}
+
+func TestRepeatedRunsDeterministicOutcome(t *testing.T) {
+	r, err := ring.RandomAsymmetric(rand.New(rand.NewSource(23)), 20, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewBProtocol(3, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leader, messages int
+	for run := 0; run < 8; run++ {
+		res, err := gorun.Run(r, p, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			leader, messages = res.LeaderIndex, res.Messages
+			continue
+		}
+		if res.LeaderIndex != leader || res.Messages != messages {
+			t.Fatalf("run %d: p%d/%d messages, first run p%d/%d — outcome must be schedule-independent",
+				run, res.LeaderIndex, res.Messages, leader, messages)
+		}
+	}
+}
+
+// TestTracedFigure1UnderRealConcurrency reproduces Figure 1 from a trace
+// of the goroutine engine: the phase table, active sets and guests must
+// match the paper even when the Go scheduler supplies the asynchrony, and
+// every observed transition must be a Figure 2 edge.
+func TestTracedFigure1UnderRealConcurrency(t *testing.T) {
+	r := ring.Figure1()
+	p, err := core.NewBProtocol(3, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		mem := &trace.Mem{}
+		res, err := gorun.RunTraced(r, p, time.Minute, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LeaderIndex != 0 {
+			t.Fatalf("run %d: leader p%d, want p0", run, res.LeaderIndex)
+		}
+		table := trace.BuildPhaseTable(mem.Events, r.N())
+		if table.Phases() != 9 {
+			t.Fatalf("run %d: %d phases, want 9", run, table.Phases())
+		}
+		wantActive := [][]int{{0, 1, 2, 3, 4, 5, 6, 7}, {0, 2, 6}, {0, 6}, {0}}
+		for ph, want := range wantActive {
+			got := table.ActiveSet(ph + 1)
+			if len(got) != len(want) {
+				t.Fatalf("run %d phase %d: active %v, want %v", run, ph+1, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("run %d phase %d: active %v, want %v", run, ph+1, got, want)
+				}
+			}
+		}
+		if bad := trace.CheckAgainstFigure2(trace.Transitions(mem.Events)); len(bad) > 0 {
+			t.Fatalf("run %d: transitions outside Figure 2: %v", run, bad)
+		}
+		// Event accounting: sends == receives == messages.
+		sends, delivers := 0, 0
+		for _, e := range mem.Events {
+			switch e.Op {
+			case trace.OpSend:
+				sends++
+			case trace.OpDeliver:
+				delivers++
+			}
+		}
+		if sends != res.Messages || delivers != res.Messages {
+			t.Fatalf("run %d: %d sends / %d delivers vs %d messages", run, sends, delivers, res.Messages)
+		}
+	}
+}
+
+func TestLargeParallelRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large parallel ring skipped in -short mode")
+	}
+	r, err := ring.RandomAsymmetric(rand.New(rand.NewSource(31)), 256, 4, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewAProtocol(4, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gorun.Run(r, p, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := r.TrueLeader()
+	if res.LeaderIndex != want {
+		t.Errorf("leader p%d, want true leader p%d", res.LeaderIndex, want)
+	}
+}

@@ -1,0 +1,172 @@
+// Package lowerbound makes the paper's negative results executable:
+//
+//   - Lemma 1's construction — from a distinct-label ring R_n build
+//     R_{n,k}: the label sequence of R_n repeated k times followed by one
+//     fresh label X, a member of U* ∩ Kk;
+//   - the indistinguishability property (*) — for t ≤ j, process q_j of
+//     R_{n,k} is in the same state as p_{j mod n} of R_n after t
+//     synchronous steps, because no information from q_{kn} can have
+//     reached q_j yet;
+//   - Theorem 1's contradiction — an algorithm that terminates too fast on
+//     R_n (T ≤ (k-2)n steps) must elect two leaders on R_{n,k}, a
+//     violation of the specification caught by internal/spec;
+//   - Corollary 2/4's bound — any correct algorithm for U* ∩ Kk (or
+//     A ∩ Kk) spends at least 1+(k-2)n synchronous steps on every
+//     distinct-label ring.
+package lowerbound
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// BuildRnk returns the Lemma 1 ring R_{n,k}: the labels of base repeated k
+// times, followed by the single fresh label x. x must not occur in base,
+// and base must have distinct labels for the lemma's argument (both are
+// checked).
+func BuildRnk(base *ring.Ring, k int, x ring.Label) (*ring.Ring, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("lowerbound: k must be >= 1, got %d", k)
+	}
+	if base.MaxMultiplicity() != 1 {
+		return nil, fmt.Errorf("lowerbound: base ring %s is not in K1", base)
+	}
+	if base.Multiplicity(x) != 0 {
+		return nil, fmt.Errorf("lowerbound: fresh label %s occurs in base ring %s", x, base)
+	}
+	n := base.N()
+	labels := make([]ring.Label, 0, k*n+1)
+	for rep := 0; rep < k; rep++ {
+		labels = append(labels, base.Labels()...)
+	}
+	labels = append(labels, x)
+	return ring.New(labels)
+}
+
+// IndistinguishabilityReport is the outcome of CheckIndistinguishability.
+type IndistinguishabilityReport struct {
+	// StepsChecked is the number of synchronous steps compared (bounded by
+	// the shorter execution and by kn-1, the largest j the property covers).
+	StepsChecked int
+	// PairsChecked counts the (j, t) state comparisons performed.
+	PairsChecked int
+	// BaseSteps is T: the length of the synchronous execution on the base
+	// ring.
+	BaseSteps int
+}
+
+// CheckIndistinguishability runs the synchronous executions of proto on
+// base (R_n) and on R_{n,k}, and verifies property (*): for every
+// j ∈ {0,…,kn-1} and every step t ≤ j, the state of q_j equals the state
+// of p_{j mod n}. Machine fingerprints stand in for states. An error is
+// returned on the first mismatch.
+//
+// proto must be correct on the base ring for its synchronous execution to
+// be finite; the R_{n,k} run is truncated at the same horizon, so proto
+// need not be correct there.
+func CheckIndistinguishability(base *ring.Ring, k int, x ring.Label, proto core.Protocol, opts sim.Options) (*IndistinguishabilityReport, error) {
+	big, err := BuildRnk(base, k, x)
+	if err != nil {
+		return nil, err
+	}
+	n := base.N()
+	kn := k * n
+
+	var baseStates [][]string // baseStates[t][i] = fingerprint of p_i after step t
+	if _, err := sim.SyncProbe(base, proto, opts, func(step int, fps []string) bool {
+		baseStates = append(baseStates, fps)
+		return true
+	}); err != nil {
+		return nil, fmt.Errorf("lowerbound: base run failed: %w", err)
+	}
+	T := len(baseStates) - 1
+
+	rep := &IndistinguishabilityReport{BaseSteps: T}
+	horizon := min(T, kn-1)
+	var mismatch error
+	_, err = sim.SyncProbe(big, proto, opts, func(step int, fps []string) bool {
+		if step > horizon {
+			return false
+		}
+		rep.StepsChecked = step
+		for j := step; j < kn; j++ { // property (*) holds for t ≤ j
+			rep.PairsChecked++
+			if fps[j] != baseStates[step][j%n] {
+				mismatch = fmt.Errorf("lowerbound: property (*) fails at step %d: q_%d=%q vs p_%d=%q",
+					step, j, fps[j], j%n, baseStates[step][j%n])
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil && !errors.Is(err, sim.ErrMaxActions) {
+		// A spec violation on R_{n,k} is expected when proto is incorrect
+		// there (that is Theorem 1's point); only engine-level failures and
+		// (*) mismatches are errors for this check.
+		var v *spec.Violation
+		if !errors.As(err, &v) {
+			return rep, fmt.Errorf("lowerbound: R_{n,k} run failed: %w", err)
+		}
+	}
+	if mismatch != nil {
+		return rep, mismatch
+	}
+	return rep, nil
+}
+
+// TwoLeadersResult reports the Theorem 1 demonstration.
+type TwoLeadersResult struct {
+	// BaseSteps is T, the synchronous step count of proto on the base ring.
+	BaseSteps int
+	// K is the chosen repetition count with 1+(k-2)n > T.
+	K int
+	// RingSize is kn+1.
+	RingSize int
+	// Violation is the spec violation produced on R_{n,k} (nil if the
+	// algorithm, unexpectedly, survived — e.g. because it genuinely knows a
+	// large enough multiplicity bound).
+	Violation *spec.Violation
+}
+
+// DemonstrateTwoLeaders plays out the proof of Theorem 1 for a concrete
+// algorithm: measure T on the distinct-label base ring, pick
+// k = ⌈T/n⌉ + 3 so that T ≤ (k-2)n, build R_{n,k}, and run the same
+// algorithm there. If the algorithm's termination on the base ring did not
+// genuinely depend on a correct multiplicity bound for R_{n,k}, two
+// processes elect themselves and the specification checker reports the
+// bullet 1 violation.
+func DemonstrateTwoLeaders(base *ring.Ring, proto core.Protocol, fresh ring.Label, opts sim.Options) (*TwoLeadersResult, error) {
+	baseRes, err := sim.RunSync(base, proto, opts)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: algorithm incorrect on base ring: %w", err)
+	}
+	n := base.N()
+	T := baseRes.Steps
+	k := (T+n-1)/n + 3 // 1+(k-2)n > T with margin
+	out := &TwoLeadersResult{BaseSteps: T, K: k, RingSize: k*n + 1}
+
+	big, err := BuildRnk(base, k, fresh)
+	if err != nil {
+		return nil, err
+	}
+	_, err = sim.RunSync(big, proto, opts)
+	if err == nil {
+		return out, nil // survived: no violation to report
+	}
+	var v *spec.Violation
+	if errors.As(err, &v) {
+		out.Violation = v
+		return out, nil
+	}
+	return out, fmt.Errorf("lowerbound: R_{n,k} run failed for a non-spec reason: %w", err)
+}
+
+// MinStepsBound returns Lemma 1's lower bound on the synchronous step count
+// of any leader-election algorithm for U* ∩ Kk when run on a distinct-label
+// ring of n processes: 1 + (k-2)·n.
+func MinStepsBound(n, k int) int { return 1 + (k-2)*n }

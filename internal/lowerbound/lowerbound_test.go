@@ -1,0 +1,130 @@
+package lowerbound_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func TestBuildRnk(t *testing.T) {
+	base := ring.Distinct(4) // [1 2 3 4]
+	r, err := lowerbound.BuildRnk(base, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != "[1 2 3 4 1 2 3 4 9]" {
+		t.Errorf("R_{4,2} = %s", r)
+	}
+	if r.N() != 2*4+1 {
+		t.Errorf("N = %d, want kn+1 = 9", r.N())
+	}
+	if !r.HasUniqueLabel() || !r.InKk(2) || !r.IsAsymmetric() {
+		t.Errorf("R_{n,k} %s must be in U* ∩ K2 ∩ A", r)
+	}
+}
+
+func TestBuildRnkValidation(t *testing.T) {
+	base := ring.Distinct(4)
+	if _, err := lowerbound.BuildRnk(base, 0, 9); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, err := lowerbound.BuildRnk(base, 2, 3); err == nil {
+		t.Error("fresh label occurring in base must fail")
+	}
+	homonym := ring.MustNew(1, 1, 2)
+	if _, err := lowerbound.BuildRnk(homonym, 2, 9); err == nil {
+		t.Error("non-K1 base must fail")
+	}
+}
+
+func TestIndistinguishabilityHoldsForAllAlgorithms(t *testing.T) {
+	base := ring.Distinct(5)
+	bits := ring.Label(99).Bits()
+	mks := []func() (core.Protocol, error){
+		func() (core.Protocol, error) { return core.NewAProtocol(3, bits) },
+		func() (core.Protocol, error) { return core.NewStarProtocol(3, bits) },
+		func() (core.Protocol, error) { return core.NewBProtocol(3, bits) },
+	}
+	for _, mk := range mks {
+		p, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := lowerbound.CheckIndistinguishability(base, 3, 99, p, sim.Options{})
+		if err != nil {
+			t.Fatalf("%s: property (*) violated: %v", p.Name(), err)
+		}
+		if rep.PairsChecked == 0 || rep.StepsChecked == 0 {
+			t.Fatalf("%s: nothing compared: %+v", p.Name(), rep)
+		}
+	}
+}
+
+func TestDemonstrateTwoLeaders(t *testing.T) {
+	base := ring.Distinct(5)
+	bits := ring.Label(999).Bits()
+	for _, mk := range []func() (core.Protocol, error){
+		func() (core.Protocol, error) { return core.NewAProtocol(2, bits) },
+		func() (core.Protocol, error) { return core.NewStarProtocol(2, bits) },
+	} {
+		p, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := lowerbound.DemonstrateTwoLeaders(base, p, 999, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation == nil {
+			t.Fatalf("%s survived R_{n,%d} — Lemma 1 says it must elect two leaders", p.Name(), res.K)
+		}
+		if res.Violation.Bullet != 1 {
+			t.Fatalf("%s: violation of bullet %d, want bullet 1 (two leaders)", p.Name(), res.Violation.Bullet)
+		}
+		if res.BaseSteps > (res.K-2)*base.N() {
+			t.Fatalf("chosen k=%d does not satisfy T=%d ≤ (k-2)n", res.K, res.BaseSteps)
+		}
+	}
+}
+
+// TestLowerBoundHolds is Corollary 2 measured: algorithms that are correct
+// for U* ∩ Kk (with the right k) spend ≥ 1+(k-2)n synchronous steps on
+// distinct-label rings.
+func TestLowerBoundHolds(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		r := ring.Distinct(n)
+		for _, k := range []int{2, 3, 4, 5} {
+			bound := lowerbound.MinStepsBound(n, k)
+			for _, mk := range []func(int, int) (core.Protocol, error){
+				func(k, b int) (core.Protocol, error) { return core.NewAProtocol(k, b) },
+				func(k, b int) (core.Protocol, error) { return core.NewStarProtocol(k, b) },
+				func(k, b int) (core.Protocol, error) { return core.NewBProtocol(k, b) },
+			} {
+				p, err := mk(k, r.LabelBits())
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.RunSync(r, p, sim.Options{})
+				if err != nil {
+					t.Fatalf("%s on %s: %v", p.Name(), r, err)
+				}
+				if res.Steps < bound {
+					t.Errorf("%s on n=%d k=%d: %d steps < lower bound %d — contradicts Lemma 1",
+						p.Name(), n, k, res.Steps, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestMinStepsBound(t *testing.T) {
+	if got := lowerbound.MinStepsBound(10, 2); got != 1 {
+		t.Errorf("bound(10,2) = %d, want 1", got)
+	}
+	if got := lowerbound.MinStepsBound(10, 5); got != 31 {
+		t.Errorf("bound(10,5) = %d, want 31", got)
+	}
+}

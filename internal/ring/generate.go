@@ -1,0 +1,177 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Figure1 returns the 8-process ring of the paper's Figure 1, clockwise
+// labels 1 3 1 3 2 2 1 2, on which Bk with k = 3 elects p0.
+func Figure1() *Ring { return MustNew(1, 3, 1, 3, 2, 2, 1, 2) }
+
+// Ring122 returns the 3-process ring with labels 1, 2, 2 from the paper's
+// introduction: leader election is solvable on it within A ∩ K2, although
+// not in the models of Dobrev–Pelc [4] or Delporte et al. [9].
+func Ring122() *Ring { return MustNew(1, 2, 2) }
+
+// Distinct returns the n-process ring with labels 1 … n in clockwise order:
+// a member of K1 ⊆ U* ∩ Kk for every k, and the worst case of Theorem 2
+// (max multiplicity M = 1).
+func Distinct(n int) *Ring {
+	labels := make([]Label, n)
+	for i := range labels {
+		labels[i] = Label(i + 1)
+	}
+	return MustNew(labels...)
+}
+
+// DistinctShuffled returns an n-process ring with labels 1 … n in an order
+// drawn from rng. Still K1, but without the sorted-structure artifact.
+func DistinctShuffled(n int, rng *rand.Rand) *Ring {
+	labels := make([]Label, n)
+	for i := range labels {
+		labels[i] = Label(i + 1)
+	}
+	rng.Shuffle(n, func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+	return MustNew(labels...)
+}
+
+// BlockMultiplicity returns an asymmetric ring of n = q·k processes where
+// every label has multiplicity exactly k, arranged as blocks
+// 1^k 2^k … q^k. This is the best case of Theorem 2 (M = k). It requires
+// q ≥ 2 (with q = 1 all labels coincide and the ring is symmetric).
+func BlockMultiplicity(q, k int) (*Ring, error) {
+	if q < 2 {
+		return nil, fmt.Errorf("ring: BlockMultiplicity needs q >= 2 distinct labels, got %d", q)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("ring: BlockMultiplicity needs k >= 1, got %d", k)
+	}
+	labels := make([]Label, 0, q*k)
+	for v := 1; v <= q; v++ {
+		for j := 0; j < k; j++ {
+			labels = append(labels, Label(v))
+		}
+	}
+	return New(labels)
+}
+
+// OneHeavyLabel returns an asymmetric n-process ring whose maximum
+// multiplicity is exactly k: k copies of label 0 followed by distinct labels
+// 1 … n-k. Requires n > k ≥ 1.
+func OneHeavyLabel(n, k int) (*Ring, error) {
+	if k < 1 || n <= k {
+		return nil, fmt.Errorf("ring: OneHeavyLabel needs n > k >= 1, got n=%d k=%d", n, k)
+	}
+	labels := make([]Label, 0, n)
+	for j := 0; j < k; j++ {
+		labels = append(labels, 0)
+	}
+	for v := 1; v <= n-k; v++ {
+		labels = append(labels, Label(v))
+	}
+	return New(labels)
+}
+
+// RandomAsymmetric draws a labeling of n processes over the alphabet
+// {1 … alpha} from A ∩ Kk: it samples each position uniformly among the
+// labels still below the multiplicity cap k, shuffles, and rejects the
+// (rare) symmetric outcomes. alpha·k must be at least n for Kk to be
+// satisfiable.
+func RandomAsymmetric(rng *rand.Rand, n, k, alpha int) (*Ring, error) {
+	if alpha*k < n {
+		return nil, fmt.Errorf("ring: alphabet %d with multiplicity %d cannot label %d processes", alpha, k, n)
+	}
+	const maxTries = 10000
+	for try := 0; try < maxTries; try++ {
+		counts := make([]int, alpha) // counts[v-1] = occurrences of label v
+		labels := make([]Label, n)
+		for i := range labels {
+			// Uniform among labels below the cap.
+			v := rng.Intn(alpha) + 1
+			for counts[v-1] >= k {
+				v = v%alpha + 1
+			}
+			counts[v-1]++
+			labels[i] = Label(v)
+		}
+		rng.Shuffle(n, func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+		r, err := New(labels)
+		if err != nil {
+			return nil, err
+		}
+		if r.InKk(k) && r.IsAsymmetric() {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("ring: no asymmetric K%d labeling of n=%d over alphabet %d after %d tries", k, n, alpha, maxTries)
+}
+
+// RandomUniqueLabel draws rings from U* ∩ Kk: asymmetric, at most
+// multiplicity k, and with at least one unique label.
+func RandomUniqueLabel(rng *rand.Rand, n, k, alpha int) (*Ring, error) {
+	const maxTries = 10000
+	for try := 0; try < maxTries; try++ {
+		r, err := RandomAsymmetric(rng, n, k, alpha)
+		if err != nil {
+			return nil, err
+		}
+		if r.HasUniqueLabel() {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("ring: no U* ∩ K%d labeling of n=%d over alphabet %d after %d tries", k, n, alpha, maxTries)
+}
+
+// AllAsymmetricNecklaces calls fn with one representative per rotation
+// class of the asymmetric labelings of n processes over {1 … alpha}: the
+// representative is the labeling that is lexicographically least among its
+// rotations. Together with rotation equivariance of the algorithms this
+// covers every asymmetric ring while doing 1/n of AllLabelings' work. The
+// *Ring passed to fn is reused across calls — fn must not retain it.
+// Iteration stops early if fn returns false.
+func AllAsymmetricNecklaces(n, alpha int, fn func(*Ring) bool) {
+	AllLabelings(n, alpha, func(r *Ring) bool {
+		if !r.IsAsymmetric() {
+			return true
+		}
+		// Least rotation check: representative iff no rotation is smaller.
+		for d := 1; d < n; d++ {
+			smaller := false
+			for i := 0; i < n; i++ {
+				a, b := r.labels[(i+d)%n], r.labels[i]
+				if a != b {
+					smaller = a < b
+					break
+				}
+			}
+			if smaller {
+				return true // not the representative
+			}
+		}
+		return fn(r)
+	})
+}
+
+// AllLabelings calls fn with every labeling of n processes over the
+// alphabet {1 … alpha} (alpha^n rings; use only for small n). The *Ring
+// passed to fn is reused across calls — fn must not retain it. Iteration
+// stops early if fn returns false.
+func AllLabelings(n, alpha int, fn func(*Ring) bool) {
+	labels := make([]Label, n)
+	r := &Ring{labels: labels}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return fn(r)
+		}
+		for v := 1; v <= alpha; v++ {
+			labels[i] = Label(v)
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}

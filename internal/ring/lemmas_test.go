@@ -1,0 +1,128 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/words"
+)
+
+// TestLemma5 checks the paper's Lemma 5: for every process p of an
+// asymmetric ring and every m ≥ 2n, the smallest repeating prefix of
+// LLabels(p)^m has length exactly n. (The implementation relies on the
+// slightly stronger m ≥ 2n-1, which Fine–Wilf also gives; both are
+// verified, along with the existence of shorter prefixes where the period
+// is still ambiguous.)
+func TestLemma5(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	rings := []*Ring{Figure1(), Ring122(), Distinct(7)}
+	for i := 0; i < 20; i++ {
+		n := 3 + rng.Intn(12)
+		r, err := RandomAsymmetric(rng, n, 3, max(4, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings = append(rings, r)
+	}
+	for _, r := range rings {
+		n := r.N()
+		for p := 0; p < n; p++ {
+			for _, m := range []int{2*n - 1, 2 * n, 2*n + 1, 3 * n, 3*n + n/2} {
+				seq := r.LLabels(p, m)
+				if got := words.SmallestPeriod(seq); got != n {
+					t.Fatalf("Lemma 5 fails on %s: srp(LLabels(p%d)^%d) has length %d, want n=%d",
+						r, p, m, got, n)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma5NeedsTwoLaps exhibits why the 2n-1 threshold matters: there
+// are asymmetric rings whose single-lap window has a shorter period, so a
+// process stopping after n labels could misjudge the ring size.
+func TestLemma5NeedsTwoLaps(t *testing.T) {
+	r := MustNew(1, 2, 1, 2, 3) // asymmetric, but one lap from p3 reads 2 1 2 1 …
+	found := false
+	for p := 0; p < r.N(); p++ {
+		for m := 2; m < 2*r.N()-1; m++ {
+			if words.SmallestPeriod(r.LLabels(p, m)) < r.N() &&
+				words.SmallestPeriod(r.LLabels(p, m)) < m {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected some short prefix with a misleading period on", r)
+	}
+}
+
+// TestLemma6 checks Lemma 6: whenever LLabels(p)^m contains at least 2k+1
+// copies of some label (k the ring's max multiplicity bound), the prefix
+// fully determines the ring — its srp is exactly the n-window, from which
+// n and the whole labeling are read off.
+func TestLemma6(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(12)
+		k := 1 + rng.Intn(3)
+		r, err := RandomAsymmetric(rng, n, k, max(4, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k = r.MaxMultiplicity() // use the exact multiplicity as the bound
+		for p := 0; p < n; p++ {
+			// Find the first m at which some label has 2k+1 copies.
+			counts := map[Label]int{}
+			m := 0
+			for m < 10*n {
+				m++
+				counts[r.LLabels(p, m)[m-1]]++
+				if counts[r.LLabels(p, m)[m-1]] == 2*k+1 {
+					break
+				}
+			}
+			seq := r.LLabels(p, m)
+			if words.MaxCount(seq) < 2*k+1 {
+				t.Fatalf("no label reached 2k+1 copies within 10n on %s", r)
+			}
+			if m <= 2*n {
+				t.Fatalf("Lemma 6 precondition argument violated: m=%d ≤ 2n=%d on %s", m, 2*n, r)
+			}
+			srp := words.SmallestRepeatingPrefix(seq)
+			if len(srp) != n {
+				t.Fatalf("Lemma 6 fails on %s: srp length %d, want n=%d", r, len(srp), n)
+			}
+			// The srp must be the counter-clockwise window at p.
+			want := r.LLabels(p, n)
+			for i := range want {
+				if srp[i] != want[i] {
+					t.Fatalf("Lemma 6 fails on %s: srp %v != window %v", r, srp, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTrueLeaderLyndonUniqueness backs the true-leader definition: on an
+// asymmetric ring exactly one rotation of the label sequence is a Lyndon
+// word.
+func TestTrueLeaderLyndonUniqueness(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(14)
+		r, err := RandomAsymmetric(rng, n, 3, max(4, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lyndons := 0
+		for p := 0; p < n; p++ {
+			if words.IsLyndon(r.LLabels(p, n)) {
+				lyndons++
+			}
+		}
+		if lyndons != 1 {
+			t.Fatalf("%s: %d Lyndon rotations, want exactly 1", r, lyndons)
+		}
+	}
+}

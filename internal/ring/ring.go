@@ -1,0 +1,249 @@
+// Package ring models the labeled unidirectional ring networks of Altisen
+// et al. (IPPS 2017): n ≥ 2 processes p0 … p(n-1), each holding a label
+// that need not be unique (homonyms), where pi receives only from p(i-1)
+// and sends only to p(i+1) (indices modulo n).
+//
+// It provides the ring-network classes of the paper — Kk (multiplicity at
+// most k), A (asymmetric: no non-trivial rotational symmetry) and U*
+// (at least one unique label) — the true-leader definition based on Lyndon
+// words, and deterministic generators for every class.
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"repro/internal/words"
+)
+
+// Label is a process label. Homonym processes may share a label. Per the
+// model, comparison (order and equality) is the only operation algorithms
+// may perform on labels; all other methods here exist for harness purposes
+// (parsing, printing, space accounting).
+type Label int64
+
+// Less reports whether l orders strictly before m.
+func (l Label) Less(m Label) bool { return l < m }
+
+// String renders the label as a decimal integer.
+func (l Label) String() string { return strconv.FormatInt(int64(l), 10) }
+
+// Bits returns the number of bits needed to store the label's value
+// (at least 1). Negative labels are not used by the generators but are
+// accounted for via their absolute value plus a sign bit.
+func (l Label) Bits() int {
+	v := int64(l)
+	if v < 0 {
+		return bits.Len64(uint64(-v)) + 1
+	}
+	return max(1, bits.Len64(uint64(v)))
+}
+
+// Ring is an immutable labeled unidirectional ring of n ≥ 2 processes.
+// Process i sends to process (i+1) mod n.
+type Ring struct {
+	labels []Label
+}
+
+// New builds a ring from the clockwise label sequence: labels[i] is the
+// label of process pi. It requires n ≥ 2.
+func New(labels []Label) (*Ring, error) {
+	if len(labels) < 2 {
+		return nil, fmt.Errorf("ring: need at least 2 processes, got %d", len(labels))
+	}
+	cp := make([]Label, len(labels))
+	copy(cp, labels)
+	return &Ring{labels: cp}, nil
+}
+
+// MustNew is New, panicking on error. For tests and literals.
+func MustNew(labels ...Label) *Ring {
+	r, err := New(labels)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Parse reads a whitespace- or comma-separated list of integer labels, e.g.
+// "1 3 1 3 2 2 1 2" or "1,2,2".
+func Parse(s string) (*Ring, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == ',' || r == '\t' || r == '\n'
+	})
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("ring: empty spec %q", s)
+	}
+	labels := make([]Label, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ring: bad label %q in spec: %w", f, err)
+		}
+		labels = append(labels, Label(v))
+	}
+	return New(labels)
+}
+
+// N returns the number of processes.
+func (r *Ring) N() int { return len(r.labels) }
+
+// Label returns the label of process i; i is taken modulo n so callers can
+// use pi±1 arithmetic directly.
+func (r *Ring) Label(i int) Label {
+	n := len(r.labels)
+	return r.labels[((i%n)+n)%n]
+}
+
+// Labels returns a copy of the clockwise label sequence.
+func (r *Ring) Labels() []Label {
+	cp := make([]Label, len(r.labels))
+	copy(cp, r.labels)
+	return cp
+}
+
+// LLabels returns the first m elements of LLabels(pi): the labels of
+// processes starting at i and continuing counter-clockwise, i.e.
+// labels[i], labels[i-1], labels[i-2], … (indices modulo n). m may exceed n,
+// in which case the sequence wraps, matching the paper's infinite sequence.
+func (r *Ring) LLabels(i, m int) []Label {
+	n := len(r.labels)
+	out := make([]Label, m)
+	for j := 0; j < m; j++ {
+		out[j] = r.labels[(((i-j)%n)+n)%n]
+	}
+	return out
+}
+
+// Multiplicity returns mlty[l]: the number of processes whose label is l.
+func (r *Ring) Multiplicity(l Label) int {
+	c := 0
+	for _, x := range r.labels {
+		if x == l {
+			c++
+		}
+	}
+	return c
+}
+
+// Multiplicities returns the full label→multiplicity map.
+func (r *Ring) Multiplicities() map[Label]int {
+	m := make(map[Label]int)
+	for _, x := range r.labels {
+		m[x]++
+	}
+	return m
+}
+
+// MaxMultiplicity returns M = max over labels of mlty[l].
+func (r *Ring) MaxMultiplicity() int {
+	best := 0
+	for _, c := range r.Multiplicities() {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// InKk reports membership in the class Kk: no label occurs more than k
+// times.
+func (r *Ring) InKk(k int) bool { return r.MaxMultiplicity() <= k }
+
+// IsAsymmetric reports membership in the class A: the ring has no
+// non-trivial rotational symmetry, i.e. there is no 0 < d < n with
+// label(i+d) = label(i) for all i. Equivalently, the smallest period of the
+// label sequence that divides n is n itself.
+func (r *Ring) IsAsymmetric() bool {
+	n := len(r.labels)
+	// d is a rotational symmetry iff d is a period of the sequence viewed
+	// cyclically, i.e. iff d divides n and d is a period of the doubled
+	// sequence restricted appropriately. Checking directly is O(n·divisors).
+	for d := 1; d < n; d++ {
+		if n%d != 0 {
+			continue
+		}
+		sym := true
+		for i := 0; i < n && sym; i++ {
+			if r.labels[i] != r.labels[(i+d)%n] {
+				sym = false
+			}
+		}
+		if sym {
+			return false
+		}
+	}
+	return true
+}
+
+// HasUniqueLabel reports membership in the class U*: at least one label has
+// multiplicity exactly 1.
+func (r *Ring) HasUniqueLabel() bool {
+	for _, c := range r.Multiplicities() {
+		if c == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// LabelBits returns b: the number of bits required to store any label of
+// this ring (at least 1). Used by the space-complexity accounting of
+// Theorems 2 and 4.
+func (r *Ring) LabelBits() int {
+	b := 1
+	for _, l := range r.labels {
+		if lb := l.Bits(); lb > b {
+			b = lb
+		}
+	}
+	return b
+}
+
+// TrueLeader returns the index of the true leader: the process L such that
+// LLabels(L)^n is a Lyndon word (the unique lexicographically-least
+// counter-clockwise label sequence). ok is false when the ring is symmetric,
+// in which case no process is distinguished and index is -1.
+func (r *Ring) TrueLeader() (index int, ok bool) {
+	if !r.IsAsymmetric() {
+		return -1, false
+	}
+	n := len(r.labels)
+	best := -1
+	var bestSeq []Label
+	for i := 0; i < n; i++ {
+		seq := r.LLabels(i, n)
+		if best == -1 || words.Compare(seq, bestSeq) < 0 {
+			best, bestSeq = i, seq
+		}
+	}
+	return best, true
+}
+
+// Rotate returns the ring relabeled so that old process d becomes new
+// process 0. The network is the same; only the harness numbering shifts.
+func (r *Ring) Rotate(d int) *Ring {
+	n := len(r.labels)
+	d = ((d % n) + n) % n
+	out := make([]Label, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.labels[(i+d)%n]
+	}
+	return &Ring{labels: out}
+}
+
+// String renders the clockwise label sequence, e.g. "[1 3 1 3 2 2 1 2]".
+func (r *Ring) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, l := range r.labels {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(l.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}

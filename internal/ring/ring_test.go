@@ -1,0 +1,405 @@
+package ring
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/words"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("New(nil) must fail")
+	}
+	if _, err := New([]Label{1}); err == nil {
+		t.Error("New with one process must fail")
+	}
+	r, err := New([]Label{1, 2})
+	if err != nil || r.N() != 2 {
+		t.Fatalf("New([1 2]) = %v, %v", r, err)
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	labels := []Label{1, 2, 3}
+	r, err := New(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels[0] = 99
+	if r.Label(0) != 1 {
+		t.Error("New must copy its input slice")
+	}
+	got := r.Labels()
+	got[1] = 99
+	if r.Label(1) != 2 {
+		t.Error("Labels must return a copy")
+	}
+}
+
+func TestParse(t *testing.T) {
+	r, err := Parse("1 3 1 3 2 2 1 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Labels(), Figure1().Labels()) {
+		t.Errorf("Parse = %s, want %s", r, Figure1())
+	}
+	if r2, err := Parse("1,2,2"); err != nil || r2.String() != "[1 2 2]" {
+		t.Errorf("Parse comma form = %v, %v", r2, err)
+	}
+	for _, bad := range []string{"", "1", "1 x 2", "  "} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) must fail", bad)
+		}
+	}
+}
+
+func TestLabelIndexingWraps(t *testing.T) {
+	r := MustNew(10, 20, 30)
+	cases := map[int]Label{0: 10, 1: 20, 2: 30, 3: 10, -1: 30, -4: 30, 5: 30}
+	for i, want := range cases {
+		if got := r.Label(i); got != want {
+			t.Errorf("Label(%d) = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestLLabels(t *testing.T) {
+	r := Figure1() // [1 3 1 3 2 2 1 2]
+	// LLabels(p0) = p0, p7, p6, p5, … = 1 2 1 2 2 3 1 3, then wraps.
+	want := []Label{1, 2, 1, 2, 2, 3, 1, 3, 1, 2}
+	if got := r.LLabels(0, 10); !reflect.DeepEqual(got, want) {
+		t.Errorf("LLabels(0, 10) = %v, want %v", got, want)
+	}
+	if got := r.LLabels(2, 3); !reflect.DeepEqual(got, []Label{1, 3, 1}) {
+		t.Errorf("LLabels(2, 3) = %v", got)
+	}
+}
+
+func TestMultiplicity(t *testing.T) {
+	r := Figure1()
+	if got := r.Multiplicity(1); got != 3 {
+		t.Errorf("mlty[1] = %d, want 3", got)
+	}
+	if got := r.Multiplicity(9); got != 0 {
+		t.Errorf("mlty[9] = %d, want 0", got)
+	}
+	if got := r.MaxMultiplicity(); got != 3 {
+		t.Errorf("MaxMultiplicity = %d, want 3", got)
+	}
+	if !r.InKk(3) || r.InKk(2) {
+		t.Error("Figure1 ring is in K3 but not K2")
+	}
+	m := r.Multiplicities()
+	if m[1] != 3 || m[2] != 3 || m[3] != 2 || len(m) != 3 {
+		t.Errorf("Multiplicities = %v", m)
+	}
+}
+
+// bruteAsymmetric checks all shifts d in 1..n-1, not only divisors — the
+// raw definition from §II.
+func bruteAsymmetric(labels []Label) bool {
+	n := len(labels)
+	for d := 1; d < n; d++ {
+		sym := true
+		for i := 0; i < n; i++ {
+			if labels[i] != labels[(i+d)%n] {
+				sym = false
+				break
+			}
+		}
+		if sym {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIsAsymmetricExhaustive(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		AllLabelings(n, 3, func(r *Ring) bool {
+			if got, want := r.IsAsymmetric(), bruteAsymmetric(r.labels); got != want {
+				t.Fatalf("IsAsymmetric(%s) = %t, want %t", r, got, want)
+			}
+			return true
+		})
+	}
+}
+
+func TestHasUniqueLabel(t *testing.T) {
+	if Figure1().HasUniqueLabel() {
+		t.Error("Figure1 ring has no unique label (multiplicities 3,3,2)")
+	}
+	if !Ring122().HasUniqueLabel() {
+		t.Error("ring [1 2 2] has unique label 1")
+	}
+	if !Distinct(5).HasUniqueLabel() {
+		t.Error("distinct ring is in U*")
+	}
+}
+
+func TestLabelBits(t *testing.T) {
+	cases := []struct {
+		labels []Label
+		want   int
+	}{
+		{[]Label{0, 1}, 1},
+		{[]Label{1, 2}, 2},
+		{[]Label{1, 7}, 3},
+		{[]Label{1, 255}, 8},
+		{[]Label{-2, 1}, 3}, // |−2| needs 2 bits + sign
+	}
+	for _, c := range cases {
+		r := MustNew(c.labels...)
+		if got := r.LabelBits(); got != c.want {
+			t.Errorf("LabelBits(%s) = %d, want %d", r, got, c.want)
+		}
+	}
+}
+
+// bruteTrueLeader finds the index whose n-length counter-clockwise label
+// sequence is lexicographically least, then checks it is a Lyndon word.
+func bruteTrueLeader(r *Ring) (int, bool) {
+	n := r.N()
+	best := 0
+	for i := 1; i < n; i++ {
+		if words.Compare(r.LLabels(i, n), r.LLabels(best, n)) < 0 {
+			best = i
+		}
+	}
+	if !words.IsLyndon(r.LLabels(best, n)) {
+		return -1, false
+	}
+	return best, true
+}
+
+func TestTrueLeaderExhaustive(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		AllLabelings(n, 3, func(rr *Ring) bool {
+			r := MustNew(rr.Labels()...) // AllLabelings reuses its buffer
+			got, ok := r.TrueLeader()
+			if !r.IsAsymmetric() {
+				if ok {
+					t.Fatalf("TrueLeader(%s) = %d on symmetric ring", r, got)
+				}
+				return true
+			}
+			want, wok := bruteTrueLeader(r)
+			if !wok {
+				t.Fatalf("asymmetric ring %s has no Lyndon rotation", r)
+			}
+			if !ok || got != want {
+				t.Fatalf("TrueLeader(%s) = %d/%t, want %d", r, got, ok, want)
+			}
+			// The defining property: LLabels(L)^n is a Lyndon word and no
+			// other process's sequence is.
+			for i := 0; i < r.N(); i++ {
+				isL := words.IsLyndon(r.LLabels(i, r.N()))
+				if isL != (i == got) {
+					t.Fatalf("ring %s: Lyndon at %d = %t, leader = %d", r, i, isL, got)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestTrueLeaderKnownRings(t *testing.T) {
+	if l, ok := Figure1().TrueLeader(); !ok || l != 0 {
+		t.Errorf("Figure1 true leader = %d/%t, want p0", l, ok)
+	}
+	if l, ok := Ring122().TrueLeader(); !ok || l != 0 {
+		t.Errorf("[1 2 2] true leader = %d/%t, want p0", l, ok)
+	}
+	if l, ok := MustNew(3, 1, 2).TrueLeader(); !ok || l != 1 {
+		t.Errorf("[3 1 2] true leader = %d/%t, want p1", l, ok)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	r := Figure1()
+	r2 := r.Rotate(3)
+	if r2.String() != "[3 2 2 1 2 1 3 1]" {
+		t.Errorf("Rotate(3) = %s", r2)
+	}
+	// Rotation renumbers but preserves the network: the true leader's label
+	// sequence is unchanged.
+	l1, _ := r.TrueLeader()
+	l2, _ := r2.TrueLeader()
+	if !reflect.DeepEqual(r.LLabels(l1, r.N()), r2.LLabels(l2, r2.N())) {
+		t.Error("rotation changed the true leader's label sequence")
+	}
+	if r3 := r.Rotate(-8); r3.String() != r.String() {
+		t.Errorf("Rotate(-n) = %s, want identity", r3)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if got := Ring122().String(); got != "[1 2 2]" {
+		t.Errorf("String = %q", got)
+	}
+	if !strings.Contains(Label(42).String(), "42") {
+		t.Error("Label String")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	r := Distinct(6)
+	if r.N() != 6 || r.MaxMultiplicity() != 1 || !r.IsAsymmetric() || !r.HasUniqueLabel() {
+		t.Errorf("Distinct(6) = %s: wrong class", r)
+	}
+	if l, ok := r.TrueLeader(); !ok || l != 0 {
+		t.Errorf("Distinct true leader = %d, want 0 (min label first)", l)
+	}
+}
+
+func TestDistinctShuffled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := DistinctShuffled(10, rng)
+	if r.MaxMultiplicity() != 1 || r.N() != 10 {
+		t.Errorf("DistinctShuffled = %s", r)
+	}
+	m := r.Multiplicities()
+	for v := 1; v <= 10; v++ {
+		if m[Label(v)] != 1 {
+			t.Errorf("label %d multiplicity %d", v, m[Label(v)])
+		}
+	}
+}
+
+func TestBlockMultiplicity(t *testing.T) {
+	r, err := BlockMultiplicity(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 12 || r.MaxMultiplicity() != 3 || !r.IsAsymmetric() {
+		t.Errorf("BlockMultiplicity(4,3) = %s", r)
+	}
+	for _, c := range r.Multiplicities() {
+		if c != 3 {
+			t.Errorf("expected every multiplicity 3, got %v", r.Multiplicities())
+		}
+	}
+	if _, err := BlockMultiplicity(1, 3); err == nil {
+		t.Error("q=1 must fail (symmetric)")
+	}
+	if _, err := BlockMultiplicity(3, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+}
+
+func TestOneHeavyLabel(t *testing.T) {
+	r, err := OneHeavyLabel(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 10 || r.MaxMultiplicity() != 4 || !r.IsAsymmetric() || !r.HasUniqueLabel() {
+		t.Errorf("OneHeavyLabel(10,4) = %s", r)
+	}
+	if _, err := OneHeavyLabel(4, 4); err == nil {
+		t.Error("n = k must fail")
+	}
+	if _, err := OneHeavyLabel(4, 0); err == nil {
+		t.Error("k = 0 must fail")
+	}
+}
+
+func TestRandomAsymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		r, err := RandomAsymmetric(rng, 12, 3, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.IsAsymmetric() || !r.InKk(3) || r.N() != 12 {
+			t.Fatalf("RandomAsymmetric produced %s outside A ∩ K3", r)
+		}
+	}
+	if _, err := RandomAsymmetric(rng, 10, 2, 4); err == nil {
+		t.Error("alpha·k < n must fail")
+	}
+}
+
+func TestRandomUniqueLabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		r, err := RandomUniqueLabel(rng, 10, 3, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.HasUniqueLabel() || !r.IsAsymmetric() || !r.InKk(3) {
+			t.Fatalf("RandomUniqueLabel produced %s outside U* ∩ K3", r)
+		}
+	}
+}
+
+func TestAllLabelings(t *testing.T) {
+	count := 0
+	AllLabelings(3, 2, func(r *Ring) bool {
+		count++
+		return true
+	})
+	if count != 8 {
+		t.Errorf("AllLabelings(3,2) visited %d labelings, want 8", count)
+	}
+	// Early stop.
+	count = 0
+	AllLabelings(3, 2, func(r *Ring) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d, want 3", count)
+	}
+}
+
+func TestAllAsymmetricNecklaces(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		// Count asymmetric labelings directly…
+		asym := 0
+		AllLabelings(n, 3, func(r *Ring) bool {
+			if r.IsAsymmetric() {
+				asym++
+			}
+			return true
+		})
+		// …necklace representatives must be exactly 1/n of them (all n
+		// rotations of an asymmetric labeling are distinct).
+		reps := 0
+		AllAsymmetricNecklaces(n, 3, func(r *Ring) bool {
+			reps++
+			if !r.IsAsymmetric() {
+				t.Fatalf("representative %s is symmetric", r)
+			}
+			// Representative = least among its rotations.
+			for d := 1; d < n; d++ {
+				rot := r.Rotate(d)
+				if rot.String() < r.String() && len(rot.String()) == len(r.String()) {
+					t.Fatalf("%s is not the least rotation (%s is smaller)", r, rot)
+				}
+			}
+			return true
+		})
+		if reps*n != asym {
+			t.Fatalf("n=%d: %d representatives × n != %d asymmetric labelings", n, reps, asym)
+		}
+	}
+}
+
+func TestPaperExamples(t *testing.T) {
+	if got := Figure1().String(); got != "[1 3 1 3 2 2 1 2]" {
+		t.Errorf("Figure1 = %s", got)
+	}
+	if got := Ring122().String(); got != "[1 2 2]" {
+		t.Errorf("Ring122 = %s", got)
+	}
+	if !Figure1().InKk(3) || !Figure1().IsAsymmetric() {
+		t.Error("Figure1 must be in A ∩ K3")
+	}
+	if !Ring122().InKk(2) || !Ring122().IsAsymmetric() || !Ring122().HasUniqueLabel() {
+		t.Error("[1 2 2] must be in U* ∩ K2")
+	}
+}

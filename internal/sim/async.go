@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/trace"
+)
+
+// opInit and opDeliver keep the trace package out of the hot-path call
+// signatures.
+func opInit() trace.Op    { return trace.OpInit }
+func opDeliver() trace.Op { return trace.OpDeliver }
+
+// linkItem is one in-flight message with its scheduled delivery time.
+type linkItem struct {
+	at   float64
+	seq  int // global tiebreak: FIFO across equal timestamps
+	from int // sending process; delivered to from+1
+	msg  core.Message
+}
+
+// eventQueue is a min-heap over (at, seq).
+type eventQueue []linkItem
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(linkItem)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// RunAsync executes the protocol event-wise: every process runs its initial
+// action at time 0, and each message is delivered delay(from, seq) time
+// units after it was sent — clamped so deliveries on one link never overtake
+// (reliable FIFO links). Process execution takes zero time, matching the
+// paper's time-unit normalization; the reported TimeUnits is the largest
+// delivery timestamp, which for ConstantDelay(1) equals the worst-case
+// time-unit complexity.
+func RunAsync(r *ring.Ring, p core.Protocol, delay DelayModel, opts Options) (*Result, error) {
+	e := newEngine(r, p, opts)
+	n := e.n
+
+	var q eventQueue
+	seq := 0
+	lastSched := make([]float64, n) // last scheduled delivery per link, for FIFO clamping
+	inFlight := make([]int, n)      // undelivered messages per link
+
+	send := func(from int, msgs []core.Message, now float64, step int) {
+		if len(msgs) == 0 {
+			return
+		}
+		e.recordSends(from, msgs, step, now)
+		for _, m := range msgs {
+			if opts.Drop != nil && opts.Drop(from, seq) {
+				seq++
+				continue // lost in transit: reliable-links assumption injected away
+			}
+			at := now + delay.Delay(from, seq)
+			if at < lastSched[from] {
+				at = lastSched[from] // no overtaking on a FIFO link
+			}
+			lastSched[from] = at
+			heap.Push(&q, linkItem{at: at, seq: seq, from: from, msg: m})
+			seq++
+			inFlight[from]++
+			if inFlight[from] > e.res.MaxLinkDepth {
+				e.res.MaxLinkDepth = inFlight[from]
+			}
+		}
+	}
+
+	// One reusable outbox: sends are copied into the event heap before the
+	// next action, so per-action allocation is unnecessary.
+	var out core.Outbox
+
+	// Initial actions, time 0.
+	for i := 0; i < n; i++ {
+		out.Reset()
+		action := e.machines[i].Init(&out)
+		if err := e.afterAction(i, action, opInit(), core.Message{}, 0, 0); err != nil {
+			return e.res, err
+		}
+		send(i, out.Messages(), 0, 0)
+	}
+
+	deliveries := 0
+	var now float64
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(linkItem)
+		now = it.at
+		deliveries++
+		inFlight[it.from]--
+		if e.res.Actions+1 > e.maxAct {
+			return e.res, fmt.Errorf("%w after %d deliveries", ErrMaxActions, deliveries)
+		}
+		to := (it.from + 1) % n
+		m := e.machines[to]
+		if m.Halted() {
+			return e.res, fmt.Errorf("sim: message %s delivered to halted process %d at t=%.3f", it.msg, to, now)
+		}
+		out.Reset()
+		action, err := m.Receive(it.msg, &out)
+		if err != nil {
+			return e.res, err
+		}
+		if err := e.afterAction(to, action, opDeliver(), it.msg, deliveries, now); err != nil {
+			return e.res, err
+		}
+		send(to, out.Messages(), now, deliveries)
+	}
+
+	e.res.Steps = deliveries
+	e.res.TimeUnits = now
+	if err := e.finalize(true); err != nil {
+		return e.res, err
+	}
+	return e.res, nil
+}

@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/spec"
+)
+
+// move is one scheduling decision during exploration: run a pending
+// initial action, or deliver the head message of a link.
+type move struct {
+	init bool
+	idx  int // process index (init) or link index (deliver)
+}
+
+// ExploreResult reports an exhaustive exploration of the schedule space.
+type ExploreResult struct {
+	// States is the number of distinct reachable configurations.
+	States int
+	// Terminals is the number of distinct terminal configurations
+	// (confluence means exactly 1).
+	Terminals int
+	// LeaderIndex is the elected process in the (unique) terminal
+	// configuration.
+	LeaderIndex int
+	// Messages is the total message count, identical in every terminal.
+	Messages int
+	// MaxLinkDepth is the largest FIFO queue length observed anywhere in
+	// the state space — an upper bound on required link capacity.
+	MaxLinkDepth int
+	// Cloned reports whether branching used machine clones (all machines
+	// implement core.Cloner) or prefix replay (the fallback).
+	Cloned bool
+}
+
+// exploreConfig is one configuration of the explored system.
+type exploreConfig struct {
+	machines []core.Machine
+	links    [][]core.Message
+	initLeft []bool
+	sends    int
+	checker  *spec.Checker
+}
+
+// ExploreAll enumerates every asynchronous schedule of p on r — all
+// interleavings of initial actions and per-link FIFO deliveries — by
+// depth-first search over the configuration graph with memoization on
+// full configuration fingerprints. It verifies that every execution
+// satisfies the specification and that all terminal configurations agree
+// on the leader, the per-process statuses, and the message count
+// (outcome confluence, the property Observation 1 and the engine
+// cross-validation rely on).
+//
+// When the protocol's machines implement core.Cloner (all production
+// machines here do), branching deep-copies configurations; otherwise each
+// configuration is reconstructed by replaying its move prefix. The
+// configuration graph of a FIFO ring protocol is a finite lattice, so
+// this is exact model checking, feasible for small rings; maxStates
+// bounds the search (exceeding it is an error).
+func ExploreAll(r *ring.Ring, p core.Protocol, maxStates int) (*ExploreResult, error) {
+	if maxStates <= 0 {
+		maxStates = 200_000
+	}
+	n := r.N()
+	res := &ExploreResult{LeaderIndex: -1, Messages: -1}
+	seen := make(map[string]bool)
+
+	// Cloning is only usable when every machine supports it.
+	res.Cloned = true
+	for i := 0; i < n; i++ {
+		if _, ok := p.NewMachine(r.Label(i)).(core.Cloner); !ok {
+			res.Cloned = false
+			break
+		}
+	}
+
+	fresh := func() *exploreConfig {
+		c := &exploreConfig{
+			machines: make([]core.Machine, n),
+			links:    make([][]core.Message, n),
+			initLeft: make([]bool, n),
+			checker:  spec.New(n),
+		}
+		for i := 0; i < n; i++ {
+			c.machines[i] = p.NewMachine(r.Label(i))
+			c.initLeft[i] = true
+		}
+		return c
+	}
+
+	cloneConfig := func(c *exploreConfig) *exploreConfig {
+		cp := &exploreConfig{
+			machines: make([]core.Machine, n),
+			links:    make([][]core.Message, n),
+			initLeft: make([]bool, n),
+			sends:    c.sends,
+			checker:  c.checker.Clone(),
+		}
+		for i := 0; i < n; i++ {
+			cp.machines[i] = c.machines[i].(core.Cloner).Clone()
+			if len(c.links[i]) > 0 {
+				cp.links[i] = append([]core.Message(nil), c.links[i]...)
+			}
+			cp.initLeft[i] = c.initLeft[i]
+		}
+		return cp
+	}
+
+	// apply executes one move on c in place.
+	apply := func(c *exploreConfig, mv move) error {
+		var out core.Outbox
+		var proc int
+		if mv.init {
+			proc = mv.idx
+			if !c.initLeft[proc] {
+				return fmt.Errorf("sim: explore diverged (double init)")
+			}
+			c.initLeft[proc] = false
+			c.machines[proc].Init(&out)
+		} else {
+			link := mv.idx
+			proc = (link + 1) % n
+			if len(c.links[link]) == 0 {
+				return fmt.Errorf("sim: explore diverged (empty link)")
+			}
+			msg := c.links[link][0]
+			c.links[link] = c.links[link][1:]
+			if c.machines[proc].Halted() {
+				return fmt.Errorf("sim: delivery to halted process %d during exploration", proc)
+			}
+			if _, err := c.machines[proc].Receive(msg, &out); err != nil {
+				return err
+			}
+		}
+		if err := c.checker.Observe(proc, c.machines[proc].Status()); err != nil {
+			return err
+		}
+		sent := out.Drain()
+		c.sends += len(sent)
+		c.links[proc] = append(c.links[proc], sent...)
+		return nil
+	}
+
+	// replay rebuilds a configuration from scratch (fallback when machines
+	// cannot clone).
+	replay := func(prefix []move) (*exploreConfig, error) {
+		c := fresh()
+		for _, mv := range prefix {
+			if err := apply(c, mv); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	}
+
+	fingerprint := func(c *exploreConfig) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "|p%d:%v:%s", i, c.initLeft[i], c.machines[i].Fingerprint())
+		}
+		for i, l := range c.links {
+			fmt.Fprintf(&b, "|l%d:", i)
+			for _, m := range l {
+				b.WriteString(m.String())
+			}
+		}
+		return b.String()
+	}
+
+	moves := func(c *exploreConfig) ([]move, error) {
+		var ms []move
+		for i := 0; i < n; i++ {
+			if c.initLeft[i] {
+				ms = append(ms, move{init: true, idx: i})
+			}
+		}
+		for i, l := range c.links {
+			if len(l) == 0 {
+				continue
+			}
+			to := (i + 1) % n
+			if c.initLeft[to] {
+				// §II: the initial action is executed first in every
+				// execution — the message waits until the receiver has run
+				// its init.
+				continue
+			}
+			if c.machines[to].Halted() {
+				return nil, fmt.Errorf("sim: message %s pending at halted process %d", l[0], to)
+			}
+			ms = append(ms, move{idx: i})
+		}
+		return ms, nil
+	}
+
+	// visit processes one configuration; returns the enabled moves (nil
+	// for terminal or already-seen states).
+	visit := func(c *exploreConfig) ([]move, error) {
+		key := fingerprint(c)
+		if seen[key] {
+			return nil, nil
+		}
+		seen[key] = true
+		res.States++
+		if res.States > maxStates {
+			return nil, fmt.Errorf("sim: exploration exceeded %d states", maxStates)
+		}
+		for _, l := range c.links {
+			if len(l) > res.MaxLinkDepth {
+				res.MaxLinkDepth = len(l)
+			}
+		}
+		ms, err := moves(c)
+		if err != nil {
+			return nil, err
+		}
+		if len(ms) > 0 {
+			return ms, nil
+		}
+		// Terminal configuration: validate the spec and record the outcome.
+		ids := make([]ring.Label, n)
+		halted := make([]bool, n)
+		for i := 0; i < n; i++ {
+			ids[i] = r.Label(i)
+			halted[i] = c.machines[i].Halted()
+		}
+		leader, err := c.checker.Finalize(ids, halted)
+		if err != nil {
+			return nil, err
+		}
+		if res.Terminals == 0 {
+			res.LeaderIndex = leader
+			res.Messages = c.sends
+			res.Terminals = 1
+		} else if res.LeaderIndex != leader || res.Messages != c.sends {
+			res.Terminals++
+			return nil, fmt.Errorf("sim: schedule-dependent outcome: leader p%d/%d msgs vs p%d/%d msgs",
+				leader, c.sends, res.LeaderIndex, res.Messages)
+		}
+		return nil, nil
+	}
+
+	if res.Cloned {
+		var dfs func(c *exploreConfig) error
+		dfs = func(c *exploreConfig) error {
+			ms, err := visit(c)
+			if err != nil {
+				return err
+			}
+			for i, mv := range ms {
+				next := c
+				if i < len(ms)-1 {
+					next = cloneConfig(c) // last branch may consume c itself
+				}
+				if err := apply(next, mv); err != nil {
+					return err
+				}
+				if err := dfs(next); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := dfs(fresh()); err != nil {
+			return res, err
+		}
+		return res, nil
+	}
+
+	var dfs func(prefix []move) error
+	dfs = func(prefix []move) error {
+		c, err := replay(prefix)
+		if err != nil {
+			return err
+		}
+		ms, err := visit(c)
+		if err != nil {
+			return err
+		}
+		for _, mv := range ms {
+			if err := dfs(append(prefix, mv)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(nil); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,293 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// TestExploreConfluence model-checks outcome confluence exhaustively: on
+// small rings, EVERY interleaving of initial actions and FIFO deliveries
+// elects the same leader with the same message count, satisfying the
+// specification throughout. This upgrades the sampled schedule tests to a
+// proof over the full (finite) configuration lattice.
+func TestExploreConfluence(t *testing.T) {
+	cases := []struct {
+		spec string
+		k    int
+	}{
+		{"1 2", 1},
+		{"2 1 3", 1},
+		{"1 2 2", 2},
+		{"2 2 1", 2},
+		{"3 1 4 2", 1},
+		{"1 1 2 2", 2},
+		{"2 1 2 1 3", 2},
+	}
+	if !testing.Short() {
+		// The clone-based explorer reaches 6-process rings in under a
+		// second each (roughly 10⁴ distinct configurations).
+		cases = append(cases,
+			struct {
+				spec string
+				k    int
+			}{"1 2 3 4 5", 1},
+			struct {
+				spec string
+				k    int
+			}{"2 1 2 1 3 3", 2},
+			struct {
+				spec string
+				k    int
+			}{"1 2 3 4 5 6", 1},
+		)
+	}
+	for _, c := range cases {
+		r, err := ring.Parse(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos := []core.Protocol{}
+		if a, err := core.NewAProtocol(c.k, r.LabelBits()); err == nil {
+			protos = append(protos, a)
+		}
+		if s, err := core.NewStarProtocol(c.k, r.LabelBits()); err == nil {
+			protos = append(protos, s)
+		}
+		if kn, err := baseline.NewKnownNProtocol(r.N(), r.LabelBits()); err == nil {
+			protos = append(protos, kn)
+		}
+		for _, p := range protos {
+			res, err := sim.ExploreAll(r, p, 500_000)
+			if err != nil {
+				t.Fatalf("%s on %s: %v (after %d states)", p.Name(), r, err, res.States)
+			}
+			if res.Terminals != 1 {
+				t.Fatalf("%s on %s: %d distinct terminal outcomes", p.Name(), r, res.Terminals)
+			}
+			want, _ := r.TrueLeader()
+			if res.LeaderIndex != want {
+				t.Fatalf("%s on %s: every schedule elected p%d, true leader p%d", p.Name(), r, res.LeaderIndex, want)
+			}
+			// The sampled engines must land on the same outcome.
+			ref, err := sim.RunSync(r, p, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Messages != res.Messages {
+				t.Fatalf("%s on %s: explored message count %d, sync engine %d", p.Name(), r, res.Messages, ref.Messages)
+			}
+			if res.States < 3 {
+				t.Fatalf("%s on %s: implausibly small state space %d", p.Name(), r, res.States)
+			}
+			t.Logf("%s on %s: %d states, leader p%d, %d messages, max link depth %d",
+				p.Name(), r, res.States, res.LeaderIndex, res.Messages, res.MaxLinkDepth)
+		}
+	}
+}
+
+// TestExploreBkSmall model-checks Bk on the smallest rings it is defined
+// for (k ≥ 2). Bk's state space is larger (phases × shifts), so only the
+// tiniest rings are exhaustively explored.
+func TestExploreBkSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("state-space exploration skipped in -short mode")
+	}
+	for _, spec := range []string{"1 2", "1 2 2", "2 2 1", "2 1 3"} {
+		r, err := ring.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.NewBProtocol(2, r.LabelBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.ExploreAll(r, p, 2_000_000)
+		if err != nil {
+			t.Fatalf("Bk on %s: %v", r, err)
+		}
+		want, _ := r.TrueLeader()
+		if res.Terminals != 1 || res.LeaderIndex != want {
+			t.Fatalf("Bk on %s: %d terminals, leader p%d (want p%d)", r, res.Terminals, res.LeaderIndex, want)
+		}
+		t.Logf("Bk on %s: %d states, max link depth %d", r, res.States, res.MaxLinkDepth)
+	}
+}
+
+// TestExploreCatchesNonConfluence feeds the explorer a protocol whose
+// outcome depends on the schedule and checks it is reported.
+func TestExploreCatchesNonConfluence(t *testing.T) {
+	r := ring.Distinct(2)
+	_, err := sim.ExploreAll(r, racyProtocol{}, 100_000)
+	if err == nil || !strings.Contains(err.Error(), "schedule") && !strings.Contains(err.Error(), "spec") {
+		t.Fatalf("err = %v, want schedule-dependence or spec violation", err)
+	}
+}
+
+// racyProtocol elects whichever process receives a token first — a
+// deliberately schedule-dependent (hence broken) protocol.
+type racyProtocol struct{}
+
+func (racyProtocol) Name() string { return "racy" }
+func (racyProtocol) NewMachine(id ring.Label) core.Machine {
+	return &racyMachine{id: id}
+}
+
+type racyMachine struct {
+	id       ring.Label
+	isLeader bool
+	done     bool
+	leader   ring.Label
+	ledSet   bool
+	halted   bool
+}
+
+func (m *racyMachine) Init(out *core.Outbox) string {
+	out.Send(core.Token(m.id))
+	return "R1"
+}
+
+func (m *racyMachine) Receive(msg core.Message, out *core.Outbox) (string, error) {
+	switch msg.Kind {
+	case core.KindToken:
+		if m.halted || m.done {
+			return "R4", nil
+		}
+		// First token in wins: schedule-dependent.
+		m.isLeader = true
+		m.done = true
+		m.leader = m.id
+		m.ledSet = true
+		out.Send(core.FinishLabel(m.id))
+		return "R2", nil
+	case core.KindFinishLabel:
+		if !m.done {
+			m.leader = msg.Label
+			m.ledSet = true
+			m.done = true
+			out.Send(msg)
+		}
+		m.halted = true
+		return "R3", nil
+	default:
+		return "R5", nil
+	}
+}
+
+func (m *racyMachine) Halted() bool { return m.halted }
+func (m *racyMachine) Status() core.Status {
+	return core.Status{IsLeader: m.isLeader, Done: m.done, Leader: m.leader, LeaderSet: m.ledSet}
+}
+func (m *racyMachine) StateName() string { return "R" }
+func (m *racyMachine) SpaceBits() int    { return 8 }
+func (m *racyMachine) Fingerprint() string {
+	return "racy " + m.id.String() + " " + m.leader.String()
+}
+
+// replayOnlyProtocol wraps a protocol, hiding its Clone method so the
+// explorer falls back to prefix replay.
+type replayOnlyProtocol struct{ inner core.Protocol }
+
+func (p replayOnlyProtocol) Name() string { return p.inner.Name() + "/replay" }
+func (p replayOnlyProtocol) NewMachine(id ring.Label) core.Machine {
+	return replayOnlyMachine{p.inner.NewMachine(id)}
+}
+
+// replayOnlyMachine forwards everything but deliberately does not expose
+// Clone (embedding would promote it, so forward explicitly).
+type replayOnlyMachine struct{ m core.Machine }
+
+func (w replayOnlyMachine) Init(out *core.Outbox) string { return w.m.Init(out) }
+func (w replayOnlyMachine) Receive(msg core.Message, out *core.Outbox) (string, error) {
+	return w.m.Receive(msg, out)
+}
+func (w replayOnlyMachine) Halted() bool        { return w.m.Halted() }
+func (w replayOnlyMachine) Status() core.Status { return w.m.Status() }
+func (w replayOnlyMachine) StateName() string   { return w.m.StateName() }
+func (w replayOnlyMachine) SpaceBits() int      { return w.m.SpaceBits() }
+func (w replayOnlyMachine) Fingerprint() string { return w.m.Fingerprint() }
+
+// TestExploreCloneAndReplayAgree runs the same explorations through the
+// clone-based fast path and the replay fallback: identical state counts
+// and outcomes are required.
+func TestExploreCloneAndReplayAgree(t *testing.T) {
+	for _, spec := range []string{"1 2 2", "2 1 3", "1 1 2 2"} {
+		r, err := ring.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := max(2, r.MaxMultiplicity())
+		p, err := core.NewAProtocol(k, r.LabelBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := sim.ExploreAll(r, p, 500_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fast.Cloned {
+			t.Fatalf("Ak machines must support cloning")
+		}
+		slow, err := sim.ExploreAll(r, replayOnlyProtocol{p}, 500_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slow.Cloned {
+			t.Fatalf("wrapped machines must not be cloneable")
+		}
+		if fast.States != slow.States || fast.LeaderIndex != slow.LeaderIndex ||
+			fast.Messages != slow.Messages || fast.MaxLinkDepth != slow.MaxLinkDepth {
+			t.Fatalf("clone and replay explorations disagree on %s: %+v vs %+v", r, fast, slow)
+		}
+	}
+}
+
+// TestCloneIndependence: mutating a clone must not affect the original.
+func TestCloneIndependence(t *testing.T) {
+	r := ring.Figure1()
+	mks := []func() (core.Protocol, error){
+		func() (core.Protocol, error) { return core.NewAProtocol(3, r.LabelBits()) },
+		func() (core.Protocol, error) { return core.NewStarProtocol(3, r.LabelBits()) },
+		func() (core.Protocol, error) { return core.NewBProtocol(3, r.LabelBits()) },
+		func() (core.Protocol, error) { return baseline.NewCRProtocol(r.LabelBits()) },
+		func() (core.Protocol, error) { return baseline.NewPetersonProtocol(r.LabelBits()) },
+		func() (core.Protocol, error) { return baseline.NewKnownNProtocol(r.N(), r.LabelBits()) },
+	}
+	for _, mk := range mks {
+		p, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := p.NewMachine(1)
+		var out core.Outbox
+		m.Init(&out)
+		out.Drain()
+		cl := m.(core.Cloner).Clone()
+		if cl.Fingerprint() != m.Fingerprint() {
+			t.Fatalf("%s: clone differs immediately: %q vs %q", p.Name(), cl.Fingerprint(), m.Fingerprint())
+		}
+		before := m.Fingerprint()
+		// Drive the clone forward; the original must not move.
+		_, _ = cl.Receive(core.Token(2), &out)
+		out.Drain()
+		if m.Fingerprint() != before {
+			t.Fatalf("%s: mutating the clone changed the original", p.Name())
+		}
+	}
+}
+
+// TestExploreStateCap checks the explosion guard.
+func TestExploreStateCap(t *testing.T) {
+	r := ring.Distinct(4)
+	p, err := core.NewAProtocol(2, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.ExploreAll(r, p, 10); err == nil {
+		t.Fatal("tiny state cap must trip")
+	}
+}

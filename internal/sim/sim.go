@@ -1,0 +1,285 @@
+// Package sim is the deterministic asynchronous message-passing substrate:
+// it executes a core.Protocol on a ring.Ring under the model of §II —
+// reliable FIFO links, atomic guarded actions, fair activation — with
+// exact accounting of the quantities the paper's theorems bound:
+// synchronous steps (Lemma 1), time units in Tel's normalization (message
+// delay ≤ 1, processing time 0), message count, and peak per-process space
+// in bits.
+//
+// Two execution modes are provided. RunSync is the synchronous execution
+// used by the impossibility argument: at each step every enabled process
+// executes exactly one action. RunAsync is event-driven with per-message
+// delays from a pluggable DelayModel (constant 1 reproduces the worst-case
+// time-unit measure; random and adversarial models exercise asynchrony).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// DefaultMaxActions caps the number of executed actions when
+// Options.MaxActions is zero, guarding against non-terminating (buggy)
+// protocols.
+const DefaultMaxActions = 200_000_000
+
+// Options tunes a run. The zero value is usable.
+type Options struct {
+	// MaxActions aborts the run after this many executed actions
+	// (DefaultMaxActions when 0).
+	MaxActions int
+	// Sink receives trace events (discarded when nil).
+	Sink trace.Sink
+	// DisableSpec turns off the leader-election specification checker,
+	// for protocols solving a different problem (e.g. the bounded-n
+	// decision protocol, which may legitimately terminate leaderless).
+	// Model-level checks (FIFO, no delivery after halt, empty terminal
+	// links) remain active.
+	DisableSpec bool
+	// Drop, when non-nil, is a fault injector for RunAsync: a message for
+	// which it returns true is silently lost instead of delivered. The
+	// paper's model assumes reliable links; injecting loss demonstrates
+	// that assumption is load-bearing (the algorithms livelock or violate
+	// the spec — see the fault-injection tests). Dropped messages still
+	// count as sends.
+	Drop func(from, seq int) bool
+}
+
+// Result carries the outcome and accounting of one execution.
+type Result struct {
+	// Protocol is the protocol's display name.
+	Protocol string
+	// N is the ring size.
+	N int
+	// Steps is the number of synchronous steps (RunSync) or message
+	// deliveries (RunAsync).
+	Steps int
+	// Actions is the total number of executed actions, inits included.
+	Actions int
+	// TimeUnits is the execution time in the paper's time-unit measure:
+	// equal to Steps for synchronous runs, and to the largest delivery
+	// timestamp for asynchronous runs.
+	TimeUnits float64
+	// Messages is the total number of sends (equal to receives on
+	// successful termination, since terminal links are empty).
+	Messages int
+	// MessagesByKind breaks Messages down by message kind.
+	MessagesByKind map[core.Kind]int
+	// PeakSpaceBits is the maximum over processes of the peak SpaceBits
+	// observed after any action.
+	PeakSpaceBits int
+	// MaxLinkDepth is the largest FIFO queue length reached on any link —
+	// the capacity an implementation's links would need (the goroutine
+	// engine's unbounded pumps exist because this can reach Θ(n) for Ak).
+	MaxLinkDepth int
+	// PeakSpacePerProc is that peak for each process.
+	PeakSpacePerProc []int
+	// LeaderIndex is the elected process's index (-1 if none).
+	LeaderIndex int
+	// Statuses is the terminal status of every process.
+	Statuses []core.Status
+	// Halted reports whether every process halted with all links empty.
+	Halted bool
+}
+
+// ErrMaxActions is wrapped by run errors caused by exceeding
+// Options.MaxActions.
+var ErrMaxActions = errors.New("sim: action budget exhausted (non-terminating execution?)")
+
+// engine is the shared execution core of both modes.
+type engine struct {
+	r        *ring.Ring
+	n        int
+	machines []core.Machine
+	checker  *spec.Checker
+	sink     trace.Sink
+
+	res       *Result
+	lastPhase []int
+	maxAct    int
+	noSpec    bool
+	// kindCounts accumulates per-kind message counts without map work on
+	// the hot path; finalize publishes it as Result.MessagesByKind.
+	kindCounts [8]int
+}
+
+func newEngine(r *ring.Ring, p core.Protocol, opts Options) *engine {
+	n := r.N()
+	e := &engine{
+		r:       r,
+		n:       n,
+		checker: spec.New(n),
+		sink:    opts.Sink,
+		maxAct:  opts.MaxActions,
+		noSpec:  opts.DisableSpec,
+	}
+	if e.sink == nil {
+		e.sink = trace.Nop{}
+	}
+	if e.maxAct <= 0 {
+		e.maxAct = DefaultMaxActions
+	}
+	e.machines = make([]core.Machine, n)
+	for i := 0; i < n; i++ {
+		e.machines[i] = p.NewMachine(r.Label(i))
+	}
+	e.lastPhase = make([]int, n)
+	e.res = &Result{
+		Protocol:         p.Name(),
+		N:                n,
+		MessagesByKind:   make(map[core.Kind]int),
+		PeakSpacePerProc: make([]int, n),
+		LeaderIndex:      -1,
+	}
+	return e
+}
+
+// afterAction performs the per-action bookkeeping: spec observation, space
+// tracking, phase and halt events. step/time locate the action for traces.
+func (e *engine) afterAction(i int, action string, op trace.Op, msg core.Message, step int, tm float64) error {
+	m := e.machines[i]
+	e.res.Actions++
+	e.sink.Record(trace.Event{Op: op, Step: step, Time: tm, Proc: i, Action: action, Msg: msg, State: m.StateName()})
+	if sp := m.SpaceBits(); sp > e.res.PeakSpacePerProc[i] {
+		e.res.PeakSpacePerProc[i] = sp
+	}
+	if pr, ok := m.(core.PhaseReporter); ok {
+		if ph := pr.Phase(); ph > e.lastPhase[i] {
+			for p := e.lastPhase[i] + 1; p <= ph; p++ {
+				e.sink.Record(trace.Event{Op: trace.OpPhase, Step: step, Time: tm, Proc: i, Phase: p, Guest: pr.Guest(), Active: pr.Active()})
+			}
+			e.lastPhase[i] = ph
+		}
+	}
+	if m.Halted() {
+		e.sink.Record(trace.Event{Op: trace.OpHalt, Step: step, Time: tm, Proc: i, State: m.StateName()})
+	}
+	if !e.noSpec {
+		if err := e.checker.Observe(i, m.Status()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recordSends accounts and traces the messages msgs sent by process i.
+func (e *engine) recordSends(i int, msgs []core.Message, step int, tm float64) {
+	for _, m := range msgs {
+		e.res.Messages++
+		if int(m.Kind) < len(e.kindCounts) {
+			e.kindCounts[m.Kind]++
+		} else {
+			e.res.MessagesByKind[m.Kind]++
+		}
+		e.sink.Record(trace.Event{Op: trace.OpSend, Step: step, Time: tm, Proc: i, Msg: m})
+	}
+}
+
+// finalize validates the terminal configuration and fills the result.
+func (e *engine) finalize(linksEmpty bool) error {
+	for kind, c := range e.kindCounts {
+		if c > 0 {
+			e.res.MessagesByKind[core.Kind(kind)] += c
+		}
+	}
+	e.res.Statuses = make([]core.Status, e.n)
+	ids := make([]ring.Label, e.n)
+	halted := make([]bool, e.n)
+	for i, m := range e.machines {
+		e.res.Statuses[i] = m.Status()
+		ids[i] = e.r.Label(i)
+		halted[i] = m.Halted()
+	}
+	for _, sp := range e.res.PeakSpacePerProc {
+		if sp > e.res.PeakSpaceBits {
+			e.res.PeakSpaceBits = sp
+		}
+	}
+	if e.noSpec {
+		if !linksEmpty {
+			return fmt.Errorf("sim: terminal configuration has undelivered messages")
+		}
+		for i, h := range halted {
+			if !h {
+				return fmt.Errorf("sim: process %d did not halt", i)
+			}
+		}
+		for i, st := range e.res.Statuses {
+			if st.IsLeader {
+				e.res.LeaderIndex = i
+			}
+		}
+		e.res.Halted = true
+		return nil
+	}
+	leader, err := e.checker.Finalize(ids, halted)
+	if err != nil {
+		e.res.LeaderIndex = e.checker.LeaderIndex()
+		return err
+	}
+	if !linksEmpty {
+		return fmt.Errorf("sim: terminal configuration has undelivered messages")
+	}
+	e.res.LeaderIndex = leader
+	e.res.Halted = true
+	return nil
+}
+
+// DelayModel assigns each message a transmission delay in (0, 1] time
+// units, per Tel's normalization. seq is the global send sequence number,
+// from the sending process's index.
+type DelayModel interface {
+	Delay(from, seq int) float64
+}
+
+// ConstantDelay delivers every message after a fixed delay. ConstantDelay(1)
+// measures the paper's worst-case time-unit count.
+type ConstantDelay float64
+
+// Delay implements DelayModel.
+func (c ConstantDelay) Delay(int, int) float64 { return float64(c) }
+
+// UniformDelay draws i.i.d. delays uniformly from (lo, 1]. It models a
+// fair asynchronous schedule.
+type UniformDelay struct {
+	rng *rand.Rand
+	lo  float64
+}
+
+// NewUniformDelay returns a UniformDelay seeded deterministically.
+func NewUniformDelay(seed int64, lo float64) *UniformDelay {
+	return &UniformDelay{rng: rand.New(rand.NewSource(seed)), lo: lo}
+}
+
+// Delay implements DelayModel.
+func (u *UniformDelay) Delay(int, int) float64 {
+	d := u.lo + (1-u.lo)*u.rng.Float64()
+	if d <= 0 {
+		d = 1e-9
+	}
+	return d
+}
+
+// SlowLinkDelay is an adversarial schedule: one link takes the full unit
+// delay while all others are fast. It stresses the FIFO barrier reasoning
+// of Bk (Observation 1).
+type SlowLinkDelay struct {
+	// SlowFrom is the sender index of the slow link.
+	SlowFrom int
+	// Fast is the delay of all other links (must be in (0, 1]).
+	Fast float64
+}
+
+// Delay implements DelayModel.
+func (s SlowLinkDelay) Delay(from, _ int) float64 {
+	if from == s.SlowFrom {
+		return 1
+	}
+	return s.Fast
+}

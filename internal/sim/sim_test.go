@@ -1,0 +1,530 @@
+package sim_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// announceProtocol is a minimal spec-conforming protocol used to pin down
+// engine semantics exactly: the process labeled 1 declares itself leader at
+// init and sends ⟨FINISH, 1⟩; everyone else forwards it, learns the leader
+// and halts; the leader halts when it returns. One lap, n messages.
+type announceProtocol struct{}
+
+func (announceProtocol) Name() string { return "announce" }
+func (announceProtocol) NewMachine(id ring.Label) core.Machine {
+	return &announceMachine{id: id}
+}
+
+type announceMachine struct {
+	id       ring.Label
+	isLeader bool
+	done     bool
+	leader   ring.Label
+	ledSet   bool
+	halted   bool
+}
+
+func (m *announceMachine) Init(out *core.Outbox) string {
+	if m.id == 1 {
+		m.isLeader, m.done, m.leader, m.ledSet = true, true, 1, true
+		out.Send(core.FinishLabel(m.id))
+	}
+	return "T1"
+}
+
+func (m *announceMachine) Receive(msg core.Message, out *core.Outbox) (string, error) {
+	if m.halted {
+		return "", fmt.Errorf("announce: message after halt")
+	}
+	if msg.Kind != core.KindFinishLabel {
+		return "", fmt.Errorf("announce: unexpected %s", msg)
+	}
+	if m.isLeader {
+		m.halted = true
+		return "T3", nil
+	}
+	m.leader, m.ledSet, m.done = msg.Label, true, true
+	out.Send(msg)
+	m.halted = true
+	return "T2", nil
+}
+
+func (m *announceMachine) Halted() bool { return m.halted }
+func (m *announceMachine) Status() core.Status {
+	return core.Status{IsLeader: m.isLeader, Done: m.done, Leader: m.leader, LeaderSet: m.ledSet}
+}
+func (m *announceMachine) StateName() string { return "T" }
+func (m *announceMachine) SpaceBits() int    { return 8 }
+func (m *announceMachine) Fingerprint() string {
+	return fmt.Sprintf("announce %v %v %v", m.id, m.isLeader, m.halted)
+}
+
+func TestSyncExactStepCount(t *testing.T) {
+	for _, n := range []int{2, 5, 9} {
+		r := ring.Distinct(n) // labels 1..n; leader is label 1 at index 0
+		res, err := sim.RunSync(r, announceProtocol{}, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Step 1: every process runs Init. The announcement then moves one
+		// hop per step, n hops total: steps 2..n+1.
+		if res.Steps != n+1 {
+			t.Errorf("n=%d: steps = %d, want %d", n, res.Steps, n+1)
+		}
+		if res.Messages != n {
+			t.Errorf("n=%d: messages = %d, want %d", n, res.Messages, n)
+		}
+		if res.LeaderIndex != 0 {
+			t.Errorf("n=%d: leader = %d, want 0", n, res.LeaderIndex)
+		}
+		if res.Actions != n+n { // n inits + n deliveries
+			t.Errorf("n=%d: actions = %d, want %d", n, res.Actions, 2*n)
+		}
+		if !res.Halted {
+			t.Error("run must report clean halt")
+		}
+	}
+}
+
+func TestAsyncExactTimeUnits(t *testing.T) {
+	for _, n := range []int{2, 5, 9} {
+		r := ring.Distinct(n)
+		res, err := sim.RunAsync(r, announceProtocol{}, sim.ConstantDelay(1), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The announcement is sent at t=0 and takes n unit-delay hops.
+		if res.TimeUnits != float64(n) {
+			t.Errorf("n=%d: time = %v, want %d", n, res.TimeUnits, n)
+		}
+		if res.Steps != n { // n deliveries
+			t.Errorf("n=%d: deliveries = %d, want %d", n, res.Steps, n)
+		}
+	}
+}
+
+// fifoProtocol checks the FIFO guarantee: process 1 emits an increasing
+// token burst at init; its right neighbor asserts it receives them in
+// order, then the leader announcement completes the spec.
+type fifoProtocol struct{ burst int }
+
+func (fifoProtocol) Name() string { return "fifo" }
+func (p fifoProtocol) NewMachine(id ring.Label) core.Machine {
+	return &fifoMachine{id: id, burst: p.burst}
+}
+
+type fifoMachine struct {
+	id       ring.Label
+	burst    int
+	got      int
+	isLeader bool
+	done     bool
+	leader   ring.Label
+	ledSet   bool
+	halted   bool
+}
+
+func (m *fifoMachine) Init(out *core.Outbox) string {
+	if m.id == 1 {
+		for i := 1; i <= m.burst; i++ {
+			out.Send(core.Token(ring.Label(i)))
+		}
+		m.isLeader, m.done, m.leader, m.ledSet = true, true, 1, true
+		out.Send(core.FinishLabel(1))
+	}
+	return "F1"
+}
+
+func (m *fifoMachine) Receive(msg core.Message, out *core.Outbox) (string, error) {
+	switch msg.Kind {
+	case core.KindToken:
+		if m.isLeader {
+			return "F4", nil // consume returning tokens
+		}
+		if int(msg.Label) != m.got+1 {
+			return "", fmt.Errorf("fifo violation: got token %s after %d", msg.Label, m.got)
+		}
+		m.got = int(msg.Label)
+		out.Send(msg)
+		return "F2", nil
+	case core.KindFinishLabel:
+		if m.isLeader {
+			m.halted = true
+			return "F5", nil
+		}
+		if m.got != m.burst {
+			return "", fmt.Errorf("fifo violation: FINISH overtook tokens (%d/%d seen)", m.got, m.burst)
+		}
+		m.leader, m.ledSet, m.done = msg.Label, true, true
+		out.Send(msg)
+		m.halted = true
+		return "F3", nil
+	default:
+		return "", fmt.Errorf("fifo: unexpected %s", msg)
+	}
+}
+
+func (m *fifoMachine) Halted() bool { return m.halted }
+func (m *fifoMachine) Status() core.Status {
+	return core.Status{IsLeader: m.isLeader, Done: m.done, Leader: m.leader, LeaderSet: m.ledSet}
+}
+func (m *fifoMachine) StateName() string   { return "F" }
+func (m *fifoMachine) SpaceBits() int      { return 8 }
+func (m *fifoMachine) Fingerprint() string { return fmt.Sprintf("fifo %v %d", m.id, m.got) }
+
+func TestFIFOPreservedUnderAllSchedules(t *testing.T) {
+	r := ring.Distinct(6)
+	p := fifoProtocol{burst: 7}
+	if _, err := sim.RunSync(r, p, sim.Options{}); err != nil {
+		t.Errorf("sync: %v", err)
+	}
+	if _, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{}); err != nil {
+		t.Errorf("unit: %v", err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		if _, err := sim.RunAsync(r, p, sim.NewUniformDelay(seed, 0), sim.Options{}); err != nil {
+			t.Errorf("random seed %d: %v", seed, err)
+		}
+	}
+	if _, err := sim.RunAsync(r, p, sim.SlowLinkDelay{SlowFrom: 2, Fast: 0.001}, sim.Options{}); err != nil {
+		t.Errorf("slow link: %v", err)
+	}
+}
+
+// livelockProtocol never halts: every token is forwarded forever.
+type livelockProtocol struct{}
+
+func (livelockProtocol) Name() string { return "livelock" }
+func (livelockProtocol) NewMachine(id ring.Label) core.Machine {
+	return &livelockMachine{id: id}
+}
+
+type livelockMachine struct{ id ring.Label }
+
+func (m *livelockMachine) Init(out *core.Outbox) string {
+	out.Send(core.Token(m.id))
+	return "L1"
+}
+func (m *livelockMachine) Receive(msg core.Message, out *core.Outbox) (string, error) {
+	out.Send(msg)
+	return "L2", nil
+}
+func (m *livelockMachine) Halted() bool        { return false }
+func (m *livelockMachine) Status() core.Status { return core.Status{} }
+func (m *livelockMachine) StateName() string   { return "L" }
+func (m *livelockMachine) SpaceBits() int      { return 1 }
+func (m *livelockMachine) Fingerprint() string { return "L" }
+
+func TestActionBudgetStopsLivelock(t *testing.T) {
+	r := ring.Distinct(4)
+	if _, err := sim.RunSync(r, livelockProtocol{}, sim.Options{MaxActions: 1000}); !errors.Is(err, sim.ErrMaxActions) {
+		t.Errorf("sync livelock: err = %v, want ErrMaxActions", err)
+	}
+	if _, err := sim.RunAsync(r, livelockProtocol{}, sim.ConstantDelay(1), sim.Options{MaxActions: 1000}); !errors.Is(err, sim.ErrMaxActions) {
+		t.Errorf("async livelock: err = %v, want ErrMaxActions", err)
+	}
+}
+
+// stuckProtocol halts its leader immediately while a neighbor still sends
+// to it: the engines must flag the model violation.
+type stuckProtocol struct{}
+
+func (stuckProtocol) Name() string { return "stuck" }
+func (stuckProtocol) NewMachine(id ring.Label) core.Machine {
+	return &stuckMachine{id: id}
+}
+
+type stuckMachine struct {
+	id     ring.Label
+	halted bool
+}
+
+func (m *stuckMachine) Init(out *core.Outbox) string {
+	if m.id == 1 {
+		m.halted = true // halts without ever reading its link
+	} else {
+		out.Send(core.Token(m.id))
+	}
+	return "X1"
+}
+func (m *stuckMachine) Receive(msg core.Message, out *core.Outbox) (string, error) {
+	out.Send(msg)
+	return "X2", nil
+}
+func (m *stuckMachine) Halted() bool        { return m.halted }
+func (m *stuckMachine) Status() core.Status { return core.Status{} }
+func (m *stuckMachine) StateName() string   { return "X" }
+func (m *stuckMachine) SpaceBits() int      { return 1 }
+func (m *stuckMachine) Fingerprint() string { return "X" }
+
+func TestDeliveryToHaltedProcessFails(t *testing.T) {
+	r := ring.Distinct(3)
+	if _, err := sim.RunSync(r, stuckProtocol{}, sim.Options{MaxActions: 1000}); err == nil {
+		t.Error("sync: message at halted process must fail")
+	}
+	if _, err := sim.RunAsync(r, stuckProtocol{}, sim.ConstantDelay(1), sim.Options{MaxActions: 1000}); err == nil {
+		t.Error("async: delivery to halted process must fail")
+	}
+}
+
+// usurperProtocol has every process declare itself leader: the spec checker
+// must catch the second declaration.
+type usurperProtocol struct{}
+
+func (usurperProtocol) Name() string { return "usurper" }
+func (usurperProtocol) NewMachine(id ring.Label) core.Machine {
+	return &usurperMachine{id: id}
+}
+
+type usurperMachine struct {
+	id     ring.Label
+	halted bool
+}
+
+func (m *usurperMachine) Init(out *core.Outbox) string {
+	return "U1"
+}
+func (m *usurperMachine) Receive(msg core.Message, out *core.Outbox) (string, error) {
+	return "U2", nil
+}
+func (m *usurperMachine) Halted() bool { return m.halted }
+func (m *usurperMachine) Status() core.Status {
+	return core.Status{IsLeader: true, Done: true, Leader: m.id, LeaderSet: true}
+}
+func (m *usurperMachine) StateName() string   { return "U" }
+func (m *usurperMachine) SpaceBits() int      { return 1 }
+func (m *usurperMachine) Fingerprint() string { return "U" }
+
+func TestSpecViolationSurfaces(t *testing.T) {
+	r := ring.Distinct(3)
+	_, err := sim.RunSync(r, usurperProtocol{}, sim.Options{MaxActions: 100})
+	var v *spec.Violation
+	if !errors.As(err, &v) || v.Bullet != 1 {
+		t.Errorf("err = %v, want spec bullet 1 violation", err)
+	}
+}
+
+func TestAsyncDeterminism(t *testing.T) {
+	r := ring.Distinct(8)
+	p, err := core.NewAProtocol(2, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sim.RunAsync(r, p, sim.NewUniformDelay(99, 0.01), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.RunAsync(r, p, sim.NewUniformDelay(99, 0.01), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.TimeUnits != b.TimeUnits || a.Messages != b.Messages || a.LeaderIndex != b.LeaderIndex {
+		t.Errorf("same seed produced different runs: %+v vs %+v", a, b)
+	}
+}
+
+func TestTraceEventAccounting(t *testing.T) {
+	r := ring.Distinct(5)
+	p, err := core.NewAProtocol(1, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := &trace.Mem{}
+	res, err := sim.RunSync(r, p, sim.Options{Sink: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[trace.Op]int{}
+	for _, e := range mem.Events {
+		counts[e.Op]++
+	}
+	if counts[trace.OpInit] != r.N() {
+		t.Errorf("init events = %d, want %d", counts[trace.OpInit], r.N())
+	}
+	if counts[trace.OpSend] != res.Messages {
+		t.Errorf("send events = %d, want %d", counts[trace.OpSend], res.Messages)
+	}
+	if counts[trace.OpDeliver] != res.Messages {
+		t.Errorf("deliver events = %d, want %d (all messages received)", counts[trace.OpDeliver], res.Messages)
+	}
+	if counts[trace.OpHalt] != r.N() {
+		t.Errorf("halt events = %d, want %d", counts[trace.OpHalt], r.N())
+	}
+}
+
+func TestMessagesByKind(t *testing.T) {
+	r := ring.Ring122()
+	p, err := core.NewAProtocol(2, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunSync(r, p, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range res.MessagesByKind {
+		total += c
+	}
+	if total != res.Messages {
+		t.Errorf("kind counts sum to %d, want %d", total, res.Messages)
+	}
+	if res.MessagesByKind[core.KindFinish] != r.N() {
+		t.Errorf("FINISH count = %d, want n = %d (one lap)", res.MessagesByKind[core.KindFinish], r.N())
+	}
+}
+
+func TestSlowLinkStretchesTime(t *testing.T) {
+	r := ring.Distinct(6)
+	fast, err := sim.RunAsync(r, announceProtocol{}, sim.SlowLinkDelay{SlowFrom: -1, Fast: 0.001}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := sim.RunAsync(r, announceProtocol{}, sim.SlowLinkDelay{SlowFrom: 2, Fast: 0.001}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.TimeUnits <= fast.TimeUnits {
+		t.Errorf("slow link time %v not larger than all-fast %v", slow.TimeUnits, fast.TimeUnits)
+	}
+	if slow.TimeUnits < 1 {
+		t.Errorf("the announcement crosses the slow link once: time %v must be ≥ 1", slow.TimeUnits)
+	}
+}
+
+func TestSyncProbeSeesInitialConfigAndStops(t *testing.T) {
+	r := ring.Distinct(4)
+	p, err := core.NewAProtocol(1, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []int
+	res, err := sim.SyncProbe(r, p, sim.Options{}, func(step int, fps []string) bool {
+		if len(fps) != r.N() {
+			t.Fatalf("probe got %d fingerprints, want %d", len(fps), r.N())
+		}
+		steps = append(steps, step)
+		return step < 3 // stop early
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 || steps[0] != 0 {
+		t.Errorf("probe must see the initial configuration first, got %v", steps)
+	}
+	if steps[len(steps)-1] != 3 {
+		t.Errorf("probe must stop at step 3, got %v", steps)
+	}
+	if res.Steps > 3 {
+		t.Errorf("early-stopped run reports %d steps", res.Steps)
+	}
+}
+
+func TestMaxLinkDepthAccounting(t *testing.T) {
+	// The fifo burst protocol puts its whole burst (plus the announcement)
+	// on one link at once.
+	r := ring.Distinct(4)
+	res, err := sim.RunSync(r, fifoProtocol{burst: 7}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLinkDepth != 8 {
+		t.Errorf("sync burst: MaxLinkDepth = %d, want 8 (7 tokens + announcement)", res.MaxLinkDepth)
+	}
+	// An adversarially slow link makes Ak's tokens pile up behind it.
+	r2 := ring.Distinct(12)
+	p, err := core.NewAProtocol(2, r2.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := sim.RunAsync(r2, p, sim.SlowLinkDelay{SlowFrom: 3, Fast: 0.01}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.MaxLinkDepth < r2.N()/2 {
+		t.Errorf("slow link: MaxLinkDepth = %d, expected a pile-up of ≈n tokens", slow.MaxLinkDepth)
+	}
+}
+
+// TestLossBreaksTheAlgorithms injects message loss and verifies the
+// reliable-links assumption is load-bearing: dropping Ak's ⟨FINISH⟩
+// leaves the tokens circulating forever (caught by the action budget),
+// and dropping Bk's ⟨PHASE_SHIFT⟩ stalls the phase barrier.
+func TestLossBreaksTheAlgorithms(t *testing.T) {
+	r := ring.Distinct(6)
+
+	// Ak: drop the first FINISH ever sent.
+	pA, err := core.NewAProtocol(2, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	droppedFinish := false
+	mem := &trace.Mem{}
+	var dropSeq = -1
+	// First pass: find the send sequence number of the first FINISH.
+	if _, err := sim.RunAsync(r, pA, sim.ConstantDelay(1), sim.Options{Sink: mem}); err != nil {
+		t.Fatal(err)
+	}
+	seq := 0
+	for _, e := range mem.Events {
+		if e.Op == trace.OpSend {
+			if e.Msg.Kind == core.KindFinish && dropSeq < 0 {
+				dropSeq = seq
+			}
+			seq++
+		}
+	}
+	if dropSeq < 0 {
+		t.Fatal("no FINISH observed in the reference run")
+	}
+	_, err = sim.RunAsync(r, pA, sim.ConstantDelay(1), sim.Options{
+		MaxActions: 200_000,
+		Drop: func(_, s int) bool {
+			if s == dropSeq {
+				droppedFinish = true
+				return true
+			}
+			return false
+		},
+	})
+	if !droppedFinish {
+		t.Fatal("drop injector never fired")
+	}
+	if err == nil {
+		t.Fatal("Ak terminated correctly despite losing FINISH — reliability not load-bearing?")
+	}
+
+	// Bk: drop every 25th message; the phase barrier cannot complete.
+	pB, err := core.NewBProtocol(2, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.RunAsync(r, pB, sim.ConstantDelay(1), sim.Options{
+		MaxActions: 200_000,
+		Drop:       func(_, s int) bool { return s%25 == 24 },
+	})
+	if err == nil {
+		t.Fatal("Bk terminated correctly despite message loss")
+	}
+}
+
+func TestUniformDelayStaysInRange(t *testing.T) {
+	d := sim.NewUniformDelay(5, 0.25)
+	for i := 0; i < 1000; i++ {
+		v := d.Delay(0, i)
+		if v <= 0 || v > 1 {
+			t.Fatalf("delay %v out of (0, 1]", v)
+		}
+		if v < 0.25 {
+			t.Fatalf("delay %v below configured floor", v)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+// RunSync executes the protocol's synchronous execution on r: at each step
+// every enabled process executes exactly one enabled action, based on the
+// configuration at the start of the step; messages sent in step t are
+// receivable from step t+1 on. This is the execution the lower-bound
+// argument of Lemma 1 counts steps of. The run ends at the terminal
+// configuration (no process enabled).
+//
+// The returned Result is always populated with the accounting gathered so
+// far, even when err is non-nil (spec violations are returned as errors
+// wrapping *spec.Violation).
+func RunSync(r *ring.Ring, p core.Protocol, opts Options) (*Result, error) {
+	e := newEngine(r, p, opts)
+	n := e.n
+
+	// links[i] is the FIFO queue of link (p_i, p_i+1).
+	links := make([][]core.Message, n)
+	initPending := make([]bool, n)
+	for i := range initPending {
+		initPending[i] = true
+	}
+	var out core.Outbox // reused across actions; contents copied into links
+
+	step := 0
+	for {
+		// Determine the enabled set from the start-of-step configuration.
+		type delivery struct {
+			proc int
+			msg  core.Message
+			has  bool
+			init bool
+		}
+		var acts []delivery
+		for i := 0; i < n; i++ {
+			m := e.machines[i]
+			from := (i - 1 + n) % n
+			switch {
+			case initPending[i]:
+				acts = append(acts, delivery{proc: i, init: true})
+			case len(links[from]) > 0:
+				if m.Halted() {
+					return e.res, fmt.Errorf("sim: message %s pending at halted process %d", links[from][0], i)
+				}
+				acts = append(acts, delivery{proc: i, msg: links[from][0], has: true})
+			}
+		}
+		if len(acts) == 0 {
+			break
+		}
+		step++
+		if e.res.Actions+len(acts) > e.maxAct {
+			return e.res, fmt.Errorf("%w at step %d", ErrMaxActions, step)
+		}
+
+		// Pop consumed heads before executing, so every action observes the
+		// start-of-step configuration.
+		for _, d := range acts {
+			if d.has {
+				from := (d.proc - 1 + n) % n
+				links[from] = links[from][1:]
+			}
+		}
+
+		// Execute all enabled processes. Appending each process's sends to
+		// its outgoing link immediately is equivalent to staging them until
+		// the end of the step: this step's deliveries were popped above,
+		// and process i only ever appends to link i, so no action of this
+		// step can observe another's output.
+		for _, d := range acts {
+			out.Reset()
+			var action string
+			var err error
+			if d.init {
+				initPending[d.proc] = false
+				action = e.machines[d.proc].Init(&out)
+				err = e.afterAction(d.proc, action, opInit(), core.Message{}, step, 0)
+			} else {
+				action, err = e.machines[d.proc].Receive(d.msg, &out)
+				if err == nil {
+					err = e.afterAction(d.proc, action, opDeliver(), d.msg, step, 0)
+				}
+			}
+			if err != nil {
+				return e.res, err
+			}
+			if sent := out.Messages(); len(sent) > 0 {
+				e.recordSends(d.proc, sent, step, 0)
+				links[d.proc] = append(links[d.proc], sent...)
+				if len(links[d.proc]) > e.res.MaxLinkDepth {
+					e.res.MaxLinkDepth = len(links[d.proc])
+				}
+			}
+		}
+	}
+
+	e.res.Steps = step
+	e.res.TimeUnits = float64(step)
+	linksEmpty := true
+	for _, l := range links {
+		if len(l) > 0 {
+			linksEmpty = false
+		}
+	}
+	if err := e.finalize(linksEmpty); err != nil {
+		return e.res, err
+	}
+	return e.res, nil
+}
+
+// SyncProbe runs the synchronous execution while invoking probe after every
+// step with the step number and the machines' fingerprints at the end of
+// that step. It is used by the Lemma 1 indistinguishability check, which
+// compares per-step states across two rings. Configuration fingerprints at
+// step 0 (the initial configuration) are probed before any action.
+func SyncProbe(r *ring.Ring, p core.Protocol, opts Options, probe func(step int, fingerprints []string) bool) (*Result, error) {
+	e := newEngine(r, p, opts)
+	n := e.n
+	links := make([][]core.Message, n)
+	initPending := make([]bool, n)
+	for i := range initPending {
+		initPending[i] = true
+	}
+	fingerprints := func() []string {
+		fp := make([]string, n)
+		for i, m := range e.machines {
+			fp[i] = m.Fingerprint()
+		}
+		return fp
+	}
+	if !probe(0, fingerprints()) {
+		return e.res, nil
+	}
+
+	step := 0
+	for {
+		type delivery struct {
+			proc int
+			msg  core.Message
+			has  bool
+			init bool
+		}
+		var acts []delivery
+		for i := 0; i < n; i++ {
+			from := (i - 1 + n) % n
+			switch {
+			case initPending[i]:
+				acts = append(acts, delivery{proc: i, init: true})
+			case len(links[from]) > 0 && !e.machines[i].Halted():
+				acts = append(acts, delivery{proc: i, msg: links[from][0], has: true})
+			}
+		}
+		if len(acts) == 0 {
+			break
+		}
+		step++
+		if e.res.Actions+len(acts) > e.maxAct {
+			return e.res, fmt.Errorf("%w at step %d", ErrMaxActions, step)
+		}
+		for _, d := range acts {
+			if d.has {
+				from := (d.proc - 1 + n) % n
+				links[from] = links[from][1:]
+			}
+		}
+		staged := make([][]core.Message, n)
+		for _, d := range acts {
+			var out core.Outbox
+			var err error
+			if d.init {
+				initPending[d.proc] = false
+				action := e.machines[d.proc].Init(&out)
+				err = e.afterAction(d.proc, action, opInit(), core.Message{}, step, 0)
+			} else {
+				action, rerr := e.machines[d.proc].Receive(d.msg, &out)
+				err = rerr
+				if err == nil {
+					err = e.afterAction(d.proc, action, opDeliver(), d.msg, step, 0)
+				}
+			}
+			if err != nil {
+				return e.res, err
+			}
+			staged[d.proc] = out.Drain()
+		}
+		for i := 0; i < n; i++ {
+			if len(staged[i]) > 0 {
+				e.recordSends(i, staged[i], step, 0)
+				links[i] = append(links[i], staged[i]...)
+			}
+		}
+		if !probe(step, fingerprints()) {
+			e.res.Steps = step
+			return e.res, nil
+		}
+	}
+	e.res.Steps = step
+	e.res.TimeUnits = float64(step)
+	return e.res, nil
+}

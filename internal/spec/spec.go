@@ -1,0 +1,124 @@
+// Package spec is the process-terminating leader-election specification of
+// §II as an executable checker. An execution satisfies the spec when it is
+// finite and:
+//
+//  1. p.isLeader is initially false, never reverts from true to false, and
+//     is true for exactly one process L in the terminal configuration — in
+//     particular at most one leader exists in every configuration;
+//  2. p.leader = L.id in the terminal configuration;
+//  3. p.done is initially false, monotone, true everywhere at termination,
+//     and once true, p.leader is permanently L.id and L.isLeader holds;
+//  4. every process eventually halts after p.done becomes true.
+//
+// The engines feed every post-action Status to Observe and call Finalize on
+// the terminal configuration; any violation is reported as an error naming
+// the bullet it breaks.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+// Checker validates one execution online. The zero value is unusable; use
+// New.
+type Checker struct {
+	n        int
+	last     []core.Status
+	leaderAt int // index of the unique leader seen so far, or -1
+}
+
+// New returns a checker for an n-process execution. All processes start
+// with the specified initial variable values (isLeader = done = false).
+func New(n int) *Checker {
+	return &Checker{n: n, last: make([]core.Status, n), leaderAt: -1}
+}
+
+// Violation is a specification violation, naming the spec bullet broken.
+type Violation struct {
+	Bullet  int
+	Process int
+	Detail  string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("spec bullet %d violated at process %d: %s", v.Bullet, v.Process, v.Detail)
+}
+
+// Clone returns an independent copy of the checker's progress, for
+// branching explorations of the configuration space.
+func (c *Checker) Clone() *Checker {
+	cp := &Checker{n: c.n, last: make([]core.Status, c.n), leaderAt: c.leaderAt}
+	copy(cp.last, c.last)
+	return cp
+}
+
+// Observe records the status of process i after one of its actions and
+// checks the safety part of the specification. It must be called with the
+// process's status after every action it executes.
+func (c *Checker) Observe(i int, st core.Status) error {
+	prev := c.last[i]
+	if prev.IsLeader && !st.IsLeader {
+		return &Violation{Bullet: 1, Process: i, Detail: "isLeader reverted from true to false"}
+	}
+	if prev.Done && !st.Done {
+		return &Violation{Bullet: 3, Process: i, Detail: "done reverted from true to false"}
+	}
+	if prev.Done && st.Done && prev.LeaderSet && st.LeaderSet && prev.Leader != st.Leader {
+		return &Violation{Bullet: 3, Process: i, Detail: fmt.Sprintf("leader changed from %s to %s after done", prev.Leader, st.Leader)}
+	}
+	if st.Done && !st.LeaderSet {
+		return &Violation{Bullet: 3, Process: i, Detail: "done set but leader unset"}
+	}
+	if st.IsLeader {
+		if c.leaderAt >= 0 && c.leaderAt != i {
+			return &Violation{Bullet: 1, Process: i, Detail: fmt.Sprintf("second leader (process %d already leads)", c.leaderAt)}
+		}
+		c.leaderAt = i
+	}
+	c.last[i] = st
+	return nil
+}
+
+// LeaderIndex returns the index of the unique process that has declared
+// itself leader, or -1 if none has.
+func (c *Checker) LeaderIndex() int { return c.leaderAt }
+
+// Finalize checks the liveness/terminal part against the terminal
+// configuration: ids[i] is each process's label and halted[i] its halt
+// flag. It returns the leader index on success.
+func (c *Checker) Finalize(ids []ring.Label, halted []bool) (int, error) {
+	if len(ids) != c.n || len(halted) != c.n {
+		return -1, fmt.Errorf("spec: finalize arity mismatch")
+	}
+	if c.leaderAt < 0 {
+		return -1, &Violation{Bullet: 1, Process: -1, Detail: "terminal configuration has no leader"}
+	}
+	leaderID := ids[c.leaderAt]
+	for i := 0; i < c.n; i++ {
+		st := c.last[i]
+		if i == c.leaderAt && !st.IsLeader {
+			return -1, &Violation{Bullet: 1, Process: i, Detail: "leader lost isLeader"}
+		}
+		if i != c.leaderAt && st.IsLeader {
+			return -1, &Violation{Bullet: 1, Process: i, Detail: "non-unique leader in terminal configuration"}
+		}
+		if !st.Done {
+			return -1, &Violation{Bullet: 3, Process: i, Detail: "done false in terminal configuration"}
+		}
+		if !st.LeaderSet || st.Leader != leaderID {
+			got := "unset"
+			if st.LeaderSet {
+				got = st.Leader.String()
+			}
+			return -1, &Violation{Bullet: 2, Process: i, Detail: fmt.Sprintf("leader = %s, want L.id = %s", got, leaderID)}
+		}
+		if !halted[i] {
+			return -1, &Violation{Bullet: 4, Process: i, Detail: "process did not halt"}
+		}
+	}
+	return c.leaderAt, nil
+}

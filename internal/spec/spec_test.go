@@ -1,0 +1,160 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+func status(isLeader, done bool, leader ring.Label, set bool) core.Status {
+	return core.Status{IsLeader: isLeader, Done: done, Leader: leader, LeaderSet: set}
+}
+
+func TestHappyPath(t *testing.T) {
+	c := New(3)
+	ids := []ring.Label{5, 7, 9}
+	// Process 1 declares leadership; everyone converges on its label.
+	steps := []struct {
+		proc int
+		st   core.Status
+	}{
+		{0, status(false, false, 0, false)},
+		{1, status(true, true, 7, true)},
+		{2, status(false, true, 7, true)},
+		{0, status(false, true, 7, true)},
+		{1, status(true, true, 7, true)},
+	}
+	for _, s := range steps {
+		if err := c.Observe(s.proc, s.st); err != nil {
+			t.Fatalf("Observe(%d, %+v): %v", s.proc, s.st, err)
+		}
+	}
+	if c.LeaderIndex() != 1 {
+		t.Errorf("LeaderIndex = %d, want 1", c.LeaderIndex())
+	}
+	leader, err := c.Finalize(ids, []bool{true, true, true})
+	if err != nil || leader != 1 {
+		t.Errorf("Finalize = %d, %v", leader, err)
+	}
+}
+
+func TestBullet1SecondLeader(t *testing.T) {
+	c := New(2)
+	if err := c.Observe(0, status(true, true, 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Observe(1, status(true, true, 2, true))
+	var v *Violation
+	if !errors.As(err, &v) || v.Bullet != 1 {
+		t.Fatalf("second leader: err = %v, want bullet 1", err)
+	}
+	if !strings.Contains(err.Error(), "bullet 1") {
+		t.Errorf("error text %q should name the bullet", err)
+	}
+}
+
+func TestBullet1Revocation(t *testing.T) {
+	c := New(1)
+	if err := c.Observe(0, status(true, false, 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Observe(0, status(false, false, 1, true))
+	var v *Violation
+	if !errors.As(err, &v) || v.Bullet != 1 {
+		t.Fatalf("isLeader revocation: err = %v, want bullet 1", err)
+	}
+}
+
+func TestBullet3DoneRevocation(t *testing.T) {
+	c := New(1)
+	if err := c.Observe(0, status(false, true, 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Observe(0, status(false, false, 1, true))
+	var v *Violation
+	if !errors.As(err, &v) || v.Bullet != 3 {
+		t.Fatalf("done revocation: err = %v, want bullet 3", err)
+	}
+}
+
+func TestBullet3LeaderChangeAfterDone(t *testing.T) {
+	c := New(1)
+	if err := c.Observe(0, status(false, true, 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Observe(0, status(false, true, 2, true))
+	var v *Violation
+	if !errors.As(err, &v) || v.Bullet != 3 {
+		t.Fatalf("leader change after done: err = %v, want bullet 3", err)
+	}
+}
+
+func TestBullet3DoneWithoutLeader(t *testing.T) {
+	c := New(1)
+	err := c.Observe(0, status(false, true, 0, false))
+	var v *Violation
+	if !errors.As(err, &v) || v.Bullet != 3 {
+		t.Fatalf("done without leader: err = %v, want bullet 3", err)
+	}
+}
+
+func TestFinalizeNoLeader(t *testing.T) {
+	c := New(2)
+	_, err := c.Finalize([]ring.Label{1, 2}, []bool{true, true})
+	var v *Violation
+	if !errors.As(err, &v) || v.Bullet != 1 {
+		t.Fatalf("no leader: err = %v, want bullet 1", err)
+	}
+}
+
+func TestFinalizeWrongLeaderVariable(t *testing.T) {
+	c := New(2)
+	if err := c.Observe(0, status(true, true, 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Observe(1, status(false, true, 9, true)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Finalize([]ring.Label{1, 2}, []bool{true, true})
+	var v *Violation
+	if !errors.As(err, &v) || v.Bullet != 2 {
+		t.Fatalf("wrong leader variable: err = %v, want bullet 2", err)
+	}
+}
+
+func TestFinalizeNotDone(t *testing.T) {
+	c := New(2)
+	if err := c.Observe(0, status(true, true, 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Finalize([]ring.Label{1, 2}, []bool{true, true})
+	var v *Violation
+	if !errors.As(err, &v) || v.Bullet != 3 {
+		t.Fatalf("process never done: err = %v, want bullet 3", err)
+	}
+}
+
+func TestFinalizeNotHalted(t *testing.T) {
+	c := New(2)
+	if err := c.Observe(0, status(true, true, 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Observe(1, status(false, true, 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Finalize([]ring.Label{1, 2}, []bool{true, false})
+	var v *Violation
+	if !errors.As(err, &v) || v.Bullet != 4 {
+		t.Fatalf("process never halted: err = %v, want bullet 4", err)
+	}
+}
+
+func TestFinalizeArityMismatch(t *testing.T) {
+	c := New(2)
+	if _, err := c.Finalize([]ring.Label{1}, []bool{true}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}

@@ -1,0 +1,106 @@
+// Package stats provides the tiny numeric helpers the experiment harness
+// uses to compare measured complexity curves against the paper's bounds:
+// summary statistics and least-squares fits of y = c·x over derived
+// predictor variables (kn, k²n², …).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum of xs (-Inf for empty input).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs (+Inf for empty input).
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// FitProportional finds c minimizing Σ (y_i - c·x_i)² — the least-squares
+// fit of y = c·x. It returns c and the coefficient of determination R²
+// (1 when the fit is exact). Used to check growth shapes: a measurement
+// series that is Θ(kn) fits y = c·(kn) with R² near 1.
+func FitProportional(xs, ys []float64) (c, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: need equal-length non-empty series, got %d and %d", len(xs), len(ys))
+	}
+	var sxy, sxx float64
+	for i := range xs {
+		sxy += xs[i] * ys[i]
+		sxx += xs[i] * xs[i]
+	}
+	if sxx == 0 {
+		return 0, 0, fmt.Errorf("stats: all-zero predictor")
+	}
+	c = sxy / sxx
+	meanY := Mean(ys)
+	var ssRes, ssTot float64
+	for i := range xs {
+		d := ys[i] - c*xs[i]
+		ssRes += d * d
+		t := ys[i] - meanY
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return c, 1, nil
+		}
+		return c, 0, nil
+	}
+	return c, 1 - ssRes/ssTot, nil
+}
+
+// RatioBounds returns the min and max of y_i/x_i, skipping zero
+// predictors. Used to verify "measured ≤ bound" uniformly: max ratio ≤ 1
+// means every measurement is within its bound.
+func RatioBounds(xs, ys []float64) (lo, hi float64, err error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: need equal-length non-empty series")
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	any := false
+	for i := range xs {
+		if xs[i] == 0 {
+			continue
+		}
+		any = true
+		r := ys[i] / xs[i]
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if !any {
+		return 0, 0, fmt.Errorf("stats: all-zero predictors")
+	}
+	return lo, hi, nil
+}

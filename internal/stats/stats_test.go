@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummaries(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almost(Mean(xs), 2.5) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Max(xs) != 4 || Min(xs) != 1 {
+		t.Errorf("Max/Min = %v/%v", Max(xs), Min(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) must be 0")
+	}
+	if !math.IsInf(Max(nil), -1) || !math.IsInf(Min(nil), 1) {
+		t.Error("Max/Min of empty must be ∓Inf")
+	}
+}
+
+func TestFitProportionalExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 6, 9, 12}
+	c, r2, err := FitProportional(xs, ys)
+	if err != nil || !almost(c, 3) || !almost(r2, 1) {
+		t.Errorf("fit = %v, %v, %v; want 3, 1, nil", c, r2, err)
+	}
+}
+
+func TestFitProportionalNoisy(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1}
+	c, r2, err := FitProportional(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 1.9 || c > 2.1 {
+		t.Errorf("c = %v, want ≈2", c)
+	}
+	if r2 < 0.99 {
+		t.Errorf("R² = %v, want near 1", r2)
+	}
+}
+
+func TestFitProportionalErrors(t *testing.T) {
+	if _, _, err := FitProportional(nil, nil); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, _, err := FitProportional([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, _, err := FitProportional([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("all-zero predictor must fail")
+	}
+}
+
+func TestFitProportionalConstantSeries(t *testing.T) {
+	// ssTot == 0: ys all equal. Exact fit when y = c·x is achievable.
+	c, r2, err := FitProportional([]float64{2, 2}, []float64{4, 4})
+	if err != nil || !almost(c, 2) || !almost(r2, 1) {
+		t.Errorf("constant exact: %v %v %v", c, r2, err)
+	}
+	_, r2, err = FitProportional([]float64{1, 2}, []float64{4, 4})
+	if err != nil || r2 != 0 {
+		t.Errorf("constant non-exact: r2 = %v, want 0", r2)
+	}
+}
+
+// TestFitResidualOptimality: the returned c minimizes the sum of squared
+// residuals — no perturbation improves it.
+func TestFitResidualOptimality(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v%16) + 1
+			ys[i] = float64(v) * 0.7
+		}
+		c, _, err := FitProportional(xs, ys)
+		if err != nil {
+			return false
+		}
+		sse := func(k float64) float64 {
+			s := 0.0
+			for i := range xs {
+				d := ys[i] - k*xs[i]
+				s += d * d
+			}
+			return s
+		}
+		base := sse(c)
+		return sse(c+0.01) >= base-1e-9 && sse(c-0.01) >= base-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioBounds(t *testing.T) {
+	lo, hi, err := RatioBounds([]float64{2, 4, 0}, []float64{1, 8, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(lo, 0.5) || !almost(hi, 2) {
+		t.Errorf("RatioBounds = %v, %v; want 0.5, 2 (zero predictor skipped)", lo, hi)
+	}
+	if _, _, err := RatioBounds([]float64{0}, []float64{1}); err == nil {
+		t.Error("all-zero predictors must fail")
+	}
+	if _, _, err := RatioBounds(nil, nil); err == nil {
+		t.Error("empty must fail")
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Transition is one observed control-flow edge: a process in state From
+// fired Action and ended in state To.
+type Transition struct {
+	From, Action, To string
+}
+
+// String renders "FROM --action--> TO".
+func (t Transition) String() string {
+	return fmt.Sprintf("%s --%s--> %s", t.From, t.Action, t.To)
+}
+
+// Transitions extracts the set of distinct state transitions from a
+// recorded event stream. The engines record each machine's StateName after
+// every action; the pre-state is reconstructed per process (initial state
+// "INIT").
+func Transitions(events []Event) []Transition {
+	last := map[int]string{}
+	seen := map[Transition]bool{}
+	var out []Transition
+	for _, e := range events {
+		if e.Op != OpInit && e.Op != OpDeliver {
+			continue
+		}
+		from, ok := last[e.Proc]
+		if !ok {
+			from = "INIT"
+		}
+		tr := Transition{From: from, Action: e.Action, To: e.State}
+		if !seen[tr] {
+			seen[tr] = true
+			out = append(out, tr)
+		}
+		last[e.Proc] = e.State
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Action != b.Action {
+			return a.Action < b.Action
+		}
+		return a.To < b.To
+	})
+	return out
+}
+
+// Figure2Edges is the state diagram of Bk exactly as drawn in Figure 2:
+// every edge any execution of Bk may take, labeled by action.
+var Figure2Edges = []Transition{
+	{From: "INIT", Action: "B1", To: "COMPUTE"},
+	{From: "COMPUTE", Action: "B2", To: "COMPUTE"},
+	{From: "COMPUTE", Action: "B3", To: "COMPUTE"},
+	{From: "COMPUTE", Action: "B4", To: "PASSIVE"},
+	{From: "COMPUTE", Action: "B5", To: "SHIFT"},
+	{From: "SHIFT", Action: "B6", To: "COMPUTE"},
+	{From: "SHIFT", Action: "B9", To: "WIN"},
+	{From: "PASSIVE", Action: "B7", To: "PASSIVE"},
+	{From: "PASSIVE", Action: "B8", To: "PASSIVE"},
+	{From: "PASSIVE", Action: "B10", To: "HALT"},
+	{From: "WIN", Action: "B11", To: "HALT"},
+}
+
+// CheckAgainstFigure2 verifies that every observed transition is an edge of
+// Figure 2, returning the offending transitions (nil when conformant).
+func CheckAgainstFigure2(observed []Transition) []Transition {
+	allowed := map[Transition]bool{}
+	for _, e := range Figure2Edges {
+		allowed[e] = true
+	}
+	var bad []Transition
+	for _, tr := range observed {
+		if !allowed[tr] {
+			bad = append(bad, tr)
+		}
+	}
+	return bad
+}
+
+// DOT renders a set of transitions as a Graphviz digraph, merging parallel
+// edges between the same states into one label.
+func DOT(name string, edges []Transition) string {
+	type key struct{ from, to string }
+	labels := map[key][]string{}
+	var order []key
+	for _, e := range edges {
+		k := key{e.From, e.To}
+		if _, ok := labels[k]; !ok {
+			order = append(order, k)
+		}
+		labels[k] = append(labels[k], e.Action)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=ellipse];\n")
+	for _, k := range order {
+		fmt.Fprintf(&b, "  %s -> %s [label=\"%s\"];\n", k.from, k.to, strings.Join(labels[k], ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Golden traces: a recorded event stream serialized to JSON, used as a
+// regression oracle. Because FIFO unidirectional executions are
+// outcome-deterministic and the engines themselves are deterministic for a
+// fixed scheduler and seed, a re-run must reproduce a golden trace
+// event-for-event; any divergence pinpoints the first behavioral change.
+
+// Marshal serializes events as indented JSON.
+func Marshal(events []Event) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(events); err != nil {
+		return nil, fmt.Errorf("trace: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal parses a golden trace produced by Marshal.
+func Unmarshal(data []byte) ([]Event, error) {
+	var events []Event
+	if err := json.Unmarshal(data, &events); err != nil {
+		return nil, fmt.Errorf("trace: unmarshal: %w", err)
+	}
+	return events, nil
+}
+
+// Diff compares a fresh event stream against a golden one and returns a
+// description of the first divergence, or "" when they are identical.
+func Diff(golden, fresh []Event) string {
+	n := min(len(golden), len(fresh))
+	for i := 0; i < n; i++ {
+		if golden[i] != fresh[i] {
+			return fmt.Sprintf("event %d diverges:\n  golden: %s\n  fresh:  %s", i, describe(golden[i]), describe(fresh[i]))
+		}
+	}
+	if len(golden) != len(fresh) {
+		return fmt.Sprintf("length diverges: golden has %d events, fresh has %d", len(golden), len(fresh))
+	}
+	return ""
+}
+
+// describe renders an event for diff messages.
+func describe(e Event) string {
+	return fmt.Sprintf("{%s step=%d t=%.3f p%d action=%q msg=%s state=%q phase=%d guest=%s active=%t}",
+		e.Op, e.Step, e.Time, e.Proc, e.Action, e.Msg, e.State, e.Phase, e.Guest, e.Active)
+}

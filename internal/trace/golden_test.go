@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Op: OpInit, Step: 1, Proc: 0, Action: "B1", State: "COMPUTE"},
+		{Op: OpSend, Step: 1, Proc: 0, Msg: core.Token(3)},
+		{Op: OpDeliver, Step: 2, Time: 1, Proc: 1, Action: "B2", Msg: core.Token(3), State: "COMPUTE"},
+		{Op: OpPhase, Step: 2, Proc: 1, Phase: 2, Guest: 3, Active: true},
+		{Op: OpHalt, Step: 3, Proc: 1, State: "HALT"},
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	data, err := Marshal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(events, back); d != "" {
+		t.Fatalf("round trip diverged: %s", d)
+	}
+}
+
+func TestDiffDetectsChanges(t *testing.T) {
+	events := sampleEvents()
+	if d := Diff(events, events); d != "" {
+		t.Errorf("identical traces diff: %s", d)
+	}
+	changed := sampleEvents()
+	changed[2].Action = "B4"
+	d := Diff(events, changed)
+	if !strings.Contains(d, "event 2 diverges") || !strings.Contains(d, "B4") {
+		t.Errorf("diff = %q", d)
+	}
+	if d := Diff(events, events[:3]); !strings.Contains(d, "length diverges") {
+		t.Errorf("length diff = %q", d)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Error("garbage must fail")
+	}
+}

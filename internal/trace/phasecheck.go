@@ -1,0 +1,58 @@
+package trace
+
+import "fmt"
+
+// CheckPhaseAlignment verifies Observation 1 of the paper (Lemmas 14–16)
+// on a recorded Bk execution: every message sent in phase i is received in
+// phase i, and all sends are eventually received.
+//
+// Send phases are attributed per the statement order of Table 2 — action
+// B8 emits its relayed ⟨PHASE_SHIFT⟩ before adopting the new guest, so
+// that send belongs to the phase being left, while B6/B9 send after
+// entering the new phase. Receive phases are the receiver's phase before
+// processing the message.
+//
+// The events must come from a stream where each action's sends directly
+// follow the action (the event-driven simulator and the traced goroutine
+// engine both guarantee this; the synchronous engine batches sends at the
+// end of a step and is not suitable).
+func CheckPhaseAlignment(events []Event, n int) error {
+	phase := make([]int, n)  // current phase per process (0 before B1)
+	preAct := make([]int, n) // phase before the process's latest action
+	lastAction := make([]string, n)
+	linkQ := make([][]int, n) // FIFO of send phases per link (indexed by sender)
+
+	for _, e := range events {
+		switch e.Op {
+		case OpInit, OpDeliver:
+			preAct[e.Proc] = phase[e.Proc]
+			lastAction[e.Proc] = e.Action
+			if e.Op == OpDeliver {
+				from := (e.Proc - 1 + n) % n
+				if len(linkQ[from]) == 0 {
+					return fmt.Errorf("trace: delivery at p%d with no recorded send", e.Proc)
+				}
+				sent := linkQ[from][0]
+				linkQ[from] = linkQ[from][1:]
+				if sent != preAct[e.Proc] {
+					return fmt.Errorf("trace: Observation 1 violated: %s sent in phase %d, received by p%d in phase %d (action %s)",
+						e.Msg, sent, e.Proc, preAct[e.Proc], e.Action)
+				}
+			}
+		case OpPhase:
+			phase[e.Proc] = e.Phase
+		case OpSend:
+			sp := phase[e.Proc]
+			if lastAction[e.Proc] == "B8" {
+				sp = preAct[e.Proc]
+			}
+			linkQ[e.Proc] = append(linkQ[e.Proc], sp)
+		}
+	}
+	for i, q := range linkQ {
+		if len(q) != 0 {
+			return fmt.Errorf("trace: link %d ends with %d unreceived sends", i, len(q))
+		}
+	}
+	return nil
+}

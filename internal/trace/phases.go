@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ring"
+)
+
+// PhaseRow is the situation of one process in one phase of a Bk execution:
+// the value of p.guest during that phase and whether the process was still
+// active when the phase began — exactly the information Figure 1 renders
+// (gray guest labels; white/black coloring).
+type PhaseRow struct {
+	Guest   ring.Label
+	Active  bool
+	Entered bool // the process reached this phase at all
+}
+
+// PhaseTable is the per-phase, per-process reconstruction of a Bk
+// execution: Rows[i-1][p] describes process p in phase i.
+type PhaseTable struct {
+	N    int
+	Rows [][]PhaseRow
+}
+
+// BuildPhaseTable reconstructs the phase table from a recorded event
+// stream containing OpPhase events (as emitted by the engines for
+// PhaseReporter machines).
+func BuildPhaseTable(events []Event, n int) *PhaseTable {
+	t := &PhaseTable{N: n}
+	for _, e := range events {
+		if e.Op != OpPhase {
+			continue
+		}
+		for len(t.Rows) < e.Phase {
+			t.Rows = append(t.Rows, make([]PhaseRow, n))
+		}
+		t.Rows[e.Phase-1][e.Proc] = PhaseRow{Guest: e.Guest, Active: e.Active, Entered: true}
+	}
+	return t
+}
+
+// Phases returns the number of phases any process entered.
+func (t *PhaseTable) Phases() int { return len(t.Rows) }
+
+// ActiveSet returns the indices of processes active at the beginning of
+// phase i (1-based), sorted.
+func (t *PhaseTable) ActiveSet(i int) []int {
+	var out []int
+	for p, row := range t.Rows[i-1] {
+		if row.Entered && row.Active {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Guests returns the guest value of every process in phase i (1-based);
+// ok[p] is false for processes that never entered the phase.
+func (t *PhaseTable) Guests(i int) (guests []ring.Label, ok []bool) {
+	guests = make([]ring.Label, t.N)
+	ok = make([]bool, t.N)
+	for p, row := range t.Rows[i-1] {
+		guests[p] = row.Guest
+		ok[p] = row.Entered
+	}
+	return guests, ok
+}
+
+// Render prints phases first…last of the table in the layout of Figure 1:
+// one line per process with its label, then per-phase guest and
+// active/passive marker.
+func (t *PhaseTable) Render(r *ring.Ring, first, last int) string {
+	var b strings.Builder
+	last = min(last, t.Phases())
+	fmt.Fprintf(&b, "%-5s %-6s", "proc", "label")
+	for i := first; i <= last; i++ {
+		fmt.Fprintf(&b, " | phase %-2d", i)
+	}
+	b.WriteByte('\n')
+	for p := 0; p < t.N; p++ {
+		fmt.Fprintf(&b, "p%-4d %-6s", p, r.Label(p))
+		for i := first; i <= last; i++ {
+			row := t.Rows[i-1][p]
+			cell := "-"
+			if row.Entered {
+				mark := "×" // passive (black in the figure)
+				if row.Active {
+					mark = "●" // active (white in the figure)
+				}
+				cell = fmt.Sprintf("%s g=%s", mark, row.Guest)
+			}
+			fmt.Fprintf(&b, " | %-8s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/ring"
+)
+
+// SVGOptions tunes RenderSVG.
+type SVGOptions struct {
+	// Phases selects which phases to draw, in order (defaults to 1..4, the
+	// panels of the paper's Figure 1).
+	Phases []int
+	// Radius is the ring radius per panel in pixels (default 90).
+	Radius int
+}
+
+// RenderSVG draws a Bk phase table in the visual language of the paper's
+// Figure 1: one panel per phase, processes as circles on a ring — white
+// while active, black once passive — each labeled with its process id and
+// label, and its current guest shown in gray beside it. Pure SVG 1.1,
+// no external assets.
+func (t *PhaseTable) RenderSVG(r *ring.Ring, opt SVGOptions) string {
+	phases := opt.Phases
+	if len(phases) == 0 {
+		for i := 1; i <= min(4, t.Phases()); i++ {
+			phases = append(phases, i)
+		}
+	}
+	radius := opt.Radius
+	if radius <= 0 {
+		radius = 90
+	}
+	panel := 2*radius + 110 // margin for guest labels and captions
+	width := panel * len(phases)
+	height := panel + 30
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`  <style>text{font-family:serif;font-size:13px} .cap{font-size:15px} .guest{fill:#888} .lbl{font-weight:bold}</style>` + "\n")
+
+	n := t.N
+	for pi, phase := range phases {
+		cx := float64(pi*panel + panel/2)
+		cy := float64(panel / 2)
+		fmt.Fprintf(&b, `  <g id="phase%d">`+"\n", phase)
+		// Ring outline with direction arrows between consecutive processes.
+		fmt.Fprintf(&b, `    <circle cx="%.1f" cy="%.1f" r="%d" fill="none" stroke="#ccc"/>`+"\n", cx, cy, radius)
+		for p := 0; p < n; p++ {
+			// p0 at the top, clockwise.
+			ang := -math.Pi/2 + 2*math.Pi*float64(p)/float64(n)
+			x := cx + float64(radius)*math.Cos(ang)
+			y := cy + float64(radius)*math.Sin(ang)
+			row := PhaseRow{}
+			if phase <= t.Phases() {
+				row = t.Rows[phase-1][p]
+			}
+			fill := "white"
+			text := "black"
+			if row.Entered && !row.Active {
+				fill, text = "black", "white"
+			}
+			fmt.Fprintf(&b, `    <circle cx="%.1f" cy="%.1f" r="16" fill="%s" stroke="black"/>`+"\n", x, y, fill)
+			fmt.Fprintf(&b, `    <text class="lbl" x="%.1f" y="%.1f" text-anchor="middle" fill="%s">%s</text>`+"\n",
+				x, y+4, text, r.Label(p))
+			// Process name outside the ring.
+			nx := cx + (float64(radius)+34)*math.Cos(ang)
+			ny := cy + (float64(radius)+34)*math.Sin(ang)
+			fmt.Fprintf(&b, `    <text x="%.1f" y="%.1f" text-anchor="middle">p%d</text>`+"\n", nx, ny+4, p)
+			// Guest label in gray, offset inward, as in the figure.
+			if row.Entered {
+				gx := cx + (float64(radius)-32)*math.Cos(ang)
+				gy := cy + (float64(radius)-32)*math.Sin(ang)
+				fmt.Fprintf(&b, `    <text class="guest" x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+					gx, gy+4, row.Guest)
+			}
+		}
+		caption := fmt.Sprintf("(%c) phase %d", 'a'+pi, phase)
+		fmt.Fprintf(&b, `    <text class="cap" x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			cx, panel+18, caption)
+		b.WriteString("  </g>\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ring"
+)
+
+func figure1Table() *PhaseTable {
+	// Phases 1-2 of the Figure 1 execution, hand-encoded.
+	events := []Event{
+		{Op: OpPhase, Proc: 0, Phase: 1, Guest: 1, Active: true},
+		{Op: OpPhase, Proc: 1, Phase: 1, Guest: 3, Active: true},
+		{Op: OpPhase, Proc: 2, Phase: 1, Guest: 1, Active: true},
+		{Op: OpPhase, Proc: 0, Phase: 2, Guest: 2, Active: true},
+		{Op: OpPhase, Proc: 1, Phase: 2, Guest: 1, Active: false},
+		{Op: OpPhase, Proc: 2, Phase: 2, Guest: 3, Active: true},
+	}
+	return BuildPhaseTable(events, 3)
+}
+
+func TestRenderSVGStructure(t *testing.T) {
+	table := figure1Table()
+	r := ring.MustNew(1, 3, 1)
+	svg := table.RenderSVG(r, SVGOptions{Phases: []int{1, 2}})
+
+	for _, frag := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg"`,
+		`id="phase1"`, `id="phase2"`,
+		`(a) phase 1`, `(b) phase 2`,
+		`fill="white"`, // active processes
+		`fill="black"`, // p1 passive in phase 2
+		`class="guest"`,
+		`>p0<`, `>p2<`,
+		"</svg>",
+	} {
+		if !strings.Contains(svg, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	// One circle per process per panel plus one ring outline per panel.
+	if got, want := strings.Count(svg, "<circle"), 2*(3+1); got != want {
+		t.Errorf("circle count = %d, want %d", got, want)
+	}
+}
+
+func TestRenderSVGDefaults(t *testing.T) {
+	table := figure1Table()
+	r := ring.MustNew(1, 3, 1)
+	svg := table.RenderSVG(r, SVGOptions{})
+	// Defaults draw up to 4 phases; only 2 exist here.
+	if !strings.Contains(svg, `id="phase2"`) || strings.Contains(svg, `id="phase3"`) {
+		t.Errorf("default phase selection wrong")
+	}
+}

@@ -1,0 +1,99 @@
+// Package trace records structured execution events from the engines and
+// reconstructs the paper's visual artifacts from them: Figure 1 (the
+// phase-by-phase execution of Bk) and Figure 2 (Bk's state diagram).
+package trace
+
+import (
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+// Op is the kind of a trace event.
+type Op uint8
+
+const (
+	// OpInit is the execution of a process's initial action.
+	OpInit Op = iota
+	// OpDeliver is the receipt (and processing) of a message.
+	OpDeliver
+	// OpSend is the emission of a message.
+	OpSend
+	// OpPhase marks a Bk process entering a new phase (an assignment to
+	// p.guest; Appendix A numbering).
+	OpPhase
+	// OpHalt marks a process halting.
+	OpHalt
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpInit:
+		return "init"
+	case OpDeliver:
+		return "deliver"
+	case OpSend:
+		return "send"
+	case OpPhase:
+		return "phase"
+	case OpHalt:
+		return "halt"
+	default:
+		return "op?"
+	}
+}
+
+// Event is one observation. Fields beyond Op/Proc are populated when
+// meaningful for the op.
+type Event struct {
+	Op     Op
+	Step   int     // synchronous step number, or delivery sequence number
+	Time   float64 // asynchronous time units (0 in synchronous runs)
+	Proc   int
+	Action string       // fired action id (OpInit, OpDeliver)
+	Msg    core.Message // OpDeliver, OpSend
+	State  string       // machine StateName after the action
+	Phase  int          // OpPhase: the phase being entered
+	Guest  ring.Label   // OpPhase: the guest adopted for that phase
+	Active bool         // OpPhase: still competing when entering the phase
+}
+
+// Sink consumes events. Implementations must be cheap; engines call Record
+// on the hot path.
+type Sink interface {
+	Record(Event)
+}
+
+// Nop discards all events.
+type Nop struct{}
+
+// Record implements Sink.
+func (Nop) Record(Event) {}
+
+// Mem retains every event in order.
+type Mem struct {
+	Events []Event
+}
+
+// Record implements Sink.
+func (m *Mem) Record(e Event) { m.Events = append(m.Events, e) }
+
+// ActionCount tallies fired actions by identifier (A1…A6, B1…B11, …).
+type ActionCount map[string]int
+
+// Record implements Sink.
+func (c ActionCount) Record(e Event) {
+	if (e.Op == OpInit || e.Op == OpDeliver) && e.Action != "" {
+		c[e.Action]++
+	}
+}
+
+// Multi fans events out to several sinks.
+type Multi []Sink
+
+// Record implements Sink.
+func (m Multi) Record(e Event) {
+	for _, s := range m {
+		s.Record(e)
+	}
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{OpInit: "init", OpDeliver: "deliver", OpSend: "send", OpPhase: "phase", OpHalt: "halt"}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("Op %d = %q, want %q", op, op.String(), want)
+		}
+	}
+	if Op(200).String() != "op?" {
+		t.Error("unknown op must render op?")
+	}
+}
+
+func TestMemAndMulti(t *testing.T) {
+	var a, b Mem
+	m := Multi{&a, &b}
+	m.Record(Event{Op: OpInit, Proc: 1})
+	m.Record(Event{Op: OpSend, Proc: 2})
+	if len(a.Events) != 2 || len(b.Events) != 2 {
+		t.Errorf("Multi fan-out: %d, %d events", len(a.Events), len(b.Events))
+	}
+	Nop{}.Record(Event{}) // must not panic
+}
+
+func TestActionCount(t *testing.T) {
+	c := ActionCount{}
+	c.Record(Event{Op: OpInit, Action: "B1"})
+	c.Record(Event{Op: OpDeliver, Action: "B7"})
+	c.Record(Event{Op: OpDeliver, Action: "B7"})
+	c.Record(Event{Op: OpSend, Action: "ignored"}) // sends are not actions
+	c.Record(Event{Op: OpDeliver})                 // empty action ignored
+	if c["B1"] != 1 || c["B7"] != 2 || len(c) != 2 {
+		t.Errorf("ActionCount = %v", c)
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	events := []Event{
+		{Op: OpInit, Proc: 0, Action: "B1", State: "COMPUTE"},
+		{Op: OpInit, Proc: 1, Action: "B1", State: "COMPUTE"},
+		{Op: OpDeliver, Proc: 0, Action: "B4", State: "PASSIVE"},
+		{Op: OpDeliver, Proc: 0, Action: "B7", State: "PASSIVE"},
+		{Op: OpDeliver, Proc: 1, Action: "B4", State: "PASSIVE"}, // duplicate edge
+		{Op: OpSend, Proc: 0, State: "IGNORED"},
+	}
+	got := Transitions(events)
+	want := []Transition{
+		{"COMPUTE", "B4", "PASSIVE"},
+		{"INIT", "B1", "COMPUTE"},
+		{"PASSIVE", "B7", "PASSIVE"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Transitions[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCheckAgainstFigure2(t *testing.T) {
+	if bad := CheckAgainstFigure2(Figure2Edges); bad != nil {
+		t.Errorf("figure edges flagged: %v", bad)
+	}
+	rogue := []Transition{{From: "WIN", Action: "B7", To: "PASSIVE"}}
+	if bad := CheckAgainstFigure2(rogue); len(bad) != 1 {
+		t.Errorf("rogue transition not flagged: %v", bad)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	out := DOT("Bk", Figure2Edges)
+	for _, frag := range []string{"digraph Bk", "INIT -> COMPUTE", "label=\"B1\"", "COMPUTE -> COMPUTE [label=\"B2, B3\"]", "WIN -> HALT"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPhaseTable(t *testing.T) {
+	events := []Event{
+		{Op: OpPhase, Proc: 0, Phase: 1, Guest: 5, Active: true},
+		{Op: OpPhase, Proc: 1, Phase: 1, Guest: 7, Active: true},
+		{Op: OpPhase, Proc: 0, Phase: 2, Guest: 7, Active: true},
+		{Op: OpPhase, Proc: 1, Phase: 2, Guest: 5, Active: false},
+		{Op: OpDeliver, Proc: 0}, // non-phase events ignored
+	}
+	table := BuildPhaseTable(events, 2)
+	if table.Phases() != 2 {
+		t.Fatalf("Phases = %d, want 2", table.Phases())
+	}
+	if got := table.ActiveSet(1); len(got) != 2 {
+		t.Errorf("ActiveSet(1) = %v", got)
+	}
+	if got := table.ActiveSet(2); len(got) != 1 || got[0] != 0 {
+		t.Errorf("ActiveSet(2) = %v", got)
+	}
+	guests, ok := table.Guests(2)
+	if !ok[0] || !ok[1] || guests[0] != 7 || guests[1] != 5 {
+		t.Errorf("Guests(2) = %v, %v", guests, ok)
+	}
+	r := ring.MustNew(5, 7)
+	rendered := table.Render(r, 1, 2)
+	for _, frag := range []string{"p0", "phase 1", "g=7", "×"} {
+		if !strings.Contains(rendered, frag) {
+			t.Errorf("Render missing %q:\n%s", frag, rendered)
+		}
+	}
+}
+
+func TestPhaseTableSkippedPhases(t *testing.T) {
+	// A process can jump several phases in one action burst; the builder
+	// must allocate the intermediate rows.
+	events := []Event{{Op: OpPhase, Proc: 0, Phase: 3, Guest: 1, Active: true}}
+	table := BuildPhaseTable(events, 1)
+	if table.Phases() != 3 {
+		t.Fatalf("Phases = %d, want 3", table.Phases())
+	}
+	if _, ok := table.Guests(1); ok[0] {
+		t.Error("phase 1 must be marked not-entered")
+	}
+}
+
+var _ = core.KindToken // the trace package's Event embeds core.Message

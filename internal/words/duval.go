@@ -1,0 +1,46 @@
+package words
+
+import "cmp"
+
+// LyndonFactorization returns the Chen–Fox–Lyndon factorization of s —
+// the unique decomposition s = w1 w2 … wm into Lyndon words with
+// w1 ≥ w2 ≥ … ≥ wm — computed with Duval's algorithm in O(len(s)) time.
+// The returned slices alias s.
+//
+// It provides an independent oracle for the Lyndon-word machinery the
+// election algorithms rely on: s is a Lyndon word exactly when its
+// factorization is the single factor s, and the least rotation of a
+// primitive s starts the factorization of ss at the appropriate point —
+// both cross-checked in the tests against Booth's algorithm.
+func LyndonFactorization[T cmp.Ordered](s []T) [][]T {
+	var out [][]T
+	n := len(s)
+	i := 0
+	for i < n {
+		j, k := i+1, i
+		for j < n && s[k] <= s[j] {
+			if s[k] < s[j] {
+				k = i // still extending one long pre-Lyndon run
+			} else {
+				k++
+			}
+			j++
+		}
+		for i <= k {
+			out = append(out, s[i:i+j-k])
+			i += j - k
+		}
+	}
+	return out
+}
+
+// IsLyndonDuval reports whether s is a Lyndon word using the
+// factorization route (a second implementation, used to cross-check
+// IsLyndon in tests).
+func IsLyndonDuval[T cmp.Ordered](s []T) bool {
+	if len(s) == 0 {
+		return false
+	}
+	f := LyndonFactorization(s)
+	return len(f) == 1
+}

@@ -1,0 +1,99 @@
+package words
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestLyndonFactorizationTable(t *testing.T) {
+	cases := []struct {
+		s    string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"aaa", []string{"a", "a", "a"}},
+		{"ab", []string{"ab"}},
+		{"ba", []string{"b", "a"}},
+		{"aab", []string{"aab"}},
+		{"aba", []string{"ab", "a"}},
+		{"bbaaab", []string{"b", "b", "aaab"}},
+		{"abab", []string{"ab", "ab"}},
+		{"cba", []string{"c", "b", "a"}},
+		{"banana", []string{"b", "an", "an", "a"}},
+	}
+	for _, c := range cases {
+		got := LyndonFactorization([]byte(c.s))
+		var gotStr []string
+		for _, f := range got {
+			gotStr = append(gotStr, string(f))
+		}
+		if !reflect.DeepEqual(gotStr, c.want) {
+			t.Errorf("LyndonFactorization(%q) = %v, want %v", c.s, gotStr, c.want)
+		}
+	}
+}
+
+// TestFactorizationInvariants checks the defining properties on random
+// inputs: factors concatenate to the input, every factor is a Lyndon word
+// (per the brute-force definition), and factors are non-increasing.
+func TestFactorizationInvariants(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := make([]byte, len(raw))
+		for i, b := range raw {
+			s[i] = 'a' + b%3
+		}
+		factors := LyndonFactorization(s)
+		var rebuilt []byte
+		for _, w := range factors {
+			rebuilt = append(rebuilt, w...)
+			if !bruteIsLyndon(w) {
+				return false
+			}
+		}
+		if !reflect.DeepEqual(rebuilt, s) && !(len(s) == 0 && len(rebuilt) == 0) {
+			return false
+		}
+		for i := 1; i < len(factors); i++ {
+			if Compare(factors[i-1], factors[i]) < 0 {
+				return false // must be non-increasing
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIsLyndonImplementationsAgree cross-checks Duval against the
+// Booth/primitivity implementation exhaustively and randomly.
+func TestIsLyndonImplementationsAgree(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		for mask := 0; mask < 1<<n; mask++ {
+			s := make([]byte, n)
+			for i := range s {
+				s[i] = byte('a' + (mask>>i)&1)
+			}
+			if IsLyndon(s) != IsLyndonDuval(s) {
+				t.Fatalf("implementations disagree on %q", s)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(40)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = byte('a' + rng.Intn(4))
+		}
+		if IsLyndon(s) != IsLyndonDuval(s) {
+			t.Fatalf("implementations disagree on %q", s)
+		}
+	}
+	if IsLyndonDuval([]byte{}) {
+		t.Error("empty sequence is not Lyndon")
+	}
+}

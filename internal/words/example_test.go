@@ -1,0 +1,47 @@
+package words_test
+
+import (
+	"fmt"
+
+	"repro/internal/words"
+)
+
+// A Lyndon word is strictly smaller than all of its rotations; the true
+// leader of an asymmetric ring is the process whose label window is one.
+func ExampleIsLyndon() {
+	fmt.Println(words.IsLyndon([]byte("aab")))
+	fmt.Println(words.IsLyndon([]byte("aba")))  // rotation of aab, not minimal
+	fmt.Println(words.IsLyndon([]byte("abab"))) // not primitive
+	// Output:
+	// true
+	// false
+	// false
+}
+
+// srp(σ) is the shortest prefix whose infinite repetition, truncated,
+// yields σ — the quantity algorithm Ak extracts the ring from.
+func ExampleSmallestRepeatingPrefix() {
+	seq := []byte("abbabbabba") // LLabels prefix of the ring a-b-b, wrapped
+	fmt.Printf("%s\n", words.SmallestRepeatingPrefix(seq))
+	// Output:
+	// abb
+}
+
+// LeastRotation is Booth's algorithm; combined with primitivity it decides
+// leadership.
+func ExampleLeastRotation() {
+	fmt.Printf("%s\n", words.LeastRotation([]byte("bcab")))
+	// Output:
+	// abbc
+}
+
+// The Chen–Fox–Lyndon factorization decomposes any word into a
+// non-increasing sequence of Lyndon words.
+func ExampleLyndonFactorization() {
+	for _, f := range words.LyndonFactorization([]byte("banana")) {
+		fmt.Printf("%s ", f)
+	}
+	fmt.Println()
+	// Output:
+	// b an an a
+}

@@ -1,0 +1,64 @@
+package words
+
+// Incremental maintains a sequence under appends together with its KMP
+// failure table, so the smallest period (and hence srp) is available in
+// O(1) after each append, with amortized O(1) append cost.
+//
+// Algorithm Ak appends one label per received token and re-evaluates its
+// Leader(σ) predicate each time; recomputing the failure table from scratch
+// would make the whole execution Θ(k²n³). Incremental keeps it Θ(kn²).
+type Incremental[T comparable] struct {
+	s    []T
+	fail []int
+}
+
+// Append extends the sequence by x, updating the failure table online.
+func (in *Incremental[T]) Append(x T) {
+	i := len(in.s)
+	in.s = append(in.s, x)
+	if i == 0 {
+		in.fail = append(in.fail, 0)
+		return
+	}
+	j := in.fail[i-1]
+	for j > 0 && x != in.s[j] {
+		j = in.fail[j-1]
+	}
+	if x == in.s[j] {
+		j++
+	}
+	in.fail = append(in.fail, j)
+}
+
+// Len returns the current sequence length.
+func (in *Incremental[T]) Len() int { return len(in.s) }
+
+// Seq returns the current sequence. The slice aliases internal storage and
+// must not be mutated.
+func (in *Incremental[T]) Seq() []T { return in.s }
+
+// SmallestPeriod returns the smallest period of the current sequence (0 when
+// empty), in O(1).
+func (in *Incremental[T]) SmallestPeriod() int {
+	n := len(in.s)
+	if n == 0 {
+		return 0
+	}
+	return n - in.fail[n-1]
+}
+
+// SRP returns the smallest repeating prefix of the current sequence. The
+// slice aliases internal storage.
+func (in *Incremental[T]) SRP() []T { return in.s[:in.SmallestPeriod()] }
+
+// Clone returns an independent copy: appends to either side do not affect
+// the other.
+func (in *Incremental[T]) Clone() Incremental[T] {
+	cp := Incremental[T]{
+		s:    make([]T, len(in.s)),
+		fail: make([]int, len(in.fail)),
+	}
+	copy(cp.s, in.s)
+	copy(cp.fail, in.fail)
+	return cp
+}

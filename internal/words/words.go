@@ -1,0 +1,230 @@
+// Package words implements the combinatorics-on-words substrate used by the
+// leader-election algorithms of Altisen et al. (IPPS 2017): smallest
+// repeating prefixes (srp), Lyndon words, least rotations (Booth's
+// algorithm), and periodicity reasoning based on the Fine–Wilf theorem.
+//
+// A sequence σ of length λ has "repeating prefix" π = σ_m (the prefix of
+// length m) when σ[i] = π[1 + (i-1) mod m] for all 1 ≤ i ≤ λ (paper §IV,
+// one-based). Equivalently, m is a period of σ in the classical sense:
+// σ[i] = σ[i+m] for every i with i+m ≤ λ. srp(σ) is the repeating prefix of
+// minimum length.
+package words
+
+import "cmp"
+
+// SmallestPeriod returns the length of the smallest repeating prefix of s,
+// i.e. the smallest p ≥ 1 such that s[i] == s[i%p] for all i. For an empty
+// sequence it returns 0.
+//
+// It runs in O(len(s)) time using the Knuth–Morris–Pratt failure function.
+func SmallestPeriod[T comparable](s []T) int {
+	if len(s) == 0 {
+		return 0
+	}
+	fail := FailureFunction(s)
+	return len(s) - fail[len(s)-1]
+}
+
+// SmallestRepeatingPrefix returns srp(s): the shortest prefix π of s such
+// that s is a truncation of πππ…. The result aliases s's backing array.
+func SmallestRepeatingPrefix[T comparable](s []T) []T {
+	return s[:SmallestPeriod(s)]
+}
+
+// FailureFunction returns the KMP failure (border) table for s: fail[i] is
+// the length of the longest proper prefix of s[:i+1] that is also a suffix
+// of s[:i+1].
+func FailureFunction[T comparable](s []T) []int {
+	fail := make([]int, len(s))
+	for i := 1; i < len(s); i++ {
+		j := fail[i-1]
+		for j > 0 && s[i] != s[j] {
+			j = fail[j-1]
+		}
+		if s[i] == s[j] {
+			j++
+		}
+		fail[i] = j
+	}
+	return fail
+}
+
+// IsPeriod reports whether p is a period of s: s[i] == s[i+p] for every
+// valid i. By convention any p ≥ len(s) (and p ≥ 1) is a period, and p ≤ 0
+// is not.
+func IsPeriod[T comparable](s []T, p int) bool {
+	if p <= 0 {
+		return false
+	}
+	for i := 0; i+p < len(s); i++ {
+		if s[i] != s[i+p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Periods returns every period of s in increasing order, including len(s)
+// itself (the trivial period) when s is non-empty. Runs in O(len(s)) via the
+// border chain.
+func Periods[T comparable](s []T) []int {
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	fail := FailureFunction(s)
+	// Borders of s are fail[n-1], fail[fail[n-1]-1], …; each border of
+	// length b yields the period n-b.
+	// Borders come out longest-first, so periods n-b come out ascending.
+	var periods []int
+	for b := fail[n-1]; b > 0; b = fail[b-1] {
+		periods = append(periods, n-b)
+	}
+	return append(periods, n)
+}
+
+// Rotate returns the rotation of s starting at index d, i.e.
+// s[d], s[d+1], …, s[d-1]. d is taken modulo len(s). The result is a fresh
+// slice.
+func Rotate[T any](s []T, d int) []T {
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	d = ((d % n) + n) % n
+	out := make([]T, n)
+	copy(out, s[d:])
+	copy(out[n-d:], s[:d])
+	return out
+}
+
+// Compare lexicographically compares a and b element-wise; shorter prefixes
+// order first on ties, matching the usual word order.
+func Compare[T cmp.Ordered](a, b []T) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if c := cmp.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return cmp.Compare(len(a), len(b))
+}
+
+// LeastRotationIndex returns the start index of the lexicographically least
+// rotation of s using Booth's algorithm in O(len(s)) time. For the empty
+// sequence it returns 0. When several rotations are equal-least (s is a
+// power of a shorter word) the smallest such index is returned.
+func LeastRotationIndex[T cmp.Ordered](s []T) int {
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	// Booth's algorithm over the doubled sequence, without materializing it.
+	at := func(i int) T { return s[i%n] }
+	f := make([]int, 2*n) // failure table of the least rotation candidate
+	for i := range f {
+		f[i] = -1
+	}
+	k := 0
+	for j := 1; j < 2*n; j++ {
+		sj := at(j)
+		i := f[j-k-1]
+		for i != -1 && sj != at(k+i+1) {
+			if sj < at(k+i+1) {
+				k = j - i - 1
+			}
+			i = f[i]
+		}
+		if sj != at(k+i+1) { // i == -1 here
+			if sj < at(k) { // k+i+1 == k
+				k = j
+			}
+			f[j-k] = -1
+		} else {
+			f[j-k] = i + 1
+		}
+	}
+	return k
+}
+
+// LeastRotation returns the lexicographically least rotation of s as a fresh
+// slice.
+func LeastRotation[T cmp.Ordered](s []T) []T {
+	return Rotate(s, LeastRotationIndex(s))
+}
+
+// IsPrimitive reports whether s is primitive: not expressible as u^j for any
+// shorter word u and j ≥ 2. Equivalently, no divisor of len(s) smaller than
+// len(s) is a period.
+func IsPrimitive[T comparable](s []T) bool {
+	n := len(s)
+	if n == 0 {
+		return false
+	}
+	p := SmallestPeriod(s)
+	return p == n || n%p != 0
+}
+
+// IsLyndon reports whether s is a Lyndon word: non-empty and strictly
+// smaller, in lexicographic order, than all of its non-trivial rotations
+// (Lyndon 1954, as used by the paper's true-leader definition).
+func IsLyndon[T cmp.Ordered](s []T) bool {
+	if len(s) == 0 {
+		return false
+	}
+	return IsPrimitive(s) && LeastRotationIndex(s) == 0
+}
+
+// LyndonRotation returns LW(s): the rotation of s that is a Lyndon word,
+// and true on success. When s is not primitive no rotation is Lyndon and it
+// returns (nil, false).
+func LyndonRotation[T cmp.Ordered](s []T) ([]T, bool) {
+	if !IsPrimitive(s) {
+		return nil, false
+	}
+	return LeastRotation(s), true
+}
+
+// CountOf returns the number of occurrences of v in s.
+func CountOf[T comparable](s []T, v T) int {
+	c := 0
+	for _, x := range s {
+		if x == v {
+			c++
+		}
+	}
+	return c
+}
+
+// MaxCount returns the highest occurrence count of any value in s (0 for an
+// empty sequence).
+func MaxCount[T comparable](s []T) int {
+	counts := make(map[T]int, len(s))
+	best := 0
+	for _, x := range s {
+		counts[x]++
+		if counts[x] > best {
+			best = counts[x]
+		}
+	}
+	return best
+}
+
+// GCD returns the greatest common divisor of a and b (non-negative inputs;
+// GCD(0, b) = b).
+func GCD(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// FineWilf reports whether the Fine–Wilf theorem applies to periods p and q
+// over a sequence of length n: when n ≥ p + q - gcd(p, q), any sequence with
+// periods p and q also has period gcd(p, q).
+func FineWilf(n, p, q int) bool {
+	if p <= 0 || q <= 0 {
+		return false
+	}
+	return n >= p+q-GCD(p, q)
+}

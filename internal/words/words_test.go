@@ -1,0 +1,399 @@
+package words
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// bruteSmallestPeriod is the definition: the least p ≥ 1 with
+// s[i] == s[i%p] for all i.
+func bruteSmallestPeriod(s []byte) int {
+	if len(s) == 0 {
+		return 0
+	}
+	for p := 1; p <= len(s); p++ {
+		ok := true
+		for i := range s {
+			if s[i] != s[i%p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+	return len(s)
+}
+
+// bruteLeastRotationIndex compares all rotations pairwise.
+func bruteLeastRotationIndex(s []byte) int {
+	best := 0
+	for d := 1; d < len(s); d++ {
+		if Compare(Rotate(s, d), Rotate(s, best)) < 0 {
+			best = d
+		}
+	}
+	return best
+}
+
+// bruteIsLyndon is the definition: strictly smaller than every non-trivial
+// rotation.
+func bruteIsLyndon(s []byte) bool {
+	if len(s) == 0 {
+		return false
+	}
+	for d := 1; d < len(s); d++ {
+		if Compare(s, Rotate(s, d)) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSmallestPeriodTable(t *testing.T) {
+	cases := []struct {
+		s    string
+		want int
+	}{
+		{"", 0},
+		{"a", 1},
+		{"aa", 1},
+		{"ab", 2},
+		{"aba", 2},
+		{"abab", 2},
+		{"ababa", 2},
+		// Note the paper's truncation semantics: "abaab" is a truncation of
+		// "aba·aba", so its smallest repeating prefix is "aba".
+		{"abaab", 3},
+		{"abcabcab", 3},
+		{"aabaabaa", 3},
+		{"abba", 3},
+		{"abcde", 5},
+	}
+	for _, c := range cases {
+		if got := SmallestPeriod([]byte(c.s)); got != c.want {
+			t.Errorf("SmallestPeriod(%q) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestSmallestPeriodExhaustive(t *testing.T) {
+	// Every binary string up to length 14.
+	for n := 1; n <= 14; n++ {
+		for mask := 0; mask < 1<<n; mask++ {
+			s := make([]byte, n)
+			for i := range s {
+				s[i] = byte('a' + (mask>>i)&1)
+			}
+			if got, want := SmallestPeriod(s), bruteSmallestPeriod(s); got != want {
+				t.Fatalf("SmallestPeriod(%q) = %d, want %d", s, got, want)
+			}
+		}
+	}
+}
+
+func TestSmallestPeriodQuick(t *testing.T) {
+	f := func(s []byte) bool {
+		return SmallestPeriod(s) == bruteSmallestPeriod(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallestRepeatingPrefixReconstructs(t *testing.T) {
+	f := func(s []byte) bool {
+		p := SmallestRepeatingPrefix(s)
+		if len(s) == 0 {
+			return len(p) == 0
+		}
+		for i := range s {
+			if s[i] != p[i%len(p)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPeriod(t *testing.T) {
+	s := []byte("abcabcab")
+	for p, want := range map[int]bool{-1: false, 0: false, 1: false, 2: false, 3: true, 6: true, 7: false, 8: true, 9: true} {
+		if got := IsPeriod(s, p); got != want {
+			t.Errorf("IsPeriod(%q, %d) = %t, want %t", s, p, got, want)
+		}
+	}
+}
+
+func TestPeriodsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(30)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = byte('a' + rng.Intn(3))
+		}
+		var want []int
+		for p := 1; p <= n; p++ {
+			if IsPeriod(s, p) {
+				want = append(want, p)
+			}
+		}
+		if got := Periods(s); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Periods(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestRotate(t *testing.T) {
+	s := []byte("abcde")
+	if got := string(Rotate(s, 2)); got != "cdeab" {
+		t.Errorf("Rotate(abcde, 2) = %q, want cdeab", got)
+	}
+	if got := string(Rotate(s, -1)); got != "eabcd" {
+		t.Errorf("Rotate(abcde, -1) = %q, want eabcd", got)
+	}
+	if got := string(Rotate(s, 5)); got != "abcde" {
+		t.Errorf("Rotate(abcde, 5) = %q, want abcde", got)
+	}
+	if Rotate([]byte(nil), 3) != nil {
+		t.Error("Rotate(nil) should be nil")
+	}
+}
+
+func TestRotateComposition(t *testing.T) {
+	f := func(s []byte, a, b int8) bool {
+		if len(s) == 0 {
+			return true
+		}
+		lhs := Rotate(Rotate(s, int(a)), int(b))
+		rhs := Rotate(s, int(a)+int(b))
+		return reflect.DeepEqual(lhs, rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "a", -1},
+		{"abc", "abc", 0}, {"abc", "abd", -1}, {"abd", "abc", 1},
+		{"ab", "abc", -1}, {"abc", "ab", 1},
+	}
+	for _, c := range cases {
+		if got := Compare([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("Compare(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLeastRotationIndexExhaustive(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		for mask := 0; mask < 1<<n; mask++ {
+			s := make([]byte, n)
+			for i := range s {
+				s[i] = byte('a' + (mask>>i)&1)
+			}
+			got, want := LeastRotationIndex(s), bruteLeastRotationIndex(s)
+			if got != want {
+				// Both must at least denote the same (equal-least) rotation,
+				// and Booth returns the smallest such index.
+				t.Fatalf("LeastRotationIndex(%q) = %d, want %d", s, got, want)
+			}
+		}
+	}
+}
+
+func TestLeastRotationIndexQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return LeastRotationIndex(raw) == 0
+		}
+		// Shrink the alphabet to make ties common.
+		s := make([]byte, len(raw))
+		for i, b := range raw {
+			s[i] = 'a' + b%3
+		}
+		return LeastRotationIndex(s) == bruteLeastRotationIndex(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPrimitive(t *testing.T) {
+	cases := map[string]bool{
+		"a": true, "ab": true, "aa": false, "abab": false,
+		"aba": true, "abcabc": false, "abcab": true, "aab": true,
+	}
+	for s, want := range cases {
+		if got := IsPrimitive([]byte(s)); got != want {
+			t.Errorf("IsPrimitive(%q) = %t, want %t", s, got, want)
+		}
+	}
+	if IsPrimitive([]byte{}) {
+		t.Error("empty sequence must not be primitive")
+	}
+}
+
+func TestIsLyndonTable(t *testing.T) {
+	lyndon := []string{"a", "ab", "aab", "abb", "aabb", "aabab", "abc", "aabac"}
+	notLyndon := []string{"", "aa", "ba", "aba", "abab", "bab", "abaab"}
+	for _, s := range lyndon {
+		if !IsLyndon([]byte(s)) {
+			t.Errorf("IsLyndon(%q) = false, want true", s)
+		}
+	}
+	for _, s := range notLyndon {
+		if IsLyndon([]byte(s)) {
+			t.Errorf("IsLyndon(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestIsLyndonExhaustive(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		for mask := 0; mask < 1<<n; mask++ {
+			s := make([]byte, n)
+			for i := range s {
+				s[i] = byte('a' + (mask>>i)&1)
+			}
+			if got, want := IsLyndon(s), bruteIsLyndon(s); got != want {
+				t.Fatalf("IsLyndon(%q) = %t, want %t", s, got, want)
+			}
+		}
+	}
+}
+
+func TestLyndonRotation(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			_, ok := LyndonRotation(raw)
+			return !ok
+		}
+		s := make([]byte, len(raw))
+		for i, b := range raw {
+			s[i] = 'a' + b%3
+		}
+		lw, ok := LyndonRotation(s)
+		if !IsPrimitive(s) {
+			return !ok
+		}
+		if !ok || !IsLyndon(lw) {
+			return false
+		}
+		// lw must be a rotation of s.
+		for d := 0; d < len(s); d++ {
+			if reflect.DeepEqual(Rotate(s, d), lw) {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s := []byte("abracadabra")
+	if got := CountOf(s, byte('a')); got != 5 {
+		t.Errorf("CountOf = %d, want 5", got)
+	}
+	if got := CountOf(s, byte('z')); got != 0 {
+		t.Errorf("CountOf(z) = %d, want 0", got)
+	}
+	if got := MaxCount(s); got != 5 {
+		t.Errorf("MaxCount = %d, want 5", got)
+	}
+	if got := MaxCount([]byte{}); got != 0 {
+		t.Errorf("MaxCount(empty) = %d, want 0", got)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 5, 5}, {5, 0, 5}, {12, 18, 6}, {7, 13, 1}, {9, 9, 9},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestFineWilfTheorem verifies the theorem itself on random instances:
+// whenever FineWilf(n, p, q) reports applicability and a string of length n
+// has periods p and q, it has period gcd(p, q).
+func TestFineWilfTheorem(t *testing.T) {
+	if !FineWilf(10, 4, 6) || FineWilf(7, 4, 6) {
+		t.Fatal("FineWilf threshold wrong: want n >= p+q-gcd")
+	}
+	if FineWilf(10, 0, 5) || FineWilf(10, 5, -1) {
+		t.Fatal("FineWilf must reject non-positive periods")
+	}
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for trial := 0; trial < 20000 && checked < 300; trial++ {
+		n := 2 + rng.Intn(16)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = byte('a' + rng.Intn(2))
+		}
+		ps := Periods(s)
+		for _, p := range ps {
+			for _, q := range ps {
+				if p >= n || q >= n || !FineWilf(n, p, q) {
+					continue
+				}
+				checked++
+				if !IsPeriod(s, GCD(p, q)) {
+					t.Fatalf("Fine–Wilf fails on %q with periods %d, %d", s, p, q)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no Fine–Wilf instances exercised")
+	}
+}
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		var inc Incremental[byte]
+		var s []byte
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			c := byte('a' + rng.Intn(3))
+			inc.Append(c)
+			s = append(s, c)
+			if inc.Len() != len(s) {
+				t.Fatalf("Len = %d, want %d", inc.Len(), len(s))
+			}
+			if got, want := inc.SmallestPeriod(), SmallestPeriod(s); got != want {
+				t.Fatalf("incremental period %d != batch %d on %q", got, want, s)
+			}
+			if got, want := string(inc.SRP()), string(SmallestRepeatingPrefix(s)); got != want {
+				t.Fatalf("incremental srp %q != batch %q", got, want)
+			}
+		}
+	}
+}
+
+func TestIncrementalEmpty(t *testing.T) {
+	var inc Incremental[int]
+	if inc.Len() != 0 || inc.SmallestPeriod() != 0 || len(inc.SRP()) != 0 {
+		t.Fatal("zero-value Incremental must behave as empty sequence")
+	}
+}

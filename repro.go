@@ -1,0 +1,206 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gorun"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// Label is a process label; homonym processes may share one. Algorithms
+// compare labels but never compute with them.
+type Label = ring.Label
+
+// Ring is an immutable labeled unidirectional ring of n ≥ 2 processes.
+type Ring = ring.Ring
+
+// Protocol is a distributed algorithm: a factory of identical local
+// algorithms differing only in their label.
+type Protocol = core.Protocol
+
+// NewRing builds a ring from the clockwise label sequence.
+func NewRing(labels []Label) (*Ring, error) { return ring.New(labels) }
+
+// ParseRing reads a whitespace- or comma-separated label list, e.g.
+// "1 3 1 3 2 2 1 2".
+func ParseRing(spec string) (*Ring, error) { return ring.Parse(spec) }
+
+// MustParseRing is ParseRing, panicking on error. For examples and tests.
+func MustParseRing(spec string) *Ring {
+	r, err := ring.Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Figure1Ring returns the paper's Figure 1 ring [1 3 1 3 2 2 1 2].
+func Figure1Ring() *Ring { return ring.Figure1() }
+
+// RandomRing draws an asymmetric ring with multiplicity at most k over an
+// alphabet of alpha labels, using the given seed.
+func RandomRing(seed int64, n, k, alpha int) (*Ring, error) {
+	return ring.RandomAsymmetric(rand.New(rand.NewSource(seed)), n, k, alpha)
+}
+
+// Algorithm selects one of the implemented election algorithms.
+type Algorithm int
+
+const (
+	// AlgorithmA is the paper's Ak (Table 1): time-optimal, Θ(knb) space.
+	AlgorithmA Algorithm = iota
+	// AlgorithmB is the paper's Bk (Table 2): O(log k + b) space, Θ(k²n²)
+	// time. Requires k ≥ 2.
+	AlgorithmB
+	// AlgorithmAStar is the Fine–Wilf early-termination variant at the
+	// ≈(k+2)n time point (DESIGN.md §3).
+	AlgorithmAStar
+	// AlgorithmChangRoberts is the classic baseline for rings with unique
+	// labels (ignores k).
+	AlgorithmChangRoberts
+	// AlgorithmPeterson is the O(n log n)-message baseline for rings with
+	// unique labels (ignores k).
+	AlgorithmPeterson
+	// AlgorithmKnownN is the single-lap baseline for processes that know
+	// the exact ring size n instead of a multiplicity bound — the
+	// knowledge assumption of the related work the paper contrasts with.
+	// Build it with ProtocolFor (it needs the ring's size).
+	AlgorithmKnownN
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmA:
+		return "Ak"
+	case AlgorithmB:
+		return "Bk"
+	case AlgorithmAStar:
+		return "A*"
+	case AlgorithmChangRoberts:
+		return "ChangRoberts"
+	case AlgorithmPeterson:
+		return "Peterson"
+	case AlgorithmKnownN:
+		return "KnownN"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// NewProtocol constructs the chosen algorithm for processes whose labels
+// fit in labelBits bits. k is the multiplicity bound (ignored by the
+// baselines).
+func NewProtocol(alg Algorithm, k, labelBits int) (Protocol, error) {
+	switch alg {
+	case AlgorithmA:
+		return core.NewAProtocol(k, labelBits)
+	case AlgorithmB:
+		return core.NewBProtocol(k, labelBits)
+	case AlgorithmAStar:
+		return core.NewStarProtocol(k, labelBits)
+	case AlgorithmChangRoberts:
+		return baseline.NewCRProtocol(labelBits)
+	case AlgorithmPeterson:
+		return baseline.NewPetersonProtocol(labelBits)
+	case AlgorithmKnownN:
+		return nil, fmt.Errorf("repro: KnownN needs the ring size; build it with ProtocolFor")
+	default:
+		return nil, fmt.Errorf("repro: unknown algorithm %d", int(alg))
+	}
+}
+
+// ProtocolFor builds the chosen algorithm sized for the given ring,
+// validating the ring against the algorithm's class: A ∩ Kk for the
+// paper's algorithms, K1 for the baselines.
+func ProtocolFor(r *Ring, alg Algorithm, k int) (Protocol, error) {
+	switch alg {
+	case AlgorithmChangRoberts, AlgorithmPeterson:
+		if !r.InKk(1) {
+			return nil, fmt.Errorf("repro: %s requires unique labels, but %s has multiplicity %d", alg, r, r.MaxMultiplicity())
+		}
+	case AlgorithmKnownN:
+		if !r.IsAsymmetric() {
+			return nil, fmt.Errorf("repro: ring %s is symmetric; leader election is unsolvable on it", r)
+		}
+		return baseline.NewKnownNProtocol(r.N(), r.LabelBits())
+	default:
+		if !r.InKk(k) {
+			return nil, fmt.Errorf("repro: ring %s has multiplicity %d > k = %d (outside Kk)", r, r.MaxMultiplicity(), k)
+		}
+		if !r.IsAsymmetric() {
+			return nil, fmt.Errorf("repro: ring %s is symmetric; leader election is unsolvable on it", r)
+		}
+	}
+	return NewProtocol(alg, k, r.LabelBits())
+}
+
+// Outcome summarizes a completed election.
+type Outcome struct {
+	// Leader is the elected process's index.
+	Leader int
+	// LeaderLabel is its label, agreed on by every process.
+	LeaderLabel Label
+	// TimeUnits is the execution time in the paper's unit measure.
+	TimeUnits float64
+	// Messages is the total number of messages exchanged.
+	Messages int
+	// PeakSpaceBits is the largest per-process state, in bits.
+	PeakSpaceBits int
+}
+
+// Elect runs the chosen algorithm on r in the unit-delay asynchronous
+// model (the paper's worst-case time measure), verifying the full
+// process-terminating leader-election specification along the way.
+func Elect(r *Ring, alg Algorithm, k int) (*Outcome, error) {
+	p, err := ProtocolFor(r, alg, k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Leader:        res.LeaderIndex,
+		LeaderLabel:   r.Label(res.LeaderIndex),
+		TimeUnits:     res.TimeUnits,
+		Messages:      res.Messages,
+		PeakSpaceBits: res.PeakSpaceBits,
+	}, nil
+}
+
+// ElectParallel runs the chosen algorithm with one goroutine per process
+// and channel links, aborting after timeout.
+func ElectParallel(r *Ring, alg Algorithm, k int, timeout time.Duration) (*Outcome, error) {
+	p, err := ProtocolFor(r, alg, k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := gorun.Run(r, p, timeout)
+	if err != nil {
+		return nil, err
+	}
+	peak := 0
+	for _, sp := range res.PeakSpacePerProc {
+		if sp > peak {
+			peak = sp
+		}
+	}
+	return &Outcome{
+		Leader:        res.LeaderIndex,
+		LeaderLabel:   r.Label(res.LeaderIndex),
+		Messages:      res.Messages,
+		PeakSpaceBits: peak,
+	}, nil
+}
+
+// TrueLeader returns the index of the ring's true leader — the process
+// whose counter-clockwise label sequence is a Lyndon word — and false when
+// the ring is symmetric (no process is distinguishable).
+func TrueLeader(r *Ring) (int, bool) { return r.TrueLeader() }

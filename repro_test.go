@@ -1,0 +1,173 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	repro "repro"
+)
+
+func TestElectFacade(t *testing.T) {
+	r := repro.MustParseRing("1 3 1 3 2 2 1 2")
+	for _, alg := range []repro.Algorithm{repro.AlgorithmA, repro.AlgorithmB, repro.AlgorithmAStar} {
+		out, err := repro.Elect(r, alg, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if out.Leader != 0 || out.LeaderLabel != 1 {
+			t.Errorf("%s elected p%d (label %s), want p0 (label 1)", alg, out.Leader, out.LeaderLabel)
+		}
+		if out.Messages <= 0 || out.TimeUnits <= 0 || out.PeakSpaceBits <= 0 {
+			t.Errorf("%s: implausible accounting %+v", alg, out)
+		}
+	}
+}
+
+func TestElectBaselinesOnDistinct(t *testing.T) {
+	r := repro.MustParseRing("4 2 5 1 3")
+	for _, alg := range []repro.Algorithm{repro.AlgorithmChangRoberts, repro.AlgorithmPeterson} {
+		out, err := repro.Elect(r, alg, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if out.Leader < 0 || out.Leader >= r.N() {
+			t.Errorf("%s: leader index %d out of range", alg, out.Leader)
+		}
+	}
+	// Chang–Roberts specifically elects the minimum = true leader.
+	out, err := repro.Elect(r, repro.AlgorithmChangRoberts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := repro.TrueLeader(r); out.Leader != want {
+		t.Errorf("CR elected p%d, true leader p%d", out.Leader, want)
+	}
+}
+
+func TestProtocolForValidation(t *testing.T) {
+	sym := repro.MustParseRing("1 2 1 2")
+	if _, err := repro.ProtocolFor(sym, repro.AlgorithmA, 2); err == nil || !strings.Contains(err.Error(), "symmetric") {
+		t.Errorf("symmetric ring: err = %v", err)
+	}
+	tight := repro.MustParseRing("1 1 1 2")
+	if _, err := repro.ProtocolFor(tight, repro.AlgorithmA, 2); err == nil || !strings.Contains(err.Error(), "multiplicity") {
+		t.Errorf("k too small: err = %v", err)
+	}
+	homonym := repro.MustParseRing("1 2 2")
+	if _, err := repro.ProtocolFor(homonym, repro.AlgorithmChangRoberts, 1); err == nil {
+		t.Error("CR on homonym ring must be rejected")
+	}
+	if _, err := repro.NewProtocol(repro.Algorithm(99), 2, 4); err == nil {
+		t.Error("unknown algorithm must fail")
+	}
+}
+
+func TestElectParallel(t *testing.T) {
+	r := repro.Figure1Ring()
+	out, err := repro.ElectParallel(r, repro.AlgorithmB, 3, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Leader != 0 {
+		t.Errorf("parallel Bk elected p%d, want p0", out.Leader)
+	}
+	ref, err := repro.Elect(r, repro.AlgorithmB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Messages != ref.Messages {
+		t.Errorf("parallel run %d messages, simulator %d", out.Messages, ref.Messages)
+	}
+}
+
+func TestRandomRingFacade(t *testing.T) {
+	r, err := repro.RandomRing(7, 20, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 20 || !r.InKk(3) || !r.IsAsymmetric() {
+		t.Errorf("RandomRing = %s outside A ∩ K3", r)
+	}
+	// Same seed, same ring.
+	r2, err := repro.RandomRing(7, 20, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != r2.String() {
+		t.Error("RandomRing must be deterministic per seed")
+	}
+}
+
+func TestRingConstructors(t *testing.T) {
+	r, err := repro.NewRing([]repro.Label{1, 2, 3})
+	if err != nil || r.N() != 3 {
+		t.Fatalf("NewRing = %v, %v", r, err)
+	}
+	if _, err := repro.NewRing([]repro.Label{1}); err == nil {
+		t.Error("single-process ring must fail")
+	}
+	r2, err := repro.ParseRing("1, 2, 3")
+	if err != nil || r2.String() != r.String() {
+		t.Fatalf("ParseRing = %v, %v", r2, err)
+	}
+	if _, err := repro.ParseRing("zzz"); err == nil {
+		t.Error("garbage spec must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseRing must panic on bad input")
+		}
+	}()
+	repro.MustParseRing("not a ring")
+}
+
+func TestElectRejectsBadInputs(t *testing.T) {
+	if _, err := repro.Elect(repro.MustParseRing("1 1 2"), repro.AlgorithmA, 1); err == nil {
+		t.Error("k below multiplicity must fail")
+	}
+	if _, err := repro.ElectParallel(repro.MustParseRing("1 2 1 2"), repro.AlgorithmB, 2, time.Second); err == nil {
+		t.Error("symmetric ring must fail in ElectParallel too")
+	}
+	if _, err := repro.NewProtocol(repro.AlgorithmKnownN, 2, 4); err == nil {
+		t.Error("KnownN without a ring must direct the caller to ProtocolFor")
+	}
+}
+
+func TestElectKnownNViaFacade(t *testing.T) {
+	r := repro.MustParseRing("1 3 1 3 2 2 1 2")
+	out, err := repro.Elect(r, repro.AlgorithmKnownN, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Leader != 0 {
+		t.Errorf("KnownN elected p%d, want p0", out.Leader)
+	}
+	if out.Messages != r.N()*r.N() {
+		t.Errorf("KnownN messages = %d, want n² = %d", out.Messages, r.N()*r.N())
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[repro.Algorithm]string{
+		repro.AlgorithmA: "Ak", repro.AlgorithmB: "Bk", repro.AlgorithmAStar: "A*",
+		repro.AlgorithmChangRoberts: "ChangRoberts", repro.AlgorithmPeterson: "Peterson",
+	}
+	for alg, want := range names {
+		if alg.String() != want {
+			t.Errorf("%d String = %q, want %q", alg, alg.String(), want)
+		}
+	}
+	if !strings.Contains(repro.Algorithm(42).String(), "42") {
+		t.Error("unknown algorithm must render its number")
+	}
+}
+
+func TestTrueLeaderFacade(t *testing.T) {
+	if l, ok := repro.TrueLeader(repro.MustParseRing("3 1 2")); !ok || l != 1 {
+		t.Errorf("TrueLeader = %d/%t, want 1/true", l, ok)
+	}
+	if _, ok := repro.TrueLeader(repro.MustParseRing("1 1")); ok {
+		t.Error("symmetric ring must have no true leader")
+	}
+}

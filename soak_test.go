@@ -1,0 +1,103 @@
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/boundedn"
+	"repro/internal/core"
+	"repro/internal/gorun"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// TestSoak is the randomized end-to-end campaign: many random rings from
+// A ∩ Kk, every algorithm, several schedulers and both engines, with the
+// specification checked on every run and all outcomes cross-compared.
+// It is the in-tree version of cmd/ringfuzz (which adds exhaustive
+// exploration and longer campaigns).
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(20260705))
+	trials := 40
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + rng.Intn(28)
+		k := 2 + rng.Intn(3)
+		r, err := ring.RandomAsymmetric(rng, n, k, max(6, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueLeader, _ := r.TrueLeader()
+		b := r.LabelBits()
+
+		protos := make([]core.Protocol, 0, 4)
+		if p, err := core.NewAProtocol(k, b); err == nil {
+			protos = append(protos, p)
+		}
+		if p, err := core.NewStarProtocol(k, b); err == nil {
+			protos = append(protos, p)
+		}
+		if p, err := core.NewBProtocol(k, b); err == nil {
+			protos = append(protos, p)
+		}
+		if p, err := baseline.NewKnownNProtocol(n, b); err == nil {
+			protos = append(protos, p)
+		}
+
+		for _, p := range protos {
+			p := p
+			t.Run(fmt.Sprintf("trial%d/%s", trial, p.Name()), func(t *testing.T) {
+				ref, err := sim.RunSync(r, p, sim.Options{})
+				if err != nil {
+					t.Fatalf("sync on %s: %v", r, err)
+				}
+				if ref.LeaderIndex != trueLeader {
+					t.Fatalf("elected p%d on %s, true leader p%d", ref.LeaderIndex, r, trueLeader)
+				}
+				for _, d := range []sim.DelayModel{
+					sim.ConstantDelay(1),
+					sim.NewUniformDelay(rng.Int63(), 0),
+					sim.SlowLinkDelay{SlowFrom: rng.Intn(n), Fast: 0.02},
+				} {
+					res, err := sim.RunAsync(r, p, d, sim.Options{})
+					if err != nil {
+						t.Fatalf("async on %s: %v", r, err)
+					}
+					if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages {
+						t.Fatalf("schedule changed the outcome on %s", r)
+					}
+				}
+				if trial%8 == 0 {
+					res, err := gorun.Run(r, p, time.Minute)
+					if err != nil {
+						t.Fatalf("gorun on %s: %v", r, err)
+					}
+					if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages {
+						t.Fatalf("goroutine engine disagrees on %s", r)
+					}
+				}
+			})
+		}
+
+		// The bounded-n decision protocol must match ground truth on the
+		// same rings under random valid bounds.
+		m := 2 + rng.Intn(n-1)
+		M := n + rng.Intn(n)
+		want, err := boundedn.Expected(r, m, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := boundedn.Run(r, m, M)
+		if err != nil {
+			t.Fatalf("boundedn on %s [%d,%d]: %v", r, m, M, err)
+		}
+		if res.Verdict != want {
+			t.Fatalf("boundedn verdict %s on %s [%d,%d], ground truth %s", res.Verdict, r, m, M, want)
+		}
+	}
+}
