@@ -3,16 +3,26 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench experiments \
+.PHONY: all build check vet fmt-check test test-race race-concurrency \
+        test-short bench bench-json bench-compare experiments \
         experiments-md fuzz figures clean
 
-all: build vet test
+all: build check test
 
 build:
 	$(GO) build ./...
 
+# Static checks wired into the default flow: vet plus gofmt drift.
+check: vet fmt-check
+
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt required for:"; echo "$$files"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -20,11 +30,25 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Focused race check of the concurrency-bearing packages: the sweep
+# worker pool, the parallel schedule explorer, and the goroutine engine.
+race-concurrency:
+	$(GO) test -race ./internal/sweep/... ./internal/sim/... ./internal/gorun/...
+
 test-short:
 	$(GO) test -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable experiment benchmark (same schema as BENCH_PR1.json).
+bench-json:
+	$(GO) run ./cmd/ringbench -json BENCH_NEW.json > /dev/null
+
+# Diff a fresh benchmark report against the committed baseline:
+# wall-clock deltas are informational, content drift fails the target.
+bench-compare: bench-json
+	$(GO) run ./cmd/benchdiff BENCH_PR1.json BENCH_NEW.json
 
 # Regenerate every experiment table (E1..E13).
 experiments:
@@ -44,4 +68,4 @@ figures:
 	$(GO) run ./cmd/ringviz -dot > figure2.dot
 
 clean:
-	rm -f figure1.svg figure2.dot test_output.txt bench_output.txt
+	rm -f figure1.svg figure2.dot test_output.txt bench_output.txt BENCH_NEW.json

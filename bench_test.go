@@ -77,6 +77,7 @@ func BenchmarkLowerBoundSweep(b *testing.B) {
 			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
 				r := ring.Distinct(n)
 				p := mustProto(b)(core.NewAProtocol(k, r.LabelBits()))
+				b.ReportAllocs()
 				var steps int
 				for i := 0; i < b.N; i++ {
 					steps = runSync(b, r, p).Steps
@@ -96,6 +97,7 @@ func BenchmarkAkTime(b *testing.B) {
 			b.Run(fmt.Sprintf("worst/n=%d/k=%d", n, k), func(b *testing.B) {
 				r := ring.Distinct(n)
 				p := mustProto(b)(core.NewAProtocol(k, r.LabelBits()))
+				b.ReportAllocs()
 				var res *sim.Result
 				for i := 0; i < b.N; i++ {
 					res = runUnit(b, r, p)
@@ -110,6 +112,7 @@ func BenchmarkAkTime(b *testing.B) {
 						b.Fatal(err)
 					}
 					p := mustProto(b)(core.NewAProtocol(k, r.LabelBits()))
+					b.ReportAllocs()
 					var res *sim.Result
 					for i := 0; i < b.N; i++ {
 						res = runUnit(b, r, p)
@@ -315,6 +318,28 @@ func BenchmarkExploreAll(b *testing.B) {
 		states = res.States
 	}
 	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkExploreAllParallel measures the sharded-visited-set explorer at
+// several pool widths over the same state space as BenchmarkExploreAll.
+// workers=1 is the serial DFS baseline.
+func BenchmarkExploreAllParallel(b *testing.B) {
+	r := ring.MustNew(2, 1, 2, 1, 3)
+	p := mustProto(b)(core.NewAProtocol(2, r.LabelBits()))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var states int
+			for i := 0; i < b.N; i++ {
+				res, err := sim.ExploreAllParallel(r, p, 2_000_000, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = res.States
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
 }
 
 // BenchmarkWordsBooth measures the least-rotation substrate on ring-sized

@@ -1,0 +1,117 @@
+// Command benchdiff compares two ringbench -json reports (see
+// cmd/ringbench): it prints the per-experiment wall-clock delta and
+// verifies that the experiment *content* — headers, rows, notes — is
+// unchanged. Content drift means a determinism regression (or an
+// intentional experiment change) and makes the exit code nonzero;
+// wall-time changes are reported but never fail, since they depend on the
+// machine.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//
+// The committed BENCH_PR1.json is the repository's perf baseline; `make
+// bench-compare` regenerates a fresh report and diffs it against that.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+)
+
+type experiment struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	WallMS float64    `json:"wall_ms"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes"`
+}
+
+type report struct {
+	Schema      string       `json:"schema"`
+	Seed        int64        `json:"seed"`
+	Quick       bool         `json:"quick"`
+	Par         int          `json:"par"`
+	TotalWallMS float64      `json:"total_wall_ms"`
+	Experiments []experiment `json:"experiments"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func load(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != "ringbench/bench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, r.Schema)
+	}
+	return &r, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff OLD.json NEW.json")
+		return 2
+	}
+	old, err := load(args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	cur, err := load(args[1])
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	if old.Seed != cur.Seed || old.Quick != cur.Quick {
+		fmt.Fprintf(stderr, "benchdiff: reports are not comparable: seed/quick differ (%d/%v vs %d/%v)\n",
+			old.Seed, old.Quick, cur.Seed, cur.Quick)
+		return 2
+	}
+
+	oldByID := make(map[string]experiment, len(old.Experiments))
+	for _, e := range old.Experiments {
+		oldByID[e.ID] = e
+	}
+	drift := 0
+	fmt.Fprintf(stdout, "%-5s %10s %10s %8s  %s\n", "id", "old ms", "new ms", "speedup", "content")
+	for _, ne := range cur.Experiments {
+		oe, ok := oldByID[ne.ID]
+		if !ok {
+			fmt.Fprintf(stdout, "%-5s %10s %10.1f %8s  new experiment\n", ne.ID, "-", ne.WallMS, "-")
+			continue
+		}
+		delete(oldByID, ne.ID)
+		speedup := "-"
+		if ne.WallMS > 0 {
+			speedup = fmt.Sprintf("%.2fx", oe.WallMS/ne.WallMS)
+		}
+		content := "identical"
+		if !reflect.DeepEqual(oe.Header, ne.Header) || !reflect.DeepEqual(oe.Rows, ne.Rows) || !reflect.DeepEqual(oe.Notes, ne.Notes) {
+			content = "DIFFERS"
+			drift++
+		}
+		fmt.Fprintf(stdout, "%-5s %10.1f %10.1f %8s  %s\n", ne.ID, oe.WallMS, ne.WallMS, speedup, content)
+	}
+	for id := range oldByID {
+		fmt.Fprintf(stdout, "%-5s experiment missing from new report\n", id)
+		drift++
+	}
+	fmt.Fprintf(stdout, "total %10.1f %10.1f (par %d -> %d)\n", old.TotalWallMS, cur.TotalWallMS, old.Par, cur.Par)
+	if drift > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d experiment(s) drifted in content\n", drift)
+		return 1
+	}
+	return 0
+}

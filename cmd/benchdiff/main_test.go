@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const reportA = `{
+  "schema": "ringbench/bench/v1",
+  "seed": 1, "quick": true, "par": 1, "total_wall_ms": 100,
+  "experiments": [
+    {"id": "E4", "title": "t", "wall_ms": 80, "header": ["a"], "rows": [["1"]], "notes": ["n"]},
+    {"id": "E5", "title": "t", "wall_ms": 20, "header": ["a"], "rows": [["2"]], "notes": []}
+  ]
+}`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestIdenticalReports(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", reportA)
+	b := write(t, dir, "b.json", strings.ReplaceAll(reportA, `"wall_ms": 80`, `"wall_ms": 40`))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "2.00x") {
+		t.Errorf("missing speedup column:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "identical") {
+		t.Errorf("content not flagged identical:\n%s", out.String())
+	}
+}
+
+func TestContentDriftFails(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", reportA)
+	b := write(t, dir, "b.json", strings.ReplaceAll(reportA, `[["1"]]`, `[["999"]]`))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (content drift): %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "DIFFERS") {
+		t.Errorf("drift not reported:\n%s", out.String())
+	}
+}
+
+func TestIncomparableSeeds(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", reportA)
+	b := write(t, dir, "b.json", strings.ReplaceAll(reportA, `"seed": 1`, `"seed": 2`))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

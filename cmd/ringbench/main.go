@@ -1,23 +1,31 @@
-// Command ringbench regenerates the experiment tables E1…E11 of DESIGN.md:
+// Command ringbench regenerates the experiment tables E1…E13 of DESIGN.md:
 // every table and figure artifact of "Leader Election in Asymmetric Labeled
 // Unidirectional Rings" (Altisen et al., IPPS 2017) as measured by the
 // simulator and goroutine engines.
 //
 // Usage:
 //
-//	ringbench            # run every experiment
-//	ringbench -e E4,E5   # run selected experiments
-//	ringbench -quick     # smaller parameter sweeps
-//	ringbench -seed 7    # change the randomization seed
-//	ringbench -list      # list experiment ids
+//	ringbench             # run every experiment
+//	ringbench -e E4,E5    # run selected experiments
+//	ringbench -quick      # smaller parameter sweeps
+//	ringbench -seed 7     # change the randomization seed
+//	ringbench -par 8      # worker-pool width (default: one per CPU)
+//	ringbench -json f.json # also write a machine-readable benchmark report
+//	ringbench -list       # list experiment ids
+//
+// Experiment grids fan out across -par workers (internal/sweep); tables
+// are byte-identical at every width, so -par only changes wall time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -26,16 +34,43 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonExperiment is one experiment's entry in the -json report: the full
+// table (rows carry the domain metrics — messages, time units, space
+// bits) plus the wall-clock time of the run, so successive reports can be
+// diffed both for determinism (rows) and performance (wall time). See
+// cmd/benchdiff.
+type jsonExperiment struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	WallMS float64    `json:"wall_ms"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes"`
+}
+
+// jsonReport is the schema of the -json output.
+type jsonReport struct {
+	Schema      string           `json:"schema"`
+	Seed        int64            `json:"seed"`
+	Quick       bool             `json:"quick"`
+	Par         int              `json:"par"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	TotalWallMS float64          `json:"total_wall_ms"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
 // run executes the CLI with explicit streams so tests can drive it.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ringbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		only   = fs.String("e", "", "comma-separated experiment ids to run (default: all)")
-		seed   = fs.Int64("seed", 1, "random seed for generated rings and schedules")
-		quick  = fs.Bool("quick", false, "shrink parameter sweeps")
-		list   = fs.Bool("list", false, "list experiments and exit")
-		format = fs.String("format", "text", "output format: text, md")
+		only     = fs.String("e", "", "comma-separated experiment ids to run (default: all)")
+		seed     = fs.Int64("seed", 1, "random seed for generated rings and schedules")
+		quick    = fs.Bool("quick", false, "shrink parameter sweeps")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		format   = fs.String("format", "text", "output format: text, md")
+		par      = fs.Int("par", runtime.NumCPU(), "experiment-grid worker count (results are identical at any value)")
+		jsonPath = fs.String("json", "", "write a machine-readable benchmark report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -48,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	suite := &experiments.Suite{Seed: *seed, Quick: *quick}
+	suite := &experiments.Suite{Seed: *seed, Quick: *quick, Workers: *par}
 	var selected []experiments.Runner
 	if *only == "" {
 		selected = experiments.Runners()
@@ -63,14 +98,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	report := jsonReport{
+		Schema:     "ringbench/bench/v1",
+		Seed:       *seed,
+		Quick:      *quick,
+		Par:        *par,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	failed := 0
+	total := time.Now()
 	for _, r := range selected {
+		start := time.Now()
 		table, err := r.Run(suite)
+		wall := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(stderr, "ringbench: %s failed: %v\n", r.ID, err)
 			failed++
 			continue
 		}
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID:     table.ID,
+			Title:  table.Title,
+			WallMS: float64(wall.Microseconds()) / 1000,
+			Header: table.Header,
+			Rows:   table.Rows,
+			Notes:  table.Notes,
+		})
 		var renderErr error
 		switch *format {
 		case "md":
@@ -89,6 +142,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if strings.HasPrefix(n, "FAIL") || strings.HasPrefix(n, "MISMATCH") {
 				failed++
 			}
+		}
+	}
+	report.TotalWallMS = float64(time.Since(total).Microseconds()) / 1000
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "ringbench: encoding report: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "ringbench: writing report: %v\n", err)
+			return 1
 		}
 	}
 	if failed > 0 {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -64,6 +67,66 @@ func TestUnknownExperiment(t *testing.T) {
 	_, errOut, code := runCLI(t, "-e", "E99")
 	if code == 0 || !strings.Contains(errOut, "unknown experiment") {
 		t.Errorf("exit %d, stderr %q", code, errOut)
+	}
+}
+
+// TestParallelByteIdentity is the acceptance gate of the sweep engine:
+// the full -quick experiment suite must render byte-identically at every
+// worker-pool width, including the serial pool.
+func TestParallelByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite comparison skipped in -short mode")
+	}
+	serial, errOut, code := runCLI(t, "-quick", "-par", "1")
+	if code != 0 {
+		t.Fatalf("-par 1 exit %d (%s)", code, errOut)
+	}
+	for _, par := range []string{"2", "3", "8"} {
+		out, errOut, code := runCLI(t, "-quick", "-par", par)
+		if code != 0 {
+			t.Fatalf("-par %s exit %d (%s)", par, code, errOut)
+		}
+		if out != serial {
+			t.Errorf("-par %s output differs from -par 1 (lengths %d vs %d)", par, len(out), len(serial))
+		}
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	_, errOut, code := runCLI(t, "-quick", "-e", "E4,E6", "-json", path)
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errOut)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Schema      string `json:"schema"`
+		Par         int    `json:"par"`
+		Experiments []struct {
+			ID     string     `json:"id"`
+			WallMS float64    `json:"wall_ms"`
+			Rows   [][]string `json:"rows"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Schema != "ringbench/bench/v1" {
+		t.Errorf("schema = %q", report.Schema)
+	}
+	if len(report.Experiments) != 2 || report.Experiments[0].ID != "E4" || report.Experiments[1].ID != "E6" {
+		t.Fatalf("unexpected experiments: %+v", report.Experiments)
+	}
+	for _, e := range report.Experiments {
+		if len(e.Rows) == 0 {
+			t.Errorf("%s has no rows", e.ID)
+		}
+		if e.WallMS < 0 {
+			t.Errorf("%s wall_ms = %f", e.ID, e.WallMS)
+		}
 	}
 }
 

@@ -107,7 +107,9 @@ func (a *algA) leaderPredicate() bool {
 	if a.maxCount < a.threshold {
 		return false
 	}
-	verdict := words.IsLyndon(a.str.SRP())
+	// Memoized on the smallest period: ablated thresholds re-evaluate on
+	// every receive, and without the memo each test is a Θ(n) scan.
+	verdict := a.str.CheckSRP(words.IsLyndon[ring.Label])
 	if a.threshold >= 2*a.k+1 {
 		a.decided = true
 		a.candidate = verdict

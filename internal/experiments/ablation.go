@@ -88,7 +88,12 @@ func (s *Suite) E13() (*Table, error) {
 		}},
 	}
 
-	for _, v := range variants {
+	type out struct {
+		row   []any
+		notes []string
+	}
+	outs, err := grid(s, len(variants), func(vi int) (out, error) {
+		v := variants[vi]
 		searched, broken := 0, 0
 		firstBad, firstMode := "-", "-"
 		for n := 2; n <= v.maxN; n++ {
@@ -131,12 +136,22 @@ func (s *Suite) E13() (*Table, error) {
 		if v.wantBroken {
 			expected = ">0 broken"
 		}
-		t.AddRow(v.name, searched, firstBad, firstMode, broken, expected)
+		o := out{row: []any{v.name, searched, firstBad, firstMode, broken, expected}}
 		if v.wantBroken && broken == 0 {
-			t.Note("FAIL: %q survived the search — expected counterexamples", v.name)
+			o.notes = append(o.notes, fmt.Sprintf("FAIL: %q survived the search — expected counterexamples", v.name))
 		}
 		if !v.wantBroken && broken > 0 {
-			t.Note("FAIL: %q broke on %s (%s)", v.name, firstBad, firstMode)
+			o.notes = append(o.notes, fmt.Sprintf("FAIL: %q broke on %s (%s)", v.name, firstBad, firstMode))
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		t.AddRow(o.row...)
+		for _, note := range o.notes {
+			t.Note("%s", note)
 		}
 	}
 	t.Note("Detection ladder for Ak: k+1 and k+2 copies break (misleading repeating prefixes on")

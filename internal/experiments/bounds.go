@@ -43,29 +43,44 @@ func (s *Suite) E4() (*Table, error) {
 			}
 		}
 	}
-	var timeRatio, msgRatio, spaceRatio []float64
-	for _, c := range cases {
+	type out struct {
+		res        *sim.Result
+		tr, mr, sr float64
+	}
+	outs, err := grid(s, len(cases), func(i int) (out, error) {
+		c := cases[i]
 		p, err := protoA(c.k, c.r)
 		if err != nil {
-			return nil, err
+			return out{}, err
 		}
 		res, err := sim.RunAsync(c.r, p, sim.ConstantDelay(1), sim.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("E4 %s n=%d k=%d: %w", c.name, c.r.N(), c.k, err)
+			return out{}, fmt.Errorf("E4 %s n=%d k=%d: %w", c.name, c.r.N(), c.k, err)
 		}
+		n, k, b := c.r.N(), c.k, c.r.LabelBits()
+		return out{
+			res: res,
+			tr:  res.TimeUnits / float64((2*k+2)*n),
+			mr:  float64(res.Messages) / float64(n*n*(2*k+1)+n),
+			sr:  float64(res.PeakSpaceBits) / float64((2*k+1)*n*b+2*b+3),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var timeRatio, msgRatio, spaceRatio []float64
+	for i, o := range outs {
+		c := cases[i]
 		n, k, b := c.r.N(), c.k, c.r.LabelBits()
 		timeBound := float64((2*k + 2) * n)
 		msgBound := float64(n*n*(2*k+1) + n)
 		spaceBound := float64((2*k+1)*n*b + 2*b + 3)
-		tr := res.TimeUnits / timeBound
-		mr := float64(res.Messages) / msgBound
-		sr := float64(res.PeakSpaceBits) / spaceBound
-		timeRatio = append(timeRatio, tr)
-		msgRatio = append(msgRatio, mr)
-		spaceRatio = append(spaceRatio, sr)
-		t.AddRow(c.name, n, k, res.TimeUnits, timeBound, tr,
-			res.Messages, int(msgBound), mr, res.PeakSpaceBits, int(spaceBound), sr)
-		if tr > 1 || mr > 1 || sr > 1 {
+		timeRatio = append(timeRatio, o.tr)
+		msgRatio = append(msgRatio, o.mr)
+		spaceRatio = append(spaceRatio, o.sr)
+		t.AddRow(c.name, n, k, o.res.TimeUnits, timeBound, o.tr,
+			o.res.Messages, int(msgBound), o.mr, o.res.PeakSpaceBits, int(spaceBound), o.sr)
+		if o.tr > 1 || o.mr > 1 || o.sr > 1 {
 			t.Note("FAIL: bound exceeded for %s n=%d k=%d", c.name, n, k)
 		}
 	}
@@ -108,8 +123,8 @@ func (s *Suite) E5() (*Table, error) {
 			}
 		}
 	}
-	var xs, times, msgs []float64 // worst-case (M=1) series only: one constant
-	for _, c := range cases {
+	results, err := grid(s, len(cases), func(i int) (*sim.Result, error) {
+		c := cases[i]
 		p, err := protoB(c.k, c.r)
 		if err != nil {
 			return nil, err
@@ -118,6 +133,14 @@ func (s *Suite) E5() (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E5 %s n=%d k=%d: %w", c.name, c.r.N(), c.k, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, times, msgs []float64 // worst-case (M=1) series only: one constant
+	for i, res := range results {
+		c := cases[i]
 		n, k, b := c.r.N(), c.k, c.r.LabelBits()
 		k2n2 := float64(k * k * n * n)
 		spaceFormula := 2*ceilLog2(k) + 3*b + 5

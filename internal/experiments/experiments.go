@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ring"
+	"repro/internal/sweep"
 )
 
 // Table is one experiment's output: a titled grid plus free-form notes
@@ -113,6 +114,24 @@ type Suite struct {
 	Seed int64
 	// Quick shrinks parameter sweeps for fast test runs.
 	Quick bool
+	// Workers is the worker-pool width for the experiment grids (0 means
+	// one worker per CPU). Tables are byte-identical at every width: the
+	// sweep engine merges results in submission order, and each grid cell
+	// is an independent deterministic simulation.
+	Workers int
+}
+
+// workers resolves the effective pool width.
+func (s *Suite) workers() int { return sweep.DefaultWorkers(s.Workers) }
+
+// grid fans the n independent grid cells of an experiment across the
+// suite's worker pool and returns the per-cell results in submission
+// order (see internal/sweep for the determinism contract). Experiments
+// compute rows and notes inside the job and append them to the table
+// serially afterwards, so parallel tables render byte-identically to
+// serial ones.
+func grid[T any](s *Suite, n int, job func(i int) (T, error)) ([]T, error) {
+	return sweep.Map(s.workers(), n, job)
 }
 
 // Runner produces one experiment table.

@@ -139,42 +139,52 @@ func (s *Suite) E7() (*Table, error) {
 	}
 	rings := []*ring.Ring{ring.Figure1(), ring.Ring122(), ring.Distinct(6)}
 	ks := []int{3, 2, 2}
-	seenTr := map[trace.Transition]bool{}
-	var observed []trace.Transition
-	merge := func(mem *trace.Mem) {
-		for _, tr := range trace.Transitions(mem.Events) {
-			if !seenTr[tr] {
-				seenTr[tr] = true
-				observed = append(observed, tr)
-			}
-		}
-	}
-	for i, r := range rings {
+	// Each ring's four schedules run as one parallel job returning its
+	// transitions in run order; the dedup merge below is serial and
+	// order-preserving, so coverage rows match the serial sweep exactly.
+	perRing, err := grid(s, len(rings), func(i int) ([]trace.Transition, error) {
+		r := rings[i]
 		p, err := core.NewBProtocol(ks[i], r.LabelBits())
 		if err != nil {
 			return nil, err
 		}
+		var all []trace.Transition
+		collect := func(mem *trace.Mem) { all = append(all, trace.Transitions(mem.Events)...) }
 		// Each run gets a fresh sink: transitions are per-execution.
 		mem := &trace.Mem{}
 		if _, err := sim.RunSync(r, p, sim.Options{Sink: mem}); err != nil {
 			return nil, fmt.Errorf("E7 sync %s: %w", r, err)
 		}
-		merge(mem)
+		collect(mem)
 		mem = &trace.Mem{}
 		if _, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{Sink: mem}); err != nil {
 			return nil, fmt.Errorf("E7 unit %s: %w", r, err)
 		}
-		merge(mem)
+		collect(mem)
 		mem = &trace.Mem{}
 		if _, err := sim.RunAsync(r, p, sim.NewUniformDelay(s.Seed+int64(i), 0.05), sim.Options{Sink: mem}); err != nil {
 			return nil, fmt.Errorf("E7 random %s: %w", r, err)
 		}
-		merge(mem)
+		collect(mem)
 		mem = &trace.Mem{}
 		if _, err := sim.RunAsync(r, p, sim.SlowLinkDelay{SlowFrom: 0, Fast: 0.01}, sim.Options{Sink: mem}); err != nil {
 			return nil, fmt.Errorf("E7 slow-link %s: %w", r, err)
 		}
-		merge(mem)
+		collect(mem)
+		return all, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	seenTr := map[trace.Transition]bool{}
+	var observed []trace.Transition
+	for _, trs := range perRing {
+		for _, tr := range trs {
+			if !seenTr[tr] {
+				seenTr[tr] = true
+				observed = append(observed, tr)
+			}
+		}
 	}
 	if bad := trace.CheckAgainstFigure2(observed); len(bad) > 0 {
 		for _, tr := range bad {

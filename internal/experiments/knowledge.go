@@ -37,7 +37,8 @@ func (s *Suite) E11() (*Table, error) {
 			rings = append(rings, r)
 		}
 	}
-	for _, r := range rings {
+	ringRows, err := grid(s, len(rings), func(i int) ([][]any, error) {
+		r := rings[i]
 		k := max(2, r.MaxMultiplicity())
 		b := r.LabelBits()
 		type entry struct {
@@ -60,6 +61,7 @@ func (s *Suite) E11() (*Table, error) {
 			entries = append(entries, entry{"unique ids", cr, errCR})
 		}
 		trueLeader, _ := r.TrueLeader()
+		var rows [][]any
 		for _, e := range entries {
 			if e.err != nil {
 				return nil, e.err
@@ -72,7 +74,16 @@ func (s *Suite) E11() (*Table, error) {
 			if res.LeaderIndex != trueLeader {
 				outcome += fmt.Sprintf(" (true leader p%d)", trueLeader)
 			}
-			t.AddRow(r.String(), e.knowledge, e.p.Name(), res.TimeUnits, res.Messages, res.PeakSpaceBits, outcome)
+			rows = append(rows, []any{r.String(), e.knowledge, e.p.Name(), res.TimeUnits, res.Messages, res.PeakSpaceBits, outcome})
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range ringRows {
+		for _, row := range rows {
+			t.AddRow(row...)
 		}
 	}
 

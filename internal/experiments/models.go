@@ -38,7 +38,12 @@ func (s *Suite) E12() (*Table, error) {
 		{ring.Figure1(), 3, 5, 15},          // Figure 1 ring, tight bounds
 		{ring.MustNew(1, 2, 1, 2), 2, 2, 4}, // genuinely symmetric: impossible everywhere
 	}
-	for _, c := range cases {
+	type out struct {
+		row  []any
+		note string
+	}
+	outs, err := grid(s, len(cases), func(i int) (out, error) {
+		c := cases[i]
 		// Know-k column: Ak with the multiplicity bound (no size knowledge
 		// at all). On symmetric rings it cannot terminate correctly.
 		knowK := "elects"
@@ -47,32 +52,43 @@ func (s *Suite) E12() (*Table, error) {
 		} else {
 			p, err := core.NewAProtocol(c.k, c.r.LabelBits())
 			if err != nil {
-				return nil, err
+				return out{}, err
 			}
 			res, err := sim.RunAsync(c.r, p, sim.ConstantDelay(1), sim.Options{})
 			if err != nil {
-				return nil, fmt.Errorf("E12 Ak on %s: %w", c.r, err)
+				return out{}, fmt.Errorf("E12 Ak on %s: %w", c.r, err)
 			}
 			knowK = fmt.Sprintf("elects p%d (k=%d)", res.LeaderIndex, c.k)
 		}
 
 		res, err := boundedn.Run(c.r, c.m, c.M)
 		if err != nil {
-			return nil, fmt.Errorf("E12 bounded-n on %s: %w", c.r, err)
+			return out{}, fmt.Errorf("E12 bounded-n on %s: %w", c.r, err)
 		}
 		want, err := boundedn.Expected(c.r, c.m, c.M)
 		if err != nil {
-			return nil, err
+			return out{}, err
 		}
+		var o out
 		if res.Verdict != want {
-			t.Note("FAIL: %s with [%d,%d]: verdict %s, ground truth %s", c.r, c.m, c.M, res.Verdict, want)
+			o.note = fmt.Sprintf("FAIL: %s with [%d,%d]: verdict %s, ground truth %s", c.r, c.m, c.M, res.Verdict, want)
 		}
 		verdict := res.Verdict.String()
 		if res.Verdict == boundedn.VerdictElected {
 			verdict = fmt.Sprintf("elects p%d", res.LeaderIndex)
 		}
-		t.AddRow(c.r.String(), knowK, fmt.Sprintf("[%d, %d]", c.m, c.M), verdict,
-			fmt.Sprintf("%.0f / %d", res.TimeUnits, res.Messages))
+		o.row = []any{c.r.String(), knowK, fmt.Sprintf("[%d, %d]", c.m, c.M), verdict,
+			fmt.Sprintf("%.0f / %d", res.TimeUnits, res.Messages)}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		if o.note != "" {
+			t.Note("%s", o.note)
+		}
+		t.AddRow(o.row...)
 	}
 	t.Note("Bounded-n is solvable iff the smallest cyclic period d is the only multiple of d in [m, M]:")
 	t.Note("with M ≥ 2n the doubled (symmetric) ring is observationally indistinguishable, so even [1 2 2]")

@@ -24,31 +24,52 @@ func (s *Suite) E1() (*Table, error) {
 	if s.Quick {
 		ns, ks = []int{4, 6}, []int{2, 3}
 	}
+	type cell struct{ n, k int }
+	var cells []cell
 	for _, n := range ns {
 		for _, k := range ks {
-			base := ring.Distinct(n)
-			big, err := lowerbound.BuildRnk(base, k, ring.Label(n+1))
-			if err != nil {
-				return nil, err
-			}
-			if !big.HasUniqueLabel() || !big.InKk(k) {
-				return nil, fmt.Errorf("E1: R_{%d,%d} not in U* ∩ K%d", n, k, k)
-			}
-			// Use the genuine algorithm Ak with the construction's k; the
-			// property is algorithm-independent, so any deterministic
-			// protocol would do.
-			proto, err := protoA(k, big)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := lowerbound.CheckIndistinguishability(base, k, ring.Label(n+1), proto, sim.Options{})
-			verdict := "holds"
-			if err != nil {
-				verdict = "VIOLATED"
-				t.Note("FAIL n=%d k=%d: %v", n, k, err)
-			}
-			t.AddRow(n, k, big.N(), rep.BaseSteps, rep.StepsChecked, rep.PairsChecked, verdict)
+			cells = append(cells, cell{n, k})
 		}
+	}
+	type out struct {
+		row  []any
+		note string
+	}
+	outs, err := grid(s, len(cells), func(i int) (out, error) {
+		n, k := cells[i].n, cells[i].k
+		base := ring.Distinct(n)
+		big, err := lowerbound.BuildRnk(base, k, ring.Label(n+1))
+		if err != nil {
+			return out{}, err
+		}
+		if !big.HasUniqueLabel() || !big.InKk(k) {
+			return out{}, fmt.Errorf("E1: R_{%d,%d} not in U* ∩ K%d", n, k, k)
+		}
+		// Use the genuine algorithm Ak with the construction's k; the
+		// property is algorithm-independent, so any deterministic
+		// protocol would do.
+		proto, err := protoA(k, big)
+		if err != nil {
+			return out{}, err
+		}
+		rep, err := lowerbound.CheckIndistinguishability(base, k, ring.Label(n+1), proto, sim.Options{})
+		o := out{}
+		verdict := "holds"
+		if err != nil {
+			verdict = "VIOLATED"
+			o.note = fmt.Sprintf("FAIL n=%d k=%d: %v", n, k, err)
+		}
+		o.row = []any{n, k, big.N(), rep.BaseSteps, rep.StepsChecked, rep.PairsChecked, verdict}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		if o.note != "" {
+			t.Note("%s", o.note)
+		}
+		t.AddRow(o.row...)
 	}
 	t.Note("Property (*): no information from q_kn has reached q_j within j steps, so q_j mirrors p_{j mod n}.")
 	return t, nil
@@ -72,29 +93,41 @@ func (s *Suite) E2() (*Table, error) {
 	}
 	// Label bits wide enough for the fresh label used below.
 	bits := ring.Label(999).Bits()
+	type cell struct {
+		n    int
+		star bool
+	}
+	var cells []cell
 	for _, n := range ns {
-		base := ring.Distinct(n)
-		protos := make([]core.Protocol, 0, 2)
-		ak, err := core.NewAProtocol(2, bits)
+		cells = append(cells, cell{n, false}, cell{n, true})
+	}
+	rows, err := grid(s, len(cells), func(i int) ([]any, error) {
+		c := cells[i]
+		var p core.Protocol
+		var err error
+		if c.star {
+			p, err = core.NewStarProtocol(2, bits)
+		} else {
+			p, err = core.NewAProtocol(2, bits)
+		}
 		if err != nil {
 			return nil, err
 		}
-		star, err := core.NewStarProtocol(2, bits)
+		res, err := lowerbound.DemonstrateTwoLeaders(ring.Distinct(c.n), p, ring.Label(999), sim.Options{})
 		if err != nil {
 			return nil, err
 		}
-		protos = append(protos, ak, star)
-		for _, p := range protos {
-			res, err := lowerbound.DemonstrateTwoLeaders(base, p, ring.Label(999), sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			outcome := "no violation (unexpected)"
-			if res.Violation != nil {
-				outcome = res.Violation.Error()
-			}
-			t.AddRow(p.Name(), n, res.BaseSteps, res.K, res.RingSize, outcome)
+		outcome := "no violation (unexpected)"
+		if res.Violation != nil {
+			outcome = res.Violation.Error()
 		}
+		return []any{p.Name(), c.n, res.BaseSteps, res.K, res.RingSize, outcome}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("Every run must end in a 'spec bullet 1' violation: the construction defeats any fixed algorithm (Theorem 1).")
 	return t, nil
@@ -115,27 +148,46 @@ func (s *Suite) E3() (*Table, error) {
 	if s.Quick {
 		ns, ks = []int{8, 16}, []int{2, 3}
 	}
+	type cell struct{ n, k int }
+	var cells []cell
 	for _, n := range ns {
-		r := ring.Distinct(n)
 		for _, k := range ks {
-			bound := lowerbound.MinStepsBound(n, k)
-			row := []any{n, k, bound}
-			for _, mk := range []func(int, *ring.Ring) (core.Protocol, error){protoA, protoStar, protoB} {
-				p, err := mk(k, r)
-				if err != nil {
-					return nil, err
-				}
-				res, err := sim.RunSync(r, p, sim.Options{})
-				if err != nil {
-					return nil, fmt.Errorf("E3 n=%d k=%d %s: %w", n, k, p.Name(), err)
-				}
-				if res.Steps < bound {
-					t.Note("FAIL: %s n=%d k=%d took %d < bound %d", p.Name(), n, k, res.Steps, bound)
-				}
-				row = append(row, res.Steps, float64(res.Steps)/float64(bound))
-			}
-			t.AddRow(row...)
+			cells = append(cells, cell{n, k})
 		}
+	}
+	type out struct {
+		row   []any
+		notes []string
+	}
+	outs, err := grid(s, len(cells), func(i int) (out, error) {
+		n, k := cells[i].n, cells[i].k
+		r := ring.Distinct(n)
+		bound := lowerbound.MinStepsBound(n, k)
+		o := out{row: []any{n, k, bound}}
+		for _, mk := range []func(int, *ring.Ring) (core.Protocol, error){protoA, protoStar, protoB} {
+			p, err := mk(k, r)
+			if err != nil {
+				return out{}, err
+			}
+			res, err := sim.RunSync(r, p, sim.Options{})
+			if err != nil {
+				return out{}, fmt.Errorf("E3 n=%d k=%d %s: %w", n, k, p.Name(), err)
+			}
+			if res.Steps < bound {
+				o.notes = append(o.notes, fmt.Sprintf("FAIL: %s n=%d k=%d took %d < bound %d", p.Name(), n, k, res.Steps, bound))
+			}
+			o.row = append(o.row, res.Steps, float64(res.Steps)/float64(bound))
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		for _, note := range o.notes {
+			t.Note("%s", note)
+		}
+		t.AddRow(o.row...)
 	}
 	t.Note("All ratios must be ≥ 1 (Lemma 1). Ak steps grow as (2k+1)n+Θ(n) against the (k-2)n bound —")
 	t.Note("a constant factor as k grows, confirming Ak is asymptotically time-optimal (Θ(kn), Corollary 2);")

@@ -28,30 +28,47 @@ func (s *Suite) E9() (*Table, error) {
 	if s.Quick {
 		ns, ks = []int{16, 32}, []int{2}
 	}
-	for _, n := range ns {
-		r := ring.Distinct(n)
-		b := r.LabelBits()
-		for _, k := range ks {
-			type entry struct {
-				p   core.Protocol
-				err error
-			}
-			cr, errCR := baseline.NewCRProtocol(b)
-			pet, errPet := baseline.NewPetersonProtocol(b)
-			ak, errA := core.NewAProtocol(k, b)
-			star, errS := core.NewStarProtocol(k, b)
-			bk, errB := core.NewBProtocol(k, b)
-			for _, e := range []entry{{ak, errA}, {star, errS}, {bk, errB}, {cr, errCR}, {pet, errPet}} {
-				if e.err != nil {
-					return nil, e.err
-				}
-				res, err := sim.RunAsync(r, e.p, sim.ConstantDelay(1), sim.Options{})
-				if err != nil {
-					return nil, fmt.Errorf("E9 %s n=%d k=%d: %w", e.p.Name(), n, k, err)
-				}
-				t.AddRow(e.p.Name(), n, k, res.TimeUnits, res.Messages, res.PeakSpaceBits)
+	type cell struct{ n, k, alg int }
+	var cells []cell
+	for ni := range ns {
+		for ki := range ks {
+			for alg := 0; alg < 5; alg++ {
+				cells = append(cells, cell{ns[ni], ks[ki], alg})
 			}
 		}
+	}
+	rows, err := grid(s, len(cells), func(i int) ([]any, error) {
+		c := cells[i]
+		r := ring.Distinct(c.n)
+		b := r.LabelBits()
+		var p core.Protocol
+		var err error
+		switch c.alg {
+		case 0:
+			p, err = core.NewAProtocol(c.k, b)
+		case 1:
+			p, err = core.NewStarProtocol(c.k, b)
+		case 2:
+			p, err = core.NewBProtocol(c.k, b)
+		case 3:
+			p, err = baseline.NewCRProtocol(b)
+		default:
+			p, err = baseline.NewPetersonProtocol(b)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("E9 %s n=%d k=%d: %w", p.Name(), c.n, c.k, err)
+		}
+		return []any{p.Name(), c.n, c.k, res.TimeUnits, res.Messages, res.PeakSpaceBits}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("Expected shape: time A* ≈ (k+2)n < Ak ≈ (2k+2)n ≪ Bk = Θ(k²n²);")
 	t.Note("space Bk = 2⌈log k⌉+3b+5 ≪ A*/Ak = Θ(knb). The K1 baselines are faster/leaner but need unique labels.")
@@ -87,47 +104,74 @@ func (s *Suite) E10() (*Table, error) {
 			rings = append(rings, r)
 		}
 	}
+	makers := []func(int, *ring.Ring) (core.Protocol, error){protoA, protoStar, protoB}
+	type cell struct {
+		r   *ring.Ring
+		alg int
+	}
+	var cells []cell
 	for _, r := range rings {
+		for alg := range makers {
+			cells = append(cells, cell{r, alg})
+		}
+	}
+	type out struct {
+		rows  [][]any
+		notes []string
+	}
+	outs, err := grid(s, len(cells), func(i int) (out, error) {
+		r := cells[i].r
 		k := max(2, r.MaxMultiplicity())
-		for _, mk := range []func(int, *ring.Ring) (core.Protocol, error){protoA, protoStar, protoB} {
-			p, err := mk(k, r)
-			if err != nil {
-				return nil, err
+		p, err := makers[cells[i].alg](k, r)
+		if err != nil {
+			return out{}, err
+		}
+		var runs []run
+		if res, err := sim.RunSync(r, p, sim.Options{}); err != nil {
+			return out{}, fmt.Errorf("E10 sync %s on %s: %w", p.Name(), r, err)
+		} else {
+			runs = append(runs, run{"sim/sync", res.LeaderIndex, res.Messages})
+		}
+		if res, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{}); err != nil {
+			return out{}, fmt.Errorf("E10 unit %s on %s: %w", p.Name(), r, err)
+		} else {
+			runs = append(runs, run{"sim/unit", res.LeaderIndex, res.Messages})
+		}
+		if res, err := sim.RunAsync(r, p, sim.NewUniformDelay(s.Seed, 0.01), sim.Options{}); err != nil {
+			return out{}, fmt.Errorf("E10 random %s on %s: %w", p.Name(), r, err)
+		} else {
+			runs = append(runs, run{"sim/random", res.LeaderIndex, res.Messages})
+		}
+		if res, err := gorun.Run(r, p, 30*time.Second); err != nil {
+			return out{}, fmt.Errorf("E10 gorun %s on %s: %w", p.Name(), r, err)
+		} else {
+			runs = append(runs, run{"goroutines", res.LeaderIndex, res.Messages})
+		}
+		trueLeader, _ := r.TrueLeader()
+		var o out
+		for _, rr := range runs {
+			agrees := "yes"
+			if rr.leader != runs[0].leader || rr.messages != runs[0].messages {
+				agrees = "NO"
+				o.notes = append(o.notes, fmt.Sprintf("FAIL: %s on %s disagrees across engines", p.Name(), r))
 			}
-			var runs []run
-			if res, err := sim.RunSync(r, p, sim.Options{}); err != nil {
-				return nil, fmt.Errorf("E10 sync %s on %s: %w", p.Name(), r, err)
-			} else {
-				runs = append(runs, run{"sim/sync", res.LeaderIndex, res.Messages})
+			if rr.leader != trueLeader {
+				agrees = "NO (not true leader)"
+				o.notes = append(o.notes, fmt.Sprintf("FAIL: %s on %s elected p%d, true leader is p%d", p.Name(), r, rr.leader, trueLeader))
 			}
-			if res, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{}); err != nil {
-				return nil, fmt.Errorf("E10 unit %s on %s: %w", p.Name(), r, err)
-			} else {
-				runs = append(runs, run{"sim/unit", res.LeaderIndex, res.Messages})
-			}
-			if res, err := sim.RunAsync(r, p, sim.NewUniformDelay(s.Seed, 0.01), sim.Options{}); err != nil {
-				return nil, fmt.Errorf("E10 random %s on %s: %w", p.Name(), r, err)
-			} else {
-				runs = append(runs, run{"sim/random", res.LeaderIndex, res.Messages})
-			}
-			if res, err := gorun.Run(r, p, 30*time.Second); err != nil {
-				return nil, fmt.Errorf("E10 gorun %s on %s: %w", p.Name(), r, err)
-			} else {
-				runs = append(runs, run{"goroutines", res.LeaderIndex, res.Messages})
-			}
-			trueLeader, _ := r.TrueLeader()
-			for _, rr := range runs {
-				agrees := "yes"
-				if rr.leader != runs[0].leader || rr.messages != runs[0].messages {
-					agrees = "NO"
-					t.Note("FAIL: %s on %s disagrees across engines", p.Name(), r)
-				}
-				if rr.leader != trueLeader {
-					agrees = "NO (not true leader)"
-					t.Note("FAIL: %s on %s elected p%d, true leader is p%d", p.Name(), r, rr.leader, trueLeader)
-				}
-				t.AddRow(r.String(), p.Name(), rr.engine, fmt.Sprintf("p%d", rr.leader), rr.messages, agrees)
-			}
+			o.rows = append(o.rows, []any{r.String(), p.Name(), rr.engine, fmt.Sprintf("p%d", rr.leader), rr.messages, agrees})
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		for _, row := range o.rows {
+			t.AddRow(row...)
+		}
+		for _, note := range o.notes {
+			t.Note("%s", note)
 		}
 	}
 	t.Note("FIFO links + deterministic machines make per-process receive sequences schedule-independent,")

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/core"
@@ -22,24 +21,63 @@ type linkItem struct {
 	msg  core.Message
 }
 
-// eventQueue is a min-heap over (at, seq).
-type eventQueue []linkItem
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before orders events by (at, seq): earliest delivery first, global send
+// order as the tiebreak.
+func (it linkItem) before(o linkItem) bool {
+	if it.at != o.at {
+		return it.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return it.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(linkItem)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+
+// eventQueue is a direct array min-heap over (at, seq). container/heap
+// would box every linkItem into an `any` on Push and Pop — one heap
+// allocation plus an interface round-trip per simulated message; sifting
+// items directly keeps the event loop allocation-free once the backing
+// array has grown.
+type eventQueue struct {
+	a []linkItem
+}
+
+func (q *eventQueue) len() int { return len(q.a) }
+
+// push inserts it, sifting up.
+func (q *eventQueue) push(it linkItem) {
+	q.a = append(q.a, it)
+	i := len(q.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.a[i].before(q.a[parent]) {
+			break
+		}
+		q.a[i], q.a[parent] = q.a[parent], q.a[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum element, sifting down.
+func (q *eventQueue) pop() linkItem {
+	top := q.a[0]
+	n := len(q.a) - 1
+	q.a[0] = q.a[n]
+	q.a = q.a[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && q.a[r].before(q.a[l]) {
+			min = r
+		}
+		if !q.a[min].before(q.a[i]) {
+			break
+		}
+		q.a[i], q.a[min] = q.a[min], q.a[i]
+		i = min
+	}
+	return top
 }
 
 // RunAsync executes the protocol event-wise: every process runs its initial
@@ -53,7 +91,7 @@ func RunAsync(r *ring.Ring, p core.Protocol, delay DelayModel, opts Options) (*R
 	e := newEngine(r, p, opts)
 	n := e.n
 
-	var q eventQueue
+	q := eventQueue{a: make([]linkItem, 0, 2*n)}
 	seq := 0
 	lastSched := make([]float64, n) // last scheduled delivery per link, for FIFO clamping
 	inFlight := make([]int, n)      // undelivered messages per link
@@ -73,7 +111,7 @@ func RunAsync(r *ring.Ring, p core.Protocol, delay DelayModel, opts Options) (*R
 				at = lastSched[from] // no overtaking on a FIFO link
 			}
 			lastSched[from] = at
-			heap.Push(&q, linkItem{at: at, seq: seq, from: from, msg: m})
+			q.push(linkItem{at: at, seq: seq, from: from, msg: m})
 			seq++
 			inFlight[from]++
 			if inFlight[from] > e.res.MaxLinkDepth {
@@ -98,8 +136,8 @@ func RunAsync(r *ring.Ring, p core.Protocol, delay DelayModel, opts Options) (*R
 
 	deliveries := 0
 	var now float64
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(linkItem)
+	for q.len() > 0 {
+		it := q.pop()
 		now = it.at
 		deliveries++
 		inFlight[it.from]--

@@ -45,6 +45,154 @@ type exploreConfig struct {
 	checker  *spec.Checker
 }
 
+// explorer bundles the configuration-space primitives shared by the
+// serial DFS (ExploreAll) and the worker-pool search (ExploreAllParallel):
+// building, cloning, advancing and fingerprinting configurations. Its
+// methods only touch the configuration passed in, so distinct
+// configurations can be expanded concurrently.
+type explorer struct {
+	r *ring.Ring
+	p core.Protocol
+	n int
+}
+
+func newExplorer(r *ring.Ring, p core.Protocol) *explorer {
+	return &explorer{r: r, p: p, n: r.N()}
+}
+
+// canClone reports whether every machine implements core.Cloner.
+func (x *explorer) canClone() bool {
+	for i := 0; i < x.n; i++ {
+		if _, ok := x.p.NewMachine(x.r.Label(i)).(core.Cloner); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// fresh returns the initial configuration.
+func (x *explorer) fresh() *exploreConfig {
+	c := &exploreConfig{
+		machines: make([]core.Machine, x.n),
+		links:    make([][]core.Message, x.n),
+		initLeft: make([]bool, x.n),
+		checker:  spec.New(x.n),
+	}
+	for i := 0; i < x.n; i++ {
+		c.machines[i] = x.p.NewMachine(x.r.Label(i))
+		c.initLeft[i] = true
+	}
+	return c
+}
+
+// clone deep-copies c (requires canClone).
+func (x *explorer) clone(c *exploreConfig) *exploreConfig {
+	cp := &exploreConfig{
+		machines: make([]core.Machine, x.n),
+		links:    make([][]core.Message, x.n),
+		initLeft: make([]bool, x.n),
+		sends:    c.sends,
+		checker:  c.checker.Clone(),
+	}
+	for i := 0; i < x.n; i++ {
+		cp.machines[i] = c.machines[i].(core.Cloner).Clone()
+		if len(c.links[i]) > 0 {
+			cp.links[i] = append([]core.Message(nil), c.links[i]...)
+		}
+		cp.initLeft[i] = c.initLeft[i]
+	}
+	return cp
+}
+
+// apply executes one move on c in place.
+func (x *explorer) apply(c *exploreConfig, mv move) error {
+	var out core.Outbox
+	var proc int
+	if mv.init {
+		proc = mv.idx
+		if !c.initLeft[proc] {
+			return fmt.Errorf("sim: explore diverged (double init)")
+		}
+		c.initLeft[proc] = false
+		c.machines[proc].Init(&out)
+	} else {
+		link := mv.idx
+		proc = (link + 1) % x.n
+		if len(c.links[link]) == 0 {
+			return fmt.Errorf("sim: explore diverged (empty link)")
+		}
+		msg := c.links[link][0]
+		c.links[link] = c.links[link][1:]
+		if c.machines[proc].Halted() {
+			return fmt.Errorf("sim: delivery to halted process %d during exploration", proc)
+		}
+		if _, err := c.machines[proc].Receive(msg, &out); err != nil {
+			return err
+		}
+	}
+	if err := c.checker.Observe(proc, c.machines[proc].Status()); err != nil {
+		return err
+	}
+	sent := out.Drain()
+	c.sends += len(sent)
+	c.links[proc] = append(c.links[proc], sent...)
+	return nil
+}
+
+// fingerprint canonically serializes c: machine states plus link contents.
+func (x *explorer) fingerprint(c *exploreConfig) string {
+	var b strings.Builder
+	for i := 0; i < x.n; i++ {
+		fmt.Fprintf(&b, "|p%d:%v:%s", i, c.initLeft[i], c.machines[i].Fingerprint())
+	}
+	for i, l := range c.links {
+		fmt.Fprintf(&b, "|l%d:", i)
+		for _, m := range l {
+			b.WriteString(m.String())
+		}
+	}
+	return b.String()
+}
+
+// moves returns the enabled moves of c (empty means terminal).
+func (x *explorer) moves(c *exploreConfig) ([]move, error) {
+	var ms []move
+	for i := 0; i < x.n; i++ {
+		if c.initLeft[i] {
+			ms = append(ms, move{init: true, idx: i})
+		}
+	}
+	for i, l := range c.links {
+		if len(l) == 0 {
+			continue
+		}
+		to := (i + 1) % x.n
+		if c.initLeft[to] {
+			// §II: the initial action is executed first in every
+			// execution — the message waits until the receiver has run
+			// its init.
+			continue
+		}
+		if c.machines[to].Halted() {
+			return nil, fmt.Errorf("sim: message %s pending at halted process %d", l[0], to)
+		}
+		ms = append(ms, move{idx: i})
+	}
+	return ms, nil
+}
+
+// terminalOutcome finalizes the spec checker of a terminal configuration
+// and returns the elected leader index.
+func (x *explorer) terminalOutcome(c *exploreConfig) (int, error) {
+	ids := make([]ring.Label, x.n)
+	halted := make([]bool, x.n)
+	for i := 0; i < x.n; i++ {
+		ids[i] = x.r.Label(i)
+		halted[i] = c.machines[i].Halted()
+	}
+	return c.checker.Finalize(ids, halted)
+}
+
 // ExploreAll enumerates every asynchronous schedule of p on r — all
 // interleavings of initial actions and per-link FIFO deliveries — by
 // depth-first search over the configuration graph with memoization on
@@ -59,147 +207,33 @@ type exploreConfig struct {
 // configuration is reconstructed by replaying its move prefix. The
 // configuration graph of a FIFO ring protocol is a finite lattice, so
 // this is exact model checking, feasible for small rings; maxStates
-// bounds the search (exceeding it is an error).
+// bounds the search (exceeding it is an error). For multi-core search use
+// ExploreAllParallel.
 func ExploreAll(r *ring.Ring, p core.Protocol, maxStates int) (*ExploreResult, error) {
 	if maxStates <= 0 {
 		maxStates = 200_000
 	}
-	n := r.N()
+	x := newExplorer(r, p)
 	res := &ExploreResult{LeaderIndex: -1, Messages: -1}
 	seen := make(map[string]bool)
-
-	// Cloning is only usable when every machine supports it.
-	res.Cloned = true
-	for i := 0; i < n; i++ {
-		if _, ok := p.NewMachine(r.Label(i)).(core.Cloner); !ok {
-			res.Cloned = false
-			break
-		}
-	}
-
-	fresh := func() *exploreConfig {
-		c := &exploreConfig{
-			machines: make([]core.Machine, n),
-			links:    make([][]core.Message, n),
-			initLeft: make([]bool, n),
-			checker:  spec.New(n),
-		}
-		for i := 0; i < n; i++ {
-			c.machines[i] = p.NewMachine(r.Label(i))
-			c.initLeft[i] = true
-		}
-		return c
-	}
-
-	cloneConfig := func(c *exploreConfig) *exploreConfig {
-		cp := &exploreConfig{
-			machines: make([]core.Machine, n),
-			links:    make([][]core.Message, n),
-			initLeft: make([]bool, n),
-			sends:    c.sends,
-			checker:  c.checker.Clone(),
-		}
-		for i := 0; i < n; i++ {
-			cp.machines[i] = c.machines[i].(core.Cloner).Clone()
-			if len(c.links[i]) > 0 {
-				cp.links[i] = append([]core.Message(nil), c.links[i]...)
-			}
-			cp.initLeft[i] = c.initLeft[i]
-		}
-		return cp
-	}
-
-	// apply executes one move on c in place.
-	apply := func(c *exploreConfig, mv move) error {
-		var out core.Outbox
-		var proc int
-		if mv.init {
-			proc = mv.idx
-			if !c.initLeft[proc] {
-				return fmt.Errorf("sim: explore diverged (double init)")
-			}
-			c.initLeft[proc] = false
-			c.machines[proc].Init(&out)
-		} else {
-			link := mv.idx
-			proc = (link + 1) % n
-			if len(c.links[link]) == 0 {
-				return fmt.Errorf("sim: explore diverged (empty link)")
-			}
-			msg := c.links[link][0]
-			c.links[link] = c.links[link][1:]
-			if c.machines[proc].Halted() {
-				return fmt.Errorf("sim: delivery to halted process %d during exploration", proc)
-			}
-			if _, err := c.machines[proc].Receive(msg, &out); err != nil {
-				return err
-			}
-		}
-		if err := c.checker.Observe(proc, c.machines[proc].Status()); err != nil {
-			return err
-		}
-		sent := out.Drain()
-		c.sends += len(sent)
-		c.links[proc] = append(c.links[proc], sent...)
-		return nil
-	}
+	res.Cloned = x.canClone()
 
 	// replay rebuilds a configuration from scratch (fallback when machines
 	// cannot clone).
 	replay := func(prefix []move) (*exploreConfig, error) {
-		c := fresh()
+		c := x.fresh()
 		for _, mv := range prefix {
-			if err := apply(c, mv); err != nil {
+			if err := x.apply(c, mv); err != nil {
 				return nil, err
 			}
 		}
 		return c, nil
 	}
 
-	fingerprint := func(c *exploreConfig) string {
-		var b strings.Builder
-		for i := 0; i < n; i++ {
-			fmt.Fprintf(&b, "|p%d:%v:%s", i, c.initLeft[i], c.machines[i].Fingerprint())
-		}
-		for i, l := range c.links {
-			fmt.Fprintf(&b, "|l%d:", i)
-			for _, m := range l {
-				b.WriteString(m.String())
-			}
-		}
-		return b.String()
-	}
-
-	moves := func(c *exploreConfig) ([]move, error) {
-		var ms []move
-		for i := 0; i < n; i++ {
-			if c.initLeft[i] {
-				ms = append(ms, move{init: true, idx: i})
-			}
-		}
-		for i, l := range c.links {
-			if len(l) == 0 {
-				continue
-			}
-			to := (i + 1) % n
-			if c.initLeft[to] {
-				// §II: the initial action is executed first in every
-				// execution — the message waits until the receiver has run
-				// its init.
-				continue
-			}
-			if c.machines[to].Halted() {
-				return nil, fmt.Errorf("sim: message %s pending at halted process %d", l[0], to)
-			}
-			ms = append(ms, move{idx: i})
-		}
-		return ms, nil
-	}
-
 	// visit processes one configuration; returns the enabled moves (nil
 	// for terminal or already-seen states).
 	visit := func(c *exploreConfig) ([]move, error) {
-		key := fingerprint(c)
+		key := x.fingerprint(c)
 		if seen[key] {
 			return nil, nil
 		}
@@ -213,7 +247,7 @@ func ExploreAll(r *ring.Ring, p core.Protocol, maxStates int) (*ExploreResult, e
 				res.MaxLinkDepth = len(l)
 			}
 		}
-		ms, err := moves(c)
+		ms, err := x.moves(c)
 		if err != nil {
 			return nil, err
 		}
@@ -221,13 +255,7 @@ func ExploreAll(r *ring.Ring, p core.Protocol, maxStates int) (*ExploreResult, e
 			return ms, nil
 		}
 		// Terminal configuration: validate the spec and record the outcome.
-		ids := make([]ring.Label, n)
-		halted := make([]bool, n)
-		for i := 0; i < n; i++ {
-			ids[i] = r.Label(i)
-			halted[i] = c.machines[i].Halted()
-		}
-		leader, err := c.checker.Finalize(ids, halted)
+		leader, err := x.terminalOutcome(c)
 		if err != nil {
 			return nil, err
 		}
@@ -253,9 +281,9 @@ func ExploreAll(r *ring.Ring, p core.Protocol, maxStates int) (*ExploreResult, e
 			for i, mv := range ms {
 				next := c
 				if i < len(ms)-1 {
-					next = cloneConfig(c) // last branch may consume c itself
+					next = x.clone(c) // last branch may consume c itself
 				}
-				if err := apply(next, mv); err != nil {
+				if err := x.apply(next, mv); err != nil {
 					return err
 				}
 				if err := dfs(next); err != nil {
@@ -264,7 +292,7 @@ func ExploreAll(r *ring.Ring, p core.Protocol, maxStates int) (*ExploreResult, e
 			}
 			return nil
 		}
-		if err := dfs(fresh()); err != nil {
+		if err := dfs(x.fresh()); err != nil {
 			return res, err
 		}
 		return res, nil

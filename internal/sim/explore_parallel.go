@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+// seenShards partitions the visited-fingerprint set so concurrent workers
+// rarely contend on the same lock. 64 shards keep the expected queue
+// depth per lock below one even at high core counts.
+const seenShards = 64
+
+// shardedSeen is a concurrent fingerprint set: insert is atomic per key
+// and returns whether the key was new. Keys are routed to shards by a
+// per-process random hash (maphash), so no adversarial ring labeling can
+// serialize the search onto one lock.
+type shardedSeen struct {
+	seed   maphash.Seed
+	shards [seenShards]struct {
+		mu sync.Mutex
+		m  map[string]struct{}
+		_  [40]byte // pad to a cache line: shard locks must not false-share
+	}
+}
+
+func newShardedSeen() *shardedSeen {
+	s := &shardedSeen{seed: maphash.MakeSeed()}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]struct{})
+	}
+	return s
+}
+
+// insert adds key and reports whether it was absent.
+func (s *shardedSeen) insert(key string) bool {
+	sh := &s.shards[maphash.String(s.seed, key)%seenShards]
+	sh.mu.Lock()
+	_, dup := sh.m[key]
+	if !dup {
+		sh.m[key] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !dup
+}
+
+// exploreQueue is an unbounded work queue of configurations with
+// completion detection: pending counts configurations that are queued or
+// currently being expanded, so pending reaching zero means the whole
+// reachable graph has been visited.
+type exploreQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []*exploreConfig
+	pending int
+	err     error
+}
+
+func newExploreQueue() *exploreQueue {
+	q := &exploreQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues c, accounting it as pending work.
+func (q *exploreQueue) push(c *exploreConfig) {
+	q.mu.Lock()
+	q.pending++
+	q.items = append(q.items, c)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until an item is available or the search is over (drained or
+// failed); ok is false in the latter case.
+func (q *exploreQueue) pop() (*exploreConfig, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.err != nil || (len(q.items) == 0 && q.pending == 0) {
+			return nil, false
+		}
+		if n := len(q.items); n > 0 {
+			// LIFO: depth-first expansion keeps the frontier (and thus
+			// memory) close to the serial DFS's.
+			c := q.items[n-1]
+			q.items = q.items[:n-1]
+			return c, true
+		}
+		q.cond.Wait()
+	}
+}
+
+// finish marks one popped configuration fully expanded.
+func (q *exploreQueue) finish() {
+	q.mu.Lock()
+	q.pending--
+	done := q.pending == 0 && len(q.items) == 0
+	q.mu.Unlock()
+	if done {
+		q.cond.Broadcast()
+	}
+}
+
+// fail aborts the search with err (the first failure wins).
+func (q *exploreQueue) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// ExploreAllParallel is ExploreAll fanned out across a worker pool: the
+// configuration graph is searched by workers goroutines sharing a
+// LIFO work queue, with the visited set sharded across seenShards locks.
+// workers ≤ 0 selects runtime.NumCPU(); workers == 1, or machines that
+// cannot core.Cloner-deep-copy, fall back to the serial ExploreAll.
+//
+// The result is schedule-independent: States, Terminals, LeaderIndex,
+// Messages and MaxLinkDepth are properties of the reachable configuration
+// set, which does not depend on visit order, so parallel runs agree with
+// serial runs exactly. The one caveat is error identity on *broken*
+// protocols: when several violations exist, which one is reported first
+// may vary between runs (the presence of an error never does).
+func ExploreAllParallel(r *ring.Ring, p core.Protocol, maxStates, workers int) (*ExploreResult, error) {
+	if maxStates <= 0 {
+		maxStates = 200_000
+	}
+	workers = min(defaultExploreWorkers(workers), runtime.NumCPU()*4)
+	x := newExplorer(r, p)
+	if workers == 1 || !x.canClone() {
+		return ExploreAll(r, p, maxStates)
+	}
+
+	res := &ExploreResult{LeaderIndex: -1, Messages: -1, Cloned: true}
+	seen := newShardedSeen()
+	queue := newExploreQueue()
+	var (
+		states       atomic.Int64
+		maxLinkDepth atomic.Int64
+		outcomeMu    sync.Mutex
+	)
+	bumpDepth := func(d int64) {
+		for {
+			cur := maxLinkDepth.Load()
+			if d <= cur || maxLinkDepth.CompareAndSwap(cur, d) {
+				return
+			}
+		}
+	}
+
+	// expand visits one configuration: dedup, account, branch.
+	expand := func(c *exploreConfig) error {
+		if !seen.insert(x.fingerprint(c)) {
+			return nil
+		}
+		if states.Add(1) > int64(maxStates) {
+			return fmt.Errorf("sim: exploration exceeded %d states", maxStates)
+		}
+		for _, l := range c.links {
+			bumpDepth(int64(len(l)))
+		}
+		ms, err := x.moves(c)
+		if err != nil {
+			return err
+		}
+		if len(ms) == 0 {
+			leader, err := x.terminalOutcome(c)
+			if err != nil {
+				return err
+			}
+			outcomeMu.Lock()
+			defer outcomeMu.Unlock()
+			if res.Terminals == 0 {
+				res.LeaderIndex = leader
+				res.Messages = c.sends
+				res.Terminals = 1
+			} else if res.LeaderIndex != leader || res.Messages != c.sends {
+				res.Terminals++
+				return fmt.Errorf("sim: schedule-dependent outcome: leader p%d/%d msgs vs p%d/%d msgs",
+					leader, c.sends, res.LeaderIndex, res.Messages)
+			}
+			return nil
+		}
+		for i, mv := range ms {
+			next := c
+			if i < len(ms)-1 {
+				next = x.clone(c) // last branch may consume c itself
+			}
+			if err := x.apply(next, mv); err != nil {
+				return err
+			}
+			queue.push(next)
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c, ok := queue.pop()
+				if !ok {
+					return
+				}
+				if err := expand(c); err != nil {
+					queue.fail(err)
+				}
+				queue.finish()
+			}
+		}()
+	}
+	queue.push(x.fresh())
+	wg.Wait()
+
+	res.States = int(states.Load())
+	res.MaxLinkDepth = int(maxLinkDepth.Load())
+	if queue.err != nil {
+		return res, queue.err
+	}
+	return res, nil
+}
+
+// defaultExploreWorkers resolves the worker-count request without
+// importing internal/sweep (sim must stay dependency-light).
+func defaultExploreWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}

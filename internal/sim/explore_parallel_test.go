@@ -1,0 +1,83 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// TestExploreParallelMatchesSerial checks that the worker-pool search and
+// the serial DFS agree on every field of the result — the parallel
+// explorer visits the same reachable set, so States, Terminals, leader,
+// message count and link depth must be identical.
+func TestExploreParallelMatchesSerial(t *testing.T) {
+	cases := []struct {
+		spec string
+		k    int
+	}{
+		{"1 2", 1},
+		{"1 2 2", 2},
+		{"2 1 3", 1},
+		{"3 1 4 2", 1},
+		{"1 1 2 2", 2},
+	}
+	if !testing.Short() {
+		cases = append(cases, struct {
+			spec string
+			k    int
+		}{"2 1 2 1 3", 2})
+	}
+	for _, c := range cases {
+		r, err := ring.Parse(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.NewAProtocol(c.k, r.LabelBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := sim.ExploreAll(r, p, 2_000_000)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", c.spec, err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			par, err := sim.ExploreAllParallel(r, p, 2_000_000, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", c.spec, workers, err)
+			}
+			if *par != *serial {
+				t.Errorf("%s workers=%d: parallel %+v != serial %+v", c.spec, workers, par, serial)
+			}
+		}
+	}
+}
+
+// TestExploreParallelStateBudget checks that the maxStates guard fires in
+// the parallel search too.
+func TestExploreParallelStateBudget(t *testing.T) {
+	r := ring.MustNew(3, 1, 4, 2)
+	p, err := core.NewAProtocol(1, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.ExploreAllParallel(r, p, 10, 4); err == nil {
+		t.Fatal("expected state-budget error")
+	}
+}
+
+// TestExploreParallelDetectsViolation checks that spec violations still
+// surface under concurrency: an ablated Ak threshold elects two leaders
+// on [1 1 1 2], and some worker must observe it.
+func TestExploreParallelDetectsViolation(t *testing.T) {
+	r := ring.MustNew(1, 1, 1, 2)
+	p, err := core.NewAProtocol(3, r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Threshold = 4 // k+1: unsound (E13's first counterexample family)
+	if _, err := sim.ExploreAllParallel(r, p, 2_000_000, 4); err == nil {
+		t.Fatal("expected a violation from the ablated threshold")
+	}
+}

@@ -7,6 +7,15 @@ import (
 	"repro/internal/ring"
 )
 
+// delivery is one enabled action of a synchronous step: a pending initial
+// action, or the delivery of the head message of the incoming link.
+type delivery struct {
+	proc int
+	msg  core.Message
+	has  bool
+	init bool
+}
+
 // RunSync executes the protocol's synchronous execution on r: at each step
 // every enabled process executes exactly one enabled action, based on the
 // configuration at the start of the step; messages sent in step t are
@@ -29,16 +38,14 @@ func RunSync(r *ring.Ring, p core.Protocol, opts Options) (*Result, error) {
 	}
 	var out core.Outbox // reused across actions; contents copied into links
 
+	// acts is reused across steps: the enabled set is at most n entries,
+	// so one allocation serves the whole run.
+	acts := make([]delivery, 0, n)
+
 	step := 0
 	for {
 		// Determine the enabled set from the start-of-step configuration.
-		type delivery struct {
-			proc int
-			msg  core.Message
-			has  bool
-			init bool
-		}
-		var acts []delivery
+		acts = acts[:0]
 		for i := 0; i < n; i++ {
 			m := e.machines[i]
 			from := (i - 1 + n) % n
@@ -139,15 +146,12 @@ func SyncProbe(r *ring.Ring, p core.Protocol, opts Options, probe func(step int,
 		return e.res, nil
 	}
 
+	acts := make([]delivery, 0, n)
+	staged := make([][]core.Message, n)
+
 	step := 0
 	for {
-		type delivery struct {
-			proc int
-			msg  core.Message
-			has  bool
-			init bool
-		}
-		var acts []delivery
+		acts = acts[:0]
 		for i := 0; i < n; i++ {
 			from := (i - 1 + n) % n
 			switch {
@@ -170,7 +174,9 @@ func SyncProbe(r *ring.Ring, p core.Protocol, opts Options, probe func(step int,
 				links[from] = links[from][1:]
 			}
 		}
-		staged := make([][]core.Message, n)
+		for i := range staged {
+			staged[i] = nil
+		}
 		for _, d := range acts {
 			var out core.Outbox
 			var err error

@@ -1,0 +1,117 @@
+// Package sweep is the deterministic parallel fan-out engine for the
+// repository's embarrassingly-parallel workloads: the experiment grids of
+// internal/experiments run thousands of independent (ring, protocol, k, n,
+// delay-model, seed) simulator executions, and internal/sim's schedule
+// explorer expands independent configurations.
+//
+// The contract is strict determinism: Map runs jobs concurrently but
+// returns their results in submission order, and on failure reports the
+// error of the lowest-indexed failing job — so the output of a parallel
+// sweep is byte-identical to the output of the same sweep run serially,
+// regardless of worker count or scheduling. Callers may therefore flip
+// between -par 1 and -par N freely; golden files and experiment tables do
+// not change.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers resolves a worker-count request: values ≤ 0 mean "one
+// worker per CPU" (runtime.NumCPU).
+func DefaultWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// Map runs job(0), …, job(n-1) across at most workers goroutines and
+// returns the results in index order. workers ≤ 0 selects
+// runtime.NumCPU(); workers == 1 degenerates to a plain serial loop with
+// no goroutines at all.
+//
+// Error semantics are deterministic: if any jobs fail, Map returns nil
+// results and the error of the lowest failing index — exactly the error a
+// serial loop stopping at the first failure would return. Jobs with
+// indices above an already-observed failure may be skipped (never
+// started), but every job below the failing index runs to completion, so
+// the chosen error cannot depend on scheduling.
+func Map[T any](workers, n int, job func(int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		out := make([]T, n)
+		for i := 0; i < n; i++ {
+			v, err := job(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	out := make([]T, n)
+	errs := make([]error, n)
+	var (
+		next   atomic.Int64
+		failed atomic.Int64 // lowest failing index + 1; 0 = none
+		wg     sync.WaitGroup
+	)
+	recordFailure := func(i int) {
+		for {
+			cur := failed.Load()
+			if cur != 0 && cur <= int64(i)+1 {
+				return
+			}
+			if failed.CompareAndSwap(cur, int64(i)+1) {
+				return
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Skip work that cannot affect the outcome: a lower
+				// index has already failed, and its error wins.
+				if f := failed.Load(); f != 0 && int64(i) > f-1 {
+					continue
+				}
+				v, err := job(i)
+				if err != nil {
+					errs[i] = err
+					recordFailure(i)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if f := failed.Load(); f != 0 {
+		return nil, errs[f-1]
+	}
+	return out, nil
+}
+
+// ForEach is Map for jobs with no result value.
+func ForEach(workers, n int, job func(int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, job(i)
+	})
+	return err
+}

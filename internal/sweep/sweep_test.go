@@ -1,0 +1,173 @@
+package sweep_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+func TestMapOrdering(t *testing.T) {
+	// Jobs finish intentionally out of order; results must not.
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		out, err := sweep.Map(workers, 100, func(i int) (int, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Duration(i%3) * time.Millisecond)
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := sweep.Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("got %v, %v; want nil, nil", out, err)
+	}
+}
+
+// TestMapErrorDeterminism checks the serial-equivalence guarantee for
+// failures: with several failing jobs, every worker count reports the
+// error of the lowest failing index — the one a serial loop would stop at.
+func TestMapErrorDeterminism(t *testing.T) {
+	failing := map[int]bool{13: true, 41: true, 77: true}
+	for _, workers := range []int{1, 2, 4, 16} {
+		for trial := 0; trial < 20; trial++ {
+			_, err := sweep.Map(workers, 100, func(i int) (int, error) {
+				if failing[i] {
+					return 0, fmt.Errorf("job %d failed", i)
+				}
+				return i, nil
+			})
+			if err == nil || err.Error() != "job 13 failed" {
+				t.Fatalf("workers=%d: got error %v, want job 13's", workers, err)
+			}
+		}
+	}
+}
+
+func TestMapRunsEveryJobBelowFailure(t *testing.T) {
+	var ran atomic.Int64
+	_, err := sweep.Map(8, 50, func(i int) (int, error) {
+		if i == 49 {
+			return 0, errors.New("tail failure")
+		}
+		ran.Add(1)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 49 {
+		t.Fatalf("ran %d jobs below the failing index, want 49", got)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := sweep.ForEach(4, 100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+}
+
+// runSummary is the full observable outcome of one simulator execution.
+type runSummary struct {
+	Name      string
+	Leader    int
+	Messages  int
+	Steps     int
+	TimeUnits float64
+	PeakBits  int
+	Err       string
+}
+
+// TestSweepDeterminism is the load-bearing guarantee of the package: a
+// grid of real simulator executions run through Map produces *identical*
+// results — same leaders, same message counts, same step counts, same
+// ordering — at every worker count, including the degenerate serial pool.
+func TestSweepDeterminism(t *testing.T) {
+	type job struct {
+		r    *ring.Ring
+		k    int
+		sync bool
+	}
+	var jobs []job
+	for _, spec := range []string{"1 2 2", "1 3 1 3 2 2 1 2", "5 1 4 2 3"} {
+		r, err := ring.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 2
+		if m := r.MaxMultiplicity(); m > k {
+			k = m
+		}
+		jobs = append(jobs, job{r, k, false}, job{r, k, true})
+	}
+	for n := 6; n <= 18; n += 4 {
+		jobs = append(jobs, job{ring.Distinct(n), 2, false}, job{ring.Distinct(n), 3, true})
+	}
+
+	exec := func(j job) runSummary {
+		p, err := core.NewAProtocol(j.k, j.r.LabelBits())
+		if err != nil {
+			return runSummary{Err: err.Error()}
+		}
+		var res *sim.Result
+		if j.sync {
+			res, err = sim.RunSync(j.r, p, sim.Options{})
+		} else {
+			res, err = sim.RunAsync(j.r, p, sim.ConstantDelay(1), sim.Options{})
+		}
+		s := runSummary{Name: fmt.Sprintf("%s/k=%d/sync=%v", j.r, j.k, j.sync)}
+		if err != nil {
+			s.Err = err.Error()
+			return s
+		}
+		s.Leader, s.Messages, s.Steps, s.TimeUnits, s.PeakBits =
+			res.LeaderIndex, res.Messages, res.Steps, res.TimeUnits, res.PeakSpaceBits
+		return s
+	}
+
+	var baseline []runSummary
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := sweep.Map(workers, len(jobs), func(i int) (runSummary, error) {
+			return exec(jobs[i]), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if workers == 1 {
+			baseline = got
+			for _, s := range baseline {
+				if s.Err != "" {
+					t.Fatalf("serial run failed: %s: %s", s.Name, s.Err)
+				}
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, baseline) {
+			t.Fatalf("workers=%d results diverge from serial:\n got %+v\nwant %+v", workers, got, baseline)
+		}
+	}
+}

@@ -10,6 +10,12 @@ package words
 type Incremental[T comparable] struct {
 	s    []T
 	fail []int
+
+	// CheckSRP memo: the smallest period at the last evaluation and the
+	// verdict computed for it. Derived from s alone, so cloning copies it
+	// and fingerprints may ignore it.
+	memoPer int
+	memoVal bool
 }
 
 // Append extends the sequence by x, updating the failure table online.
@@ -51,13 +57,33 @@ func (in *Incremental[T]) SmallestPeriod() int {
 // slice aliases internal storage.
 func (in *Incremental[T]) SRP() []T { return in.s[:in.SmallestPeriod()] }
 
+// CheckSRP returns eval(SRP()), memoized on the smallest period. The
+// sequence is append-only, so its smallest period is non-decreasing and
+// srp is a function of the period alone; the previous verdict stays valid
+// until the period moves. Algorithm Ak re-evaluates its Leader(σ) Lyndon
+// test on every receive — recomputing IsLyndon(srp) each time is Θ(n) per
+// message, while the memo makes the growing-prefix test amortized O(1):
+// eval runs only when the period changes, at most once per distinct
+// period. On an empty sequence CheckSRP returns false without invoking
+// eval.
+//
+// eval must be a pure function of its argument; passing differently-
+// behaving evaluators to the same Incremental invalidates the memo.
+func (in *Incremental[T]) CheckSRP(eval func([]T) bool) bool {
+	per := in.SmallestPeriod()
+	if per != in.memoPer {
+		in.memoPer = per
+		in.memoVal = eval(in.s[:per])
+	}
+	return in.memoVal
+}
+
 // Clone returns an independent copy: appends to either side do not affect
 // the other.
 func (in *Incremental[T]) Clone() Incremental[T] {
-	cp := Incremental[T]{
-		s:    make([]T, len(in.s)),
-		fail: make([]int, len(in.fail)),
-	}
+	cp := *in
+	cp.s = make([]T, len(in.s))
+	cp.fail = make([]int, len(in.fail))
 	copy(cp.s, in.s)
 	copy(cp.fail, in.fail)
 	return cp
