@@ -3,17 +3,18 @@
 
 GO ?= go
 
-.PHONY: all build check vet fmt-check test test-race race-concurrency \
-        test-short bench bench-json bench-compare experiments \
-        experiments-md fuzz figures clean
+.PHONY: all build check vet fmt-check test test-net test-race \
+        race-concurrency test-short bench bench-json bench-compare \
+        experiments experiments-md fuzz figures clean
 
 all: build check test
 
 build:
 	$(GO) build ./...
 
-# Static checks wired into the default flow: vet plus gofmt drift.
-check: vet fmt-check
+# Static checks plus the TCP transport engine's race/fault soak, wired
+# into the default flow.
+check: vet fmt-check test-net
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +27,13 @@ fmt-check:
 
 test:
 	$(GO) test ./...
+
+# The TCP transport engine under the race detector, plus a short soak of
+# the fault-injection and reconnect paths (repeated runs shake out timing
+# races in backoff/reconnect that a single pass can miss).
+test-net:
+	$(GO) test -race -count=1 ./internal/netring/... ./cmd/ringnode/...
+	$(GO) test -race -count=3 -run 'Fault|Backoff|Unreachable|Violation' ./internal/netring/
 
 test-race:
 	$(GO) test -race ./...
@@ -41,14 +49,14 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable experiment benchmark (same schema as BENCH_PR1.json).
+# Machine-readable experiment benchmark (same schema as BENCH_PR2.json).
 bench-json:
 	$(GO) run ./cmd/ringbench -json BENCH_NEW.json > /dev/null
 
 # Diff a fresh benchmark report against the committed baseline:
 # wall-clock deltas are informational, content drift fails the target.
 bench-compare: bench-json
-	$(GO) run ./cmd/benchdiff BENCH_PR1.json BENCH_NEW.json
+	$(GO) run ./cmd/benchdiff BENCH_PR2.json BENCH_NEW.json
 
 # Regenerate every experiment table (E1..E13).
 experiments:

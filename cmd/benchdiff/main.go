@@ -1,16 +1,18 @@
 // Command benchdiff compares two ringbench -json reports (see
 // cmd/ringbench): it prints the per-experiment wall-clock delta and
-// verifies that the experiment *content* — headers, rows, notes — is
-// unchanged. Content drift means a determinism regression (or an
-// intentional experiment change) and makes the exit code nonzero;
+// verifies that the experiment *content* — headers, rows, notes, and the
+// experiment set itself — is unchanged. Content drift, including an
+// experiment present in only one report, means a determinism regression
+// (or an intentional experiment change) and makes the exit code nonzero;
 // wall-time changes are reported but never fail, since they depend on the
-// machine.
+// machine. Reports produced under different engine rosters (the `engine`
+// field) are rejected as incomparable, like mismatched seeds.
 //
 // Usage:
 //
 //	benchdiff OLD.json NEW.json
 //
-// The committed BENCH_PR1.json is the repository's perf baseline; `make
+// The committed BENCH_PR2.json is the repository's perf baseline; `make
 // bench-compare` regenerates a fresh report and diffs it against that.
 package main
 
@@ -20,6 +22,7 @@ import (
 	"io"
 	"os"
 	"reflect"
+	"sort"
 )
 
 type experiment struct {
@@ -36,6 +39,7 @@ type report struct {
 	Seed        int64        `json:"seed"`
 	Quick       bool         `json:"quick"`
 	Par         int          `json:"par"`
+	Engine      string       `json:"engine,omitempty"`
 	TotalWallMS float64      `json:"total_wall_ms"`
 	Experiments []experiment `json:"experiments"`
 }
@@ -79,6 +83,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			old.Seed, old.Quick, cur.Seed, cur.Quick)
 		return 2
 	}
+	// An old baseline written before the engine field existed is still
+	// comparable; two reports that each name a different engine roster are
+	// not.
+	if old.Engine != "" && cur.Engine != "" && old.Engine != cur.Engine {
+		fmt.Fprintf(stderr, "benchdiff: reports are not comparable: engines differ (%q vs %q)\n",
+			old.Engine, cur.Engine)
+		return 2
+	}
 
 	oldByID := make(map[string]experiment, len(old.Experiments))
 	for _, e := range old.Experiments {
@@ -89,7 +101,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, ne := range cur.Experiments {
 		oe, ok := oldByID[ne.ID]
 		if !ok {
-			fmt.Fprintf(stdout, "%-5s %10s %10.1f %8s  new experiment\n", ne.ID, "-", ne.WallMS, "-")
+			// An experiment only one report has IS a content difference —
+			// a silently skipped row would make disjoint reports "pass".
+			fmt.Fprintf(stdout, "%-5s %10s %10.1f %8s  only in new report\n", ne.ID, "-", ne.WallMS, "-")
+			drift++
 			continue
 		}
 		delete(oldByID, ne.ID)
@@ -104,8 +119,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "%-5s %10.1f %10.1f %8s  %s\n", ne.ID, oe.WallMS, ne.WallMS, speedup, content)
 	}
+	leftover := make([]string, 0, len(oldByID))
 	for id := range oldByID {
-		fmt.Fprintf(stdout, "%-5s experiment missing from new report\n", id)
+		leftover = append(leftover, id)
+	}
+	sort.Strings(leftover)
+	for _, id := range leftover {
+		fmt.Fprintf(stdout, "%-5s %10.1f %10s %8s  only in old report\n", id, oldByID[id].WallMS, "-", "-")
 		drift++
 	}
 	fmt.Fprintf(stdout, "total %10.1f %10.1f (par %d -> %d)\n", old.TotalWallMS, cur.TotalWallMS, old.Par, cur.Par)

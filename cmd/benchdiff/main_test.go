@@ -55,6 +55,68 @@ func TestContentDriftFails(t *testing.T) {
 	}
 }
 
+// TestDisjointExperimentSetsFail pins the missing-experiment behavior:
+// an experiment present in only one report is a content difference, never
+// a silent skip — two fully disjoint reports must fail loudly.
+func TestDisjointExperimentSetsFail(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", reportA)
+	b := write(t, dir, "b.json", strings.NewReplacer("E4", "E7", "E5", "E6").Replace(reportA))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (disjoint sets are drift):\n%s", code, out.String())
+	}
+	for _, frag := range []string{"E6", "E7", "only in new report", "only in old report"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+	// Old-only rows must come out sorted regardless of map order.
+	if e4, e5 := strings.Index(out.String(), "E4"), strings.Index(out.String(), "E5"); e4 > e5 {
+		t.Errorf("old-only experiments not sorted:\n%s", out.String())
+	}
+}
+
+func TestMissingExperimentFails(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", reportA)
+	trimmed := strings.ReplaceAll(reportA,
+		`,
+    {"id": "E5", "title": "t", "wall_ms": 20, "header": ["a"], "rows": [["2"]], "notes": []}`, "")
+	b := write(t, dir, "b.json", trimmed)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (dropped experiment):\n%s%s", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "only in old report") {
+		t.Errorf("dropped experiment not reported explicitly:\n%s", out.String())
+	}
+}
+
+func TestEngineMismatchIncomparable(t *testing.T) {
+	dir := t.TempDir()
+	withEngine := func(e string) string {
+		return strings.ReplaceAll(reportA, `"par": 1,`, `"par": 1, "engine": "`+e+`",`)
+	}
+	a := write(t, dir, "a.json", withEngine("sim+goroutines"))
+	b := write(t, dir, "b.json", withEngine("sim+goroutines+tcp"))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2 (engine rosters differ)", code)
+	}
+	if !strings.Contains(errBuf.String(), "engines differ") {
+		t.Errorf("no engine diagnostic:\n%s", errBuf.String())
+	}
+	// A pre-engine-field baseline stays comparable with any engine roster.
+	old := write(t, dir, "old.json", reportA)
+	cur := write(t, dir, "cur.json", withEngine("sim+goroutines+tcp"))
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{old, cur}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, want 0 (old baseline without engine field): %s", code, errBuf.String())
+	}
+}
+
 func TestIncomparableSeeds(t *testing.T) {
 	dir := t.TempDir()
 	a := write(t, dir, "a.json", reportA)

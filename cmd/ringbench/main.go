@@ -1,7 +1,7 @@
 // Command ringbench regenerates the experiment tables E1…E13 of DESIGN.md:
 // every table and figure artifact of "Leader Election in Asymmetric Labeled
 // Unidirectional Rings" (Altisen et al., IPPS 2017) as measured by the
-// simulator and goroutine engines.
+// simulator, goroutine, and TCP transport engines.
 //
 // Usage:
 //
@@ -48,16 +48,24 @@ type jsonExperiment struct {
 	Notes  []string   `json:"notes"`
 }
 
-// jsonReport is the schema of the -json output.
+// jsonReport is the schema of the -json output. Engine names the engine
+// roster the experiments exercise; benchdiff refuses to compare reports
+// whose rosters differ (old reports without the field stay comparable).
 type jsonReport struct {
 	Schema      string           `json:"schema"`
 	Seed        int64            `json:"seed"`
 	Quick       bool             `json:"quick"`
 	Par         int              `json:"par"`
+	Engine      string           `json:"engine"`
 	GOMAXPROCS  int              `json:"gomaxprocs"`
 	TotalWallMS float64          `json:"total_wall_ms"`
 	Experiments []jsonExperiment `json:"experiments"`
 }
+
+// engineRoster is the engine set behind the current experiment suite: the
+// deterministic simulator schedules, the goroutine runtime, and the TCP
+// transport engine (E10's three-way cross-validation).
+const engineRoster = "sim+goroutines+tcp"
 
 // run executes the CLI with explicit streams so tests can drive it.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -103,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:       *seed,
 		Quick:      *quick,
 		Par:        *par,
+		Engine:     engineRoster,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	failed := 0

@@ -105,6 +105,7 @@ func TestJSONReport(t *testing.T) {
 	var report struct {
 		Schema      string `json:"schema"`
 		Par         int    `json:"par"`
+		Engine      string `json:"engine"`
 		Experiments []struct {
 			ID     string     `json:"id"`
 			WallMS float64    `json:"wall_ms"`
@@ -116,6 +117,9 @@ func TestJSONReport(t *testing.T) {
 	}
 	if report.Schema != "ringbench/bench/v1" {
 		t.Errorf("schema = %q", report.Schema)
+	}
+	if report.Engine != "sim+goroutines+tcp" {
+		t.Errorf("engine = %q, want the three-engine roster", report.Engine)
 	}
 	if len(report.Experiments) != 2 || report.Experiments[0].ID != "E4" || report.Experiments[1].ID != "E6" {
 		t.Fatalf("unexpected experiments: %+v", report.Experiments)

@@ -11,7 +11,9 @@
 // Algorithms: A (paper Table 1), B (paper Table 2), Astar, CR
 // (Chang–Roberts), Peterson, KnownN. Engines: unit (default; asynchronous
 // with unit delays), sync (the paper's synchronous execution), random
-// (asynchronous with random delays), goroutines (real parallelism).
+// (asynchronous with random delays), goroutines (real parallelism), tcp
+// (one OS-level node per process over loopback sockets; see cmd/ringnode
+// for rings spanning real processes).
 package main
 
 import (
@@ -45,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		alpha    = fs.Int("alpha", 4, "with -n random rings: alphabet size")
 		algName  = fs.String("alg", "A", "algorithm: A, B, Astar, CR, Peterson, KnownN")
 		k        = fs.Int("k", 2, "multiplicity bound known to the processes")
-		engine   = fs.String("engine", "unit", "engine: unit, sync, random, goroutines")
+		engine   = fs.String("engine", "unit", "engine: unit, sync, random, goroutines, tcp")
 		doTrace  = fs.Bool("trace", false, "print every send/deliver event (sync/unit/random engines)")
 		record   = fs.String("record", "", "write the event trace as JSON to this file (golden trace)")
 		replay   = fs.String("replay", "", "compare this run's event trace against a golden trace file")
@@ -71,13 +73,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "true leader: p%d (label %s; counter-clockwise sequence is the Lyndon rotation)\n", tl, r.Label(tl))
 	}
 
-	if *engine == "goroutines" {
+	switch *engine {
+	case "goroutines":
 		out, err := repro.ElectParallel(r, alg, *k, time.Minute)
 		if err != nil {
 			fmt.Fprintln(stderr, "ringelect:", err)
 			return 1
 		}
 		fmt.Fprintf(stdout, "elected: p%d (label %s) with %d messages [goroutine engine]\n", out.Leader, out.LeaderLabel, out.Messages)
+		return 0
+	case "tcp":
+		out, err := repro.RunTCP(r, alg, *k, time.Minute)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringelect:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "elected: p%d (label %s) with %d messages [tcp engine]\n", out.Leader, out.LeaderLabel, out.Messages)
 		return 0
 	}
 
@@ -101,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "random":
 		res, err = sim.RunAsync(r, p, sim.NewUniformDelay(*seed, 0.01), sim.Options{Sink: sink})
 	default:
-		fmt.Fprintf(stderr, "ringelect: unknown engine %q\n", *engine)
+		fmt.Fprintf(stderr, "ringelect: unknown engine %q (want unit, sync, random, goroutines, tcp)\n", *engine)
 		return 1
 	}
 	if err != nil {

@@ -27,7 +27,7 @@ func TestElectFigure1Ring(t *testing.T) {
 
 func TestAllAlgorithmsAndEngines(t *testing.T) {
 	algs := []string{"A", "B", "Astar", "KnownN"}
-	engines := []string{"unit", "sync", "random", "goroutines"}
+	engines := []string{"unit", "sync", "random", "goroutines", "tcp"}
 	for _, alg := range algs {
 		for _, engine := range engines {
 			out, errOut, code := runCLI(t, "-ring", "1 2 2", "-alg", alg, "-k", "2", "-engine", engine)
@@ -100,19 +100,34 @@ func TestRecordAndReplay(t *testing.T) {
 	}
 }
 
+// TestErrorPaths checks every invalid flag combination exits non-zero AND
+// leaves a diagnostic the user can act on.
 func TestErrorPaths(t *testing.T) {
-	cases := [][]string{
-		{},                                  // no ring
-		{"-ring", "1 x"},                    // bad label
-		{"-ring", "1 2", "-alg", "nope"},    // bad algorithm
-		{"-ring", "1 2", "-engine", "warp"}, // bad engine
-		{"-ring", "1 2 1 2", "-alg", "A"},   // symmetric ring
-		{"-ring", "1 1 2", "-alg", "A", "-k", "1"}, // multiplicity above k
-		{"-ring", "1 1 2", "-alg", "CR"},           // homonyms for CR
+	cases := []struct {
+		name string
+		args []string
+		want string // fragment that must appear on stderr
+	}{
+		{"no ring", nil, "provide -ring or -n"},
+		{"bad label", []string{"-ring", "1 x"}, "x"},
+		{"bad algorithm", []string{"-ring", "1 2", "-alg", "nope"}, `unknown algorithm "nope"`},
+		{"bad engine", []string{"-ring", "1 2", "-engine", "warp"}, `unknown engine "warp"`},
+		{"bad engine lists options", []string{"-ring", "1 2", "-engine", "warp"}, "tcp"},
+		{"symmetric ring", []string{"-ring", "1 2 1 2", "-alg", "A"}, "symmetric"},
+		{"multiplicity above k", []string{"-ring", "1 1 2", "-alg", "A", "-k", "1"}, "multiplicity"},
+		{"homonyms for CR", []string{"-ring", "1 1 2", "-alg", "CR"}, "unique labels"},
+		{"symmetric ring on tcp", []string{"-ring", "1 2 1 2", "-alg", "A", "-engine", "tcp"}, "symmetric"},
+		{"undefined flag", []string{"-zap"}, "-zap"},
 	}
-	for _, args := range cases {
-		if _, _, code := runCLI(t, args...); code == 0 {
-			t.Errorf("args %v: expected non-zero exit", args)
-		}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, errOut, code := runCLI(t, c.args...)
+			if code == 0 {
+				t.Fatalf("args %v: expected non-zero exit", c.args)
+			}
+			if !strings.Contains(errOut, c.want) {
+				t.Errorf("args %v: stderr missing %q:\n%s", c.args, c.want, errOut)
+			}
+		})
 	}
 }

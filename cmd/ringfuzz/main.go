@@ -10,6 +10,13 @@
 //	ringfuzz                 # 100 random trials + small-ring exploration
 //	ringfuzz -trials 10000   # longer campaign
 //	ringfuzz -seed 7 -maxn 48 -maxk 5
+//	ringfuzz -engine tcp     # also cross-check the TCP transport engine
+//
+// With -engine tcp, sampled trials on small rings additionally run over
+// real loopback sockets (internal/netring), occasionally with an injected
+// transient link drop, and must still agree with the synchronous
+// reference. The extra runs draw nothing from the campaign rng, so a seed
+// reproduces the same rings and schedules under either engine setting.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/gorun"
+	"repro/internal/netring"
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -42,8 +50,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxN    = fs.Int("maxn", 32, "largest ring size")
 		maxK    = fs.Int("maxk", 4, "largest multiplicity bound")
 		explore = fs.Bool("explore", true, "also exhaustively model-check all schedules of small rings")
+		engine  = fs.String("engine", "mem", "mem (in-memory engines only) or tcp (also cross-check loopback TCP on small rings)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *engine != "mem" && *engine != "tcp" {
+		fmt.Fprintf(stderr, "ringfuzz: unknown engine %q (want mem or tcp)\n", *engine)
 		return 2
 	}
 	fmt.Fprintf(stdout, "ringfuzz: seed=%d trials=%d maxn=%d maxk=%d\n", *seed, *trials, *maxN, *maxK)
@@ -56,7 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	rng := rand.New(rand.NewSource(*seed))
 	for trial := 0; trial < *trials; trial++ {
-		fuzzOneTrial(trial, rng, *maxN, *maxK, report)
+		fuzzOneTrial(trial, rng, *maxN, *maxK, *engine == "tcp", report)
 		if trial%25 == 24 {
 			fmt.Fprintf(stdout, "  %d/%d trials done\n", trial+1, *trials)
 		}
@@ -76,8 +89,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // fuzzOneTrial draws one random ring and cross-checks every algorithm
-// under several schedules against the synchronous reference run.
-func fuzzOneTrial(trial int, rng *rand.Rand, maxN, maxK int, report func(string, ...any)) {
+// under several schedules against the synchronous reference run. With tcp
+// set, sampled small rings also run over loopback sockets; those runs draw
+// nothing from rng so seeds stay reproducible across engine settings.
+func fuzzOneTrial(trial int, rng *rand.Rand, maxN, maxK int, tcp bool, report func(string, ...any)) {
 	n := 4 + rng.Intn(maxN-3)
 	k := 2 + rng.Intn(maxK-1)
 	r, err := ring.RandomAsymmetric(rng, n, k, max(6, n))
@@ -150,6 +165,21 @@ func fuzzOneTrial(trial int, rng *rand.Rand, maxN, maxK int, report func(string,
 			} else if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages {
 				report("trial %d: %s on %s (goroutines): p%d/%d msgs vs sync p%d/%d",
 					trial, p.Name(), r, res.LeaderIndex, res.Messages, ref.LeaderIndex, ref.Messages)
+			}
+		}
+		if tcp && n <= 12 && trial%5 == 0 { // real sockets are slowest; small rings, sampled
+			opts := netring.Options{Timeout: time.Minute}
+			engineName := "tcp"
+			if trial%10 == 5 { // every other sampled trial severs one link mid-election
+				opts.Faults = netring.Faults{trial % n: {DropAfter: 2}}
+				engineName = "tcp+drop"
+			}
+			res, err := netring.RunLocal(r, p, opts)
+			if err != nil {
+				report("trial %d: %s on %s (%s): %v", trial, p.Name(), r, engineName, err)
+			} else if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages {
+				report("trial %d: %s on %s (%s): p%d/%d msgs vs sync p%d/%d",
+					trial, p.Name(), r, engineName, res.LeaderIndex, res.Messages, ref.LeaderIndex, ref.Messages)
 			}
 		}
 	}

@@ -19,6 +19,33 @@ func TestShortCampaignPasses(t *testing.T) {
 	}
 }
 
+// TestTCPEngineCampaign drives the sampled loopback-socket cross-checks:
+// small rings only, with the trial-5 drop-fault variant included. The
+// header line must still name the seed so failures stay reproducible.
+func TestTCPEngineCampaign(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-trials", "6", "-seed", "42", "-maxn", "9", "-maxk", "3",
+		"-explore=false", "-engine", "tcp"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errBuf.String())
+	}
+	for _, frag := range []string{"seed=42", "all runs satisfied"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestUnknownEngineRejected(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-engine", "quantum"}, &out, &errBuf); code == 0 {
+		t.Fatal("unknown engine must exit non-zero")
+	}
+	if !strings.Contains(errBuf.String(), `unknown engine "quantum"`) {
+		t.Errorf("no usable diagnostic:\n%s", errBuf.String())
+	}
+}
+
 func TestNoExplore(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	code := run([]string{"-trials", "2", "-seed", "7", "-explore=false"}, &out, &errBuf)

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// freeAddrs reserves n loopback ports and frees them for the nodes to
+// re-bind; the dial backoff absorbs the small startup race.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// nodeArgs builds the CLI for node i of an n-ring.
+func nodeArgs(addrs []string, spec string, i int, algo string, k int) []string {
+	return []string{
+		"-listen", addrs[i],
+		"-next", addrs[(i+1)%len(addrs)],
+		"-ring", spec,
+		"-index", fmt.Sprint(i),
+		"-algo", algo,
+		"-k", fmt.Sprint(k),
+	}
+}
+
+// TestRingOfThreeInProcess drives three run() invocations that share
+// nothing but TCP connections, covering the full binary logic.
+func TestRingOfThreeInProcess(t *testing.T) {
+	const spec = "1 2 2"
+	addrs := freeAddrs(t, 3)
+	var wg sync.WaitGroup
+	outs := make([]bytes.Buffer, 3)
+	errs := make([]bytes.Buffer, 3)
+	codes := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = run(nodeArgs(addrs, spec, i, "bk", 2), &outs[i], &errs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 3; i++ {
+		if codes[i] != 0 {
+			t.Fatalf("node %d: exit %d: %s", i, codes[i], errs[i].String())
+		}
+		if !strings.Contains(outs[i].String(), "leader label 1") {
+			t.Errorf("node %d did not agree on leader label 1:\n%s", i, outs[i].String())
+		}
+	}
+	if !strings.Contains(outs[0].String(), "LEADER") {
+		t.Errorf("p0 (the Lyndon position) must win:\n%s", outs[0].String())
+	}
+	for _, i := range []int{1, 2} {
+		if !strings.Contains(outs[i].String(), "follower") {
+			t.Errorf("p%d must be a follower:\n%s", i, outs[i].String())
+		}
+	}
+}
+
+// TestRingAcrossRealProcesses re-executes the test binary as genuinely
+// separate OS processes (the E10 acceptance path: multi-process TCP
+// election, started in arbitrary order).
+func TestRingAcrossRealProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess ring")
+	}
+	const spec = "1 3 1 3 2 2 1 2"
+	const n = 8
+	addrs := freeAddrs(t, n)
+	cmds := make([]*exec.Cmd, n)
+	outs := make([]bytes.Buffer, n)
+	// Start in reverse order so early dialers must back off and retry.
+	for i := n - 1; i >= 0; i-- {
+		args := append([]string{"-test.run=TestHelperRingnode", "--"}, nodeArgs(addrs, spec, i, "ak", 3)...)
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Env = append(os.Environ(), "RINGNODE_HELPER=1")
+		cmd.Stdout = &outs[i]
+		cmd.Stderr = &outs[i]
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds[i] = cmd
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("process %d failed: %v\n%s", i, err, outs[i].String())
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !strings.Contains(outs[i].String(), "leader label 1") {
+			t.Errorf("process %d disagrees on the leader:\n%s", i, outs[i].String())
+		}
+	}
+	if !strings.Contains(outs[0].String(), "LEADER") {
+		t.Errorf("p0 must win on the Figure 1 ring:\n%s", outs[0].String())
+	}
+}
+
+// TestHelperRingnode is not a test: it is the child body of
+// TestRingAcrossRealProcesses, running one ringnode main.
+func TestHelperRingnode(t *testing.T) {
+	if os.Getenv("RINGNODE_HELPER") != "1" {
+		t.Skip("helper process only")
+	}
+	code := run(flagArgs(), os.Stdout, os.Stderr)
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+// flagArgs returns the ringnode flags passed to the helper process after
+// the "--" separator.
+func flagArgs() []string {
+	for i, a := range os.Args {
+		if a == "--" {
+			return os.Args[i+1:]
+		}
+	}
+	return nil
+}
+
+// TestMismatchedRingFailsFast gives one node a different -ring: the
+// handshake fingerprint must reject the connection instead of running an
+// inconsistent election.
+func TestMismatchedRingFailsFast(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	var wg sync.WaitGroup
+	var out0, err0, out1, err1 bytes.Buffer
+	var code0, code1 int
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		code0 = run([]string{"-listen", addrs[0], "-next", addrs[1], "-ring", "1 2", "-index", "0",
+			"-algo", "ak", "-k", "2", "-timeout", "3s"}, &out0, &err0)
+	}()
+	go func() {
+		defer wg.Done()
+		code1 = run([]string{"-listen", addrs[1], "-next", addrs[0], "-ring", "1 3", "-index", "1",
+			"-algo", "ak", "-k", "2", "-timeout", "3s"}, &out1, &err1)
+	}()
+	wg.Wait()
+	if code0 == 0 && code1 == 0 {
+		t.Fatalf("mismatched rings must not elect:\np0: %s\np1: %s", out0.String(), out1.String())
+	}
+	combined := err0.String() + err1.String()
+	if !strings.Contains(combined, "ring mismatch") {
+		t.Errorf("no ring-mismatch diagnostic in:\n%s", combined)
+	}
+}
+
+// TestFlagValidation covers the usage errors.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no flags", nil},
+		{"missing next", []string{"-listen", ":0", "-ring", "1 2", "-index", "0"}},
+		{"bad ring", []string{"-listen", ":0", "-next", "x:1", "-ring", "1 q", "-index", "0"}},
+		{"index out of range", []string{"-listen", ":0", "-next", "x:1", "-ring", "1 2", "-index", "5"}},
+		{"bad algorithm", []string{"-listen", ":0", "-next", "x:1", "-ring", "1 2", "-index", "0", "-algo", "zap"}},
+		{"symmetric ring", []string{"-listen", ":0", "-next", "x:1", "-ring", "1 2 1 2", "-index", "0"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			if code := run(c.args, &out, &errBuf); code == 0 {
+				t.Errorf("args %v: expected non-zero exit", c.args)
+			}
+		})
+	}
+}

@@ -11,9 +11,12 @@
 //   - internal/sim — the deterministic simulator (synchronous, unit-delay,
 //     random and adversarial schedules) with time/message/space accounting;
 //   - internal/gorun — the goroutine/channel parallel runtime;
+//   - internal/netring — the TCP transport engine: real sockets, a
+//     sequence-numbered wire protocol, reconnect/backoff (RunTCP here,
+//     multi-process rings via cmd/ringnode);
 //   - internal/ring — labeled rings, the classes Kk, A, U*, generators;
 //   - internal/lowerbound — the Lemma 1 / Theorem 1 constructions;
-//   - internal/experiments — the E1…E10 reproduction harness.
+//   - internal/experiments — the E1…E13 reproduction harness.
 //
 // Quick start:
 //

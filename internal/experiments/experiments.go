@@ -153,7 +153,7 @@ func Runners() []Runner {
 		{"E7", "Figure 2: observed Bk state-diagram coverage", (*Suite).E7},
 		{"E8", "Tables 1-2: action-level attribution and firing counts", (*Suite).E8},
 		{"E9", "Headline trade-off: Ak vs A* vs Bk (and K1 baselines)", (*Suite).E9},
-		{"E10", "Intro ring [1 2 2]; simulator vs goroutine-engine agreement", (*Suite).E10},
+		{"E10", "Intro ring [1 2 2]; three-way simulator/goroutine/TCP engine agreement", (*Suite).E10},
 		{"E11", "Knowledge trade-off: know-k vs know-n vs unique labels", (*Suite).E11},
 		{"E12", "Model comparison: multiplicity bound k vs size bounds [m, M]", (*Suite).E12},
 		{"E13", "Ablation: tightness of the 2k+1 and k+1 detection thresholds", (*Suite).E13},

@@ -7,6 +7,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/gorun"
+	"repro/internal/netring"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
@@ -77,15 +78,16 @@ func (s *Suite) E9() (*Table, error) {
 
 // E10 first checks the introduction's example: the ring [1 2 2] admits
 // process-terminating election within A ∩ K2 (it is solvable here although
-// not in the models of [4], [9]). It then cross-validates the execution
+// not in the models of [4], [9]). It then cross-validates THREE execution
 // engines: because links are FIFO and machines deterministic, every
-// schedule — synchronous, unit-delay, random-delay, adversarial, and the
-// real goroutine runtime — must elect the same leader with the same
-// message count.
+// schedule — synchronous, unit-delay, random-delay simulation, the real
+// goroutine runtime, and the TCP transport engine (internal/netring, one
+// OS-level node per process over loopback sockets) — must elect the same
+// leader with the same message count.
 func (s *Suite) E10() (*Table, error) {
 	t := &Table{
 		ID:     "E10",
-		Title:  "Ring [1 2 2] + engine cross-validation (schedule-independence)",
+		Title:  "Ring [1 2 2] + three-way engine cross-validation (schedule-independence)",
 		Header: []string{"ring", "algorithm", "engine", "leader", "messages", "agrees"},
 	}
 	type run struct {
@@ -147,6 +149,11 @@ func (s *Suite) E10() (*Table, error) {
 		} else {
 			runs = append(runs, run{"goroutines", res.LeaderIndex, res.Messages})
 		}
+		if res, err := netring.RunLocal(r, p, netring.Options{Timeout: 30 * time.Second}); err != nil {
+			return out{}, fmt.Errorf("E10 tcp %s on %s: %w", p.Name(), r, err)
+		} else {
+			runs = append(runs, run{"tcp", res.LeaderIndex, res.Messages})
+		}
 		trueLeader, _ := r.TrueLeader()
 		var o out
 		for _, rr := range runs {
@@ -175,6 +182,7 @@ func (s *Suite) E10() (*Table, error) {
 		}
 	}
 	t.Note("FIFO links + deterministic machines make per-process receive sequences schedule-independent,")
-	t.Note("so every engine must agree on both the leader and the exact message count.")
+	t.Note("so every engine — simulator schedules, goroutines, and real TCP sockets — must agree on")
+	t.Note("both the leader and the exact message count.")
 	return t, nil
 }

@@ -1,0 +1,473 @@
+package netring
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// Backoff paces dial and reconnect retries: attempt i sleeps
+// Base·Factor^(i-1), capped at Max, with a uniform ±Jitter fraction so
+// simultaneous dialers do not stampede. The zero value means defaults.
+type Backoff struct {
+	// Base is the delay before the second attempt (the first is
+	// immediate). Default 5ms.
+	Base time.Duration
+	// Max caps the delay between attempts. Default 500ms.
+	Max time.Duration
+	// Factor is the exponential growth per attempt. Default 2.
+	Factor float64
+	// Jitter is the uniform random fraction (±) applied to each delay.
+	// Default 0.2.
+	Jitter float64
+	// Attempts bounds the dial attempts per (re)connect before the node
+	// gives up and fails the run. Default 25 (≈ 10s with defaults).
+	Attempts int
+}
+
+// withDefaults fills zero fields.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 5 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 500 * time.Millisecond
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.Jitter <= 0 {
+		b.Jitter = 0.2
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 25
+	}
+	return b
+}
+
+// delay computes the sleep before attempt (attempt ≥ 1 is the first
+// retry), jittered by rng.
+func (b Backoff) delay(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	d *= 1 + b.Jitter*(2*rng.Float64()-1)
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// LinkFault injects faults into a node's outgoing link, to demonstrate
+// that elections still satisfy the specification when the transport
+// misbehaves beneath the retry layer.
+type LinkFault struct {
+	// Delay is added before every frame write (a slow link).
+	Delay time.Duration
+	// DropAfter, when > 0, hard-closes the connection once after that many
+	// data frames have been written on it, forcing a reconnect with resume.
+	DropAfter int
+}
+
+// Faults maps a sending node's ring index to the fault plan for its
+// outgoing link.
+type Faults map[int]LinkFault
+
+// isConnError classifies read/write failures that mean "the connection
+// died" (and a reconnect may follow), as opposed to a malformed stream.
+func isConnError(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// sender owns a node's outgoing link: an unbounded FIFO queue of data
+// frames (which doubles as the retransmit buffer — sequence numbers are
+// queue positions), a writer goroutine that dials the successor with
+// backoff, resumes from the receiver's acknowledged sequence number after
+// any drop, and announces clean shutdown with a GOODBYE frame.
+type sender struct {
+	self, target int
+	addr         string
+	hello        frame
+	backoff      Backoff
+	fault        LinkFault
+	rng          *rand.Rand
+	onLink       func(event string)
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []frame // every data frame ever enqueued; Seq == index
+	goodbye    bool    // machine halted: flush, send GOODBYE, exit
+	stopped    bool    // abandon immediately (failure elsewhere)
+	stopCh     chan struct{}
+	stopOnce   sync.Once
+	reconnects int
+}
+
+func newSender(self, target int, addr string, hello frame, b Backoff, fault LinkFault, rng *rand.Rand, onLink func(string)) *sender {
+	s := &sender{
+		self: self, target: target, addr: addr, hello: hello,
+		backoff: b.withDefaults(), fault: fault, rng: rng, onLink: onLink,
+		stopCh: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue appends the machine's sends, in order, to the outgoing link.
+// It never blocks: the model's links hold arbitrarily many messages.
+func (s *sender) enqueue(msgs []core.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, m := range msgs {
+		s.queue = append(s.queue, frame{Type: frameData, Seq: uint64(len(s.queue)), Msg: m})
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// sent returns how many data frames were enqueued (retransmits excluded).
+func (s *sender) sent() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+func (s *sender) sentU() uint64 { return uint64(s.sent()) }
+
+// reconnectCount returns how many times the link dropped and re-dialed.
+func (s *sender) reconnectCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reconnects
+}
+
+// finish tells the writer the machine has halted: flush the queue, send
+// GOODBYE, exit.
+func (s *sender) finish() {
+	s.mu.Lock()
+	s.goodbye = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// stop aborts the writer without a goodbye (the node failed). It also
+// interrupts any backoff or fault-delay sleep in progress.
+func (s *sender) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.cond.Broadcast()
+}
+
+// sleep pauses for d unless the sender is stopped first. It reports
+// whether the full pause elapsed.
+func (s *sender) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.stopCh:
+		return false
+	}
+}
+
+// connect dials the successor with backoff, performs the handshake, and
+// returns the connection plus the receiver's next expected sequence
+// number (the resume point).
+func (s *sender) connect(event string) (net.Conn, uint64, error) {
+	var lastErr error
+	for attempt := 0; attempt < s.backoff.Attempts; attempt++ {
+		if attempt > 0 && !s.sleep(s.backoff.delay(attempt, s.rng)) {
+			return nil, 0, errSenderStopped
+		}
+		if s.isStopped() {
+			return nil, 0, errSenderStopped
+		}
+		conn, err := net.DialTimeout("tcp", s.addr, 2*time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := s.handshake(conn); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		ack, err := readFrame(conn)
+		conn.SetReadDeadline(time.Time{})
+		if err != nil || ack.Type != frameHelloAck {
+			conn.Close()
+			if err == nil {
+				err = fmt.Errorf("netring: handshake got %s, want HELLO_ACK", ack.Type)
+			}
+			lastErr = err
+			continue
+		}
+		if s.onLink != nil {
+			s.onLink(event)
+		}
+		return conn, ack.NextSeq, nil
+	}
+	return nil, 0, fmt.Errorf("netring: p%d cannot reach successor p%d at %s after %d attempts: %w",
+		s.self, s.target, s.addr, s.backoff.Attempts, lastErr)
+}
+
+func (s *sender) handshake(conn net.Conn) error {
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	err := writeFrame(conn, s.hello)
+	conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+var errSenderStopped = errors.New("netring: sender stopped")
+
+func (s *sender) isStopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+// run is the writer loop. It returns nil after a clean goodbye or stop,
+// and an error when the successor stays unreachable.
+func (s *sender) run() error {
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	var cursor uint64 // next queue index to write on the current connection
+	written := 0      // frames written since the last (re)connect
+	connected := false
+	event := "connect"
+	for {
+		s.mu.Lock()
+		for !s.stopped && !s.goodbye && uint64(len(s.queue)) <= cursor {
+			s.cond.Wait()
+		}
+		if s.stopped {
+			s.mu.Unlock()
+			return nil
+		}
+		var next frame
+		have := uint64(len(s.queue)) > cursor
+		if have {
+			next = s.queue[cursor]
+		}
+		goodbye := s.goodbye
+		s.mu.Unlock()
+
+		if !have && goodbye {
+			// Queue flushed: announce clean termination. Best-effort — the
+			// successor may already have halted and closed its side.
+			if !connected {
+				c, resume, err := s.connect(event)
+				if err != nil {
+					return nil
+				}
+				conn, connected, cursor, written = c, true, resume, 0
+				if cursor < uint64(s.sentU()) {
+					continue // receiver is missing frames after all
+				}
+			}
+			writeFrame(conn, frame{Type: frameGoodbye, NextSeq: cursor})
+			return nil
+		}
+
+		if !connected {
+			c, resume, err := s.connect(event)
+			if err != nil {
+				if errors.Is(err, errSenderStopped) {
+					return nil
+				}
+				return err
+			}
+			conn, connected, cursor, written = c, true, resume, 0
+			event = "reconnect"
+			continue // re-evaluate the queue against the resume point
+		}
+
+		if s.fault.Delay > 0 && !s.sleep(s.fault.Delay) {
+			return nil
+		}
+		if s.fault.DropAfter > 0 && written >= s.fault.DropAfter {
+			s.fault.DropAfter = 0 // fire once
+			conn.Close()
+			connected = false
+			s.noteDrop()
+			continue
+		}
+		if err := writeFrame(conn, next); err != nil {
+			conn.Close()
+			connected = false
+			s.noteDrop()
+			continue // redial and resume from the receiver's ack
+		}
+		written++
+		cursor++
+	}
+}
+
+func (s *sender) noteDrop() {
+	s.mu.Lock()
+	s.reconnects++
+	s.mu.Unlock()
+	if s.onLink != nil {
+		s.onLink("drop")
+	}
+}
+
+// receiver owns a node's incoming link: it accepts connections on the
+// node's listener, admits exactly the ring predecessor (HELLO must carry
+// the right indices, size, and ring hash), acknowledges the next expected
+// sequence number, and delivers data frames in strict FIFO order — any
+// gap, duplicate, or reordering is a hard spec.LinkViolation. An EOF
+// without a GOODBYE is treated as a transient drop: the receiver keeps
+// listening for the sender's reconnect.
+type receiver struct {
+	self, pred, n int
+	hash          uint64
+	ln            net.Listener
+	onLink        func(event string)
+
+	mu      sync.Mutex
+	conn    net.Conn
+	stopped bool
+}
+
+func newReceiver(self, n int, hash uint64, ln net.Listener, onLink func(string)) *receiver {
+	return &receiver{self: self, pred: (self - 1 + n) % n, n: n, hash: hash, ln: ln, onLink: onLink}
+}
+
+// stop closes the listener and any live connection, unblocking run.
+func (r *receiver) stop() {
+	r.mu.Lock()
+	r.stopped = true
+	conn := r.conn
+	r.mu.Unlock()
+	r.ln.Close()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+func (r *receiver) isStopped() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stopped
+}
+
+// run accepts from the predecessor and calls deliver for every message,
+// in sending order, exactly once. It returns nil on a clean GOODBYE or
+// after stop; any link-model breach is a *spec.LinkViolation.
+func (r *receiver) run(deliver func(core.Message) error) error {
+	var expected uint64 // next sequence number to deliver
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			if r.isStopped() {
+				return nil
+			}
+			return fmt.Errorf("netring: p%d accept: %w", r.self, err)
+		}
+		r.mu.Lock()
+		r.conn = conn
+		r.mu.Unlock()
+
+		clean, err := r.serve(conn, &expected, deliver)
+		conn.Close()
+		r.mu.Lock()
+		r.conn = nil
+		r.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if clean || r.isStopped() {
+			return nil
+		}
+		// Transient drop: keep listening for the reconnect.
+	}
+}
+
+// serve handles one accepted connection. clean reports a GOODBYE-closed
+// stream; a nil error with clean == false means the connection dropped
+// and a reconnect should be awaited.
+func (r *receiver) serve(conn net.Conn, expected *uint64, deliver func(core.Message) error) (clean bool, err error) {
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	hello, err := readFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		if isConnError(err) {
+			return false, nil // dialer vanished before the handshake
+		}
+		return false, fmt.Errorf("netring: p%d handshake: %w", r.self, err)
+	}
+	if hello.Type != frameHello {
+		return false, fmt.Errorf("netring: p%d handshake got %s, want HELLO", r.self, hello.Type)
+	}
+	if hello.N != r.n || hello.RingHash != r.hash {
+		return false, fmt.Errorf("netring: p%d handshake ring mismatch: peer has n=%d hash=%x, local n=%d hash=%x (check -ring across nodes)",
+			r.self, hello.N, hello.RingHash, r.n, r.hash)
+	}
+	if hello.Sender != r.pred || hello.Target != r.self {
+		return false, fmt.Errorf("netring: p%d accepts only its predecessor p%d, got HELLO from p%d targeting p%d",
+			r.self, r.pred, hello.Sender, hello.Target)
+	}
+	if err := writeFrame(conn, frame{Type: frameHelloAck, NextSeq: *expected}); err != nil {
+		return false, nil // connection died mid-handshake; await reconnect
+	}
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			if isConnError(err) {
+				return false, nil
+			}
+			return false, &spec.LinkViolation{From: r.pred, To: r.self,
+				Detail: fmt.Sprintf("malformed frame: %v", err)}
+		}
+		switch f.Type {
+		case frameData:
+			if f.Seq != *expected {
+				return false, &spec.LinkViolation{From: r.pred, To: r.self,
+					Detail: fmt.Sprintf("out-of-order delivery: got seq %d, want %d", f.Seq, *expected)}
+			}
+			*expected++
+			if err := deliver(f.Msg); err != nil {
+				return false, err
+			}
+		case frameGoodbye:
+			if f.NextSeq != *expected {
+				return false, &spec.LinkViolation{From: r.pred, To: r.self,
+					Detail: fmt.Sprintf("goodbye after %d frames but only %d delivered", f.NextSeq, *expected)}
+			}
+			return true, nil
+		default:
+			return false, &spec.LinkViolation{From: r.pred, To: r.self,
+				Detail: fmt.Sprintf("unexpected %s frame mid-stream", f.Type)}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package netring
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Options configures a RunLocal execution.
+type Options struct {
+	// Timeout aborts a run that does not terminate. Default 30s.
+	Timeout time.Duration
+	// Faults injects per-link faults, keyed by the sending node's index.
+	Faults Faults
+	// Backoff paces dial and reconnect retries (zero value: defaults).
+	Backoff Backoff
+	// Sink receives trace events, including OpLink transport events. The
+	// engine serializes Record calls; may be nil.
+	Sink trace.Sink
+}
+
+// Result is the outcome of one TCP execution.
+type Result struct {
+	// Protocol is the protocol's display name.
+	Protocol string
+	// N is the ring size.
+	N int
+	// LeaderIndex is the elected process's index.
+	LeaderIndex int
+	// Messages is the total number of protocol messages sent (transport
+	// retransmissions after a reconnect are not protocol messages and are
+	// not counted).
+	Messages int
+	// Reconnects is the total number of link drops that were re-dialed.
+	Reconnects int
+	// Statuses is the terminal status of every process.
+	Statuses []core.Status
+	// PeakSpacePerProc is each process's peak SpaceBits.
+	PeakSpacePerProc []int
+	// Wall is the elapsed wall-clock time of the run.
+	Wall time.Duration
+}
+
+// RunLocal executes the protocol on r as N in-process nodes connected by
+// real TCP sockets on loopback — one listener, one dialer, and one
+// machine per node, with no shared state beyond the wire and the spec
+// checker. The full process-terminating leader-election specification is
+// verified online exactly as in the other engines; FIFO is enforced by
+// the transport's sequence numbers rather than assumed.
+func RunLocal(r *ring.Ring, p core.Protocol, opts Options) (*Result, error) {
+	n := r.N()
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+
+	// Bind every listener before any node dials, so the initial connect
+	// normally succeeds on the first attempt; the backoff path still
+	// covers slow starts and injected drops.
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				listeners[j].Close()
+			}
+			return nil, fmt.Errorf("netring: listen: %w", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+
+	res := &Result{
+		Protocol:         p.Name(),
+		N:                n,
+		LeaderIndex:      -1,
+		Statuses:         make([]core.Status, n),
+		PeakSpacePerProc: make([]int, n),
+	}
+
+	// Shared observation state: spec checking and trace recording happen
+	// under one lock so the recorded stream is a valid linearization (per
+	// -process program order, per-link FIFO order, sends before their
+	// deliveries), as in internal/gorun.
+	checker := spec.New(n)
+	var mu sync.Mutex
+	lastPhase := make([]int, n)
+	onAction := func(proc int, op trace.Op, action string, msg core.Message, sent []core.Message, m core.Machine) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if opts.Sink != nil {
+			opts.Sink.Record(trace.Event{Op: op, Proc: proc, Action: action, Msg: msg, State: m.StateName()})
+			if pr, ok := m.(core.PhaseReporter); ok {
+				if ph := pr.Phase(); ph > lastPhase[proc] {
+					for q := lastPhase[proc] + 1; q <= ph; q++ {
+						opts.Sink.Record(trace.Event{Op: trace.OpPhase, Proc: proc, Phase: q, Guest: pr.Guest(), Active: pr.Active()})
+					}
+					lastPhase[proc] = ph
+				}
+			}
+			for _, sm := range sent {
+				opts.Sink.Record(trace.Event{Op: trace.OpSend, Proc: proc, Msg: sm})
+			}
+			if m.Halted() {
+				opts.Sink.Record(trace.Event{Op: trace.OpHalt, Proc: proc, State: m.StateName()})
+			}
+		}
+		return checker.Observe(proc, m.Status())
+	}
+	onLink := func(proc int, event string) {
+		if opts.Sink == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		opts.Sink.Record(trace.Event{Op: trace.OpLink, Proc: proc, Action: event})
+	}
+
+	start := time.Now()
+	results := make([]*NodeResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunNode(NodeConfig{
+				Ring:     r,
+				Index:    i,
+				Protocol: p,
+				Listener: listeners[i],
+				NextAddr: addrs[(i+1)%n],
+				Timeout:  opts.Timeout,
+				Backoff:  opts.Backoff,
+				Fault:    opts.Faults[i],
+				OnAction: onAction,
+				OnLink:   onLink,
+			})
+		}(i)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+
+	ids := make([]ring.Label, n)
+	halted := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return res, errs[i]
+		}
+		nr := results[i]
+		res.Messages += nr.Sent
+		res.Reconnects += nr.Reconnects
+		res.Statuses[i] = nr.Status
+		res.PeakSpacePerProc[i] = nr.PeakSpaceBits
+		ids[i] = r.Label(i)
+		halted[i] = nr.Halted
+	}
+	leader, err := checker.Finalize(ids, halted)
+	if err != nil {
+		return res, err
+	}
+	res.LeaderIndex = leader
+	return res, nil
+}

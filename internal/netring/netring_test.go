@@ -1,0 +1,381 @@
+package netring
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gorun"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func protocols(t *testing.T, r *ring.Ring) []core.Protocol {
+	t.Helper()
+	k := max(2, r.MaxMultiplicity())
+	b := r.LabelBits()
+	var ps []core.Protocol
+	for _, mk := range []func() (core.Protocol, error){
+		func() (core.Protocol, error) { return core.NewAProtocol(k, b) },
+		func() (core.Protocol, error) { return core.NewStarProtocol(k, b) },
+		func() (core.Protocol, error) { return core.NewBProtocol(k, b) },
+	} {
+		p, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// TestRunLocalElects runs every paper algorithm on canonical rings over
+// loopback TCP and checks the leader against the Lyndon ground truth.
+func TestRunLocalElects(t *testing.T) {
+	rings := []*ring.Ring{
+		ring.MustNew(1, 2),
+		ring.Ring122(),
+		ring.MustNew(2, 1, 3),
+		ring.Figure1(),
+	}
+	for _, r := range rings {
+		trueLeader, ok := r.TrueLeader()
+		if !ok {
+			t.Fatalf("ring %s symmetric", r)
+		}
+		for _, p := range protocols(t, r) {
+			res, err := RunLocal(r, p, Options{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", p.Name(), r, err)
+			}
+			if res.LeaderIndex != trueLeader {
+				t.Errorf("%s on %s: elected p%d, true leader p%d", p.Name(), r, res.LeaderIndex, trueLeader)
+			}
+			if res.Reconnects != 0 {
+				t.Errorf("%s on %s: %d unexpected reconnects", p.Name(), r, res.Reconnects)
+			}
+		}
+	}
+}
+
+// TestThreeWayEngineAgreement is the transport half of E10: on every test
+// ring, the simulator, the goroutine runtime, and the TCP engine must
+// elect the same leader with the identical message count.
+func TestThreeWayEngineAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rings := []*ring.Ring{ring.Ring122(), ring.Figure1()}
+	for _, n := range []int{6, 9, 12} {
+		r, err := ring.RandomAsymmetric(rng, n, 3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings = append(rings, r)
+	}
+	for _, r := range rings {
+		for _, p := range protocols(t, r) {
+			simRes, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{})
+			if err != nil {
+				t.Fatalf("sim %s on %s: %v", p.Name(), r, err)
+			}
+			goRes, err := gorun.Run(r, p, time.Minute)
+			if err != nil {
+				t.Fatalf("gorun %s on %s: %v", p.Name(), r, err)
+			}
+			tcpRes, err := RunLocal(r, p, Options{})
+			if err != nil {
+				t.Fatalf("tcp %s on %s: %v", p.Name(), r, err)
+			}
+			if simRes.LeaderIndex != tcpRes.LeaderIndex || goRes.LeaderIndex != tcpRes.LeaderIndex {
+				t.Errorf("%s on %s: leaders sim=p%d gorun=p%d tcp=p%d", p.Name(), r,
+					simRes.LeaderIndex, goRes.LeaderIndex, tcpRes.LeaderIndex)
+			}
+			if simRes.Messages != tcpRes.Messages || goRes.Messages != tcpRes.Messages {
+				t.Errorf("%s on %s: messages sim=%d gorun=%d tcp=%d", p.Name(), r,
+					simRes.Messages, goRes.Messages, tcpRes.Messages)
+			}
+		}
+	}
+}
+
+// TestBaselineOverTCP runs a K1 baseline through the transport, covering
+// the Peterson message kinds on the wire.
+func TestBaselineOverTCP(t *testing.T) {
+	r := ring.Distinct(6)
+	p, err := baseline.NewPetersonProtocol(r.LabelBits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLocal(r, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := gorun.Run(r, p, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages {
+		t.Errorf("tcp p%d/%d msgs, goroutines p%d/%d", res.LeaderIndex, res.Messages, ref.LeaderIndex, ref.Messages)
+	}
+}
+
+// TestFaultTransientDrop injects a mid-election connection drop on two
+// links: the senders must reconnect via backoff, resume from the
+// receiver's acknowledged sequence number, and the election must still
+// pass the full internal/spec checker with the exact message count of the
+// fault-free engines.
+func TestFaultTransientDrop(t *testing.T) {
+	r := ring.Figure1()
+	for _, p := range protocols(t, r) {
+		ref, err := sim.RunSync(r, p, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := &trace.Mem{}
+		res, err := RunLocal(r, p, Options{
+			Faults: Faults{
+				0: {DropAfter: 3},
+				4: {DropAfter: 1, Delay: 200 * time.Microsecond},
+			},
+			Sink: mem,
+		})
+		if err != nil {
+			t.Fatalf("%s with faults: %v", p.Name(), err)
+		}
+		if res.Reconnects < 2 {
+			t.Errorf("%s: %d reconnects, want ≥ 2 (both faults must fire)", p.Name(), res.Reconnects)
+		}
+		if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages {
+			t.Errorf("%s: faulty run p%d/%d msgs, fault-free p%d/%d", p.Name(),
+				res.LeaderIndex, res.Messages, ref.LeaderIndex, ref.Messages)
+		}
+		drops, reconnects := 0, 0
+		for _, e := range mem.Events {
+			if e.Op == trace.OpLink {
+				switch e.Action {
+				case "drop":
+					drops++
+				case "reconnect":
+					reconnects++
+				}
+			}
+		}
+		if drops < 2 || reconnects < 2 {
+			t.Errorf("%s: trace has %d drops / %d reconnects, want ≥ 2 each", p.Name(), drops, reconnects)
+		}
+	}
+}
+
+// TestFaultSlowLink delays every frame on one link; the election result
+// must be unaffected (asynchronous model: arbitrary finite delays).
+func TestFaultSlowLink(t *testing.T) {
+	r := ring.Ring122()
+	p := protocols(t, r)[0]
+	ref, err := sim.RunSync(r, p, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLocal(r, p, Options{Faults: Faults{1: {Delay: time.Millisecond}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages {
+		t.Errorf("slow link changed outcome: p%d/%d vs p%d/%d",
+			res.LeaderIndex, res.Messages, ref.LeaderIndex, ref.Messages)
+	}
+}
+
+// TestDialBackoffWaitsForListener starts a node whose successor's
+// listener appears only after a delay: the dial retry loop must carry the
+// election over the gap.
+func TestDialBackoffWaitsForListener(t *testing.T) {
+	r := ring.Ring122()
+	p := protocols(t, r)[0]
+	n := r.N()
+
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		if i == 1 {
+			// Free the port and re-bind it late: p0's dialer must retry.
+			ln.Close()
+		} else {
+			listeners[i] = ln
+		}
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		ln, err := net.Listen("tcp", addrs[1])
+		if err != nil {
+			return
+		}
+		cfgRun(t, r, p, 1, ln, addrs)
+	}()
+
+	var wg sync.WaitGroup
+	results := make([]*NodeResult, n)
+	errs := make([]error, n)
+	for _, i := range []int{0, 2} {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunNode(NodeConfig{
+				Ring: r, Index: i, Protocol: p,
+				Listener: listeners[i], NextAddr: addrs[(i+1)%n],
+				Timeout: 20 * time.Second,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", i, errs[i])
+		}
+		if !results[i].Halted {
+			t.Errorf("node %d did not halt", i)
+		}
+	}
+}
+
+// cfgRun runs one node inline (helper for the delayed-listener test).
+func cfgRun(t *testing.T, r *ring.Ring, p core.Protocol, i int, ln net.Listener, addrs []string) {
+	if _, err := RunNode(NodeConfig{
+		Ring: r, Index: i, Protocol: p,
+		Listener: ln, NextAddr: addrs[(i+1)%r.N()],
+		Timeout: 20 * time.Second,
+	}); err != nil {
+		t.Errorf("node %d: %v", i, err)
+	}
+}
+
+// TestUnreachableSuccessorFails exhausts the dial budget: the run must
+// fail with a meaningful error instead of hanging.
+func TestUnreachableSuccessorFails(t *testing.T) {
+	r := ring.MustNew(1, 2)
+	p := protocols(t, r)[0]
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Successor address: a port nothing listens on.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	_, err = RunNode(NodeConfig{
+		Ring: r, Index: 0, Protocol: p,
+		Listener: ln, NextAddr: deadAddr,
+		Timeout: 10 * time.Second,
+		Backoff: Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Attempts: 3},
+	})
+	if err == nil {
+		t.Fatal("dialing a dead successor must fail")
+	}
+}
+
+// TestSpecViolationSurfaced checks that a transport-level FIFO breach is
+// reported as a *spec.LinkViolation, not a generic error.
+func TestSpecViolationSurfaced(t *testing.T) {
+	hashR := ring.Ring122()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv := newReceiver(1, 3, ringHash(hashR), ln, nil)
+	errc := make(chan error, 1)
+	go func() { errc <- rcv.run(func(core.Message) error { return nil }) }()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	writeFrame(conn, frame{Type: frameHello, Sender: 0, Target: 1, N: 3, RingHash: ringHash(hashR)})
+	writeFrame(conn, frame{Type: frameData, Seq: 3, Msg: core.Token(1)}) // gap: expected 0
+	select {
+	case err := <-errc:
+		var lv *spec.LinkViolation
+		if !errors.As(err, &lv) {
+			t.Fatalf("got %T (%v), want *spec.LinkViolation", err, err)
+		}
+		if lv.From != 0 || lv.To != 1 {
+			t.Errorf("violation endpoints p%d->p%d, want p0->p1", lv.From, lv.To)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sequence gap not detected")
+	}
+	rcv.stop()
+}
+
+// TestTraceLinearization records a TCP run and checks the stream is a
+// valid linearization: per-link FIFO order means the delivery sequence of
+// every process matches its predecessor's send sequence.
+func TestTraceLinearization(t *testing.T) {
+	r := ring.Ring122()
+	p := protocols(t, r)[2] // Bk: also exercises phase events
+	mem := &trace.Mem{}
+	if _, err := RunLocal(r, p, Options{Sink: mem}); err != nil {
+		t.Fatal(err)
+	}
+	n := r.N()
+	sends := make([][]core.Message, n)
+	delivers := make([][]core.Message, n)
+	phases := 0
+	for _, e := range mem.Events {
+		switch e.Op {
+		case trace.OpSend:
+			sends[e.Proc] = append(sends[e.Proc], e.Msg)
+		case trace.OpDeliver:
+			delivers[e.Proc] = append(delivers[e.Proc], e.Msg)
+		case trace.OpPhase:
+			phases++
+		}
+	}
+	for i := 0; i < n; i++ {
+		to := (i + 1) % n
+		if len(delivers[to]) > len(sends[i]) {
+			t.Fatalf("p%d delivered %d messages but p%d sent %d", to, len(delivers[to]), i, len(sends[i]))
+		}
+		for j, m := range delivers[to] {
+			if sends[i][j] != m {
+				t.Errorf("link p%d->p%d: delivery %d is %s, send was %s", i, to, j, m, sends[i][j])
+			}
+		}
+	}
+	if phases == 0 {
+		t.Error("Bk run recorded no phase events")
+	}
+}
+
+// TestRunLocalTimeout aborts cleanly on a protocol that cannot finish:
+// a single fault delay so large the timeout fires first.
+func TestRunLocalTimeout(t *testing.T) {
+	r := ring.Figure1()
+	p := protocols(t, r)[2]
+	start := time.Now()
+	_, err := RunLocal(r, p, Options{
+		Timeout: 300 * time.Millisecond,
+		Faults:  Faults{0: {Delay: 10 * time.Second}},
+	})
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("timeout did not abort promptly")
+	}
+}

@@ -1,0 +1,210 @@
+package netring
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// ActionObserver is called synchronously after every atomic action of a
+// node's machine, with the machine itself (safe to inspect for the
+// duration of the call: the node blocks until the observer returns).
+// RunLocal installs one that feeds the shared spec.Checker and trace sink
+// under a single lock, so the observed stream is a valid linearization
+// exactly as in internal/gorun; cmd/ringnode installs a node-local one.
+// Returning an error aborts the node.
+type ActionObserver func(proc int, op trace.Op, action string, msg core.Message, sent []core.Message, m core.Machine) error
+
+// NodeConfig configures one TCP ring node.
+type NodeConfig struct {
+	// Ring is the full labeled ring; every node knows it only for sizing,
+	// its own label, and the handshake fingerprint — algorithms still see
+	// nothing but their label.
+	Ring *ring.Ring
+	// Index is this node's position in the ring.
+	Index int
+	// Protocol is the election algorithm to run.
+	Protocol core.Protocol
+	// Listener, when non-nil, is the pre-bound listener for the incoming
+	// link (RunLocal uses this). Otherwise the node binds ListenAddr.
+	Listener net.Listener
+	// ListenAddr is the TCP address to listen on when Listener is nil,
+	// e.g. ":7001".
+	ListenAddr string
+	// NextAddr is the successor's listen address, e.g. "host:7002".
+	NextAddr string
+	// Timeout aborts a run that does not terminate. Default 30s.
+	Timeout time.Duration
+	// Backoff paces dial and reconnect retries (zero value: defaults).
+	Backoff Backoff
+	// Fault injects faults into the outgoing link (zero value: none).
+	Fault LinkFault
+	// OnAction observes every machine action (may be nil).
+	OnAction ActionObserver
+	// OnLink observes link lifecycle events — "connect", "drop",
+	// "reconnect" — on the outgoing link (may be nil).
+	OnLink func(proc int, event string)
+}
+
+// NodeResult is the outcome of one node's run.
+type NodeResult struct {
+	// Index is the node's ring position.
+	Index int
+	// Status is the machine's terminal status.
+	Status core.Status
+	// Halted reports whether the machine executed its halting statement.
+	Halted bool
+	// Sent counts data frames enqueued on the outgoing link (retransmits
+	// after a reconnect are not counted — they carry old sequence numbers).
+	Sent int
+	// Reconnects counts outgoing-link drops that were re-dialed.
+	Reconnects int
+	// PeakSpaceBits is the machine's peak SpaceBits.
+	PeakSpaceBits int
+}
+
+// ErrTimeout reports that a node's election did not terminate in time.
+var ErrTimeout = errors.New("netring: execution timed out")
+
+// RunNode executes one ring node to completion: it listens for its
+// predecessor, dials its successor, runs the machine over the two links,
+// and returns once the machine halts and the outgoing link is flushed.
+func RunNode(cfg NodeConfig) (*NodeResult, error) {
+	n := cfg.Ring.N()
+	if cfg.Index < 0 || cfg.Index >= n {
+		return nil, fmt.Errorf("netring: index %d outside ring of %d processes", cfg.Index, n)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("netring: p%d listen %s: %w", cfg.Index, cfg.ListenAddr, err)
+		}
+	}
+
+	hash := ringHash(cfg.Ring)
+	succ := (cfg.Index + 1) % n
+	onLink := func(event string) {
+		if cfg.OnLink != nil {
+			cfg.OnLink(cfg.Index, event)
+		}
+	}
+	// The jitter source is per-node and seeded deterministically; it only
+	// perturbs retry pacing, never delivery order.
+	rng := rand.New(rand.NewSource(int64(cfg.Index) + 1))
+	hello := frame{Type: frameHello, Sender: cfg.Index, Target: succ, N: n, RingHash: hash}
+	snd := newSender(cfg.Index, succ, cfg.NextAddr, hello, cfg.Backoff, cfg.Fault, rng, onLink)
+	rcv := newReceiver(cfg.Index, n, hash, ln, onLink)
+
+	inbox := make(chan core.Message, 64)
+	done := make(chan struct{})
+	fail := make(chan error, 2)
+	deliver := func(m core.Message) error {
+		select {
+		case inbox <- m:
+			return nil
+		case <-done:
+			return errSenderStopped
+		}
+	}
+	go func() {
+		if err := rcv.run(deliver); err != nil {
+			fail <- err
+		}
+	}()
+	senderDone := make(chan error, 1)
+	go func() { senderDone <- snd.run() }()
+
+	m := cfg.Protocol.NewMachine(cfg.Ring.Label(cfg.Index))
+	res := &NodeResult{Index: cfg.Index}
+	observe := func(op trace.Op, action string, msg core.Message, sent []core.Message) error {
+		if sp := m.SpaceBits(); sp > res.PeakSpaceBits {
+			res.PeakSpaceBits = sp
+		}
+		if cfg.OnAction == nil {
+			return nil
+		}
+		return cfg.OnAction(cfg.Index, op, action, msg, sent, m)
+	}
+
+	abort := func(err error) (*NodeResult, error) {
+		close(done)
+		snd.stop()
+		rcv.stop()
+		<-senderDone
+		res.Status = m.Status()
+		res.Halted = m.Halted()
+		res.Sent = snd.sent()
+		res.Reconnects = snd.reconnectCount()
+		return res, fmt.Errorf("netring: p%d: %w", cfg.Index, err)
+	}
+
+	timer := time.NewTimer(cfg.Timeout)
+	defer timer.Stop()
+
+	var out core.Outbox
+	action := m.Init(&out)
+	sent := out.Drain()
+	if err := observe(trace.OpInit, action, core.Message{}, sent); err != nil {
+		return abort(err)
+	}
+	snd.enqueue(sent)
+	for !m.Halted() {
+		var msg core.Message
+		select {
+		case msg = <-inbox:
+		case err := <-fail:
+			return abort(err)
+		case <-timer.C:
+			return abort(ErrTimeout)
+		}
+		action, err := m.Receive(msg, &out)
+		if err != nil {
+			return abort(err)
+		}
+		sent := out.Drain()
+		if err := observe(trace.OpDeliver, action, msg, sent); err != nil {
+			return abort(err)
+		}
+		snd.enqueue(sent)
+	}
+
+	// Clean termination: flush and close the outgoing link, then stop
+	// accepting — by the model no message may be delivered after halt.
+	snd.finish()
+	select {
+	case err := <-senderDone:
+		if err != nil {
+			return abort(err)
+		}
+	case err := <-fail:
+		return abort(err)
+	case <-timer.C:
+		return abort(ErrTimeout)
+	}
+	rcv.stop()
+	close(done)
+	select {
+	case msg := <-inbox:
+		return abort(&spec.LinkViolation{From: (cfg.Index - 1 + n) % n, To: cfg.Index,
+			Detail: fmt.Sprintf("message %s delivered after halt", msg)})
+	default:
+	}
+
+	res.Status = m.Status()
+	res.Halted = m.Halted()
+	res.Sent = snd.sent()
+	res.Reconnects = snd.reconnectCount()
+	return res, nil
+}

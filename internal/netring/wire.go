@@ -1,0 +1,224 @@
+// Package netring executes a core.Protocol as N OS-level nodes connected
+// in a unidirectional ring by real TCP links — the third engine, after the
+// deterministic simulator (internal/sim) and the goroutine runtime
+// (internal/gorun). Where those engines *assume* the model's reliable FIFO
+// links, this one *implements* them: a length-prefixed versioned wire
+// protocol frames every core.Message, per-frame sequence numbers enforce
+// exactly-once in-order delivery (any gap is a hard spec.LinkViolation),
+// and a retransmitting sender with exponential backoff plus jitter
+// survives dial failures and transient connection drops without breaking
+// FIFO order.
+//
+// RunLocal launches all nodes in-process on loopback sockets and checks
+// the full election specification (internal/spec), exactly like the other
+// engines — E10 cross-validates all three. RunNode runs a single node, the
+// building block of cmd/ringnode for genuinely multi-process rings.
+package netring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+// wireVersion is the protocol version carried in every frame header.
+// Nodes reject frames from any other version.
+const wireVersion = 1
+
+// maxFrameBody bounds the body length a receiver accepts; every frame the
+// protocol defines is far smaller, so anything larger is a corrupt or
+// hostile stream.
+const maxFrameBody = 64
+
+// frameType tags the wire vocabulary.
+type frameType uint8
+
+const (
+	// frameHello opens a connection: the dialing predecessor identifies
+	// itself and the ring it believes it is part of.
+	frameHello frameType = 1
+	// frameHelloAck completes the handshake: the listener tells the sender
+	// the next sequence number it expects, which doubles as the resume
+	// point after a reconnect.
+	frameHelloAck frameType = 2
+	// frameData carries one core.Message with its link sequence number.
+	frameData frameType = 3
+	// frameGoodbye announces a clean shutdown: the sender has halted and
+	// Seq frames were sent in total, so the receiver can distinguish
+	// termination from a transient drop.
+	frameGoodbye frameType = 4
+)
+
+// String names the frame type for diagnostics.
+func (t frameType) String() string {
+	switch t {
+	case frameHello:
+		return "HELLO"
+	case frameHelloAck:
+		return "HELLO_ACK"
+	case frameData:
+		return "DATA"
+	case frameGoodbye:
+		return "GOODBYE"
+	default:
+		return fmt.Sprintf("FRAME(%d)", uint8(t))
+	}
+}
+
+// frame is the decoded form of one wire frame. Fields beyond Type are
+// populated according to the type, mirroring the encoding below.
+type frame struct {
+	Type frameType
+
+	// frameHello
+	Sender   int    // ring index of the dialing node
+	Target   int    // ring index the dialer believes it is connecting to
+	N        int    // ring size
+	RingHash uint64 // fingerprint of the full label sequence
+
+	// frameHelloAck and frameGoodbye
+	NextSeq uint64 // next expected (ack) / total sent (goodbye)
+
+	// frameData
+	Seq uint64
+	Msg core.Message
+}
+
+// Body layouts (after the 4-byte big-endian length prefix). Every body
+// starts with version and type; the rest is type-specific:
+//
+//	HELLO:     ver(1) type(1) sender(4) target(4) n(4) ringHash(8) = 22
+//	HELLO_ACK: ver(1) type(1) nextSeq(8)                           = 10
+//	DATA:      ver(1) type(1) seq(8) kind(1) label(8)              = 19
+//	GOODBYE:   ver(1) type(1) totalSent(8)                         = 10
+const (
+	helloLen    = 22
+	helloAckLen = 10
+	dataLen     = 19
+	goodbyeLen  = 10
+)
+
+// appendFrame appends the length-prefixed encoding of f to dst.
+func appendFrame(dst []byte, f frame) []byte {
+	var body [maxFrameBody]byte
+	body[0] = wireVersion
+	body[1] = byte(f.Type)
+	var n int
+	switch f.Type {
+	case frameHello:
+		binary.BigEndian.PutUint32(body[2:], uint32(f.Sender))
+		binary.BigEndian.PutUint32(body[6:], uint32(f.Target))
+		binary.BigEndian.PutUint32(body[10:], uint32(f.N))
+		binary.BigEndian.PutUint64(body[14:], f.RingHash)
+		n = helloLen
+	case frameHelloAck:
+		binary.BigEndian.PutUint64(body[2:], f.NextSeq)
+		n = helloAckLen
+	case frameData:
+		binary.BigEndian.PutUint64(body[2:], f.Seq)
+		body[10] = byte(f.Msg.Kind)
+		binary.BigEndian.PutUint64(body[11:], uint64(int64(f.Msg.Label)))
+		n = dataLen
+	case frameGoodbye:
+		binary.BigEndian.PutUint64(body[2:], f.NextSeq)
+		n = goodbyeLen
+	default:
+		panic(fmt.Sprintf("netring: encoding unknown frame type %d", f.Type))
+	}
+	var pfx [4]byte
+	binary.BigEndian.PutUint32(pfx[:], uint32(n))
+	dst = append(dst, pfx[:]...)
+	return append(dst, body[:n]...)
+}
+
+// decodeFrame parses one frame body (the bytes after the length prefix).
+// It never panics: malformed input — wrong version, unknown type or kind,
+// wrong length for the type — is an error.
+func decodeFrame(body []byte) (frame, error) {
+	if len(body) < 2 {
+		return frame{}, fmt.Errorf("netring: frame body too short (%d bytes)", len(body))
+	}
+	if body[0] != wireVersion {
+		return frame{}, fmt.Errorf("netring: wire version %d, want %d", body[0], wireVersion)
+	}
+	f := frame{Type: frameType(body[1])}
+	switch f.Type {
+	case frameHello:
+		if len(body) != helloLen {
+			return frame{}, fmt.Errorf("netring: HELLO body %d bytes, want %d", len(body), helloLen)
+		}
+		f.Sender = int(int32(binary.BigEndian.Uint32(body[2:])))
+		f.Target = int(int32(binary.BigEndian.Uint32(body[6:])))
+		f.N = int(int32(binary.BigEndian.Uint32(body[10:])))
+		f.RingHash = binary.BigEndian.Uint64(body[14:])
+		if f.N < 2 || f.Sender < 0 || f.Sender >= f.N || f.Target < 0 || f.Target >= f.N {
+			return frame{}, fmt.Errorf("netring: HELLO with invalid indices sender=%d target=%d n=%d", f.Sender, f.Target, f.N)
+		}
+	case frameHelloAck:
+		if len(body) != helloAckLen {
+			return frame{}, fmt.Errorf("netring: HELLO_ACK body %d bytes, want %d", len(body), helloAckLen)
+		}
+		f.NextSeq = binary.BigEndian.Uint64(body[2:])
+	case frameData:
+		if len(body) != dataLen {
+			return frame{}, fmt.Errorf("netring: DATA body %d bytes, want %d", len(body), dataLen)
+		}
+		f.Seq = binary.BigEndian.Uint64(body[2:])
+		kind := core.Kind(body[10])
+		if kind > core.KindPeterson2 {
+			return frame{}, fmt.Errorf("netring: DATA with unknown message kind %d", body[10])
+		}
+		f.Msg = core.Message{Kind: kind, Label: ring.Label(int64(binary.BigEndian.Uint64(body[11:])))}
+	case frameGoodbye:
+		if len(body) != goodbyeLen {
+			return frame{}, fmt.Errorf("netring: GOODBYE body %d bytes, want %d", len(body), goodbyeLen)
+		}
+		f.NextSeq = binary.BigEndian.Uint64(body[2:])
+	default:
+		return frame{}, fmt.Errorf("netring: unknown frame type %d", body[1])
+	}
+	return f, nil
+}
+
+// writeFrame writes one frame to w.
+func writeFrame(w io.Writer, f frame) error {
+	buf := appendFrame(make([]byte, 0, 4+maxFrameBody), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame from r.
+func readFrame(r io.Reader) (frame, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if n < 2 || n > maxFrameBody {
+		return frame{}, fmt.Errorf("netring: frame length %d outside [2, %d]", n, maxFrameBody)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, fmt.Errorf("netring: truncated frame: %w", err)
+	}
+	return decodeFrame(body)
+}
+
+// ringHash fingerprints the full clockwise label sequence (FNV-1a over n
+// and every label). Two nodes configured with different -ring specs fail
+// the handshake instead of running a silently inconsistent election.
+func ringHash(r *ring.Ring) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(r.N()))
+	h.Write(b[:])
+	for i := 0; i < r.N(); i++ {
+		binary.BigEndian.PutUint64(b[:], uint64(int64(r.Label(i))))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,141 @@
+package netring
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		{Type: frameHello, Sender: 0, Target: 1, N: 2, RingHash: 0xdeadbeef},
+		{Type: frameHello, Sender: 7, Target: 0, N: 8, RingHash: 1},
+		{Type: frameHelloAck, NextSeq: 0},
+		{Type: frameHelloAck, NextSeq: 1<<63 + 17},
+		{Type: frameData, Seq: 42, Msg: core.Token(3)},
+		{Type: frameData, Seq: 0, Msg: core.Finish()},
+		{Type: frameData, Seq: 9, Msg: core.PhaseShift(-5)},
+		{Type: frameData, Seq: 10, Msg: core.FinishLabel(1 << 40)},
+		{Type: frameData, Seq: 11, Msg: core.Message{Kind: core.KindPeterson2, Label: 99}},
+		{Type: frameGoodbye, NextSeq: 1234},
+	}
+	for _, f := range cases {
+		buf := appendFrame(nil, f)
+		got, err := readFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("%+v: %v", f, err)
+		}
+		if got != f {
+			t.Errorf("round trip: got %+v, want %+v", got, f)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := appendFrame(nil, frame{Type: frameData, Seq: 1, Msg: core.Token(2)})
+	cases := map[string][]byte{
+		"empty body":       {},
+		"one byte":         {wireVersion},
+		"bad version":      {99, byte(frameData), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 2},
+		"unknown type":     {wireVersion, 200},
+		"short data":       valid[4 : len(valid)-1],
+		"long data":        append(append([]byte{}, valid[4:]...), 0),
+		"unknown kind":     {wireVersion, byte(frameData), 0, 0, 0, 0, 0, 0, 0, 1, 200, 0, 0, 0, 0, 0, 0, 0, 2},
+		"hello bad index":  {wireVersion, byte(frameHello), 0, 0, 0, 9, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0},
+		"hello wrong size": {wireVersion, byte(frameHello), 0},
+	}
+	for name, body := range cases {
+		if _, err := decodeFrame(body); err == nil {
+			t.Errorf("%s: decode accepted malformed body % x", name, body)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	var buf bytes.Buffer
+	var pfx [4]byte
+	binary.BigEndian.PutUint32(pfx[:], 1<<20)
+	buf.Write(pfx[:])
+	buf.WriteString(strings.Repeat("x", 100))
+	if _, err := readFrame(&buf); err == nil || !strings.Contains(err.Error(), "frame length") {
+		t.Fatalf("oversized length not rejected: %v", err)
+	}
+}
+
+func TestRingHashDistinguishesRings(t *testing.T) {
+	a := ringHash(ring.MustNew(1, 2, 2))
+	b := ringHash(ring.MustNew(1, 2, 3))
+	c := ringHash(ring.MustNew(2, 1, 2))
+	if a == b || a == c {
+		t.Errorf("ring hashes collide: %x %x %x", a, b, c)
+	}
+	if a != ringHash(ring.MustNew(1, 2, 2)) {
+		t.Error("ring hash not deterministic")
+	}
+}
+
+// TestReceiverRejectsWrongPeer feeds the receiver handshakes that must be
+// refused: a stranger's index, a mismatched ring, a non-HELLO opener, and
+// a garbage stream after a valid handshake.
+func TestReceiverRejectsWrongPeer(t *testing.T) {
+	r := ring.MustNew(1, 2, 2)
+	hash := ringHash(r)
+	open := func() (*receiver, string) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return newReceiver(1, 3, hash, ln, nil), ln.Addr().String()
+	}
+	dial := func(t *testing.T, addr string, frames ...frame) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		for _, f := range frames {
+			if err := writeFrame(conn, f); err != nil {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	hello := frame{Type: frameHello, Sender: 0, Target: 1, N: 3, RingHash: hash}
+
+	cases := []struct {
+		name   string
+		frames []frame
+		want   string
+	}{
+		{"wrong sender", []frame{{Type: frameHello, Sender: 2, Target: 1, N: 3, RingHash: hash}}, "predecessor"},
+		{"wrong ring hash", []frame{{Type: frameHello, Sender: 0, Target: 1, N: 3, RingHash: hash + 1}}, "ring mismatch"},
+		{"not a hello", []frame{{Type: frameGoodbye, NextSeq: 0}}, "want HELLO"},
+		{"hello then mid-stream hello", []frame{hello, hello}, "reliable-FIFO"},
+		{"sequence gap", []frame{hello, {Type: frameData, Seq: 5, Msg: core.Token(1)}}, "out-of-order"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rcv, addr := open()
+			errc := make(chan error, 1)
+			go func() {
+				errc <- rcv.run(func(core.Message) error { return nil })
+			}()
+			dial(t, addr, c.frames...)
+			select {
+			case err := <-errc:
+				if err == nil || !strings.Contains(err.Error(), c.want) {
+					t.Fatalf("got %v, want error containing %q", err, c.want)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("receiver did not reject")
+			}
+			rcv.stop()
+		})
+	}
+}

@@ -48,6 +48,28 @@ func (v *Violation) Error() string {
 	return fmt.Sprintf("spec bullet %d violated at process %d: %s", v.Bullet, v.Process, v.Detail)
 }
 
+// LinkViolation reports a broken link-model assumption. The model of §II
+// takes reliable FIFO links as given: every message sent from p(i) to
+// p(i+1) is delivered exactly once, in sending order, and never after the
+// receiver halts. The in-memory engines satisfy this by construction; a
+// transport engine (internal/netring) must implement it and reports any
+// observed breach — a sequence gap, a duplicate, a reordering, a delivery
+// after halt — as a LinkViolation rather than a plain transport error, so
+// callers can distinguish "the link axioms were violated" from "the
+// algorithm violated the election spec" (Violation).
+type LinkViolation struct {
+	// From and To are the link's endpoints: the sending process From and
+	// the receiving process To = From+1 mod n.
+	From, To int
+	// Detail describes the breach, e.g. "sequence gap: got 7, want 5".
+	Detail string
+}
+
+// Error implements error.
+func (v *LinkViolation) Error() string {
+	return fmt.Sprintf("link (p%d -> p%d) violated reliable-FIFO assumption: %s", v.From, v.To, v.Detail)
+}
+
 // Clone returns an independent copy of the checker's progress, for
 // branching explorations of the configuration space.
 func (c *Checker) Clone() *Checker {

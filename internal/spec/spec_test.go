@@ -2,6 +2,7 @@ package spec
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -156,5 +157,28 @@ func TestFinalizeArityMismatch(t *testing.T) {
 	c := New(2)
 	if _, err := c.Finalize([]ring.Label{1}, []bool{true}); err == nil {
 		t.Error("arity mismatch must fail")
+	}
+}
+
+// TestLinkViolation pins the transport-layer error type: engines that
+// implement (rather than assume) reliable FIFO links report broken link
+// axioms as *LinkViolation, distinguishable via errors.As from algorithm
+// spec violations.
+func TestLinkViolation(t *testing.T) {
+	var err error = &LinkViolation{From: 2, To: 0, Detail: "got seq 7, want 5"}
+	msg := err.Error()
+	for _, frag := range []string{"p2", "p0", "reliable-FIFO", "got seq 7, want 5"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("Error() missing %q: %s", frag, msg)
+		}
+	}
+	wrapped := fmt.Errorf("netring: p0: %w", err)
+	var lv *LinkViolation
+	if !errors.As(wrapped, &lv) || lv.From != 2 || lv.To != 0 {
+		t.Fatalf("errors.As failed on %v", wrapped)
+	}
+	var v *Violation
+	if errors.As(wrapped, &v) {
+		t.Error("a LinkViolation must not satisfy *Violation")
 	}
 }

@@ -23,6 +23,10 @@ const (
 	OpPhase
 	// OpHalt marks a process halting.
 	OpHalt
+	// OpLink marks a transport-level link event (internal/netring):
+	// Action carries the event name — "connect", "drop", "reconnect" —
+	// and Proc the sending endpoint of the link.
+	OpLink
 )
 
 // String names the op.
@@ -38,6 +42,8 @@ func (o Op) String() string {
 		return "phase"
 	case OpHalt:
 		return "halt"
+	case OpLink:
+		return "link"
 	default:
 		return "op?"
 	}

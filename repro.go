@@ -8,6 +8,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/gorun"
+	"repro/internal/netring"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
@@ -183,6 +184,37 @@ func ElectParallel(r *Ring, alg Algorithm, k int, timeout time.Duration) (*Outco
 		return nil, err
 	}
 	res, err := gorun.Run(r, p, timeout)
+	if err != nil {
+		return nil, err
+	}
+	peak := 0
+	for _, sp := range res.PeakSpacePerProc {
+		if sp > peak {
+			peak = sp
+		}
+	}
+	return &Outcome{
+		Leader:        res.LeaderIndex,
+		LeaderLabel:   r.Label(res.LeaderIndex),
+		Messages:      res.Messages,
+		PeakSpaceBits: peak,
+	}, nil
+}
+
+// RunTCP runs the chosen algorithm as one OS-level node per process,
+// connected in a unidirectional ring by real TCP sockets on loopback
+// (internal/netring), aborting after timeout. It mirrors Elect (the
+// deterministic simulator) and ElectParallel (the goroutine runtime):
+// same protocols, same specification checking — but the model's reliable
+// FIFO links are implemented by a wire protocol with sequence numbers,
+// reconnection, and backoff rather than assumed. For rings spanning real
+// processes or hosts, see cmd/ringnode.
+func RunTCP(r *Ring, alg Algorithm, k int, timeout time.Duration) (*Outcome, error) {
+	p, err := ProtocolFor(r, alg, k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := netring.RunLocal(r, p, netring.Options{Timeout: timeout})
 	if err != nil {
 		return nil, err
 	}

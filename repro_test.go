@@ -81,6 +81,31 @@ func TestElectParallel(t *testing.T) {
 	}
 }
 
+func TestRunTCP(t *testing.T) {
+	r := repro.MustParseRing("1 2 2")
+	out, err := repro.RunTCP(r, repro.AlgorithmB, 2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Leader != 0 || out.LeaderLabel != 1 {
+		t.Errorf("TCP Bk elected p%d (label %s), want p0 (label 1)", out.Leader, out.LeaderLabel)
+	}
+	ref, err := repro.Elect(r, repro.AlgorithmB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Messages != ref.Messages {
+		t.Errorf("TCP run %d messages, simulator %d", out.Messages, ref.Messages)
+	}
+	if out.PeakSpaceBits <= 0 {
+		t.Errorf("implausible peak space %d", out.PeakSpaceBits)
+	}
+	// Validation errors surface before any socket work.
+	if _, err := repro.RunTCP(repro.MustParseRing("1 2 1 2"), repro.AlgorithmA, 2, time.Second); err == nil {
+		t.Error("symmetric ring must fail in RunTCP too")
+	}
+}
+
 func TestRandomRingFacade(t *testing.T) {
 	r, err := repro.RandomRing(7, 20, 3, 10)
 	if err != nil {
