@@ -290,6 +290,7 @@ func (s *sender) run() error {
 					return nil
 				}
 				conn, connected, cursor, written = c, true, resume, 0
+				event = "reconnect"
 				if cursor < uint64(s.sentU()) {
 					continue // receiver is missing frames after all
 				}

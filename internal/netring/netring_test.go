@@ -275,14 +275,180 @@ func TestUnreachableSuccessorFails(t *testing.T) {
 	}
 	deadAddr := dead.Addr().String()
 	dead.Close()
+	start := time.Now()
 	_, err = RunNode(NodeConfig{
 		Ring: r, Index: 0, Protocol: p,
 		Listener: ln, NextAddr: deadAddr,
-		Timeout: 10 * time.Second,
+		Timeout: 30 * time.Second,
 		Backoff: Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Attempts: 3},
 	})
 	if err == nil {
 		t.Fatal("dialing a dead successor must fail")
+	}
+	// The main loop must surface the sender's dial failure as soon as the
+	// retry budget is exhausted — not sit out the full run timeout.
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("got ErrTimeout, want the underlying dial failure: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("dial failure surfaced only after %v", elapsed)
+	}
+}
+
+// stubProtocol builds machines from a constructor; used by the shutdown
+// regression tests below to drive RunNode into exact failure paths.
+type stubProtocol struct{ mk func() core.Machine }
+
+func (p stubProtocol) Name() string                       { return "stub" }
+func (p stubProtocol) NewMachine(ring.Label) core.Machine { return p.mk() }
+
+// haltStub is a minimal machine: it sends sendOnInit tokens at Init and
+// halts after haltAfter deliveries (0 = halted from the start), sleeping
+// receiveDelay per delivery so that a concurrently delivered straggler
+// can land in the inbox before the halt.
+type haltStub struct {
+	sendOnInit   int
+	haltAfter    int
+	receiveDelay time.Duration
+	received     int
+}
+
+func (s *haltStub) Init(out *core.Outbox) string {
+	for i := 0; i < s.sendOnInit; i++ {
+		out.Send(core.Token(1))
+	}
+	return "stub-init"
+}
+
+func (s *haltStub) Receive(core.Message, *core.Outbox) (string, error) {
+	if s.receiveDelay > 0 {
+		time.Sleep(s.receiveDelay)
+	}
+	s.received++
+	return "stub-recv", nil
+}
+
+func (s *haltStub) Halted() bool        { return s.received >= s.haltAfter }
+func (s *haltStub) Status() core.Status { return core.Status{} }
+func (s *haltStub) StateName() string   { return "STUB" }
+func (s *haltStub) SpaceBits() int      { return 0 }
+func (s *haltStub) Fingerprint() string { return "stub" }
+
+// TestFlushFailureAfterHaltReturns pins the regression where a sender
+// failure after halt deadlocked RunNode: the machine halts at Init with a
+// frame still queued, the successor is unreachable, so the post-halt
+// flush exhausts the dial budget and hands abort an already-drained
+// senderDone. RunNode must return the dial error, not hang.
+func TestFlushFailureAfterHaltReturns(t *testing.T) {
+	r := ring.MustNew(1, 2)
+	p := stubProtocol{mk: func() core.Machine { return &haltStub{sendOnInit: 1, haltAfter: 0} }}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunNode(NodeConfig{
+			Ring: r, Index: 0, Protocol: p,
+			Listener: ln, NextAddr: deadAddr,
+			Timeout: 30 * time.Second,
+			Backoff: Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Attempts: 3},
+		})
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("flushing to a dead successor must fail")
+		}
+		if errors.Is(err, ErrTimeout) {
+			t.Fatalf("got ErrTimeout, want the underlying dial failure: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("RunNode hung on the post-halt flush failure")
+	}
+}
+
+// TestDeliveryAfterHaltViolation pins the regression where a straggler
+// message found in the inbox after a clean halt crashed the node with a
+// double close(done): the fake predecessor sends two frames but the
+// machine halts after one, so the second must surface as a
+// *spec.LinkViolation error, not a panic.
+func TestDeliveryAfterHaltViolation(t *testing.T) {
+	r := ring.MustNew(1, 2)
+	hash := ringHash(r)
+	// The receive delay keeps the machine busy long enough for the
+	// receiver goroutine to buffer the second frame before halt.
+	p := stubProtocol{mk: func() core.Machine { return &haltStub{haltAfter: 1, receiveDelay: 100 * time.Millisecond} }}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	succLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer succLn.Close()
+
+	// Fake node 1, successor side: accept node 0's link and ack it so the
+	// post-halt GOODBYE flush completes cleanly.
+	go func() {
+		conn, err := succLn.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if f, err := readFrame(conn); err != nil || f.Type != frameHello {
+			return
+		}
+		writeFrame(conn, frame{Type: frameHelloAck, NextSeq: 0})
+		for {
+			if _, err := readFrame(conn); err != nil {
+				return
+			}
+		}
+	}()
+	// Fake node 1, predecessor side: handshake, then two data frames and a
+	// matching GOODBYE — one more delivery than the machine consumes.
+	go func() {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		writeFrame(conn, frame{Type: frameHello, Sender: 1, Target: 0, N: 2, RingHash: hash})
+		if f, err := readFrame(conn); err != nil || f.Type != frameHelloAck {
+			return
+		}
+		writeFrame(conn, frame{Type: frameData, Seq: 0, Msg: core.Token(1)})
+		writeFrame(conn, frame{Type: frameData, Seq: 1, Msg: core.Token(2)})
+		writeFrame(conn, frame{Type: frameGoodbye, NextSeq: 2})
+	}()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunNode(NodeConfig{
+			Ring: r, Index: 0, Protocol: p,
+			Listener: ln, NextAddr: succLn.Addr().String(),
+			Timeout: 10 * time.Second,
+		})
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		var lv *spec.LinkViolation
+		if !errors.As(err, &lv) {
+			t.Fatalf("got %T (%v), want *spec.LinkViolation for delivery after halt", err, err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("RunNode hung on the delivery-after-halt path")
 	}
 }
 

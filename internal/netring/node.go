@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -125,6 +126,23 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	}()
 	senderDone := make(chan error, 1)
 	go func() { senderDone <- snd.run() }()
+	// The sender goroutine sends exactly one value; joinSender receives it
+	// at most once so every shutdown path (including abort after a path
+	// that already drained senderDone) can join without blocking forever.
+	// All callers run on the RunNode goroutine, so no lock is needed.
+	var (
+		senderJoined bool
+		senderErr    error
+	)
+	joinSender := func() error {
+		if !senderJoined {
+			senderErr = <-senderDone
+			senderJoined = true
+		}
+		return senderErr
+	}
+	var doneOnce sync.Once
+	closeDone := func() { doneOnce.Do(func() { close(done) }) }
 
 	m := cfg.Protocol.NewMachine(cfg.Ring.Label(cfg.Index))
 	res := &NodeResult{Index: cfg.Index}
@@ -139,10 +157,10 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	}
 
 	abort := func(err error) (*NodeResult, error) {
-		close(done)
+		closeDone()
 		snd.stop()
 		rcv.stop()
-		<-senderDone
+		joinSender()
 		res.Status = m.Status()
 		res.Halted = m.Halted()
 		res.Sent = snd.sent()
@@ -166,6 +184,14 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		case msg = <-inbox:
 		case err := <-fail:
 			return abort(err)
+		case err := <-senderDone:
+			senderJoined, senderErr = true, err
+			if err == nil {
+				// run() returns nil only after stop() or a goodbye flush,
+				// neither of which can precede halt.
+				err = errors.New("sender exited before halt")
+			}
+			return abort(err)
 		case <-timer.C:
 			return abort(ErrTimeout)
 		}
@@ -185,6 +211,7 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	snd.finish()
 	select {
 	case err := <-senderDone:
+		senderJoined, senderErr = true, err
 		if err != nil {
 			return abort(err)
 		}
@@ -194,7 +221,7 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		return abort(ErrTimeout)
 	}
 	rcv.stop()
-	close(done)
+	closeDone()
 	select {
 	case msg := <-inbox:
 		return abort(&spec.LinkViolation{From: (cfg.Index - 1 + n) % n, To: cfg.Index,
