@@ -3,18 +3,19 @@
 
 GO ?= go
 
-.PHONY: all build check vet fmt-check test test-net test-race \
+.PHONY: all build check vet fmt-check test test-net test-serve test-race \
         race-concurrency test-short bench bench-json bench-compare \
-        experiments experiments-md fuzz figures clean
+        experiments experiments-md fuzz fuzz-parse figures clean
 
 all: build check test
 
 build:
 	$(GO) build ./...
 
-# Static checks plus the TCP transport engine's race/fault soak, wired
-# into the default flow.
-check: vet fmt-check test-net
+# Static checks plus the TCP transport engine's race/fault soak and the
+# election-serving daemon's race/shed/drain soak, wired into the default
+# flow.
+check: vet fmt-check test-net test-serve
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +36,13 @@ test-net:
 	$(GO) test -race -count=1 ./internal/netring/... ./cmd/ringnode/...
 	$(GO) test -race -count=3 -run 'Fault|Backoff|Unreachable|Violation' ./internal/netring/
 
+# The serving stack (daemon, cache, admission, load generator) under the
+# race detector, plus a short soak of the shed and graceful-drain paths —
+# the two places where a timing race turns into a hung client.
+test-serve:
+	$(GO) test -race -count=1 ./internal/serve/... ./internal/load/... ./internal/stats/... ./cmd/ringd/... ./cmd/ringload/...
+	$(GO) test -race -count=3 -run 'Shed|Drain|Singleflight|CloseDrains' ./internal/serve/
+
 test-race:
 	$(GO) test -race ./...
 
@@ -49,14 +57,14 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable experiment benchmark (same schema as BENCH_PR2.json).
+# Machine-readable experiment benchmark (same schema as BENCH_PR3.json).
 bench-json:
 	$(GO) run ./cmd/ringbench -json BENCH_NEW.json > /dev/null
 
 # Diff a fresh benchmark report against the committed baseline:
 # wall-clock deltas are informational, content drift fails the target.
 bench-compare: bench-json
-	$(GO) run ./cmd/benchdiff BENCH_PR2.json BENCH_NEW.json
+	$(GO) run ./cmd/benchdiff BENCH_PR3.json BENCH_NEW.json
 
 # Regenerate every experiment table (E1..E13).
 experiments:
@@ -68,6 +76,11 @@ experiments-md:
 # Randomized + exhaustive robustness campaign.
 fuzz:
 	$(GO) run ./cmd/ringfuzz -trials 500
+
+# Coverage-guided fuzzing of the untrusted ring-spec parser (seed corpus
+# under internal/ring/testdata/fuzz/).
+fuzz-parse:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/ring/
 
 # The paper's figures: text + SVG Figure 1, DOT Figure 2.
 figures:

@@ -1,0 +1,133 @@
+// Command ringd serves leader elections over HTTP/JSON (internal/serve):
+// POST /v1/elect and /v1/classify, GET /healthz and /metrics. It owns the
+// process-level concerns: flags, signals, and the shutdown ordering the
+// serve package requires (stop accepting connections first, then drain
+// the admission queue).
+//
+//	ringd -listen 127.0.0.1:8322 -workers 4 -crosscheck 0.05
+//
+// With -crosscheck > 0 a sampled fraction of cache hits is re-verified
+// through the deterministic simulator; a divergence is fatal — the
+// daemon logs the offending ring and exits 1 rather than keep serving
+// from a cache that has broken the engines' agreement invariant.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() { <-sigc; close(stop) }()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, stop))
+}
+
+// run is the testable body of main: it returns the exit code and shuts
+// down gracefully when stop closes.
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("ringd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen       = fs.String("listen", "127.0.0.1:8322", "address to listen on (host:port; port 0 picks a free port)")
+		cache        = fs.Int("cache", 4096, "result cache capacity in entries")
+		queue        = fs.Int("queue", 256, "admission queue depth; overflow is shed with 429")
+		workers      = fs.Int("workers", 0, "election worker pool size (0 = one per CPU)")
+		batch        = fs.Int("batch", 16, "max elections fanned out per admission batch")
+		batchWait    = fs.Duration("batch-wait", 2*time.Millisecond, "how long to wait to fill a batch")
+		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request queue+election budget")
+		electTimeout = fs.Duration("elect-timeout", time.Minute, "goroutine engine watchdog")
+		maxRing      = fs.Int("max-ring", 4096, "largest accepted ring size")
+		crosscheck   = fs.Float64("crosscheck", 0, "fraction of cache hits re-verified against a fresh election (0 disables, 1 checks every hit)")
+		logEvery     = fs.Duration("log-every", time.Minute, "metrics summary log period (0 disables)")
+		drainWait    = fs.Duration("drain-wait", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "ringd: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *crosscheck < 0 || *crosscheck > 1 {
+		fmt.Fprintf(stderr, "ringd: -crosscheck must be in [0, 1]\n")
+		return 2
+	}
+
+	logger := log.New(stderr, "ringd: ", log.LstdFlags)
+	// A divergence report parks here; the main select turns it into a
+	// loud, graceful exit 1. Buffered so the reporting request never
+	// blocks on the daemon's teardown.
+	diverged := make(chan string, 1)
+	s := serve.New(serve.Config{
+		CacheEntries:   *cache,
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		BatchSize:      *batch,
+		BatchWait:      *batchWait,
+		RequestTimeout: *reqTimeout,
+		ElectTimeout:   *electTimeout,
+		MaxRingSize:    *maxRing,
+		Crosscheck:     *crosscheck,
+		OnDivergence: func(detail string) {
+			select {
+			case diverged <- detail:
+			default:
+			}
+		},
+		Logf:     logger.Printf,
+		LogEvery: *logEvery,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "ringd: %v\n", err)
+		s.Close()
+		return 1
+	}
+	fmt.Fprintf(stdout, "ringd: listening on %s\n", ln.Addr())
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	exit := 0
+	var why string
+	select {
+	case <-stop:
+		why = "signal"
+	case detail := <-diverged:
+		logger.Printf("FATAL: crosscheck divergence: %s", detail)
+		why = "crosscheck divergence"
+		exit = 1
+	case err := <-serveErr:
+		logger.Printf("serve error: %v", err)
+		s.Close()
+		return 1
+	}
+
+	logger.Printf("shutting down (%s): draining in-flight elections", why)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		exit = 1
+	}
+	s.Close() // after Shutdown: no new requests can enter the queue
+	snap := s.Metrics().Snapshot()
+	logger.Printf("final: requests=%d hits=%d misses=%d sheds=%d errors=%d crosschecks=%d divergences=%d",
+		snap.Requests, snap.Hits, snap.Misses, snap.Sheds, snap.Errors, snap.Crosschecks, snap.Divergences)
+	return exit
+}

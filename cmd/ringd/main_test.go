@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the daemon goroutine write stdout while the test
+// polls it for the listen line.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`ringd: listening on ([\d.]+:\d+)`)
+
+// startDaemon runs the daemon on a free port and returns its base URL,
+// the stop channel, and the exit-code channel.
+func startDaemon(t *testing.T, extra ...string) (string, chan struct{}, chan int, *syncBuffer) {
+	t.Helper()
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	args := append([]string{"-listen", "127.0.0.1:0", "-log-every", "0"}, extra...)
+	go func() { exit <- run(args, stdout, stderr, stop) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenLine.FindStringSubmatch(stdout.String()); m != nil {
+			return "http://" + m[1], stop, exit, stderr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("daemon exited early with %d; stderr=%q", code, stderr.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestDaemonServesAndDrains boots the daemon, performs real HTTP
+// traffic, then stops it and checks the graceful exit path.
+func TestDaemonServesAndDrains(t *testing.T) {
+	url, stop, exit, stderr := startDaemon(t, "-workers", "2", "-crosscheck", "1")
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(url+"/v1/elect", "application/json",
+			strings.NewReader(`{"ring":"1 3 1 3 2 2 1 2","alg":"B","k":3}`))
+		if err != nil {
+			t.Fatalf("elect %d: %v", i, err)
+		}
+		var out struct {
+			Leader int  `json:"leader"`
+			Cached bool `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("elect %d: decoding: %v", i, err)
+		}
+		resp.Body.Close()
+		if out.Leader != 0 {
+			t.Errorf("elect %d: leader %d, want 0", i, out.Leader)
+		}
+		if wantCached := i > 0; out.Cached != wantCached {
+			t.Errorf("elect %d: cached=%t, want %t", i, out.Cached, wantCached)
+		}
+	}
+
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "ringd_cache_hits_total 2") {
+		t.Errorf("metrics missing hit count:\n%s", body)
+	}
+
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if s := stderr.String(); !strings.Contains(s, "draining") || !strings.Contains(s, "final:") {
+		t.Errorf("shutdown log incomplete: %q", s)
+	}
+}
+
+// TestDaemonBadFlags covers the usage-error exits.
+func TestDaemonBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"-crosscheck", "1.5"},
+		{"trailing"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb, make(chan struct{})); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestDaemonListenFailure: an unbindable address must exit 1, not hang.
+func TestDaemonListenFailure(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-listen", "256.0.0.1:1"}, &out, &errb, make(chan struct{})); code != 1 {
+		t.Errorf("exit %d, want 1; stderr=%q", code, errb.String())
+	}
+}

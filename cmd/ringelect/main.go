@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -48,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		algName  = fs.String("alg", "A", "algorithm: A, B, Astar, CR, Peterson, KnownN")
 		k        = fs.Int("k", 2, "multiplicity bound known to the processes")
 		engine   = fs.String("engine", "unit", "engine: unit, sync, random, goroutines, tcp")
+		jsonOut  = fs.Bool("json", false, "emit the outcome as a single JSON object instead of text")
 		doTrace  = fs.Bool("trace", false, "print every send/deliver event (sync/unit/random engines)")
 		record   = fs.String("record", "", "write the event trace as JSON to this file (golden trace)")
 		replay   = fs.String("replay", "", "compare this run's event trace against a golden trace file")
@@ -61,16 +63,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ringelect:", err)
 		return 1
 	}
-	alg, err := parseAlg(*algName)
+	alg, err := repro.ParseAlgorithm(*algName)
 	if err != nil {
 		fmt.Fprintln(stderr, "ringelect:", err)
 		return 1
 	}
 
-	fmt.Fprintf(stdout, "ring:    %s  (n=%d, max multiplicity %d, asymmetric=%t, unique label=%t, b=%d bits)\n",
-		r, r.N(), r.MaxMultiplicity(), r.IsAsymmetric(), r.HasUniqueLabel(), r.LabelBits())
-	if tl, ok := r.TrueLeader(); ok {
-		fmt.Fprintf(stdout, "true leader: p%d (label %s; counter-clockwise sequence is the Lyndon rotation)\n", tl, r.Label(tl))
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "ring:    %s  (n=%d, max multiplicity %d, asymmetric=%t, unique label=%t, b=%d bits)\n",
+			r, r.N(), r.MaxMultiplicity(), r.IsAsymmetric(), r.HasUniqueLabel(), r.LabelBits())
+		if tl, ok := r.TrueLeader(); ok {
+			fmt.Fprintf(stdout, "true leader: p%d (label %s; counter-clockwise sequence is the Lyndon rotation)\n", tl, r.Label(tl))
+		}
 	}
 
 	switch *engine {
@@ -80,6 +84,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "ringelect:", err)
 			return 1
 		}
+		if *jsonOut {
+			return emitJSON(stdout, stderr, jsonFromOutcome(r, alg, *k, *engine, out))
+		}
 		fmt.Fprintf(stdout, "elected: p%d (label %s) with %d messages [goroutine engine]\n", out.Leader, out.LeaderLabel, out.Messages)
 		return 0
 	case "tcp":
@@ -87,6 +94,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintln(stderr, "ringelect:", err)
 			return 1
+		}
+		if *jsonOut {
+			return emitJSON(stdout, stderr, jsonFromOutcome(r, alg, *k, *engine, out))
 		}
 		fmt.Fprintf(stdout, "elected: p%d (label %s) with %d messages [tcp engine]\n", out.Leader, out.LeaderLabel, out.Messages)
 		return 0
@@ -119,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ringelect:", err)
 		return 1
 	}
-	if *doTrace {
+	if *doTrace && !*jsonOut {
 		for _, e := range mem.Events {
 			printEvent(stdout, e)
 		}
@@ -134,7 +144,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "ringelect:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "recorded %d events to %s\n", len(mem.Events), *record)
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "recorded %d events to %s\n", len(mem.Events), *record)
+		}
 	}
 	if *replay != "" {
 		data, err := os.ReadFile(*replay)
@@ -151,11 +163,72 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "ringelect: golden trace mismatch: %s\n", d)
 			return 1
 		}
-		fmt.Fprintf(stdout, "replay matches golden trace %s (%d events)\n", *replay, len(golden))
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "replay matches golden trace %s (%d events)\n", *replay, len(golden))
+		}
+	}
+	if *jsonOut {
+		return emitJSON(stdout, stderr, jsonFromOutcome(r, alg, *k, *engine, &repro.Outcome{
+			Leader:        res.LeaderIndex,
+			LeaderLabel:   r.Label(res.LeaderIndex),
+			TimeUnits:     res.TimeUnits,
+			Messages:      res.Messages,
+			PeakSpaceBits: res.PeakSpaceBits,
+		}))
 	}
 	fmt.Fprintf(stdout, "elected: p%d (label %s)\n", res.LeaderIndex, r.Label(res.LeaderIndex))
 	fmt.Fprintf(stdout, "cost:    time %.0f units, %d messages, peak space %d bits/process, %d actions, max link depth %d\n",
 		res.TimeUnits, res.Messages, res.PeakSpaceBits, res.Actions, res.MaxLinkDepth)
+	return 0
+}
+
+// jsonOutcome is the -json wire shape: one flat object per run, the
+// machine-readable sibling of the two-line text report.
+type jsonOutcome struct {
+	Ring          string  `json:"ring"`
+	N             int     `json:"n"`
+	Alg           string  `json:"alg"`
+	K             int     `json:"k"`
+	Engine        string  `json:"engine"`
+	Leader        int     `json:"leader"`
+	LeaderLabel   string  `json:"leader_label"`
+	TrueLeader    int     `json:"true_leader"` // -1 when the ring is symmetric
+	Messages      int     `json:"messages"`
+	TimeUnits     float64 `json:"time_units,omitempty"`
+	PeakSpaceBits int     `json:"peak_space_bits,omitempty"`
+}
+
+func jsonFromOutcome(r *ring.Ring, alg repro.Algorithm, k int, engine string, out *repro.Outcome) jsonOutcome {
+	labels := r.Labels()
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.String()
+	}
+	tl := -1
+	if idx, ok := r.TrueLeader(); ok {
+		tl = idx
+	}
+	return jsonOutcome{
+		Ring:          strings.Join(parts, " "),
+		N:             r.N(),
+		Alg:           alg.String(),
+		K:             k,
+		Engine:        engine,
+		Leader:        out.Leader,
+		LeaderLabel:   out.LeaderLabel.String(),
+		TrueLeader:    tl,
+		Messages:      out.Messages,
+		TimeUnits:     out.TimeUnits,
+		PeakSpaceBits: out.PeakSpaceBits,
+	}
+}
+
+func emitJSON(stdout, stderr io.Writer, jo jsonOutcome) int {
+	enc := json.NewEncoder(stdout)
+	if err := enc.Encode(jo); err != nil {
+		fmt.Fprintln(stderr, "ringelect:", err)
+		return 1
+	}
 	return 0
 }
 
@@ -169,25 +242,6 @@ func buildRing(spec string, n int, distinct bool, seed int64, k, alpha int) (*ri
 		return repro.RandomRing(seed, n, k, alpha)
 	default:
 		return nil, fmt.Errorf("provide -ring or -n (see -help)")
-	}
-}
-
-func parseAlg(s string) (repro.Algorithm, error) {
-	switch strings.ToLower(s) {
-	case "a", "ak":
-		return repro.AlgorithmA, nil
-	case "b", "bk":
-		return repro.AlgorithmB, nil
-	case "astar", "a*":
-		return repro.AlgorithmAStar, nil
-	case "cr", "changroberts":
-		return repro.AlgorithmChangRoberts, nil
-	case "peterson":
-		return repro.AlgorithmPeterson, nil
-	case "knownn":
-		return repro.AlgorithmKnownN, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q (want A, B, Astar, CR, Peterson, KnownN)", s)
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -97,6 +98,93 @@ func TestRecordAndReplay(t *testing.T) {
 	// Missing golden file errors cleanly.
 	if _, _, code := runCLI(t, "-ring", "1 2 2", "-alg", "B", "-k", "2", "-replay", golden+".missing"); code == 0 {
 		t.Error("missing golden file must fail")
+	}
+}
+
+// TestJSONOutput: -json must emit exactly one JSON object on stdout —
+// no text report mixed in — across engines and ring sources.
+func TestJSONOutput(t *testing.T) {
+	type want struct {
+		ring       string
+		n          int
+		alg        string
+		leader     int
+		label      string
+		trueLeader int
+		messages   int // 0 = don't check
+	}
+	cases := []struct {
+		name string
+		args []string
+		want want
+	}{
+		{
+			"figure1 unit engine",
+			[]string{"-ring", "1 3 1 3 2 2 1 2", "-alg", "B", "-k", "3", "-json"},
+			want{ring: "1 3 1 3 2 2 1 2", n: 8, alg: "Bk", leader: 0, label: "1", trueLeader: 0, messages: 276},
+		},
+		{
+			"goroutine engine",
+			[]string{"-ring", "1 2 2", "-alg", "A", "-k", "2", "-engine", "goroutines", "-json"},
+			want{ring: "1 2 2", n: 3, alg: "Ak", leader: 0, label: "1", trueLeader: 0},
+		},
+		{
+			"sync engine",
+			[]string{"-ring", "1 2 2", "-alg", "Astar", "-k", "2", "-engine", "sync", "-json"},
+			want{ring: "1 2 2", n: 3, alg: "A*", leader: 0, label: "1", trueLeader: 0},
+		},
+		{
+			"distinct labels baseline",
+			[]string{"-n", "5", "-distinct", "-alg", "CR", "-k", "1", "-json"},
+			want{ring: "1 2 3 4 5", n: 5, alg: "ChangRoberts", leader: 0, label: "1", trueLeader: 0},
+		},
+		{
+			"json suppresses trace text",
+			[]string{"-ring", "1 2", "-alg", "A", "-k", "1", "-engine", "sync", "-trace", "-json"},
+			want{ring: "1 2", n: 2, alg: "Ak", leader: 0, label: "1", trueLeader: 0},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, errOut, code := runCLI(t, c.args...)
+			if code != 0 {
+				t.Fatalf("exit %d (%s)", code, errOut)
+			}
+			var got struct {
+				Ring        string  `json:"ring"`
+				N           int     `json:"n"`
+				Alg         string  `json:"alg"`
+				K           int     `json:"k"`
+				Engine      string  `json:"engine"`
+				Leader      int     `json:"leader"`
+				LeaderLabel string  `json:"leader_label"`
+				TrueLeader  int     `json:"true_leader"`
+				Messages    int     `json:"messages"`
+				TimeUnits   float64 `json:"time_units"`
+			}
+			// Exactly one JSON object: the whole stdout must decode, and a
+			// second decode must hit EOF.
+			dec := json.NewDecoder(strings.NewReader(out))
+			if err := dec.Decode(&got); err != nil {
+				t.Fatalf("stdout is not a JSON object: %v\n%s", err, out)
+			}
+			if dec.More() {
+				t.Errorf("stdout holds more than one JSON value:\n%s", out)
+			}
+			if got.Ring != c.want.ring || got.N != c.want.n || got.Alg != c.want.alg {
+				t.Errorf("ring/n/alg = %q/%d/%q, want %q/%d/%q", got.Ring, got.N, got.Alg, c.want.ring, c.want.n, c.want.alg)
+			}
+			if got.Leader != c.want.leader || got.LeaderLabel != c.want.label || got.TrueLeader != c.want.trueLeader {
+				t.Errorf("leader/label/true = %d/%q/%d, want %d/%q/%d",
+					got.Leader, got.LeaderLabel, got.TrueLeader, c.want.leader, c.want.label, c.want.trueLeader)
+			}
+			if c.want.messages != 0 && got.Messages != c.want.messages {
+				t.Errorf("messages = %d, want %d", got.Messages, c.want.messages)
+			}
+			if got.Messages <= 0 {
+				t.Errorf("messages = %d, want positive", got.Messages)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,92 @@
+// Command ringload drives a seeded, deterministic election-request mix
+// (internal/load) against a running ringd and prints the run report —
+// throughput, latency quantiles, cache effectiveness per traffic class,
+// shed accounting — as JSON on stdout.
+//
+//	ringd -listen 127.0.0.1:8322 &
+//	ringload -url http://127.0.0.1:8322 -n 1000 -seed 7 -crosscheck 0.25
+//
+// With -crosscheck > 0 a sampled fraction of responses is re-verified
+// against the local deterministic simulator in the request's own frame,
+// end-to-end checking the daemon's rotation canonicalization. Exit
+// status 1 flags divergences or transport failures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url        = fs.String("url", "http://127.0.0.1:8322", "base URL of the target ringd")
+		n          = fs.Int("n", 1000, "total requests")
+		workers    = fs.Int("workers", 8, "client concurrency")
+		seed       = fs.Int64("seed", 1, "mix seed (same seed, same requests)")
+		hotRings   = fs.Int("hot", 4, "hot working-set size")
+		hotFrac    = fs.Float64("hot-frac", 0.45, "fraction of requests repeating a hot ring")
+		rotFrac    = fs.Float64("rot-frac", 0.30, "fraction resubmitting a hot ring rotated")
+		alg        = fs.String("alg", "B", "algorithm (A, B, Astar, CR, Peterson, KnownN)")
+		k          = fs.Int("k", 3, "multiplicity bound k")
+		engine     = fs.String("engine", "sim", "execution engine: sim or goroutines")
+		crosscheck = fs.Float64("crosscheck", 0, "fraction of responses re-verified locally (0 disables)")
+		timeout    = fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "ringload: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *crosscheck < 0 || *crosscheck > 1 {
+		fmt.Fprintf(stderr, "ringload: -crosscheck must be in [0, 1]\n")
+		return 2
+	}
+
+	rep, err := load.Run(load.Config{
+		BaseURL:         *url,
+		Requests:        *n,
+		Workers:         *workers,
+		Seed:            *seed,
+		HotRings:        *hotRings,
+		HotFraction:     *hotFrac,
+		RotatedFraction: *rotFrac,
+		Alg:             *alg,
+		K:               *k,
+		Engine:          *engine,
+		Crosscheck:      *crosscheck,
+		Timeout:         *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "ringload: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(stderr, "ringload: encoding report: %v\n", err)
+		return 1
+	}
+	if rep.Divergences > 0 {
+		fmt.Fprintf(stderr, "ringload: %d of %d crosschecks DIVERGED\n", rep.Divergences, rep.Crosschecks)
+		return 1
+	}
+	if rep.TransportErrors == rep.Requests {
+		fmt.Fprintf(stderr, "ringload: no request reached %s\n", *url)
+		return 1
+	}
+	return 0
+}

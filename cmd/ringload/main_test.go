@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/load"
+	"repro/internal/serve"
+)
+
+// TestRunAgainstServer points ringload at an in-process serve handler
+// and checks the JSON report and exit code.
+func TestRunAgainstServer(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-n", "60", "-workers", "4", "-seed", "3",
+		"-alg", "B", "-k", "3", "-crosscheck", "0.5",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr=%q", code, errb.String())
+	}
+	var rep load.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
+	}
+	if rep.Requests != 60 || rep.OK != 60 {
+		t.Errorf("report accounting: %+v", rep)
+	}
+	if rep.Crosschecks != 30 || rep.Divergences != 0 {
+		t.Errorf("crosschecks=%d divergences=%d, want 30/0", rep.Crosschecks, rep.Divergences)
+	}
+	if rep.Cached == 0 {
+		t.Error("hot mix produced no cache hits")
+	}
+	if rep.P50MS <= 0 {
+		t.Errorf("missing latency stats: %+v", rep)
+	}
+}
+
+// TestRunFlagErrors covers usage exits.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus"},
+		{"-crosscheck", "2"},
+		{"trailing"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestRunUnreachableServer: a dead target is exit 1 with a clear
+// message, not a hang or a zero-exit empty report.
+func TestRunUnreachableServer(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-url", "http://127.0.0.1:1", "-n", "5", "-timeout", "2s"}, &out, &errb)
+	if code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "no request reached") {
+		t.Errorf("stderr %q missing diagnosis", errb.String())
+	}
+}

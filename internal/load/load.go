@@ -1,0 +1,362 @@
+// Package load is the seeded, deterministic load generator behind
+// cmd/ringload: it drives a mix of hot (repeated), rotated (same rings
+// under different harness numberings — the traffic the daemon's
+// rotation-canonical cache exists for), and cold (fresh) election
+// requests against a ringd instance, and reports throughput, latency
+// quantiles (internal/stats, exact at this population size), and
+// response-class counts as JSON. A -crosscheck fraction of successful
+// responses is re-verified against the local deterministic simulator
+// (repro.Elect) on the request's own frame, so a run also end-to-end
+// checks the daemon's canonicalization and leader-index mapping.
+//
+// The request plan is a pure function of the seed: same seed, same
+// rings, same classes, same crosscheck samples — only timing varies.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/serve"
+	"repro/internal/stats"
+
+	repro "repro"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL of the target ringd, e.g. "http://127.0.0.1:8322".
+	BaseURL string
+	// Requests is the total request count (default 1000).
+	Requests int
+	// Workers is the client concurrency (default 8).
+	Workers int
+	// Seed makes the request mix reproducible (default 1).
+	Seed int64
+	// HotRings is the size of the hot working set (default 4).
+	HotRings int
+	// HotFraction and RotatedFraction split the mix: hot requests repeat
+	// a hot ring verbatim, rotated requests resubmit a hot ring under a
+	// random rotation, the rest are cold fresh rings. Defaults 0.45/0.30.
+	HotFraction     float64
+	RotatedFraction float64
+	// Alg, K, Engine are passed through to /v1/elect (defaults "B", 3,
+	// "sim").
+	Alg    string
+	K      int
+	Engine string
+	// Crosscheck is the fraction of OK responses re-verified against the
+	// local simulator (0 = off).
+	Crosscheck float64
+	// Timeout bounds one HTTP request (default 30s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests pass the in-process one).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HotRings <= 0 {
+		c.HotRings = 4
+	}
+	if c.HotFraction == 0 {
+		c.HotFraction = 0.45
+	}
+	if c.RotatedFraction == 0 {
+		c.RotatedFraction = 0.30
+	}
+	if c.Alg == "" {
+		c.Alg = "B"
+	}
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.Engine == "" {
+		c.Engine = "sim"
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Request classes.
+const (
+	ClassHot     = "hot"
+	ClassRotated = "rotated"
+	ClassCold    = "cold"
+)
+
+// PlannedRequest is one entry of the deterministic request plan.
+type PlannedRequest struct {
+	Spec       string // clockwise label sequence
+	Class      string // hot, rotated, cold
+	Crosscheck bool   // verify this response against the local simulator
+}
+
+// BuildPlan derives the request mix from the seed. It is exported so
+// tests can pin determinism without any network traffic.
+func BuildPlan(cfg Config) ([]PlannedRequest, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	hot := make([]*ring.Ring, 0, cfg.HotRings)
+	if cfg.K >= 3 {
+		hot = append(hot, ring.Figure1())
+	} else if cfg.K == 2 {
+		hot = append(hot, ring.Ring122())
+	}
+	for len(hot) < cfg.HotRings {
+		n := 4 + rng.Intn(7) // 4..10 processes
+		r, err := ring.RandomAsymmetric(rng, n, cfg.K, max(4, n))
+		if err != nil {
+			return nil, fmt.Errorf("load: generating hot ring: %w", err)
+		}
+		hot = append(hot, r)
+	}
+
+	sampleEvery := 0
+	if cfg.Crosscheck > 0 {
+		sampleEvery = int(1 / cfg.Crosscheck)
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
+	}
+
+	plan := make([]PlannedRequest, cfg.Requests)
+	for i := range plan {
+		var spec, class string
+		switch u := rng.Float64(); {
+		case u < cfg.HotFraction:
+			class = ClassHot
+			spec = specOf(hot[rng.Intn(len(hot))])
+		case u < cfg.HotFraction+cfg.RotatedFraction:
+			class = ClassRotated
+			r := hot[rng.Intn(len(hot))]
+			spec = specOf(r.Rotate(1 + rng.Intn(r.N()-1)))
+		default:
+			class = ClassCold
+			n := 4 + rng.Intn(9) // 4..12 processes
+			r, err := ring.RandomAsymmetric(rng, n, cfg.K, max(4, n))
+			if err != nil {
+				return nil, fmt.Errorf("load: generating cold ring: %w", err)
+			}
+			spec = specOf(r)
+		}
+		plan[i] = PlannedRequest{
+			Spec:       spec,
+			Class:      class,
+			Crosscheck: sampleEvery > 0 && i%sampleEvery == 0,
+		}
+	}
+	return plan, nil
+}
+
+func specOf(r *ring.Ring) string {
+	labels := r.Labels()
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// ClassStats aggregates one request class.
+type ClassStats struct {
+	Sent   int `json:"sent"`
+	OK     int `json:"ok"`
+	Cached int `json:"cached"`
+}
+
+// Report is the JSON result of a load run.
+type Report struct {
+	BaseURL         string  `json:"base_url"`
+	Seed            int64   `json:"seed"`
+	Requests        int     `json:"requests"`
+	OK              int     `json:"ok"`
+	Shed            int     `json:"shed"` // 429 responses
+	BadRequests     int     `json:"bad_requests"`
+	ServerErrors    int     `json:"server_errors"`
+	TransportErrors int     `json:"transport_errors"`
+	Cached          int     `json:"cached"`
+	WallMS          float64 `json:"wall_ms"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	MeanMS          float64 `json:"mean_ms"`
+	P50MS           float64 `json:"p50_ms"`
+	P95MS           float64 `json:"p95_ms"`
+	P99MS           float64 `json:"p99_ms"`
+	Crosschecks     int     `json:"crosschecks"`
+	Divergences     int     `json:"divergences"`
+	// ShedsWithRetryAfter counts 429 responses carrying a Retry-After
+	// header; the admission contract is that every shed does.
+	ShedsWithRetryAfter int                   `json:"sheds_with_retry_after"`
+	Classes             map[string]ClassStats `json:"classes"`
+}
+
+type result struct {
+	status    int
+	cached    bool
+	latency   float64 // seconds
+	retryHdr  bool
+	transport bool
+	checked   bool
+	diverged  bool
+}
+
+// Run executes the plan against cfg.BaseURL and aggregates the report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+
+	results := make([]result, len(plan))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := min(cfg.Workers, len(plan))
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = cfg.do(client, plan[i])
+			}
+		}()
+	}
+	for i := range plan {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{
+		BaseURL:  cfg.BaseURL,
+		Seed:     cfg.Seed,
+		Requests: len(plan),
+		WallMS:   float64(wall.Microseconds()) / 1000,
+		Classes:  map[string]ClassStats{},
+	}
+	hist := stats.MustHistogram(stats.DefaultLatencyBuckets)
+	for i, res := range results {
+		cs := rep.Classes[plan[i].Class]
+		cs.Sent++
+		switch {
+		case res.transport:
+			rep.TransportErrors++
+		case res.status == http.StatusOK:
+			rep.OK++
+			cs.OK++
+			if res.cached {
+				rep.Cached++
+				cs.Cached++
+			}
+			hist.Observe(res.latency)
+		case res.status == http.StatusTooManyRequests:
+			rep.Shed++
+			if res.retryHdr {
+				rep.ShedsWithRetryAfter++
+			}
+		case res.status >= 500:
+			rep.ServerErrors++
+		default:
+			rep.BadRequests++
+		}
+		if res.checked {
+			rep.Crosschecks++
+			if res.diverged {
+				rep.Divergences++
+			}
+		}
+		rep.Classes[plan[i].Class] = cs
+	}
+	if wall > 0 {
+		rep.ThroughputRPS = float64(len(plan)) / wall.Seconds()
+	}
+	if hist.Count() > 0 {
+		rep.MeanMS = hist.Mean() * 1000
+		rep.P50MS = hist.Quantile(0.50) * 1000
+		rep.P95MS = hist.Quantile(0.95) * 1000
+		rep.P99MS = hist.Quantile(0.99) * 1000
+	}
+	return rep, nil
+}
+
+// do issues one request and, when planned, crosschecks the response
+// against the local deterministic simulator in the request's own frame —
+// which exercises the server's canonicalization round trip.
+func (cfg Config) do(client *http.Client, p PlannedRequest) result {
+	body, _ := json.Marshal(serve.ElectRequest{Ring: p.Spec, Alg: cfg.Alg, K: cfg.K, Engine: cfg.Engine})
+	start := time.Now()
+	resp, err := client.Post(cfg.BaseURL+"/v1/elect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return result{transport: true}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	lat := time.Since(start).Seconds()
+	if err != nil {
+		return result{transport: true}
+	}
+	res := result{
+		status:   resp.StatusCode,
+		latency:  lat,
+		retryHdr: resp.Header.Get("Retry-After") != "",
+	}
+	if resp.StatusCode != http.StatusOK {
+		return res
+	}
+	var er serve.ElectResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		res.transport = true
+		return res
+	}
+	res.cached = er.Cached
+	if p.Crosscheck {
+		res.checked = true
+		res.diverged = !verify(p.Spec, cfg.Alg, cfg.K, er)
+	}
+	return res
+}
+
+// verify re-runs the election locally on the request's frame and compares
+// the leader index, label, and message count against the response.
+func verify(spec, algName string, k int, er serve.ElectResponse) bool {
+	r, err := repro.ParseRing(spec)
+	if err != nil {
+		return false
+	}
+	alg, err := repro.ParseAlgorithm(algName)
+	if err != nil {
+		return false
+	}
+	out, err := repro.Elect(r, alg, k)
+	if err != nil {
+		return false
+	}
+	return out.Leader == er.Leader &&
+		out.LeaderLabel.String() == er.LeaderLabel &&
+		out.Messages == er.Messages
+}

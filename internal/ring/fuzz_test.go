@@ -1,0 +1,94 @@
+package ring
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the spec parser — the one entry point that takes
+// fully untrusted input (CLI args, the ringd HTTP API). Invariants: no
+// panic; every error message stays bounded (no echoing multi-KB
+// inputs); every accepted ring round-trips through its own label
+// sequence.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"1 3 1 3 2 2 1 2",
+		"1,2,2",
+		"",
+		"   ,,,\t\n",
+		"x",
+		"1 x 2",
+		"-5 7",
+		"9223372036854775807 1",
+		"99999999999999999999 1", // overflows int64
+		"1  2\t3\n4,5",
+		strings.Repeat("1 ", 300) + "2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			if n := len(err.Error()); n > 256 {
+				t.Fatalf("error message is %d bytes — it echoes the input: %.80s…", n, err.Error())
+			}
+			return
+		}
+		if r.N() < 2 {
+			t.Fatalf("accepted a ring of %d process(es)", r.N())
+		}
+		// Round-trip: re-joining the parsed labels must parse back to the
+		// identical ring.
+		labels := r.Labels()
+		parts := make([]string, len(labels))
+		for i, l := range labels {
+			parts[i] = l.String()
+		}
+		r2, err := Parse(strings.Join(parts, " "))
+		if err != nil {
+			t.Fatalf("round-trip of %v failed: %v", labels, err)
+		}
+		if r2.N() != r.N() {
+			t.Fatalf("round-trip changed n: %d != %d", r2.N(), r.N())
+		}
+		for i := range labels {
+			if r2.Label(i) != r.Label(i) {
+				t.Fatalf("round-trip changed label %d: %s != %s", i, r2.Label(i), r.Label(i))
+			}
+		}
+	})
+}
+
+// TestParseErrorBounded pins the clipping behavior deterministically
+// (the fuzz invariant, minus the fuzzer).
+func TestParseErrorBounded(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+	}{
+		{"huge separator-only spec", strings.Repeat(", ", 8192)},
+		{"huge single bad token", "1 2 " + strings.Repeat("z", 8192)},
+		{"huge bad numeric token", strings.Repeat("9", 8192)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.spec)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			msg := err.Error()
+			if len(msg) > 256 {
+				t.Errorf("error is %d bytes; must stay bounded: %.80s…", len(msg), msg)
+			}
+			if !strings.Contains(msg, "bytes)") {
+				t.Errorf("clipped error should note the original length: %s", msg)
+			}
+		})
+	}
+	// Short bad tokens are still echoed verbatim — the diagnostic stays
+	// actionable for a human-scale typo.
+	_, err := Parse("1 x 2")
+	if err == nil || !strings.Contains(err.Error(), `"x"`) {
+		t.Errorf("short token not echoed: %v", err)
+	}
+}

@@ -10,6 +10,7 @@
 package ring
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"strconv"
@@ -68,23 +69,40 @@ func MustNew(labels ...Label) *Ring {
 }
 
 // Parse reads a whitespace- or comma-separated list of integer labels, e.g.
-// "1 3 1 3 2 2 1 2" or "1,2,2".
+// "1 3 1 3 2 2 1 2" or "1,2,2". Error messages stay bounded: specs come
+// from untrusted sources (CLI args, the ringd HTTP API), so a diagnostic
+// clips what it echoes instead of reflecting multi-KB inputs.
 func Parse(s string) (*Ring, error) {
 	fields := strings.FieldsFunc(s, func(r rune) bool {
 		return r == ' ' || r == ',' || r == '\t' || r == '\n'
 	})
 	if len(fields) == 0 {
-		return nil, fmt.Errorf("ring: empty spec %q", s)
+		return nil, fmt.Errorf("ring: empty spec %q", clip(s, 64))
 	}
 	labels := make([]Label, 0, len(fields))
 	for _, f := range fields {
 		v, err := strconv.ParseInt(f, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("ring: bad label %q in spec: %w", f, err)
+			// Unwrap to the bare cause (ErrSyntax/ErrRange): NumError's
+			// message would echo the full token a second time, unclipped.
+			var ne *strconv.NumError
+			if errors.As(err, &ne) {
+				err = ne.Err
+			}
+			return nil, fmt.Errorf("ring: bad label %q in spec: %w", clip(f, 32), err)
 		}
 		labels = append(labels, Label(v))
 	}
 	return New(labels)
+}
+
+// clip bounds a user-controlled string to max bytes for error messages,
+// noting the original length when it truncates.
+func clip(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	return fmt.Sprintf("%s… (%d bytes)", s[:max], len(s))
 }
 
 // N returns the number of processes.

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Shed errors returned by admission.submit. Handlers map all of them to
+// 429 + Retry-After (except errClosed, which is a 503: the server is
+// shutting down, not overloaded).
+var (
+	// errSaturated: the bounded queue was full at submission time.
+	errSaturated = errors.New("serve: admission queue full")
+	// errExpired: the request's deadline passed while it waited in the
+	// queue; running it would waste a worker on an answer nobody reads.
+	errExpired = errors.New("serve: deadline exceeded while queued")
+	// errClosed: the server is draining; no new work is admitted.
+	errClosed = errors.New("serve: admission closed")
+)
+
+// admission is the bounded admission layer between the HTTP handlers and
+// the election engines. Handlers submit closures into a fixed-depth
+// queue; a dispatcher goroutine collects them into small batches and fans
+// each batch across the internal/sweep worker pool — the same
+// deterministic fan-out engine behind the experiment grids — so that a
+// burst of cache misses costs one pool spin-up instead of one goroutine
+// per request, and the worker count bounds engine concurrency no matter
+// how many requests are in flight.
+//
+// Overload policy: the queue never blocks a handler. A full queue sheds
+// immediately (errSaturated) and a request whose context expires while
+// queued is shed at dequeue time (errExpired) — load is refused with
+// 429 + Retry-After instead of collapsing into unbounded latency.
+//
+// Shutdown policy: close() stops new submissions, then waits for every
+// accepted task to finish before stopping the dispatcher, so graceful
+// shutdown drains in-flight elections.
+type admission struct {
+	queue     chan *task
+	workers   int
+	batchSize int
+	batchWait time.Duration
+
+	mu         sync.Mutex
+	closing    bool
+	submitters sync.WaitGroup // one per accepted (enqueued) task
+	stop       chan struct{}
+	done       sync.WaitGroup // dispatcher goroutine
+
+	// ewmaServiceNS is an exponentially-weighted moving average of
+	// per-task service time, feeding the Retry-After estimate. Guarded by
+	// mu.
+	ewmaServiceNS float64
+}
+
+type task struct {
+	ctx  context.Context
+	run  func()
+	done chan error // buffered(1); nil = ran, shed error otherwise
+}
+
+func newAdmission(queueDepth, workers, batchSize int, batchWait time.Duration) *admission {
+	a := &admission{
+		queue:     make(chan *task, queueDepth),
+		workers:   workers,
+		batchSize: batchSize,
+		batchWait: batchWait,
+		stop:      make(chan struct{}),
+	}
+	a.done.Add(1)
+	go a.dispatch()
+	return a
+}
+
+// submit queues run and blocks until it has executed or been shed.
+func (a *admission) submit(ctx context.Context, run func()) error {
+	a.mu.Lock()
+	if a.closing {
+		a.mu.Unlock()
+		return errClosed
+	}
+	t := &task{ctx: ctx, run: run, done: make(chan error, 1)}
+	select {
+	case a.queue <- t:
+		a.submitters.Add(1)
+		a.mu.Unlock()
+	default:
+		a.mu.Unlock()
+		return errSaturated
+	}
+	err := <-t.done
+	a.submitters.Done()
+	return err
+}
+
+// retryAfterSeconds estimates how long a shed client should back off:
+// the time to drain the current queue through the worker pool, from the
+// moving average of recent task service times. At least 1 second.
+func (a *admission) retryAfterSeconds() int {
+	a.mu.Lock()
+	ewma := a.ewmaServiceNS
+	a.mu.Unlock()
+	backlog := float64(len(a.queue) + 1)
+	sec := ewma * backlog / float64(a.workers) / 1e9
+	return int(math.Min(math.Max(math.Ceil(sec), 1), 30))
+}
+
+// dispatch is the single dispatcher goroutine: collect a batch, shed the
+// expired, fan the rest across the sweep pool, repeat.
+func (a *admission) dispatch() {
+	defer a.done.Done()
+	for {
+		select {
+		case t := <-a.queue:
+			a.runBatch(a.collect(t))
+		case <-a.stop:
+			// close() guarantees the queue is empty by now (every
+			// accepted task has completed), but drain defensively.
+			for {
+				select {
+				case t := <-a.queue:
+					a.runBatch([]*task{t})
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect gathers up to batchSize tasks, waiting at most batchWait after
+// the first so that a trickle is served promptly while a burst amortizes
+// pool spin-up.
+func (a *admission) collect(first *task) []*task {
+	batch := []*task{first}
+	if a.batchSize <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(a.batchWait)
+	defer timer.Stop()
+	for len(batch) < a.batchSize {
+		select {
+		case t := <-a.queue:
+			batch = append(batch, t)
+		case <-timer.C:
+			return batch
+		case <-a.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch sheds tasks whose context has already expired, then runs the
+// rest across the sweep worker pool.
+func (a *admission) runBatch(batch []*task) {
+	live := batch[:0]
+	for _, t := range batch {
+		if t.ctx.Err() != nil {
+			t.done <- errExpired
+			continue
+		}
+		live = append(live, t)
+	}
+	if len(live) == 0 {
+		return
+	}
+	start := time.Now()
+	sweep.ForEach(a.workers, len(live), func(i int) error {
+		live[i].run()
+		live[i].done <- nil
+		return nil
+	})
+	perTask := float64(time.Since(start).Nanoseconds()) / float64(len(live))
+	a.mu.Lock()
+	if a.ewmaServiceNS == 0 {
+		a.ewmaServiceNS = perTask
+	} else {
+		a.ewmaServiceNS = 0.8*a.ewmaServiceNS + 0.2*perTask
+	}
+	a.mu.Unlock()
+}
+
+// close stops admission and drains: no new submissions are accepted,
+// every already-accepted task runs (or sheds on its own deadline) to
+// completion, then the dispatcher exits.
+func (a *admission) close() {
+	a.mu.Lock()
+	if a.closing {
+		a.mu.Unlock()
+		return
+	}
+	a.closing = true
+	a.mu.Unlock()
+	a.submitters.Wait() // every accepted task has been answered
+	close(a.stop)
+	a.done.Wait()
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAdmissionSaturationSheds: with one slow worker and a depth-2
+// queue, excess submissions must be refused immediately with
+// errSaturated — never blocked.
+func TestAdmissionSaturationSheds(t *testing.T) {
+	a := newAdmission(2, 1, 1, time.Millisecond)
+	defer a.close()
+
+	release := make(chan struct{})
+	var running sync.WaitGroup
+	running.Add(1)
+	go func() {
+		_ = a.submit(context.Background(), func() {
+			running.Done()
+			<-release
+		})
+	}()
+	running.Wait() // the worker is now occupied
+
+	// Fill the queue.
+	filled := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			filled <- a.submit(context.Background(), func() {})
+		}()
+	}
+	// Wait until both queued tasks are actually enqueued.
+	deadline := time.After(2 * time.Second)
+	for len(a.queue) < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("queue never filled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The next submission must shed immediately.
+	start := time.Now()
+	err := a.submit(context.Background(), func() {})
+	if !errors.Is(err, errSaturated) {
+		t.Fatalf("expected errSaturated, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("shed took %v; must be immediate", d)
+	}
+	if ra := a.retryAfterSeconds(); ra < 1 || ra > 30 {
+		t.Errorf("Retry-After estimate %d out of [1, 30]", ra)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-filled; err != nil {
+			t.Errorf("queued task %d: %v", i, err)
+		}
+	}
+}
+
+// TestAdmissionShedsExpired: a task whose context expires while queued
+// behind slow work must be shed with errExpired, not run.
+func TestAdmissionShedsExpired(t *testing.T) {
+	a := newAdmission(4, 1, 1, time.Millisecond)
+	defer a.close()
+
+	release := make(chan struct{})
+	var running sync.WaitGroup
+	running.Add(1)
+	go func() {
+		_ = a.submit(context.Background(), func() {
+			running.Done()
+			<-release
+		})
+	}()
+	running.Wait()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	result := make(chan error, 1)
+	go func() {
+		result <- a.submit(ctx, func() { ran.Store(true) })
+	}()
+	// Let it enqueue, then kill its deadline while it waits.
+	deadline := time.After(2 * time.Second)
+	for len(a.queue) < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("task never enqueued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	close(release)
+
+	if err := <-result; !errors.Is(err, errExpired) {
+		t.Fatalf("expected errExpired, got %v", err)
+	}
+	if ran.Load() {
+		t.Error("expired task must not run")
+	}
+}
+
+// TestAdmissionBatches: a burst submitted while the dispatcher is busy
+// must be collected into batches rather than dispatched one by one.
+func TestAdmissionBatches(t *testing.T) {
+	a := newAdmission(64, 4, 8, 20*time.Millisecond)
+	defer a.close()
+
+	var count atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.submit(context.Background(), func() { count.Add(1) }); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := count.Load(); got != 24 {
+		t.Fatalf("ran %d tasks, want 24", got)
+	}
+}
+
+// TestAdmissionCloseDrains: close must wait for every accepted task —
+// none may be dropped or left hanging — and reject later submissions.
+func TestAdmissionCloseDrains(t *testing.T) {
+	a := newAdmission(32, 2, 4, time.Millisecond)
+
+	var completed atomic.Int32
+	const tasks = 16
+	errs := make(chan error, tasks)
+	for i := 0; i < tasks; i++ {
+		go func() {
+			errs <- a.submit(context.Background(), func() {
+				time.Sleep(2 * time.Millisecond)
+				completed.Add(1)
+			})
+		}()
+	}
+	// Give the submissions a moment to enqueue, then drain.
+	time.Sleep(5 * time.Millisecond)
+	a.close()
+
+	// Every submission accepted before close must have completed; ones
+	// that raced close may have been refused, but none may hang.
+	accepted := 0
+	for i := 0; i < tasks; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				accepted++
+			} else if !errors.Is(err, errClosed) {
+				t.Errorf("unexpected submit error: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("a submission hung across close: drain is broken")
+		}
+	}
+	if int(completed.Load()) != accepted {
+		t.Errorf("%d tasks accepted but %d completed: close dropped work", accepted, completed.Load())
+	}
+
+	if err := a.submit(context.Background(), func() {}); !errors.Is(err, errClosed) {
+		t.Errorf("submit after close: got %v, want errClosed", err)
+	}
+	a.close() // idempotent
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"repro/internal/ring"
+)
+
+// resultCache is the rotation-canonical LRU result cache. Election
+// outcomes are rotation-invariant properties of the labeled ring (the
+// paper's Theorems 2 and 4 hold for the network, not for any particular
+// harness numbering), so the cache keys on the lexicographically least
+// rotation of the clockwise label sequence — Booth's algorithm from
+// internal/words, applied by the server before lookup — plus the
+// algorithm and the multiplicity bound k. All n rotations of a ring
+// therefore share one entry; the server maps the cached canonical-frame
+// leader index back to the caller's frame on the way out.
+//
+// The cache also deduplicates concurrent identical work (singleflight):
+// the first requester of a key becomes the entry's owner and runs the
+// election; every other requester arriving before it finishes waits on
+// the same entry and is counted as a hit. Failed or shed computations are
+// removed so later requests retry.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*entry
+	lru     *list.List // front = most recent; values are *lruItem
+}
+
+type cacheKey struct {
+	canon string // canonical (least-rotation) label sequence, space-joined
+	alg   string // algorithm name
+	k     int
+}
+
+type lruItem struct {
+	key cacheKey
+	e   *entry
+}
+
+// entry is one cached (or in-flight) election result. ready is closed by
+// the owner when out/err are set; waiters block on it.
+type entry struct {
+	ready chan struct{}
+	out   *canonOutcome // leader index in the canonical frame
+	err   error
+	elem  *list.Element
+}
+
+// canonOutcome is an election outcome in the canonical rotation frame.
+type canonOutcome struct {
+	Leader        int // index in the canonical rotation
+	LeaderLabel   ring.Label
+	Messages      int
+	TimeUnits     float64
+	PeakSpaceBits int
+	Engine        string // engine that computed the entry
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*entry),
+		lru:     list.New(),
+	}
+}
+
+// canonSpec renders a label sequence as the cache-key string.
+func canonSpec(labels []ring.Label) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(l.String())
+	}
+	return b.String()
+}
+
+// lookup returns the entry for key, creating an in-flight one when
+// absent. owner is true for the caller that must compute the result and
+// finish (or abandon) the entry; all other callers wait on entry.ready.
+func (c *resultCache) lookup(key cacheKey) (e *entry, owner bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		return e, false
+	}
+	e = &entry{ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(&lruItem{key: key, e: e})
+	c.entries[key] = e
+	c.evictLocked()
+	return e, true
+}
+
+// finish publishes the owner's result. Errored computations are removed
+// from the cache so the next request retries instead of serving the error
+// forever.
+func (c *resultCache) finish(key cacheKey, e *entry, out *canonOutcome, err error) {
+	c.mu.Lock()
+	e.out, e.err = out, err
+	if err != nil {
+		c.removeLocked(key, e)
+	}
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+// abandon withdraws an in-flight entry whose computation never ran (shed
+// or rejected by admission), failing any waiters with err.
+func (c *resultCache) abandon(key cacheKey, e *entry, err error) {
+	c.finish(key, e, nil, err)
+}
+
+// removeLocked unlinks e if it is still the entry stored under key.
+func (c *resultCache) removeLocked(key cacheKey, e *entry) {
+	if cur, ok := c.entries[key]; ok && cur == e {
+		delete(c.entries, key)
+		c.lru.Remove(e.elem)
+	}
+}
+
+// evictLocked trims completed entries from the LRU tail down to capacity.
+// In-flight entries (ready still open) are skipped: they have waiters.
+func (c *resultCache) evictLocked() {
+	for el := c.lru.Back(); el != nil && c.lru.Len() > c.cap; {
+		prev := el.Prev()
+		it := el.Value.(*lruItem)
+		select {
+		case <-it.e.ready:
+			delete(c.entries, it.key)
+			c.lru.Remove(el)
+		default: // in flight; keep
+		}
+		el = prev
+	}
+}
+
+// len reports the number of cached (including in-flight) entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

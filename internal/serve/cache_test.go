@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/ring"
+)
+
+// postJSON drives one request through the server's handler and decodes
+// the JSON response into out (unless out is nil).
+func postJSON(t *testing.T, h http.Handler, path string, body any, out any) (int, http.Header) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(buf))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("decoding %s response %q: %v", path, rec.Body.String(), err)
+		}
+	}
+	return rec.Code, rec.Result().Header
+}
+
+// TestRotationCanonicalCache is the rotation-invariance contract: all n
+// rotations of the Figure 1 ring (1 3 1 3 2 2 1 2, k = 3) must resolve
+// to ONE cache entry — one miss, n-1 hits — and each response must map
+// the elected leader back to the correct index in the rotated frame.
+// Figure 1 elects p0, so the rotation that renumbers old process d to
+// process 0 must report leader (n - d) mod n.
+func TestRotationCanonicalCache(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	h := s.Handler()
+
+	base := ring.Figure1()
+	n := base.N()
+	for d := 0; d < n; d++ {
+		rotated := base.Rotate(d)
+		var resp ElectResponse
+		code, _ := postJSON(t, h, "/v1/elect", ElectRequest{Ring: canonSpec(rotated.Labels()), Alg: "B", K: 3}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("rotation %d: status %d", d, code)
+		}
+		wantLeader := (n - d) % n
+		if resp.Leader != wantLeader {
+			t.Errorf("rotation %d: leader %d, want %d", d, resp.Leader, wantLeader)
+		}
+		// The reported leader must be the rotated ring's true leader.
+		if tl, ok := rotated.TrueLeader(); !ok || resp.Leader != tl {
+			t.Errorf("rotation %d: leader %d, true leader %d", d, resp.Leader, tl)
+		}
+		if resp.LeaderLabel != "1" {
+			t.Errorf("rotation %d: leader label %s, want 1", d, resp.LeaderLabel)
+		}
+		if resp.Messages != 276 { // pinned by cmd/ringelect's golden test
+			t.Errorf("rotation %d: messages %d, want 276", d, resp.Messages)
+		}
+		if wantCached := d > 0; resp.Cached != wantCached {
+			t.Errorf("rotation %d: cached=%t, want %t", d, resp.Cached, wantCached)
+		}
+		// Every rotation must report the same canonical sequence.
+		if want := canonSpec(base.Rotate(0).Labels()); d == 0 && resp.Ring != want {
+			t.Errorf("rotation 0 echoes ring %q, want %q", resp.Ring, want)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Misses != 1 || snap.Hits != int64(n-1) {
+		t.Errorf("misses=%d hits=%d, want 1 and %d: rotations must share one entry", snap.Misses, snap.Hits, n-1)
+	}
+	if got := s.cache.len(); got != 1 {
+		t.Errorf("cache has %d entries, want 1", got)
+	}
+}
+
+// TestCacheKeyDiscriminates: same canonical ring but different alg or k
+// must be separate entries.
+func TestCacheKeyDiscriminates(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	h := s.Handler()
+	for _, req := range []ElectRequest{
+		{Ring: "1 3 1 3 2 2 1 2", Alg: "B", K: 3},
+		{Ring: "1 3 1 3 2 2 1 2", Alg: "A", K: 3},
+		{Ring: "1 3 1 3 2 2 1 2", Alg: "B", K: 4},
+	} {
+		var resp ElectResponse
+		if code, _ := postJSON(t, h, "/v1/elect", req, &resp); code != 200 {
+			t.Fatalf("%+v: status %d", req, code)
+		}
+		if resp.Cached {
+			t.Errorf("%+v: unexpectedly cached", req)
+		}
+	}
+	if got := s.cache.len(); got != 3 {
+		t.Errorf("cache has %d entries, want 3", got)
+	}
+}
+
+// TestSingleflightDedup: concurrent identical requests must run one
+// election and count one miss; the rest are deduplicated hits.
+func TestSingleflightDedup(t *testing.T) {
+	s := New(Config{Workers: 2, CacheEntries: 16})
+	defer s.Close()
+	h := s.Handler()
+
+	const clients = 16
+	var wg sync.WaitGroup
+	leaders := make([]int, clients)
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(ElectRequest{Ring: "1 3 1 3 2 2 1 2", Alg: "B", K: 3})
+			req := httptest.NewRequest("POST", "/v1/elect", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			codes[i] = rec.Code
+			var resp ElectResponse
+			if rec.Code == 200 {
+				_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+				leaders[i] = resp.Leader
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if codes[i] != 200 {
+			t.Fatalf("client %d: status %d", i, codes[i])
+		}
+		if leaders[i] != 0 {
+			t.Errorf("client %d: leader %d, want 0", i, leaders[i])
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (singleflight)", snap.Misses)
+	}
+	if snap.Hits != clients-1 {
+		t.Errorf("hits = %d, want %d", snap.Hits, clients-1)
+	}
+}
+
+// TestCacheEviction: the LRU must stay bounded and evict the oldest
+// completed entry.
+func TestCacheEviction(t *testing.T) {
+	s := New(Config{Workers: 1, CacheEntries: 4})
+	defer s.Close()
+	h := s.Handler()
+	for i := 0; i < 10; i++ {
+		spec := fmt.Sprintf("1 2 %d", i+3) // distinct rings
+		var resp ElectResponse
+		if code, _ := postJSON(t, h, "/v1/elect", ElectRequest{Ring: spec, Alg: "A", K: 2}, &resp); code != 200 {
+			t.Fatalf("ring %d: status %d", i, code)
+		}
+	}
+	if got := s.cache.len(); got != 4 {
+		t.Errorf("cache has %d entries, want capacity 4", got)
+	}
+	// Oldest ring must have been evicted: re-requesting it is a miss.
+	var resp ElectResponse
+	if code, _ := postJSON(t, h, "/v1/elect", ElectRequest{Ring: "1 2 3", Alg: "A", K: 2}, &resp); code != 200 {
+		t.Fatal("re-request failed")
+	}
+	if resp.Cached {
+		t.Error("oldest entry should have been evicted")
+	}
+	// Newest ring must still be cached.
+	if code, _ := postJSON(t, h, "/v1/elect", ElectRequest{Ring: "1 2 12", Alg: "A", K: 2}, &resp); code != 200 || !resp.Cached {
+		t.Errorf("newest entry should still be cached (code %d, cached %t)", code, resp.Cached)
+	}
+}
+
+// TestErroredEntryNotCached: a failed computation must not poison the
+// cache; exercised directly against the cache internals.
+func TestErroredEntryNotCached(t *testing.T) {
+	c := newResultCache(8)
+	key := cacheKey{canon: "1 2 2", alg: "Ak", k: 2}
+	e, owner := c.lookup(key)
+	if !owner {
+		t.Fatal("first lookup must own the entry")
+	}
+	c.finish(key, e, nil, errors.New("engine exploded"))
+	if c.len() != 0 {
+		t.Fatalf("errored entry retained; cache len %d", c.len())
+	}
+	if _, owner := c.lookup(key); !owner {
+		t.Error("next lookup must retry, not wait on the failed entry")
+	}
+}

@@ -1,0 +1,199 @@
+// End-to-end tests: the load generator (internal/load) driven against a
+// real ringd server on a loopback listener. Black-box (package
+// serve_test) so the serve -> load import direction stays acyclic.
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/serve"
+)
+
+// startServer runs a serve.Server behind a real http.Server on a
+// loopback port and returns its base URL plus a shutdown func honoring
+// the contract: http.Server.Shutdown first, then serve.Server.Close.
+func startServer(t *testing.T, cfg serve.Config) (*serve.Server, string, func()) {
+	t.Helper()
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		s.Close()
+		<-done
+	}
+	return s, "http://" + ln.Addr().String(), shutdown
+}
+
+// TestEndToEndLoadMix is the acceptance run from the issue: a seeded
+// 1000-request hot/cold/rotated mix against an in-process ringd with
+// crosschecking on. It must complete with zero divergences (both the
+// server's sampled self-checks and the client's independent re-runs),
+// a cache hit-rate above 50% on the hot+rotated portion, and every
+// shed — if any — answered 429 with a Retry-After header.
+func TestEndToEndLoadMix(t *testing.T) {
+	var divergences []string
+	var mu sync.Mutex
+	s, url, shutdown := startServer(t, serve.Config{
+		Workers:    2,
+		Crosscheck: 0.2,
+		OnDivergence: func(d string) {
+			mu.Lock()
+			divergences = append(divergences, d)
+			mu.Unlock()
+		},
+	})
+	defer shutdown()
+
+	rep, err := load.Run(load.Config{
+		BaseURL:    url,
+		Requests:   1000,
+		Workers:    8,
+		Seed:       1,
+		Alg:        "B",
+		K:          3,
+		Crosscheck: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.TransportErrors != 0 || rep.ServerErrors != 0 || rep.BadRequests != 0 {
+		t.Errorf("unexpected failures: %+v", rep)
+	}
+	if rep.OK+rep.Shed != rep.Requests {
+		t.Errorf("every request must be answered OK or shed: %+v", rep)
+	}
+	if rep.Shed != rep.ShedsWithRetryAfter {
+		t.Errorf("%d sheds but only %d carried Retry-After", rep.Shed, rep.ShedsWithRetryAfter)
+	}
+	if rep.Crosschecks < 200 || rep.Divergences != 0 {
+		t.Errorf("client crosschecks=%d divergences=%d, want >=200 and 0", rep.Crosschecks, rep.Divergences)
+	}
+
+	// Cache effectiveness on the portion the cache exists for: hot
+	// repeats and rotated resubmissions of hot rings.
+	hot, rot := rep.Classes[load.ClassHot], rep.Classes[load.ClassRotated]
+	servedHotRot := hot.OK + rot.OK
+	cachedHotRot := hot.Cached + rot.Cached
+	if servedHotRot == 0 {
+		t.Fatal("plan produced no hot/rotated traffic")
+	}
+	if rate := float64(cachedHotRot) / float64(servedHotRot); rate <= 0.5 {
+		t.Errorf("hot+rotated hit-rate %.2f (cached %d of %d), want > 0.5", rate, cachedHotRot, servedHotRot)
+	}
+
+	// Server-side sampled self-checks must agree too.
+	snap := s.Metrics().Snapshot()
+	mu.Lock()
+	defer mu.Unlock()
+	if snap.Divergences != 0 || len(divergences) != 0 {
+		t.Errorf("server crosscheck diverged: %d, %v", snap.Divergences, divergences)
+	}
+	if snap.Crosschecks == 0 {
+		t.Error("server sampled no cache hits despite Crosscheck=0.2")
+	}
+	if snap.Hits == 0 || snap.Misses == 0 {
+		t.Errorf("mix should produce both hits and misses: %+v", snap)
+	}
+}
+
+// TestEndToEndGracefulDrain shuts the server down in the middle of a
+// concurrent request storm. Every in-flight request must complete (200)
+// or be refused promptly (429/503 or a connection error once the
+// listener is down) — none may hang — and Shutdown+Close must return.
+func TestEndToEndGracefulDrain(t *testing.T) {
+	_, url, shutdown := startServer(t, serve.Config{
+		Workers:   2,
+		BatchWait: 5 * time.Millisecond,
+	})
+
+	const clients = 12
+	var mu sync.Mutex
+	var ok, refused, connErrs int
+	var unexpected []int
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Distinct rings: every request is a miss that must ride
+				// the queue, so the drain has real work to wait for.
+				spec := fmt.Sprintf("1 2 %d %d", 3+c, 4+i%97)
+				body := fmt.Sprintf(`{"ring":%q,"alg":"B","k":2}`, spec)
+				resp, err := client.Post(url+"/v1/elect", "application/json", strings.NewReader(body))
+				mu.Lock()
+				switch {
+				case err != nil:
+					connErrs++ // listener already closed: acceptable, not a hang
+				case resp.StatusCode == http.StatusOK:
+					ok++
+				case resp.StatusCode == http.StatusTooManyRequests,
+					resp.StatusCode == http.StatusServiceUnavailable:
+					refused++
+				default:
+					unexpected = append(unexpected, resp.StatusCode)
+				}
+				mu.Unlock()
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(c)
+	}
+
+	// Let the storm build, then shut down mid-flight.
+	time.Sleep(50 * time.Millisecond)
+	drained := make(chan struct{})
+	go func() {
+		shutdown()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(60 * time.Second):
+		t.Fatal("shutdown did not drain: in-flight elections leaked")
+	}
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, status := range unexpected {
+		t.Errorf("unexpected status %d during drain", status)
+	}
+	if ok == 0 {
+		t.Error("no request succeeded before shutdown; storm never overlapped the drain")
+	}
+	t.Logf("drain: %d ok, %d refused, %d post-shutdown connection errors", ok, refused, connErrs)
+}

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Metrics is the daemon's observability registry: request/response
+// counters, cache and shed counters, an in-flight gauge, and per-endpoint
+// latency histograms, all hand-rolled on the standard library and exposed
+// in the Prometheus text format by WritePrometheus. One instance per
+// Server; every handler passes through ObserveRequest via the
+// instrumentation middleware.
+type Metrics struct {
+	mu          sync.Mutex
+	start       time.Time
+	requests    map[string]int64 // by endpoint
+	responses   map[int]int64    // by status code
+	latency     map[string]*stats.Histogram
+	hits        int64
+	misses      int64
+	sheds       int64
+	errors      int64 // 5xx responses
+	crosschecks int64
+	divergences int64
+	inFlight    int64
+	gauges      map[string]func() float64 // extra gauges (cache size, queue depth)
+}
+
+// NewMetrics builds an empty registry. gauges supplies additional
+// point-in-time values (e.g. cache entries) sampled at exposition time.
+func NewMetrics(gauges map[string]func() float64) *Metrics {
+	return &Metrics{
+		start:     time.Now(),
+		requests:  make(map[string]int64),
+		responses: make(map[int]int64),
+		latency:   make(map[string]*stats.Histogram),
+		gauges:    gauges,
+	}
+}
+
+// ObserveRequest records one completed request: endpoint counter, status
+// counter, latency histogram, and the shed/error counters derived from
+// the status code (429 → shed, 5xx → error).
+func (m *Metrics) ObserveRequest(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[endpoint]++
+	m.responses[status]++
+	h, ok := m.latency[endpoint]
+	if !ok {
+		h = stats.MustHistogram(stats.DefaultLatencyBuckets)
+		m.latency[endpoint] = h
+	}
+	h.Observe(d.Seconds())
+	if status == 429 {
+		m.sheds++
+	}
+	if status >= 500 {
+		m.errors++
+	}
+}
+
+// IncInFlight / DecInFlight maintain the in-flight request gauge.
+func (m *Metrics) IncInFlight() { m.mu.Lock(); m.inFlight++; m.mu.Unlock() }
+
+// DecInFlight decrements the in-flight request gauge.
+func (m *Metrics) DecInFlight() { m.mu.Lock(); m.inFlight--; m.mu.Unlock() }
+
+// CacheHit records a request answered from (or deduplicated into) the
+// rotation-canonical result cache.
+func (m *Metrics) CacheHit() { m.mu.Lock(); m.hits++; m.mu.Unlock() }
+
+// CacheMiss records a request that had to run its election.
+func (m *Metrics) CacheMiss() { m.mu.Lock(); m.misses++; m.mu.Unlock() }
+
+// Crosscheck records one sampled cache hit re-verified through the
+// simulator; diverged marks the re-run disagreeing with the cached result.
+func (m *Metrics) Crosscheck(diverged bool) {
+	m.mu.Lock()
+	m.crosschecks++
+	if diverged {
+		m.divergences++
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the counters, for tests and the
+// periodic log line.
+type Snapshot struct {
+	Requests    int64
+	Hits        int64
+	Misses      int64
+	Sheds       int64
+	Errors      int64
+	Crosschecks int64
+	Divergences int64
+	InFlight    int64
+}
+
+// Snapshot returns a consistent copy of the counters.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Hits:        m.hits,
+		Misses:      m.misses,
+		Sheds:       m.sheds,
+		Errors:      m.errors,
+		Crosschecks: m.crosschecks,
+		Divergences: m.divergences,
+		InFlight:    m.inFlight,
+	}
+	for _, c := range m.requests {
+		s.Requests += c
+	}
+	return s
+}
+
+// LogLine renders the one-line periodic operational summary.
+func (m *Metrics) LogLine() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, c := range m.requests {
+		total += c
+	}
+	hitRate := 0.0
+	if m.hits+m.misses > 0 {
+		hitRate = 100 * float64(m.hits) / float64(m.hits+m.misses)
+	}
+	p95 := 0.0
+	if h, ok := m.latency["/v1/elect"]; ok && h.Count() > 0 {
+		p95 = h.Quantile(0.95) * 1000
+	}
+	return fmt.Sprintf("served=%d hit=%d miss=%d (%.1f%% hit) shed=%d err=%d crosscheck=%d/%d inflight=%d p95(elect)=%.2fms",
+		total, m.hits, m.misses, hitRate, m.sheds, m.errors, m.divergences, m.crosschecks, m.inFlight, p95)
+}
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format (v0.0.4), with deterministic ordering so the output is diffable.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP ringd_requests_total Requests received, by endpoint.\n# TYPE ringd_requests_total counter\n")
+	for _, ep := range sortedKeys(m.requests) {
+		fmt.Fprintf(w, "ringd_requests_total{endpoint=%q} %d\n", ep, m.requests[ep])
+	}
+
+	fmt.Fprintf(w, "# HELP ringd_responses_total Responses sent, by status code.\n# TYPE ringd_responses_total counter\n")
+	codes := make([]int, 0, len(m.responses))
+	for c := range m.responses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "ringd_responses_total{code=\"%d\"} %d\n", c, m.responses[c])
+	}
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("ringd_cache_hits_total", "Elect requests answered from or deduplicated into the canonical result cache.", m.hits)
+	counter("ringd_cache_misses_total", "Elect requests that ran an election.", m.misses)
+	counter("ringd_shed_total", "Requests shed with 429 by the admission layer.", m.sheds)
+	counter("ringd_errors_total", "Responses with a 5xx status.", m.errors)
+	counter("ringd_crosscheck_total", "Cache hits re-verified through the simulator.", m.crosschecks)
+	counter("ringd_crosscheck_divergence_total", "Crosscheck re-runs that disagreed with the cached result.", m.divergences)
+
+	fmt.Fprintf(w, "# HELP ringd_in_flight Requests currently being served.\n# TYPE ringd_in_flight gauge\nringd_in_flight %d\n", m.inFlight)
+	for _, name := range sortedKeys(m.gauges) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(m.gauges[name]()))
+	}
+	fmt.Fprintf(w, "# HELP ringd_uptime_seconds Seconds since the server started.\n# TYPE ringd_uptime_seconds gauge\nringd_uptime_seconds %s\n", formatFloat(time.Since(m.start).Seconds()))
+
+	fmt.Fprintf(w, "# HELP ringd_request_seconds Request latency, by endpoint.\n# TYPE ringd_request_seconds histogram\n")
+	for _, ep := range sortedKeys(m.latency) {
+		h := m.latency[ep]
+		h.Buckets(func(upper float64, cum int64) {
+			fmt.Fprintf(w, "ringd_request_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, formatFloat(upper), cum)
+		})
+		fmt.Fprintf(w, "ringd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.Count())
+		fmt.Fprintf(w, "ringd_request_seconds_sum{endpoint=%q} %s\n", ep, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "ringd_request_seconds_count{endpoint=%q} %d\n", ep, h.Count())
+	}
+}
+
+// latencyQuantile reports a quantile of an endpoint's latency histogram in
+// seconds (0 when the endpoint has no samples). For tests and reports.
+func (m *Metrics) latencyQuantile(endpoint string, q float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.latency[endpoint]
+	if !ok || h.Count() == 0 {
+		return 0
+	}
+	return h.Quantile(q)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

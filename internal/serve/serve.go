@@ -1,0 +1,521 @@
+// Package serve is the election-serving subsystem behind cmd/ringd: an
+// HTTP/JSON daemon that answers leader-election queries over labeled
+// unidirectional rings at traffic rates the raw engines could not
+// sustain, by exploiting the paper's own structure. Election outcomes on
+// a ring are rotation-invariant (Theorems 2 and 4 are statements about
+// the network, not its numbering), so the server canonicalizes every
+// request to the lexicographically least rotation of its label sequence
+// (Booth's algorithm, internal/words) and serves repeats — including
+// every rotated resubmission of a known ring — from an LRU cache,
+// mapping the cached canonical leader index back into the caller's
+// frame. Three layers:
+//
+//   - a rotation-canonical result cache keyed by (least rotation, alg, k)
+//     with singleflight deduplication of concurrent identical requests;
+//   - a bounded admission layer that batches cache misses through the
+//     internal/sweep worker pool and sheds overload with 429 +
+//     Retry-After instead of queueing without bound;
+//   - an observability layer: counters, per-endpoint latency histograms
+//     (internal/stats), an in-flight gauge, a Prometheus text /metrics
+//     endpoint, and a periodic one-line operational log.
+//
+// A configurable crosscheck mode re-runs a sampled fraction of cache
+// hits through the deterministic simulator and fails loudly on
+// divergence — the serving-path sibling of experiment E10's three-way
+// engine agreement. Graceful shutdown drains in-flight elections.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/sweep"
+	"repro/internal/words"
+
+	repro "repro"
+)
+
+// Config parameterizes a Server. The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// CacheEntries bounds the result cache (default 4096 entries).
+	CacheEntries int
+	// QueueDepth bounds the admission queue; a full queue sheds with 429
+	// (default 256).
+	QueueDepth int
+	// Workers is the election worker-pool width (default: one per CPU,
+	// via sweep.DefaultWorkers).
+	Workers int
+	// BatchSize is the largest admission batch fanned across the pool at
+	// once (default 16).
+	BatchSize int
+	// BatchWait is how long the dispatcher waits to fill a batch after
+	// its first task (default 2ms).
+	BatchWait time.Duration
+	// RequestTimeout bounds one request's total queue + election time
+	// (default 30s). Requests that out-wait it in the queue are shed.
+	RequestTimeout time.Duration
+	// ElectTimeout is the goroutine engine's watchdog (default 1m).
+	ElectTimeout time.Duration
+	// MaxRingSize rejects larger rings with 400 before they reach an
+	// engine (default 4096 processes).
+	MaxRingSize int
+	// Crosscheck is the fraction of cache hits re-verified through the
+	// deterministic simulator (0 = off, 1 = every hit).
+	Crosscheck float64
+	// OnDivergence is called with a description when a crosscheck
+	// disagrees with the cached result. Default: panic — a divergence
+	// means the cache layer broke the engines' agreement invariant, and
+	// serving wrong leaders quietly is the one unacceptable failure.
+	OnDivergence func(detail string)
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+	// LogEvery is the period of the metrics summary log line (0 = off;
+	// requires Logf).
+	LogEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	c.Workers = sweep.DefaultWorkers(c.Workers)
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.ElectTimeout <= 0 {
+		c.ElectTimeout = time.Minute
+	}
+	if c.MaxRingSize <= 0 {
+		c.MaxRingSize = 4096
+	}
+	if c.OnDivergence == nil {
+		c.OnDivergence = func(detail string) {
+			panic("serve: crosscheck divergence: " + detail)
+		}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is one election-serving instance. Build with New, mount
+// Handler() on an http.Server, and Close() after the http.Server has
+// shut down (Close drains the admission queue, so the order matters:
+// first stop accepting connections, then drain).
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *resultCache
+	adm     *admission
+
+	hitSeq   int64 // crosscheck sampling counter; guarded by sampleMu
+	sampleMu sync.Mutex
+
+	stopLog chan struct{}
+	logWG   sync.WaitGroup
+}
+
+// New builds a Server from cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheEntries),
+		stopLog: make(chan struct{}),
+	}
+	s.metrics = NewMetrics(map[string]func() float64{
+		"ringd_cache_entries": func() float64 { return float64(s.cache.len()) },
+		"ringd_queue_depth":   func() float64 { return float64(len(s.adm.queue)) },
+	})
+	s.adm = newAdmission(cfg.QueueDepth, cfg.Workers, cfg.BatchSize, cfg.BatchWait)
+	if cfg.LogEvery > 0 {
+		s.logWG.Add(1)
+		go s.logLoop()
+	}
+	return s
+}
+
+// Metrics exposes the server's metrics registry (for tests and the
+// daemon's final summary line).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains and stops the server's background work: every admitted
+// election runs to completion, then the dispatcher and the periodic
+// logger exit. Call only after the HTTP listener has stopped accepting
+// requests (http.Server.Shutdown).
+func (s *Server) Close() {
+	s.adm.close()
+	close(s.stopLog)
+	s.logWG.Wait()
+}
+
+func (s *Server) logLoop() {
+	defer s.logWG.Done()
+	t := time.NewTicker(s.cfg.LogEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.cfg.Logf("ringd: %s", s.metrics.LogLine())
+		case <-s.stopLog:
+			return
+		}
+	}
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/elect    {ring, alg, k, engine} → election outcome
+//	POST /v1/classify {ring}                 → ring-class report
+//	GET  /healthz                            → liveness
+//	GET  /metrics                            → Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/elect", s.instrument("/v1/elect", s.handleElect))
+	mux.Handle("POST /v1/classify", s.instrument("/v1/classify", s.handleClassify))
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	return mux
+}
+
+// statusRecorder captures the response status for the metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the observability layer: in-flight
+// gauge, request counter, status counter, latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.IncInFlight()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.metrics.DecInFlight()
+		s.metrics.ObserveRequest(endpoint, rec.status, time.Since(start))
+	})
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// shed answers a load-shed request: 429 with a Retry-After estimate, the
+// contract that keeps overload visible and bounded instead of letting the
+// queue collapse into timeouts.
+func (s *Server) shed(w http.ResponseWriter, why error) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
+	writeError(w, http.StatusTooManyRequests, "overloaded: %v; retry after the indicated delay", why)
+}
+
+// ElectRequest is the POST /v1/elect body.
+type ElectRequest struct {
+	// Ring is the clockwise label sequence, e.g. "1 3 1 3 2 2 1 2".
+	Ring string `json:"ring"`
+	// Alg is the algorithm name (default "A"). See repro.ParseAlgorithm.
+	Alg string `json:"alg,omitempty"`
+	// K is the multiplicity bound known to the processes (default 2).
+	K int `json:"k,omitempty"`
+	// Engine is "sim" (deterministic unit-delay simulator; default) or
+	// "goroutines" (one goroutine per process).
+	Engine string `json:"engine,omitempty"`
+}
+
+// ElectResponse is the POST /v1/elect result.
+type ElectResponse struct {
+	Ring          string  `json:"ring"`
+	N             int     `json:"n"`
+	Alg           string  `json:"alg"`
+	K             int     `json:"k"`
+	Engine        string  `json:"engine"` // engine that computed the result
+	Leader        int     `json:"leader"` // index in the request's frame
+	LeaderLabel   string  `json:"leader_label"`
+	Messages      int     `json:"messages"`
+	TimeUnits     float64 `json:"time_units,omitempty"`
+	PeakSpaceBits int     `json:"peak_space_bits,omitempty"`
+	Cached        bool    `json:"cached"`
+	// Canonical is the least-rotation label sequence the result is cached
+	// under; CanonicalRotation is the index of the request ring's process
+	// that became canonical process 0.
+	Canonical         string `json:"canonical"`
+	CanonicalRotation int    `json:"canonical_rotation"`
+}
+
+func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
+	var req ElectRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Alg == "" {
+		req.Alg = "A"
+	}
+	if req.K == 0 {
+		req.K = 2
+	}
+	if req.K < 1 || req.K > 1024 {
+		writeError(w, http.StatusBadRequest, "k must be in [1, 1024], got %d", req.K)
+		return
+	}
+	if req.Engine == "" {
+		req.Engine = "sim"
+	}
+	if req.Engine != "sim" && req.Engine != "goroutines" {
+		writeError(w, http.StatusBadRequest, "unknown engine %q (want sim or goroutines)", req.Engine)
+		return
+	}
+	alg, err := repro.ParseAlgorithm(req.Alg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rg, err := ring.Parse(req.Ring)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if rg.N() > s.cfg.MaxRingSize {
+		writeError(w, http.StatusBadRequest, "ring has %d processes, limit is %d", rg.N(), s.cfg.MaxRingSize)
+		return
+	}
+	// Validate the (ring, alg, k) combination up front so invalid
+	// requests get a 400 without consuming queue budget or cache space.
+	if _, err := repro.ProtocolFor(rg, alg, req.K); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Canonicalize: all rotations of this ring share one cache entry.
+	labels := rg.Labels()
+	rot := words.LeastRotationIndex(labels)
+	canon := rg.Rotate(rot)
+	key := cacheKey{canon: canonSpec(canon.Labels()), alg: alg.String(), k: req.K}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	e, owner := s.cache.lookup(key)
+	if owner {
+		s.metrics.CacheMiss()
+		if err := s.adm.submit(ctx, func() {
+			out, rerr := s.runElection(canon, alg, req.K, req.Engine)
+			s.cache.finish(key, e, out, rerr)
+		}); err != nil {
+			s.cache.abandon(key, e, err)
+			if errors.Is(err, errClosed) {
+				writeError(w, http.StatusServiceUnavailable, "shutting down")
+				return
+			}
+			s.shed(w, err)
+			return
+		}
+	} else {
+		s.metrics.CacheHit()
+	}
+
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		writeError(w, http.StatusServiceUnavailable, "timed out waiting for result: %v", ctx.Err())
+		return
+	}
+	if e.err != nil {
+		if errors.Is(e.err, errSaturated) || errors.Is(e.err, errExpired) {
+			// The owner of this in-flight entry was shed; we were
+			// deduplicated into its flight, so we shed too.
+			s.shed(w, e.err)
+			return
+		}
+		if errors.Is(e.err, errClosed) {
+			writeError(w, http.StatusServiceUnavailable, "shutting down")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "election failed: %v", e.err)
+		return
+	}
+	out := e.out
+	if !owner && s.shouldCrosscheck() {
+		s.crosscheck(key, canon, alg, req.K, out)
+	}
+	writeJSON(w, http.StatusOK, ElectResponse{
+		Ring:              canonSpec(labels),
+		N:                 rg.N(),
+		Alg:               alg.String(),
+		K:                 req.K,
+		Engine:            out.Engine,
+		Leader:            (out.Leader + rot) % rg.N(),
+		LeaderLabel:       out.LeaderLabel.String(),
+		Messages:          out.Messages,
+		TimeUnits:         out.TimeUnits,
+		PeakSpaceBits:     out.PeakSpaceBits,
+		Cached:            !owner,
+		Canonical:         key.canon,
+		CanonicalRotation: rot,
+	})
+}
+
+// runElection executes one election on the canonical ring.
+func (s *Server) runElection(canon *ring.Ring, alg repro.Algorithm, k int, engine string) (*canonOutcome, error) {
+	var out *repro.Outcome
+	var err error
+	switch engine {
+	case "goroutines":
+		out, err = repro.ElectParallel(canon, alg, k, s.cfg.ElectTimeout)
+	default:
+		out, err = repro.Elect(canon, alg, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &canonOutcome{
+		Leader:        out.Leader,
+		LeaderLabel:   out.LeaderLabel,
+		Messages:      out.Messages,
+		TimeUnits:     out.TimeUnits,
+		PeakSpaceBits: out.PeakSpaceBits,
+		Engine:        engine,
+	}, nil
+}
+
+// shouldCrosscheck deterministically samples cache hits at the configured
+// fraction: hit i is sampled when ⌊i·f⌋ > ⌊(i-1)·f⌋, i.e. every 1/f-th
+// hit for small f, every hit for f = 1.
+func (s *Server) shouldCrosscheck() bool {
+	f := s.cfg.Crosscheck
+	if f <= 0 {
+		return false
+	}
+	s.sampleMu.Lock()
+	defer s.sampleMu.Unlock()
+	s.hitSeq++
+	return int64(float64(s.hitSeq)*f) > int64(float64(s.hitSeq-1)*f)
+}
+
+// crosscheck re-runs a cached election through the deterministic
+// simulator and fails loudly if the cache layer has broken the engines'
+// agreement invariant (the serving-path analogue of experiment E10).
+func (s *Server) crosscheck(key cacheKey, canon *ring.Ring, alg repro.Algorithm, k int, cached *canonOutcome) {
+	fresh, err := repro.Elect(canon, alg, k)
+	if err != nil {
+		s.metrics.Crosscheck(true)
+		s.cfg.OnDivergence(fmt.Sprintf("re-running %v alg=%s k=%d failed: %v", key.canon, key.alg, k, err))
+		return
+	}
+	diverged := fresh.Leader != cached.Leader ||
+		fresh.LeaderLabel != cached.LeaderLabel ||
+		fresh.Messages != cached.Messages
+	s.metrics.Crosscheck(diverged)
+	if diverged {
+		s.cfg.OnDivergence(fmt.Sprintf(
+			"ring [%s] alg=%s k=%d: cached leader=%d label=%s messages=%d (engine %s), fresh leader=%d label=%s messages=%d",
+			key.canon, key.alg, k,
+			cached.Leader, cached.LeaderLabel, cached.Messages, cached.Engine,
+			fresh.Leader, fresh.LeaderLabel, fresh.Messages))
+	}
+}
+
+// ClassifyRequest is the POST /v1/classify body.
+type ClassifyRequest struct {
+	Ring string `json:"ring"`
+}
+
+// ClassifyResponse reports the ring-class facts the paper's algorithms
+// condition on: asymmetry (class A), the maximum label multiplicity (the
+// least k with the ring in Kk), unique-label membership (U*), and the
+// canonical rotation the result cache would key this ring under.
+type ClassifyResponse struct {
+	Ring              string `json:"ring"`
+	N                 int    `json:"n"`
+	Asymmetric        bool   `json:"asymmetric"`
+	MaxMultiplicity   int    `json:"max_multiplicity"`
+	UniqueLabel       bool   `json:"unique_label"`
+	LabelBits         int    `json:"label_bits"`
+	Electable         bool   `json:"electable"`   // asymmetric, i.e. leader election is solvable
+	TrueLeader        int    `json:"true_leader"` // -1 when symmetric
+	Canonical         string `json:"canonical"`
+	CanonicalRotation int    `json:"canonical_rotation"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req ClassifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	rg, err := ring.Parse(req.Ring)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if rg.N() > s.cfg.MaxRingSize {
+		writeError(w, http.StatusBadRequest, "ring has %d processes, limit is %d", rg.N(), s.cfg.MaxRingSize)
+		return
+	}
+	labels := rg.Labels()
+	rot := words.LeastRotationIndex(labels)
+	tl, ok := rg.TrueLeader()
+	if !ok {
+		tl = -1
+	}
+	writeJSON(w, http.StatusOK, ClassifyResponse{
+		Ring:              canonSpec(labels),
+		N:                 rg.N(),
+		Asymmetric:        rg.IsAsymmetric(),
+		MaxMultiplicity:   rg.MaxMultiplicity(),
+		UniqueLabel:       rg.HasUniqueLabel(),
+		LabelBits:         rg.LabelBits(),
+		Electable:         ok,
+		TrueLeader:        tl,
+		Canonical:         canonSpec(rg.Rotate(rot).Labels()),
+		CanonicalRotation: rot,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}

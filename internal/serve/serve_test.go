@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestClassifyFigure1(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	var resp ClassifyResponse
+	code, _ := postJSON(t, s.Handler(), "/v1/classify", ClassifyRequest{Ring: "1 3 1 3 2 2 1 2"}, &resp)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	// Figure 1's multiplicities are 1×3, 2×3, 3×2 — no unique label.
+	if resp.N != 8 || !resp.Asymmetric || resp.MaxMultiplicity != 3 || resp.UniqueLabel || !resp.Electable {
+		t.Errorf("classify = %+v", resp)
+	}
+	if resp.TrueLeader != 0 {
+		t.Errorf("true leader %d, want 0 (Figure 1 elects p0)", resp.TrueLeader)
+	}
+	if resp.LabelBits != 2 {
+		t.Errorf("label bits %d, want 2", resp.LabelBits)
+	}
+	// The canonical sequence must be a rotation of the input and start
+	// with the least label.
+	if !strings.HasPrefix(resp.Canonical, "1 ") {
+		t.Errorf("canonical %q does not start with the least label", resp.Canonical)
+	}
+}
+
+func TestClassifySymmetricRing(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	var resp ClassifyResponse
+	code, _ := postJSON(t, s.Handler(), "/v1/classify", ClassifyRequest{Ring: "1 2 1 2"}, &resp)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Asymmetric || resp.Electable || resp.TrueLeader != -1 {
+		t.Errorf("symmetric ring misclassified: %+v", resp)
+	}
+}
+
+// TestElectRejections: every malformed or unservable request must be
+// answered 400 with a JSON error — and must never reach the queue.
+func TestElectRejections(t *testing.T) {
+	s := New(Config{MaxRingSize: 16})
+	defer s.Close()
+	h := s.Handler()
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"empty ring", ElectRequest{Ring: ""}},
+		{"garbage ring", ElectRequest{Ring: "1 x 2"}},
+		{"symmetric ring", ElectRequest{Ring: "1 2 1 2", Alg: "A", K: 2}},
+		{"multiplicity above k", ElectRequest{Ring: "1 1 1 2", Alg: "A", K: 2}},
+		{"unknown alg", ElectRequest{Ring: "1 2 2", Alg: "nope", K: 2}},
+		{"unknown engine", ElectRequest{Ring: "1 2 2", Engine: "warp", K: 2}},
+		{"k out of range", ElectRequest{Ring: "1 2 2", K: -1}},
+		{"oversized ring", ElectRequest{Ring: strings.Repeat("1 2 ", 16) + "3", K: 4}},
+		{"unknown field", map[string]any{"ring": "1 2 2", "bogus": true}},
+		{"homonyms for CR", ElectRequest{Ring: "1 2 2", Alg: "CR", K: 2}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _ := postJSON(t, h, "/v1/elect", c.body, nil)
+			if code != http.StatusBadRequest {
+				t.Errorf("status %d, want 400", code)
+			}
+		})
+	}
+	if snap := s.Metrics().Snapshot(); snap.Misses != 0 || snap.Hits != 0 {
+		t.Errorf("rejected requests touched the cache: %+v", snap)
+	}
+}
+
+func TestElectGoroutinesEngine(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	var resp ElectResponse
+	code, _ := postJSON(t, s.Handler(), "/v1/elect", ElectRequest{Ring: "1 2 2", Alg: "B", K: 2, Engine: "goroutines"}, &resp)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Leader != 0 || resp.Engine != "goroutines" {
+		t.Errorf("resp = %+v", resp)
+	}
+	// Cached answers reuse the first engine's result regardless of the
+	// requested engine (the key has no engine: outcomes agree, E10).
+	var second ElectResponse
+	if code, _ := postJSON(t, s.Handler(), "/v1/elect", ElectRequest{Ring: "1 2 2", Alg: "B", K: 2, Engine: "sim"}, &second); code != 200 {
+		t.Fatalf("second request: status %d", code)
+	}
+	if !second.Cached || second.Engine != "goroutines" || second.Messages != resp.Messages {
+		t.Errorf("cached cross-engine answer = %+v, first = %+v", second, resp)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Errorf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestMetricsExposition drives traffic and checks the Prometheus text
+// format carries every layer's series.
+func TestMetricsExposition(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		if code, _ := postJSON(t, h, "/v1/elect", ElectRequest{Ring: "1 2 2", Alg: "A", K: 2}, nil); code != 200 {
+			t.Fatalf("elect %d: status %d", i, code)
+		}
+	}
+	postJSON(t, h, "/v1/classify", ClassifyRequest{Ring: "1 2 2"}, nil)
+	postJSON(t, h, "/v1/elect", ElectRequest{Ring: "bogus"}, nil) // a 400
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("metrics: status %d", rec.Code)
+	}
+	if ct := rec.Result().Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, frag := range []string{
+		`ringd_requests_total{endpoint="/v1/elect"} 4`,
+		`ringd_requests_total{endpoint="/v1/classify"} 1`,
+		`ringd_responses_total{code="200"} 4`,
+		`ringd_responses_total{code="400"} 1`,
+		"ringd_cache_hits_total 2",
+		"ringd_cache_misses_total 1",
+		"ringd_shed_total 0",
+		"ringd_errors_total 0",
+		"ringd_in_flight 1", // the /metrics request itself
+		"ringd_cache_entries 1",
+		"ringd_queue_depth 0",
+		`ringd_request_seconds_bucket{endpoint="/v1/elect",le="+Inf"} 4`,
+		`ringd_request_seconds_count{endpoint="/v1/elect"} 4`,
+		"ringd_uptime_seconds",
+	} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("exposition missing %q\n%s", frag, body)
+		}
+	}
+}
+
+// TestCrosscheckSamplesHits: with Crosscheck=1 every cache hit is
+// re-verified; an honest server must count checks and zero divergences.
+func TestCrosscheckSamplesHits(t *testing.T) {
+	diverged := make([]string, 0)
+	s := New(Config{Workers: 1, Crosscheck: 1, OnDivergence: func(d string) { diverged = append(diverged, d) }})
+	defer s.Close()
+	h := s.Handler()
+	for i := 0; i < 6; i++ {
+		if code, _ := postJSON(t, h, "/v1/elect", ElectRequest{Ring: "1 3 1 3 2 2 1 2", Alg: "B", K: 3}, nil); code != 200 {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Crosschecks != 5 {
+		t.Errorf("crosschecks = %d, want 5 (one per hit)", snap.Crosschecks)
+	}
+	if snap.Divergences != 0 || len(diverged) != 0 {
+		t.Errorf("honest server diverged: %d, %v", snap.Divergences, diverged)
+	}
+}
+
+// TestCrosscheckFailsLoudly corrupts a cache entry and checks the next
+// sampled hit reports the divergence with a usable description.
+func TestCrosscheckFailsLoudly(t *testing.T) {
+	var diverged []string
+	s := New(Config{Workers: 1, Crosscheck: 1, OnDivergence: func(d string) { diverged = append(diverged, d) }})
+	defer s.Close()
+	h := s.Handler()
+	if code, _ := postJSON(t, h, "/v1/elect", ElectRequest{Ring: "1 3 1 3 2 2 1 2", Alg: "B", K: 3}, nil); code != 200 {
+		t.Fatal("seed request failed")
+	}
+	// Corrupt the cached outcome behind the server's back.
+	s.cache.mu.Lock()
+	for _, e := range s.cache.entries {
+		e.out.Leader = (e.out.Leader + 1) % 8
+		e.out.Messages += 7
+	}
+	s.cache.mu.Unlock()
+
+	if code, _ := postJSON(t, h, "/v1/elect", ElectRequest{Ring: "1 3 1 3 2 2 1 2", Alg: "B", K: 3}, nil); code != 200 {
+		t.Fatal("hit request failed")
+	}
+	if len(diverged) != 1 {
+		t.Fatalf("divergences reported: %d, want 1", len(diverged))
+	}
+	for _, frag := range []string{"cached leader=3", "fresh leader=2", "alg=Bk", "k=3"} {
+		if !strings.Contains(diverged[0], frag) {
+			t.Errorf("divergence detail missing %q: %s", frag, diverged[0])
+		}
+	}
+	if snap := s.Metrics().Snapshot(); snap.Divergences != 1 {
+		t.Errorf("divergence counter = %d, want 1", snap.Divergences)
+	}
+}
+
+// TestCrosscheckSamplingFraction: at f=0.25 exactly every 4th hit is
+// sampled, deterministically.
+func TestCrosscheckSamplingFraction(t *testing.T) {
+	s := New(Config{Workers: 1, Crosscheck: 0.25})
+	defer s.Close()
+	h := s.Handler()
+	for i := 0; i < 17; i++ { // 1 miss + 16 hits
+		if code, _ := postJSON(t, h, "/v1/elect", ElectRequest{Ring: "1 2 2", Alg: "A", K: 2}, nil); code != 200 {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	if snap := s.Metrics().Snapshot(); snap.Crosschecks != 4 {
+		t.Errorf("crosschecks = %d, want 4 of 16 hits", snap.Crosschecks)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	req := httptest.NewRequest("GET", "/v1/elect", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/elect: status %d, want 405", rec.Code)
+	}
+}

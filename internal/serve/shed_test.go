@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestElectShedsOverHTTP saturates the admission layer directly (one
+// blocked worker, full queue) and checks the HTTP surface of shedding:
+// an immediate 429 with a sane Retry-After header, the shed counter
+// bumped, and — because the owner abandons the cache entry — deduped
+// waiters for the same ring shed too instead of hanging.
+func TestElectShedsOverHTTP(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, BatchSize: 1, BatchWait: time.Millisecond})
+	defer s.Close()
+	h := s.Handler()
+
+	// Occupy the only worker, then the only queue slot.
+	release := make(chan struct{})
+	var running sync.WaitGroup
+	running.Add(1)
+	var occupied sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		first := i == 0
+		occupied.Add(1)
+		go func() {
+			defer occupied.Done()
+			_ = s.adm.submit(context.Background(), func() {
+				if first {
+					running.Done()
+				}
+				<-release
+			})
+		}()
+		if first {
+			running.Wait()
+		} else {
+			deadline := time.After(2 * time.Second)
+			for len(s.adm.queue) < 1 {
+				select {
+				case <-deadline:
+					t.Fatal("queue never filled")
+				default:
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	body := []byte(`{"ring":"1 2 2","alg":"A","k":2}`)
+	req := httptest.NewRequest("POST", "/v1/elect", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429; body %s", rec.Code, rec.Body.String())
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("shed took %v; must not block", d)
+	}
+	ra := rec.Result().Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 30 {
+		t.Errorf("Retry-After %q, want an integer in [1, 30]", ra)
+	}
+	if snap := s.Metrics().Snapshot(); snap.Sheds != 1 {
+		t.Errorf("shed counter = %d, want 1", snap.Sheds)
+	}
+	// The shed owner must not leave a poisoned entry behind.
+	if got := s.cache.len(); got != 0 {
+		t.Errorf("cache holds %d entries after a shed, want 0", got)
+	}
+
+	close(release)
+	occupied.Wait()
+
+	// With capacity free again the same request must now succeed.
+	req = httptest.NewRequest("POST", "/v1/elect", bytes.NewReader(body))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("after release: status %d, want 200; body %s", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a streaming histogram over non-negative measurements with
+// fixed bucket boundaries, shared by the ringd /metrics latency histograms
+// and the ringload latency report. It keeps the first few thousand raw
+// samples so that quantiles over small populations (a 1k-request load run,
+// a freshly started server) are exact; once the retained window overflows
+// it falls back to linear interpolation inside the matching bucket —
+// the usual Prometheus-style estimate, bounded by the observed min/max.
+//
+// Histogram is not safe for concurrent use; callers that share one across
+// goroutines (e.g. the serve metrics registry) must hold their own lock.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds
+	counts []int64   // len(bounds)+1; counts[len(bounds)] is the overflow bucket
+	sum    float64
+	n      int64
+	min    float64
+	max    float64
+	exact  []float64 // first exactCap raw samples, unsorted
+}
+
+// exactCap is the number of raw samples retained for the exact-quantile
+// path. 4096 comfortably covers a ringload run of the default size, after
+// which the bucket estimate takes over.
+const exactCap = 4096
+
+// DefaultLatencyBuckets is a log-spaced boundary ladder (seconds) suited
+// to HTTP request latencies from tens of microseconds to tens of seconds.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// NewHistogram builds a histogram with the given upper bucket boundaries,
+// which must be non-empty and strictly increasing.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bucket boundary")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("stats: bucket boundaries must increase strictly, got %v then %v", bounds[i-1], bounds[i])
+		}
+	}
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	return &Histogram{
+		bounds: cp,
+		counts: make([]int64, len(cp)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}, nil
+}
+
+// MustHistogram is NewHistogram, panicking on error. For fixed literal
+// boundary ladders like DefaultLatencyBuckets.
+func MustHistogram(bounds []float64) *Histogram {
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Observe records one measurement.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.exact) < exactCap {
+		h.exact = append(h.exact, v)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean of all observations (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the observations. While
+// every sample is still retained it computes the exact nearest-rank
+// percentile: the ⌈q·n⌉-th smallest sample. Beyond that it interpolates
+// linearly inside the bucket containing that rank, clamped to the observed
+// [min, max]. Returns NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if int64(len(h.exact)) == h.n {
+		sorted := make([]float64, len(h.exact))
+		copy(sorted, h.exact)
+		sort.Float64s(sorted)
+		return sorted[rank-1]
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.max
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if lo < h.min {
+			lo = h.min
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := float64(rank-cum) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return h.max // unreachable: ranks are ≤ n
+}
+
+// Buckets calls fn for each boundary in ascending order with the
+// cumulative count of observations ≤ that boundary — the `le` series of
+// the Prometheus histogram exposition. The implicit +Inf bucket is
+// Count().
+func (h *Histogram) Buckets(fn func(upper float64, cumulative int64)) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fn(b, cum)
+	}
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the nearest-rank percentile the histogram promises on
+// small populations: the ⌈q·n⌉-th smallest sample.
+func exactQuantile(xs []float64, q float64) float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("empty boundaries must be rejected")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-increasing boundaries must be rejected")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("decreasing boundaries must be rejected")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := MustHistogram(DefaultLatencyBuckets)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("empty histogram: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if !math.IsNaN(h.Quantile(0.5)) || !math.IsNaN(h.Mean()) {
+		t.Error("quantile/mean of empty histogram must be NaN")
+	}
+}
+
+// TestHistogramExactSmallN pins the satellite requirement: for populations
+// that fit in the retained-sample window, every quantile is exactly the
+// nearest-rank percentile, regardless of how the values fall into buckets.
+func TestHistogramExactSmallN(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(1000)
+		xs := make([]float64, n)
+		h := MustHistogram(DefaultLatencyBuckets)
+		for i := range xs {
+			// Heavy-tailed values spanning several buckets plus outliers
+			// beyond the last boundary.
+			xs[i] = math.Exp(rng.NormFloat64()*3 - 7)
+			h.Observe(xs[i])
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			want := exactQuantile(xs, q)
+			got := h.Quantile(q)
+			if got != want {
+				t.Fatalf("trial %d n=%d q=%v: got %v, want exact %v", trial, n, q, got, want)
+			}
+		}
+	}
+}
+
+// TestHistogramBucketEstimateLargeN drives the histogram past the retained
+// window and checks the interpolated estimate lands in the right bucket
+// and within bucket-width error of the true quantile.
+func TestHistogramBucketEstimateLargeN(t *testing.T) {
+	h := MustHistogram([]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0})
+	rng := rand.New(rand.NewSource(7))
+	n := exactCap * 3
+	for i := 0; i < n; i++ {
+		h.Observe(rng.Float64()) // uniform on [0, 1)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if math.Abs(got-q) > 0.1 { // one bucket width
+			t.Errorf("uniform q=%v: got %v, want within one bucket", q, got)
+		}
+	}
+	// Quantiles must be monotone in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestHistogramOverflowClamped checks values beyond the last boundary are
+// estimated inside [min, max] rather than extrapolated to infinity.
+func TestHistogramOverflowClamped(t *testing.T) {
+	h := MustHistogram([]float64{1})
+	for i := 0; i < exactCap+100; i++ {
+		h.Observe(5) // everything in the overflow bucket
+	}
+	if got := h.Quantile(0.99); got != 5 {
+		t.Errorf("overflow-only q99 = %v, want clamped to max 5", got)
+	}
+	if got := h.Quantile(0.01); got != 5 {
+		t.Errorf("overflow-only q01 = %v, want clamped to min 5", got)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := MustHistogram([]float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1.5, 1.7, 2.5, 9} {
+		h.Observe(v)
+	}
+	var uppers []float64
+	var cums []int64
+	h.Buckets(func(u float64, c int64) {
+		uppers = append(uppers, u)
+		cums = append(cums, c)
+	})
+	wantU := []float64{1, 2, 3}
+	wantC := []int64{1, 3, 4}
+	for i := range wantU {
+		if uppers[i] != wantU[i] || cums[i] != wantC[i] {
+			t.Fatalf("bucket %d: (%v, %d), want (%v, %d)", i, uppers[i], cums[i], wantU[i], wantC[i])
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5 (the implicit +Inf bucket)", h.Count())
+	}
+	if h.Sum() != 0.5+1.5+1.7+2.5+9 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	if math.Abs(h.Mean()-(0.5+1.5+1.7+2.5+9)/5) > 1e-12 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}

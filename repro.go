@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/baseline"
@@ -91,6 +92,29 @@ func (a Algorithm) String() string {
 		return "KnownN"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm resolves a user-supplied algorithm name ("A"/"Ak", "B"/
+// "Bk", "Astar"/"A*", "CR"/"ChangRoberts", "Peterson", "KnownN"; case-
+// insensitive) to an Algorithm. Shared by cmd/ringelect, the election-
+// serving daemon (internal/serve), and the load generator (internal/load).
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "a", "ak":
+		return AlgorithmA, nil
+	case "b", "bk":
+		return AlgorithmB, nil
+	case "astar", "a*":
+		return AlgorithmAStar, nil
+	case "cr", "changroberts":
+		return AlgorithmChangRoberts, nil
+	case "peterson":
+		return AlgorithmPeterson, nil
+	case "knownn":
+		return AlgorithmKnownN, nil
+	default:
+		return 0, fmt.Errorf("repro: unknown algorithm %q (want A, B, Astar, CR, Peterson, KnownN)", s)
 	}
 }
 

@@ -188,6 +188,34 @@ func TestAlgorithmString(t *testing.T) {
 	}
 }
 
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]repro.Algorithm{
+		"A": repro.AlgorithmA, "a": repro.AlgorithmA, "Ak": repro.AlgorithmA,
+		"B": repro.AlgorithmB, "bk": repro.AlgorithmB,
+		"Astar": repro.AlgorithmAStar, "A*": repro.AlgorithmAStar,
+		"CR": repro.AlgorithmChangRoberts, "changroberts": repro.AlgorithmChangRoberts,
+		"Peterson": repro.AlgorithmPeterson, "KNOWNN": repro.AlgorithmKnownN,
+	}
+	for name, want := range cases {
+		got, err := repro.ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := repro.ParseAlgorithm("nope"); err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Errorf("bad name: err = %v", err)
+	}
+	// Parse and String must round-trip for every real algorithm.
+	for _, alg := range []repro.Algorithm{
+		repro.AlgorithmA, repro.AlgorithmB, repro.AlgorithmAStar,
+		repro.AlgorithmChangRoberts, repro.AlgorithmPeterson, repro.AlgorithmKnownN,
+	} {
+		if got, err := repro.ParseAlgorithm(alg.String()); err != nil || got != alg {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", alg.String(), got, err, alg)
+		}
+	}
+}
+
 func TestTrueLeaderFacade(t *testing.T) {
 	if l, ok := repro.TrueLeader(repro.MustParseRing("3 1 2")); !ok || l != 1 {
 		t.Errorf("TrueLeader = %d/%t, want 1/true", l, ok)
