@@ -4,8 +4,9 @@
 GO ?= go
 
 .PHONY: all build check vet fmt-check test test-net test-serve test-race \
-        race-concurrency test-short bench bench-json bench-compare \
-        experiments experiments-md fuzz fuzz-parse figures clean
+        race-concurrency test-short bench bench-serve bench-json \
+        bench-compare profile-serve experiments experiments-md fuzz \
+        fuzz-parse figures clean
 
 all: build check test
 
@@ -37,11 +38,13 @@ test-net:
 	$(GO) test -race -count=3 -run 'Fault|Backoff|Unreachable|Violation' ./internal/netring/
 
 # The serving stack (daemon, cache, admission, load generator) under the
-# race detector, plus a short soak of the shed and graceful-drain paths —
-# the two places where a timing race turns into a hung client.
+# race detector, plus short soaks of the shed and graceful-drain paths —
+# the two places where a timing race turns into a hung client — and of the
+# sharded cache's waiter-vs-eviction and abandon/retry races.
 test-serve:
 	$(GO) test -race -count=1 ./internal/serve/... ./internal/load/... ./internal/stats/... ./cmd/ringd/... ./cmd/ringload/...
 	$(GO) test -race -count=3 -run 'Shed|Drain|Singleflight|CloseDrains' ./internal/serve/
+	$(GO) test -race -count=3 -run 'Evict|Waiter|Shard|Abandoned' ./internal/serve/
 
 test-race:
 	$(GO) test -race ./...
@@ -57,14 +60,41 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable experiment benchmark (same schema as BENCH_PR3.json).
+# The serving hot-path micro-benchmarks (cache hit, legacy global-mutex
+# hit, miss, singleflight). -cpu 8 exercises the sharded cache under the
+# contention it exists for, even on smaller machines.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'Serve' -benchmem -cpu 8 -count 1 ./internal/serve/
+
+# Machine-readable experiment benchmark (same schema as BENCH_PR4.json),
+# with the serving micro-benchmarks merged into its serve_bench section.
 bench-json:
 	$(GO) run ./cmd/ringbench -json BENCH_NEW.json > /dev/null
+	$(GO) test -run '^$$' -bench 'Serve' -benchmem -cpu 8 -count 1 ./internal/serve/ \
+		| $(GO) run ./cmd/benchdiff -merge-serve BENCH_NEW.json
 
 # Diff a fresh benchmark report against the committed baseline:
-# wall-clock deltas are informational, content drift fails the target.
+# wall-clock deltas are informational; content drift, serve ns/op
+# regressions past tolerance, and allocs/op increases fail the target.
 bench-compare: bench-json
-	$(GO) run ./cmd/benchdiff BENCH_PR3.json BENCH_NEW.json
+	$(GO) run ./cmd/benchdiff BENCH_PR4.json BENCH_NEW.json
+
+# Capture CPU and heap profiles of ringd under ringload traffic.
+# Artifacts land in ./profiles/ for `go tool pprof`.
+profile-serve:
+	@mkdir -p profiles
+	$(GO) build -o profiles/ringd ./cmd/ringd
+	$(GO) build -o profiles/ringload ./cmd/ringload
+	@profiles/ringd -listen 127.0.0.1:8322 -pprof 127.0.0.1:6060 & \
+	RINGD_PID=$$!; \
+	sleep 0.5; \
+	( curl -s -o profiles/cpu.pb.gz 'http://127.0.0.1:6060/debug/pprof/profile?seconds=8' & \
+	  CURL_PID=$$!; \
+	  profiles/ringload -url http://127.0.0.1:8322 -n 20000 -workers 16 > profiles/ringload.json; \
+	  wait $$CURL_PID ); \
+	curl -s -o profiles/heap.pb.gz 'http://127.0.0.1:6060/debug/pprof/heap'; \
+	kill $$RINGD_PID; \
+	echo "profiles/cpu.pb.gz, profiles/heap.pb.gz, profiles/ringload.json"
 
 # Regenerate every experiment table (E1..E13).
 experiments:
@@ -90,3 +120,4 @@ figures:
 
 clean:
 	rm -f figure1.svg figure2.dot test_output.txt bench_output.txt BENCH_NEW.json
+	rm -rf profiles

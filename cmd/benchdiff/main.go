@@ -8,21 +8,39 @@
 // machine. Reports produced under different engine rosters (the `engine`
 // field) are rejected as incomparable, like mismatched seeds.
 //
+// Reports may also carry a serve_bench section: the serving hot-path
+// micro-benchmarks (ns/op, B/op, allocs/op from `go test -bench Serve`
+// in internal/serve). When both reports have one, benchdiff checks each
+// benchmark's ns/op against -serve-tol (new may not be slower than
+// old×(1+tol)) and its allocs/op against the old value — in particular,
+// a benchmark that was allocation-free must stay allocation-free. A
+// section or benchmark present in only one report is explicit drift,
+// never a silent skip.
+//
 // Usage:
 //
-//	benchdiff OLD.json NEW.json
+//	benchdiff [-serve-tol 0.5] OLD.json NEW.json
+//	go test -run '^$' -bench Serve -benchmem ./internal/serve/ | benchdiff -merge-serve REPORT.json
 //
-// The committed BENCH_PR2.json is the repository's perf baseline; `make
-// bench-compare` regenerates a fresh report and diffs it against that.
+// The second form parses `go test -bench` output from stdin and writes
+// it into REPORT.json's serve_bench section (creating it), so one
+// committed file carries both the experiment baseline and the serving
+// numbers. The committed BENCH_PR4.json is the repository's perf
+// baseline; `make bench-compare` regenerates a fresh report and diffs it
+// against that.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"reflect"
+	"regexp"
 	"sort"
+	"strconv"
 )
 
 type experiment struct {
@@ -34,18 +52,35 @@ type experiment struct {
 	Notes  []string   `json:"notes"`
 }
 
+// serveBenchmark is one serving micro-benchmark's result.
+type serveBenchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// serveBench is the serve_bench report section: the hot-path
+// micro-benchmarks and the GOMAXPROCS they ran under.
+type serveBench struct {
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Benchmarks []serveBenchmark `json:"benchmarks"`
+}
+
 type report struct {
 	Schema      string       `json:"schema"`
 	Seed        int64        `json:"seed"`
 	Quick       bool         `json:"quick"`
 	Par         int          `json:"par"`
 	Engine      string       `json:"engine,omitempty"`
+	GOMAXPROCS  int          `json:"gomaxprocs,omitempty"`
 	TotalWallMS float64      `json:"total_wall_ms"`
 	Experiments []experiment `json:"experiments"`
+	ServeBench  *serveBench  `json:"serve_bench,omitempty"`
 }
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
 func load(path string) (*report, error) {
@@ -63,17 +98,31 @@ func load(path string) (*report, error) {
 	return &r, nil
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
-	if len(args) != 2 {
-		fmt.Fprintln(stderr, "usage: benchdiff OLD.json NEW.json")
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	serveTol := fs.Float64("serve-tol", 0.5, "allowed fractional ns/op regression in serve benchmarks (0.5 = new may be 50% slower)")
+	mergeServe := fs.String("merge-serve", "", "parse `go test -bench` output from stdin into FILE's serve_bench section and exit")
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	old, err := load(args[0])
+	if *mergeServe != "" {
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "benchdiff: -merge-serve takes no positional arguments")
+			return 2
+		}
+		return runMergeServe(*mergeServe, stdin, stdout, stderr)
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-serve-tol F] OLD.json NEW.json")
+		return 2
+	}
+	old, err := load(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
 		return 2
 	}
-	cur, err := load(args[1])
+	cur, err := load(fs.Arg(1))
 	if err != nil {
 		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
 		return 2
@@ -129,9 +178,139 @@ func run(args []string, stdout, stderr io.Writer) int {
 		drift++
 	}
 	fmt.Fprintf(stdout, "total %10.1f %10.1f (par %d -> %d)\n", old.TotalWallMS, cur.TotalWallMS, old.Par, cur.Par)
+
+	drift += compareServeBench(old.ServeBench, cur.ServeBench, *serveTol, stdout)
+
 	if drift > 0 {
-		fmt.Fprintf(stderr, "benchdiff: %d experiment(s) drifted in content\n", drift)
+		fmt.Fprintf(stderr, "benchdiff: %d item(s) drifted\n", drift)
 		return 1
 	}
+	return 0
+}
+
+// compareServeBench diffs the serve_bench sections. A section present in
+// only one report is drift; so is a benchmark present in only one
+// section, a ns/op regression beyond tol, an allocs/op increase, or a
+// GOMAXPROCS mismatch (numbers from different parallelism are not
+// comparable). Improvements never fail.
+func compareServeBench(old, cur *serveBench, tol float64, stdout io.Writer) int {
+	switch {
+	case old == nil && cur == nil:
+		return 0
+	case old == nil:
+		fmt.Fprintf(stdout, "serve_bench: only in new report\n")
+		return 1
+	case cur == nil:
+		fmt.Fprintf(stdout, "serve_bench: only in old report\n")
+		return 1
+	}
+	drift := 0
+	if old.GOMAXPROCS != cur.GOMAXPROCS {
+		fmt.Fprintf(stdout, "serve_bench: GOMAXPROCS differs (%d vs %d): not comparable\n", old.GOMAXPROCS, cur.GOMAXPROCS)
+		return 1
+	}
+	fmt.Fprintf(stdout, "serve benchmarks (gomaxprocs %d, ns/op tolerance +%.0f%%):\n", cur.GOMAXPROCS, tol*100)
+	fmt.Fprintf(stdout, "%-28s %12s %12s %7s %7s %7s  %s\n", "name", "old ns/op", "new ns/op", "ratio", "old al", "new al", "verdict")
+	oldByName := make(map[string]serveBenchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	for _, nb := range cur.Benchmarks {
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-28s %12s %12.1f %7s %7s %7d  only in new report\n", nb.Name, "-", nb.NsPerOp, "-", "-", nb.AllocsPerOp)
+			drift++
+			continue
+		}
+		delete(oldByName, nb.Name)
+		verdict := "ok"
+		if nb.NsPerOp > ob.NsPerOp*(1+tol) {
+			verdict = "REGRESSED"
+			drift++
+		}
+		// Allocation counts are deterministic: any increase is a real code
+		// change, and allocation-free paths must stay allocation-free.
+		if nb.AllocsPerOp > ob.AllocsPerOp {
+			verdict = "ALLOCS"
+			drift++
+		}
+		ratio := "-"
+		if nb.NsPerOp > 0 {
+			ratio = fmt.Sprintf("%.2fx", ob.NsPerOp/nb.NsPerOp)
+		}
+		fmt.Fprintf(stdout, "%-28s %12.1f %12.1f %7s %7d %7d  %s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, ratio, ob.AllocsPerOp, nb.AllocsPerOp, verdict)
+	}
+	leftover := make([]string, 0, len(oldByName))
+	for name := range oldByName {
+		leftover = append(leftover, name)
+	}
+	sort.Strings(leftover)
+	for _, name := range leftover {
+		fmt.Fprintf(stdout, "%-28s %12.1f %12s %7s %7d %7s  only in old report\n",
+			name, oldByName[name].NsPerOp, "-", "-", oldByName[name].AllocsPerOp, "-")
+		drift++
+	}
+	return drift
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkServeHit-8   1254979   923.4 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-(\d+))?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// runMergeServe reads `go test -bench` output from stdin and stores the
+// parsed benchmarks as path's serve_bench section.
+func runMergeServe(path string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if stdin == nil {
+		fmt.Fprintln(stderr, "benchdiff: -merge-serve needs benchmark output on stdin")
+		return 2
+	}
+	r, err := load(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	sb := &serveBench{GOMAXPROCS: 1}
+	sc := bufio.NewScanner(stdin)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		b := serveBenchmark{Name: m[1]}
+		if m[2] != "" {
+			sb.GOMAXPROCS, _ = strconv.Atoi(m[2])
+		}
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		sb.Benchmarks = append(sb.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(stderr, "benchdiff: reading stdin: %v\n", err)
+		return 2
+	}
+	if len(sb.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmark lines found on stdin")
+		return 2
+	}
+	r.ServeBench = sb
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "benchdiff: merged %d serve benchmark(s) (gomaxprocs %d) into %s\n",
+		len(sb.Benchmarks), sb.GOMAXPROCS, path)
 	return 0
 }

@@ -31,7 +31,7 @@ func TestIdenticalReports(t *testing.T) {
 	a := write(t, dir, "a.json", reportA)
 	b := write(t, dir, "b.json", strings.ReplaceAll(reportA, `"wall_ms": 80`, `"wall_ms": 40`))
 	var out, errBuf bytes.Buffer
-	if code := run([]string{a, b}, &out, &errBuf); code != 0 {
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 0 {
 		t.Fatalf("exit %d: %s", code, errBuf.String())
 	}
 	if !strings.Contains(out.String(), "2.00x") {
@@ -47,7 +47,7 @@ func TestContentDriftFails(t *testing.T) {
 	a := write(t, dir, "a.json", reportA)
 	b := write(t, dir, "b.json", strings.ReplaceAll(reportA, `[["1"]]`, `[["999"]]`))
 	var out, errBuf bytes.Buffer
-	if code := run([]string{a, b}, &out, &errBuf); code != 1 {
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 1 {
 		t.Fatalf("exit %d, want 1 (content drift): %s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "DIFFERS") {
@@ -63,7 +63,7 @@ func TestDisjointExperimentSetsFail(t *testing.T) {
 	a := write(t, dir, "a.json", reportA)
 	b := write(t, dir, "b.json", strings.NewReplacer("E4", "E7", "E5", "E6").Replace(reportA))
 	var out, errBuf bytes.Buffer
-	if code := run([]string{a, b}, &out, &errBuf); code != 1 {
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 1 {
 		t.Fatalf("exit %d, want 1 (disjoint sets are drift):\n%s", code, out.String())
 	}
 	for _, frag := range []string{"E6", "E7", "only in new report", "only in old report"} {
@@ -85,7 +85,7 @@ func TestMissingExperimentFails(t *testing.T) {
     {"id": "E5", "title": "t", "wall_ms": 20, "header": ["a"], "rows": [["2"]], "notes": []}`, "")
 	b := write(t, dir, "b.json", trimmed)
 	var out, errBuf bytes.Buffer
-	if code := run([]string{a, b}, &out, &errBuf); code != 1 {
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 1 {
 		t.Fatalf("exit %d, want 1 (dropped experiment):\n%s%s", code, out.String(), errBuf.String())
 	}
 	if !strings.Contains(out.String(), "only in old report") {
@@ -101,7 +101,7 @@ func TestEngineMismatchIncomparable(t *testing.T) {
 	a := write(t, dir, "a.json", withEngine("sim+goroutines"))
 	b := write(t, dir, "b.json", withEngine("sim+goroutines+tcp"))
 	var out, errBuf bytes.Buffer
-	if code := run([]string{a, b}, &out, &errBuf); code != 2 {
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 2 {
 		t.Fatalf("exit %d, want 2 (engine rosters differ)", code)
 	}
 	if !strings.Contains(errBuf.String(), "engines differ") {
@@ -112,7 +112,7 @@ func TestEngineMismatchIncomparable(t *testing.T) {
 	cur := write(t, dir, "cur.json", withEngine("sim+goroutines+tcp"))
 	out.Reset()
 	errBuf.Reset()
-	if code := run([]string{old, cur}, &out, &errBuf); code != 0 {
+	if code := run([]string{old, cur}, nil, &out, &errBuf); code != 0 {
 		t.Fatalf("exit %d, want 0 (old baseline without engine field): %s", code, errBuf.String())
 	}
 }
@@ -122,14 +122,193 @@ func TestIncomparableSeeds(t *testing.T) {
 	a := write(t, dir, "a.json", reportA)
 	b := write(t, dir, "b.json", strings.ReplaceAll(reportA, `"seed": 1`, `"seed": 2`))
 	var out, errBuf bytes.Buffer
-	if code := run([]string{a, b}, &out, &errBuf); code != 2 {
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
 
 func TestUsage(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	if code := run(nil, &out, &errBuf); code != 2 {
+	if code := run(nil, nil, &out, &errBuf); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// withServe splices a serve_bench section into the reportA fixture.
+func withServe(section string) string {
+	return strings.ReplaceAll(reportA, `"total_wall_ms": 100,`,
+		`"total_wall_ms": 100, "serve_bench": `+section+`,`)
+}
+
+const serveSectionOld = `{
+  "gomaxprocs": 8,
+  "benchmarks": [
+    {"name": "ServeHit", "ns_per_op": 900, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "ServeMiss", "ns_per_op": 1700, "bytes_per_op": 272, "allocs_per_op": 4}
+  ]
+}`
+
+func TestServeBenchIdentical(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", withServe(serveSectionOld))
+	b := write(t, dir, "b.json", withServe(serveSectionOld))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s\n%s", code, errBuf.String(), out.String())
+	}
+	for _, frag := range []string{"ServeHit", "ServeMiss", "ok", "gomaxprocs 8"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("serve table missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+// TestServeBenchTolerance: a regression inside -serve-tol passes; past it
+// fails; an improvement always passes.
+func TestServeBenchTolerance(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", withServe(serveSectionOld))
+	slower := strings.ReplaceAll(serveSectionOld, `"ns_per_op": 900`, `"ns_per_op": 1300`)
+	b := write(t, dir, "b.json", withServe(slower))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 0 { // 1300 <= 900*1.5
+		t.Fatalf("exit %d, want 0 (within default tolerance):\n%s", code, out.String())
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-serve-tol", "0.1", a, b}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (past -serve-tol 0.1):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("regression not flagged:\n%s", out.String())
+	}
+	faster := strings.ReplaceAll(serveSectionOld, `"ns_per_op": 900`, `"ns_per_op": 200`)
+	c := write(t, dir, "c.json", withServe(faster))
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-serve-tol", "0", a, c}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, want 0 (improvements never fail):\n%s", code, out.String())
+	}
+}
+
+// TestServeBenchAllocRegression: an allocation-free benchmark that starts
+// allocating fails regardless of tolerance.
+func TestServeBenchAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", withServe(serveSectionOld))
+	allocs := strings.ReplaceAll(serveSectionOld,
+		`{"name": "ServeHit", "ns_per_op": 900, "bytes_per_op": 0, "allocs_per_op": 0}`,
+		`{"name": "ServeHit", "ns_per_op": 900, "bytes_per_op": 64, "allocs_per_op": 2}`)
+	b := write(t, dir, "b.json", withServe(allocs))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-serve-tol", "100", a, b}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (alloc regression):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOCS") {
+		t.Errorf("alloc regression not flagged:\n%s", out.String())
+	}
+}
+
+// TestServeBenchSectionDrift: a serve_bench section — or a benchmark —
+// present in only one report is explicit drift, never silently skipped.
+func TestServeBenchSectionDrift(t *testing.T) {
+	dir := t.TempDir()
+	plain := write(t, dir, "plain.json", reportA)
+	served := write(t, dir, "served.json", withServe(serveSectionOld))
+	for _, tc := range [][2]string{{plain, served}, {served, plain}} {
+		var out, errBuf bytes.Buffer
+		if code := run([]string{tc[0], tc[1]}, nil, &out, &errBuf); code != 1 {
+			t.Fatalf("exit %d, want 1 (section in only one report):\n%s", code, out.String())
+		}
+		if !strings.Contains(out.String(), "serve_bench: only in") {
+			t.Errorf("section drift not explicit:\n%s", out.String())
+		}
+	}
+	oneBench := strings.ReplaceAll(serveSectionOld,
+		`,
+    {"name": "ServeMiss", "ns_per_op": 1700, "bytes_per_op": 272, "allocs_per_op": 4}`, "")
+	trimmed := write(t, dir, "trimmed.json", withServe(oneBench))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{served, trimmed}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (benchmark in only one report):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "only in old report") {
+		t.Errorf("dropped benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestServeBenchGomaxprocsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", withServe(serveSectionOld))
+	b := write(t, dir, "b.json", withServe(strings.ReplaceAll(serveSectionOld, `"gomaxprocs": 8`, `"gomaxprocs": 4`)))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (GOMAXPROCS mismatch):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "not comparable") {
+		t.Errorf("mismatch not explained:\n%s", out.String())
+	}
+}
+
+// TestMergeServe: `go test -bench` output on stdin lands in the report's
+// serve_bench section, and the merged file round-trips through compare.
+func TestMergeServe(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "r.json", reportA)
+	benchOut := `goos: linux
+goarch: amd64
+pkg: repro/internal/serve
+BenchmarkServeHit-8              1254979               923.4 ns/op             0 B/op          0 allocs/op
+BenchmarkServeHitGlobalMutex-8    271828              4416 ns/op            1536 B/op         10 allocs/op
+BenchmarkServeMiss-8              688491              1743 ns/op             272 B/op          4 allocs/op
+PASS
+ok      repro/internal/serve    5.1s
+`
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-merge-serve", path}, strings.NewReader(benchOut), &out, &errBuf); code != 0 {
+		t.Fatalf("merge exit %d: %s", code, errBuf.String())
+	}
+	merged, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.ServeBench == nil || merged.ServeBench.GOMAXPROCS != 8 {
+		t.Fatalf("serve_bench not merged: %+v", merged.ServeBench)
+	}
+	if n := len(merged.ServeBench.Benchmarks); n != 3 {
+		t.Fatalf("merged %d benchmarks, want 3", n)
+	}
+	hit := merged.ServeBench.Benchmarks[0]
+	if hit.Name != "ServeHit" || hit.NsPerOp != 923.4 || hit.BytesPerOp != 0 || hit.AllocsPerOp != 0 {
+		t.Errorf("ServeHit parsed as %+v", hit)
+	}
+	mutex := merged.ServeBench.Benchmarks[1]
+	if mutex.Name != "ServeHitGlobalMutex" || mutex.NsPerOp != 4416 || mutex.AllocsPerOp != 10 {
+		t.Errorf("ServeHitGlobalMutex parsed as %+v", mutex)
+	}
+	// The experiments must survive the rewrite untouched.
+	if len(merged.Experiments) != 2 {
+		t.Errorf("experiments clobbered by merge: %d", len(merged.Experiments))
+	}
+	// Merged report compares clean against itself.
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{path, path}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("self-compare after merge: exit %d:\n%s", code, out.String())
+	}
+}
+
+// TestMergeServeErrors: no benchmark lines and positional args are usage
+// errors.
+func TestMergeServeErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "r.json", reportA)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-merge-serve", path}, strings.NewReader("PASS\nok\n"), &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2 (no benchmark lines)", code)
+	}
+	errBuf.Reset()
+	if code := run([]string{"-merge-serve", path, "extra.json"}, strings.NewReader(""), &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2 (positional args with -merge-serve)", code)
 	}
 }

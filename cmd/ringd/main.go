@@ -10,6 +10,13 @@
 // through the deterministic simulator; a divergence is fatal — the
 // daemon logs the offending ring and exits 1 rather than keep serving
 // from a cache that has broken the engines' agreement invariant.
+//
+// With -pprof addr a second listener serves net/http/pprof (and an
+// expvar dump) on that address, kept off the serving mux so profiling
+// traffic never competes with election traffic for the serving listener:
+//
+//	ringd -listen 127.0.0.1:8322 -pprof 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served on -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,7 +51,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	fs.SetOutput(stderr)
 	var (
 		listen       = fs.String("listen", "127.0.0.1:8322", "address to listen on (host:port; port 0 picks a free port)")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 		cache        = fs.Int("cache", 4096, "result cache capacity in entries")
+		cacheShards  = fs.Int("cache-shards", 0, "cache shard count, rounded up to a power of two (0 = auto)")
 		queue        = fs.Int("queue", 256, "admission queue depth; overflow is shed with 429")
 		workers      = fs.Int("workers", 0, "election worker pool size (0 = one per CPU)")
 		batch        = fs.Int("batch", 16, "max elections fanned out per admission batch")
@@ -74,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	diverged := make(chan string, 1)
 	s := serve.New(serve.Config{
 		CacheEntries:   *cache,
+		CacheShards:    *cacheShards,
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		BatchSize:      *batch,
@@ -99,6 +110,20 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "ringd: listening on %s\n", ln.Addr())
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "ringd: pprof listener: %v\n", err)
+			ln.Close()
+			s.Close()
+			return 1
+		}
+		defer pln.Close()
+		fmt.Fprintf(stdout, "ringd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		// The blank net/http/pprof import registers on the default mux;
+		// serving it on its own listener keeps profiling off the API port.
+		go func() { _ = http.Serve(pln, http.DefaultServeMux) }()
+	}
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

@@ -122,6 +122,59 @@ func TestDaemonServesAndDrains(t *testing.T) {
 	}
 }
 
+var pprofLine = regexp.MustCompile(`ringd: pprof on (http://[\d.]+:\d+)`)
+
+// TestDaemonPprofListener: -pprof serves the profiling endpoints on a
+// separate listener, off the API port.
+func TestDaemonPprofListener(t *testing.T) {
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-listen", "127.0.0.1:0", "-pprof", "127.0.0.1:0", "-log-every", "0"}, stdout, stderr, stop)
+	}()
+	var apiURL, pprofURL string
+	deadline := time.Now().Add(10 * time.Second)
+	for apiURL == "" || pprofURL == "" {
+		if m := listenLine.FindStringSubmatch(stdout.String()); m != nil {
+			apiURL = "http://" + m[1]
+		}
+		if m := pprofLine.FindStringSubmatch(stdout.String()); m != nil {
+			pprofURL = m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced both addresses; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(pprofURL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof endpoint: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof status %d, want 200", resp.StatusCode)
+	}
+	// The API listener must NOT expose the profiler.
+	resp, err = http.Get(apiURL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("api probe: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Error("profiler leaked onto the serving mux")
+	}
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
 // TestDaemonBadFlags covers the usage-error exits.
 func TestDaemonBadFlags(t *testing.T) {
 	cases := [][]string{

@@ -1,7 +1,8 @@
 // Command ringload drives a seeded, deterministic election-request mix
 // (internal/load) against a running ringd and prints the run report —
 // throughput, latency quantiles, cache effectiveness per traffic class,
-// shed accounting — as JSON on stdout.
+// shed accounting, and the client's own allocation bill (client_mem:
+// runtime.MemStats deltas over the run) — as JSON on stdout.
 //
 //	ringd -listen 127.0.0.1:8322 &
 //	ringload -url http://127.0.0.1:8322 -n 1000 -seed 7 -crosscheck 0.25

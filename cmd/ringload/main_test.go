@@ -43,6 +43,9 @@ func TestRunAgainstServer(t *testing.T) {
 	if rep.P50MS <= 0 {
 		t.Errorf("missing latency stats: %+v", rep)
 	}
+	if rep.ClientMem.Mallocs == 0 {
+		t.Errorf("client_mem missing from report: %+v", rep.ClientMem)
+	}
 }
 
 // TestRunFlagErrors covers usage exits.

@@ -20,6 +20,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -177,6 +178,22 @@ func specOf(r *ring.Ring) string {
 	return strings.Join(parts, " ")
 }
 
+// ClientMem is the load generator's own allocation bill for the run:
+// runtime.MemStats deltas captured around the worker phase. It measures
+// the CLIENT (request building, JSON decoding, crosschecking), not the
+// daemon — a companion number to the server-side allocs/op benchmarks,
+// and a tripwire for allocation regressions in the client hot loop.
+type ClientMem struct {
+	// Mallocs is the heap-object allocation count during the run.
+	Mallocs uint64 `json:"mallocs"`
+	// TotalAllocMB is cumulative bytes allocated (not peak RSS), in MiB.
+	TotalAllocMB float64 `json:"total_alloc_mb"`
+	// GCCycles is how many collections the run triggered.
+	GCCycles uint32 `json:"gc_cycles"`
+	// GCPauseMS is total stop-the-world pause accumulated during the run.
+	GCPauseMS float64 `json:"gc_pause_ms"`
+}
+
 // ClassStats aggregates one request class.
 type ClassStats struct {
 	Sent   int `json:"sent"`
@@ -206,6 +223,7 @@ type Report struct {
 	// ShedsWithRetryAfter counts 429 responses carrying a Retry-After
 	// header; the admission contract is that every shed does.
 	ShedsWithRetryAfter int                   `json:"sheds_with_retry_after"`
+	ClientMem           ClientMem             `json:"client_mem"`
 	Classes             map[string]ClassStats `json:"classes"`
 }
 
@@ -235,6 +253,8 @@ func Run(cfg Config) (*Report, error) {
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	workers := min(cfg.Workers, len(plan))
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -251,13 +271,21 @@ func Run(cfg Config) (*Report, error) {
 	close(idx)
 	wg.Wait()
 	wall := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	rep := &Report{
 		BaseURL:  cfg.BaseURL,
 		Seed:     cfg.Seed,
 		Requests: len(plan),
 		WallMS:   float64(wall.Microseconds()) / 1000,
-		Classes:  map[string]ClassStats{},
+		ClientMem: ClientMem{
+			Mallocs:      memAfter.Mallocs - memBefore.Mallocs,
+			TotalAllocMB: float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / (1 << 20),
+			GCCycles:     memAfter.NumGC - memBefore.NumGC,
+			GCPauseMS:    float64(memAfter.PauseTotalNs-memBefore.PauseTotalNs) / 1e6,
+		},
+		Classes: map[string]ClassStats{},
 	}
 	hist := stats.MustHistogram(stats.DefaultLatencyBuckets)
 	for i, res := range results {

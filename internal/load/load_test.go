@@ -143,9 +143,18 @@ func TestRunAggregatesReport(t *testing.T) {
 	if cs := rep.Classes[ClassHot]; cs.Sent < 95 {
 		t.Errorf("hot class sent %d, want ~100", cs.Sent)
 	}
+	// 100 HTTP requests cannot run allocation-free on the client; a zero
+	// here means the MemStats capture is broken, not that the client is
+	// perfect.
+	if rep.ClientMem.Mallocs == 0 || rep.ClientMem.TotalAllocMB <= 0 {
+		t.Errorf("client_mem not captured: %+v", rep.ClientMem)
+	}
 	buf, err := json.Marshal(rep)
 	if err != nil || !strings.Contains(string(buf), `"p99_ms"`) {
 		t.Errorf("report must marshal to JSON with quantiles: %v %s", err, buf)
+	}
+	if !strings.Contains(string(buf), `"client_mem"`) || !strings.Contains(string(buf), `"mallocs"`) {
+		t.Errorf("report JSON missing client_mem section: %s", buf)
 	}
 }
 

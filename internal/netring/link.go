@@ -74,7 +74,9 @@ func (b Backoff) delay(attempt int, rng *rand.Rand) time.Duration {
 // that elections still satisfy the specification when the transport
 // misbehaves beneath the retry layer.
 type LinkFault struct {
-	// Delay is added before every frame write (a slow link).
+	// Delay is added before every link write (a slow link). The sender
+	// batches contiguous queued frames into one write, so the delay is
+	// paid per write, not per frame.
 	Delay time.Duration
 	// DropAfter, when > 0, hard-closes the connection once after that many
 	// data frames have been written on it, forcing a reconnect with resume.
@@ -117,7 +119,15 @@ type sender struct {
 	stopCh     chan struct{}
 	stopOnce   sync.Once
 	reconnects int
+
+	wbuf []byte // run-goroutine-only: reusable encode buffer for batched writes
 }
+
+// maxWriteBatch bounds how many queued data frames one connection write
+// coalesces. Large enough that a burst of protocol sends (an election
+// round's worth of envelopes) goes out as one syscall; small enough that
+// the encode buffer stays a few KiB.
+const maxWriteBatch = 64
 
 func newSender(self, target int, addr string, hello frame, b Backoff, fault LinkFault, rng *rand.Rand, onLink func(string)) *sender {
 	s := &sender{
@@ -273,15 +283,20 @@ func (s *sender) run() error {
 			s.mu.Unlock()
 			return nil
 		}
-		var next frame
-		have := uint64(len(s.queue)) > cursor
-		if have {
-			next = s.queue[cursor]
+		// Snapshot the contiguous run of unsent frames. The queue is
+		// append-only and its entries immutable, so the slice stays valid
+		// after the lock is released.
+		var batch []frame
+		if end := uint64(len(s.queue)); end > cursor {
+			if end > cursor+maxWriteBatch {
+				end = cursor + maxWriteBatch
+			}
+			batch = s.queue[cursor:end]
 		}
 		goodbye := s.goodbye
 		s.mu.Unlock()
 
-		if !have && goodbye {
+		if len(batch) == 0 && goodbye {
 			// Queue flushed: announce clean termination. Best-effort — the
 			// successor may already have halted and closed its side.
 			if !connected {
@@ -315,21 +330,34 @@ func (s *sender) run() error {
 		if s.fault.Delay > 0 && !s.sleep(s.fault.Delay) {
 			return nil
 		}
-		if s.fault.DropAfter > 0 && written >= s.fault.DropAfter {
-			s.fault.DropAfter = 0 // fire once
-			conn.Close()
-			connected = false
-			s.noteDrop()
-			continue
+		if s.fault.DropAfter > 0 {
+			if written >= s.fault.DropAfter {
+				s.fault.DropAfter = 0 // fire once
+				conn.Close()
+				connected = false
+				s.noteDrop()
+				continue
+			}
+			// Cap the batch so the drop fires at exactly DropAfter frames,
+			// batching or not.
+			if room := s.fault.DropAfter - written; len(batch) > room {
+				batch = batch[:room]
+			}
 		}
-		if err := writeFrame(conn, next); err != nil {
+		// One write per batch: every frame queued at the time of the
+		// snapshot goes out in a single syscall instead of one per message.
+		s.wbuf = s.wbuf[:0]
+		for _, f := range batch {
+			s.wbuf = appendFrame(s.wbuf, f)
+		}
+		if _, err := conn.Write(s.wbuf); err != nil {
 			conn.Close()
 			connected = false
 			s.noteDrop()
 			continue // redial and resume from the receiver's ack
 		}
-		written++
-		cursor++
+		written += len(batch)
+		cursor += uint64(len(batch))
 	}
 }
 
@@ -441,8 +469,9 @@ func (r *receiver) serve(conn net.Conn, expected *uint64, deliver func(core.Mess
 	if err := writeFrame(conn, frame{Type: frameHelloAck, NextSeq: *expected}); err != nil {
 		return false, nil // connection died mid-handshake; await reconnect
 	}
+	var scratch []byte // reused for every frame body on this connection
 	for {
-		f, err := readFrame(conn)
+		f, err := readFrameInto(conn, &scratch)
 		if err != nil {
 			if isConnError(err) {
 				return false, nil

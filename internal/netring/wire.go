@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/ring"
@@ -184,15 +185,31 @@ func decodeFrame(body []byte) (frame, error) {
 	return f, nil
 }
 
-// writeFrame writes one frame to w.
+// frameBufPool recycles encode buffers across writeFrame calls so
+// control-plane writes (handshakes, acks, goodbyes) do not allocate per
+// frame. Data frames go through the sender's batched write path, which
+// has its own reusable buffer.
+var frameBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4+maxFrameBody)
+	return &b
+}}
+
+// writeFrame writes one frame to w using a pooled encode buffer.
 func writeFrame(w io.Writer, f frame) error {
-	buf := appendFrame(make([]byte, 0, 4+maxFrameBody), f)
+	bp := frameBufPool.Get().(*[]byte)
+	buf := appendFrame((*bp)[:0], f)
 	_, err := w.Write(buf)
+	*bp = buf[:0]
+	frameBufPool.Put(bp)
 	return err
 }
 
-// readFrame reads one length-prefixed frame from r.
-func readFrame(r io.Reader) (frame, error) {
+// readFrameInto reads one length-prefixed frame from r, using *scratch as
+// the body buffer (grown as needed and left in place for the next call).
+// Decoding copies everything it keeps out of the body, so reusing the
+// scratch across frames is safe; a receiver looping with one scratch
+// reads its whole stream without per-frame allocation.
+func readFrameInto(r io.Reader, scratch *[]byte) (frame, error) {
 	var pfx [4]byte
 	if _, err := io.ReadFull(r, pfx[:]); err != nil {
 		return frame{}, err
@@ -201,11 +218,21 @@ func readFrame(r io.Reader) (frame, error) {
 	if n < 2 || n > maxFrameBody {
 		return frame{}, fmt.Errorf("netring: frame length %d outside [2, %d]", n, maxFrameBody)
 	}
-	body := make([]byte, n)
+	if cap(*scratch) < int(n) {
+		*scratch = make([]byte, n)
+	}
+	body := (*scratch)[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return frame{}, fmt.Errorf("netring: truncated frame: %w", err)
 	}
 	return decodeFrame(body)
+}
+
+// readFrame reads one length-prefixed frame from r. One-shot form of
+// readFrameInto for handshake-time reads.
+func readFrame(r io.Reader) (frame, error) {
+	var scratch []byte
+	return readFrameInto(r, &scratch)
 }
 
 // ringHash fingerprints the full clockwise label sequence (FNV-1a over n

@@ -122,6 +122,13 @@ func (r *Ring) Labels() []Label {
 	return cp
 }
 
+// LabelsView returns the clockwise label sequence without copying. The
+// slice is the ring's own storage: the caller must not modify it and must
+// not retain it past the ring's lifetime. For read-only hot paths (e.g.
+// cache canonicalization in internal/serve) where Labels' defensive copy
+// is the only allocation.
+func (r *Ring) LabelsView() []Label { return r.labels }
+
 // LLabels returns the first m elements of LLabels(pi): the labels of
 // processes starting at i and continuing counter-clockwise, i.e.
 // labels[i], labels[i-1], labels[i-2], … (indices modulo n). m may exceed n,

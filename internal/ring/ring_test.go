@@ -37,6 +37,15 @@ func TestNewCopiesInput(t *testing.T) {
 	if r.Label(1) != 2 {
 		t.Error("Labels must return a copy")
 	}
+	view := r.LabelsView()
+	for i, l := range view {
+		if l != r.Label(i) {
+			t.Errorf("LabelsView[%d] = %v, want %v", i, l, r.Label(i))
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = r.LabelsView() }); n != 0 {
+		t.Errorf("LabelsView allocates %v times per call, want 0", n)
+	}
 }
 
 func TestParse(t *testing.T) {

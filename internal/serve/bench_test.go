@@ -1,0 +1,326 @@
+package serve
+
+import (
+	"container/list"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/words"
+
+	repro "repro"
+)
+
+// The serving hot-path benchmarks. BenchmarkServeHit is the PR's headline
+// number: one cache hit through the modern path (pooled Booth
+// canonicalization + byte-key sharded lookup) must run allocation-free
+// and beat BenchmarkServeHitGlobalMutex — a faithful replica of the
+// pre-shard hit path (allocating canonicalization, string-struct keys,
+// one global mutex) — by the margin recorded in BENCH_PR4.json.
+
+// benchRings builds count distinct random rings of n processes. Distinct
+// by construction: process 0 of ring i carries the unique label 1000+i,
+// so no two rings are rotation-equivalent.
+func benchRings(count, n int) []*ring.Ring {
+	rng := rand.New(rand.NewSource(1))
+	rings := make([]*ring.Ring, count)
+	for i := range rings {
+		labels := make([]ring.Label, n)
+		labels[0] = ring.Label(1000 + i)
+		for j := 1; j < n; j++ {
+			labels[j] = ring.Label(1 + rng.Intn(8))
+		}
+		rings[i] = ring.MustNew(labels...)
+	}
+	return rings
+}
+
+// rotations expands each ring into rots rotated variants, the shape of
+// real traffic against a rotation-canonical cache: different request
+// frames, one cache entry.
+func rotations(rings []*ring.Ring, rots int) []*ring.Ring {
+	out := make([]*ring.Ring, 0, len(rings)*rots)
+	for _, rg := range rings {
+		for d := 0; d < rots; d++ {
+			out = append(out, rg.Rotate(d*rg.N()/rots))
+		}
+	}
+	return out
+}
+
+// BenchmarkServeHit: the contention-free, allocation-free hit path.
+// Pre-warms one entry per ring, then hammers lookups of rotated variants
+// from parallel goroutines. Expect 0 allocs/op.
+func BenchmarkServeHit(b *testing.B) {
+	const nRings, nRots = 128, 4
+	base := benchRings(nRings, 32)
+	c := newResultCache(4096, 0)
+	for _, rg := range base {
+		key, _, sc := canonicalKey(rg.LabelsView(), repro.AlgorithmB, 3)
+		e, owner := c.lookup(key, hashKey(key))
+		sc.release()
+		if !owner {
+			b.Fatal("benchmark rings must be distinct")
+		}
+		c.finish(e, &canonOutcome{Leader: 0}, nil)
+	}
+	variants := rotations(base, nRots)
+	labelSets := make([][]ring.Label, len(variants))
+	for i, rg := range variants {
+		labelSets[i] = rg.LabelsView()
+	}
+
+	var misses atomic.Int64
+	var gid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(gid.Add(1)) * 131 // spread goroutines across the key space
+		for pb.Next() {
+			labels := labelSets[i%len(labelSets)]
+			i++
+			key, _, sc := canonicalKey(labels, repro.AlgorithmB, 3)
+			_, owner := c.lookup(key, hashKey(key))
+			sc.release()
+			if owner {
+				misses.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if misses.Load() != 0 {
+		b.Fatalf("%d unexpected misses on a pre-warmed cache", misses.Load())
+	}
+}
+
+// legacyCache replicates the pre-PR result cache — one global mutex, a
+// struct key holding the space-joined canonical string — so the two hit
+// paths can be compared under identical load. Kept in the test binary
+// only; the living implementation is cache.go.
+type legacyCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[legacyKey]*legacyEntry
+	lru     *list.List
+}
+
+type legacyKey struct {
+	canon string
+	alg   string
+	k     int
+}
+
+type legacyItem struct {
+	key legacyKey
+	e   *legacyEntry
+}
+
+type legacyEntry struct {
+	ready chan struct{}
+	out   *canonOutcome
+	err   error
+	elem  *list.Element
+}
+
+func newLegacyCache(capacity int) *legacyCache {
+	return &legacyCache{cap: capacity, entries: make(map[legacyKey]*legacyEntry), lru: list.New()}
+}
+
+func (c *legacyCache) lookup(key legacyKey) (*legacyEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		return e, false
+	}
+	e := &legacyEntry{ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(&legacyItem{key: key, e: e})
+	c.entries[key] = e
+	for el := c.lru.Back(); el != nil && c.lru.Len() > c.cap; {
+		prev := el.Prev()
+		it := el.Value.(*legacyItem)
+		select {
+		case <-it.e.ready:
+			delete(c.entries, it.key)
+			c.lru.Remove(el)
+		default:
+		}
+		el = prev
+	}
+	return e, true
+}
+
+func (c *legacyCache) finish(e *legacyEntry, out *canonOutcome) {
+	c.mu.Lock()
+	e.out = out
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+// BenchmarkServeHitGlobalMutex: the pre-PR hit path, measured for the
+// before/after record — per-request Booth table, rotated ring copy,
+// string key build, and every lookup through one shared mutex.
+func BenchmarkServeHitGlobalMutex(b *testing.B) {
+	const nRings, nRots = 128, 4
+	base := benchRings(nRings, 32)
+	c := newLegacyCache(4096)
+	for _, rg := range base {
+		labels := rg.Labels()
+		rot := words.LeastRotationIndex(labels)
+		canon := rg.Rotate(rot)
+		e, owner := c.lookup(legacyKey{canon: canonSpec(canon.Labels()), alg: repro.AlgorithmB.String(), k: 3})
+		if !owner {
+			b.Fatal("benchmark rings must be distinct")
+		}
+		c.finish(e, &canonOutcome{Leader: 0})
+	}
+	variants := rotations(base, nRots)
+
+	var misses atomic.Int64
+	var gid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(gid.Add(1)) * 131
+		for pb.Next() {
+			rg := variants[i%len(variants)]
+			i++
+			labels := rg.Labels()
+			rot := words.LeastRotationIndex(labels)
+			canon := rg.Rotate(rot)
+			_, owner := c.lookup(legacyKey{canon: canonSpec(canon.Labels()), alg: repro.AlgorithmB.String(), k: 3})
+			if owner {
+				misses.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if misses.Load() != 0 {
+		b.Fatalf("%d unexpected misses on a pre-warmed cache", misses.Load())
+	}
+}
+
+// BenchmarkServeMiss: the insert/evict path — every lookup interns a key,
+// allocates an entry, and (past capacity) evicts from its shard's LRU.
+func BenchmarkServeMiss(b *testing.B) {
+	const keys = 8192
+	sets := make([][]ring.Label, keys)
+	rng := rand.New(rand.NewSource(2))
+	for i := range sets {
+		labels := make([]ring.Label, 32)
+		labels[0] = ring.Label(10000 + i) // unique per set: never a hit until wrap
+		for j := 1; j < len(labels); j++ {
+			labels[j] = ring.Label(1 + rng.Intn(8))
+		}
+		sets[i] = labels
+	}
+	c := newResultCache(512, 0)
+	var idx atomic.Int64
+	out := &canonOutcome{Leader: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			labels := sets[int(idx.Add(1))%keys]
+			key, _, sc := canonicalKey(labels, repro.AlgorithmA, 2)
+			e, owner := c.lookup(key, hashKey(key))
+			sc.release()
+			if owner {
+				c.finish(e, out, nil)
+			}
+		}
+	})
+}
+
+// BenchmarkServeSingleflight: the dedup path — lookups landing on an
+// entry that is still in flight. This is what every concurrent duplicate
+// of a miss pays while the one owner runs the election.
+func BenchmarkServeSingleflight(b *testing.B) {
+	rg := benchRings(1, 32)[0]
+	c := newResultCache(64, 0)
+	key, _, sc := canonicalKey(rg.LabelsView(), repro.AlgorithmB, 3)
+	e, owner := c.lookup(key, hashKey(key))
+	sc.release()
+	if !owner {
+		b.Fatal("first lookup must own the entry")
+	}
+	labels := rg.LabelsView()
+	var owners atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			key, _, sc := canonicalKey(labels, repro.AlgorithmB, 3)
+			_, owner := c.lookup(key, hashKey(key))
+			sc.release()
+			if owner {
+				owners.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	c.finish(e, &canonOutcome{Leader: 0}, nil)
+	if owners.Load() != 0 {
+		b.Fatalf("%d lookups became owner of an already in-flight entry", owners.Load())
+	}
+}
+
+// TestBenchRingsDistinct guards the benchmark's own assumption: the
+// generated rings canonicalize to distinct keys.
+func TestBenchRingsDistinct(t *testing.T) {
+	rings := benchRings(64, 16)
+	seen := map[string]bool{}
+	for _, rg := range rings {
+		key, _, sc := canonicalKey(rg.LabelsView(), repro.AlgorithmB, 3)
+		ks := string(key)
+		sc.release()
+		if seen[ks] {
+			t.Fatalf("duplicate canonical key for ring %s", canonSpec(rg.LabelsView()))
+		}
+		seen[ks] = true
+	}
+	// And rotations of one ring must all produce the same key.
+	rg := rings[0]
+	base, _, bsc := canonicalKey(rg.LabelsView(), repro.AlgorithmB, 3)
+	want := string(base)
+	bsc.release()
+	for d := 1; d < rg.N(); d++ {
+		key, _, sc := canonicalKey(rg.Rotate(d).LabelsView(), repro.AlgorithmB, 3)
+		got := string(key)
+		sc.release()
+		if got != want {
+			t.Fatalf("rotation %d produced key %x, want %x", d, got, want)
+		}
+	}
+}
+
+// TestHitPathAllocationFree pins the tentpole claim outside the
+// benchmark harness: a cache hit (canonicalize + lookup + release)
+// performs zero heap allocations.
+func TestHitPathAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime bypasses sync.Pool; allocation counts are distorted")
+	}
+	rg := benchRings(1, 32)[0]
+	c := newResultCache(64, 0)
+	key, _, sc := canonicalKey(rg.LabelsView(), repro.AlgorithmB, 3)
+	e, owner := c.lookup(key, hashKey(key))
+	sc.release()
+	if !owner {
+		t.Fatal("first lookup must own the entry")
+	}
+	c.finish(e, &canonOutcome{Leader: 0}, nil)
+	labels := rg.Rotate(5).LabelsView()
+	n := testing.AllocsPerRun(200, func() {
+		key, _, sc := canonicalKey(labels, repro.AlgorithmB, 3)
+		if _, owner := c.lookup(key, hashKey(key)); owner {
+			t.Fatal("warm key missed")
+		}
+		sc.release()
+	})
+	if n != 0 {
+		t.Errorf("hit path allocates %v times per op, want 0", n)
+	}
+}

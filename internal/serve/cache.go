@@ -2,48 +2,66 @@ package serve
 
 import (
 	"container/list"
+	"encoding/binary"
+	"math/bits"
+	"runtime"
 	"strings"
 	"sync"
 
 	"repro/internal/ring"
+	"repro/internal/words"
+
+	repro "repro"
 )
 
-// resultCache is the rotation-canonical LRU result cache. Election
-// outcomes are rotation-invariant properties of the labeled ring (the
-// paper's Theorems 2 and 4 hold for the network, not for any particular
-// harness numbering), so the cache keys on the lexicographically least
-// rotation of the clockwise label sequence — Booth's algorithm from
-// internal/words, applied by the server before lookup — plus the
-// algorithm and the multiplicity bound k. All n rotations of a ring
-// therefore share one entry; the server maps the cached canonical-frame
-// leader index back to the caller's frame on the way out.
+// resultCache is the rotation-canonical result cache. Election outcomes
+// are rotation-invariant properties of the labeled ring (the paper's
+// Theorems 2 and 4 hold for the network, not for any particular harness
+// numbering), so the cache keys on the lexicographically least rotation
+// of the clockwise label sequence — Booth's algorithm from internal/words,
+// applied by the server before lookup — plus the algorithm and the
+// multiplicity bound k. All n rotations of a ring therefore share one
+// entry; the server maps the cached canonical-frame leader index back to
+// the caller's frame on the way out.
+//
+// The cache is sharded: a hash of the compact byte-encoded key selects
+// one of a power-of-two number of shards, each with its own mutex, map,
+// and LRU list, so concurrent hits on different rings never contend on a
+// shared lock. Capacity is divided across the shards and eviction is
+// per-shard LRU (an approximation of a global LRU that trades exact
+// recency ordering for lock independence); small caches collapse to a
+// single shard, which preserves the exact global-LRU semantics the
+// eviction tests pin.
 //
 // The cache also deduplicates concurrent identical work (singleflight):
 // the first requester of a key becomes the entry's owner and runs the
 // election; every other requester arriving before it finishes waits on
-// the same entry and is counted as a hit. Failed or shed computations are
-// removed so later requests retry.
+// the same entry and is counted as a hit. In-flight entries are never
+// evicted (their waiters would be stranded); failed or shed computations
+// are removed so later requests retry.
 type resultCache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+// cacheShard is one independently locked slice of the cache. The padding
+// keeps neighboring shards' mutexes on different cache lines so that
+// lock traffic on one shard does not false-share with another.
+type cacheShard struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[cacheKey]*entry
-	lru     *list.List // front = most recent; values are *lruItem
-}
-
-type cacheKey struct {
-	canon string // canonical (least-rotation) label sequence, space-joined
-	alg   string // algorithm name
-	k     int
-}
-
-type lruItem struct {
-	key cacheKey
-	e   *entry
+	entries map[string]*entry
+	lru     *list.List // front = most recent; values are *entry
+	_       [24]byte
 }
 
 // entry is one cached (or in-flight) election result. ready is closed by
-// the owner when out/err are set; waiters block on it.
+// the owner when out/err are set; waiters block on it. key is the compact
+// byte-encoded cache key (interned once, at insertion) and shard is the
+// shard that owns the entry, so finish/abandon need no key re-hash.
 type entry struct {
+	shard *cacheShard
+	key   string
 	ready chan struct{}
 	out   *canonOutcome // leader index in the canonical frame
 	err   error
@@ -60,80 +78,196 @@ type canonOutcome struct {
 	Engine        string // engine that computed the entry
 }
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{
-		cap:     capacity,
-		entries: make(map[cacheKey]*entry),
-		lru:     list.New(),
+// minEntriesPerShard keeps shards from becoming so small that the
+// per-shard LRU degenerates; auto-sharding never splits below this.
+const minEntriesPerShard = 64
+
+// shardsFor picks the shard count: an explicit request is rounded up to a
+// power of two and clamped so every shard holds at least one entry; auto
+// (requested <= 0) scales with GOMAXPROCS but never splits a small cache
+// (capacity/minEntriesPerShard bounds it), so the exact global-LRU
+// behavior of tiny caches — which the eviction tests pin — is preserved.
+func shardsFor(capacity, requested int) int {
+	limit := capacity
+	if requested <= 0 {
+		requested = runtime.GOMAXPROCS(0)
+		if limit > capacity/minEntriesPerShard {
+			limit = capacity / minEntriesPerShard
+		}
 	}
+	n := nextPow2(requested)
+	for n > 1 && n > limit {
+		n >>= 1
+	}
+	return n
 }
 
-// canonSpec renders a label sequence as the cache-key string.
+func nextPow2(v int) int {
+	if v <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(v-1))
+}
+
+func newResultCache(capacity, shards int) *resultCache {
+	ns := shardsFor(capacity, shards)
+	c := &resultCache{shards: make([]cacheShard, ns), mask: uint64(ns - 1)}
+	// Distribute the capacity so the shard capacities sum exactly to the
+	// configured total.
+	base, rem := capacity/ns, capacity%ns
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cap = base
+		if i < rem {
+			sh.cap++
+		}
+		sh.entries = make(map[string]*entry)
+		sh.lru = list.New()
+	}
+	return c
+}
+
+// hashKey is FNV-1a over the encoded key bytes; its low bits select the
+// shard. Inlined by hand so the hot path does not allocate a hash.Hash.
+func hashKey(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// appendCacheKey encodes (alg, k, labels rotated by rot) into dst as the
+// compact cache key: one algorithm byte, then varints for k and for each
+// label in canonical order. Varints are self-delimiting, so distinct
+// canonical (alg, k, sequence) triples encode to distinct keys. The
+// rotation is applied during encoding — the rotated sequence is never
+// materialized.
+func appendCacheKey(dst []byte, alg repro.Algorithm, k int, labels []ring.Label, rot int) []byte {
+	dst = append(dst[:0], byte(alg))
+	dst = binary.AppendVarint(dst, int64(k))
+	n := len(labels)
+	for i := 0; i < n; i++ {
+		dst = binary.AppendVarint(dst, int64(labels[(rot+i)%n]))
+	}
+	return dst
+}
+
+// canonScratch is the pooled per-request scratch of the hot path: Booth's
+// failure table and the encoded key are computed into recycled buffers so
+// a cache hit allocates nothing.
+type canonScratch struct {
+	booth []int
+	key   []byte
+}
+
+var canonScratchPool = sync.Pool{New: func() any { return new(canonScratch) }}
+
+// release recycles the scratch. A method rather than a returned closure:
+// closures allocate, and the whole point of the scratch is that a hit
+// allocates nothing.
+func (sc *canonScratch) release() { canonScratchPool.Put(sc) }
+
+// canonicalKey computes the least-rotation index of labels and the
+// encoded cache key for (alg, k, that rotation) using pooled scratch.
+// key is only valid until sc.release() is called.
+func canonicalKey(labels []ring.Label, alg repro.Algorithm, k int) (key []byte, rot int, sc *canonScratch) {
+	sc = canonScratchPool.Get().(*canonScratch)
+	if need := 2 * len(labels); cap(sc.booth) < need {
+		sc.booth = make([]int, need)
+	}
+	rot = words.LeastRotationIndexInto(labels, sc.booth)
+	sc.key = appendCacheKey(sc.key, alg, k, labels, rot)
+	return sc.key, rot, sc
+}
+
+// canonSpec renders a label sequence as the human-readable space-joined
+// form used in responses and diagnostics.
 func canonSpec(labels []ring.Label) string {
+	return canonSpecRotated(labels, 0)
+}
+
+// canonSpecRotated renders labels rotated by rot without materializing
+// the rotated sequence.
+func canonSpecRotated(labels []ring.Label, rot int) string {
 	var b strings.Builder
-	for i, l := range labels {
+	n := len(labels)
+	for i := 0; i < n; i++ {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		b.WriteString(l.String())
+		b.WriteString(labels[(rot+i)%n].String())
 	}
 	return b.String()
 }
 
-// lookup returns the entry for key, creating an in-flight one when
-// absent. owner is true for the caller that must compute the result and
-// finish (or abandon) the entry; all other callers wait on entry.ready.
-func (c *resultCache) lookup(key cacheKey) (e *entry, owner bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(e.elem)
+// lookup returns the entry for the encoded key, creating an in-flight one
+// when absent. owner is true for the caller that must compute the result
+// and finish (or abandon) the entry; all other callers wait on
+// entry.ready. The key bytes are only retained on insertion (interned as
+// a string); a hit performs no allocation.
+func (c *resultCache) lookup(key []byte, hash uint64) (e *entry, owner bool) {
+	sh := &c.shards[hash&c.mask]
+	sh.mu.Lock()
+	if e, ok := sh.entries[string(key)]; ok { // compiler-optimized: no alloc
+		sh.lru.MoveToFront(e.elem)
+		sh.mu.Unlock()
 		return e, false
 	}
-	e = &entry{ready: make(chan struct{})}
-	e.elem = c.lru.PushFront(&lruItem{key: key, e: e})
-	c.entries[key] = e
-	c.evictLocked()
+	ks := string(key)
+	e = &entry{shard: sh, key: ks, ready: make(chan struct{})}
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[ks] = e
+	sh.evictLocked()
+	sh.mu.Unlock()
 	return e, true
 }
 
 // finish publishes the owner's result. Errored computations are removed
 // from the cache so the next request retries instead of serving the error
 // forever.
-func (c *resultCache) finish(key cacheKey, e *entry, out *canonOutcome, err error) {
-	c.mu.Lock()
+func (c *resultCache) finish(e *entry, out *canonOutcome, err error) {
+	sh := e.shard
+	sh.mu.Lock()
 	e.out, e.err = out, err
 	if err != nil {
-		c.removeLocked(key, e)
+		sh.removeLocked(e)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	close(e.ready)
 }
 
 // abandon withdraws an in-flight entry whose computation never ran (shed
 // or rejected by admission), failing any waiters with err.
-func (c *resultCache) abandon(key cacheKey, e *entry, err error) {
-	c.finish(key, e, nil, err)
+func (c *resultCache) abandon(e *entry, err error) {
+	c.finish(e, nil, err)
 }
 
-// removeLocked unlinks e if it is still the entry stored under key.
-func (c *resultCache) removeLocked(key cacheKey, e *entry) {
-	if cur, ok := c.entries[key]; ok && cur == e {
-		delete(c.entries, key)
-		c.lru.Remove(e.elem)
+// removeLocked unlinks e if it is still the entry stored under its key.
+func (sh *cacheShard) removeLocked(e *entry) {
+	if cur, ok := sh.entries[e.key]; ok && cur == e {
+		delete(sh.entries, e.key)
+		sh.lru.Remove(e.elem)
 	}
 }
 
-// evictLocked trims completed entries from the LRU tail down to capacity.
-// In-flight entries (ready still open) are skipped: they have waiters.
-func (c *resultCache) evictLocked() {
-	for el := c.lru.Back(); el != nil && c.lru.Len() > c.cap; {
+// evictLocked trims completed entries from the LRU tail down to the shard
+// capacity. In-flight entries (ready still open) are skipped: they have
+// waiters, and evicting them would strand every request deduplicated into
+// the flight.
+func (sh *cacheShard) evictLocked() {
+	for el := sh.lru.Back(); el != nil && sh.lru.Len() > sh.cap; {
 		prev := el.Prev()
-		it := el.Value.(*lruItem)
+		e := el.Value.(*entry)
 		select {
-		case <-it.e.ready:
-			delete(c.entries, it.key)
-			c.lru.Remove(el)
+		case <-e.ready:
+			delete(sh.entries, e.key)
+			sh.lru.Remove(el)
 		default: // in flight; keep
 		}
 		el = prev
@@ -142,7 +276,16 @@ func (c *resultCache) evictLocked() {
 
 // len reports the number of cached (including in-flight) entries.
 func (c *resultCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return total
 }
+
+// shardCount reports the number of shards (for tests and the metrics
+// gauge).
+func (c *resultCache) shardCount() int { return len(c.shards) }

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ring"
+
+	repro "repro"
+)
+
+// encKey builds an encoded cache key for tests.
+func encKey(alg repro.Algorithm, k int, labels ...ring.Label) []byte {
+	return appendCacheKey(nil, alg, k, labels, 0)
+}
+
+// TestShardSelection pins the shard-count policy: explicit requests round
+// up to a power of two but never exceed the capacity; auto mode never
+// splits a small cache (so tiny caches keep exact global-LRU semantics),
+// and shard capacities always sum to the configured total.
+func TestShardSelection(t *testing.T) {
+	cases := []struct {
+		capacity, requested, want int
+	}{
+		{4, 0, 1},      // auto: too small to split
+		{63, 0, 1},     // auto: still below one full shard
+		{4, 1, 1},      // explicit single shard
+		{16, 5, 8},     // explicit rounds up to pow2
+		{16, 16, 16},   // explicit exact
+		{4, 64, 4},     // explicit clamped to capacity
+		{4096, 8, 8},   // production-ish
+		{4096, 64, 64}, // max useful split at default capacity
+	}
+	for _, c := range cases {
+		if got := shardsFor(c.capacity, c.requested); got != c.want {
+			t.Errorf("shardsFor(%d, %d) = %d, want %d", c.capacity, c.requested, got, c.want)
+		}
+		cache := newResultCache(c.capacity, c.requested)
+		total := 0
+		for i := range cache.shards {
+			if cache.shards[i].cap < 1 {
+				t.Errorf("capacity %d shards %d: shard %d has cap %d", c.capacity, c.requested, i, cache.shards[i].cap)
+			}
+			total += cache.shards[i].cap
+		}
+		if total != c.capacity {
+			t.Errorf("capacity %d shards %d: shard caps sum to %d", c.capacity, c.requested, total)
+		}
+	}
+}
+
+// TestShardedCacheBounded floods a multi-shard cache with distinct
+// completed keys and checks the total entry count never exceeds the
+// configured capacity once every shard has seen eviction pressure.
+func TestShardedCacheBounded(t *testing.T) {
+	const capacity = 64
+	c := newResultCache(capacity, 8)
+	for i := 0; i < 40*capacity; i++ {
+		key := encKey(repro.AlgorithmA, 2, 1, 2, ring.Label(i+3))
+		e, owner := c.lookup(key, hashKey(key))
+		if !owner {
+			t.Fatalf("key %d: expected distinct keys to miss", i)
+		}
+		c.finish(e, &canonOutcome{Leader: 0}, nil)
+	}
+	if got := c.len(); got > capacity {
+		t.Errorf("cache has %d entries, capacity %d", got, capacity)
+	}
+	// Re-requesting the newest key must hit its shard's LRU front.
+	key := encKey(repro.AlgorithmA, 2, 1, 2, ring.Label(40*capacity+2))
+	if _, owner := c.lookup(key, hashKey(key)); owner {
+		t.Error("most recent key should still be cached")
+	}
+}
+
+// TestRotationCanonicalCacheSharded reruns the rotation-invariance
+// contract against an explicitly multi-shard cache: all rotations encode
+// to one key, hence one shard and one entry, regardless of shard count.
+func TestRotationCanonicalCacheSharded(t *testing.T) {
+	s := New(Config{Workers: 2, CacheShards: 8})
+	defer s.Close()
+	h := s.Handler()
+	base := ring.Figure1()
+	for d := 0; d < base.N(); d++ {
+		var resp ElectResponse
+		code, _ := postJSON(t, h, "/v1/elect", ElectRequest{Ring: canonSpec(base.Rotate(d).Labels()), Alg: "B", K: 3}, &resp)
+		if code != 200 {
+			t.Fatalf("rotation %d: status %d", d, code)
+		}
+		if want := (base.N() - d) % base.N(); resp.Leader != want {
+			t.Errorf("rotation %d: leader %d, want %d", d, resp.Leader, want)
+		}
+	}
+	if got := s.cache.len(); got != 1 {
+		t.Errorf("cache has %d entries, want 1 (all rotations share one shard entry)", got)
+	}
+	if snap := s.Metrics().Snapshot(); snap.Misses != 1 || snap.Hits != int64(base.N()-1) {
+		t.Errorf("misses=%d hits=%d, want 1 and %d", snap.Misses, snap.Hits, base.N()-1)
+	}
+}
+
+// TestWaiterSurvivesEviction is the waiter-vs-eviction race contract: an
+// in-flight entry whose shard is under heavy eviction pressure must never
+// be evicted out from under its waiters — every waiter still gets the
+// owner's result. Exercised at both shard counts: 1 (the pre-shard
+// global-LRU semantics) and 4.
+func TestWaiterSurvivesEviction(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			c := newResultCache(shards, shards) // capacity 1 per shard: maximum pressure
+			inflight := encKey(repro.AlgorithmB, 3, 7, 7, 9)
+			owner, isOwner := c.lookup(inflight, hashKey(inflight))
+			if !isOwner {
+				t.Fatal("first lookup must own the entry")
+			}
+
+			const waiters = 8
+			var wg sync.WaitGroup
+			var got atomic.Int64
+			for w := 0; w < waiters; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					e, own := c.lookup(inflight, hashKey(inflight))
+					if own {
+						t.Error("waiter unexpectedly became owner: in-flight entry was evicted")
+						c.finish(e, &canonOutcome{Leader: -1}, nil) // unblock peers; -1 fails the count
+						return
+					}
+					<-e.ready
+					if e.err == nil && e.out != nil && e.out.Leader == 2 {
+						got.Add(1)
+					}
+				}()
+			}
+
+			// Evict as hard as possible while the entry is in flight: every
+			// one of these lands eviction passes on the in-flight entry's
+			// shard (and the others).
+			for i := 0; i < 200; i++ {
+				key := encKey(repro.AlgorithmA, 2, 1, 2, ring.Label(i+3))
+				e, own := c.lookup(key, hashKey(key))
+				if own {
+					c.finish(e, &canonOutcome{Leader: 0}, nil)
+				}
+			}
+
+			c.finish(owner, &canonOutcome{Leader: 2}, nil)
+			wg.Wait()
+			if got.Load() != waiters {
+				t.Errorf("%d of %d waiters saw the owner's result", got.Load(), waiters)
+			}
+		})
+	}
+}
+
+// TestAbandonedWaitersRetry pins the other half of the contract: when the
+// owner's computation is shed (abandon), waiters observe the shed error —
+// a clean retry signal — and the next lookup becomes a fresh owner
+// instead of waiting on a dead entry.
+func TestAbandonedWaitersRetry(t *testing.T) {
+	c := newResultCache(4, 4)
+	key := encKey(repro.AlgorithmB, 3, 5, 6, 5)
+	owner, isOwner := c.lookup(key, hashKey(key))
+	if !isOwner {
+		t.Fatal("first lookup must own the entry")
+	}
+	var wg, looked sync.WaitGroup
+	shedErr := errors.New("shed")
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		looked.Add(1)
+		go func() {
+			defer wg.Done()
+			e, own := c.lookup(key, hashKey(key))
+			looked.Done()
+			if own {
+				t.Error("waiter became owner before abandon")
+				c.finish(e, nil, shedErr) // unblock peers in the failure case
+				return
+			}
+			<-e.ready
+			if !errors.Is(e.err, shedErr) {
+				t.Errorf("waiter error = %v, want the owner's shed error", e.err)
+			}
+		}()
+	}
+	looked.Wait() // every waiter is parked on the flight before it is shed
+	c.abandon(owner, shedErr)
+	wg.Wait()
+	if _, own := c.lookup(key, hashKey(key)); !own {
+		t.Error("lookup after abandon must start a fresh flight")
+	}
+}
+
+// TestShardedCacheRaceStress hammers lookup/finish/abandon/evict across
+// goroutines and shards; run under -race (make test-serve) it pins the
+// absence of data races in the sharded hot path. Functional check: every
+// waiter unblocks, and the cache stays within capacity.
+func TestShardedCacheRaceStress(t *testing.T) {
+	const (
+		capacity = 16
+		shards   = 4
+		workers  = 8
+		iters    = 400
+	)
+	c := newResultCache(capacity, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// A deliberately small key space so goroutines collide on
+				// entries and singleflight/waiter paths actually interleave.
+				key := encKey(repro.AlgorithmA, 2, 1, 2, ring.Label(3+(i+w)%32))
+				e, owner := c.lookup(key, hashKey(key))
+				if owner {
+					if i%7 == 0 {
+						c.abandon(e, errSaturated)
+					} else {
+						c.finish(e, &canonOutcome{Leader: i % 3}, nil)
+					}
+				} else {
+					<-e.ready
+					if e.err == nil && e.out == nil {
+						t.Error("completed entry with neither result nor error")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.len(); got > capacity {
+		t.Errorf("cache has %d entries, capacity %d", got, capacity)
+	}
+}

@@ -185,17 +185,17 @@ func TestCacheEviction(t *testing.T) {
 // TestErroredEntryNotCached: a failed computation must not poison the
 // cache; exercised directly against the cache internals.
 func TestErroredEntryNotCached(t *testing.T) {
-	c := newResultCache(8)
-	key := cacheKey{canon: "1 2 2", alg: "Ak", k: 2}
-	e, owner := c.lookup(key)
+	c := newResultCache(8, 1)
+	key := []byte("\x00\x04\x02\x04\x04") // any encoded key works here
+	e, owner := c.lookup(key, hashKey(key))
 	if !owner {
 		t.Fatal("first lookup must own the entry")
 	}
-	c.finish(key, e, nil, errors.New("engine exploded"))
+	c.finish(e, nil, errors.New("engine exploded"))
 	if c.len() != 0 {
 		t.Fatalf("errored entry retained; cache len %d", c.len())
 	}
-	if _, owner := c.lookup(key); !owner {
+	if _, owner := c.lookup(key, hashKey(key)); !owner {
 		t.Error("next lookup must retry, not wait on the failed entry")
 	}
 }

@@ -6,89 +6,124 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
 )
 
+// maxStatus bounds the per-status-code response counter array. HTTP
+// status codes live in [100, 599]; anything outside is clamped into the
+// overflow slot 0.
+const maxStatus = 600
+
 // Metrics is the daemon's observability registry: request/response
 // counters, cache and shed counters, an in-flight gauge, and per-endpoint
 // latency histograms, all hand-rolled on the standard library and exposed
 // in the Prometheus text format by WritePrometheus. One instance per
-// Server; every handler passes through ObserveRequest via the
-// instrumentation middleware.
+// Server; every handler passes through the instrumentation middleware.
+//
+// The request path is lock-free: every counter is a sync/atomic value,
+// status codes index a fixed atomic array, endpoint handles are resolved
+// once at mux construction (a sync.Map covers the dynamic ObserveRequest
+// entry point), and latency lands in a striped histogram
+// (stats.Striped) that is only merged when /metrics is scraped. No
+// request ever takes a registry-wide mutex.
 type Metrics struct {
-	mu          sync.Mutex
 	start       time.Time
-	requests    map[string]int64 // by endpoint
-	responses   map[int]int64    // by status code
-	latency     map[string]*stats.Histogram
-	hits        int64
-	misses      int64
-	sheds       int64
-	errors      int64 // 5xx responses
-	crosschecks int64
-	divergences int64
-	inFlight    int64
-	gauges      map[string]func() float64 // extra gauges (cache size, queue depth)
+	responses   [maxStatus]atomic.Int64
+	endpoints   sync.Map // string -> *endpointStats
+	hits        atomic.Int64
+	misses      atomic.Int64
+	sheds       atomic.Int64
+	errors      atomic.Int64 // 5xx responses
+	crosschecks atomic.Int64
+	divergences atomic.Int64
+	inFlight    atomic.Int64
+	gauges      map[string]func() float64 // read-only after construction
+}
+
+// endpointStats is one endpoint's slice of the registry: an atomic
+// request counter and a striped latency recorder. Handlers hold a handle
+// to their endpointStats, resolved once when the mux is built, so the
+// per-request path performs no map lookup at all.
+type endpointStats struct {
+	name     string
+	requests atomic.Int64
+	latency  *stats.Striped
 }
 
 // NewMetrics builds an empty registry. gauges supplies additional
 // point-in-time values (e.g. cache entries) sampled at exposition time.
 func NewMetrics(gauges map[string]func() float64) *Metrics {
 	return &Metrics{
-		start:     time.Now(),
-		requests:  make(map[string]int64),
-		responses: make(map[int]int64),
-		latency:   make(map[string]*stats.Histogram),
-		gauges:    gauges,
+		start:  time.Now(),
+		gauges: gauges,
 	}
 }
 
-// ObserveRequest records one completed request: endpoint counter, status
-// counter, latency histogram, and the shed/error counters derived from
-// the status code (429 → shed, 5xx → error).
-func (m *Metrics) ObserveRequest(endpoint string, status int, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[endpoint]++
-	m.responses[status]++
-	h, ok := m.latency[endpoint]
-	if !ok {
-		h = stats.MustHistogram(stats.DefaultLatencyBuckets)
-		m.latency[endpoint] = h
+// Endpoint returns (registering on first use) the stats handle for an
+// endpoint. Resolve once and reuse: observing through the handle is the
+// lock-free fast path.
+func (m *Metrics) Endpoint(name string) *endpointStats {
+	if ep, ok := m.endpoints.Load(name); ok {
+		return ep.(*endpointStats)
 	}
-	h.Observe(d.Seconds())
+	ep := &endpointStats{name: name, latency: stats.MustStriped(0, stats.DefaultLatencyBuckets)}
+	actual, _ := m.endpoints.LoadOrStore(name, ep)
+	return actual.(*endpointStats)
+}
+
+// observe records one completed request on a pre-resolved endpoint
+// handle: endpoint counter, status counter, latency stripe, and the
+// shed/error counters derived from the status code (429 → shed, 5xx →
+// error). Entirely atomic; no shared lock.
+func (m *Metrics) observe(ep *endpointStats, status int, d time.Duration) {
+	ep.requests.Add(1)
+	m.responses[clampStatus(status)].Add(1)
+	ep.latency.Observe(d.Seconds())
 	if status == 429 {
-		m.sheds++
+		m.sheds.Add(1)
 	}
 	if status >= 500 {
-		m.errors++
+		m.errors.Add(1)
 	}
+}
+
+// ObserveRequest records one completed request by endpoint name. It is
+// the dynamic-entry form of observe for callers without a handle (tests,
+// ad-hoc instrumentation); the serving middleware uses handles.
+func (m *Metrics) ObserveRequest(endpoint string, status int, d time.Duration) {
+	m.observe(m.Endpoint(endpoint), status, d)
+}
+
+func clampStatus(status int) int {
+	if status < 0 || status >= maxStatus {
+		return 0
+	}
+	return status
 }
 
 // IncInFlight / DecInFlight maintain the in-flight request gauge.
-func (m *Metrics) IncInFlight() { m.mu.Lock(); m.inFlight++; m.mu.Unlock() }
+func (m *Metrics) IncInFlight() { m.inFlight.Add(1) }
 
 // DecInFlight decrements the in-flight request gauge.
-func (m *Metrics) DecInFlight() { m.mu.Lock(); m.inFlight--; m.mu.Unlock() }
+func (m *Metrics) DecInFlight() { m.inFlight.Add(-1) }
 
 // CacheHit records a request answered from (or deduplicated into) the
 // rotation-canonical result cache.
-func (m *Metrics) CacheHit() { m.mu.Lock(); m.hits++; m.mu.Unlock() }
+func (m *Metrics) CacheHit() { m.hits.Add(1) }
 
 // CacheMiss records a request that had to run its election.
-func (m *Metrics) CacheMiss() { m.mu.Lock(); m.misses++; m.mu.Unlock() }
+func (m *Metrics) CacheMiss() { m.misses.Add(1) }
 
 // Crosscheck records one sampled cache hit re-verified through the
 // simulator; diverged marks the re-run disagreeing with the cached result.
 func (m *Metrics) Crosscheck(diverged bool) {
-	m.mu.Lock()
-	m.crosschecks++
+	m.crosschecks.Add(1)
 	if diverged {
-		m.divergences++
+		m.divergences.Add(1)
 	}
-	m.mu.Unlock()
 }
 
 // Snapshot is a point-in-time copy of the counters, for tests and the
@@ -104,101 +139,107 @@ type Snapshot struct {
 	InFlight    int64
 }
 
-// Snapshot returns a consistent copy of the counters.
+// Snapshot returns a copy of the counters. Each counter is read
+// atomically; the copy as a whole is as consistent as concurrent
+// lock-free counters allow, which is what the callers (tests after
+// quiescence, the periodic log line) need.
 func (m *Metrics) Snapshot() Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := Snapshot{
-		Hits:        m.hits,
-		Misses:      m.misses,
-		Sheds:       m.sheds,
-		Errors:      m.errors,
-		Crosschecks: m.crosschecks,
-		Divergences: m.divergences,
-		InFlight:    m.inFlight,
+		Hits:        m.hits.Load(),
+		Misses:      m.misses.Load(),
+		Sheds:       m.sheds.Load(),
+		Errors:      m.errors.Load(),
+		Crosschecks: m.crosschecks.Load(),
+		Divergences: m.divergences.Load(),
+		InFlight:    m.inFlight.Load(),
 	}
-	for _, c := range m.requests {
-		s.Requests += c
-	}
+	m.endpoints.Range(func(_, v any) bool {
+		s.Requests += v.(*endpointStats).requests.Load()
+		return true
+	})
 	return s
 }
 
 // LogLine renders the one-line periodic operational summary.
 func (m *Metrics) LogLine() string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var total int64
-	for _, c := range m.requests {
-		total += c
-	}
+	s := m.Snapshot()
 	hitRate := 0.0
-	if m.hits+m.misses > 0 {
-		hitRate = 100 * float64(m.hits) / float64(m.hits+m.misses)
+	if s.Hits+s.Misses > 0 {
+		hitRate = 100 * float64(s.Hits) / float64(s.Hits+s.Misses)
 	}
-	p95 := 0.0
-	if h, ok := m.latency["/v1/elect"]; ok && h.Count() > 0 {
-		p95 = h.Quantile(0.95) * 1000
-	}
+	p95 := m.latencyQuantile("/v1/elect", 0.95) * 1000
 	return fmt.Sprintf("served=%d hit=%d miss=%d (%.1f%% hit) shed=%d err=%d crosscheck=%d/%d inflight=%d p95(elect)=%.2fms",
-		total, m.hits, m.misses, hitRate, m.sheds, m.errors, m.divergences, m.crosschecks, m.inFlight, p95)
+		s.Requests, s.Hits, s.Misses, hitRate, s.Sheds, s.Errors, s.Divergences, s.Crosschecks, s.InFlight, p95)
+}
+
+// sortedEndpoints snapshots the endpoint registry in name order.
+func (m *Metrics) sortedEndpoints() []*endpointStats {
+	var eps []*endpointStats
+	m.endpoints.Range(func(_, v any) bool {
+		eps = append(eps, v.(*endpointStats))
+		return true
+	})
+	sort.Slice(eps, func(i, j int) bool { return eps[i].name < eps[j].name })
+	return eps
 }
 
 // WritePrometheus renders every series in the Prometheus text exposition
 // format (v0.0.4), with deterministic ordering so the output is diffable.
+// This is the merge-on-scrape read path: each endpoint's latency stripes
+// are folded into one histogram here, once per scrape, instead of
+// serializing writers per request.
 func (m *Metrics) WritePrometheus(w io.Writer) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	eps := m.sortedEndpoints()
 
 	fmt.Fprintf(w, "# HELP ringd_requests_total Requests received, by endpoint.\n# TYPE ringd_requests_total counter\n")
-	for _, ep := range sortedKeys(m.requests) {
-		fmt.Fprintf(w, "ringd_requests_total{endpoint=%q} %d\n", ep, m.requests[ep])
+	for _, ep := range eps {
+		fmt.Fprintf(w, "ringd_requests_total{endpoint=%q} %d\n", ep.name, ep.requests.Load())
 	}
 
 	fmt.Fprintf(w, "# HELP ringd_responses_total Responses sent, by status code.\n# TYPE ringd_responses_total counter\n")
-	codes := make([]int, 0, len(m.responses))
-	for c := range m.responses {
-		codes = append(codes, c)
-	}
-	sort.Ints(codes)
-	for _, c := range codes {
-		fmt.Fprintf(w, "ringd_responses_total{code=\"%d\"} %d\n", c, m.responses[c])
+	for code := range m.responses {
+		if v := m.responses[code].Load(); v != 0 {
+			fmt.Fprintf(w, "ringd_responses_total{code=\"%d\"} %d\n", code, v)
+		}
 	}
 
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	counter("ringd_cache_hits_total", "Elect requests answered from or deduplicated into the canonical result cache.", m.hits)
-	counter("ringd_cache_misses_total", "Elect requests that ran an election.", m.misses)
-	counter("ringd_shed_total", "Requests shed with 429 by the admission layer.", m.sheds)
-	counter("ringd_errors_total", "Responses with a 5xx status.", m.errors)
-	counter("ringd_crosscheck_total", "Cache hits re-verified through the simulator.", m.crosschecks)
-	counter("ringd_crosscheck_divergence_total", "Crosscheck re-runs that disagreed with the cached result.", m.divergences)
+	counter("ringd_cache_hits_total", "Elect requests answered from or deduplicated into the canonical result cache.", m.hits.Load())
+	counter("ringd_cache_misses_total", "Elect requests that ran an election.", m.misses.Load())
+	counter("ringd_shed_total", "Requests shed with 429 by the admission layer.", m.sheds.Load())
+	counter("ringd_errors_total", "Responses with a 5xx status.", m.errors.Load())
+	counter("ringd_crosscheck_total", "Cache hits re-verified through the simulator.", m.crosschecks.Load())
+	counter("ringd_crosscheck_divergence_total", "Crosscheck re-runs that disagreed with the cached result.", m.divergences.Load())
 
-	fmt.Fprintf(w, "# HELP ringd_in_flight Requests currently being served.\n# TYPE ringd_in_flight gauge\nringd_in_flight %d\n", m.inFlight)
+	fmt.Fprintf(w, "# HELP ringd_in_flight Requests currently being served.\n# TYPE ringd_in_flight gauge\nringd_in_flight %d\n", m.inFlight.Load())
 	for _, name := range sortedKeys(m.gauges) {
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(m.gauges[name]()))
 	}
 	fmt.Fprintf(w, "# HELP ringd_uptime_seconds Seconds since the server started.\n# TYPE ringd_uptime_seconds gauge\nringd_uptime_seconds %s\n", formatFloat(time.Since(m.start).Seconds()))
 
 	fmt.Fprintf(w, "# HELP ringd_request_seconds Request latency, by endpoint.\n# TYPE ringd_request_seconds histogram\n")
-	for _, ep := range sortedKeys(m.latency) {
-		h := m.latency[ep]
+	for _, ep := range eps {
+		h := ep.latency.Snapshot()
 		h.Buckets(func(upper float64, cum int64) {
-			fmt.Fprintf(w, "ringd_request_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, formatFloat(upper), cum)
+			fmt.Fprintf(w, "ringd_request_seconds_bucket{endpoint=%q,le=%q} %d\n", ep.name, formatFloat(upper), cum)
 		})
-		fmt.Fprintf(w, "ringd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.Count())
-		fmt.Fprintf(w, "ringd_request_seconds_sum{endpoint=%q} %s\n", ep, formatFloat(h.Sum()))
-		fmt.Fprintf(w, "ringd_request_seconds_count{endpoint=%q} %d\n", ep, h.Count())
+		fmt.Fprintf(w, "ringd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep.name, h.Count())
+		fmt.Fprintf(w, "ringd_request_seconds_sum{endpoint=%q} %s\n", ep.name, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "ringd_request_seconds_count{endpoint=%q} %d\n", ep.name, h.Count())
 	}
 }
 
 // latencyQuantile reports a quantile of an endpoint's latency histogram in
 // seconds (0 when the endpoint has no samples). For tests and reports.
 func (m *Metrics) latencyQuantile(endpoint string, q float64) float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.latency[endpoint]
-	if !ok || h.Count() == 0 {
+	ep, ok := m.endpoints.Load(endpoint)
+	if !ok {
+		return 0
+	}
+	h := ep.(*endpointStats).latency.Snapshot()
+	if h.Count() == 0 {
 		return 0
 	}
 	return h.Quantile(q)

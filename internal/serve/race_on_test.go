@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether this test binary was built with -race.
+// The race runtime bypasses sync.Pool caching, so allocation-count
+// assertions are meaningless under it.
+const raceEnabled = true

@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ring"
@@ -47,6 +48,12 @@ import (
 type Config struct {
 	// CacheEntries bounds the result cache (default 4096 entries).
 	CacheEntries int
+	// CacheShards is the number of independently locked cache shards,
+	// rounded up to a power of two (0 = auto: scales with GOMAXPROCS but
+	// never splits a small cache below 64 entries per shard). More shards
+	// mean less lock contention on the hit path; capacity is divided
+	// across them and eviction is per-shard LRU.
+	CacheShards int
 	// QueueDepth bounds the admission queue; a full queue sheds with 429
 	// (default 256).
 	QueueDepth int
@@ -126,8 +133,7 @@ type Server struct {
 	cache   *resultCache
 	adm     *admission
 
-	hitSeq   int64 // crosscheck sampling counter; guarded by sampleMu
-	sampleMu sync.Mutex
+	hitSeq atomic.Int64 // crosscheck sampling counter
 
 	stopLog chan struct{}
 	logWG   sync.WaitGroup
@@ -138,11 +144,12 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		cache:   newResultCache(cfg.CacheEntries),
+		cache:   newResultCache(cfg.CacheEntries, cfg.CacheShards),
 		stopLog: make(chan struct{}),
 	}
 	s.metrics = NewMetrics(map[string]func() float64{
 		"ringd_cache_entries": func() float64 { return float64(s.cache.len()) },
+		"ringd_cache_shards":  func() float64 { return float64(s.cache.shardCount()) },
 		"ringd_queue_depth":   func() float64 { return float64(len(s.adm.queue)) },
 	})
 	s.adm = newAdmission(cfg.QueueDepth, cfg.Workers, cfg.BatchSize, cfg.BatchWait)
@@ -208,15 +215,19 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with the observability layer: in-flight
-// gauge, request counter, status counter, latency histogram.
+// gauge, request counter, status counter, latency histogram. The
+// endpoint's stats handle is resolved once here, at mux construction, so
+// the per-request metrics path is atomic counters and a latency stripe —
+// no map lookup, no registry lock.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	ep := s.metrics.Endpoint(endpoint)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.IncInFlight()
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		s.metrics.DecInFlight()
-		s.metrics.ObserveRequest(endpoint, rec.status, time.Since(start))
+		s.metrics.observe(ep, rec.status, time.Since(start))
 	})
 }
 
@@ -323,23 +334,27 @@ func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Canonicalize: all rotations of this ring share one cache entry.
-	labels := rg.Labels()
-	rot := words.LeastRotationIndex(labels)
-	canon := rg.Rotate(rot)
-	key := cacheKey{canon: canonSpec(canon.Labels()), alg: alg.String(), k: req.K}
+	// Canonicalize: all rotations of this ring share one cache entry. The
+	// key is computed into pooled scratch and only interned on a miss, and
+	// the label sequence is borrowed from the ring rather than copied, so
+	// the hit path allocates nothing in the cache layer.
+	labels := rg.LabelsView()
+	key, rot, sc := canonicalKey(labels, alg, req.K)
+	e, owner := s.cache.lookup(key, hashKey(key))
+	sc.release()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	e, owner := s.cache.lookup(key)
 	if owner {
 		s.metrics.CacheMiss()
+		// Only the miss path materializes the canonical ring.
+		canon := rg.Rotate(rot)
 		if err := s.adm.submit(ctx, func() {
 			out, rerr := s.runElection(canon, alg, req.K, req.Engine)
-			s.cache.finish(key, e, out, rerr)
+			s.cache.finish(e, out, rerr)
 		}); err != nil {
-			s.cache.abandon(key, e, err)
+			s.cache.abandon(e, err)
 			if errors.Is(err, errClosed) {
 				writeError(w, http.StatusServiceUnavailable, "shutting down")
 				return
@@ -373,7 +388,7 @@ func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
 	}
 	out := e.out
 	if !owner && s.shouldCrosscheck() {
-		s.crosscheck(key, canon, alg, req.K, out)
+		s.crosscheck(rg.Rotate(rot), alg, req.K, out)
 	}
 	writeJSON(w, http.StatusOK, ElectResponse{
 		Ring:              canonSpec(labels),
@@ -387,7 +402,7 @@ func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
 		TimeUnits:         out.TimeUnits,
 		PeakSpaceBits:     out.PeakSpaceBits,
 		Cached:            !owner,
-		Canonical:         key.canon,
+		Canonical:         canonSpecRotated(labels, rot),
 		CanonicalRotation: rot,
 	})
 }
@@ -417,26 +432,26 @@ func (s *Server) runElection(canon *ring.Ring, alg repro.Algorithm, k int, engin
 
 // shouldCrosscheck deterministically samples cache hits at the configured
 // fraction: hit i is sampled when ⌊i·f⌋ > ⌊(i-1)·f⌋, i.e. every 1/f-th
-// hit for small f, every hit for f = 1.
+// hit for small f, every hit for f = 1. The sequence counter is atomic so
+// sampling never serializes the hit path.
 func (s *Server) shouldCrosscheck() bool {
 	f := s.cfg.Crosscheck
 	if f <= 0 {
 		return false
 	}
-	s.sampleMu.Lock()
-	defer s.sampleMu.Unlock()
-	s.hitSeq++
-	return int64(float64(s.hitSeq)*f) > int64(float64(s.hitSeq-1)*f)
+	i := s.hitSeq.Add(1)
+	return int64(float64(i)*f) > int64(float64(i-1)*f)
 }
 
 // crosscheck re-runs a cached election through the deterministic
 // simulator and fails loudly if the cache layer has broken the engines'
 // agreement invariant (the serving-path analogue of experiment E10).
-func (s *Server) crosscheck(key cacheKey, canon *ring.Ring, alg repro.Algorithm, k int, cached *canonOutcome) {
+func (s *Server) crosscheck(canon *ring.Ring, alg repro.Algorithm, k int, cached *canonOutcome) {
+	canonStr := canonSpec(canon.Labels())
 	fresh, err := repro.Elect(canon, alg, k)
 	if err != nil {
 		s.metrics.Crosscheck(true)
-		s.cfg.OnDivergence(fmt.Sprintf("re-running %v alg=%s k=%d failed: %v", key.canon, key.alg, k, err))
+		s.cfg.OnDivergence(fmt.Sprintf("re-running %v alg=%s k=%d failed: %v", canonStr, alg, k, err))
 		return
 	}
 	diverged := fresh.Leader != cached.Leader ||
@@ -446,7 +461,7 @@ func (s *Server) crosscheck(key cacheKey, canon *ring.Ring, alg repro.Algorithm,
 	if diverged {
 		s.cfg.OnDivergence(fmt.Sprintf(
 			"ring [%s] alg=%s k=%d: cached leader=%d label=%s messages=%d (engine %s), fresh leader=%d label=%s messages=%d",
-			key.canon, key.alg, k,
+			canonStr, alg, k,
 			cached.Leader, cached.LeaderLabel, cached.Messages, cached.Engine,
 			fresh.Leader, fresh.LeaderLabel, fresh.Messages))
 	}

@@ -190,12 +190,15 @@ func TestCrosscheckFailsLoudly(t *testing.T) {
 		t.Fatal("seed request failed")
 	}
 	// Corrupt the cached outcome behind the server's back.
-	s.cache.mu.Lock()
-	for _, e := range s.cache.entries {
-		e.out.Leader = (e.out.Leader + 1) % 8
-		e.out.Messages += 7
+	for i := range s.cache.shards {
+		sh := &s.cache.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			e.out.Leader = (e.out.Leader + 1) % 8
+			e.out.Messages += 7
+		}
+		sh.mu.Unlock()
 	}
-	s.cache.mu.Unlock()
 
 	if code, _ := postJSON(t, h, "/v1/elect", ElectRequest{Ring: "1 3 1 3 2 2 1 2", Alg: "B", K: 3}, nil); code != 200 {
 		t.Fatal("hit request failed")

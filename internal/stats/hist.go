@@ -146,6 +146,44 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max // unreachable: ranks are ≤ n
 }
 
+// Merge folds o into h. Both histograms must have identical bucket
+// boundaries. Bucket counts, sum, count, and min/max add up exactly; the
+// retained raw-sample window is concatenated up to its capacity, so a
+// merged histogram whose combined population still fits the window keeps
+// exact quantiles, and one that overflows falls back to the bucket
+// estimate — the same degradation a single histogram has. The argument is
+// not modified. This is the merge-on-scrape primitive behind the striped
+// recorder: stripes are cheap to write and merged only when read.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("stats: merging histograms with %d and %d bucket boundaries", len(h.bounds), len(o.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			return fmt.Errorf("stats: merging histograms with different boundaries at index %d: %v vs %v", i, h.bounds[i], o.bounds[i])
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.sum += o.sum
+	h.n += o.n
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	if room := exactCap - len(h.exact); room > 0 {
+		take := o.exact
+		if len(take) > room {
+			take = take[:room]
+		}
+		h.exact = append(h.exact, take...)
+	}
+	return nil
+}
+
 // Buckets calls fn for each boundary in ascending order with the
 // cumulative count of observations ≤ that boundary — the `le` series of
 // the Prometheus histogram exposition. The implicit +Inf bucket is

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Striped is a concurrency-friendly latency recorder: a power-of-two
+// number of stripes, each an independently locked Histogram, with
+// merge-on-scrape reads (Histogram.Merge). Writers spread round-robin
+// across the stripes, so under load each Observe contends on a 1/Nth
+// slice of the lock traffic a single shared histogram would see — the
+// ringd request path records latency through one of these instead of a
+// registry-wide mutex. Reads (Snapshot and everything built on it) are
+// proportionally more expensive, which is the right trade for a metric
+// written per-request and read per-scrape.
+type Striped struct {
+	stripes []stripe
+	mask    uint64
+	next    atomic.Uint64 // round-robin stripe cursor
+}
+
+// stripe pads each histogram+lock pair to its own cache line so that
+// lock traffic on one stripe does not false-share with its neighbors.
+type stripe struct {
+	mu sync.Mutex
+	h  *Histogram
+	_  [40]byte
+}
+
+// NewStriped builds a striped recorder over the given bucket boundaries.
+// stripes is rounded up to a power of two; stripes <= 0 picks a default
+// scaled to GOMAXPROCS (capped at 64).
+func NewStriped(stripes int, bounds []float64) (*Striped, error) {
+	if stripes <= 0 {
+		stripes = runtime.GOMAXPROCS(0)
+		if stripes > 64 {
+			stripes = 64
+		}
+	}
+	if stripes > 1 {
+		stripes = 1 << bits.Len(uint(stripes-1))
+	}
+	s := &Striped{stripes: make([]stripe, stripes), mask: uint64(stripes - 1)}
+	for i := range s.stripes {
+		h, err := NewHistogram(bounds)
+		if err != nil {
+			return nil, err
+		}
+		s.stripes[i].h = h
+	}
+	return s, nil
+}
+
+// MustStriped is NewStriped, panicking on error. For fixed literal
+// boundary ladders like DefaultLatencyBuckets.
+func MustStriped(stripes int, bounds []float64) *Striped {
+	s, err := NewStriped(stripes, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Observe records one measurement into the next stripe in round-robin
+// order. One atomic add plus one uncontended (in expectation) mutex —
+// no shared lock.
+func (s *Striped) Observe(v float64) {
+	st := &s.stripes[s.next.Add(1)&s.mask]
+	st.mu.Lock()
+	st.h.Observe(v)
+	st.mu.Unlock()
+}
+
+// Count returns the total number of observations across all stripes.
+func (s *Striped) Count() int64 {
+	var n int64
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += st.h.Count()
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot merges every stripe into one fresh Histogram — the
+// merge-on-scrape read path. The snapshot is consistent per stripe but
+// not across stripes (observations racing a scrape may or may not be
+// included), which is the usual monitoring contract.
+func (s *Striped) Snapshot() *Histogram {
+	out := MustHistogram(s.stripes[0].h.bounds)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		err := out.Merge(st.h)
+		st.mu.Unlock()
+		if err != nil {
+			// Unreachable: every stripe was built from the same bounds.
+			panic(err)
+		}
+	}
+	return out
+}
+
+// Stripes reports the stripe count (for tests and sizing diagnostics).
+func (s *Striped) Stripes() int { return len(s.stripes) }

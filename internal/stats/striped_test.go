@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestMergeEmpty: folding an empty histogram in is a no-op, and folding
+// into an empty histogram copies the argument exactly.
+func TestMergeEmpty(t *testing.T) {
+	a := MustHistogram(DefaultLatencyBuckets)
+	b := MustHistogram(DefaultLatencyBuckets)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 0 || a.Sum() != 0 || !math.IsNaN(a.Quantile(0.5)) {
+		t.Errorf("empty+empty: count=%d sum=%v", a.Count(), a.Sum())
+	}
+
+	for _, v := range []float64{0.001, 0.04, 2} {
+		b.Observe(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 3 || a.Sum() != b.Sum() {
+		t.Errorf("empty+full: count=%d sum=%v, want %d %v", a.Count(), a.Sum(), b.Count(), b.Sum())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Errorf("empty+full q=%v: %v != %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	// The argument must not be modified.
+	if b.Count() != 3 {
+		t.Errorf("merge mutated its argument: count=%d", b.Count())
+	}
+}
+
+// approxEqual compares sums whose floating-point addition order differs
+// (per-shard accumulation vs one stream).
+func approxEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestMergeBoundsMismatch: merging histograms with different ladders is
+// an error, not silent corruption.
+func TestMergeBoundsMismatch(t *testing.T) {
+	a := MustHistogram([]float64{1, 2, 3})
+	if err := a.Merge(MustHistogram([]float64{1, 2})); err == nil {
+		t.Error("different boundary counts must be rejected")
+	}
+	if err := a.Merge(MustHistogram([]float64{1, 2, 4})); err == nil {
+		t.Error("different boundary values must be rejected")
+	}
+}
+
+// TestMergePartialEquivalence is the satellite contract: splitting a
+// sample stream across k histograms and merging must match feeding the
+// whole stream to one histogram — counts, sum, min/max, every bucket,
+// and (while the merged population fits the exact window) every quantile.
+func TestMergePartialEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, parts := range []int{2, 3, 8} {
+		n := 200 + rng.Intn(800)
+		xs := make([]float64, n)
+		whole := MustHistogram(DefaultLatencyBuckets)
+		shards := make([]*Histogram, parts)
+		for i := range shards {
+			shards[i] = MustHistogram(DefaultLatencyBuckets)
+		}
+		for i := range xs {
+			xs[i] = math.Exp(rng.NormFloat64()*3 - 7)
+			whole.Observe(xs[i])
+			shards[i%parts].Observe(xs[i])
+		}
+		merged := MustHistogram(DefaultLatencyBuckets)
+		for _, sh := range shards {
+			if err := merged.Merge(sh); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.Count() != whole.Count() || !approxEqual(merged.Sum(), whole.Sum()) {
+			t.Fatalf("parts=%d: count/sum %d/%v, want %d/%v", parts, merged.Count(), merged.Sum(), whole.Count(), whole.Sum())
+		}
+		wantBuckets := map[float64]int64{}
+		whole.Buckets(func(u float64, c int64) { wantBuckets[u] = c })
+		merged.Buckets(func(u float64, c int64) {
+			if wantBuckets[u] != c {
+				t.Errorf("parts=%d bucket le=%v: %d, want %d", parts, u, c, wantBuckets[u])
+			}
+		})
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			want := exactQuantile(xs, q)
+			if got := merged.Quantile(q); got != want {
+				t.Errorf("parts=%d q=%v: merged %v, want exact %v", parts, q, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeFullWindow drives the merged population past the exact-sample
+// window: the merge must degrade to the bucket estimate (like a single
+// overflowing histogram), never panic or mis-count, and min/max must
+// still fold exactly.
+func TestMergeFullWindow(t *testing.T) {
+	bounds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	rng := rand.New(rand.NewSource(3))
+	merged := MustHistogram(bounds)
+	var n int64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for part := 0; part < 3; part++ {
+		h := MustHistogram(bounds)
+		for i := 0; i < exactCap; i++ { // 3×exactCap total: overflows the window
+			v := rng.Float64()
+			h.Observe(v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			n++
+		}
+		if err := merged.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != n {
+		t.Fatalf("count = %d, want %d", merged.Count(), n)
+	}
+	if merged.min != lo || merged.max != hi {
+		t.Errorf("min/max = %v/%v, want %v/%v", merged.min, merged.max, lo, hi)
+	}
+	if len(merged.exact) != exactCap {
+		t.Errorf("exact window holds %d samples, want clamped at %d", len(merged.exact), exactCap)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if got := merged.Quantile(q); math.Abs(got-q) > 0.1 { // one bucket width
+			t.Errorf("uniform q=%v: got %v, want within one bucket", q, got)
+		}
+	}
+	if q0, q1 := merged.Quantile(0), merged.Quantile(1); q0 < lo || q1 > hi {
+		t.Errorf("quantile range [%v, %v] escapes observed [%v, %v]", q0, q1, lo, hi)
+	}
+}
+
+// TestStripedMatchesHistogram: a striped recorder fed a stream serially
+// must snapshot to the same aggregate a plain histogram produces.
+func TestStripedMatchesHistogram(t *testing.T) {
+	s := MustStriped(4, DefaultLatencyBuckets)
+	if s.Stripes() != 4 {
+		t.Fatalf("stripes = %d, want 4", s.Stripes())
+	}
+	whole := MustHistogram(DefaultLatencyBuckets)
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64()*3 - 7)
+		s.Observe(xs[i])
+		whole.Observe(xs[i])
+	}
+	snap := s.Snapshot()
+	if snap.Count() != whole.Count() || !approxEqual(snap.Sum(), whole.Sum()) {
+		t.Fatalf("snapshot count/sum %d/%v, want %d/%v", snap.Count(), snap.Sum(), whole.Count(), whole.Sum())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		want := exactQuantile(xs, q)
+		if got := snap.Quantile(q); got != want {
+			t.Errorf("q=%v: %v, want exact %v", q, got, want)
+		}
+	}
+	if s.Count() != 1000 {
+		t.Errorf("striped count = %d, want 1000", s.Count())
+	}
+}
+
+// TestStripedRounding pins the sizing policy: requests round up to a
+// power of two, and non-positive requests pick a machine-scaled default.
+func TestStripedRounding(t *testing.T) {
+	for _, c := range []struct{ req, want int }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {64, 64}} {
+		if got := MustStriped(c.req, DefaultLatencyBuckets).Stripes(); got != c.want {
+			t.Errorf("stripes(%d) = %d, want %d", c.req, got, c.want)
+		}
+	}
+	auto := MustStriped(0, DefaultLatencyBuckets).Stripes()
+	if auto < 1 || auto > 64 || auto&(auto-1) != 0 {
+		t.Errorf("auto stripes = %d, want a power of two in [1, 64]", auto)
+	}
+	if _, err := NewStriped(2, nil); err == nil {
+		t.Error("bad bounds must propagate out of NewStriped")
+	}
+}
+
+// TestStripedConcurrent is the -race stress for the striped recorder:
+// concurrent writers racing scrapes must never lose an observation or
+// trip the race detector, and interleaved snapshots must be monotone.
+func TestStripedConcurrent(t *testing.T) {
+	s := MustStriped(8, DefaultLatencyBuckets)
+	const (
+		writers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	go func() { // a concurrent scraper, like /metrics under load
+		defer close(scrapeDone)
+		prev := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := s.Snapshot()
+			if snap.Count() < prev {
+				t.Errorf("snapshot count went backwards: %d after %d", snap.Count(), prev)
+				return
+			}
+			prev = snap.Count()
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perW; i++ {
+				s.Observe(rng.Float64() / 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-scrapeDone
+	if got := s.Count(); got != writers*perW {
+		t.Errorf("count = %d, want %d (no lost observations)", got, writers*perW)
+	}
+	if snap := s.Snapshot(); snap.Count() != writers*perW {
+		t.Errorf("final snapshot count = %d, want %d", snap.Count(), writers*perW)
+	}
+}

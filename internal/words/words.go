@@ -115,13 +115,27 @@ func Compare[T cmp.Ordered](a, b []T) int {
 // sequence it returns 0. When several rotations are equal-least (s is a
 // power of a shorter word) the smallest such index is returned.
 func LeastRotationIndex[T cmp.Ordered](s []T) int {
+	return LeastRotationIndexInto[T](s, nil)
+}
+
+// LeastRotationIndexInto is LeastRotationIndex with caller-supplied scratch
+// for Booth's failure table: when cap(scratch) ≥ 2·len(s) the computation
+// performs no allocation, which is what the ringd cache-hit path relies on.
+// A short (or nil) scratch falls back to allocating internally; the contents
+// of scratch are overwritten either way.
+func LeastRotationIndexInto[T cmp.Ordered](s []T, scratch []int) int {
 	n := len(s)
 	if n == 0 {
 		return 0
 	}
 	// Booth's algorithm over the doubled sequence, without materializing it.
 	at := func(i int) T { return s[i%n] }
-	f := make([]int, 2*n) // failure table of the least rotation candidate
+	var f []int // failure table of the least rotation candidate
+	if cap(scratch) >= 2*n {
+		f = scratch[:2*n]
+	} else {
+		f = make([]int, 2*n)
+	}
 	for i := range f {
 		f[i] = -1
 	}

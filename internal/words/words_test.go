@@ -214,6 +214,39 @@ func TestLeastRotationIndexExhaustive(t *testing.T) {
 	}
 }
 
+// TestLeastRotationIndexInto pins the scratch-reuse variant: identical
+// answers to the allocating form whether the scratch is absent, short, or
+// dirty from a previous (larger) call, and zero allocations once the
+// scratch is big enough — the contract the ringd cache-hit path relies on.
+func TestLeastRotationIndexInto(t *testing.T) {
+	scratch := make([]int, 64) // deliberately dirty between uses
+	for n := 1; n <= 10; n++ {
+		for mask := 0; mask < 1<<n; mask++ {
+			s := make([]byte, n)
+			for i := range s {
+				s[i] = byte('a' + (mask>>i)&1)
+			}
+			want := LeastRotationIndex(s)
+			if got := LeastRotationIndexInto(s, scratch); got != want {
+				t.Fatalf("LeastRotationIndexInto(%q, big scratch) = %d, want %d", s, got, want)
+			}
+			if got := LeastRotationIndexInto(s, scratch[:0:1]); got != want {
+				t.Fatalf("LeastRotationIndexInto(%q, short scratch) = %d, want %d", s, got, want)
+			}
+			if got := LeastRotationIndexInto(s, nil); got != want {
+				t.Fatalf("LeastRotationIndexInto(%q, nil) = %d, want %d", s, got, want)
+			}
+		}
+	}
+	s := []byte("cabbacabba")
+	allocs := testing.AllocsPerRun(100, func() {
+		LeastRotationIndexInto(s, scratch)
+	})
+	if allocs != 0 {
+		t.Errorf("LeastRotationIndexInto with sufficient scratch allocates %v per run, want 0", allocs)
+	}
+}
+
 func TestLeastRotationIndexQuick(t *testing.T) {
 	f := func(raw []byte) bool {
 		if len(raw) == 0 {
