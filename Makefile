@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build check vet fmt-check test test-net test-serve test-race \
-        race-concurrency test-short bench bench-serve bench-json \
+.PHONY: all build check vet fmt-check test test-net test-serve test-chaos \
+        test-race race-concurrency test-short bench bench-serve bench-json \
         bench-compare profile-serve experiments experiments-md fuzz \
         fuzz-parse figures clean
 
@@ -13,10 +13,10 @@ all: build check test
 build:
 	$(GO) build ./...
 
-# Static checks plus the TCP transport engine's race/fault soak and the
-# election-serving daemon's race/shed/drain soak, wired into the default
-# flow.
-check: vet fmt-check test-net test-serve
+# Static checks plus the TCP transport engine's race/fault soak, the
+# election-serving daemon's race/shed/drain soak, and the crash-recovery
+# chaos soak, wired into the default flow.
+check: vet fmt-check test-net test-serve test-chaos
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,14 @@ test-serve:
 	$(GO) test -race -count=1 ./internal/serve/... ./internal/load/... ./internal/stats/... ./cmd/ringd/... ./cmd/ringload/...
 	$(GO) test -race -count=3 -run 'Shed|Drain|Singleflight|CloseDrains' ./internal/serve/
 	$(GO) test -race -count=3 -run 'Evict|Waiter|Shard|Abandoned' ./internal/serve/
+
+# Crash-recovery chaos soak: real ringnode processes over TCP, a
+# seed-driven fault scheduler (SIGKILL + relaunch, partitions, delay
+# spikes), every run cross-checked against the deterministic simulator.
+# The race detector rides along; -chaos.seeds widens the sweep.
+test-chaos:
+	$(GO) test -race -count=1 -timeout 20m ./internal/chaos/ -chaos.seeds=20
+	$(GO) test -race -count=1 ./cmd/ringchaos/
 
 test-race:
 	$(GO) test -race ./...

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// ringnodeBin is built once per test binary by TestMain; the CLI under
+// test drives real ringnode processes.
+var ringnodeBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "ringchaosbin-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ringnodeBin = filepath.Join(dir, "ringnode")
+	build := exec.Command("go", "build", "-o", ringnodeBin, "repro/cmd/ringnode")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "building ringnode:", err)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-unknown-flag"},
+		{"-seeds", "0"},
+		{"-ring", "not a ring"},
+		{"-algo", "zeus"},
+		{"-schedule-json", filepath.Join(t.TempDir(), "missing.json")},
+		{"-seeds", "2", "-dump", filepath.Join(t.TempDir(), "s.json")},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2; stderr: %s", args, code, errOut.String())
+		}
+	}
+}
+
+// TestDumpThenRunSchedule exercises the -dump / -schedule-json round
+// trip: the dumped file is valid, and running it drives a real TCP ring
+// to the simulator-verified result.
+func TestDumpThenRunSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess chaos run")
+	}
+	path := filepath.Join(t.TempDir(), "sched.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-ring", "1 2 2", "-algo", "bk", "-k", "2", "-seed", "5", "-dump", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("dump exited %d: %s", code, errOut.String())
+	}
+	s, err := chaos.LoadSchedule(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 5 || s.Ring != "1 2 2" || len(s.Events) == 0 {
+		t.Fatalf("dumped schedule looks wrong: %s", s)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	code = run([]string{"-schedule-json", path, "-ringnode", ringnodeBin, "-timeout", "60s", "-v"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("schedule run exited %d: %s", code, errOut.String())
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(bytes.TrimSpace(out.Bytes()), &rep); err != nil {
+		t.Fatalf("bad report %q: %v", out.String(), err)
+	}
+	if rep.LeaderIndex < 0 || rep.Messages <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if rep.Seed != 5 {
+		t.Errorf("report echoes seed %d, want 5", rep.Seed)
+	}
+}
+
+// TestGeneratedSeedRun is the CLI's happy path: generate and execute one
+// seed on a small ring, emitting one JSON report line.
+func TestGeneratedSeedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess chaos run")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-ring", "1 2 2", "-algo", "ak", "-k", "2",
+		"-seed", "11", "-ringnode", ringnodeBin, "-timeout", "60s",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(bytes.TrimSpace(out.Bytes()), &rep); err != nil {
+		t.Fatalf("bad report %q: %v", out.String(), err)
+	}
+	if rep.SurvivedFaults[chaos.KindKill]+rep.SurvivedFaults[chaos.KindSlowRestart] < 1 {
+		t.Errorf("generated schedule carried no kill: %+v", rep.SurvivedFaults)
+	}
+	if rep.SurvivedFaults[chaos.KindPartition] < 1 {
+		t.Errorf("generated schedule carried no partition: %+v", rep.SurvivedFaults)
+	}
+}

@@ -1,8 +1,9 @@
 // Command ringd serves leader elections over HTTP/JSON (internal/serve):
-// POST /v1/elect and /v1/classify, GET /healthz and /metrics. It owns the
-// process-level concerns: flags, signals, and the shutdown ordering the
-// serve package requires (stop accepting connections first, then drain
-// the admission queue).
+// POST /v1/elect and /v1/classify, GET /healthz, /readyz and /metrics. It
+// owns the process-level concerns: flags, signals, and the shutdown
+// ordering the serve package requires (flip /readyz to 503 so load
+// balancers stop routing here, stop accepting connections, then drain the
+// admission queue).
 //
 //	ringd -listen 127.0.0.1:8322 -workers 4 -crosscheck 0.05
 //
@@ -144,6 +145,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	}
 
 	logger.Printf("shutting down (%s): draining in-flight elections", why)
+	// Readiness goes first: /readyz answers 503 from this instant, while
+	// /healthz and the serving endpoints keep working until the drain ends.
+	s.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
@@ -152,7 +156,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	}
 	s.Close() // after Shutdown: no new requests can enter the queue
 	snap := s.Metrics().Snapshot()
-	logger.Printf("final: requests=%d hits=%d misses=%d sheds=%d errors=%d crosschecks=%d divergences=%d",
-		snap.Requests, snap.Hits, snap.Misses, snap.Sheds, snap.Errors, snap.Crosschecks, snap.Divergences)
+	logger.Printf("final: requests=%d hits=%d misses=%d sheds=%d errors=%d crosschecks=%d divergences=%d panics=%d",
+		snap.Requests, snap.Hits, snap.Misses, snap.Sheds, snap.Errors, snap.Crosschecks, snap.Divergences, snap.Panics)
 	return exit
 }

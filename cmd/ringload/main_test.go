@@ -63,14 +63,15 @@ func TestRunFlagErrors(t *testing.T) {
 }
 
 // TestRunUnreachableServer: a dead target is exit 1 with a clear
-// message, not a hang or a zero-exit empty report.
+// message, not a hang or a zero-exit empty report. The readyz
+// pre-flight catches it before a single election request is spent.
 func TestRunUnreachableServer(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-url", "http://127.0.0.1:1", "-n", "5", "-timeout", "2s"}, &out, &errb)
 	if code != 1 {
 		t.Errorf("exit %d, want 1", code)
 	}
-	if !strings.Contains(errb.String(), "no request reached") {
+	if !strings.Contains(errb.String(), "readyz pre-flight") {
 		t.Errorf("stderr %q missing diagnosis", errb.String())
 	}
 }

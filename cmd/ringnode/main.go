@@ -16,13 +16,31 @@
 // fingerprint of the ring, so mismatched -ring configurations across
 // nodes fail fast instead of electing inconsistently. Algorithms: ak, bk,
 // astar (the paper's), cr, peterson, knownn (baselines).
+//
+// With -state-dir the node becomes crash-recoverable: it snapshots its
+// protocol state and link cursors to <dir>/node-<index>.state after every
+// step, and a relaunched node (same flags) resumes the election exactly
+// where the kill left it — the predecessor retransmits anything un-acked,
+// and retransmissions are excluded from the message counts.
+//
+// Exit codes (scripts and the chaos harness branch on them):
+//
+//	0  election terminated and this node's spec checks passed
+//	1  configuration or runtime error
+//	2  usage error (bad flags)
+//	3  timed out before the election terminated
+//	4  successor unreachable through the whole retry budget
+//	5  specification violation (broken link axiom or status regression)
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -51,6 +69,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		k       = fs.Int("k", 2, "multiplicity bound known to the processes")
 		timeout = fs.Duration("timeout", time.Minute, "abort if the election has not terminated in time")
 		verbose = fs.Bool("v", false, "log every delivered message and link event")
+
+		stateDir = fs.String("state-dir", "", "directory for the durable state snapshot; enables crash recovery (relaunch with identical flags to resume)")
+		fsync    = fs.Bool("fsync", false, "fsync each state snapshot before the atomic rename (survive machine crashes, not just process kills)")
+		jsonOut  = fs.Bool("json", false, "print the final result as one JSON object on stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,8 +101,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	fmt.Fprintf(stdout, "ringnode: p%d (label %s) of %s: listening on %s, successor at %s, algorithm %s\n",
-		*index, r.Label(*index), r, *listen, *next, p.Name())
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "ringnode: p%d (label %s) of %s: listening on %s, successor at %s, algorithm %s\n",
+			*index, r.Label(*index), r, *listen, *next, p.Name())
+	}
 
 	// Node-local spec checking: every action's status must stay monotone
 	// (the cross-process bullets need a global observer; RunLocal and the
@@ -98,6 +122,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	statePath := ""
+	if *stateDir != "" {
+		statePath = filepath.Join(*stateDir, fmt.Sprintf("node-%d.state", *index))
+	}
+	// On recovery the checker must not treat the restored status as a
+	// fresh transition (a restored leader is the same leader, not a
+	// second election).
+	onRecover := func(proc int, m core.Machine) {
+		checker.Seed(proc, m.Status())
+		if *verbose {
+			fmt.Fprintf(stdout, "ringnode: p%d restored state %s from %s\n", proc, m.StateName(), statePath)
+		}
+	}
+
 	res, err := netring.RunNode(netring.NodeConfig{
 		Ring:       r,
 		Index:      *index,
@@ -107,22 +145,68 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Timeout:    *timeout,
 		OnAction:   onAction,
 		OnLink:     onLink,
+		StatePath:  statePath,
+		Fsync:      *fsync,
+		OnRecover:  onRecover,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ringnode:", err)
-		return 1
+		return exitCodeFor(err)
 	}
-	role := "follower"
-	if res.Status.IsLeader {
-		role = "LEADER"
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		if err := enc.Encode(nodeReport{
+			Index: res.Index, Leader: res.Status.IsLeader, LeaderLabel: res.Status.Leader.String(),
+			Sent: res.Sent, Reconnects: res.Reconnects, Retransmits: res.Retransmits,
+			Recovered: res.Recovered, Halted: res.Halted,
+		}); err != nil {
+			fmt.Fprintln(stderr, "ringnode:", err)
+			return 1
+		}
+	} else {
+		role := "follower"
+		if res.Status.IsLeader {
+			role = "LEADER"
+		}
+		fmt.Fprintf(stdout, "ringnode: p%d done: %s, leader label %s, sent %d messages, %d reconnects, %d retransmits, peak space %d bits\n",
+			res.Index, role, res.Status.Leader, res.Sent, res.Reconnects, res.Retransmits, res.PeakSpaceBits)
 	}
-	fmt.Fprintf(stdout, "ringnode: p%d done: %s, leader label %s, sent %d messages, %d reconnects, peak space %d bits\n",
-		res.Index, role, res.Status.Leader, res.Sent, res.Reconnects, res.PeakSpaceBits)
 	if !res.Status.Done || !res.Halted {
 		fmt.Fprintf(stderr, "ringnode: p%d terminated without done/halt\n", res.Index)
 		return 1
 	}
 	return 0
+}
+
+// nodeReport is the -json result object, one line on stdout.
+type nodeReport struct {
+	Index       int    `json:"index"`
+	Leader      bool   `json:"leader"`
+	LeaderLabel string `json:"leader_label"`
+	Sent        int    `json:"sent"`
+	Reconnects  int    `json:"reconnects"`
+	Retransmits int    `json:"retransmits"`
+	Recovered   bool   `json:"recovered"`
+	Halted      bool   `json:"halted"`
+}
+
+// exitCodeFor maps a failed run to the documented exit codes, so callers
+// (and internal/chaos) can tell a hung election from a dead successor
+// from a correctness breach without parsing messages.
+func exitCodeFor(err error) int {
+	var de *netring.DialError
+	var v *spec.Violation
+	var lv *spec.LinkViolation
+	switch {
+	case errors.Is(err, netring.ErrTimeout):
+		return 3
+	case errors.As(err, &de):
+		return 4
+	case errors.As(err, &v), errors.As(err, &lv):
+		return 5
+	default:
+		return 1
+	}
 }
 
 func parseAlg(s string) (repro.Algorithm, error) {

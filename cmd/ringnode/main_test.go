@@ -2,13 +2,19 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/netring"
+	"repro/internal/spec"
 )
 
 // freeAddrs reserves n loopback ports and frees them for the nodes to
@@ -189,5 +195,157 @@ func TestFlagValidation(t *testing.T) {
 				t.Errorf("args %v: expected non-zero exit", c.args)
 			}
 		})
+	}
+}
+
+// nodeArgsDurable is nodeArgs plus crash-recovery and JSON output flags.
+func nodeArgsDurable(addrs []string, spec string, i int, algo string, k int, dir string) []string {
+	return append(nodeArgs(addrs, spec, i, algo, k),
+		"-state-dir", dir, "-json")
+}
+
+// runDurableRing drives one full in-process durable election and returns
+// the parsed -json reports.
+func runDurableRing(t *testing.T, spec string, n int, dir string) []nodeReport {
+	t.Helper()
+	addrs := freeAddrs(t, n)
+	var wg sync.WaitGroup
+	outs := make([]bytes.Buffer, n)
+	errs := make([]bytes.Buffer, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = run(nodeArgsDurable(addrs, spec, i, "bk", 2, dir), &outs[i], &errs[i])
+		}(i)
+	}
+	wg.Wait()
+	reports := make([]nodeReport, n)
+	for i := 0; i < n; i++ {
+		if codes[i] != 0 {
+			t.Fatalf("node %d: exit %d: %s", i, codes[i], errs[i].String())
+		}
+		if err := json.Unmarshal(outs[i].Bytes(), &reports[i]); err != nil {
+			t.Fatalf("node %d: bad -json output %q: %v", i, outs[i].String(), err)
+		}
+	}
+	return reports
+}
+
+// TestDurableJSONAndIdempotentRestart elects with -state-dir and -json,
+// then re-runs every node from its snapshot: the second run must report
+// recovered, change nothing, and agree on the same leader.
+func TestDurableJSONAndIdempotentRestart(t *testing.T) {
+	dir := t.TempDir()
+	first := runDurableRing(t, "1 2 2", 3, dir)
+	leaders := 0
+	for _, rep := range first {
+		if rep.Leader {
+			leaders++
+		}
+		if !rep.Halted || rep.LeaderLabel != "1" {
+			t.Errorf("first run report %+v", rep)
+		}
+		if rep.Recovered {
+			t.Errorf("fresh run must not report recovered: %+v", rep)
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders", leaders)
+	}
+	second := runDurableRing(t, "1 2 2", 3, dir)
+	for i, rep := range second {
+		if !rep.Recovered {
+			t.Errorf("node %d restart did not recover: %+v", i, rep)
+		}
+		if rep.Sent != first[i].Sent || rep.Leader != first[i].Leader {
+			t.Errorf("node %d restart diverged: %+v vs %+v", i, rep, first[i])
+		}
+	}
+}
+
+// TestCorruptStateDirStartsClean plants garbage where node 0's snapshot
+// would live: the node must detect it, start clean, and elect normally.
+func TestCorruptStateDirStartsClean(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "node-0.state"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reports := runDurableRing(t, "1 2 2", 3, dir)
+	if reports[0].Recovered {
+		t.Errorf("corrupt snapshot must not count as recovery: %+v", reports[0])
+	}
+	if !reports[0].Leader || reports[0].LeaderLabel != "1" {
+		t.Errorf("election after corrupt snapshot: %+v", reports[0])
+	}
+}
+
+// TestExitCodeMapping pins the documented exit codes for each failure
+// class.
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("p0: %w", netring.ErrTimeout), 3},
+		{fmt.Errorf("p0: %w", &netring.DialError{Addr: "x:1", Attempts: 3, Last: errors.New("refused")}), 4},
+		{fmt.Errorf("p0: %w", &spec.LinkViolation{From: 0, To: 1, Detail: "gap"}), 5},
+		{fmt.Errorf("p0: %w", &spec.Violation{Bullet: 1, Detail: "two leaders"}), 5},
+		{errors.New("anything else"), 1},
+	}
+	for _, c := range cases {
+		if got := exitCodeFor(c.err); got != c.want {
+			t.Errorf("exitCodeFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestExitCodeTimeout runs a node whose successor accepts and instantly
+// drops every connection: the election cannot proceed and the node must
+// exit 3 once -timeout fires.
+func TestExitCodeTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	self := freeAddrs(t, 1)[0]
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-listen", self, "-next", ln.Addr().String(), "-ring", "1 2", "-index", "0",
+		"-algo", "ak", "-k", "2", "-timeout", "1s"}, &out, &errBuf)
+	if code != 3 {
+		t.Fatalf("exit %d, want 3 (timeout): %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "timed out") {
+		t.Errorf("no timeout diagnostic: %s", errBuf.String())
+	}
+}
+
+// TestExitCodeUnreachable points a node at a port nothing listens on: the
+// dial retry budget must run out and surface exit 4 with the address.
+func TestExitCodeUnreachable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the full dial retry budget takes ~10s")
+	}
+	dead := freeAddrs(t, 1)[0]
+	self := freeAddrs(t, 1)[0]
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-listen", self, "-next", dead, "-ring", "1 2", "-index", "0",
+		"-algo", "ak", "-k", "2", "-timeout", "1m"}, &out, &errBuf)
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 (unreachable): %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), dead) {
+		t.Errorf("give-up diagnostic must carry the address %s: %s", dead, errBuf.String())
 	}
 }

@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// chaosSeeds raises the soak's seed count; the Makefile's test-chaos
+// target runs the full acceptance soak with -chaos.seeds=20.
+var chaosSeeds = flag.Int("chaos.seeds", 4, "distinct seeds for the chaos soak")
+
+// ringnodeBin is built once per test binary by TestMain.
+var ringnodeBin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "chaosbin-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ringnodeBin = filepath.Join(dir, "ringnode")
+	build := exec.Command("go", "build", "-o", ringnodeBin, "repro/cmd/ringnode")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "building ringnode:", err)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// TestGenerateDeterministic pins the replay guarantee: the same seed
+// yields the identical schedule, different seeds yield different ones,
+// and every schedule carries the two guaranteed fault kinds.
+func TestGenerateDeterministic(t *testing.T) {
+	const ringSpec = "1 3 1 3 2 2 1 2"
+	for seed := int64(0); seed < 50; seed++ {
+		a := Generate(seed, ringSpec, "ak", 3, 8)
+		b := Generate(seed, ringSpec, "ak", 3, 8)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n%s\nvs\n%s", seed, &a, &b)
+		}
+		if err := a.Validate(8); err != nil {
+			t.Fatalf("seed %d: invalid schedule: %v", seed, err)
+		}
+		counts := a.Counts()
+		if counts[KindKill]+counts[KindSlowRestart] < 1 {
+			t.Fatalf("seed %d: no kill in schedule:\n%s", seed, &a)
+		}
+		if counts[KindPartition] < 1 {
+			t.Fatalf("seed %d: no partition in schedule:\n%s", seed, &a)
+		}
+		for i := 1; i < len(a.Events); i++ {
+			if a.Events[i].AtMS < a.Events[i-1].AtMS {
+				t.Fatalf("seed %d: events not sorted", seed)
+			}
+		}
+	}
+	if reflect.DeepEqual(Generate(1, ringSpec, "ak", 3, 8), Generate(2, ringSpec, "ak", 3, 8)) {
+		t.Error("seeds 1 and 2 generated the same schedule")
+	}
+}
+
+// TestScheduleJSONRoundTrip dumps a schedule with -schedule-json
+// semantics and loads it back unchanged.
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := Generate(7, "1 2 2", "bk", 2, 3)
+	path := filepath.Join(t.TempDir(), "sched.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSchedule(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*got, s) {
+		t.Fatalf("round trip:\n%s\nvs\n%s", got, &s)
+	}
+	if _, err := LoadSchedule(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing schedule file not reported")
+	}
+}
+
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	cases := []Schedule{
+		{Events: []Event{{Kind: "meteor", Node: 0}}},
+		{Events: []Event{{Kind: KindKill, Node: 9}}},
+		{Events: []Event{{Kind: KindKill, Node: -1}}},
+		{Events: []Event{{Kind: KindDelay, Node: 0, DurationMS: -5}}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(3); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// runSeed executes one generated schedule and fails the test with the
+// full reproduction recipe on any assertion breach.
+func runSeed(t *testing.T, seed int64, ringSpec, alg string, k, n int) *Report {
+	t.Helper()
+	s := Generate(seed, ringSpec, alg, k, n)
+	rep, err := Run(&s, Options{
+		RingnodeBin: ringnodeBin,
+		Timeout:     60 * time.Second,
+		Log:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LeaderIndex < 0 || rep.Messages <= 0 {
+		t.Fatalf("seed %d: degenerate report %+v", seed, rep)
+	}
+	return rep
+}
+
+// TestChaosSurvivesKillAndPartition is the acceptance core on the Figure 1
+// ring: a schedule with a SIGKILL+restart and a partition, and the
+// election still terminates with the simulator's leader and exact message
+// count. Seed 3's schedule puts a kill and partition well inside the
+// stretched election.
+func TestChaosSurvivesKillAndPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess chaos run")
+	}
+	rep := runSeed(t, 3, "1 3 1 3 2 2 1 2", "ak", 3, 8)
+	if rep.SurvivedFaults[KindKill]+rep.SurvivedFaults[KindSlowRestart] < 1 ||
+		rep.SurvivedFaults[KindPartition] < 1 {
+		t.Fatalf("schedule missing required faults: %+v", rep.SurvivedFaults)
+	}
+}
+
+// TestChaosSoak sweeps -chaos.seeds distinct seeds across the paper's
+// three algorithms on the Figure 1 ring (8 nodes, k = 3). The Makefile's
+// test-chaos target runs this with -race and -chaos.seeds=20.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping chaos soak")
+	}
+	algs := []string{"ak", "bk", "astar"}
+	recoveries := 0
+	for seed := int64(0); seed < int64(*chaosSeeds); seed++ {
+		alg := algs[seed%int64(len(algs))]
+		t.Run(fmt.Sprintf("seed-%d-%s", seed, alg), func(t *testing.T) {
+			rep := runSeed(t, seed, "1 3 1 3 2 2 1 2", alg, 3, 8)
+			recoveries += rep.Recoveries
+			t.Logf("seed %d %s: leader p%d, %d msgs, %d retransmits, %d recoveries, %dms",
+				seed, alg, rep.LeaderIndex, rep.Messages, rep.Retransmits, rep.Recoveries, rep.WallMS)
+		})
+	}
+	if recoveries == 0 {
+		t.Error("no run recovered from a snapshot: kills all landed after termination (pacing too fast?)")
+	}
+}

@@ -1,0 +1,502 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+
+	repro "repro"
+)
+
+// Options configures one chaos run.
+type Options struct {
+	// RingnodeBin is the path to the ringnode binary (required).
+	RingnodeBin string
+	// StateDir holds the nodes' durable snapshots; a fresh temp dir is
+	// created (and removed) when empty.
+	StateDir string
+	// Timeout is the overall run deadline. Default 90s.
+	Timeout time.Duration
+	// BaseDelay is the proxies' per-chunk pacing delay, stretching the
+	// election so faults land mid-run. Default 3ms.
+	BaseDelay time.Duration
+	// Log, when set, receives progress lines (fault firings, restarts).
+	// Calls are serialized by Run, so the callback may write to a plain
+	// io.Writer without its own locking.
+	Log func(format string, args ...any)
+}
+
+// Report is the outcome of one chaos run, after all assertions passed.
+type Report struct {
+	// Seed, Ring, Alg, K echo the schedule.
+	Seed int64  `json:"seed"`
+	Ring string `json:"ring"`
+	Alg  string `json:"alg"`
+	K    int    `json:"k"`
+	// LeaderIndex and LeaderLabel identify the winner — always equal to
+	// the simulator's on a passing run.
+	LeaderIndex int    `json:"leader_index"`
+	LeaderLabel string `json:"leader_label"`
+	// Messages is the ring-wide protocol message total (retransmits
+	// excluded) — always equal to the simulator's on a passing run.
+	Messages int `json:"messages"`
+	// Retransmits counts frames that crossed a link more than once while
+	// the transport healed drops and restarts.
+	Retransmits int `json:"retransmits"`
+	// Recoveries counts node incarnations that resumed from a snapshot.
+	Recoveries int `json:"recoveries"`
+	// SurvivedFaults tallies the executed fault events by kind.
+	SurvivedFaults map[string]int `json:"survived_faults"`
+	// WallMS is the run's wall-clock duration.
+	WallMS int64 `json:"wall_ms"`
+}
+
+// nodeReport mirrors cmd/ringnode's -json output line.
+type nodeReport struct {
+	Index       int    `json:"index"`
+	Leader      bool   `json:"leader"`
+	LeaderLabel string `json:"leader_label"`
+	Sent        int    `json:"sent"`
+	Reconnects  int    `json:"reconnects"`
+	Retransmits int    `json:"retransmits"`
+	Recovered   bool   `json:"recovered"`
+	Halted      bool   `json:"halted"`
+}
+
+// supervisor owns one ringnode's process lifecycle: it launches the
+// binary, relaunches it after a scheduled SIGKILL (the crash-recovery
+// path under test), retries a bounded number of transient infrastructure
+// failures (exit 3/4: neighbors still down), and fails hard on anything
+// else — in particular exit 5, a specification violation.
+type supervisor struct {
+	idx  int
+	bin  string
+	args []string
+	log  func(format string, args ...any)
+
+	mu          sync.Mutex
+	cmd         *exec.Cmd
+	killedThis  bool          // current incarnation was killed by the schedule
+	restartWait time.Duration // outage before the relaunch
+	recoveries  int           // incarnations that reported Recovered
+	aborted     bool          // deadline cleanup: no more relaunches
+
+	report nodeReport
+}
+
+// maxTransientRetries bounds relaunches after exit 3/4 — a node can time
+// out or exhaust its dial budget while a neighbor's outage overlaps its
+// own run, and a relaunch from the snapshot is exactly what a process
+// manager would do.
+const maxTransientRetries = 3
+
+// errAborted marks a supervisor stopped by the harness (deadline, or a
+// fail-fast after another node's hard failure) rather than by its own
+// node's behavior; these are filtered out of failure reports so the root
+// cause stays visible.
+var errAborted = errors.New("aborted by the harness")
+
+func (sv *supervisor) run() error {
+	retries := 0
+	for {
+		var out, errOut bytes.Buffer
+		cmd := exec.Command(sv.bin, sv.args...)
+		cmd.Stdout = &out
+		cmd.Stderr = &errOut
+		// Start under the lock: kill/abort read cmd.Process through the same
+		// mutex, and Start is what populates it.
+		sv.mu.Lock()
+		if sv.aborted {
+			sv.mu.Unlock()
+			return fmt.Errorf("node %d: %w", sv.idx, errAborted)
+		}
+		sv.cmd = cmd
+		sv.killedThis = false
+		startErr := cmd.Start()
+		sv.mu.Unlock()
+		if startErr != nil {
+			return fmt.Errorf("node %d: start: %w", sv.idx, startErr)
+		}
+		err := cmd.Wait()
+		sv.mu.Lock()
+		killed, wait, aborted := sv.killedThis, sv.restartWait, sv.aborted
+		sv.cmd = nil
+		sv.mu.Unlock()
+
+		if aborted {
+			return fmt.Errorf("node %d: %w", sv.idx, errAborted)
+		}
+		if killed {
+			sv.logf("node %d killed, relaunching after %v", sv.idx, wait)
+			time.Sleep(wait)
+			continue
+		}
+		code := 0
+		if err != nil {
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) {
+				return fmt.Errorf("node %d: wait: %w", sv.idx, err)
+			}
+			code = ee.ExitCode()
+		}
+		sv.logf("node %d exited with code %d", sv.idx, code)
+		switch code {
+		case 0:
+			if jerr := json.Unmarshal(lastLine(out.Bytes()), &sv.report); jerr != nil {
+				return fmt.Errorf("node %d: bad -json output %q: %w", sv.idx, out.String(), jerr)
+			}
+			if sv.report.Recovered {
+				sv.mu.Lock()
+				sv.recoveries++
+				sv.mu.Unlock()
+			}
+			return nil
+		case 3, 4:
+			if retries++; retries > maxTransientRetries {
+				return fmt.Errorf("node %d: gave up after %d transient failures (last exit %d): %s",
+					sv.idx, retries-1, code, errOut.String())
+			}
+			sv.logf("node %d exit %d (transient), retry %d", sv.idx, code, retries)
+			time.Sleep(200 * time.Millisecond)
+			continue
+		default:
+			return fmt.Errorf("node %d: exit %d: %s", sv.idx, code, errOut.String())
+		}
+	}
+}
+
+// kill SIGKILLs the current incarnation, marking it for relaunch after
+// wait. A node that already finished is left alone (the fault landed
+// after the election; the schedule still counts it as survived).
+func (sv *supervisor) kill(wait time.Duration) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.cmd == nil || sv.cmd.Process == nil {
+		return
+	}
+	sv.killedThis = true
+	sv.restartWait = wait
+	sv.cmd.Process.Kill()
+}
+
+// abort hard-kills whatever is running without scheduling a relaunch
+// (deadline cleanup).
+func (sv *supervisor) abort() {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.aborted = true
+	if sv.cmd != nil && sv.cmd.Process != nil {
+		sv.cmd.Process.Kill()
+	}
+}
+
+func (sv *supervisor) logf(format string, args ...any) {
+	if sv.log != nil {
+		sv.log(format, args...)
+	}
+}
+
+// lastLine returns the final non-empty line of b (the -json report; a
+// recovered node may have logged nothing else).
+func lastLine(b []byte) []byte {
+	lines := bytes.Split(bytes.TrimSpace(b), []byte("\n"))
+	if len(lines) == 0 {
+		return nil
+	}
+	return bytes.TrimSpace(lines[len(lines)-1])
+}
+
+// Run executes one chaos schedule against a real multi-process TCP ring
+// and asserts the recovery guarantees: the election terminates, elects
+// the simulator's leader, sends exactly the simulator's message count
+// (retransmits excluded), and no process dies with a specification
+// violation. The returned error, if any, embeds the seed and the full
+// schedule — a complete reproduction recipe.
+func Run(s *Schedule, opts Options) (*Report, error) {
+	if opts.RingnodeBin == "" {
+		return nil, errors.New("chaos: Options.RingnodeBin is required")
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 90 * time.Second
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = 3 * time.Millisecond
+	}
+	r, err := repro.ParseRing(s.Ring)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	n := r.N()
+	if err := s.Validate(n); err != nil {
+		return nil, err
+	}
+	alg, err := repro.ParseAlgorithm(s.Alg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	p, err := repro.ProtocolFor(r, alg, s.K)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	// The in-memory simulator is the oracle the TCP run must match.
+	ref, err := sim.RunSync(r, p, sim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: simulator oracle failed: %w", err)
+	}
+
+	stateDir := opts.StateDir
+	if stateDir == "" {
+		dir, err := os.MkdirTemp("", "ringchaos-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		stateDir = dir
+	}
+
+	nodeAddrs, err := reserveAddrs(n)
+	if err != nil {
+		return nil, err
+	}
+	proxyAddrs, err := reserveAddrs(n)
+	if err != nil {
+		return nil, err
+	}
+	// proxies[i] carries the link i → i+1: node i dials it, it forwards
+	// to node i+1's real listener.
+	proxies := make([]*linkProxy, n)
+	for i := 0; i < n; i++ {
+		proxies[i], err = newLinkProxy(proxyAddrs[i], nodeAddrs[(i+1)%n], opts.BaseDelay)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				proxies[j].close()
+			}
+			return nil, fmt.Errorf("chaos: proxy %d: %w", i, err)
+		}
+	}
+	defer func() {
+		for _, px := range proxies {
+			px.close()
+		}
+	}()
+
+	// Progress lines fire from every supervisor goroutine and the fault
+	// executor; serialize them here so the callback can write to a plain
+	// io.Writer (as Options.Log promises).
+	var logf func(format string, args ...any)
+	if opts.Log != nil {
+		var logMu sync.Mutex
+		raw := opts.Log
+		logf = func(format string, args ...any) {
+			logMu.Lock()
+			defer logMu.Unlock()
+			raw(format, args...)
+		}
+	}
+
+	sups := make([]*supervisor, n)
+	for i := 0; i < n; i++ {
+		sups[i] = &supervisor{
+			idx: i, bin: opts.RingnodeBin, log: logf,
+			args: []string{
+				"-listen", nodeAddrs[i],
+				"-next", proxyAddrs[i],
+				"-ring", s.Ring,
+				"-index", fmt.Sprint(i),
+				"-algo", s.Alg,
+				"-k", fmt.Sprint(s.K),
+				"-state-dir", stateDir,
+				"-timeout", opts.Timeout.String(),
+				"-json",
+			},
+		}
+	}
+
+	start := time.Now()
+	errs := make([]error, n)
+	// failed closes on the first supervisor giving up: the run cannot
+	// recover once any node is permanently down, so the others are aborted
+	// instead of burning their retry budgets against a hole in the ring.
+	failed := make(chan struct{})
+	var failOnce sync.Once
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if errs[i] = sups[i].run(); errs[i] != nil {
+				failOnce.Do(func() { close(failed) })
+			}
+		}(i)
+	}
+
+	// The fault executor replays the schedule on the shared clock. Run
+	// never returns while it is live: a straggling event calling opts.Log
+	// after the caller moved on (or a test finished) would be a
+	// use-after-return.
+	execDone := make(chan struct{})
+	execQuit := make(chan struct{})
+	joinExec := func() { close(execQuit); <-execDone }
+	var timers []*time.Timer
+	var timersMu sync.Mutex
+	after := func(d time.Duration, f func()) {
+		timersMu.Lock()
+		timers = append(timers, time.AfterFunc(d, f))
+		timersMu.Unlock()
+	}
+	go func() {
+		defer close(execDone)
+		for _, e := range s.Events {
+			e := e
+			if wait := time.Duration(e.AtMS)*time.Millisecond - time.Since(start); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-execQuit:
+					return
+				}
+			}
+			switch e.Kind {
+			case KindKill, KindSlowRestart:
+				if logf != nil {
+					logf("t=%v %s node %d (restart after %dms)", time.Since(start).Round(time.Millisecond), e.Kind, e.Node, e.RestartAfterMS)
+				}
+				sups[e.Node].kill(time.Duration(e.RestartAfterMS) * time.Millisecond)
+			case KindPartition:
+				if logf != nil {
+					logf("t=%v partition node %d for %dms", time.Since(start).Round(time.Millisecond), e.Node, e.DurationMS)
+				}
+				out := proxies[e.Node]        // link node → successor
+				in := proxies[(e.Node-1+n)%n] // link predecessor → node
+				out.block()
+				in.block()
+				after(time.Duration(e.DurationMS)*time.Millisecond, func() {
+					out.unblock()
+					in.unblock()
+				})
+			case KindDelay:
+				d := time.Duration(e.DelayMS) * time.Millisecond
+				px := proxies[e.Node]
+				px.addExtraDelay(d)
+				after(time.Duration(e.DurationMS)*time.Millisecond, func() { px.addExtraDelay(-d) })
+			}
+		}
+	}()
+	defer func() {
+		timersMu.Lock()
+		for _, t := range timers {
+			t.Stop()
+		}
+		timersMu.Unlock()
+	}()
+
+	// Wait for every node, bounded by the deadline and cut short by the
+	// first hard failure.
+	allDone := make(chan struct{})
+	go func() { wg.Wait(); close(allDone) }()
+	deadlineHit := false
+	select {
+	case <-allDone:
+	case <-failed:
+		for _, sv := range sups {
+			sv.abort()
+		}
+		<-allDone
+	case <-time.After(opts.Timeout):
+		deadlineHit = true
+		for _, sv := range sups {
+			sv.abort()
+		}
+		<-allDone
+	}
+	joinExec()
+	// Report every node's own failure; harness aborts are fallout, not
+	// causes, and are only surfaced when there is nothing better.
+	var hard []error
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, errAborted) {
+			hard = append(hard, e)
+		}
+	}
+	switch {
+	case deadlineHit:
+		if len(hard) > 0 {
+			return nil, runFailure(s, "run exceeded the %v deadline; earlier failures:\n%v", opts.Timeout, errors.Join(hard...))
+		}
+		return nil, runFailure(s, "run exceeded the %v deadline", opts.Timeout)
+	case len(hard) > 0:
+		return nil, runFailure(s, "%v", errors.Join(hard...))
+	}
+	wall := time.Since(start)
+
+	rep := &Report{
+		Seed: s.Seed, Ring: s.Ring, Alg: s.Alg, K: s.K,
+		LeaderIndex: -1, SurvivedFaults: s.Counts(), WallMS: wall.Milliseconds(),
+	}
+	for i := 0; i < n; i++ {
+		nr := sups[i].report
+		if !nr.Halted {
+			return nil, runFailure(s, "node %d exited without halting", i)
+		}
+		rep.Messages += nr.Sent
+		rep.Retransmits += nr.Retransmits
+		rep.Recoveries += sups[i].recoveries
+		if nr.Leader {
+			if rep.LeaderIndex >= 0 {
+				return nil, runFailure(s, "two leaders: p%d and p%d", rep.LeaderIndex, i)
+			}
+			rep.LeaderIndex = i
+			rep.LeaderLabel = nr.LeaderLabel
+		}
+	}
+	if rep.LeaderIndex < 0 {
+		return nil, runFailure(s, "no node became leader")
+	}
+	if rep.LeaderIndex != ref.LeaderIndex {
+		return nil, runFailure(s, "elected p%d, simulator elects p%d", rep.LeaderIndex, ref.LeaderIndex)
+	}
+	for i := 0; i < n; i++ {
+		if got := sups[i].report.LeaderLabel; got != rep.LeaderLabel {
+			return nil, runFailure(s, "node %d announces leader label %s, leader is %s", i, got, rep.LeaderLabel)
+		}
+	}
+	if rep.Messages != ref.Messages {
+		return nil, runFailure(s, "sent %d protocol messages, simulator sends %d (retransmits must not count)", rep.Messages, ref.Messages)
+	}
+	return rep, nil
+}
+
+// runFailure formats an assertion failure with the full reproduction
+// recipe: the seed and the exact schedule.
+func runFailure(s *Schedule, format string, args ...any) error {
+	return fmt.Errorf("chaos: seed %d: %s\nreplay with -seed %d, schedule:\n%s",
+		s.Seed, fmt.Sprintf(format, args...), s.Seed, s)
+}
+
+// reserveAddrs grabs n distinct loopback ports and frees them for the
+// processes to re-bind; the dial backoff absorbs the startup race.
+func reserveAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}

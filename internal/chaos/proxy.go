@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// linkProxy sits on one ring link: the sending node dials the proxy, the
+// proxy dials the real successor and shuttles bytes both ways. It gives
+// the harness three handles the raw TCP link does not: a base pacing
+// delay that stretches the election so faults land mid-run, a transient
+// partition switch (refuse new connections and sever live ones), and
+// injectable delay spikes. Pacing is applied per small read chunk, so one
+// batched write from the sender still crosses the link gradually.
+type linkProxy struct {
+	ln     net.Listener
+	target string
+	base   time.Duration
+
+	mu       sync.Mutex
+	blockers int // partitions currently covering this link (they may overlap)
+	extra    time.Duration
+	conns    map[net.Conn]struct{} // live upstream+downstream conns, for severing
+	closed   bool
+}
+
+// proxyChunk is the pacing granularity in bytes: smaller than most frame
+// batches, so multi-frame writes pay the delay several times.
+const proxyChunk = 48
+
+// newLinkProxy starts a proxy listening on addr, forwarding to target.
+func newLinkProxy(addr, target string, base time.Duration) (*linkProxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &linkProxy{ln: ln, target: target, base: base, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+func (p *linkProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *linkProxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.blockers > 0 || p.closed {
+			p.mu.Unlock()
+			conn.Close() // partitioned: the dialer sees an immediate drop
+			continue
+		}
+		p.mu.Unlock()
+		go p.serve(conn)
+	}
+}
+
+// serve connects one accepted sender connection through to the target.
+func (p *linkProxy) serve(down net.Conn) {
+	up, err := net.DialTimeout("tcp", p.target, 2*time.Second)
+	if err != nil {
+		down.Close() // successor down (e.g. killed): sender retries
+		return
+	}
+	p.track(down, up)
+	// Either direction failing severs the whole link at once: a TCP link
+	// has no half-dead state the ring protocol could use, and leaving the
+	// other side open would make the successor read a dead connection
+	// forever instead of accepting the sender's reconnect.
+	sever := func() { down.Close(); up.Close() }
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); defer sever(); p.pump(up, down) }() // sender → successor, paced
+	go func() { defer wg.Done(); defer sever(); p.pump(down, up) }() // acks/goodbyes back, paced
+	wg.Wait()
+	p.untrack(down, up)
+}
+
+// pump copies src→dst in proxyChunk-sized reads, sleeping the current
+// link delay before each forwarded chunk.
+func (p *linkProxy) pump(dst io.Writer, src net.Conn) {
+	buf := make([]byte, proxyChunk)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.mu.Lock()
+			d := p.base + p.extra
+			p.mu.Unlock()
+			if d > 0 {
+				time.Sleep(d)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (p *linkProxy) track(cs ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range cs {
+		p.conns[c] = struct{}{}
+	}
+}
+
+func (p *linkProxy) untrack(cs ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range cs {
+		delete(p.conns, c)
+		c.Close()
+	}
+}
+
+// block starts one partition window on the link: live connections are
+// severed and new dials refused until the matching unblock. Windows may
+// overlap; the link reopens when the last one ends.
+func (p *linkProxy) block() {
+	p.mu.Lock()
+	p.blockers++
+	var sever []net.Conn
+	for c := range p.conns {
+		sever = append(sever, c)
+	}
+	p.mu.Unlock()
+	for _, c := range sever {
+		c.Close()
+	}
+}
+
+// unblock ends one partition window.
+func (p *linkProxy) unblock() {
+	p.mu.Lock()
+	if p.blockers > 0 {
+		p.blockers--
+	}
+	p.mu.Unlock()
+}
+
+// addExtraDelay adds d to the injected per-chunk delay (negative to end a
+// spike); spikes compose additively so overlapping windows stay balanced.
+func (p *linkProxy) addExtraDelay(d time.Duration) {
+	p.mu.Lock()
+	p.extra += d
+	if p.extra < 0 {
+		p.extra = 0
+	}
+	p.mu.Unlock()
+}
+
+// close shuts the proxy down and severs everything.
+func (p *linkProxy) close() {
+	p.mu.Lock()
+	p.closed = true
+	var sever []net.Conn
+	for c := range p.conns {
+		sever = append(sever, c)
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range sever {
+		c.Close()
+	}
+}

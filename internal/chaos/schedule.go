@@ -1,0 +1,185 @@
+// Package chaos is a deterministic fault-injection harness for TCP ring
+// elections: it derives a reproducible fault schedule from a seed —
+// process SIGKILLs with relaunch-from-snapshot, transient link
+// partitions, and link delay spikes — executes it against a ring of real
+// ringnode processes behind pacing proxies, and asserts the full
+// leader-election specification still holds: the election terminates,
+// elects the same leader as the in-memory simulator, sends exactly the
+// simulator's message count (retransmits excluded), and never breaks a
+// link axiom. A failing run prints its seed and exact schedule; replaying
+// the seed reproduces the identical schedule.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Event kinds. A kill SIGKILLs the node and relaunches it from its state
+// file after RestartAfterMS; slow_restart is a kill with a long outage; a
+// partition blocks both of the node's adjacent links for DurationMS; a
+// delay adds DelayMS of extra latency per chunk on the node's outgoing
+// link for DurationMS.
+const (
+	KindKill        = "kill"
+	KindSlowRestart = "slow_restart"
+	KindPartition   = "partition"
+	KindDelay       = "delay"
+)
+
+// Event is one scheduled fault.
+type Event struct {
+	// AtMS is when the fault fires, in milliseconds after the run starts.
+	AtMS int `json:"at_ms"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Node is the fault's target ring index.
+	Node int `json:"node"`
+	// DurationMS is the fault window for partition and delay events.
+	DurationMS int `json:"duration_ms,omitempty"`
+	// RestartAfterMS is the outage before a killed node is relaunched.
+	RestartAfterMS int `json:"restart_after_ms,omitempty"`
+	// DelayMS is the extra per-chunk latency for delay events.
+	DelayMS int `json:"delay_ms,omitempty"`
+}
+
+// Schedule is a complete, reproducible chaos run description: the ring,
+// the algorithm, and the ordered fault list. The same seed always
+// generates the same schedule, so a failure report's seed is a full
+// reproduction recipe.
+type Schedule struct {
+	// Seed is the generator seed the events were derived from (0 when the
+	// schedule was loaded from JSON rather than generated).
+	Seed int64 `json:"seed"`
+	// Ring is the clockwise label sequence, e.g. "1 3 1 3 2 2 1 2".
+	Ring string `json:"ring"`
+	// Alg is the algorithm name as cmd/ringnode's -algo accepts it.
+	Alg string `json:"alg"`
+	// K is the multiplicity bound passed to the processes.
+	K int `json:"k"`
+	// Events are the faults, sorted by AtMS.
+	Events []Event `json:"events"`
+}
+
+// Generation bounds. Restart outages and partition windows are kept well
+// below the dial retry budget (~10s with default backoff), so a correct
+// implementation always survives a generated schedule; only genuine bugs
+// fail it.
+const (
+	genMinEvents       = 2
+	genMaxEvents       = 5
+	genHorizonMS       = 900 // faults land in the stretched election's first second
+	genMinRestartMS    = 100
+	genMaxRestartMS    = 600
+	genSlowRestartMS   = 2200 // slow_restart outage, fixed + jittered below
+	genMinPartitionMS  = 150
+	genMaxPartitionMS  = 900
+	genMinDelaySpikeMS = 2
+	genMaxDelaySpikeMS = 8
+)
+
+// Generate derives the fault schedule for seed on an n-process ring.
+// Every schedule contains at least one kill and one partition — the two
+// faults the recovery guarantees are about — plus a random tail of
+// further faults. Deterministic: same arguments, same schedule.
+func Generate(seed int64, ringSpec, alg string, k, n int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed, Ring: ringSpec, Alg: alg, K: k}
+	count := genMinEvents + rng.Intn(genMaxEvents-genMinEvents+1)
+	at := func() int { return 40 + rng.Intn(genHorizonMS) }
+	node := func() int { return rng.Intn(n) }
+	span := func(lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
+
+	// The two guaranteed faults.
+	s.Events = append(s.Events, Event{
+		AtMS: at(), Kind: KindKill, Node: node(),
+		RestartAfterMS: span(genMinRestartMS, genMaxRestartMS),
+	})
+	s.Events = append(s.Events, Event{
+		AtMS: at(), Kind: KindPartition, Node: node(),
+		DurationMS: span(genMinPartitionMS, genMaxPartitionMS),
+	})
+	for len(s.Events) < count {
+		e := Event{AtMS: at(), Node: node()}
+		switch rng.Intn(4) {
+		case 0:
+			e.Kind = KindKill
+			e.RestartAfterMS = span(genMinRestartMS, genMaxRestartMS)
+		case 1:
+			e.Kind = KindSlowRestart
+			e.RestartAfterMS = genSlowRestartMS + rng.Intn(400)
+		case 2:
+			e.Kind = KindPartition
+			e.DurationMS = span(genMinPartitionMS, genMaxPartitionMS)
+		default:
+			e.Kind = KindDelay
+			e.DurationMS = span(200, 800)
+			e.DelayMS = span(genMinDelaySpikeMS, genMaxDelaySpikeMS)
+		}
+		s.Events = append(s.Events, e)
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].AtMS < s.Events[j].AtMS })
+	return s
+}
+
+// Validate rejects schedules that reference nodes outside the ring or
+// carry unknown kinds (loaded JSON is untrusted input).
+func (s *Schedule) Validate(n int) error {
+	for i, e := range s.Events {
+		if e.Node < 0 || e.Node >= n {
+			return fmt.Errorf("chaos: event %d targets node %d outside ring of %d", i, e.Node, n)
+		}
+		switch e.Kind {
+		case KindKill, KindSlowRestart, KindPartition, KindDelay:
+		default:
+			return fmt.Errorf("chaos: event %d has unknown kind %q", i, e.Kind)
+		}
+		if e.AtMS < 0 || e.DurationMS < 0 || e.RestartAfterMS < 0 || e.DelayMS < 0 {
+			return fmt.Errorf("chaos: event %d has a negative time field", i)
+		}
+	}
+	return nil
+}
+
+// Counts tallies events by kind.
+func (s *Schedule) Counts() map[string]int {
+	c := make(map[string]int)
+	for _, e := range s.Events {
+		c[e.Kind]++
+	}
+	return c
+}
+
+// String renders the schedule as indented JSON — the format failure
+// messages embed and -schedule-json files use.
+func (s *Schedule) String() string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Sprintf("chaos: unprintable schedule: %v", err)
+	}
+	return string(b)
+}
+
+// WriteFile dumps the schedule as JSON.
+func (s *Schedule) WriteFile(path string) error {
+	return os.WriteFile(path, []byte(s.String()+"\n"), 0o644)
+}
+
+// LoadSchedule reads a -schedule-json file.
+func LoadSchedule(path string) (*Schedule, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Schedule
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("chaos: parsing %s: %w", path, err)
+	}
+	return &s, nil
+}

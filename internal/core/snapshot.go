@@ -1,0 +1,274 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/words"
+)
+
+// Snapshotter is implemented by machines whose full local state can be
+// serialized and restored, the hook crash-recovery is built on: a durable
+// engine (internal/netring) snapshots the machine after every atomic
+// action and, after a crash, rebuilds the process by restoring the last
+// snapshot into a fresh machine from the same Protocol.
+//
+// The contract mirrors Cloner, across a byte boundary: RestoreState on a
+// machine freshly built by the same Protocol with the same label must
+// yield a machine indistinguishable from the snapshotted one (equal
+// Fingerprint, identical future behavior). Machines are deterministic, so
+// a restored machine replays exactly — the property the netring RESUME
+// handshake relies on to keep message counts equal across crashes.
+//
+// The paper's algorithms (Ak, Bk, A*) implement it; the baselines do not,
+// so crash-recovery runs are restricted to the paper's protocols.
+type Snapshotter interface {
+	// SnapshotState serializes the machine's full dynamic state into a
+	// self-describing, versioned byte blob.
+	SnapshotState() ([]byte, error)
+	// RestoreState replaces the machine's state with a snapshot taken from
+	// a machine of the same protocol and label. It validates the blob
+	// (magic, version, label) and fails on any mismatch or truncation
+	// rather than restoring garbage.
+	RestoreState(data []byte) error
+}
+
+// Snapshot blob layout: one machine-kind magic byte ('A', 'B', 'S'),
+// one format-version byte, then varint-encoded fields. Integers use
+// binary varint/uvarint; booleans are packed into flag bytes.
+const snapshotVersion = 1
+
+// snapReader decodes a snapshot blob with sticky-error semantics, so the
+// field reads stay linear and the single error check happens at the end.
+type snapReader struct {
+	b   []byte
+	err error
+}
+
+func (r *snapReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *snapReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.fail("core: snapshot truncated")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *snapReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail("core: snapshot truncated (varint)")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *snapReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("core: snapshot truncated (uvarint)")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// done checks the blob was fully consumed.
+func (r *snapReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("core: snapshot has %d trailing bytes", len(r.b))
+	}
+	return nil
+}
+
+// checkHeader validates magic, version, and label identity.
+func (r *snapReader) checkHeader(magic byte, kind string, id ring.Label) {
+	if got := r.byte(); got != magic && r.err == nil {
+		r.fail("core: snapshot is not an %s state (magic %q, want %q)", kind, got, magic)
+	}
+	if v := r.byte(); v != snapshotVersion && r.err == nil {
+		r.fail("core: %s snapshot version %d, want %d", kind, v, snapshotVersion)
+	}
+	if got := ring.Label(r.varint()); got != id && r.err == nil {
+		r.fail("core: %s snapshot belongs to label %s, machine has label %s", kind, got, id)
+	}
+}
+
+func packBits(bits ...bool) byte {
+	var b byte
+	for i, v := range bits {
+		if v {
+			b |= 1 << i
+		}
+	}
+	return b
+}
+
+func bit(b byte, i int) bool { return b&(1<<i) != 0 }
+
+// --- Ak ---
+
+// SnapshotState implements Snapshotter for Ak: flags, leader, and the full
+// p.string (counts, the failure table, and the memoized verdict are all
+// deterministic functions of the string and are rebuilt on restore).
+func (a *algA) SnapshotState() ([]byte, error) {
+	b := make([]byte, 0, 16+2*a.str.Len())
+	b = append(b, 'A', snapshotVersion)
+	b = binary.AppendVarint(b, int64(a.id))
+	b = append(b, packBits(a.init, a.isLeader, a.done, a.ledSet, a.halted, a.decided, a.candidate))
+	b = binary.AppendVarint(b, int64(a.leader))
+	b = binary.AppendUvarint(b, uint64(a.str.Len()))
+	for _, l := range a.str.Seq() {
+		b = binary.AppendVarint(b, int64(l))
+	}
+	return b, nil
+}
+
+// RestoreState implements Snapshotter for Ak.
+func (a *algA) RestoreState(data []byte) error {
+	r := &snapReader{b: data}
+	r.checkHeader('A', "Ak", a.id)
+	flags := r.byte()
+	leader := ring.Label(r.varint())
+	n := r.uvarint()
+	if r.err == nil && n > uint64(len(r.b)) {
+		// Each label costs ≥ 1 byte; an oversized count is corruption.
+		r.fail("core: Ak snapshot claims %d labels with %d bytes left", n, len(r.b))
+	}
+	labels := make([]ring.Label, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		labels = append(labels, ring.Label(r.varint()))
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	// Reset and replay: appendLabel rebuilds counts, maxCount, and the
+	// incremental failure table exactly as the original execution did.
+	a.str = words.Incremental[ring.Label]{}
+	a.counts = nil
+	a.maxCount = 0
+	for _, l := range labels {
+		a.appendLabel(l)
+	}
+	a.init, a.isLeader, a.done, a.ledSet, a.halted = bit(flags, 0), bit(flags, 1), bit(flags, 2), bit(flags, 3), bit(flags, 4)
+	a.decided, a.candidate = bit(flags, 5), bit(flags, 6)
+	a.leader = leader
+	return nil
+}
+
+// --- A* ---
+
+// SnapshotState implements Snapshotter for A*. certP is persisted for
+// verification even though the replay recomputes it.
+func (s *algStar) SnapshotState() ([]byte, error) {
+	b := make([]byte, 0, 16+2*s.str.Len())
+	b = append(b, 'S', snapshotVersion)
+	b = binary.AppendVarint(b, int64(s.id))
+	b = append(b, packBits(s.init, s.isLeader, s.done, s.ledSet, s.halted, s.decided, s.candidate))
+	b = binary.AppendVarint(b, int64(s.leader))
+	b = binary.AppendVarint(b, int64(s.certP))
+	b = binary.AppendUvarint(b, uint64(s.str.Len()))
+	for _, l := range s.str.Seq() {
+		b = binary.AppendVarint(b, int64(l))
+	}
+	return b, nil
+}
+
+// RestoreState implements Snapshotter for A*.
+func (s *algStar) RestoreState(data []byte) error {
+	r := &snapReader{b: data}
+	r.checkHeader('S', "A*", s.id)
+	flags := r.byte()
+	leader := ring.Label(r.varint())
+	certP := int(r.varint())
+	n := r.uvarint()
+	if r.err == nil && n > uint64(len(r.b)) {
+		r.fail("core: A* snapshot claims %d labels with %d bytes left", n, len(r.b))
+	}
+	labels := make([]ring.Label, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		labels = append(labels, ring.Label(r.varint()))
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	s.str = words.Incremental[ring.Label]{}
+	s.counts = nil
+	s.certP = -1
+	for _, l := range labels {
+		s.appendLabel(l)
+	}
+	if s.certP != certP {
+		return fmt.Errorf("core: A* snapshot certP %d disagrees with replayed %d", certP, s.certP)
+	}
+	s.init, s.isLeader, s.done, s.ledSet, s.halted = bit(flags, 0), bit(flags, 1), bit(flags, 2), bit(flags, 3), bit(flags, 4)
+	s.decided, s.candidate = bit(flags, 5), bit(flags, 6)
+	s.leader = leader
+	return nil
+}
+
+// --- Bk ---
+
+// SnapshotState implements Snapshotter for Bk: the full Table 2 variable
+// set plus the trace-layer phase counter.
+func (b *algB) SnapshotState() ([]byte, error) {
+	buf := make([]byte, 0, 24)
+	buf = append(buf, 'B', snapshotVersion)
+	buf = binary.AppendVarint(buf, int64(b.id))
+	buf = append(buf, byte(b.state))
+	buf = append(buf, packBits(b.isLeader, b.done, b.ledSet, b.halted))
+	buf = binary.AppendVarint(buf, int64(b.guest))
+	buf = binary.AppendVarint(buf, int64(b.leader))
+	buf = binary.AppendUvarint(buf, uint64(b.inner))
+	buf = binary.AppendUvarint(buf, uint64(b.outer))
+	buf = binary.AppendUvarint(buf, uint64(b.phase))
+	return buf, nil
+}
+
+// RestoreState implements Snapshotter for Bk.
+func (b *algB) RestoreState(data []byte) error {
+	r := &snapReader{b: data}
+	r.checkHeader('B', "Bk", b.id)
+	state := BState(r.byte())
+	if r.err == nil && state > BHalt {
+		r.fail("core: Bk snapshot has unknown state %d", state)
+	}
+	flags := r.byte()
+	guest := ring.Label(r.varint())
+	leader := ring.Label(r.varint())
+	inner := int(r.uvarint())
+	outer := int(r.uvarint())
+	phase := int(r.uvarint())
+	if r.err == nil && (inner < 0 || inner > b.k || outer < 0 || outer > b.winAt+1) {
+		r.fail("core: Bk snapshot counters out of range: inner=%d outer=%d (k=%d)", inner, outer, b.k)
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	b.state = state
+	b.isLeader, b.done, b.ledSet, b.halted = bit(flags, 0), bit(flags, 1), bit(flags, 2), bit(flags, 3)
+	b.guest, b.leader = guest, leader
+	b.inner, b.outer, b.phase = inner, outer, phase
+	return nil
+}

@@ -1,0 +1,251 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+// driveWithSnapshots runs a full synchronous election on r with a minimal
+// in-test FIFO driver. When snapshotEvery > 0, after every snapshotEvery-th
+// delivery the receiving machine is snapshotted, restored into a FRESH
+// machine from the same protocol, and the restored copy replaces the live
+// one — the strongest form of the Snapshotter contract: the election must
+// still terminate with the identical leader, message count, and final
+// fingerprints.
+func driveWithSnapshots(t *testing.T, r *ring.Ring, p core.Protocol, snapshotEvery int) (leader int, sent int, fps []string) {
+	t.Helper()
+	n := r.N()
+	machines := make([]core.Machine, n)
+	queues := make([][]core.Message, n) // queues[i] = link from i-1 to i
+	var out core.Outbox
+	deliveries := 0
+
+	send := func(i int) {
+		for _, m := range out.Drain() {
+			queues[(i+1)%n] = append(queues[(i+1)%n], m)
+			sent++
+		}
+	}
+	for i := 0; i < n; i++ {
+		machines[i] = p.NewMachine(r.Label(i))
+		machines[i].Init(&out)
+		send(i)
+	}
+	for steps := 0; ; steps++ {
+		if steps > 10_000_000 {
+			t.Fatalf("%s on %s: no termination after %d steps", p.Name(), r, steps)
+		}
+		progress := false
+		for i := 0; i < n; i++ {
+			if len(queues[i]) == 0 || machines[i].Halted() {
+				continue
+			}
+			m := queues[i][0]
+			queues[i] = queues[i][1:]
+			if _, err := machines[i].Receive(m, &out); err != nil {
+				t.Fatalf("%s on %s: p%d: %v", p.Name(), r, i, err)
+			}
+			send(i)
+			progress = true
+			deliveries++
+			if snapshotEvery > 0 && deliveries%snapshotEvery == 0 {
+				machines[i] = snapshotRoundTrip(t, p, r.Label(i), machines[i])
+			}
+		}
+		allHalted := true
+		for i := 0; i < n; i++ {
+			if !machines[i].Halted() {
+				allHalted = false
+			}
+		}
+		if allHalted {
+			break
+		}
+		if !progress {
+			t.Fatalf("%s on %s: deadlock with unhalted machines", p.Name(), r)
+		}
+	}
+	leader = -1
+	for i, m := range machines {
+		fps = append(fps, m.Fingerprint())
+		if m.Status().IsLeader {
+			if leader >= 0 {
+				t.Fatalf("%s on %s: two leaders p%d and p%d", p.Name(), r, leader, i)
+			}
+			leader = i
+		}
+	}
+	return leader, sent, fps
+}
+
+// snapshotRoundTrip snapshots m and restores the blob into a fresh machine,
+// asserting the restored machine is state-identical.
+func snapshotRoundTrip(t *testing.T, p core.Protocol, id ring.Label, m core.Machine) core.Machine {
+	t.Helper()
+	snap, ok := m.(core.Snapshotter)
+	if !ok {
+		t.Fatalf("%T does not implement Snapshotter", m)
+	}
+	blob, err := snap.SnapshotState()
+	if err != nil {
+		t.Fatalf("SnapshotState: %v", err)
+	}
+	fresh := p.NewMachine(id)
+	if err := fresh.(core.Snapshotter).RestoreState(blob); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if got, want := fresh.Fingerprint(), m.Fingerprint(); got != want {
+		t.Fatalf("restored fingerprint mismatch:\n got %s\nwant %s", got, want)
+	}
+	if got, want := fresh.StateName(), m.StateName(); got != want {
+		t.Fatalf("restored StateName %q, want %q", got, want)
+	}
+	if fresh.Halted() != m.Halted() {
+		t.Fatalf("restored Halted %v, want %v", fresh.Halted(), m.Halted())
+	}
+	if got, want := fresh.SpaceBits(), m.SpaceBits(); got != want {
+		t.Fatalf("restored SpaceBits %d, want %d", got, want)
+	}
+	return fresh
+}
+
+// TestSnapshotRoundTripMidElection restores every machine from its own
+// snapshot after every single delivery and checks the election is
+// indistinguishable from an undisturbed run.
+func TestSnapshotRoundTripMidElection(t *testing.T) {
+	rings := []string{"1 3 1 3 2 2 1 2", "5 2 9 2 5 2", "1 2 3 4 5", "7 7 3 7 3"}
+	for _, alg := range []string{"A", "B", "S"} {
+		for _, spec := range rings {
+			t.Run(alg+"/"+spec, func(t *testing.T) {
+				r, err := ring.Parse(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := protoFor(t, alg, 3, r)
+				wantLeader, wantSent, wantFPs := driveWithSnapshots(t, r, p, 0)
+				gotLeader, gotSent, gotFPs := driveWithSnapshots(t, r, p, 1)
+				if gotLeader != wantLeader || gotSent != wantSent {
+					t.Fatalf("snapshot-restored run elected p%d with %d messages; undisturbed run p%d with %d",
+						gotLeader, gotSent, wantLeader, wantSent)
+				}
+				for i := range wantFPs {
+					if gotFPs[i] != wantFPs[i] {
+						t.Fatalf("final fingerprint of p%d diverged:\n got %s\nwant %s", i, gotFPs[i], wantFPs[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotRejectsCorruption pins the error paths: truncation, magic
+// mismatch, version mismatch, wrong label, trailing garbage.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	r, err := ring.Parse("1 3 1 3 2 2 1 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"A", "B", "S"} {
+		t.Run(alg, func(t *testing.T) {
+			p := protoFor(t, alg, 3, r)
+			m := p.NewMachine(r.Label(0))
+			var out core.Outbox
+			m.Init(&out)
+			out.Reset()
+			// Feed a few tokens so string-based machines have state.
+			for _, l := range []ring.Label{3, 1, 3} {
+				if _, err := m.Receive(core.Token(l), &out); err != nil {
+					t.Fatal(err)
+				}
+				out.Reset()
+			}
+			blob, err := m.(core.Snapshotter).SnapshotState()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			restore := func(b []byte) error {
+				fresh := p.NewMachine(r.Label(0))
+				return fresh.(core.Snapshotter).RestoreState(b)
+			}
+			if err := restore(blob); err != nil {
+				t.Fatalf("pristine blob rejected: %v", err)
+			}
+			for cut := 0; cut < len(blob); cut++ {
+				if err := restore(blob[:cut]); err == nil {
+					t.Fatalf("truncation to %d/%d bytes accepted", cut, len(blob))
+				}
+			}
+			bad := append([]byte(nil), blob...)
+			bad[0] = 'Z'
+			if err := restore(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+				t.Fatalf("wrong magic accepted or mislabeled: %v", err)
+			}
+			bad = append([]byte(nil), blob...)
+			bad[1] = 99
+			if err := restore(bad); err == nil || !strings.Contains(err.Error(), "version") {
+				t.Fatalf("wrong version accepted or mislabeled: %v", err)
+			}
+			if err := restore(append(append([]byte(nil), blob...), 0)); err == nil {
+				t.Fatal("trailing byte accepted")
+			}
+			other := p.NewMachine(r.Label(1))
+			if err := other.(core.Snapshotter).RestoreState(blob); err == nil {
+				t.Fatal("snapshot restored into a machine with a different label")
+			}
+		})
+	}
+}
+
+// TestSnapshotWrongKindRejected restores an Ak blob into Bk and A* machines
+// (and vice versa): the magic byte must catch the mix-up.
+func TestSnapshotWrongKindRejected(t *testing.T) {
+	r, err := ring.Parse("1 3 1 3 2 2 1 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := []string{"A", "B", "S"}
+	blobs := make(map[string][]byte)
+	for _, alg := range algs {
+		p := protoFor(t, alg, 3, r)
+		m := p.NewMachine(r.Label(0))
+		var out core.Outbox
+		m.Init(&out)
+		blob, err := m.(core.Snapshotter).SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs[alg] = blob
+	}
+	for _, from := range algs {
+		for _, to := range algs {
+			if from == to {
+				continue
+			}
+			p := protoFor(t, to, 3, r)
+			m := p.NewMachine(r.Label(0))
+			if err := m.(core.Snapshotter).RestoreState(blobs[from]); err == nil {
+				t.Errorf("%s blob restored into %s machine", from, to)
+			}
+		}
+	}
+}
+
+// TestBaselinesAreNotSnapshotters documents that crash-recovery is scoped
+// to the paper's protocols: if a baseline ever gains Snapshotter this test
+// reminds the author to extend the chaos harness too.
+func TestBaselinesAreNotSnapshotters(t *testing.T) {
+	r, err := ring.Parse("1 2 3 4 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"A", "B", "S"} {
+		p := protoFor(t, alg, 3, r)
+		if _, ok := p.NewMachine(r.Label(0)).(core.Snapshotter); !ok {
+			t.Errorf("%s must implement Snapshotter", p.Name())
+		}
+	}
+}

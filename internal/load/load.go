@@ -249,6 +249,19 @@ func Run(cfg Config) (*Report, error) {
 		client = &http.Client{Timeout: cfg.Timeout}
 	}
 
+	// Readiness pre-flight: a draining or half-started daemon would turn
+	// the whole run into transport noise and shed counts that measure
+	// nothing. Fail fast with a precise reason instead.
+	resp, err := client.Get(cfg.BaseURL + "/readyz")
+	if err != nil {
+		return nil, fmt.Errorf("load: readyz pre-flight against %s: %w", cfg.BaseURL, err)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: target %s is not ready: /readyz answered %s", cfg.BaseURL, resp.Status)
+	}
+
 	results := make([]result, len(plan))
 	idx := make(chan int)
 	var wg sync.WaitGroup

@@ -2,6 +2,7 @@ package load
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -85,6 +86,9 @@ func TestRunAggregatesReport(t *testing.T) {
 	fig1 := specOf(ring.Figure1())
 	var served int
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	})
 	mux.HandleFunc("POST /v1/elect", func(w http.ResponseWriter, r *http.Request) {
 		var req serve.ElectRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -162,6 +166,9 @@ func TestRunAggregatesReport(t *testing.T) {
 // crosscheck.
 func TestRunFlagsDivergence(t *testing.T) {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	})
 	mux.HandleFunc("POST /v1/elect", func(w http.ResponseWriter, r *http.Request) {
 		var req serve.ElectRequest
 		_ = json.NewDecoder(r.Body).Decode(&req)
@@ -180,5 +187,48 @@ func TestRunFlagsDivergence(t *testing.T) {
 	}
 	if rep.Crosschecks != 8 || rep.Divergences != 8 {
 		t.Errorf("crosschecks=%d divergences=%d, want 8/8", rep.Crosschecks, rep.Divergences)
+	}
+}
+
+// TestRunReadyzPreflight: a target that is draining (or has no /readyz
+// at all) must fail the run up front, before any election request is
+// sent — a load run against a shutting-down daemon measures nothing.
+func TestRunReadyzPreflight(t *testing.T) {
+	var elects int
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+	})
+	mux.HandleFunc("POST /v1/elect", func(w http.ResponseWriter, _ *http.Request) {
+		elects++
+		w.WriteHeader(200)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	_, err := Run(Config{
+		BaseURL: srv.URL, Requests: 4, Workers: 1, Seed: 1,
+		HotRings: 1, HotFraction: 0.999, RotatedFraction: 0.0005,
+		K: 3, Client: srv.Client(),
+	})
+	if err == nil {
+		t.Fatal("Run succeeded against a draining target")
+	}
+	if !strings.Contains(err.Error(), "not ready") || !strings.Contains(err.Error(), "503") {
+		t.Errorf("error %q does not name the readyz verdict", err)
+	}
+	if elects != 0 {
+		t.Errorf("%d election requests reached a draining target", elects)
+	}
+
+	// Unreachable target: the pre-flight turns a would-be storm of worker
+	// errors into one dial error.
+	srv.Close()
+	if _, err := Run(Config{
+		BaseURL: srv.URL, Requests: 4, Workers: 1, Seed: 1,
+		HotRings: 1, HotFraction: 0.999, RotatedFraction: 0.0005, K: 3,
+	}); err == nil || !strings.Contains(err.Error(), "pre-flight") {
+		t.Errorf("unreachable target: err = %v, want a pre-flight dial error", err)
 	}
 }

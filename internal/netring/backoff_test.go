@@ -1,0 +1,111 @@
+package netring
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/ring"
+)
+
+// TestBackoffDelayBounds checks the jittered delay stays inside its
+// contract for every attempt number: never negative, and never above Max
+// even when jitter would push the capped base delay over it.
+func TestBackoffDelayBounds(t *testing.T) {
+	configs := []Backoff{
+		{}, // defaults
+		{Base: time.Millisecond, Max: 10 * time.Millisecond, Factor: 3, Jitter: 0.9},
+		{Base: 50 * time.Millisecond, Max: 60 * time.Millisecond, Factor: 1.1, Jitter: 0.5},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, cfg := range configs {
+		b := cfg.withDefaults()
+		for attempt := 1; attempt <= 60; attempt++ {
+			for trial := 0; trial < 50; trial++ {
+				d := b.delay(attempt, rng)
+				if d < 0 {
+					t.Fatalf("%+v attempt %d: negative delay %v", b, attempt, d)
+				}
+				if d > b.Max {
+					t.Fatalf("%+v attempt %d: delay %v exceeds cap %v", b, attempt, d, b.Max)
+				}
+			}
+		}
+	}
+}
+
+// TestBackoffDelayDeterministic pins that the delay sequence is a pure
+// function of the rng seed — the property the chaos harness's replay
+// guarantee leans on.
+func TestBackoffDelayDeterministic(t *testing.T) {
+	b := Backoff{}.withDefaults()
+	r1 := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(42))
+	for attempt := 1; attempt <= 30; attempt++ {
+		d1, d2 := b.delay(attempt, r1), b.delay(attempt, r2)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed gave %v and %v", attempt, d1, d2)
+		}
+	}
+}
+
+// TestBackoffSleepCancelled stops a sender mid-backoff-sleep: the sleep
+// must return promptly (reporting interruption), not run out the clock.
+func TestBackoffSleepCancelled(t *testing.T) {
+	s := newSender(0, 1, "127.0.0.1:1", frame{}, Backoff{}, LinkFault{}, rand.New(rand.NewSource(1)), nil)
+	done := make(chan bool, 1)
+	start := time.Now()
+	go func() { done <- s.sleep(time.Minute) }()
+	time.Sleep(10 * time.Millisecond)
+	s.stop()
+	select {
+	case full := <-done:
+		if full {
+			t.Fatal("cancelled sleep reported a full elapse")
+		}
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Fatalf("cancellation took %v", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop() did not interrupt the backoff sleep")
+	}
+}
+
+// TestDialErrorSurfacesAddress runs a node whose successor address never
+// answers: the give-up error must be a *DialError carrying the address and
+// attempt count, and unwrap to the underlying dial failure.
+func TestDialErrorSurfacesAddress(t *testing.T) {
+	r := ring.Ring122()
+	p := protocols(t, r)[0]
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// A bound-then-closed port: connection refused on every attempt.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	_, err = RunNode(NodeConfig{
+		Ring: r, Index: 0, Protocol: p,
+		Listener: ln, NextAddr: deadAddr,
+		Timeout: 30 * time.Second,
+		Backoff: Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Attempts: 3},
+	})
+	var de *DialError
+	if !errors.As(err, &de) {
+		t.Fatalf("got %v, want a *DialError", err)
+	}
+	if de.Addr != deadAddr || de.Attempts != 3 || de.Self != 0 || de.Target != 1 {
+		t.Errorf("DialError fields = %+v, want addr %s, 3 attempts, link 0→1", de, deadAddr)
+	}
+	if de.Last == nil || errors.Unwrap(de) != de.Last {
+		t.Errorf("DialError must unwrap to the last dial error, got %v", de.Last)
+	}
+}

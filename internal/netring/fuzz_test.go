@@ -13,12 +13,13 @@ import (
 // back to the same value (the decoder and encoder agree on the format).
 func FuzzDecodeFrame(f *testing.F) {
 	seeds := []frame{
-		{Type: frameHello, Sender: 0, Target: 1, N: 3, RingHash: 0x1234},
+		{Type: frameHello, Sender: 0, Target: 1, N: 3, RingHash: 0x1234, BaseSeq: 11},
 		{Type: frameHelloAck, NextSeq: 7},
 		{Type: frameData, Seq: 42, Msg: core.Token(3)},
 		{Type: frameData, Seq: 0, Msg: core.Finish()},
 		{Type: frameData, Seq: 1, Msg: core.PhaseShift(-9)},
 		{Type: frameGoodbye, NextSeq: 99},
+		{Type: frameGoodbyeAck, NextSeq: 99},
 	}
 	for _, s := range seeds {
 		f.Add(appendFrame(nil, s)[4:]) // body without the length prefix

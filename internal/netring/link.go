@@ -64,11 +64,40 @@ func (b Backoff) delay(attempt int, rng *rand.Rand) time.Duration {
 		}
 	}
 	d *= 1 + b.Jitter*(2*rng.Float64()-1)
+	// Clamp after jitter too: Max is a hard cap on the inter-attempt gap,
+	// not a pre-jitter target that jitter may exceed.
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
 	if d < 0 {
 		d = 0
 	}
 	return time.Duration(d)
 }
+
+// DialError is the sender's give-up error: the successor stayed
+// unreachable through the whole retry budget. It carries the address, the
+// attempt count, and the last underlying dial error, and unwraps to the
+// latter — cmd/ringnode maps it to a distinct exit code.
+type DialError struct {
+	// Self and Target are the link's ring endpoints.
+	Self, Target int
+	// Addr is the successor address that could not be reached.
+	Addr string
+	// Attempts is how many dials were made before giving up.
+	Attempts int
+	// Last is the final dial or handshake error.
+	Last error
+}
+
+// Error implements error.
+func (e *DialError) Error() string {
+	return fmt.Sprintf("netring: p%d cannot reach successor p%d at %s after %d attempts: %v",
+		e.Self, e.Target, e.Addr, e.Attempts, e.Last)
+}
+
+// Unwrap exposes the last dial error.
+func (e *DialError) Unwrap() error { return e.Last }
 
 // LinkFault injects faults into a node's outgoing link, to demonstrate
 // that elections still satisfy the specification when the transport
@@ -98,10 +127,13 @@ func isConnError(err error) bool {
 }
 
 // sender owns a node's outgoing link: an unbounded FIFO queue of data
-// frames (which doubles as the retransmit buffer — sequence numbers are
-// queue positions), a writer goroutine that dials the successor with
-// backoff, resumes from the receiver's acknowledged sequence number after
-// any drop, and announces clean shutdown with a GOODBYE frame.
+// frames (which doubles as the retransmit buffer — a frame's Seq is base
+// plus its queue position), a writer goroutine that dials the successor
+// with backoff, resumes from the receiver's acknowledged sequence number
+// after any drop, and announces clean shutdown with a GOODBYE frame.
+// Handshake acks advance base and discard the acknowledged queue prefix,
+// which both bounds memory and keeps the durable snapshot's retransmit
+// tail small.
 type sender struct {
 	self, target int
 	addr         string
@@ -111,14 +143,31 @@ type sender struct {
 	rng          *rand.Rand
 	onLink       func(event string)
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	queue      []frame // every data frame ever enqueued; Seq == index
-	goodbye    bool    // machine halted: flush, send GOODBYE, exit
-	stopped    bool    // abandon immediately (failure elsewhere)
-	stopCh     chan struct{}
-	stopOnce   sync.Once
-	reconnects int
+	// Durable mode: wait for GOODBYE_ACK (retrying) before reporting the
+	// outgoing link finished; onGoodbyeAcked persists the fact.
+	reliableGoodbye bool
+	onGoodbyeAcked  func() error
+	finished        bool // restored OutFinished: nothing left to do
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	base        uint64  // Seq of queue[0]; frames below it are acked and discarded
+	queue       []frame // retained data frames; queue[i].Seq == base+i
+	goodbye     bool    // machine halted: flush, send GOODBYE, exit
+	stopped     bool    // abandon immediately (failure elsewhere)
+	stopCh      chan struct{}
+	stopOnce    sync.Once
+	reconnects  int
+	highWater   uint64 // highest seq ever written + 1
+	retransmits int    // frames re-written below the high-water mark
+	gen         uint64 // connection generation, guards stale watch goroutines
+	connLost    bool   // the watch goroutine saw the current connection die
+	aheadAck    uint64 // durable: successor ack beyond what this incarnation produced
+
+	// goodbyeAcks carries GOODBYE_ACK frames from the watch goroutine (the
+	// sole reader of a live connection) to sendGoodbye. Buffered so a late
+	// ack never blocks the watcher.
+	goodbyeAcks chan frame
 
 	wbuf []byte // run-goroutine-only: reusable encode buffer for batched writes
 }
@@ -133,10 +182,23 @@ func newSender(self, target int, addr string, hello frame, b Backoff, fault Link
 	s := &sender{
 		self: self, target: target, addr: addr, hello: hello,
 		backoff: b.withDefaults(), fault: fault, rng: rng, onLink: onLink,
-		stopCh: make(chan struct{}),
+		stopCh: make(chan struct{}), goodbyeAcks: make(chan frame, 1),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// preload restores the retransmit queue from a durable snapshot: frames
+// [base, base+len(tail)) regenerated from the persisted tail. finished
+// marks an outgoing link whose GOODBYE was already acknowledged.
+func (s *sender) preload(base uint64, tail []core.Message, finished bool) {
+	s.base = base
+	s.queue = s.queue[:0]
+	for i, m := range tail {
+		s.queue = append(s.queue, frame{Type: frameData, Seq: base + uint64(i), Msg: m})
+	}
+	s.highWater = base + uint64(len(tail))
+	s.finished = finished
 }
 
 // enqueue appends the machine's sends, in order, to the outgoing link.
@@ -147,26 +209,116 @@ func (s *sender) enqueue(msgs []core.Message) {
 	}
 	s.mu.Lock()
 	for _, m := range msgs {
-		s.queue = append(s.queue, frame{Type: frameData, Seq: uint64(len(s.queue)), Msg: m})
+		seq := s.base + uint64(len(s.queue))
+		if seq < s.aheadAck {
+			// A regenerated frame the successor already has (see the
+			// ack-ahead branch of noteAck). It counts as produced and
+			// acked at its original sequence number; the queue is empty
+			// here, so advancing base is the whole bookkeeping.
+			s.base++
+			continue
+		}
+		s.queue = append(s.queue, frame{Type: frameData, Seq: seq, Msg: m})
 	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
 }
 
-// sent returns how many data frames were enqueued (retransmits excluded).
+// sent returns how many data frames were enqueued, ever (retransmits
+// excluded: a frame counts once at its sequence number no matter how many
+// times it crosses the wire or how many times a crash-recovered machine
+// regenerates it).
 func (s *sender) sent() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return int(s.base) + len(s.queue)
 }
 
 func (s *sender) sentU() uint64 { return uint64(s.sent()) }
+
+// snapshotOut returns the durable view of the outgoing link: total frames
+// produced, the retransmit base, and a copy of the retained tail.
+func (s *sender) snapshotOut() (sent, base uint64, tail []core.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tail = make([]core.Message, len(s.queue))
+	for i, f := range s.queue {
+		tail[i] = f.Msg
+	}
+	return s.base + uint64(len(s.queue)), s.base, tail
+}
+
+// noteAck records a successor handshake ack: everything below ack needs no
+// retransmission, so the queue prefix is discarded and base advances. An
+// ack below base is impossible with an honest successor (acks only ever
+// cover what was delivered, and base only advances to acked positions), so
+// it is reported as a broken link axiom.
+func (s *sender) noteAck(ack uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ack < s.base {
+		return &spec.LinkViolation{From: s.self, To: s.target,
+			Detail: fmt.Sprintf("resume gap: successor acknowledged seq %d below retransmit base %d (lost acked state)", ack, s.base)}
+	}
+	drop := ack - s.base
+	if drop > uint64(len(s.queue)) {
+		if !s.reliableGoodbye {
+			return &spec.LinkViolation{From: s.self, To: s.target,
+				Detail: fmt.Sprintf("successor acknowledged seq %d but only %d frames were ever sent", ack, s.base+uint64(len(s.queue)))}
+		}
+		// Durable mode: the successor persisted frames beyond anything this
+		// incarnation knows it produced. That is the crash window between a
+		// wire write and the snapshot recording it — the action that
+		// produced those frames was rolled back, the predecessor will
+		// re-deliver its input, and the deterministic machine will re-emit
+		// byte-identical frames. Absorb: everything queued is acked, and
+		// enqueue treats regenerated frames below aheadAck as already
+		// delivered instead of re-writing them at stale sequence numbers.
+		s.base += uint64(len(s.queue))
+		s.queue = s.queue[:0]
+		if ack > s.aheadAck {
+			s.aheadAck = ack
+		}
+		return nil
+	}
+	if drop > 0 {
+		s.queue = s.queue[drop:]
+		s.base = ack
+	}
+	return nil
+}
+
+// noteWritten tracks retransmissions: frames re-written at sequence
+// numbers below the high-water mark were already on the wire once.
+func (s *sender) noteWritten(firstSeq uint64, count int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := firstSeq + uint64(count)
+	if firstSeq < s.highWater {
+		redone := s.highWater - firstSeq
+		if redone > uint64(count) {
+			redone = uint64(count)
+		}
+		s.retransmits += int(redone)
+	}
+	if end > s.highWater {
+		s.highWater = end
+	}
+}
 
 // reconnectCount returns how many times the link dropped and re-dialed.
 func (s *sender) reconnectCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.reconnects
+}
+
+// retransmitCount returns how many data frames were written more than
+// once (excluded from sent()).
+func (s *sender) retransmitCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retransmits
 }
 
 // finish tells the writer the machine has halted: flush the queue, send
@@ -237,18 +389,79 @@ func (s *sender) connect(event string) (net.Conn, uint64, error) {
 			lastErr = err
 			continue
 		}
+		if err := s.noteAck(ack.NextSeq); err != nil {
+			conn.Close()
+			return nil, 0, err
+		}
 		if s.onLink != nil {
 			s.onLink(event)
 		}
 		return conn, ack.NextSeq, nil
 	}
-	return nil, 0, fmt.Errorf("netring: p%d cannot reach successor p%d at %s after %d attempts: %w",
-		s.self, s.target, s.addr, s.backoff.Attempts, lastErr)
+	return nil, 0, &DialError{Self: s.self, Target: s.target, Addr: s.addr, Attempts: s.backoff.Attempts, Last: lastErr}
+}
+
+// adopt registers a freshly connected conn as the current generation and
+// starts its watch goroutine. Any connLost flag from a previous
+// generation is cleared: it described a connection that no longer exists.
+//
+// Only durable senders watch their connections. In the in-memory engines
+// goodbyes are best-effort and a successor may legitimately exit (closing
+// the conn) before its predecessor halts — reacting to that close with a
+// redial would be a dial storm at a gone listener. A durable successor,
+// by contrast, stays up until it has our GOODBYE, so a dying connection
+// there means a crash that may have lost unacked frames.
+func (s *sender) adopt(conn net.Conn) {
+	if !s.reliableGoodbye {
+		return
+	}
+	s.mu.Lock()
+	s.gen++
+	gen := s.gen
+	s.connLost = false
+	s.mu.Unlock()
+	go s.watch(conn, gen)
+}
+
+// watch owns all reads on a live sender connection. The successor writes
+// nothing unsolicited after the handshake, so a returning read is either
+// a GOODBYE_ACK (forwarded to sendGoodbye) or proof the connection died.
+// On death it closes the conn, flags the loss, and broadcasts — this is
+// what lets a sender that is idle in cond.Wait (queue flushed, nothing
+// new to say) notice that its successor crashed and redial, so the
+// resume handshake can retransmit the unacked tail. Without it, a ring
+// stalled by one crash never heals: the restarted node's predecessor has
+// no traffic of its own to trip a write error on.
+func (s *sender) watch(conn net.Conn, gen uint64) {
+	for {
+		f, err := readFrame(conn)
+		if err == nil {
+			if f.Type == frameGoodbyeAck {
+				select {
+				case s.goodbyeAcks <- f:
+				default:
+				}
+			}
+			continue
+		}
+		conn.Close()
+		s.mu.Lock()
+		if s.gen == gen {
+			s.connLost = true
+		}
+		s.mu.Unlock()
+		s.cond.Broadcast()
+		return
+	}
 }
 
 func (s *sender) handshake(conn net.Conn) error {
+	hello := s.hello
+	s.mu.Lock()
+	hello.BaseSeq = s.base // RESUME: the lowest seq still retransmittable
+	s.mu.Unlock()
 	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-	err := writeFrame(conn, s.hello)
+	err := writeFrame(conn, hello)
 	conn.SetWriteDeadline(time.Time{})
 	return err
 }
@@ -261,57 +474,134 @@ func (s *sender) isStopped() bool {
 	return s.stopped
 }
 
+// maxGoodbyeTries bounds how many full reconnect-and-retry cycles a
+// durable sender spends getting its GOODBYE acknowledged before assuming
+// the successor has already exited. Each cycle burns a whole connect
+// retry budget, so this is minutes of cover for a successor restarting
+// mid-termination.
+const maxGoodbyeTries = 5
+
+// sendGoodbye announces termination on a live connection. In durable mode
+// it also waits for the GOODBYE_ACK — routed through the watch goroutine,
+// which owns all reads on the conn — and persists the outcome.
+func (s *sender) sendGoodbye(conn net.Conn, total uint64) error {
+	if s.reliableGoodbye {
+		// Discard any ack left over from a previous goodbye attempt.
+		select {
+		case <-s.goodbyeAcks:
+		default:
+		}
+	}
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	err := writeFrame(conn, frame{Type: frameGoodbye, NextSeq: total})
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		return err
+	}
+	if !s.reliableGoodbye {
+		return nil
+	}
+	t := time.NewTimer(5 * time.Second)
+	defer t.Stop()
+	select {
+	case ack := <-s.goodbyeAcks:
+		if ack.NextSeq != total {
+			return fmt.Errorf("netring: goodbye ack covers seq %d, want %d", ack.NextSeq, total)
+		}
+		if s.onGoodbyeAcked != nil {
+			return s.onGoodbyeAcked()
+		}
+		return nil
+	case <-t.C:
+		return errors.New("netring: timed out waiting for GOODBYE_ACK")
+	case <-s.stopCh:
+		return errSenderStopped
+	}
+}
+
 // run is the writer loop. It returns nil after a clean goodbye or stop,
 // and an error when the successor stays unreachable.
 func (s *sender) run() error {
+	if s.finished {
+		// Restored with the GOODBYE already acknowledged: the successor has
+		// everything it will ever need from us.
+		return nil
+	}
 	var conn net.Conn
 	defer func() {
 		if conn != nil {
 			conn.Close()
 		}
 	}()
-	var cursor uint64 // next queue index to write on the current connection
+	var cursor uint64 // next absolute sequence number to write on the current connection
 	written := 0      // frames written since the last (re)connect
+	goodbyeTries := 0
 	connected := false
 	event := "connect"
 	for {
 		s.mu.Lock()
-		for !s.stopped && !s.goodbye && uint64(len(s.queue)) <= cursor {
+		for !s.stopped && !s.goodbye && !s.connLost && s.base+uint64(len(s.queue)) <= cursor {
 			s.cond.Wait()
 		}
 		if s.stopped {
 			s.mu.Unlock()
 			return nil
 		}
-		// Snapshot the contiguous run of unsent frames. The queue is
-		// append-only and its entries immutable, so the slice stays valid
-		// after the lock is released.
+		if s.connLost {
+			// The watch goroutine saw the connection die. Rewind the cursor
+			// to the retransmit base: whatever the restarted successor did
+			// not persist must be written again, and a non-empty queue now
+			// forces a redial even though everything was already written once.
+			s.connLost = false
+			cursor = s.base
+			s.mu.Unlock()
+			if connected {
+				conn, connected = nil, false
+				s.noteDrop()
+			}
+			continue
+		}
+		// Snapshot the contiguous run of unsent frames. Entries are
+		// immutable and acks only trim the prefix below cursor (and only
+		// from this goroutine, via connect), so the slice stays valid after
+		// the lock is released.
 		var batch []frame
-		if end := uint64(len(s.queue)); end > cursor {
+		total := s.base + uint64(len(s.queue))
+		if connected && total > cursor {
+			end := total
 			if end > cursor+maxWriteBatch {
 				end = cursor + maxWriteBatch
 			}
-			batch = s.queue[cursor:end]
+			batch = s.queue[cursor-s.base : end-s.base]
 		}
 		goodbye := s.goodbye
+		// Every frame ever produced is covered by a successor ack exactly
+		// when the retained queue is empty — the condition under which a
+		// dead successor means "already exited" rather than "missing data".
+		ackedAll := len(s.queue) == 0
 		s.mu.Unlock()
 
-		if len(batch) == 0 && goodbye {
-			// Queue flushed: announce clean termination. Best-effort — the
-			// successor may already have halted and closed its side.
-			if !connected {
-				c, resume, err := s.connect(event)
-				if err != nil {
-					return nil
-				}
-				conn, connected, cursor, written = c, true, resume, 0
-				event = "reconnect"
-				if cursor < uint64(s.sentU()) {
-					continue // receiver is missing frames after all
-				}
+		if connected && goodbye && cursor >= total {
+			// Queue flushed on a live connection: announce termination.
+			err := s.sendGoodbye(conn, cursor)
+			if err == nil {
+				return nil
 			}
-			writeFrame(conn, frame{Type: frameGoodbye, NextSeq: cursor})
-			return nil
+			if !s.reliableGoodbye {
+				// Best-effort — the successor may already have halted and
+				// closed its side.
+				return nil
+			}
+			conn.Close()
+			conn, connected = nil, false
+			s.noteDrop()
+			if goodbyeTries++; goodbyeTries >= maxGoodbyeTries {
+				if s.onLink != nil {
+					s.onLink("goodbye-giveup")
+				}
+				return nil
+			}
+			continue
 		}
 
 		if !connected {
@@ -320,8 +610,26 @@ func (s *sender) run() error {
 				if errors.Is(err, errSenderStopped) {
 					return nil
 				}
+				if goodbye && (ackedAll || s.reliableGoodbye) {
+					// Could not reach the successor just to say goodbye. With
+					// ackedAll it has simply exited: it had acknowledged every
+					// frame. In durable mode an unacknowledged tail does not
+					// change the conclusion — the dial budget outlasts any
+					// crash-recovery restart, so a successor unreachable for
+					// the whole window has exited for good, and a durable node
+					// only exits cleanly after consuming its entire incoming
+					// stream, GOODBYE included. (The lost frame here is the
+					// GOODBYE_ACK back to us, not data.) Failing instead would
+					// strand a supervisor in hopeless retries against a peer
+					// that is never coming back.
+					if s.reliableGoodbye && s.onLink != nil {
+						s.onLink("goodbye-giveup")
+					}
+					return nil
+				}
 				return err
 			}
+			s.adopt(c)
 			conn, connected, cursor, written = c, true, resume, 0
 			event = "reconnect"
 			continue // re-evaluate the queue against the resume point
@@ -356,6 +664,9 @@ func (s *sender) run() error {
 			s.noteDrop()
 			continue // redial and resume from the receiver's ack
 		}
+		if len(batch) > 0 {
+			s.noteWritten(batch[0].Seq, len(batch))
+		}
 		written += len(batch)
 		cursor += uint64(len(batch))
 	}
@@ -382,6 +693,16 @@ type receiver struct {
 	hash          uint64
 	ln            net.Listener
 	onLink        func(event string)
+
+	// expected is the next sequence number to deliver. It starts at 0 on a
+	// clean start and at the persisted InExpected on a crash recovery; the
+	// handshake acknowledges it, which is what makes the predecessor resume
+	// (and the sender's queue truncation safe). Owned by the run goroutine.
+	expected uint64
+	// onGoodbye, when set (durable mode), persists the incoming link's
+	// completion before the GOODBYE_ACK is written, so a crash after the
+	// ack cannot forget the predecessor is done.
+	onGoodbye func() error
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -414,7 +735,6 @@ func (r *receiver) isStopped() bool {
 // in sending order, exactly once. It returns nil on a clean GOODBYE or
 // after stop; any link-model breach is a *spec.LinkViolation.
 func (r *receiver) run(deliver func(core.Message) error) error {
-	var expected uint64 // next sequence number to deliver
 	for {
 		conn, err := r.ln.Accept()
 		if err != nil {
@@ -427,7 +747,7 @@ func (r *receiver) run(deliver func(core.Message) error) error {
 		r.conn = conn
 		r.mu.Unlock()
 
-		clean, err := r.serve(conn, &expected, deliver)
+		clean, err := r.serve(conn, deliver)
 		conn.Close()
 		r.mu.Lock()
 		r.conn = nil
@@ -445,7 +765,7 @@ func (r *receiver) run(deliver func(core.Message) error) error {
 // serve handles one accepted connection. clean reports a GOODBYE-closed
 // stream; a nil error with clean == false means the connection dropped
 // and a reconnect should be awaited.
-func (r *receiver) serve(conn net.Conn, expected *uint64, deliver func(core.Message) error) (clean bool, err error) {
+func (r *receiver) serve(conn net.Conn, deliver func(core.Message) error) (clean bool, err error) {
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	hello, err := readFrame(conn)
 	conn.SetReadDeadline(time.Time{})
@@ -466,7 +786,15 @@ func (r *receiver) serve(conn net.Conn, expected *uint64, deliver func(core.Mess
 		return false, fmt.Errorf("netring: p%d accepts only its predecessor p%d, got HELLO from p%d targeting p%d",
 			r.self, r.pred, hello.Sender, hello.Target)
 	}
-	if err := writeFrame(conn, frame{Type: frameHelloAck, NextSeq: *expected}); err != nil {
+	if hello.BaseSeq > r.expected {
+		// RESUME gap: the predecessor's retransmit buffer starts beyond
+		// what we have — frames [expected, BaseSeq) are gone for good. A
+		// correct predecessor never truncates past an ack we gave it, so
+		// this is a broken link axiom, not a transient.
+		return false, &spec.LinkViolation{From: r.pred, To: r.self,
+			Detail: fmt.Sprintf("resume gap: predecessor retains only seq >= %d but %d is expected next", hello.BaseSeq, r.expected)}
+	}
+	if err := writeFrame(conn, frame{Type: frameHelloAck, NextSeq: r.expected}); err != nil {
 		return false, nil // connection died mid-handshake; await reconnect
 	}
 	var scratch []byte // reused for every frame body on this connection
@@ -481,19 +809,31 @@ func (r *receiver) serve(conn net.Conn, expected *uint64, deliver func(core.Mess
 		}
 		switch f.Type {
 		case frameData:
-			if f.Seq != *expected {
+			if f.Seq != r.expected {
 				return false, &spec.LinkViolation{From: r.pred, To: r.self,
-					Detail: fmt.Sprintf("out-of-order delivery: got seq %d, want %d", f.Seq, *expected)}
+					Detail: fmt.Sprintf("out-of-order delivery: got seq %d, want %d", f.Seq, r.expected)}
 			}
-			*expected++
+			// Deliver before advancing: in durable mode deliver returns
+			// only after the message's effects are persisted, so the
+			// handshake ack (and thus the predecessor's queue truncation)
+			// never runs ahead of what a restart can reconstruct.
 			if err := deliver(f.Msg); err != nil {
 				return false, err
 			}
+			r.expected++
 		case frameGoodbye:
-			if f.NextSeq != *expected {
+			if f.NextSeq != r.expected {
 				return false, &spec.LinkViolation{From: r.pred, To: r.self,
-					Detail: fmt.Sprintf("goodbye after %d frames but only %d delivered", f.NextSeq, *expected)}
+					Detail: fmt.Sprintf("goodbye after %d frames but only %d delivered", f.NextSeq, r.expected)}
 			}
+			if r.onGoodbye != nil {
+				if err := r.onGoodbye(); err != nil {
+					return false, err
+				}
+			}
+			// Acknowledge, best-effort: a durable sender retries the whole
+			// goodbye if this ack is lost, and re-GOODBYEs are idempotent.
+			writeFrame(conn, frame{Type: frameGoodbyeAck, NextSeq: r.expected})
 			return true, nil
 		default:
 			return false, &spec.LinkViolation{From: r.pred, To: r.self,

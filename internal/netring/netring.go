@@ -119,7 +119,11 @@ func RunLocal(r *ring.Ring, p core.Protocol, opts Options) (*Result, error) {
 		}
 		mu.Lock()
 		defer mu.Unlock()
-		opts.Sink.Record(trace.Event{Op: trace.OpLink, Proc: proc, Action: event})
+		op := trace.OpLink
+		if event == "restore" || event == "state-corrupt" {
+			op = trace.OpRecover
+		}
+		opts.Sink.Record(trace.Event{Op: op, Proc: proc, Action: event})
 	}
 
 	start := time.Now()

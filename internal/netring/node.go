@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -50,8 +52,34 @@ type NodeConfig struct {
 	// OnAction observes every machine action (may be nil).
 	OnAction ActionObserver
 	// OnLink observes link lifecycle events — "connect", "drop",
-	// "reconnect" — on the outgoing link (may be nil).
+	// "reconnect", "goodbye-giveup", plus the durable-mode recovery events
+	// "restore" and "state-corrupt" — on the outgoing link (may be nil).
 	OnLink func(proc int, event string)
+
+	// StatePath enables durable mode: the node persists a checksummed
+	// NodeState snapshot here after every atomic action (atomic rename)
+	// and, on startup, resumes from it — the crash-recovery tentpole. The
+	// protocol's machines must implement core.Snapshotter.
+	StatePath string
+	// Fsync forces an fsync before each snapshot rename. Off by default:
+	// the chaos model kills processes, not the kernel, and rename-only is
+	// an order of magnitude cheaper.
+	Fsync bool
+	// OnRecover is called after a successful state restore, before any
+	// action runs, with the restored machine (durable mode only; may be
+	// nil). cmd/ringnode uses it to seed its spec checker with the
+	// pre-crash status baseline.
+	OnRecover func(proc int, m core.Machine)
+	// Kill, when non-nil, aborts the node the moment it is closed — the
+	// in-process analogue of SIGKILL, used by crash-recovery tests. No
+	// final snapshot is written: whatever the last per-action persist
+	// captured is what a restart sees.
+	Kill <-chan struct{}
+	// Linger keeps the listener serving handshake and GOODBYE re-acks for
+	// this long after the node has otherwise finished, covering a
+	// predecessor that crashed before reading our GOODBYE_ACK and redials
+	// on restart. Durable mode only; default 500ms; negative disables.
+	Linger time.Duration
 }
 
 // NodeResult is the outcome of one node's run.
@@ -62,11 +90,17 @@ type NodeResult struct {
 	Status core.Status
 	// Halted reports whether the machine executed its halting statement.
 	Halted bool
-	// Sent counts data frames enqueued on the outgoing link (retransmits
-	// after a reconnect are not counted — they carry old sequence numbers).
+	// Sent counts data frames enqueued on the outgoing link across all
+	// incarnations (retransmits after a reconnect or restart are not
+	// counted — each sequence number counts once).
 	Sent int
 	// Reconnects counts outgoing-link drops that were re-dialed.
 	Reconnects int
+	// Retransmits counts data frames written to the wire more than once
+	// (this incarnation).
+	Retransmits int
+	// Recovered reports the node resumed from a durable state snapshot.
+	Recovered bool
 	// PeakSpaceBits is the machine's peak SpaceBits.
 	PeakSpaceBits int
 }
@@ -74,9 +108,34 @@ type NodeResult struct {
 // ErrTimeout reports that a node's election did not terminate in time.
 var ErrTimeout = errors.New("netring: execution timed out")
 
+// ErrKilled reports the node was aborted through NodeConfig.Kill.
+var ErrKilled = errors.New("netring: node killed")
+
+// persister serializes durable snapshot writes. Data-path persists come
+// from the node's main loop, but InFinished is persisted from the receiver
+// goroutine and OutFinished from the sender goroutine, so the current
+// state template lives behind a mutex.
+type persister struct {
+	path  string
+	fsync bool
+
+	mu sync.Mutex
+	st NodeState
+}
+
+// save mutates the state template under the lock and writes the snapshot.
+func (p *persister) save(mutate func(st *NodeState)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	mutate(&p.st)
+	return SaveNodeState(p.path, &p.st, p.fsync)
+}
+
 // RunNode executes one ring node to completion: it listens for its
 // predecessor, dials its successor, runs the machine over the two links,
 // and returns once the machine halts and the outgoing link is flushed.
+// With StatePath set it additionally persists its state after every action
+// and resumes from the snapshot on restart (see NodeConfig.StatePath).
 func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	n := cfg.Ring.N()
 	if cfg.Index < 0 || cfg.Index >= n {
@@ -85,13 +144,9 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
-	ln := cfg.Listener
-	if ln == nil {
-		var err error
-		ln, err = net.Listen("tcp", cfg.ListenAddr)
-		if err != nil {
-			return nil, fmt.Errorf("netring: p%d listen %s: %w", cfg.Index, cfg.ListenAddr, err)
-		}
+	durable := cfg.StatePath != ""
+	if durable && cfg.Linger == 0 {
+		cfg.Linger = 500 * time.Millisecond
 	}
 
 	hash := ringHash(cfg.Ring)
@@ -101,6 +156,66 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 			cfg.OnLink(cfg.Index, event)
 		}
 	}
+
+	m := cfg.Protocol.NewMachine(cfg.Ring.Label(cfg.Index))
+	res := &NodeResult{Index: cfg.Index}
+
+	// Durable mode: restore the previous incarnation's snapshot, if any.
+	var per *persister
+	var snap core.Snapshotter
+	var st *NodeState
+	if durable {
+		var ok bool
+		snap, ok = m.(core.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("netring: p%d: protocol %s does not support durable state (no core.Snapshotter)", cfg.Index, cfg.Protocol.Name())
+		}
+		var err error
+		st, err = LoadNodeState(cfg.StatePath)
+		switch {
+		case err == nil:
+			if st.RingHash != hash || st.Index != cfg.Index || st.Protocol != cfg.Protocol.Name() {
+				return nil, fmt.Errorf("netring: p%d: state file %s belongs to a different run (ring/index/protocol mismatch)", cfg.Index, cfg.StatePath)
+			}
+			if err := snap.RestoreState(st.Machine); err != nil {
+				// The file passed its checksum but the machine blob does not
+				// fit this machine: same treatment as corruption.
+				onLink("state-corrupt")
+				st = nil
+				m = cfg.Protocol.NewMachine(cfg.Ring.Label(cfg.Index))
+				snap = m.(core.Snapshotter)
+			}
+		case errors.Is(err, os.ErrNotExist):
+			st = nil // clean first start
+		case errors.Is(err, ErrCorruptState):
+			// Detected, not trusted: fall back to a clean start. The
+			// predecessor retransmits everything from seq 0.
+			onLink("state-corrupt")
+			st = nil
+		default:
+			return nil, fmt.Errorf("netring: p%d: reading state %s: %w", cfg.Index, cfg.StatePath, err)
+		}
+		per = &persister{path: cfg.StatePath, fsync: cfg.Fsync,
+			st: NodeState{RingHash: hash, Index: cfg.Index, Protocol: cfg.Protocol.Name()}}
+		if st != nil {
+			per.st = *st
+			res.Recovered = true
+			onLink("restore")
+			if cfg.OnRecover != nil {
+				cfg.OnRecover(cfg.Index, m)
+			}
+		}
+	}
+
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("netring: p%d listen %s: %w", cfg.Index, cfg.ListenAddr, err)
+		}
+	}
+
 	// The jitter source is per-node and seeded deterministically; it only
 	// perturbs retry pacing, never delivery order.
 	rng := rand.New(rand.NewSource(int64(cfg.Index) + 1))
@@ -108,20 +223,77 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	snd := newSender(cfg.Index, succ, cfg.NextAddr, hello, cfg.Backoff, cfg.Fault, rng, onLink)
 	rcv := newReceiver(cfg.Index, n, hash, ln, onLink)
 
-	inbox := make(chan core.Message, 64)
+	inFinished := st != nil && st.InFinished
+	delivered := uint64(0)
+	if st != nil {
+		snd.preload(st.OutAcked, st.Tail, st.OutFinished)
+		rcv.expected = st.InExpected
+		delivered = st.InExpected
+	}
+	// halted flags deliveries that arrive after the main loop stopped
+	// consuming — by the model, a message delivered after halt is a broken
+	// link axiom, and the synchronous durable path must not block on it.
+	var haltedFlag atomic.Bool
+	if durable {
+		snd.reliableGoodbye = true
+		snd.onGoodbyeAcked = func() error {
+			return per.save(func(s *NodeState) { s.OutFinished = true })
+		}
+		rcv.onGoodbye = func() error {
+			return per.save(func(s *NodeState) { s.InFinished = true })
+		}
+	}
+
+	inboxCap := 64
+	if durable {
+		// Synchronous delivery: the receiver hands over one message and
+		// waits for it to be processed and persisted, so the acknowledged
+		// sequence number never runs ahead of the snapshot.
+		inboxCap = 0
+	}
+	inbox := make(chan core.Message, inboxCap)
+	processed := make(chan error)
 	done := make(chan struct{})
 	fail := make(chan error, 2)
-	deliver := func(m core.Message) error {
+	deliver := func(msg core.Message) error {
+		if haltedFlag.Load() {
+			return &spec.LinkViolation{From: (cfg.Index - 1 + n) % n, To: cfg.Index,
+				Detail: fmt.Sprintf("message %s delivered after halt", msg)}
+		}
 		select {
-		case inbox <- m:
+		case inbox <- msg:
+		case <-done:
+			return errSenderStopped
+		}
+		if !durable {
 			return nil
+		}
+		select {
+		case err := <-processed:
+			return err
 		case <-done:
 			return errSenderStopped
 		}
 	}
+	// rcvDone observes the receiver's FIRST completion (clean goodbye or
+	// error). In durable mode the goroutine then keeps serving — handshake
+	// re-acks and idempotent GOODBYE retries from a predecessor that
+	// crashed before reading our GOODBYE_ACK — until rcv.stop().
+	rcvDone := make(chan error, 1)
 	go func() {
-		if err := rcv.run(deliver); err != nil {
-			fail <- err
+		for {
+			err := rcv.run(deliver)
+			select {
+			case rcvDone <- err:
+			default:
+			}
+			if err != nil {
+				fail <- err
+				return
+			}
+			if !durable || rcv.isStopped() {
+				return
+			}
 		}
 	}()
 	senderDone := make(chan error, 1)
@@ -144,8 +316,6 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	var doneOnce sync.Once
 	closeDone := func() { doneOnce.Do(func() { close(done) }) }
 
-	m := cfg.Protocol.NewMachine(cfg.Ring.Label(cfg.Index))
-	res := &NodeResult{Index: cfg.Index}
 	observe := func(op trace.Op, action string, msg core.Message, sent []core.Message) error {
 		if sp := m.SpaceBits(); sp > res.PeakSpaceBits {
 			res.PeakSpaceBits = sp
@@ -155,16 +325,47 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		}
 		return cfg.OnAction(cfg.Index, op, action, msg, sent, m)
 	}
+	// persist writes the post-action snapshot: machine state, the incoming
+	// cursor, and the outgoing queue — one atomic file, so a crash lands
+	// either wholly before the action or wholly after it. Ordering matters:
+	// the action's sends are enqueued first, so the snapshot that claims
+	// the message was consumed also carries the frames it produced.
+	persist := func() error {
+		if !durable {
+			return nil
+		}
+		blob, err := snap.SnapshotState()
+		if err != nil {
+			return err
+		}
+		sent, base, tail := snd.snapshotOut()
+		return per.save(func(s *NodeState) {
+			s.Inited = true
+			s.InExpected = delivered
+			s.OutSent = sent
+			s.OutAcked = base
+			s.Tail = tail
+			s.Machine = blob
+		})
+	}
 
-	abort := func(err error) (*NodeResult, error) {
-		closeDone()
-		snd.stop()
-		rcv.stop()
-		joinSender()
+	finish := func() {
+		if sp := m.SpaceBits(); sp > res.PeakSpaceBits {
+			res.PeakSpaceBits = sp
+		}
 		res.Status = m.Status()
 		res.Halted = m.Halted()
 		res.Sent = snd.sent()
 		res.Reconnects = snd.reconnectCount()
+		res.Retransmits = snd.retransmitCount()
+	}
+	abort := func(err error) (*NodeResult, error) {
+		haltedFlag.Store(true)
+		closeDone()
+		snd.stop()
+		rcv.stop()
+		joinSender()
+		finish()
 		return res, fmt.Errorf("netring: p%d: %w", cfg.Index, err)
 	}
 
@@ -172,12 +373,17 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	defer timer.Stop()
 
 	var out core.Outbox
-	action := m.Init(&out)
-	sent := out.Drain()
-	if err := observe(trace.OpInit, action, core.Message{}, sent); err != nil {
-		return abort(err)
+	if st == nil || !st.Inited {
+		action := m.Init(&out)
+		sent := out.Drain()
+		if err := observe(trace.OpInit, action, core.Message{}, sent); err != nil {
+			return abort(err)
+		}
+		snd.enqueue(sent)
+		if err := persist(); err != nil {
+			return abort(err)
+		}
 	}
-	snd.enqueue(sent)
 	for !m.Halted() {
 		var msg core.Message
 		select {
@@ -194,6 +400,8 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 			return abort(err)
 		case <-timer.C:
 			return abort(ErrTimeout)
+		case <-cfg.Kill:
+			return abort(ErrKilled)
 		}
 		action, err := m.Receive(msg, &out)
 		if err != nil {
@@ -204,10 +412,23 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 			return abort(err)
 		}
 		snd.enqueue(sent)
+		delivered++
+		perr := persist()
+		if durable {
+			processed <- perr // release the receiver; it aborts on error
+		}
+		if perr != nil {
+			return abort(perr)
+		}
 	}
+	haltedFlag.Store(true)
 
-	// Clean termination: flush and close the outgoing link, then stop
-	// accepting — by the model no message may be delivered after halt.
+	// Clean termination: flush and close the outgoing link. In durable
+	// mode the GOODBYE is acknowledged and both ends of the handshake are
+	// persisted; the incoming side then waits for the predecessor's
+	// GOODBYE so InFinished survives restarts, and lingers briefly for
+	// stragglers. Without durable state, stop accepting immediately — by
+	// the model no message may be delivered after halt.
 	snd.finish()
 	select {
 	case err := <-senderDone:
@@ -219,6 +440,42 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		return abort(err)
 	case <-timer.C:
 		return abort(ErrTimeout)
+	case <-cfg.Kill:
+		return abort(ErrKilled)
+	}
+	if durable {
+		if !inFinished {
+			// Wait for the predecessor's GOODBYE (or a receiver error), so
+			// InFinished is persisted before we exit: a restart then knows
+			// the incoming stream is complete.
+			select {
+			case err := <-rcvDone:
+				if err != nil {
+					return abort(err)
+				}
+			case err := <-fail:
+				return abort(err)
+			case <-timer.C:
+				return abort(ErrTimeout)
+			case <-cfg.Kill:
+				return abort(ErrKilled)
+			}
+		}
+		if cfg.Linger > 0 {
+			// The receiver goroutine is still accepting; give a predecessor
+			// that crashed mid-termination a window to redial and collect its
+			// GOODBYE_ACK before the listener closes.
+			lingerTimer := time.NewTimer(cfg.Linger)
+			select {
+			case <-lingerTimer.C:
+			case err := <-fail:
+				lingerTimer.Stop()
+				return abort(err)
+			case <-cfg.Kill:
+				lingerTimer.Stop()
+				return abort(ErrKilled)
+			}
+		}
 	}
 	rcv.stop()
 	closeDone()
@@ -226,12 +483,11 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	case msg := <-inbox:
 		return abort(&spec.LinkViolation{From: (cfg.Index - 1 + n) % n, To: cfg.Index,
 			Detail: fmt.Sprintf("message %s delivered after halt", msg)})
+	case err := <-fail:
+		return abort(err)
 	default:
 	}
 
-	res.Status = m.Status()
-	res.Halted = m.Halted()
-	res.Sent = snd.sent()
-	res.Reconnects = snd.reconnectCount()
+	finish()
 	return res, nil
 }

@@ -1,0 +1,523 @@
+package netring
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func sampleNodeState() *NodeState {
+	return &NodeState{
+		RingHash:   0xfeedface,
+		Index:      3,
+		Protocol:   "A3",
+		Inited:     true,
+		InFinished: false,
+		InExpected: 17,
+		OutSent:    9,
+		OutAcked:   7,
+		Tail:       []core.Message{core.Token(5), core.PhaseShift(-2)},
+		Machine:    []byte{1, 2, 3, 4},
+	}
+}
+
+func TestNodeStateRoundTrip(t *testing.T) {
+	st := sampleNodeState()
+	got, err := decodeNodeState(st.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, st)
+	}
+	// Empty tail and machine must round-trip too (clean pre-init state).
+	empty := &NodeState{RingHash: 1, Index: 0, Protocol: "B3"}
+	got, err = decodeNodeState(empty.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, empty) {
+		t.Fatalf("empty round trip: got %+v", got)
+	}
+}
+
+// TestNodeStateRejectsCorruption flips every byte and tries every
+// truncation of a valid snapshot: each must fail with ErrCorruptState,
+// never a garbage decode.
+func TestNodeStateRejectsCorruption(t *testing.T) {
+	blob := sampleNodeState().encode()
+	for i := range blob {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x40
+		if _, err := decodeNodeState(bad); !errors.Is(err, ErrCorruptState) {
+			t.Fatalf("flip at %d: got %v, want ErrCorruptState", i, err)
+		}
+	}
+	for n := 0; n < len(blob); n++ {
+		if _, err := decodeNodeState(blob[:n]); !errors.Is(err, ErrCorruptState) {
+			t.Fatalf("truncation to %d: got %v, want ErrCorruptState", n, err)
+		}
+	}
+	if _, err := decodeNodeState(append(append([]byte(nil), blob...), 0)); !errors.Is(err, ErrCorruptState) {
+		t.Fatal("trailing byte accepted")
+	}
+	// A consistency breach behind a valid checksum must also be caught.
+	st := sampleNodeState()
+	st.OutAcked = st.OutSent + 1
+	if _, err := decodeNodeState(st.encode()); !errors.Is(err, ErrCorruptState) {
+		t.Fatal("cursor mismatch accepted")
+	}
+}
+
+func TestSaveLoadNodeState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.state")
+	if _, err := LoadNodeState(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: got %v, want os.ErrNotExist", err)
+	}
+	st := sampleNodeState()
+	for _, fsync := range []bool{false, true} {
+		if err := SaveNodeState(path, st, fsync); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadNodeState(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, st) {
+			t.Fatalf("fsync=%v: load mismatch", fsync)
+		}
+		st.InExpected++ // second save must atomically replace the first
+	}
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}
+
+// TestResumeGapRejected feeds a recovered-looking HELLO whose retransmit
+// base is beyond the receiver's expected sequence number: frames in
+// between are unrecoverable, which must surface as a LinkViolation.
+func TestResumeGapRejected(t *testing.T) {
+	r := ring.Ring122()
+	hash := ringHash(r)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv := newReceiver(1, 3, hash, ln, nil)
+	rcv.expected = 2
+	errc := make(chan error, 1)
+	go func() { errc <- rcv.run(func(core.Message) error { return nil }) }()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, frame{Type: frameHello, Sender: 0, Target: 1, N: 3, RingHash: hash, BaseSeq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		var lv *spec.LinkViolation
+		if !errors.As(err, &lv) || !strings.Contains(err.Error(), "resume gap") {
+			t.Fatalf("got %v, want resume-gap LinkViolation", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("resume gap not rejected")
+	}
+	rcv.stop()
+}
+
+// durableHarness runs a full ring of durable RunNode instances with fixed
+// listen addresses and per-node state files, optionally SIGKILL-ing (via
+// the Kill channel) and restarting one node mid-election. It mirrors what
+// cmd/ringnode + internal/chaos do across process boundaries, in-process
+// so the race detector sees it.
+type durableHarness struct {
+	t      *testing.T
+	r      *ring.Ring
+	p      core.Protocol
+	dir    string
+	addrs  []string
+	ln     []net.Listener // initial listeners (restarts rebind by address)
+	check  *spec.Checker
+	mu     sync.Mutex
+	events []string
+}
+
+func newDurableHarness(t *testing.T, r *ring.Ring, p core.Protocol) *durableHarness {
+	t.Helper()
+	n := r.N()
+	h := &durableHarness{t: t, r: r, p: p, dir: t.TempDir(),
+		addrs: make([]string, n), ln: make([]net.Listener, n), check: spec.New(n)}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.ln[i] = ln
+		h.addrs[i] = ln.Addr().String()
+	}
+	return h
+}
+
+func (h *durableHarness) statePath(i int) string {
+	return filepath.Join(h.dir, "node-"+string(rune('0'+i))+".state")
+}
+
+func (h *durableHarness) config(i int, ln net.Listener, kill <-chan struct{}) NodeConfig {
+	n := h.r.N()
+	return NodeConfig{
+		Ring: h.r, Index: i, Protocol: h.p,
+		Listener: ln, ListenAddr: h.addrs[i], NextAddr: h.addrs[(i+1)%n],
+		Timeout: 30 * time.Second,
+		Backoff: Backoff{Base: time.Millisecond, Max: 20 * time.Millisecond},
+		OnAction: func(proc int, op trace.Op, action string, msg core.Message, sent []core.Message, m core.Machine) error {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return h.check.Observe(proc, m.Status())
+		},
+		OnLink: func(proc int, event string) {
+			h.mu.Lock()
+			h.events = append(h.events, event)
+			h.mu.Unlock()
+		},
+		OnRecover: func(proc int, m core.Machine) {
+			h.mu.Lock()
+			h.check.Seed(proc, m.Status())
+			h.mu.Unlock()
+		},
+		StatePath: h.statePath(i),
+		Kill:      kill,
+		Linger:    100 * time.Millisecond,
+	}
+}
+
+func (h *durableHarness) linkEvents(want string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := 0
+	for _, e := range h.events {
+		if e == want {
+			c++
+		}
+	}
+	return c
+}
+
+// TestCrashRecoveryResumesElection SIGKILLs one node mid-election (at
+// several different points), restarts it from its state file, and demands
+// the exact outcome of an undisturbed run: same leader, same message
+// count (retransmits excluded), full spec compliance.
+func TestCrashRecoveryResumesElection(t *testing.T) {
+	r := ring.Figure1()
+	for _, p := range protocols(t, r) {
+		ref, err := sim.RunSync(r, p, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, killAfter := range []int{1, 3, 6} {
+			t.Run(p.Name()+"/kill-after-"+string(rune('0'+killAfter)), func(t *testing.T) {
+				h := newDurableHarness(t, r, p)
+				n := r.N()
+				victim := 2
+				kill := make(chan struct{})
+				var killOnce sync.Once
+				delivered := 0
+
+				results := make([]*NodeResult, n)
+				errs := make([]error, n)
+				var wg sync.WaitGroup
+				for i := 0; i < n; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						cfg := h.config(i, h.ln[i], nil)
+						if i == victim {
+							cfg.Kill = kill
+							// Count the victim's deliveries and pull the
+							// trigger at the chosen point.
+							inner := cfg.OnAction
+							cfg.OnAction = func(proc int, op trace.Op, action string, msg core.Message, sent []core.Message, m core.Machine) error {
+								if op == trace.OpDeliver {
+									delivered++
+									if delivered == killAfter {
+										killOnce.Do(func() { close(kill) })
+									}
+								}
+								return inner(proc, op, action, msg, sent, m)
+							}
+						}
+						res, err := RunNode(cfg)
+						if i == victim && errors.Is(err, ErrKilled) {
+							// Crash observed: relaunch from the state file,
+							// as the chaos supervisor does across processes.
+							cfg = h.config(i, nil, nil)
+							res, err = RunNode(cfg)
+						}
+						results[i], errs[i] = res, err
+					}(i)
+				}
+				wg.Wait()
+
+				total := 0
+				halted := make([]bool, n)
+				ids := make([]ring.Label, n)
+				for i := 0; i < n; i++ {
+					if errs[i] != nil {
+						t.Fatalf("node %d: %v", i, errs[i])
+					}
+					total += results[i].Sent
+					halted[i] = results[i].Halted
+					ids[i] = r.Label(i)
+				}
+				leader, err := h.check.Finalize(ids, halted)
+				if err != nil {
+					t.Fatalf("spec: %v", err)
+				}
+				if leader != ref.LeaderIndex {
+					t.Errorf("leader p%d, want p%d", leader, ref.LeaderIndex)
+				}
+				if total != ref.Messages {
+					t.Errorf("messages %d, want %d (retransmits must not count)", total, ref.Messages)
+				}
+				if !results[victim].Recovered {
+					t.Error("victim did not report Recovered")
+				}
+				if h.linkEvents("restore") != 1 {
+					t.Errorf("restore events = %d, want 1", h.linkEvents("restore"))
+				}
+			})
+		}
+	}
+}
+
+// TestCorruptStateFallsBackToCleanStart plants garbage (and separately, a
+// bit-flipped valid snapshot) in one node's state file: the node must
+// report state-corrupt, start clean, and the election must still succeed
+// with the reference outcome.
+func TestCorruptStateFallsBackToCleanStart(t *testing.T) {
+	r := ring.Ring122()
+	p := protocols(t, r)[0]
+	ref, err := sim.RunSync(r, p, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := sampleNodeState().encode()
+	flipped[len(flipped)/2] ^= 1
+	for name, junk := range map[string][]byte{
+		"garbage":  []byte("not a snapshot at all"),
+		"bitflip":  flipped,
+		"tooShort": {0x52, 0x4e},
+	} {
+		t.Run(name, func(t *testing.T) {
+			h := newDurableHarness(t, r, p)
+			if err := os.WriteFile(h.statePath(0), junk, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			n := r.N()
+			results := make([]*NodeResult, n)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i], errs[i] = RunNode(h.config(i, h.ln[i], nil))
+				}(i)
+			}
+			wg.Wait()
+			total := 0
+			halted := make([]bool, n)
+			ids := make([]ring.Label, n)
+			for i := 0; i < n; i++ {
+				if errs[i] != nil {
+					t.Fatalf("node %d: %v", i, errs[i])
+				}
+				total += results[i].Sent
+				halted[i] = results[i].Halted
+				ids[i] = r.Label(i)
+			}
+			leader, err := h.check.Finalize(ids, halted)
+			if err != nil {
+				t.Fatalf("spec: %v", err)
+			}
+			if leader != ref.LeaderIndex || total != ref.Messages {
+				t.Errorf("got p%d/%d msgs, want p%d/%d", leader, total, ref.LeaderIndex, ref.Messages)
+			}
+			if h.linkEvents("state-corrupt") != 1 {
+				t.Errorf("state-corrupt events = %d, want 1", h.linkEvents("state-corrupt"))
+			}
+			if results[0].Recovered {
+				t.Error("corrupt state must not count as a recovery")
+			}
+		})
+	}
+}
+
+// TestRestartAfterCompletionIsIdempotent re-runs every node from its
+// post-election state file: each must come back Recovered, already halted,
+// send nothing new, and agree on the leader.
+func TestRestartAfterCompletionIsIdempotent(t *testing.T) {
+	r := ring.Ring122()
+	p := protocols(t, r)[1] // A*: exercises the certP verification path
+	h := newDurableHarness(t, r, p)
+	n := r.N()
+	run := func(useInitialListeners bool) []*NodeResult {
+		results := make([]*NodeResult, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var ln net.Listener
+				if useInitialListeners {
+					ln = h.ln[i]
+				}
+				results[i], errs[i] = RunNode(h.config(i, ln, nil))
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("node %d: %v", i, err)
+			}
+		}
+		return results
+	}
+	first := run(true)
+	second := run(false)
+	for i := 0; i < n; i++ {
+		if !second[i].Recovered || !second[i].Halted {
+			t.Errorf("node %d restart: recovered=%v halted=%v", i, second[i].Recovered, second[i].Halted)
+		}
+		if second[i].Sent != first[i].Sent {
+			t.Errorf("node %d restart sent %d, first run sent %d", i, second[i].Sent, first[i].Sent)
+		}
+		if second[i].Status.IsLeader != first[i].Status.IsLeader {
+			t.Errorf("node %d restart changed leader bit", i)
+		}
+	}
+}
+
+// TestStateFileIdentityChecks pins the operator-error paths: a state file
+// from a different ring, index, or protocol must be refused outright (not
+// silently re-elected over).
+func TestStateFileIdentityChecks(t *testing.T) {
+	r := ring.Ring122()
+	p := protocols(t, r)[0]
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node.state")
+	st := &NodeState{RingHash: ringHash(r) + 1, Index: 0, Protocol: p.Name()}
+	if err := SaveNodeState(path, st, false); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	_, err = RunNode(NodeConfig{
+		Ring: r, Index: 0, Protocol: p, Listener: ln, NextAddr: "127.0.0.1:1",
+		StatePath: path, Timeout: 5 * time.Second,
+	})
+	if err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Fatalf("mismatched state accepted: %v", err)
+	}
+}
+
+// TestDurableRequiresSnapshotter pins the upfront error for a protocol
+// without snapshot support.
+func TestDurableRequiresSnapshotter(t *testing.T) {
+	r := ring.Distinct(3)
+	p := nonSnapshotProtocol{}
+	_, err := RunNode(NodeConfig{
+		Ring: r, Index: 0, Protocol: p, ListenAddr: "127.0.0.1:0", NextAddr: "127.0.0.1:1",
+		StatePath: filepath.Join(t.TempDir(), "s"), Timeout: time.Second,
+	})
+	if err == nil || !strings.Contains(err.Error(), "Snapshotter") {
+		t.Fatalf("got %v, want snapshotter error", err)
+	}
+}
+
+type nonSnapshotProtocol struct{}
+
+func (nonSnapshotProtocol) Name() string { return "nosnap" }
+func (nonSnapshotProtocol) NewMachine(l ring.Label) core.Machine {
+	return nonSnapshotMachine{}
+}
+
+type nonSnapshotMachine struct{}
+
+func (nonSnapshotMachine) Init(*core.Outbox) string { return "init" }
+func (nonSnapshotMachine) Receive(core.Message, *core.Outbox) (string, error) {
+	return "", nil
+}
+func (nonSnapshotMachine) Halted() bool        { return true }
+func (nonSnapshotMachine) Status() core.Status { return core.Status{} }
+func (nonSnapshotMachine) StateName() string   { return "x" }
+func (nonSnapshotMachine) SpaceBits() int      { return 0 }
+func (nonSnapshotMachine) Fingerprint() string { return "" }
+
+// TestAckAheadAbsorbed pins the crash window between a wire write and the
+// snapshot recording it: the restarted sender learns at the resume
+// handshake that its successor holds frames beyond anything the restored
+// state produced. In durable mode that is rollback, not corruption — the
+// machine will regenerate those frames byte-identically, so the sender
+// absorbs the ack and swallows the regenerated frames instead of
+// re-writing them at stale sequence numbers (or failing the link).
+func TestAckAheadAbsorbed(t *testing.T) {
+	s := newSender(3, 4, "127.0.0.1:1", frame{}, Backoff{}, LinkFault{}, nil, nil)
+	s.reliableGoodbye = true // durable mode
+	// Restored state: 11 frames produced over the node's history, the
+	// last two not yet covered by a persisted ack.
+	s.preload(9, []core.Message{core.Token(1), core.Token(2)}, false)
+
+	// The successor's HELLO_ACK says it expects seq 12: it persisted a
+	// 12th frame whose producing action our crash rolled back.
+	if err := s.noteAck(12); err != nil {
+		t.Fatalf("ack-ahead treated as violation: %v", err)
+	}
+	if s.base != 11 || len(s.queue) != 0 || s.aheadAck != 12 {
+		t.Fatalf("after ack-ahead: base=%d queue=%d aheadAck=%d, want 11/0/12", s.base, len(s.queue), s.aheadAck)
+	}
+	// A repeat handshake at the same ack must be idempotent.
+	if err := s.noteAck(12); err != nil {
+		t.Fatalf("repeat ack-ahead: %v", err)
+	}
+
+	// The machine re-runs the rolled-back action: its first regenerated
+	// frame (seq 11) is already delivered and must be swallowed; the next
+	// one (seq 12) is genuinely new and must queue for the wire.
+	s.enqueue([]core.Message{core.Token(3), core.Token(4)})
+	if s.base != 12 || len(s.queue) != 1 || s.queue[0].Seq != 12 {
+		t.Fatalf("after regeneration: base=%d queue=%d, want base 12 and one queued frame at seq 12", s.base, len(s.queue))
+	}
+	if got := s.sent(); got != 13 {
+		t.Fatalf("sent() = %d, want 13 (absorbed frame counts once)", got)
+	}
+
+	// Without durable state nothing can roll back, so the same ack stays
+	// a link violation.
+	nd := newSender(3, 4, "127.0.0.1:1", frame{}, Backoff{}, LinkFault{}, nil, nil)
+	nd.preload(9, []core.Message{core.Token(1), core.Token(2)}, false)
+	if err := nd.noteAck(12); err == nil {
+		t.Fatal("non-durable ack beyond produced count accepted")
+	}
+}

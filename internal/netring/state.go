@@ -1,0 +1,198 @@
+package netring
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+// NodeState is the durable snapshot of one ring node, written after every
+// atomic action so a SIGKILLed process can resume the election where it
+// left off. One file holds the machine snapshot and both link cursors,
+// written atomically — so machine state, the incoming-link position, and
+// the outgoing retransmit tail are always mutually consistent: a crash
+// either sees the configuration before an action or after it, never a
+// half-applied one.
+type NodeState struct {
+	// RingHash fingerprints the ring the state belongs to; a node started
+	// with a different -ring refuses the file.
+	RingHash uint64
+	// Index is the node's ring position.
+	Index int
+	// Protocol is the protocol display name, as a second identity check.
+	Protocol string
+	// Inited reports the machine's initial action has run.
+	Inited bool
+	// InFinished reports the predecessor's GOODBYE was received (its
+	// stream is complete).
+	InFinished bool
+	// OutFinished reports our GOODBYE was acknowledged by the successor.
+	OutFinished bool
+	// InExpected is the incoming link's next expected sequence number —
+	// equivalently, how many messages the machine has consumed. It is the
+	// resume point the restarted receiver acknowledges to the predecessor.
+	InExpected uint64
+	// OutSent is how many data frames the machine has produced in total:
+	// the sequence number the next new frame will carry.
+	OutSent uint64
+	// OutAcked is the outgoing retransmit queue's base: every frame below
+	// it was covered by a successor handshake ack and discarded.
+	OutAcked uint64
+	// Tail is the retained outgoing frames [OutAcked, OutSent), replayed
+	// into the sender's queue on restore.
+	Tail []core.Message
+	// Machine is the core.Snapshotter blob of the protocol machine.
+	Machine []byte
+}
+
+// ErrCorruptState reports a state file that failed validation — truncated,
+// bit-flipped (checksum mismatch), or structurally malformed. Callers fall
+// back to a clean start rather than trusting it.
+var ErrCorruptState = errors.New("netring: corrupt node state file")
+
+// State file layout: magic "RNS1", then the fields below in fixed-width
+// big-endian encoding, then a CRC-32 (IEEE) of everything before it.
+var stateMagic = [4]byte{'R', 'N', 'S', '1'}
+
+const stateFlagInited, stateFlagInFinished, stateFlagOutFinished = 1, 2, 4
+
+// encode serializes the state, checksum included.
+func (st *NodeState) encode() []byte {
+	b := make([]byte, 0, 64+len(st.Protocol)+17*len(st.Tail)+len(st.Machine))
+	b = append(b, stateMagic[:]...)
+	b = binary.BigEndian.AppendUint64(b, st.RingHash)
+	b = binary.BigEndian.AppendUint32(b, uint32(st.Index))
+	var flags byte
+	if st.Inited {
+		flags |= stateFlagInited
+	}
+	if st.InFinished {
+		flags |= stateFlagInFinished
+	}
+	if st.OutFinished {
+		flags |= stateFlagOutFinished
+	}
+	b = append(b, flags)
+	b = binary.BigEndian.AppendUint64(b, st.InExpected)
+	b = binary.BigEndian.AppendUint64(b, st.OutSent)
+	b = binary.BigEndian.AppendUint64(b, st.OutAcked)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(st.Protocol)))
+	b = append(b, st.Protocol...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(st.Tail)))
+	for _, m := range st.Tail {
+		b = append(b, byte(m.Kind))
+		b = binary.BigEndian.AppendUint64(b, uint64(int64(m.Label)))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(st.Machine)))
+	b = append(b, st.Machine...)
+	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// decodeNodeState parses and validates an encoded state file. Every
+// failure wraps ErrCorruptState.
+func decodeNodeState(b []byte) (*NodeState, error) {
+	corrupt := func(detail string) (*NodeState, error) {
+		return nil, fmt.Errorf("%w: %s", ErrCorruptState, detail)
+	}
+	if len(b) < len(stateMagic)+4 {
+		return corrupt(fmt.Sprintf("only %d bytes", len(b)))
+	}
+	body, sum := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return corrupt("checksum mismatch")
+	}
+	if [4]byte(body[:4]) != stateMagic {
+		return corrupt(fmt.Sprintf("bad magic %q", body[:4]))
+	}
+	p := body[4:]
+	need := func(n int) bool { return len(p) >= n }
+	if !need(8 + 4 + 1 + 8 + 8 + 8 + 4) {
+		return corrupt("truncated header")
+	}
+	st := &NodeState{}
+	st.RingHash = binary.BigEndian.Uint64(p)
+	st.Index = int(int32(binary.BigEndian.Uint32(p[8:])))
+	flags := p[12]
+	st.Inited = flags&stateFlagInited != 0
+	st.InFinished = flags&stateFlagInFinished != 0
+	st.OutFinished = flags&stateFlagOutFinished != 0
+	st.InExpected = binary.BigEndian.Uint64(p[13:])
+	st.OutSent = binary.BigEndian.Uint64(p[21:])
+	st.OutAcked = binary.BigEndian.Uint64(p[29:])
+	protoLen := int(binary.BigEndian.Uint32(p[37:]))
+	p = p[41:]
+	if protoLen < 0 || !need(protoLen+4) {
+		return corrupt("truncated protocol name")
+	}
+	st.Protocol = string(p[:protoLen])
+	tailLen := int(binary.BigEndian.Uint32(p[protoLen:]))
+	p = p[protoLen+4:]
+	if tailLen < 0 || !need(9*tailLen+4) {
+		return corrupt("truncated frame tail")
+	}
+	if tailLen > 0 {
+		st.Tail = make([]core.Message, tailLen)
+		for i := range st.Tail {
+			st.Tail[i] = core.Message{Kind: core.Kind(p[0]), Label: ring.Label(int64(binary.BigEndian.Uint64(p[1:])))}
+			p = p[9:]
+		}
+	}
+	machineLen := int(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	if machineLen < 0 || len(p) != machineLen {
+		return corrupt(fmt.Sprintf("machine blob length %d with %d bytes left", machineLen, len(p)))
+	}
+	if machineLen > 0 {
+		st.Machine = append([]byte(nil), p...)
+	}
+	if st.OutAcked > st.OutSent || st.OutSent-st.OutAcked != uint64(tailLen) {
+		return corrupt(fmt.Sprintf("cursor mismatch: sent=%d acked=%d tail=%d", st.OutSent, st.OutAcked, tailLen))
+	}
+	return st, nil
+}
+
+// SaveNodeState atomically writes st to path: encode to a temp file in the
+// same directory, optionally fsync, then rename over the target — a crash
+// mid-write leaves the previous snapshot intact, never a torn file.
+func SaveNodeState(path string, st *NodeState, fsync bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("netring: state temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(st.encode()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("netring: state write: %w", err)
+	}
+	if fsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("netring: state fsync: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("netring: state close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("netring: state rename: %w", err)
+	}
+	return nil
+}
+
+// LoadNodeState reads and validates the snapshot at path. It returns
+// os.ErrNotExist (wrapped) when no snapshot exists — a clean first start —
+// and ErrCorruptState (wrapped) when the file fails validation.
+func LoadNodeState(path string) (*NodeState, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeNodeState(b)
+}

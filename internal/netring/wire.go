@@ -27,8 +27,10 @@ import (
 )
 
 // wireVersion is the protocol version carried in every frame header.
-// Nodes reject frames from any other version.
-const wireVersion = 1
+// Nodes reject frames from any other version. Version 2 extended HELLO
+// with the sender's resume base sequence number (crash recovery) and
+// added GOODBYE_ACK.
+const wireVersion = 2
 
 // maxFrameBody bounds the body length a receiver accepts; every frame the
 // protocol defines is far smaller, so anything larger is a corrupt or
@@ -52,6 +54,11 @@ const (
 	// Seq frames were sent in total, so the receiver can distinguish
 	// termination from a transient drop.
 	frameGoodbye frameType = 4
+	// frameGoodbyeAck confirms a GOODBYE: the receiver has accepted the
+	// sender's total and — in durable mode — persisted the fact, so the
+	// sender may safely record its outgoing link as finished. Senders
+	// without durable state ignore it.
+	frameGoodbyeAck frameType = 5
 )
 
 // String names the frame type for diagnostics.
@@ -65,6 +72,8 @@ func (t frameType) String() string {
 		return "DATA"
 	case frameGoodbye:
 		return "GOODBYE"
+	case frameGoodbyeAck:
+		return "GOODBYE_ACK"
 	default:
 		return fmt.Sprintf("FRAME(%d)", uint8(t))
 	}
@@ -80,8 +89,9 @@ type frame struct {
 	Target   int    // ring index the dialer believes it is connecting to
 	N        int    // ring size
 	RingHash uint64 // fingerprint of the full label sequence
+	BaseSeq  uint64 // lowest sequence number the dialer can still retransmit
 
-	// frameHelloAck and frameGoodbye
+	// frameHelloAck, frameGoodbye, and frameGoodbyeAck
 	NextSeq uint64 // next expected (ack) / total sent (goodbye)
 
 	// frameData
@@ -92,15 +102,22 @@ type frame struct {
 // Body layouts (after the 4-byte big-endian length prefix). Every body
 // starts with version and type; the rest is type-specific:
 //
-//	HELLO:     ver(1) type(1) sender(4) target(4) n(4) ringHash(8) = 22
-//	HELLO_ACK: ver(1) type(1) nextSeq(8)                           = 10
-//	DATA:      ver(1) type(1) seq(8) kind(1) label(8)              = 19
-//	GOODBYE:   ver(1) type(1) totalSent(8)                         = 10
+//	HELLO:       ver(1) type(1) sender(4) target(4) n(4) ringHash(8) baseSeq(8) = 30
+//	HELLO_ACK:   ver(1) type(1) nextSeq(8)                                      = 10
+//	DATA:        ver(1) type(1) seq(8) kind(1) label(8)                         = 19
+//	GOODBYE:     ver(1) type(1) totalSent(8)                                    = 10
+//	GOODBYE_ACK: ver(1) type(1) nextSeq(8)                                      = 10
+//
+// HELLO's baseSeq is the RESUME extension: a freshly started sender says
+// 0 (it holds everything); a crash-recovered sender says the persisted
+// base of its retransmit queue, so the receiver can detect — rather than
+// hang on — a predecessor that can no longer supply the frames it needs.
 const (
-	helloLen    = 22
-	helloAckLen = 10
-	dataLen     = 19
-	goodbyeLen  = 10
+	helloLen      = 30
+	helloAckLen   = 10
+	dataLen       = 19
+	goodbyeLen    = 10
+	goodbyeAckLen = 10
 )
 
 // appendFrame appends the length-prefixed encoding of f to dst.
@@ -115,6 +132,7 @@ func appendFrame(dst []byte, f frame) []byte {
 		binary.BigEndian.PutUint32(body[6:], uint32(f.Target))
 		binary.BigEndian.PutUint32(body[10:], uint32(f.N))
 		binary.BigEndian.PutUint64(body[14:], f.RingHash)
+		binary.BigEndian.PutUint64(body[22:], f.BaseSeq)
 		n = helloLen
 	case frameHelloAck:
 		binary.BigEndian.PutUint64(body[2:], f.NextSeq)
@@ -127,6 +145,9 @@ func appendFrame(dst []byte, f frame) []byte {
 	case frameGoodbye:
 		binary.BigEndian.PutUint64(body[2:], f.NextSeq)
 		n = goodbyeLen
+	case frameGoodbyeAck:
+		binary.BigEndian.PutUint64(body[2:], f.NextSeq)
+		n = goodbyeAckLen
 	default:
 		panic(fmt.Sprintf("netring: encoding unknown frame type %d", f.Type))
 	}
@@ -156,6 +177,7 @@ func decodeFrame(body []byte) (frame, error) {
 		f.Target = int(int32(binary.BigEndian.Uint32(body[6:])))
 		f.N = int(int32(binary.BigEndian.Uint32(body[10:])))
 		f.RingHash = binary.BigEndian.Uint64(body[14:])
+		f.BaseSeq = binary.BigEndian.Uint64(body[22:])
 		if f.N < 2 || f.Sender < 0 || f.Sender >= f.N || f.Target < 0 || f.Target >= f.N {
 			return frame{}, fmt.Errorf("netring: HELLO with invalid indices sender=%d target=%d n=%d", f.Sender, f.Target, f.N)
 		}
@@ -177,6 +199,11 @@ func decodeFrame(body []byte) (frame, error) {
 	case frameGoodbye:
 		if len(body) != goodbyeLen {
 			return frame{}, fmt.Errorf("netring: GOODBYE body %d bytes, want %d", len(body), goodbyeLen)
+		}
+		f.NextSeq = binary.BigEndian.Uint64(body[2:])
+	case frameGoodbyeAck:
+		if len(body) != goodbyeAckLen {
+			return frame{}, fmt.Errorf("netring: GOODBYE_ACK body %d bytes, want %d", len(body), goodbyeAckLen)
 		}
 		f.NextSeq = binary.BigEndian.Uint64(body[2:])
 	default:

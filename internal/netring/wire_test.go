@@ -15,7 +15,7 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	cases := []frame{
 		{Type: frameHello, Sender: 0, Target: 1, N: 2, RingHash: 0xdeadbeef},
-		{Type: frameHello, Sender: 7, Target: 0, N: 8, RingHash: 1},
+		{Type: frameHello, Sender: 7, Target: 0, N: 8, RingHash: 1, BaseSeq: 93},
 		{Type: frameHelloAck, NextSeq: 0},
 		{Type: frameHelloAck, NextSeq: 1<<63 + 17},
 		{Type: frameData, Seq: 42, Msg: core.Token(3)},
@@ -24,6 +24,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Type: frameData, Seq: 10, Msg: core.FinishLabel(1 << 40)},
 		{Type: frameData, Seq: 11, Msg: core.Message{Kind: core.KindPeterson2, Label: 99}},
 		{Type: frameGoodbye, NextSeq: 1234},
+		{Type: frameGoodbyeAck, NextSeq: 1234},
 	}
 	for _, f := range cases {
 		buf := appendFrame(nil, f)
@@ -47,7 +48,8 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		"short data":       valid[4 : len(valid)-1],
 		"long data":        append(append([]byte{}, valid[4:]...), 0),
 		"unknown kind":     {wireVersion, byte(frameData), 0, 0, 0, 0, 0, 0, 0, 1, 200, 0, 0, 0, 0, 0, 0, 0, 2},
-		"hello bad index":  {wireVersion, byte(frameHello), 0, 0, 0, 9, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0},
+		"hello bad index":  {wireVersion, byte(frameHello), 0, 0, 0, 9, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"hello v1 length":  {wireVersion, byte(frameHello), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0},
 		"hello wrong size": {wireVersion, byte(frameHello), 0},
 	}
 	for name, body := range cases {

@@ -39,6 +39,7 @@ type Metrics struct {
 	errors      atomic.Int64 // 5xx responses
 	crosschecks atomic.Int64
 	divergences atomic.Int64
+	panics      atomic.Int64
 	inFlight    atomic.Int64
 	gauges      map[string]func() float64 // read-only after construction
 }
@@ -117,6 +118,9 @@ func (m *Metrics) CacheHit() { m.hits.Add(1) }
 // CacheMiss records a request that had to run its election.
 func (m *Metrics) CacheMiss() { m.misses.Add(1) }
 
+// Panic records one handler panic contained by the middleware.
+func (m *Metrics) Panic() { m.panics.Add(1) }
+
 // Crosscheck records one sampled cache hit re-verified through the
 // simulator; diverged marks the re-run disagreeing with the cached result.
 func (m *Metrics) Crosscheck(diverged bool) {
@@ -136,6 +140,7 @@ type Snapshot struct {
 	Errors      int64
 	Crosschecks int64
 	Divergences int64
+	Panics      int64
 	InFlight    int64
 }
 
@@ -151,6 +156,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Errors:      m.errors.Load(),
 		Crosschecks: m.crosschecks.Load(),
 		Divergences: m.divergences.Load(),
+		Panics:      m.panics.Load(),
 		InFlight:    m.inFlight.Load(),
 	}
 	m.endpoints.Range(func(_, v any) bool {
@@ -212,6 +218,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("ringd_errors_total", "Responses with a 5xx status.", m.errors.Load())
 	counter("ringd_crosscheck_total", "Cache hits re-verified through the simulator.", m.crosschecks.Load())
 	counter("ringd_crosscheck_divergence_total", "Crosscheck re-runs that disagreed with the cached result.", m.divergences.Load())
+	counter("ringd_panics_total", "Handler panics contained by the recovery middleware.", m.panics.Load())
 
 	fmt.Fprintf(w, "# HELP ringd_in_flight Requests currently being served.\n# TYPE ringd_in_flight gauge\nringd_in_flight %d\n", m.inFlight.Load())
 	for _, name := range sortedKeys(m.gauges) {

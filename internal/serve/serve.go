@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -133,7 +134,9 @@ type Server struct {
 	cache   *resultCache
 	adm     *admission
 
-	hitSeq atomic.Int64 // crosscheck sampling counter
+	hitSeq   atomic.Int64 // crosscheck sampling counter
+	reqSeq   atomic.Int64 // request-id counter (panic reports)
+	draining atomic.Bool  // readiness: flipped by BeginDrain, served by /readyz
 
 	stopLog chan struct{}
 	logWG   sync.WaitGroup
@@ -164,6 +167,15 @@ func New(cfg Config) *Server {
 // daemon's final summary line).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// BeginDrain flips /readyz to 503 without touching the serving path. Call
+// it the moment shutdown is decided — before http.Server.Shutdown — so a
+// load balancer health-checking /readyz stops routing new traffic while
+// in-flight requests are still being answered. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close drains and stops the server's background work: every admitted
 // election runs to completion, then the dispatcher and the periodic
 // logger exit. Call only after the HTTP listener has stopped accepting
@@ -192,47 +204,81 @@ func (s *Server) logLoop() {
 //
 //	POST /v1/elect    {ring, alg, k, engine} → election outcome
 //	POST /v1/classify {ring}                 → ring-class report
-//	GET  /healthz                            → liveness
+//	GET  /healthz                            → liveness (process is up)
+//	GET  /readyz                             → readiness (503 once draining)
 //	GET  /metrics                            → Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/elect", s.instrument("/v1/elect", s.handleElect))
 	mux.Handle("POST /v1/classify", s.instrument("/v1/classify", s.handleClassify))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
 }
 
-// statusRecorder captures the response status for the metrics middleware.
+// statusRecorder captures the response status for the metrics middleware
+// and whether a header was ever sent (the panic recovery path may only
+// write a 500 on a pristine response).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the observability layer: in-flight
-// gauge, request counter, status counter, latency histogram. The
-// endpoint's stats handle is resolved once here, at mux construction, so
-// the per-request metrics path is atomic counters and a latency stripe —
-// no map lookup, no registry lock.
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the observability layer — in-flight
+// gauge, request counter, status counter, latency histogram — and with
+// panic containment: a panicking handler answers 500 with a request id,
+// increments ringd_panics_total, and logs the id plus stack, instead of
+// tearing down the whole connection from inside net/http. The endpoint's
+// stats handle is resolved once here, at mux construction, so the
+// per-request metrics path is atomic counters and a latency stripe — no
+// map lookup, no registry lock.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	ep := s.metrics.Endpoint(endpoint)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.IncInFlight()
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				id := fmt.Sprintf("req-%d-%d", s.metrics.start.Unix(), s.reqSeq.Add(1))
+				s.metrics.Panic()
+				s.cfg.Logf("ringd: panic serving %s (request id %s): %v\n%s", endpoint, id, p, debug.Stack())
+				if !rec.wrote {
+					writeJSON(rec, http.StatusInternalServerError, errorResponse{
+						Error:     "internal error; report the request id",
+						RequestID: id,
+					})
+				} else {
+					// The response already left; all we can do is account
+					// for it as a server error.
+					rec.status = http.StatusInternalServerError
+				}
+			}
+			s.metrics.DecInFlight()
+			s.metrics.observe(ep, rec.status, time.Since(start))
+		}()
 		h(rec, r)
-		s.metrics.DecInFlight()
-		s.metrics.observe(ep, rec.status, time.Since(start))
 	})
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID correlates a 500-from-panic with the server log line
+	// carrying the stack trace.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -528,6 +574,19 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is the load-balancer signal, distinct from /healthz: the
+// process can be perfectly alive (healthz 200) yet draining for shutdown,
+// in which case new traffic must go elsewhere. It flips to 503 the moment
+// BeginDrain is called — before the HTTP listener stops accepting — so
+// rolling restarts lose no requests.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

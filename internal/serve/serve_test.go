@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -229,6 +231,98 @@ func TestCrosscheckSamplingFraction(t *testing.T) {
 	}
 	if snap := s.Metrics().Snapshot(); snap.Crosschecks != 4 {
 		t.Errorf("crosschecks = %d, want 4 of 16 hits", snap.Crosschecks)
+	}
+}
+
+// TestPanicRecovery injects a panicking handler through the same
+// instrumentation middleware the real endpoints use and checks the
+// contract: the client gets a 500 with a request id, the panic counter
+// shows in both Snapshot and the Prometheus exposition, and the server
+// keeps serving afterwards.
+func TestPanicRecovery(t *testing.T) {
+	var logged strings.Builder
+	s := New(Config{Logf: func(format string, args ...any) {
+		fmt.Fprintf(&logged, format+"\n", args...)
+	}})
+	defer s.Close()
+	h := s.instrument("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("injected for TestPanicRecovery")
+	})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	var body struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body.RequestID == "" || !strings.HasPrefix(body.RequestID, "req-") {
+		t.Errorf("request id %q, want req-… for log correlation", body.RequestID)
+	}
+	if !strings.Contains(logged.String(), body.RequestID) {
+		t.Errorf("log does not carry the request id %q:\n%s", body.RequestID, logged.String())
+	}
+	if !strings.Contains(logged.String(), "injected for TestPanicRecovery") {
+		t.Errorf("log does not carry the panic value:\n%s", logged.String())
+	}
+	if snap := s.Metrics().Snapshot(); snap.Panics != 1 || snap.Errors != 1 {
+		t.Errorf("snapshot after panic: panics=%d errors=%d, want 1/1", snap.Panics, snap.Errors)
+	}
+
+	// A panic after the handler has streamed a response body must not
+	// write a second payload into it, but still counts.
+	streamed := s.instrument("/boom2", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("partial"))
+		panic("late panic")
+	})
+	rec = httptest.NewRecorder()
+	streamed.ServeHTTP(rec, httptest.NewRequest("GET", "/boom2", nil))
+	if got := rec.Body.String(); got != "partial" {
+		t.Errorf("late panic rewrote a committed body: %q", got)
+	}
+	if snap := s.Metrics().Snapshot(); snap.Panics != 2 {
+		t.Errorf("panics = %d, want 2", snap.Panics)
+	}
+
+	// The server still works: a healthy endpoint answers and the metric
+	// is exposed.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ringd_panics_total 2") {
+		t.Errorf("metrics after panics: %d, missing ringd_panics_total 2", rec.Code)
+	}
+}
+
+// TestReadyzDrain: /readyz mirrors /healthz while serving, flips to 503
+// the moment BeginDrain is called, and /healthz stays 200 throughout —
+// load balancers stop routing, health keeps reporting liveness.
+func TestReadyzDrain(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	get := func(path string) (int, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String()
+	}
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(body, `"ready"`) {
+		t.Errorf("readyz before drain: %d %q", code, body)
+	}
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Error("Draining() = false after BeginDrain")
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, `"draining"`) {
+		t.Errorf("readyz during drain: %d %q, want 503 draining", code, body)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("healthz during drain: %d, want 200 (drain is not unhealth)", code)
 	}
 }
 

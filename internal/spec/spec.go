@@ -78,6 +78,19 @@ func (c *Checker) Clone() *Checker {
 	return cp
 }
 
+// Seed installs a previously observed status as process i's baseline
+// without checking it, for executions resumed from a durable snapshot
+// (internal/netring crash recovery): the restored machine's status becomes
+// the reference point, so monotonicity violations spanning the crash —
+// isLeader or done reverting relative to the persisted state — are still
+// caught by the next Observe.
+func (c *Checker) Seed(i int, st core.Status) {
+	c.last[i] = st
+	if st.IsLeader && c.leaderAt < 0 {
+		c.leaderAt = i
+	}
+}
+
 // Observe records the status of process i after one of its actions and
 // checks the safety part of the specification. It must be called with the
 // process's status after every action it executes.

@@ -182,3 +182,34 @@ func TestLinkViolation(t *testing.T) {
 		t.Error("a LinkViolation must not satisfy *Violation")
 	}
 }
+
+// TestSeedCarriesBaselineAcrossRestart pins the crash-recovery hook: a
+// checker seeded with a restored process's status still catches
+// monotonicity violations relative to the pre-crash state, and seeding a
+// leader registers it for the uniqueness check.
+func TestSeedCarriesBaselineAcrossRestart(t *testing.T) {
+	c := New(3)
+	c.Seed(1, core.Status{IsLeader: true, Done: true, Leader: 7, LeaderSet: true})
+	if c.LeaderIndex() != 1 {
+		t.Fatalf("LeaderIndex = %d after seeding a leader, want 1", c.LeaderIndex())
+	}
+	// Reverting done relative to the seeded baseline is a bullet-3 breach.
+	err := c.Observe(1, core.Status{IsLeader: true})
+	var v *Violation
+	if !errors.As(err, &v) || v.Bullet != 3 {
+		t.Fatalf("done reversion after Seed: got %v, want bullet-3 violation", err)
+	}
+	// A second process declaring leadership after the seed is non-unique.
+	c2 := New(2)
+	c2.Seed(0, core.Status{IsLeader: true, Done: true, Leader: 4, LeaderSet: true})
+	err = c2.Observe(1, core.Status{IsLeader: true, Done: true, Leader: 9, LeaderSet: true})
+	if !errors.As(err, &v) || v.Bullet != 1 {
+		t.Fatalf("second leader after Seed: got %v, want bullet-1 violation", err)
+	}
+	// Seeding a non-leader status leaves the leader slot open.
+	c3 := New(2)
+	c3.Seed(0, core.Status{Done: true, Leader: 4, LeaderSet: true})
+	if c3.LeaderIndex() != -1 {
+		t.Fatalf("LeaderIndex = %d after non-leader seed, want -1", c3.LeaderIndex())
+	}
+}

@@ -27,6 +27,12 @@ const (
 	// Action carries the event name — "connect", "drop", "reconnect" —
 	// and Proc the sending endpoint of the link.
 	OpLink
+	// OpRecover marks a process resuming from a durable state snapshot
+	// after a crash (internal/netring durable mode): Action carries the
+	// recovery detail — "restore" for a successful snapshot load,
+	// "state-corrupt" for a rejected snapshot (the node falls back to a
+	// clean start) — and State the machine's control state after restore.
+	OpRecover
 )
 
 // String names the op.
@@ -44,6 +50,8 @@ func (o Op) String() string {
 		return "halt"
 	case OpLink:
 		return "link"
+	case OpRecover:
+		return "recover"
 	default:
 		return "op?"
 	}
