@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build check vet fmt-check test test-net test-serve test-chaos \
-        test-race race-concurrency test-short bench bench-serve bench-json \
-        bench-compare profile-serve experiments experiments-md fuzz \
-        fuzz-parse figures clean
+.PHONY: all build check vet fmt-check test test-net test-serve test-wire \
+        test-chaos test-race race-concurrency test-short bench bench-serve \
+        bench-wire bench-json bench-compare profile-serve experiments \
+        experiments-md fuzz fuzz-parse fuzz-wire figures clean
 
 all: build check test
 
@@ -14,9 +14,10 @@ build:
 	$(GO) build ./...
 
 # Static checks plus the TCP transport engine's race/fault soak, the
-# election-serving daemon's race/shed/drain soak, and the crash-recovery
-# chaos soak, wired into the default flow.
-check: vet fmt-check test-net test-serve test-chaos
+# election-serving daemon's race/shed/drain soak, the binary wire
+# protocol's pipelining/drain soak, and the crash-recovery chaos soak,
+# wired into the default flow.
+check: vet fmt-check test-net test-serve test-wire test-chaos
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +47,13 @@ test-serve:
 	$(GO) test -race -count=3 -run 'Shed|Drain|Singleflight|CloseDrains' ./internal/serve/
 	$(GO) test -race -count=3 -run 'Evict|Waiter|Shard|Abandoned' ./internal/serve/
 
+# The RGV1 binary wire protocol under the race detector: pipelined
+# out-of-order completion, typed shedding, and the graceful-drain
+# half-close (flush, FIN, linger) are exactly the paths where a timing
+# race becomes a truncated frame, so they get a repeated soak.
+test-wire:
+	$(GO) test -race -count=3 -run 'Wire' ./internal/serve/ ./cmd/ringd/ ./cmd/ringload/
+
 # Crash-recovery chaos soak: real ringnode processes over TCP, a
 # seed-driven fault scheduler (SIGKILL + relaunch, partitions, delay
 # spikes), every run cross-checked against the deterministic simulator.
@@ -74,18 +82,28 @@ bench:
 bench-serve:
 	$(GO) test -run '^$$' -bench 'Serve' -benchmem -cpu 8 -count 1 ./internal/serve/
 
-# Machine-readable experiment benchmark (same schema as BENCH_PR4.json),
-# with the serving micro-benchmarks merged into its serve_bench section.
+# The wire-vs-HTTP A/B pair: one cached hit through the RGV1 binary
+# protocol against the same hit through HTTP/JSON. The committed
+# baseline requires wire to stay >=5x faster with 0 allocs/op.
+bench-wire:
+	$(GO) test -run '^$$' -bench 'WireHit|HTTPHit' -benchmem -cpu 8 -count 1 ./internal/serve/
+
+# Machine-readable experiment benchmark (same schema as BENCH_PR6.json),
+# with the serving and wire micro-benchmarks merged into its serve_bench
+# and wire_bench sections.
 bench-json:
 	$(GO) run ./cmd/ringbench -json BENCH_NEW.json > /dev/null
 	$(GO) test -run '^$$' -bench 'Serve' -benchmem -cpu 8 -count 1 ./internal/serve/ \
 		| $(GO) run ./cmd/benchdiff -merge-serve BENCH_NEW.json
+	$(GO) test -run '^$$' -bench 'WireHit|HTTPHit' -benchmem -cpu 8 -count 1 ./internal/serve/ \
+		| $(GO) run ./cmd/benchdiff -merge-wire BENCH_NEW.json
 
 # Diff a fresh benchmark report against the committed baseline:
-# wall-clock deltas are informational; content drift, serve ns/op
-# regressions past tolerance, and allocs/op increases fail the target.
+# wall-clock deltas are informational; content drift, serve/wire ns/op
+# regressions past tolerance, allocs/op increases, and a wire hit
+# slipping below 5x the HTTP hit fail the target.
 bench-compare: bench-json
-	$(GO) run ./cmd/benchdiff BENCH_PR4.json BENCH_NEW.json
+	$(GO) run ./cmd/benchdiff BENCH_PR6.json BENCH_NEW.json
 
 # Capture CPU and heap profiles of ringd under ringload traffic.
 # Artifacts land in ./profiles/ for `go tool pprof`.
@@ -119,6 +137,11 @@ fuzz:
 # under internal/ring/testdata/fuzz/).
 fuzz-parse:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/ring/
+
+# Coverage-guided fuzzing of the RGV1 wire-frame decoders (seed corpus
+# under internal/serve/testdata/fuzz/).
+fuzz-wire:
+	$(GO) test -fuzz=FuzzWireRequest -fuzztime=30s ./internal/serve/
 
 # The paper's figures: text + SVG Figure 1, DOT Figure 2.
 figures:

@@ -17,17 +17,27 @@
 // section or benchmark present in only one report is explicit drift,
 // never a silent skip.
 //
+// A wire_bench section carries the binary-protocol A/B pair the same
+// way (BenchmarkWireHit / BenchmarkHTTPHit from `go test -bench
+// 'WireHit|HTTPHit'`), compared under the same tolerance and
+// allocation rules, plus one protocol-level invariant: when the new
+// report's wire_bench has both WireHit and HTTPHit, the HTTP/wire
+// ns/op ratio must stay at or above -wire-ratio (default 5) — the
+// wire protocol's whole reason to exist is that a cached hit costs a
+// small fraction of its HTTP equivalent, and this pins it.
+//
 // Usage:
 //
-//	benchdiff [-serve-tol 0.5] OLD.json NEW.json
+//	benchdiff [-serve-tol 0.5] [-wire-ratio 5] OLD.json NEW.json
 //	go test -run '^$' -bench Serve -benchmem ./internal/serve/ | benchdiff -merge-serve REPORT.json
+//	go test -run '^$' -bench 'WireHit|HTTPHit' -benchmem ./internal/serve/ | benchdiff -merge-wire REPORT.json
 //
-// The second form parses `go test -bench` output from stdin and writes
-// it into REPORT.json's serve_bench section (creating it), so one
-// committed file carries both the experiment baseline and the serving
-// numbers. The committed BENCH_PR4.json is the repository's perf
-// baseline; `make bench-compare` regenerates a fresh report and diffs it
-// against that.
+// The merge forms parse `go test -bench` output from stdin and write
+// it into REPORT.json's serve_bench / wire_bench section (creating
+// it), so one committed file carries the experiment baseline and the
+// serving numbers together. The committed BENCH_PR6.json is the
+// repository's perf baseline; `make bench-compare` regenerates a fresh
+// report and diffs it against that.
 package main
 
 import (
@@ -77,6 +87,7 @@ type report struct {
 	TotalWallMS float64      `json:"total_wall_ms"`
 	Experiments []experiment `json:"experiments"`
 	ServeBench  *serveBench  `json:"serve_bench,omitempty"`
+	WireBench   *serveBench  `json:"wire_bench,omitempty"`
 }
 
 func main() {
@@ -101,17 +112,26 @@ func load(path string) (*report, error) {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	serveTol := fs.Float64("serve-tol", 0.5, "allowed fractional ns/op regression in serve benchmarks (0.5 = new may be 50% slower)")
+	serveTol := fs.Float64("serve-tol", 0.5, "allowed fractional ns/op regression in serve and wire benchmarks (0.5 = new may be 50% slower)")
+	wireRatio := fs.Float64("wire-ratio", 5, "minimum HTTPHit/WireHit ns/op ratio the new report's wire_bench must hold (0 disables)")
 	mergeServe := fs.String("merge-serve", "", "parse `go test -bench` output from stdin into FILE's serve_bench section and exit")
+	mergeWire := fs.String("merge-wire", "", "parse `go test -bench` output from stdin into FILE's wire_bench section and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *mergeServe != "" {
-		if fs.NArg() != 0 {
-			fmt.Fprintln(stderr, "benchdiff: -merge-serve takes no positional arguments")
+	if *mergeServe != "" || *mergeWire != "" {
+		if *mergeServe != "" && *mergeWire != "" {
+			fmt.Fprintln(stderr, "benchdiff: -merge-serve and -merge-wire are mutually exclusive (run them as two passes)")
 			return 2
 		}
-		return runMergeServe(*mergeServe, stdin, stdout, stderr)
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "benchdiff: merge flags take no positional arguments")
+			return 2
+		}
+		if *mergeServe != "" {
+			return runMerge(*mergeServe, "serve_bench", stdin, stdout, stderr)
+		}
+		return runMerge(*mergeWire, "wire_bench", stdin, stdout, stderr)
 	}
 	if fs.NArg() != 2 {
 		fmt.Fprintln(stderr, "usage: benchdiff [-serve-tol F] OLD.json NEW.json")
@@ -179,7 +199,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "total %10.1f %10.1f (par %d -> %d)\n", old.TotalWallMS, cur.TotalWallMS, old.Par, cur.Par)
 
-	drift += compareServeBench(old.ServeBench, cur.ServeBench, *serveTol, stdout)
+	drift += compareBenchSection("serve_bench", old.ServeBench, cur.ServeBench, *serveTol, stdout)
+	drift += compareBenchSection("wire_bench", old.WireBench, cur.WireBench, *serveTol, stdout)
+	drift += checkWireRatio(cur.WireBench, *wireRatio, stdout)
 
 	if drift > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d item(s) drifted\n", drift)
@@ -188,28 +210,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// compareServeBench diffs the serve_bench sections. A section present in
-// only one report is drift; so is a benchmark present in only one
-// section, a ns/op regression beyond tol, an allocs/op increase, or a
-// GOMAXPROCS mismatch (numbers from different parallelism are not
-// comparable). Improvements never fail.
-func compareServeBench(old, cur *serveBench, tol float64, stdout io.Writer) int {
+// compareBenchSection diffs one micro-benchmark section (serve_bench or
+// wire_bench). A section present in only one report is drift; so is a
+// benchmark present in only one section, a ns/op regression beyond tol,
+// an allocs/op increase, or a GOMAXPROCS mismatch (numbers from
+// different parallelism are not comparable). Improvements never fail.
+func compareBenchSection(section string, old, cur *serveBench, tol float64, stdout io.Writer) int {
 	switch {
 	case old == nil && cur == nil:
 		return 0
 	case old == nil:
-		fmt.Fprintf(stdout, "serve_bench: only in new report\n")
+		fmt.Fprintf(stdout, "%s: only in new report\n", section)
 		return 1
 	case cur == nil:
-		fmt.Fprintf(stdout, "serve_bench: only in old report\n")
+		fmt.Fprintf(stdout, "%s: only in old report\n", section)
 		return 1
 	}
 	drift := 0
 	if old.GOMAXPROCS != cur.GOMAXPROCS {
-		fmt.Fprintf(stdout, "serve_bench: GOMAXPROCS differs (%d vs %d): not comparable\n", old.GOMAXPROCS, cur.GOMAXPROCS)
+		fmt.Fprintf(stdout, "%s: GOMAXPROCS differs (%d vs %d): not comparable\n", section, old.GOMAXPROCS, cur.GOMAXPROCS)
 		return 1
 	}
-	fmt.Fprintf(stdout, "serve benchmarks (gomaxprocs %d, ns/op tolerance +%.0f%%):\n", cur.GOMAXPROCS, tol*100)
+	fmt.Fprintf(stdout, "%s benchmarks (gomaxprocs %d, ns/op tolerance +%.0f%%):\n", section, cur.GOMAXPROCS, tol*100)
 	fmt.Fprintf(stdout, "%-28s %12s %12s %7s %7s %7s  %s\n", "name", "old ns/op", "new ns/op", "ratio", "old al", "new al", "verdict")
 	oldByName := make(map[string]serveBenchmark, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
@@ -254,16 +276,49 @@ func compareServeBench(old, cur *serveBench, tol float64, stdout io.Writer) int 
 	return drift
 }
 
+// checkWireRatio enforces the wire protocol's reason to exist on the
+// NEW report alone: a cached hit over the wire must cost at most
+// 1/minRatio of the same hit over HTTP. Skipped (not drift) when the
+// report has no wire_bench or lacks either side of the A/B pair — the
+// section-drift check already catches a pair that used to exist.
+func checkWireRatio(cur *serveBench, minRatio float64, stdout io.Writer) int {
+	if cur == nil || minRatio <= 0 {
+		return 0
+	}
+	var wire, http float64
+	for _, b := range cur.Benchmarks {
+		switch b.Name {
+		case "WireHit":
+			wire = b.NsPerOp
+		case "HTTPHit":
+			http = b.NsPerOp
+		}
+	}
+	if wire <= 0 || http <= 0 {
+		return 0
+	}
+	ratio := http / wire
+	verdict := "ok"
+	drift := 0
+	if ratio < minRatio {
+		verdict = "BELOW FLOOR"
+		drift = 1
+	}
+	fmt.Fprintf(stdout, "wire ratio: HTTPHit %.1f ns/op / WireHit %.1f ns/op = %.1fx (floor %.1fx)  %s\n",
+		http, wire, ratio, minRatio, verdict)
+	return drift
+}
+
 // benchLine matches one `go test -bench` result line, e.g.
 //
 //	BenchmarkServeHit-8   1254979   923.4 ns/op   0 B/op   0 allocs/op
 var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-(\d+))?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
-// runMergeServe reads `go test -bench` output from stdin and stores the
-// parsed benchmarks as path's serve_bench section.
-func runMergeServe(path string, stdin io.Reader, stdout, stderr io.Writer) int {
+// runMerge reads `go test -bench` output from stdin and stores the
+// parsed benchmarks as path's serve_bench or wire_bench section.
+func runMerge(path, section string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if stdin == nil {
-		fmt.Fprintln(stderr, "benchdiff: -merge-serve needs benchmark output on stdin")
+		fmt.Fprintln(stderr, "benchdiff: merging needs benchmark output on stdin")
 		return 2
 	}
 	r, err := load(path)
@@ -299,7 +354,11 @@ func runMergeServe(path string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchdiff: no benchmark lines found on stdin")
 		return 2
 	}
-	r.ServeBench = sb
+	if section == "wire_bench" {
+		r.WireBench = sb
+	} else {
+		r.ServeBench = sb
+	}
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
@@ -310,7 +369,7 @@ func runMergeServe(path string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
 		return 2
 	}
-	fmt.Fprintf(stdout, "benchdiff: merged %d serve benchmark(s) (gomaxprocs %d) into %s\n",
-		len(sb.Benchmarks), sb.GOMAXPROCS, path)
+	fmt.Fprintf(stdout, "benchdiff: merged %d benchmark(s) (gomaxprocs %d) into %s's %s\n",
+		len(sb.Benchmarks), sb.GOMAXPROCS, path, section)
 	return 0
 }

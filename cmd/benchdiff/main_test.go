@@ -312,3 +312,128 @@ func TestMergeServeErrors(t *testing.T) {
 		t.Fatalf("exit %d, want 2 (positional args with -merge-serve)", code)
 	}
 }
+
+// withWire splices a wire_bench section into the reportA fixture.
+func withWire(section string) string {
+	return strings.ReplaceAll(reportA, `"total_wall_ms": 100,`,
+		`"total_wall_ms": 100, "wire_bench": `+section+`,`)
+}
+
+const wireSectionOld = `{
+  "gomaxprocs": 8,
+  "benchmarks": [
+    {"name": "WireHit", "ns_per_op": 1500, "bytes_per_op": 1, "allocs_per_op": 0},
+    {"name": "HTTPHit", "ns_per_op": 33000, "bytes_per_op": 10000, "allocs_per_op": 57}
+  ]
+}`
+
+// TestMergeWire: -merge-wire lands benchmark output in wire_bench,
+// leaving serve_bench and the experiments untouched.
+func TestMergeWire(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "r.json", withServe(serveSectionOld))
+	benchOut := `BenchmarkWireHit-8    761904    1513 ns/op    1 B/op    0 allocs/op
+BenchmarkHTTPHit-8     35502   33766 ns/op  10059 B/op   57 allocs/op
+PASS
+`
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-merge-wire", path}, strings.NewReader(benchOut), &out, &errBuf); code != 0 {
+		t.Fatalf("merge exit %d: %s", code, errBuf.String())
+	}
+	merged, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.WireBench == nil || len(merged.WireBench.Benchmarks) != 2 || merged.WireBench.GOMAXPROCS != 8 {
+		t.Fatalf("wire_bench not merged: %+v", merged.WireBench)
+	}
+	if merged.ServeBench == nil || len(merged.ServeBench.Benchmarks) != 2 {
+		t.Errorf("serve_bench clobbered by -merge-wire: %+v", merged.ServeBench)
+	}
+	if hit := merged.WireBench.Benchmarks[0]; hit.Name != "WireHit" || hit.NsPerOp != 1513 || hit.AllocsPerOp != 0 {
+		t.Errorf("WireHit parsed as %+v", hit)
+	}
+	if len(merged.Experiments) != 2 {
+		t.Errorf("experiments clobbered by merge: %d", len(merged.Experiments))
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{path, path}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("self-compare after -merge-wire: exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "wire ratio:") {
+		t.Errorf("ratio line missing from compare:\n%s", out.String())
+	}
+}
+
+// TestMergeFlagsExclusive: both merge flags at once is a usage error.
+func TestMergeFlagsExclusive(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "r.json", reportA)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-merge-serve", path, "-merge-wire", path}, strings.NewReader("BenchmarkX 1 1 ns/op\n"), &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d, want 2 (mutually exclusive merge flags)", code)
+	}
+}
+
+// TestWireRatioFloor: the new report's HTTPHit/WireHit ratio must stay
+// at or above -wire-ratio; a wire path that has slowed down to within
+// 5x of HTTP fails even when each benchmark individually moved less
+// than -serve-tol would allow.
+func TestWireRatioFloor(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", withWire(wireSectionOld))
+	b := write(t, dir, "b.json", withWire(wireSectionOld))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 0 { // 22x >= 5x
+		t.Fatalf("exit %d, want 0:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "wire ratio:") || !strings.Contains(out.String(), "ok") {
+		t.Errorf("ratio verdict missing:\n%s", out.String())
+	}
+	// Ratio floor violated: WireHit crept up to a quarter of HTTPHit.
+	slow := strings.ReplaceAll(wireSectionOld, `"ns_per_op": 1500`, `"ns_per_op": 8250`)
+	c := write(t, dir, "c.json", withWire(slow))
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-serve-tol", "1000", a, c}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (4x is below the 5x floor):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "BELOW FLOOR") {
+		t.Errorf("floor violation not flagged:\n%s", out.String())
+	}
+	// -wire-ratio 0 disables the floor (drift rules still apply).
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-serve-tol", "1000", "-wire-ratio", "0", a, c}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, want 0 (-wire-ratio 0 disables the floor):\n%s", code, out.String())
+	}
+}
+
+// TestWireBenchDrift: wire_bench follows the same section/alloc drift
+// rules as serve_bench — a section in only one report fails, and an
+// allocation-free WireHit must stay allocation-free.
+func TestWireBenchDrift(t *testing.T) {
+	dir := t.TempDir()
+	plain := write(t, dir, "plain.json", reportA)
+	wired := write(t, dir, "wired.json", withWire(wireSectionOld))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{plain, wired}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (wire_bench in only one report):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "wire_bench: only in new report") {
+		t.Errorf("section drift not explicit:\n%s", out.String())
+	}
+	allocs := strings.ReplaceAll(wireSectionOld,
+		`{"name": "WireHit", "ns_per_op": 1500, "bytes_per_op": 1, "allocs_per_op": 0}`,
+		`{"name": "WireHit", "ns_per_op": 1500, "bytes_per_op": 64, "allocs_per_op": 1}`)
+	leaky := write(t, dir, "leaky.json", withWire(allocs))
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{wired, leaky}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (WireHit started allocating):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOCS") {
+		t.Errorf("alloc regression not flagged:\n%s", out.String())
+	}
+}

@@ -7,6 +7,15 @@
 //
 //	ringd -listen 127.0.0.1:8322 -workers 4 -crosscheck 0.05
 //
+// With -wire-addr a second listener speaks RGV1, the multiplexed binary
+// wire protocol (internal/serve wire.go): persistent connections,
+// pipelined binary ELECT frames answered out of order by request id,
+// sharing the HTTP path's cache, admission, metrics, and crosscheck
+// machinery. HTTP stays on -listen for compatibility; the wire port is
+// the hot path:
+//
+//	ringd -listen 127.0.0.1:8322 -wire-addr 127.0.0.1:8323
+//
 // With -crosscheck > 0 a sampled fraction of cache hits is re-verified
 // through the deterministic simulator; a divergence is fatal — the
 // daemon logs the offending ring and exits 1 rather than keep serving
@@ -52,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	fs.SetOutput(stderr)
 	var (
 		listen       = fs.String("listen", "127.0.0.1:8322", "address to listen on (host:port; port 0 picks a free port)")
+		wireAddr     = fs.String("wire-addr", "", "serve the RGV1 binary wire protocol on this address (empty disables)")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 		cache        = fs.Int("cache", 4096, "result cache capacity in entries")
 		cacheShards  = fs.Int("cache-shards", 0, "cache shard count, rounded up to a power of two (0 = auto)")
@@ -125,6 +135,24 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		// serving it on its own listener keeps profiling off the API port.
 		go func() { _ = http.Serve(pln, http.DefaultServeMux) }()
 	}
+	// The wire front end shares every layer behind the HTTP mux — cache,
+	// admission, metrics, crosscheck — so the two protocols can never
+	// disagree about an election.
+	var ws *serve.WireServer
+	var wireErr chan error // nil (never ready) when the wire port is off
+	if *wireAddr != "" {
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "ringd: wire listener: %v\n", err)
+			ln.Close()
+			s.Close()
+			return 1
+		}
+		fmt.Fprintf(stdout, "ringd: wire listening on %s\n", wln.Addr())
+		ws = serve.NewWireServer(s)
+		wireErr = make(chan error, 1)
+		go func() { wireErr <- ws.Serve(wln) }()
+	}
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
@@ -142,6 +170,10 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		logger.Printf("serve error: %v", err)
 		s.Close()
 		return 1
+	case err := <-wireErr:
+		logger.Printf("wire serve error: %v", err)
+		s.Close()
+		return 1
 	}
 
 	logger.Printf("shutting down (%s): draining in-flight elections", why)
@@ -153,6 +185,15 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	if err := hs.Shutdown(ctx); err != nil {
 		logger.Printf("shutdown: %v", err)
 		exit = 1
+	}
+	if ws != nil {
+		// Same drain discipline as HTTP: answer everything in flight,
+		// flush each connection's writer completely, then close — a wire
+		// client never sees a truncated frame.
+		if err := ws.Shutdown(ctx); err != nil {
+			logger.Printf("wire shutdown: %v", err)
+			exit = 1
+		}
 	}
 	s.Close() // after Shutdown: no new requests can enter the queue
 	snap := s.Metrics().Snapshot()

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"regexp"
@@ -10,6 +11,12 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/load"
+	"repro/internal/ring"
+	"repro/internal/serve"
+
+	repro "repro"
 )
 
 // syncBuffer lets the daemon goroutine write stdout while the test
@@ -195,5 +202,110 @@ func TestDaemonListenFailure(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-listen", "256.0.0.1:1"}, &out, &errb, make(chan struct{})); code != 1 {
 		t.Errorf("exit %d, want 1; stderr=%q", code, errb.String())
+	}
+}
+
+var wireListenLine = regexp.MustCompile(`ringd: wire listening on ([\d.]+:\d+)`)
+
+// TestDaemonWireServesAndDrains is the -wire-addr acceptance run: boot
+// the daemon with both ports, drive a seeded crosschecking load mix
+// over the RGV1 binary protocol, require zero divergences, then take
+// the daemon down mid-connection and check the wire drain is graceful —
+// clean exit, final accounting, no truncation-class client errors.
+func TestDaemonWireServesAndDrains(t *testing.T) {
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	args := []string{"-listen", "127.0.0.1:0", "-wire-addr", "127.0.0.1:0", "-log-every", "0", "-workers", "2", "-crosscheck", "1"}
+	go func() { exit <- run(args, stdout, stderr, stop) }()
+
+	var baseURL, wireAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for baseURL == "" || wireAddr == "" {
+		if m := listenLine.FindStringSubmatch(stdout.String()); m != nil {
+			baseURL = "http://" + m[1]
+		}
+		if m := wireListenLine.FindStringSubmatch(stdout.String()); m != nil {
+			wireAddr = m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced both addresses; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("daemon exited early with %d; stderr=%q", code, stderr.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	rep, err := load.Run(load.Config{
+		BaseURL:    baseURL,
+		Proto:      load.ProtoWire,
+		WireAddr:   wireAddr,
+		WireConns:  2,
+		Requests:   80,
+		Workers:    4,
+		Seed:       7,
+		Alg:        "B",
+		K:          3,
+		Crosscheck: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("wire load: %v", err)
+	}
+	if rep.OK != 80 || rep.TransportErrors != 0 {
+		t.Errorf("wire run: ok=%d transport=%d, want 80/0", rep.OK, rep.TransportErrors)
+	}
+	if rep.Crosschecks == 0 || rep.Divergences != 0 {
+		t.Errorf("crosschecks=%d divergences=%d, want >0 and 0", rep.Crosschecks, rep.Divergences)
+	}
+	if rep.Cached == 0 {
+		t.Error("hot mix produced no cache hits over the wire")
+	}
+
+	// Hold a live wire connection with traffic across the shutdown: every
+	// call must end in a complete result, a typed draining error, or a
+	// clean close — a decode error would mean a truncated frame.
+	c, err := serve.DialWire(wireAddr, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	labels := ring.Figure1().LabelsView()
+	if _, err := c.Elect(labels, repro.AlgorithmB, 3); err != nil {
+		t.Fatalf("pre-drain elect: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := c.Elect(labels, repro.AlgorithmB, 3); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	close(stop)
+	select {
+	case err := <-done:
+		var we *serve.WireError
+		switch {
+		case errors.Is(err, serve.ErrWireClientClosed):
+		case errors.As(err, &we) && we.Status == 503:
+		default:
+			t.Errorf("drain surfaced %v — want a typed 503 or a clean close", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("wire connection never observed the drain")
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if s := stderr.String(); !strings.Contains(s, "final:") {
+		t.Errorf("missing final accounting: %q", s)
 	}
 }

@@ -7,6 +7,15 @@
 //	ringd -listen 127.0.0.1:8322 &
 //	ringload -url http://127.0.0.1:8322 -n 1000 -seed 7 -crosscheck 0.25
 //
+// With -proto wire the same seeded mix is driven over the RGV1 binary
+// protocol instead of HTTP/JSON — pooled persistent connections (set
+// with -wire-conns), pipelined requests — against the daemon's
+// -wire-addr port, making a pair of runs differing only in -proto a
+// direct protocol A/B comparison:
+//
+//	ringd -listen 127.0.0.1:8322 -wire-addr 127.0.0.1:8323 &
+//	ringload -url http://127.0.0.1:8322 -proto wire -wire-addr 127.0.0.1:8323 -n 1000
+//
 // With -crosscheck > 0 a sampled fraction of responses is re-verified
 // against the local deterministic simulator in the request's own frame,
 // end-to-end checking the daemon's rotation canonicalization. Exit
@@ -33,6 +42,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		url        = fs.String("url", "http://127.0.0.1:8322", "base URL of the target ringd")
+		proto      = fs.String("proto", "http", "request protocol: http (JSON /v1/elect) or wire (RGV1 binary)")
+		wireAddr   = fs.String("wire-addr", "", "daemon RGV1 port (host:port); required with -proto wire")
+		wireConns  = fs.Int("wire-conns", 4, "pooled wire connections requests are pipelined over")
 		n          = fs.Int("n", 1000, "total requests")
 		workers    = fs.Int("workers", 8, "client concurrency")
 		seed       = fs.Int64("seed", 1, "mix seed (same seed, same requests)")
@@ -57,8 +69,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *proto != load.ProtoHTTP && *proto != load.ProtoWire {
+		fmt.Fprintf(stderr, "ringload: -proto must be http or wire, got %q\n", *proto)
+		return 2
+	}
+	if *proto == load.ProtoWire && *wireAddr == "" {
+		fmt.Fprintf(stderr, "ringload: -proto wire requires -wire-addr\n")
+		return 2
+	}
+
 	rep, err := load.Run(load.Config{
 		BaseURL:         *url,
+		Proto:           *proto,
+		WireAddr:        *wireAddr,
+		WireConns:       *wireConns,
 		Requests:        *n,
 		Workers:         *workers,
 		Seed:            *seed,

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/load"
 	"repro/internal/serve"
@@ -73,5 +76,69 @@ func TestRunUnreachableServer(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "readyz pre-flight") {
 		t.Errorf("stderr %q missing diagnosis", errb.String())
+	}
+}
+
+// TestRunWireAgainstServer drives the same seeded mix over the RGV1
+// binary protocol against an in-process wire server (HTTP stays up for
+// the readyz pre-flight) and checks the report: every request OK, zero
+// divergences from the local simulator, cache effectiveness intact.
+func TestRunWireAgainstServer(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 2})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	ws := serve.NewWireServer(s)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ws.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := ws.Shutdown(ctx); err != nil {
+			t.Errorf("wire shutdown: %v", err)
+		}
+		s.Close()
+	}()
+
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-proto", "wire", "-wire-addr", ln.Addr().String(),
+		"-wire-conns", "2", "-n", "60", "-workers", "4", "-seed", "3",
+		"-alg", "B", "-k", "3", "-crosscheck", "0.5",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr=%q", code, errb.String())
+	}
+	var rep load.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
+	}
+	if rep.Proto != "wire" {
+		t.Errorf("report proto %q, want wire", rep.Proto)
+	}
+	if rep.Requests != 60 || rep.OK != 60 {
+		t.Errorf("report accounting: %+v", rep)
+	}
+	if rep.Crosschecks != 30 || rep.Divergences != 0 {
+		t.Errorf("crosschecks=%d divergences=%d, want 30/0", rep.Crosschecks, rep.Divergences)
+	}
+	if rep.Cached == 0 {
+		t.Error("hot mix produced no cache hits")
+	}
+}
+
+// TestRunWireFlagErrors: -proto validation is a usage error, before any
+// traffic.
+func TestRunWireFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-proto", "grpc"},
+		{"-proto", "wire"}, // missing -wire-addr
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
 	}
 }

@@ -16,6 +16,7 @@ package load
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -36,6 +37,17 @@ import (
 type Config struct {
 	// BaseURL of the target ringd, e.g. "http://127.0.0.1:8322".
 	BaseURL string
+	// Proto selects the request protocol: "http" (the /v1/elect JSON
+	// path; default) or "wire" (the RGV1 binary protocol on WireAddr).
+	// The plan, the mix, and the crosscheck samples are identical either
+	// way, so two runs differing only in Proto are a protocol A/B test.
+	Proto string
+	// WireAddr is the daemon's RGV1 port (host:port), required when
+	// Proto is "wire".
+	WireAddr string
+	// WireConns is the pooled wire connection count requests are
+	// pipelined over (default 4).
+	WireConns int
 	// Requests is the total request count (default 1000).
 	Requests int
 	// Workers is the client concurrency (default 8).
@@ -64,6 +76,12 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Proto == "" {
+		c.Proto = ProtoHTTP
+	}
+	if c.WireConns <= 0 {
+		c.WireConns = 4
+	}
 	if c.Requests <= 0 {
 		c.Requests = 1000
 	}
@@ -96,6 +114,12 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// Request protocols.
+const (
+	ProtoHTTP = "http"
+	ProtoWire = "wire"
+)
 
 // Request classes.
 const (
@@ -204,6 +228,7 @@ type ClassStats struct {
 // Report is the JSON result of a load run.
 type Report struct {
 	BaseURL         string  `json:"base_url"`
+	Proto           string  `json:"proto"`
 	Seed            int64   `json:"seed"`
 	Requests        int     `json:"requests"`
 	OK              int     `json:"ok"`
@@ -237,21 +262,39 @@ type result struct {
 	diverged  bool
 }
 
-// Run executes the plan against cfg.BaseURL and aggregates the report.
+// Run executes the plan against cfg.BaseURL (or, with Proto "wire",
+// against cfg.WireAddr) and aggregates the report.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Proto != ProtoHTTP && cfg.Proto != ProtoWire {
+		return nil, fmt.Errorf("load: unknown proto %q (want %s or %s)", cfg.Proto, ProtoHTTP, ProtoWire)
+	}
 	plan, err := BuildPlan(cfg)
 	if err != nil {
 		return nil, err
 	}
+	workers := min(cfg.Workers, len(plan))
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: cfg.Timeout}
+		// One pooled transport across all workers: every worker reuses
+		// warm connections to the single target instead of churning
+		// through dials, so the HTTP numbers measure the protocol, not
+		// connection setup.
+		client = &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        workers + 2,
+				MaxIdleConnsPerHost: workers + 2,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
 	}
 
 	// Readiness pre-flight: a draining or half-started daemon would turn
 	// the whole run into transport noise and shed counts that measure
-	// nothing. Fail fast with a precise reason instead.
+	// nothing. Fail fast with a precise reason instead. The wire protocol
+	// has no readiness frame by design; the HTTP /readyz speaks for the
+	// shared serving layers behind both ports.
 	resp, err := client.Get(cfg.BaseURL + "/readyz")
 	if err != nil {
 		return nil, fmt.Errorf("load: readyz pre-flight against %s: %w", cfg.BaseURL, err)
@@ -262,10 +305,21 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("load: target %s is not ready: /readyz answered %s", cfg.BaseURL, resp.Status)
 	}
 
+	var wireReq *wireRunner
+	if cfg.Proto == ProtoWire {
+		if cfg.WireAddr == "" {
+			return nil, fmt.Errorf("load: proto %q requires WireAddr", ProtoWire)
+		}
+		wireReq, err = newWireRunner(cfg, plan)
+		if err != nil {
+			return nil, err
+		}
+		defer wireReq.close()
+	}
+
 	results := make([]result, len(plan))
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	workers := min(cfg.Workers, len(plan))
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
@@ -274,7 +328,11 @@ func Run(cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = cfg.do(client, plan[i])
+				if wireReq != nil {
+					results[i] = wireReq.do(i, plan[i])
+				} else {
+					results[i] = cfg.do(client, plan[i])
+				}
 			}
 		}()
 	}
@@ -289,6 +347,7 @@ func Run(cfg Config) (*Report, error) {
 
 	rep := &Report{
 		BaseURL:  cfg.BaseURL,
+		Proto:    cfg.Proto,
 		Seed:     cfg.Seed,
 		Requests: len(plan),
 		WallMS:   float64(wall.Microseconds()) / 1000,
@@ -380,6 +439,79 @@ func (cfg Config) do(client *http.Client, p PlannedRequest) result {
 		res.diverged = !verify(p.Spec, cfg.Alg, cfg.K, er)
 	}
 	return res
+}
+
+// wireRunner drives the plan over the RGV1 binary protocol: one pooled,
+// pipelined WireClient shared by every worker, and the plan's label
+// sequences parsed once up front so the per-request loop sends raw
+// frames. Same plan, same crosscheck samples as the HTTP path — only
+// the transport differs.
+type wireRunner struct {
+	cfg    Config
+	client *serve.WireClient
+	alg    repro.Algorithm
+	labels [][]ring.Label // plan[i].Spec parsed, index-aligned
+}
+
+func newWireRunner(cfg Config, plan []PlannedRequest) (*wireRunner, error) {
+	alg, err := repro.ParseAlgorithm(cfg.Alg)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	labels := make([][]ring.Label, len(plan))
+	for i, p := range plan {
+		r, err := ring.Parse(p.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("load: planned ring %d: %w", i, err)
+		}
+		labels[i] = r.LabelsView()
+	}
+	client, err := serve.DialWire(cfg.WireAddr, cfg.WireConns, cfg.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	return &wireRunner{cfg: cfg, client: client, alg: alg, labels: labels}, nil
+}
+
+func (wr *wireRunner) close() { wr.client.Close() }
+
+// do issues one wire election. Typed ERROR frames land in the same
+// status-code accounting as HTTP responses (the codes are defined to
+// mirror each other); sheds count as carrying Retry-After when the
+// frame's hint is positive, matching the HTTP header contract.
+func (wr *wireRunner) do(i int, p PlannedRequest) result {
+	start := time.Now()
+	out, err := wr.client.Elect(wr.labels[i], wr.alg, wr.cfg.K)
+	lat := time.Since(start).Seconds()
+	if err != nil {
+		var we *serve.WireError
+		if errors.As(err, &we) {
+			return result{status: we.Status, latency: lat, retryHdr: we.RetryAfter > 0}
+		}
+		return result{transport: true}
+	}
+	res := result{status: http.StatusOK, cached: out.Cached, latency: lat}
+	if p.Crosscheck {
+		res.checked = true
+		res.diverged = !verifyWire(p.Spec, wr.alg, wr.cfg.K, out)
+	}
+	return res
+}
+
+// verifyWire re-runs the election locally on the request's frame and
+// compares it against the wire outcome — the binary twin of verify.
+func verifyWire(spec string, alg repro.Algorithm, k int, wo serve.WireOutcome) bool {
+	r, err := repro.ParseRing(spec)
+	if err != nil {
+		return false
+	}
+	out, err := repro.Elect(r, alg, k)
+	if err != nil {
+		return false
+	}
+	return out.Leader == wo.Leader &&
+		out.LeaderLabel == wo.LeaderLabel &&
+		out.Messages == wo.Messages
 }
 
 // verify re-runs the election locally on the request's frame and compares

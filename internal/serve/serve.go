@@ -44,6 +44,14 @@ import (
 	repro "repro"
 )
 
+// errBadRequest marks a cache entry abandoned because its request was
+// unservable (oversized, symmetric, or otherwise invalid ring). The HTTP
+// path rejects such requests before the cache lookup; the wire path only
+// discovers them on the miss path after materializing the ring, so
+// deduplicated waiters — on either protocol — need the sentinel to map
+// the failure to 400 rather than 500.
+var errBadRequest = errors.New("bad request")
+
 // Config parameterizes a Server. The zero value gets sensible defaults
 // from New.
 type Config struct {
@@ -427,6 +435,12 @@ func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
 		}
 		if errors.Is(e.err, errClosed) {
 			writeError(w, http.StatusServiceUnavailable, "shutting down")
+			return
+		}
+		if errors.Is(e.err, errBadRequest) {
+			// A wire-path owner discovered the ring is unservable after we
+			// were deduplicated into its flight.
+			writeError(w, http.StatusBadRequest, "%v", e.err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, "election failed: %v", e.err)

@@ -1,0 +1,356 @@
+// RGV1, the binary wire protocol of the ringd v2 serving path. The
+// HTTP/JSON surface (serve.go) is the compatibility layer; this is the
+// hot one: after PR 4 drove a cached election hit to under a
+// microsecond, HTTP parsing and JSON marshaling dominated end-to-end
+// cost, so the v2 path replaces both with length-prefixed binary frames
+// over a persistent, multiplexed connection — the same framing
+// discipline as internal/netring's ring links, applied to the serving
+// port.
+//
+// Connection layout: the client opens with the 4-byte magic "RGV1",
+// then both directions exchange length-prefixed frames:
+//
+//	[u32 length | body]
+//	body: ver(1) type(1) id(8, big-endian) payload…
+//
+// Frame vocabulary (payload after the 10-byte header):
+//
+//	ELECT  (1): alg(1) varint(k) varint(label)…      client → server
+//	RESULT (2): flags(1) varint(leader) varint(leaderLabel)
+//	            varint(messages) varint(peakSpaceBits)
+//	            timeUnits(8, float64 bits)           server → client
+//	ERROR  (3): code(1) varint(retryAfterSeconds) message…
+//
+// The ELECT payload after the algorithm byte is deliberately the same
+// varint encoding as the sharded cache's compact key (cache.go
+// appendCacheKey) — a request is decoded into pooled scratch, Booth-
+// canonicalized, and looked up without ever materializing a ring.Ring on
+// the hit path. Requests are pipelined: a client may have any number of
+// ELECTs in flight on one connection, and RESULT/ERROR frames complete
+// out of order, matched by the 64-bit request id. Shedding is a typed
+// ERROR frame carrying the same Retry-After estimate the HTTP path puts
+// in its 429 header.
+//
+// Malformed input never panics: a frame with a bad version, unknown
+// type, or undecodable header kills the connection (the stream can no
+// longer be trusted), while a well-framed request with a bad payload —
+// out-of-range k, too many labels, an unservable ring — is answered
+// with an ERROR frame and the connection stays usable.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/ring"
+
+	repro "repro"
+)
+
+// wireMagic opens every RGV1 connection; a listener that reads anything
+// else hangs up before parsing a single frame, so an HTTP client pointed
+// at the wire port fails fast instead of confusing the framer.
+const wireMagic = "RGV1"
+
+// wireVersion is carried in every frame body; frames from any other
+// version are rejected.
+const wireVersion = 1
+
+// wireFrameType tags the frame vocabulary.
+type wireFrameType uint8
+
+const (
+	// wireFrameElect is a pipelined election request.
+	wireFrameElect wireFrameType = 1
+	// wireFrameResult answers one ELECT by request id.
+	wireFrameResult wireFrameType = 2
+	// wireFrameError answers one ELECT with a typed failure.
+	wireFrameError wireFrameType = 3
+)
+
+// String names the frame type for diagnostics.
+func (t wireFrameType) String() string {
+	switch t {
+	case wireFrameElect:
+		return "ELECT"
+	case wireFrameResult:
+		return "RESULT"
+	case wireFrameError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("FRAME(%d)", uint8(t))
+	}
+}
+
+// wireErrCode types an ERROR frame. The codes mirror the HTTP statuses
+// the compatibility path answers, so one client-side mapping covers both
+// protocols.
+type wireErrCode uint8
+
+const (
+	// wireErrBadRequest: the request was well-framed but unservable
+	// (bad algorithm, k out of range, oversized or symmetric ring). HTTP
+	// twin: 400.
+	wireErrBadRequest wireErrCode = 1
+	// wireErrShed: the admission layer refused the election; the frame's
+	// retry-after field carries the backoff estimate. HTTP twin: 429 +
+	// Retry-After.
+	wireErrShed wireErrCode = 2
+	// wireErrDraining: the server is shutting down. HTTP twin: 503.
+	wireErrDraining wireErrCode = 3
+	// wireErrInternal: the election failed. HTTP twin: 500.
+	wireErrInternal wireErrCode = 4
+)
+
+// httpStatus maps an error code onto the equivalent HTTP status, the
+// currency of the shared metrics registry and of ringload's accounting.
+func (c wireErrCode) httpStatus() int {
+	switch c {
+	case wireErrBadRequest:
+		return 400
+	case wireErrShed:
+		return 429
+	case wireErrDraining:
+		return 503
+	default:
+		return 500
+	}
+}
+
+const (
+	// wireHeaderLen is ver + type + id, present in every frame body.
+	wireHeaderLen = 1 + 1 + 8
+	// wireMaxVarint bounds one varint's encoded size.
+	wireMaxVarint = binary.MaxVarintLen64
+	// wireMaxErrMsg clips the human-readable text of an ERROR frame;
+	// diagnostics never balloon a frame.
+	wireMaxErrMsg = 256
+	// wireMaxK mirrors the HTTP handler's bound on the multiplicity
+	// parameter.
+	wireMaxK = 1024
+	// wireMaxWriteBatch caps the frames coalesced into one Write: the
+	// batched sender flushes at the latest after 64 responses, the same
+	// per-syscall bound as internal/netring's link sender.
+	wireMaxWriteBatch = 64
+)
+
+// wireMaxRequestBody is the largest ELECT body a server accepting rings
+// of up to maxRing processes will read: header + alg byte + k varint +
+// maxRing label varints.
+func wireMaxRequestBody(maxRing int) int {
+	return wireHeaderLen + 1 + wireMaxVarint + maxRing*wireMaxVarint
+}
+
+// wireMaxResponseBody is the largest RESULT/ERROR body a client needs to
+// accept: header + flags/code + four varints + the float64 time field,
+// or header + code + retry varint + clipped message.
+const wireMaxResponseBody = wireHeaderLen + 1 + 4*wireMaxVarint + 8 + wireMaxErrMsg
+
+// beginWireFrame appends a zeroed length prefix plus the frame header
+// and returns the prefix offset for finishWireFrame.
+func beginWireFrame(dst []byte, typ wireFrameType, id uint64) ([]byte, int) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, wireVersion, byte(typ))
+	var idb [8]byte
+	binary.BigEndian.PutUint64(idb[:], id)
+	dst = append(dst, idb[:]...)
+	return dst, start
+}
+
+// finishWireFrame backfills the length prefix begun by beginWireFrame.
+func finishWireFrame(dst []byte, start int) []byte {
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// appendWireElect appends one length-prefixed ELECT frame. The payload
+// past the algorithm byte uses the exact varint encoding of the result
+// cache's compact key, so the server can canonicalize and hash a request
+// without re-encoding it.
+func appendWireElect(dst []byte, id uint64, alg repro.Algorithm, k int, labels []ring.Label) []byte {
+	dst, start := beginWireFrame(dst, wireFrameElect, id)
+	dst = append(dst, byte(alg))
+	dst = binary.AppendVarint(dst, int64(k))
+	for _, l := range labels {
+		dst = binary.AppendVarint(dst, int64(l))
+	}
+	return finishWireFrame(dst, start)
+}
+
+// appendWireResult appends one length-prefixed RESULT frame. leader is
+// already mapped into the requester's frame; out stays in the canonical
+// frame and is never mutated.
+func appendWireResult(dst []byte, id uint64, cached bool, leader int, out *canonOutcome) []byte {
+	dst, start := beginWireFrame(dst, wireFrameResult, id)
+	var flags byte
+	if cached {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendVarint(dst, int64(leader))
+	dst = binary.AppendVarint(dst, int64(out.LeaderLabel))
+	dst = binary.AppendVarint(dst, int64(out.Messages))
+	dst = binary.AppendVarint(dst, int64(out.PeakSpaceBits))
+	var tu [8]byte
+	binary.BigEndian.PutUint64(tu[:], math.Float64bits(out.TimeUnits))
+	dst = append(dst, tu[:]...)
+	return finishWireFrame(dst, start)
+}
+
+// appendWireError appends one length-prefixed ERROR frame; msg is
+// clipped to wireMaxErrMsg bytes.
+func appendWireError(dst []byte, id uint64, code wireErrCode, retryAfter int, msg string) []byte {
+	dst, start := beginWireFrame(dst, wireFrameError, id)
+	dst = append(dst, byte(code))
+	dst = binary.AppendVarint(dst, int64(retryAfter))
+	if len(msg) > wireMaxErrMsg {
+		msg = msg[:wireMaxErrMsg]
+	}
+	dst = append(dst, msg...)
+	return finishWireFrame(dst, start)
+}
+
+// decodeWireHeader splits a frame body into its common header. It is the
+// only part of a frame a peer must parse before deciding whether the
+// stream is still trustworthy: a header-level error is fatal to the
+// connection.
+func decodeWireHeader(body []byte) (typ wireFrameType, id uint64, payload []byte, err error) {
+	if len(body) < wireHeaderLen {
+		return 0, 0, nil, fmt.Errorf("serve: wire frame body %d bytes, want >= %d", len(body), wireHeaderLen)
+	}
+	if body[0] != wireVersion {
+		return 0, 0, nil, fmt.Errorf("serve: wire version %d, want %d", body[0], wireVersion)
+	}
+	typ = wireFrameType(body[1])
+	if typ < wireFrameElect || typ > wireFrameError {
+		return 0, 0, nil, fmt.Errorf("serve: unknown wire frame type %d", body[1])
+	}
+	return typ, binary.BigEndian.Uint64(body[2:]), body[wireHeaderLen:], nil
+}
+
+// wireElect is one decoded ELECT request. Labels alias the scratch slice
+// passed to decodeWireElect and are only valid until its next reuse.
+type wireElect struct {
+	id     uint64
+	alg    repro.Algorithm
+	k      int
+	labels []ring.Label
+}
+
+// decodeWireElect parses an ELECT payload into scratch (grown as needed,
+// returned for reuse). It validates everything checkable without ring
+// analysis — algorithm byte, k range, label count — so garbage never
+// reaches the cache or an engine; deeper validation (multiplicity,
+// asymmetry) happens on the miss path where the ring is materialized
+// anyway. It never panics on arbitrary input.
+func decodeWireElect(id uint64, payload []byte, scratch []ring.Label, maxLabels int) (wireElect, []ring.Label, error) {
+	req := wireElect{id: id}
+	if len(payload) < 2 {
+		return req, scratch, fmt.Errorf("serve: ELECT payload %d bytes, want >= 2", len(payload))
+	}
+	alg := repro.Algorithm(payload[0])
+	if alg < 0 || alg > repro.AlgorithmKnownN {
+		return req, scratch, fmt.Errorf("serve: ELECT with unknown algorithm byte %d", payload[0])
+	}
+	req.alg = alg
+	rest := payload[1:]
+	k, n := binary.Varint(rest)
+	if n <= 0 {
+		return req, scratch, fmt.Errorf("serve: ELECT with undecodable k varint")
+	}
+	if k < 1 || k > wireMaxK {
+		return req, scratch, fmt.Errorf("serve: k must be in [1, %d], got %d", wireMaxK, k)
+	}
+	req.k = int(k)
+	rest = rest[n:]
+	scratch = scratch[:0]
+	for len(rest) > 0 {
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return req, scratch, fmt.Errorf("serve: ELECT with undecodable label varint at byte %d", len(payload)-len(rest))
+		}
+		if len(scratch) >= maxLabels {
+			return req, scratch, fmt.Errorf("serve: ELECT with more than %d labels", maxLabels)
+		}
+		scratch = append(scratch, ring.Label(v))
+		rest = rest[n:]
+	}
+	if len(scratch) < 2 {
+		return req, scratch, fmt.Errorf("serve: ELECT with %d labels, want >= 2", len(scratch))
+	}
+	req.labels = scratch
+	return req, scratch, nil
+}
+
+// wireResult is one decoded RESULT payload.
+type wireResult struct {
+	cached        bool
+	leader        int
+	leaderLabel   ring.Label
+	messages      int
+	peakSpaceBits int
+	timeUnits     float64
+}
+
+// decodeWireResult parses a RESULT payload.
+func decodeWireResult(payload []byte) (wireResult, error) {
+	var res wireResult
+	if len(payload) < 1 {
+		return res, fmt.Errorf("serve: RESULT payload empty")
+	}
+	res.cached = payload[0]&1 != 0
+	rest := payload[1:]
+	fields := [4]int64{}
+	for i := range fields {
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return res, fmt.Errorf("serve: RESULT with undecodable varint (field %d)", i)
+		}
+		fields[i] = v
+		rest = rest[n:]
+	}
+	res.leader = int(fields[0])
+	res.leaderLabel = ring.Label(fields[1])
+	res.messages = int(fields[2])
+	res.peakSpaceBits = int(fields[3])
+	if len(rest) != 8 {
+		return res, fmt.Errorf("serve: RESULT tail %d bytes, want 8", len(rest))
+	}
+	res.timeUnits = math.Float64frombits(binary.BigEndian.Uint64(rest))
+	return res, nil
+}
+
+// wireErrFrame is one decoded ERROR payload.
+type wireErrFrame struct {
+	code       wireErrCode
+	retryAfter int
+	msg        string
+}
+
+// decodeWireError parses an ERROR payload.
+func decodeWireError(payload []byte) (wireErrFrame, error) {
+	var e wireErrFrame
+	if len(payload) < 1 {
+		return e, fmt.Errorf("serve: ERROR payload empty")
+	}
+	e.code = wireErrCode(payload[0])
+	if e.code < wireErrBadRequest || e.code > wireErrInternal {
+		return e, fmt.Errorf("serve: ERROR with unknown code %d", payload[0])
+	}
+	rest := payload[1:]
+	ra, n := binary.Varint(rest)
+	if n <= 0 {
+		return e, fmt.Errorf("serve: ERROR with undecodable retry-after varint")
+	}
+	if ra < 0 {
+		return e, fmt.Errorf("serve: ERROR with negative retry-after %d", ra)
+	}
+	e.retryAfter = int(ra)
+	rest = rest[n:]
+	if len(rest) > wireMaxErrMsg {
+		return e, fmt.Errorf("serve: ERROR message %d bytes, limit %d", len(rest), wireMaxErrMsg)
+	}
+	e.msg = string(rest)
+	return e, nil
+}

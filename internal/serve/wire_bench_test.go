@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	repro "repro"
+)
+
+// The tentpole A/B pair: one cached election hit served through the
+// RGV1 wire path versus through the HTTP/JSON path, measured over the
+// same pre-warmed cache. Both process exactly one request per op at the
+// protocol layer — frame decode / canonicalize / lookup / frame encode
+// for the wire, HTTP routing / JSON decode / validate / canonicalize /
+// lookup / JSON encode for HTTP — which is precisely the per-request
+// cost the v2 protocol exists to cut. BENCH_PR6.json pins the ratio
+// (wire must stay ≥5x HTTP) via benchdiff's wire_bench section.
+
+// benchWireBodies pre-encodes one ELECT frame body (length prefix
+// stripped, as processFrame receives it) per rotated ring variant.
+func benchWireBodies(b *testing.B, nRings, nRots int) (*Server, [][]byte) {
+	b.Helper()
+	base := benchRings(nRings, 32)
+	s := New(Config{Workers: 1, CacheEntries: 4096})
+	b.Cleanup(s.Close)
+	for _, rg := range base {
+		key, _, sc := canonicalKey(rg.LabelsView(), repro.AlgorithmB, 32)
+		e, owner := s.cache.lookup(key, hashKey(key))
+		sc.release()
+		if !owner {
+			b.Fatal("benchmark rings must be distinct")
+		}
+		s.cache.finish(e, &canonOutcome{Leader: 0, LeaderLabel: 1, Messages: 276}, nil)
+	}
+	variants := rotations(base, nRots)
+	bodies := make([][]byte, len(variants))
+	for i, rg := range variants {
+		bodies[i] = appendWireElect(nil, uint64(i), repro.AlgorithmB, 32, rg.LabelsView())[4:]
+	}
+	return s, bodies
+}
+
+// BenchmarkWireHit: one served wire cache hit — frame decode into
+// connection scratch, Booth canonicalization, sharded lookup, RESULT
+// frame appended through the batched writer, metrics. Parallel over
+// per-goroutine connections, as real traffic is. Expect 0 allocs/op.
+func BenchmarkWireHit(b *testing.B) {
+	const nRings, nRots = 128, 4
+	s, bodies := benchWireBodies(b, nRings, nRots)
+	ws := NewWireServer(s)
+
+	var gid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		wc := newWireConn(ws, discardConn{})
+		defer wc.w.close()
+		i := int(gid.Add(1)) * 131
+		// Size the connection's scratch and writer buffers outside the
+		// measured region, as a warm connection would be.
+		for j := 0; j < 128; j++ {
+			if !wc.processFrame(bodies[(i+j)%len(bodies)]) {
+				b.Fatal("warmup frame rejected")
+			}
+		}
+		for pb.Next() {
+			if !wc.processFrame(bodies[i%len(bodies)]) {
+				b.Fatal("frame rejected")
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	if misses := s.Metrics().Snapshot().Misses; misses != 0 {
+		b.Fatalf("%d unexpected misses on a pre-warmed cache", misses)
+	}
+}
+
+// BenchmarkHTTPHit: the same cached hit through the HTTP/JSON surface —
+// mux routing, JSON decode, validation (including ProtocolFor),
+// canonicalization, lookup, JSON encode. The denominator of the ≥5x
+// acceptance ratio.
+func BenchmarkHTTPHit(b *testing.B) {
+	const nRings, nRots = 128, 4
+	base := benchRings(nRings, 32)
+	s := New(Config{Workers: 1, CacheEntries: 4096})
+	b.Cleanup(s.Close)
+	h := s.Handler()
+	variants := rotations(base, nRots)
+	bodies := make([][]byte, len(variants))
+	for i, rg := range variants {
+		bodies[i] = []byte(`{"ring":"` + canonSpec(rg.LabelsView()) + `","alg":"B","k":32}`)
+	}
+	for _, rg := range base {
+		key, _, sc := canonicalKey(rg.LabelsView(), repro.AlgorithmB, 32)
+		e, owner := s.cache.lookup(key, hashKey(key))
+		sc.release()
+		if !owner {
+			b.Fatal("benchmark rings must be distinct")
+		}
+		s.cache.finish(e, &canonOutcome{Leader: 0, LeaderLabel: 1, Messages: 276}, nil)
+	}
+
+	var gid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(gid.Add(1)) * 131
+		for pb.Next() {
+			body := bodies[i%len(bodies)]
+			i++
+			req := httptest.NewRequest("POST", "/v1/elect", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+	b.StopTimer()
+	if misses := s.Metrics().Snapshot().Misses; misses != 0 {
+		b.Fatalf("%d unexpected misses on a pre-warmed cache", misses)
+	}
+}

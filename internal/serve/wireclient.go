@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ring"
+
+	repro "repro"
+)
+
+// WireOutcome is one completed wire election in the requester's frame —
+// the binary-protocol twin of ElectResponse, minus the strings the wire
+// never carries.
+type WireOutcome struct {
+	Leader        int
+	LeaderLabel   ring.Label
+	Messages      int
+	PeakSpaceBits int
+	TimeUnits     float64
+	Cached        bool
+}
+
+// WireError is a typed ERROR frame surfaced to the caller, carrying the
+// HTTP-equivalent status so wire and HTTP callers can share one
+// accounting path, and the server's Retry-After hint on sheds.
+type WireError struct {
+	Status     int // HTTP-equivalent status (400/429/503/500)
+	RetryAfter int // seconds; only meaningful when Status == 429
+	Msg        string
+}
+
+// Error implements error.
+func (e *WireError) Error() string {
+	return fmt.Sprintf("wire error %d: %s", e.Status, e.Msg)
+}
+
+// ErrWireClientClosed fails calls on a closed client and in-flight calls
+// whose connection died.
+var ErrWireClientClosed = errors.New("serve: wire client closed")
+
+// WireClient speaks RGV1 to a ringd wire port over a fixed pool of
+// persistent connections. Calls are pipelined: every Elect appends one
+// frame and parks on a per-request channel; a reader goroutine per
+// connection dispatches RESULT/ERROR frames by request id, so any number
+// of callers share the pool without head-of-line blocking on the
+// response side. Safe for concurrent use.
+type WireClient struct {
+	timeout time.Duration
+	conns   []*wireClientConn
+	next    uint64 // round-robin cursor over conns; also the id sequence
+	mu      sync.Mutex
+	closed  bool
+}
+
+// wireClientConn is one pooled connection: a write-locked framer on the
+// send side and a reader goroutine fanning responses out by id.
+type wireClientConn struct {
+	conn net.Conn
+
+	wmu  sync.Mutex // serializes frame writes
+	wbuf []byte
+
+	pmu     sync.Mutex
+	pending map[uint64]chan wireReply
+	dead    error // set when the reader exits; fails new and parked calls
+}
+
+// wireReply carries one RESULT or ERROR frame to its waiting caller.
+type wireReply struct {
+	res wireResult
+	err *wireErrFrame
+}
+
+// DialWire connects a pool of conns RGV1 connections to addr. timeout
+// bounds each Elect call end to end (0 means 30s).
+func DialWire(addr string, conns int, timeout time.Duration) (*WireClient, error) {
+	if conns <= 0 {
+		conns = 1
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	c := &WireClient{timeout: timeout}
+	for i := 0; i < conns; i++ {
+		nc, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("serve: dial wire %s: %w", addr, err)
+		}
+		if _, err := nc.Write([]byte(wireMagic)); err != nil {
+			nc.Close()
+			c.Close()
+			return nil, fmt.Errorf("serve: wire handshake %s: %w", addr, err)
+		}
+		cc := &wireClientConn{conn: nc, pending: make(map[uint64]chan wireReply)}
+		go cc.readLoop()
+		c.conns = append(c.conns, cc)
+	}
+	return c, nil
+}
+
+// Elect runs one election over the wire: labels is the clockwise label
+// sequence in the caller's frame, and the returned leader index is in
+// that same frame. A typed server failure comes back as *WireError; a
+// transport failure as an ordinary error.
+func (c *WireClient) Elect(labels []ring.Label, alg repro.Algorithm, k int) (WireOutcome, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return WireOutcome{}, ErrWireClientClosed
+	}
+	id := c.next
+	c.next++
+	c.mu.Unlock()
+	cc := c.conns[id%uint64(len(c.conns))]
+
+	ch := make(chan wireReply, 1)
+	cc.pmu.Lock()
+	if cc.dead != nil {
+		err := cc.dead
+		cc.pmu.Unlock()
+		return WireOutcome{}, err
+	}
+	cc.pending[id] = ch
+	cc.pmu.Unlock()
+
+	cc.wmu.Lock()
+	cc.wbuf = appendWireElect(cc.wbuf[:0], id, alg, k, labels)
+	_, werr := cc.conn.Write(cc.wbuf)
+	cc.wmu.Unlock()
+	if werr != nil {
+		// A failed write means the connection is gone (the server closed
+		// it — e.g. a drain — or the transport died); the frame was never
+		// accepted, so this is a clean closed-connection outcome, not a
+		// truncation.
+		cc.forget(id)
+		cc.pmu.Lock()
+		if cc.dead == nil {
+			cc.dead = fmt.Errorf("%w (write: %v)", ErrWireClientClosed, werr)
+		}
+		err := cc.dead
+		cc.pmu.Unlock()
+		return WireOutcome{}, err
+	}
+
+	t := time.NewTimer(c.timeout)
+	defer t.Stop()
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			cc.pmu.Lock()
+			err := cc.dead
+			cc.pmu.Unlock()
+			if err == nil {
+				err = ErrWireClientClosed
+			}
+			return WireOutcome{}, err
+		}
+		if rep.err != nil {
+			return WireOutcome{}, &WireError{
+				Status:     rep.err.code.httpStatus(),
+				RetryAfter: rep.err.retryAfter,
+				Msg:        rep.err.msg,
+			}
+		}
+		return WireOutcome{
+			Leader:        rep.res.leader,
+			LeaderLabel:   rep.res.leaderLabel,
+			Messages:      rep.res.messages,
+			PeakSpaceBits: rep.res.peakSpaceBits,
+			TimeUnits:     rep.res.timeUnits,
+			Cached:        rep.res.cached,
+		}, nil
+	case <-t.C:
+		cc.forget(id)
+		return WireOutcome{}, fmt.Errorf("serve: wire elect %d timed out after %v", id, c.timeout)
+	}
+}
+
+// forget drops a pending call (write failure or timeout) so a late
+// response is discarded instead of leaking the channel.
+func (cc *wireClientConn) forget(id uint64) {
+	cc.pmu.Lock()
+	delete(cc.pending, id)
+	cc.pmu.Unlock()
+}
+
+// readLoop decodes response frames and completes pending calls by id.
+// On any read or protocol error it marks the connection dead and fails
+// everything still parked on it.
+func (cc *wireClientConn) readLoop() {
+	err := cc.readFrames()
+	cc.pmu.Lock()
+	if cc.dead == nil {
+		cc.dead = err
+	}
+	for id, ch := range cc.pending {
+		delete(cc.pending, id)
+		close(ch)
+	}
+	cc.pmu.Unlock()
+}
+
+func (cc *wireClientConn) readFrames() error {
+	var pfx [4]byte
+	var body []byte
+	for {
+		if _, err := io.ReadFull(cc.conn, pfx[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return ErrWireClientClosed
+			}
+			return fmt.Errorf("serve: wire read: %w", err)
+		}
+		n := binary.BigEndian.Uint32(pfx[:])
+		if int(n) < wireHeaderLen || int(n) > wireMaxResponseBody {
+			return fmt.Errorf("serve: wire response frame %d bytes, limit %d", n, wireMaxResponseBody)
+		}
+		if cap(body) < int(n) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(cc.conn, body); err != nil {
+			return fmt.Errorf("serve: wire read body: %w", err)
+		}
+		typ, id, payload, err := decodeWireHeader(body)
+		if err != nil {
+			return err
+		}
+		var rep wireReply
+		switch typ {
+		case wireFrameResult:
+			res, err := decodeWireResult(payload)
+			if err != nil {
+				return err
+			}
+			rep.res = res
+		case wireFrameError:
+			ef, err := decodeWireError(payload)
+			if err != nil {
+				return err
+			}
+			rep.err = &ef
+		default:
+			return fmt.Errorf("serve: unexpected %v frame from server", typ)
+		}
+		cc.pmu.Lock()
+		ch, ok := cc.pending[id]
+		delete(cc.pending, id)
+		cc.pmu.Unlock()
+		if ok {
+			ch <- rep // buffered; never blocks the reader
+		}
+	}
+}
+
+// Close tears the pool down. In-flight calls fail with
+// ErrWireClientClosed.
+func (c *WireClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	var first error
+	for _, cc := range c.conns {
+		cc.pmu.Lock()
+		if cc.dead == nil {
+			cc.dead = ErrWireClientClosed
+		}
+		cc.pmu.Unlock()
+		if err := cc.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
