@@ -4,9 +4,10 @@
 GO ?= go
 
 .PHONY: all build check vet fmt-check test test-net test-serve test-wire \
-        test-chaos test-race race-concurrency test-short bench bench-serve \
-        bench-wire bench-json bench-compare profile-serve experiments \
-        experiments-md fuzz fuzz-parse fuzz-wire figures clean
+        test-cluster test-chaos test-race race-concurrency test-short bench \
+        bench-serve bench-wire bench-cluster bench-json bench-compare \
+        profile-serve experiments experiments-md fuzz fuzz-parse fuzz-wire \
+        figures clean
 
 all: build check test
 
@@ -15,9 +16,10 @@ build:
 
 # Static checks plus the TCP transport engine's race/fault soak, the
 # election-serving daemon's race/shed/drain soak, the binary wire
-# protocol's pipelining/drain soak, and the crash-recovery chaos soak,
-# wired into the default flow.
-check: vet fmt-check test-net test-serve test-wire test-chaos
+# protocol's pipelining/drain soak, the cluster gateway's routing/
+# failover/replica-kill soak, and the crash-recovery chaos soak, wired
+# into the default flow.
+check: vet fmt-check test-net test-serve test-wire test-cluster test-chaos
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +56,16 @@ test-serve:
 test-wire:
 	$(GO) test -race -count=3 -run 'Wire' ./internal/serve/ ./cmd/ringd/ ./cmd/ringload/
 
+# The cluster subsystem under the race detector: rendezvous routing,
+# health hysteresis, failover, hedging, the gateway daemon, the
+# in-process scaling ladder, and the replica-kill soak — real ringd
+# subprocesses SIGKILLed behind the gateway while a crosschecking load
+# mix keeps flowing.
+test-cluster:
+	$(GO) test -race -count=1 ./internal/cluster/ ./cmd/ringgw/
+	$(GO) test -race -count=1 -run 'Cluster' ./internal/load/ ./cmd/ringload/
+	$(GO) test -race -count=1 -timeout 10m -run 'Replica' ./internal/chaos/
+
 # Crash-recovery chaos soak: real ringnode processes over TCP, a
 # seed-driven fault scheduler (SIGKILL + relaunch, partitions, delay
 # spikes), every run cross-checked against the deterministic simulator.
@@ -88,22 +100,33 @@ bench-serve:
 bench-wire:
 	$(GO) test -run '^$$' -bench 'WireHit|HTTPHit' -benchmem -cpu 8 -count 1 ./internal/serve/
 
-# Machine-readable experiment benchmark (same schema as BENCH_PR6.json),
-# with the serving and wire micro-benchmarks merged into its serve_bench
-# and wire_bench sections.
+# The replica-scaling ladder: routed election throughput at fleet sizes
+# 1, 2, and 4. Deliberately NO -cpu override — the ladder must record
+# the machine's true GOMAXPROCS, because benchdiff's -cluster-scale
+# check trusts the report's gomaxprocs to decide whether a flat ladder
+# is a regression or just a narrow host.
+bench-cluster:
+	$(GO) test -run '^$$' -bench 'ClusterElect' -benchmem -count 1 ./internal/cluster/
+
+# Machine-readable experiment benchmark (same schema as BENCH_PR7.json),
+# with the serving, wire, and cluster benchmarks merged into its
+# serve_bench, wire_bench, and cluster_bench sections.
 bench-json:
 	$(GO) run ./cmd/ringbench -json BENCH_NEW.json > /dev/null
 	$(GO) test -run '^$$' -bench 'Serve' -benchmem -cpu 8 -count 1 ./internal/serve/ \
 		| $(GO) run ./cmd/benchdiff -merge-serve BENCH_NEW.json
 	$(GO) test -run '^$$' -bench 'WireHit|HTTPHit' -benchmem -cpu 8 -count 1 ./internal/serve/ \
 		| $(GO) run ./cmd/benchdiff -merge-wire BENCH_NEW.json
+	$(GO) test -run '^$$' -bench 'ClusterElect' -benchmem -count 1 ./internal/cluster/ \
+		| $(GO) run ./cmd/benchdiff -merge-cluster BENCH_NEW.json
 
 # Diff a fresh benchmark report against the committed baseline:
-# wall-clock deltas are informational; content drift, serve/wire ns/op
-# regressions past tolerance, allocs/op increases, and a wire hit
-# slipping below 5x the HTTP hit fail the target.
+# wall-clock deltas are informational; content drift, serve/wire/cluster
+# ns/op regressions past tolerance, allocs/op increases, a wire hit
+# slipping below 5x the HTTP hit, and (on multi-core hosts) a replica
+# ladder that stopped scaling fail the target.
 bench-compare: bench-json
-	$(GO) run ./cmd/benchdiff BENCH_PR6.json BENCH_NEW.json
+	$(GO) run ./cmd/benchdiff BENCH_PR7.json BENCH_NEW.json
 
 # Capture CPU and heap profiles of ringd under ringload traffic.
 # Artifacts land in ./profiles/ for `go tool pprof`.

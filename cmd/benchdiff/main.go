@@ -26,18 +26,29 @@
 // wire protocol's whole reason to exist is that a cached hit costs a
 // small fraction of its HTTP equivalent, and this pins it.
 //
+// A cluster_bench section carries the replica-scaling ladder
+// (BenchmarkClusterElect/replicas=N from `go test -bench ClusterElect`
+// in internal/cluster), compared under the same tolerance and
+// allocation rules, plus one scaling invariant: when the new report's
+// ladder has both the replicas=1 and replicas=2 rungs AND the section
+// ran with GOMAXPROCS >= 2, the 1→2 speedup (ns/op ratio) must reach
+// -cluster-scale (default 1.6). On a single-core run the rungs cannot
+// diverge — elections are CPU-bound — so the check prints a skip note
+// instead of encoding a lie.
+//
 // Usage:
 //
-//	benchdiff [-serve-tol 0.5] [-wire-ratio 5] OLD.json NEW.json
+//	benchdiff [-serve-tol 0.5] [-wire-ratio 5] [-cluster-scale 1.6] OLD.json NEW.json
 //	go test -run '^$' -bench Serve -benchmem ./internal/serve/ | benchdiff -merge-serve REPORT.json
 //	go test -run '^$' -bench 'WireHit|HTTPHit' -benchmem ./internal/serve/ | benchdiff -merge-wire REPORT.json
+//	go test -run '^$' -bench ClusterElect -benchmem ./internal/cluster/ | benchdiff -merge-cluster REPORT.json
 //
 // The merge forms parse `go test -bench` output from stdin and write
-// it into REPORT.json's serve_bench / wire_bench section (creating
-// it), so one committed file carries the experiment baseline and the
-// serving numbers together. The committed BENCH_PR6.json is the
-// repository's perf baseline; `make bench-compare` regenerates a fresh
-// report and diffs it against that.
+// it into REPORT.json's serve_bench / wire_bench / cluster_bench
+// section (creating it), so one committed file carries the experiment
+// baseline and the serving numbers together. The committed
+// BENCH_PR7.json is the repository's perf baseline; `make
+// bench-compare` regenerates a fresh report and diffs it against that.
 package main
 
 import (
@@ -78,16 +89,17 @@ type serveBench struct {
 }
 
 type report struct {
-	Schema      string       `json:"schema"`
-	Seed        int64        `json:"seed"`
-	Quick       bool         `json:"quick"`
-	Par         int          `json:"par"`
-	Engine      string       `json:"engine,omitempty"`
-	GOMAXPROCS  int          `json:"gomaxprocs,omitempty"`
-	TotalWallMS float64      `json:"total_wall_ms"`
-	Experiments []experiment `json:"experiments"`
-	ServeBench  *serveBench  `json:"serve_bench,omitempty"`
-	WireBench   *serveBench  `json:"wire_bench,omitempty"`
+	Schema       string       `json:"schema"`
+	Seed         int64        `json:"seed"`
+	Quick        bool         `json:"quick"`
+	Par          int          `json:"par"`
+	Engine       string       `json:"engine,omitempty"`
+	GOMAXPROCS   int          `json:"gomaxprocs,omitempty"`
+	TotalWallMS  float64      `json:"total_wall_ms"`
+	Experiments  []experiment `json:"experiments"`
+	ServeBench   *serveBench  `json:"serve_bench,omitempty"`
+	WireBench    *serveBench  `json:"wire_bench,omitempty"`
+	ClusterBench *serveBench  `json:"cluster_bench,omitempty"`
 }
 
 func main() {
@@ -114,24 +126,38 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	serveTol := fs.Float64("serve-tol", 0.5, "allowed fractional ns/op regression in serve and wire benchmarks (0.5 = new may be 50% slower)")
 	wireRatio := fs.Float64("wire-ratio", 5, "minimum HTTPHit/WireHit ns/op ratio the new report's wire_bench must hold (0 disables)")
+	clusterScale := fs.Float64("cluster-scale", 1.6, "minimum replicas=1 -> replicas=2 speedup the new report's cluster_bench must hold; skipped when it ran single-core (0 disables)")
 	mergeServe := fs.String("merge-serve", "", "parse `go test -bench` output from stdin into FILE's serve_bench section and exit")
 	mergeWire := fs.String("merge-wire", "", "parse `go test -bench` output from stdin into FILE's wire_bench section and exit")
+	mergeCluster := fs.String("merge-cluster", "", "parse `go test -bench` output from stdin into FILE's cluster_bench section and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *mergeServe != "" || *mergeWire != "" {
-		if *mergeServe != "" && *mergeWire != "" {
-			fmt.Fprintln(stderr, "benchdiff: -merge-serve and -merge-wire are mutually exclusive (run them as two passes)")
+	merges := map[string]string{
+		"serve_bench":   *mergeServe,
+		"wire_bench":    *mergeWire,
+		"cluster_bench": *mergeCluster,
+	}
+	active := 0
+	for _, path := range merges {
+		if path != "" {
+			active++
+		}
+	}
+	if active > 0 {
+		if active > 1 {
+			fmt.Fprintln(stderr, "benchdiff: the -merge-* flags are mutually exclusive (run them as separate passes)")
 			return 2
 		}
 		if fs.NArg() != 0 {
 			fmt.Fprintln(stderr, "benchdiff: merge flags take no positional arguments")
 			return 2
 		}
-		if *mergeServe != "" {
-			return runMerge(*mergeServe, "serve_bench", stdin, stdout, stderr)
+		for section, path := range merges {
+			if path != "" {
+				return runMerge(path, section, stdin, stdout, stderr)
+			}
 		}
-		return runMerge(*mergeWire, "wire_bench", stdin, stdout, stderr)
 	}
 	if fs.NArg() != 2 {
 		fmt.Fprintln(stderr, "usage: benchdiff [-serve-tol F] OLD.json NEW.json")
@@ -201,7 +227,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	drift += compareBenchSection("serve_bench", old.ServeBench, cur.ServeBench, *serveTol, stdout)
 	drift += compareBenchSection("wire_bench", old.WireBench, cur.WireBench, *serveTol, stdout)
+	drift += compareBenchSection("cluster_bench", old.ClusterBench, cur.ClusterBench, *serveTol, stdout)
 	drift += checkWireRatio(cur.WireBench, *wireRatio, stdout)
+	drift += checkClusterScale(cur.ClusterBench, *clusterScale, stdout)
 
 	if drift > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d item(s) drifted\n", drift)
@@ -309,6 +337,46 @@ func checkWireRatio(cur *serveBench, minRatio float64, stdout io.Writer) int {
 	return drift
 }
 
+// checkClusterScale enforces the cluster's reason to exist on the NEW
+// report alone: with a second replica, routed election throughput must
+// improve by at least minScale. Only meaningful when the ladder actually
+// had cores to scale onto — a single-core run is reported and skipped,
+// never failed, and never silently: the skip note is printed so a
+// baseline quietly recorded on a laptop doesn't masquerade as a pass.
+// A ladder that used to exist and vanished is caught by the
+// cluster_bench section-drift check, not here.
+func checkClusterScale(cur *serveBench, minScale float64, stdout io.Writer) int {
+	if cur == nil || minScale <= 0 {
+		return 0
+	}
+	var one, two float64
+	for _, b := range cur.Benchmarks {
+		switch b.Name {
+		case "ClusterElect/replicas=1":
+			one = b.NsPerOp
+		case "ClusterElect/replicas=2":
+			two = b.NsPerOp
+		}
+	}
+	if one <= 0 || two <= 0 {
+		return 0
+	}
+	if cur.GOMAXPROCS < 2 {
+		fmt.Fprintf(stdout, "cluster scale: skipped — cluster_bench ran with GOMAXPROCS %d; a single core cannot scale CPU-bound elections\n", cur.GOMAXPROCS)
+		return 0
+	}
+	scale := one / two
+	verdict := "ok"
+	drift := 0
+	if scale < minScale {
+		verdict = "BELOW FLOOR"
+		drift = 1
+	}
+	fmt.Fprintf(stdout, "cluster scale: replicas=1 %.1f ns/op / replicas=2 %.1f ns/op = %.2fx (floor %.2fx)  %s\n",
+		one, two, scale, minScale, verdict)
+	return drift
+}
+
 // benchLine matches one `go test -bench` result line, e.g.
 //
 //	BenchmarkServeHit-8   1254979   923.4 ns/op   0 B/op   0 allocs/op
@@ -354,9 +422,12 @@ func runMerge(path, section string, stdin io.Reader, stdout, stderr io.Writer) i
 		fmt.Fprintln(stderr, "benchdiff: no benchmark lines found on stdin")
 		return 2
 	}
-	if section == "wire_bench" {
+	switch section {
+	case "wire_bench":
 		r.WireBench = sb
-	} else {
+	case "cluster_bench":
+		r.ClusterBench = sb
+	default:
 		r.ServeBench = sb
 	}
 	buf, err := json.MarshalIndent(r, "", "  ")

@@ -437,3 +437,127 @@ func TestWireBenchDrift(t *testing.T) {
 		t.Errorf("alloc regression not flagged:\n%s", out.String())
 	}
 }
+
+// withCluster splices a cluster_bench section into the reportA fixture.
+func withCluster(section string) string {
+	return strings.ReplaceAll(reportA, `"total_wall_ms": 100,`,
+		`"total_wall_ms": 100, "cluster_bench": `+section+`,`)
+}
+
+const clusterSectionOld = `{
+  "gomaxprocs": 8,
+  "benchmarks": [
+    {"name": "ClusterElect/replicas=1", "ns_per_op": 40000, "bytes_per_op": 9000, "allocs_per_op": 120},
+    {"name": "ClusterElect/replicas=2", "ns_per_op": 22000, "bytes_per_op": 9000, "allocs_per_op": 120},
+    {"name": "ClusterElect/replicas=4", "ns_per_op": 13000, "bytes_per_op": 9000, "allocs_per_op": 120}
+  ]
+}`
+
+// TestMergeCluster: -merge-cluster lands the replica ladder in
+// cluster_bench — sub-benchmark names intact — leaving the other
+// sections untouched.
+func TestMergeCluster(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "r.json", withServe(serveSectionOld))
+	benchOut := `BenchmarkClusterElect/replicas=1-8    28914    41519 ns/op    9123 B/op   121 allocs/op
+BenchmarkClusterElect/replicas=2-8    53163    22583 ns/op    9088 B/op   120 allocs/op
+BenchmarkClusterElect/replicas=4-8    90622    13249 ns/op    9101 B/op   120 allocs/op
+PASS
+`
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-merge-cluster", path}, strings.NewReader(benchOut), &out, &errBuf); code != 0 {
+		t.Fatalf("merge exit %d: %s", code, errBuf.String())
+	}
+	merged, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.ClusterBench == nil || len(merged.ClusterBench.Benchmarks) != 3 || merged.ClusterBench.GOMAXPROCS != 8 {
+		t.Fatalf("cluster_bench not merged: %+v", merged.ClusterBench)
+	}
+	if one := merged.ClusterBench.Benchmarks[0]; one.Name != "ClusterElect/replicas=1" || one.NsPerOp != 41519 {
+		t.Errorf("ladder rung parsed as %+v", one)
+	}
+	if merged.ServeBench == nil || len(merged.ServeBench.Benchmarks) != 2 {
+		t.Errorf("serve_bench clobbered by -merge-cluster: %+v", merged.ServeBench)
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{path, path}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("self-compare after -merge-cluster: exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "cluster scale:") {
+		t.Errorf("scale verdict missing from compare:\n%s", out.String())
+	}
+}
+
+// TestClusterScaleFloor: the new report's replicas=1 -> replicas=2
+// speedup must reach -cluster-scale when the section ran multi-core; a
+// flat ladder fails even when each rung individually sits inside
+// -serve-tol.
+func TestClusterScaleFloor(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", withCluster(clusterSectionOld))
+	b := write(t, dir, "b.json", withCluster(clusterSectionOld))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 0 { // 1.82x >= 1.6x
+		t.Fatalf("exit %d, want 0:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "cluster scale:") || !strings.Contains(out.String(), "ok") {
+		t.Errorf("scale verdict missing:\n%s", out.String())
+	}
+	// Floor violated: the second replica stopped paying for itself.
+	flat := strings.ReplaceAll(clusterSectionOld,
+		`"name": "ClusterElect/replicas=2", "ns_per_op": 22000`,
+		`"name": "ClusterElect/replicas=2", "ns_per_op": 36000`)
+	c := write(t, dir, "c.json", withCluster(flat))
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-serve-tol", "1000", a, c}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (1.11x is below the 1.6x floor):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "BELOW FLOOR") {
+		t.Errorf("floor violation not flagged:\n%s", out.String())
+	}
+	// -cluster-scale 0 disables the floor.
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-serve-tol", "1000", "-cluster-scale", "0", a, c}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, want 0 (-cluster-scale 0 disables the floor):\n%s", code, out.String())
+	}
+}
+
+// TestClusterScaleSkipsSingleCore: a ladder recorded under GOMAXPROCS 1
+// cannot scale and must be skipped with an explicit note — not failed,
+// not silently passed over.
+func TestClusterScaleSkipsSingleCore(t *testing.T) {
+	dir := t.TempDir()
+	narrow := strings.ReplaceAll(clusterSectionOld, `"gomaxprocs": 8`, `"gomaxprocs": 1`)
+	flat := strings.ReplaceAll(narrow,
+		`"name": "ClusterElect/replicas=2", "ns_per_op": 22000`,
+		`"name": "ClusterElect/replicas=2", "ns_per_op": 41000`)
+	a := write(t, dir, "a.json", withCluster(flat))
+	b := write(t, dir, "b.json", withCluster(flat))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, want 0 (single-core ladder is skipped):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "cluster scale: skipped") {
+		t.Errorf("skip not announced:\n%s", out.String())
+	}
+}
+
+// TestClusterBenchDrift: cluster_bench follows the same section drift
+// rules as the other sections.
+func TestClusterBenchDrift(t *testing.T) {
+	dir := t.TempDir()
+	plain := write(t, dir, "plain.json", reportA)
+	clustered := write(t, dir, "clustered.json", withCluster(clusterSectionOld))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{clustered, plain}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (cluster_bench vanished):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "cluster_bench: only in old report") {
+		t.Errorf("section drift not explicit:\n%s", out.String())
+	}
+}

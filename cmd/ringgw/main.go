@@ -1,0 +1,210 @@
+// Command ringgw fronts a fleet of ringd replicas (internal/cluster):
+// it terminates the same HTTP/JSON API ringd speaks — POST /v1/elect and
+// /v1/classify, GET /healthz, /readyz and /metrics — plus, with
+// -wire-addr, the RGV1 binary wire protocol, and proxies every election
+// over pooled wire connections to whichever replica rendezvous hashing
+// assigns the ring's canonical class. Per-replica liveness comes from
+// probing each replica's /readyz with failure/recovery hysteresis;
+// requests that outlive the hedge budget are raced against the
+// next-ranked replica and the first answer wins.
+//
+// The fleet is named either inline,
+//
+//	ringgw -listen 127.0.0.1:9322 \
+//	    -replicas r0=127.0.0.1:8323=http://127.0.0.1:8322,r1=127.0.0.1:8423=http://127.0.0.1:8422
+//
+// or from a JSON file of {"name", "wire_addr", "base_url"} objects:
+//
+//	ringgw -listen 127.0.0.1:9322 -roster fleet.json
+//
+// Replica names are rendezvous identities: renaming a replica reassigns
+// its slice of the keyspace, so keep names stable across restarts.
+//
+// /metrics adds per-replica gauges and counters on top of the standard
+// serving metrics: ringgw_replica_up, _routed_total, _hedged_total,
+// _hedge_wins_total, _failed_total, and _latency_seconds quantiles.
+//
+// Shutdown mirrors ringd's drain discipline: /readyz flips to 503 so
+// upstream balancers steer away, both frontends drain in flight work
+// (the wire port flushes and half-closes each connection), and only then
+// do the replica connections close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/netring"
+	"repro/internal/serve"
+)
+
+func main() {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() { <-sigc; close(stop) }()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, stop))
+}
+
+// run is the testable body of main: it returns the exit code and shuts
+// down gracefully when stop closes.
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("ringgw", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen       = fs.String("listen", "127.0.0.1:9322", "address to listen on (host:port; port 0 picks a free port)")
+		wireAddr     = fs.String("wire-addr", "", "serve the RGV1 binary wire protocol on this address (empty disables)")
+		replicasSpec = fs.String("replicas", "", "inline roster: comma-separated name=wireAddr=baseURL triples")
+		rosterPath   = fs.String("roster", "", "JSON roster file (array of {name, wire_addr, base_url}); exclusive with -replicas")
+		probeEvery   = fs.Duration("probe-every", 500*time.Millisecond, "replica /readyz probe interval")
+		failAfter    = fs.Int("fail-after", 2, "consecutive failed probes before a replica is marked down")
+		recoverAfter = fs.Int("recover-after", 2, "consecutive good probes before a down replica is marked up")
+		poolConns    = fs.Int("pool-conns", 2, "pooled wire connections per replica")
+		timeout      = fs.Duration("timeout", 5*time.Second, "per-replica attempt budget")
+		hedgeAfter   = fs.Duration("hedge-after", 10*time.Millisecond, "hedge budget floor before latency history exists")
+		hedgeMult    = fs.Float64("hedge-mult", 4, "hedge once a request has taken this many times the EWMA latency")
+		maxAttempts  = fs.Int("max-attempts", 0, "max distinct replicas tried per request, hedges included (0 = whole roster)")
+		maxRing      = fs.Int("max-ring", 4096, "largest accepted ring size")
+		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request budget on the wire frontend")
+		drainWait    = fs.Duration("drain-wait", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "ringgw: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	var roster cluster.Roster
+	var err error
+	switch {
+	case *replicasSpec != "" && *rosterPath != "":
+		fmt.Fprintf(stderr, "ringgw: -replicas and -roster are exclusive\n")
+		return 2
+	case *replicasSpec != "":
+		roster, err = cluster.ParseRoster(*replicasSpec)
+	case *rosterPath != "":
+		roster, err = cluster.LoadRoster(*rosterPath)
+	default:
+		fmt.Fprintf(stderr, "ringgw: a fleet is required: pass -replicas or -roster\n")
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "ringgw: %v\n", err)
+		return 2
+	}
+
+	logger := log.New(stderr, "ringgw: ", log.LstdFlags)
+	health := cluster.StartHealth(roster, cluster.HealthConfig{
+		Interval:     *probeEvery,
+		FailAfter:    *failAfter,
+		RecoverAfter: *recoverAfter,
+		Logf:         logger.Printf,
+	})
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Roster:          roster,
+		Health:          health,
+		PoolConns:       *poolConns,
+		Timeout:         *timeout,
+		Backoff:         netring.Backoff{}.WithDefaults(),
+		HedgeAfter:      *hedgeAfter,
+		HedgeMultiplier: *hedgeMult,
+		MaxAttempts:     *maxAttempts,
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		health.Stop()
+		fmt.Fprintf(stderr, "ringgw: %v\n", err)
+		return 1
+	}
+	gw := cluster.NewGateway(cluster.GatewayConfig{
+		Router:      router,
+		MaxRingSize: *maxRing,
+		Logf:        logger.Printf,
+	})
+
+	shutdown := func() {
+		router.Close()
+		health.Stop()
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "ringgw: %v\n", err)
+		shutdown()
+		return 1
+	}
+	fmt.Fprintf(stdout, "ringgw: listening on %s, fronting %d replicas\n", ln.Addr(), len(roster))
+	// The wire frontend shares the gateway's router and metrics, so both
+	// protocols see one liveness view and one routing table.
+	var fe *serve.WireFrontend
+	var wireErr chan error // nil (never ready) when the wire port is off
+	if *wireAddr != "" {
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "ringgw: wire listener: %v\n", err)
+			ln.Close()
+			shutdown()
+			return 1
+		}
+		fmt.Fprintf(stdout, "ringgw: wire listening on %s\n", wln.Addr())
+		fe = serve.NewWireFrontend(gw, serve.WireFrontendConfig{
+			MaxRingSize:    *maxRing,
+			RequestTimeout: *reqTimeout,
+			Metrics:        gw.Metrics(),
+		})
+		wireErr = make(chan error, 1)
+		go func() { wireErr <- fe.Serve(wln) }()
+	}
+	hs := &http.Server{Handler: gw.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	exit := 0
+	select {
+	case <-stop:
+	case err := <-serveErr:
+		logger.Printf("serve error: %v", err)
+		shutdown()
+		return 1
+	case err := <-wireErr:
+		logger.Printf("wire serve error: %v", err)
+		shutdown()
+		return 1
+	}
+
+	logger.Printf("shutting down: draining in-flight elections")
+	// Readiness first: /readyz answers 503 and new elections get typed
+	// 503s from this instant, while in-flight work finishes.
+	gw.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		exit = 1
+	}
+	if fe != nil {
+		if err := fe.Shutdown(ctx); err != nil {
+			logger.Printf("wire shutdown: %v", err)
+			exit = 1
+		}
+	}
+	// Only after both frontends drain: tear down the replica connections
+	// and the prober, so the last proxied election is never cut off.
+	shutdown()
+	for _, rs := range router.Stats() {
+		logger.Printf("final: replica=%s up=%t routed=%d hedged=%d hedge_wins=%d failed=%d",
+			rs.Name, rs.Up, rs.Routed, rs.Hedged, rs.HedgeWins, rs.Failed)
+	}
+	return exit
+}

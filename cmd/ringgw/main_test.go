@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/load"
+	"repro/internal/serve"
+)
+
+// syncBuffer lets the daemon goroutine write stdout while the test
+// polls it for the listen line.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var (
+	listenLine     = regexp.MustCompile(`ringgw: listening on ([\d.]+:\d+)`)
+	wireListenLine = regexp.MustCompile(`ringgw: wire listening on ([\d.]+:\d+)`)
+)
+
+// startFleet boots n in-process replicas and returns them with their
+// inline -replicas spec.
+func startFleet(t *testing.T, n int) (*cluster.LocalFleet, string) {
+	t.Helper()
+	fleet, err := cluster.StartLocalFleet(n, serve.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Stop)
+	parts := make([]string, len(fleet.Roster))
+	for i, r := range fleet.Roster {
+		parts[i] = fmt.Sprintf("%s=%s=%s", r.Name, r.WireAddr, r.BaseURL)
+	}
+	return fleet, strings.Join(parts, ",")
+}
+
+// startGateway runs the daemon against the fleet spec and returns its
+// base URL, wire address (when enabled), and control channels.
+func startGateway(t *testing.T, extra ...string) (string, string, chan struct{}, chan int, *syncBuffer) {
+	t.Helper()
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	args := append([]string{"-listen", "127.0.0.1:0", "-probe-every", "25ms"}, extra...)
+	go func() { exit <- run(args, stdout, stderr, stop) }()
+
+	wantWire := false
+	for _, a := range extra {
+		if a == "-wire-addr" {
+			wantWire = true
+		}
+	}
+	var baseURL, wireAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for baseURL == "" || (wantWire && wireAddr == "") {
+		if m := listenLine.FindStringSubmatch(stdout.String()); m != nil {
+			baseURL = "http://" + m[1]
+		}
+		if m := wireListenLine.FindStringSubmatch(stdout.String()); m != nil {
+			wireAddr = m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never announced its address; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("gateway exited early with %d; stderr=%q", code, stderr.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return baseURL, wireAddr, stop, exit, stderr
+}
+
+// TestGatewayDaemonServesAndDrains is the daemon acceptance run: boot a
+// two-replica fleet, front it with ringgw on both protocols, drive a
+// seeded crosschecking mix over the wire port, check the HTTP API and
+// per-replica metrics, then stop the daemon and require a graceful exit
+// with final routing accounting.
+func TestGatewayDaemonServesAndDrains(t *testing.T) {
+	_, spec := startFleet(t, 2)
+	baseURL, wireAddr, stop, exit, stderr := startGateway(t,
+		"-replicas", spec, "-wire-addr", "127.0.0.1:0")
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(baseURL+"/v1/elect", "application/json",
+			strings.NewReader(`{"ring":"1 3 1 3 2 2 1 2","alg":"B","k":3}`))
+		if err != nil {
+			t.Fatalf("elect %d: %v", i, err)
+		}
+		var out struct {
+			Leader int  `json:"leader"`
+			Cached bool `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("elect %d: decoding: %v", i, err)
+		}
+		resp.Body.Close()
+		if out.Leader != 0 {
+			t.Errorf("elect %d: leader %d, want 0", i, out.Leader)
+		}
+		if wantCached := i > 0; out.Cached != wantCached {
+			t.Errorf("elect %d: cached=%t, want %t", i, out.Cached, wantCached)
+		}
+	}
+
+	rep, err := load.Run(load.Config{
+		BaseURL:    baseURL,
+		Proto:      load.ProtoWire,
+		WireAddr:   wireAddr,
+		WireConns:  2,
+		Requests:   80,
+		Workers:    4,
+		Seed:       7,
+		Alg:        "B",
+		K:          3,
+		Crosscheck: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("wire load: %v", err)
+	}
+	if rep.OK != 80 || rep.TransportErrors != 0 {
+		t.Errorf("wire run: ok=%d transport=%d, want 80/0", rep.OK, rep.TransportErrors)
+	}
+	if rep.Crosschecks == 0 || rep.Divergences != 0 {
+		t.Errorf("crosschecks=%d divergences=%d, want >0 and 0", rep.Crosschecks, rep.Divergences)
+	}
+
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ringgw_replica_up{", "ringgw_replica_routed_total{"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %s:\n%s", want, body)
+		}
+	}
+
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("gateway did not shut down")
+	}
+	if s := stderr.String(); !strings.Contains(s, "draining") || !strings.Contains(s, "final: replica=") {
+		t.Errorf("shutdown log incomplete: %q", s)
+	}
+}
+
+// TestGatewayDaemonRosterFile: the JSON roster file path boots the same
+// fleet the inline spec does.
+func TestGatewayDaemonRosterFile(t *testing.T) {
+	fleet, _ := startFleet(t, 2)
+	data, err := json.Marshal(fleet.Roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseURL, _, stop, exit, stderr := startGateway(t, "-roster", path)
+
+	resp, err := http.Post(baseURL+"/v1/elect", "application/json",
+		strings.NewReader(`{"ring":"1 3 1 3 2 2 1 2","alg":"B","k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("elect status %d, want 200", resp.StatusCode)
+	}
+
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("gateway did not shut down")
+	}
+}
+
+// TestGatewayDaemonBadFlags covers the usage-error exits.
+func TestGatewayDaemonBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{},                  // no fleet at all
+		{"-replicas", "r0"}, // malformed spec
+		{"-roster", "/no/such/file.json"},
+		{"-replicas", "r0=a=b", "-roster", "also.json"}, // exclusive
+		{"-replicas", "r0=a=b", "trailing"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb, make(chan struct{})); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestGatewayDaemonListenFailure: an unbindable address must exit 1 and
+// release the router/prober, not hang.
+func TestGatewayDaemonListenFailure(t *testing.T) {
+	_, spec := startFleet(t, 1)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-replicas", spec, "-listen", "256.0.0.1:1"}, &out, &errb, make(chan struct{})); code != 1 {
+		t.Errorf("exit %d, want 1; stderr=%q", code, errb.String())
+	}
+}

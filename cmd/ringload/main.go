@@ -20,6 +20,18 @@
 // against the local deterministic simulator in the request's own frame,
 // end-to-end checking the daemon's rotation canonicalization. Exit
 // status 1 flags divergences or transport failures.
+//
+// With -cluster the tool needs no external daemon at all: it boots an
+// in-process replica fleet plus gateway (internal/cluster) at each rung
+// of the -replicas ladder, drives the identical seeded mix through the
+// gateway, and prints a ClusterReport — per-rung throughput, speedup
+// over the single-replica rung, and the hot-traffic hit rate that
+// rendezvous routing is supposed to preserve:
+//
+//	ringload -cluster -replicas 1,2,4 -n 2000 -crosscheck 0.25
+//
+// -scale-floor N fails the run (exit 1) when the best rung's speedup is
+// below N; leave it 0 on hosts without the cores to scale.
 package main
 
 import (
@@ -28,6 +40,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/load"
@@ -56,6 +70,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		engine     = fs.String("engine", "sim", "execution engine: sim or goroutines")
 		crosscheck = fs.Float64("crosscheck", 0, "fraction of responses re-verified locally (0 disables)")
 		timeout    = fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+
+		clusterMode    = fs.Bool("cluster", false, "run an in-process replica ladder behind a gateway instead of targeting -url")
+		replicasSpec   = fs.String("replicas", "1,2,4", "fleet-size ladder for -cluster, comma-separated")
+		replicaCache   = fs.Int("replica-cache", 0, "per-replica result-cache entries in -cluster mode (0 = serve default)")
+		replicaWorkers = fs.Int("replica-workers", 0, "per-replica election workers in -cluster mode (0 = one per CPU)")
+		scaleFloor     = fs.Float64("scale-floor", 0, "fail unless the best -cluster rung speedup reaches this (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,12 +93,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ringload: -proto must be http or wire, got %q\n", *proto)
 		return 2
 	}
-	if *proto == load.ProtoWire && *wireAddr == "" {
+	if !*clusterMode && *proto == load.ProtoWire && *wireAddr == "" {
 		fmt.Fprintf(stderr, "ringload: -proto wire requires -wire-addr\n")
 		return 2
 	}
 
-	rep, err := load.Run(load.Config{
+	loadCfg := load.Config{
 		BaseURL:         *url,
 		Proto:           *proto,
 		WireAddr:        *wireAddr,
@@ -94,7 +114,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Engine:          *engine,
 		Crosscheck:      *crosscheck,
 		Timeout:         *timeout,
-	})
+	}
+
+	if *clusterMode {
+		return runCluster(loadCfg, *replicasSpec, *replicaCache, *replicaWorkers, *scaleFloor, stdout, stderr)
+	}
+
+	rep, err := load.Run(loadCfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "ringload: %v\n", err)
 		return 1
@@ -111,6 +137,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if rep.TransportErrors == rep.Requests {
 		fmt.Fprintf(stderr, "ringload: no request reached %s\n", *url)
+		return 1
+	}
+	return 0
+}
+
+// parseLadder parses the -replicas flag, e.g. "1,2,4,8".
+func parseLadder(spec string) ([]int, error) {
+	var ladder []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad fleet size %q", part)
+		}
+		ladder = append(ladder, n)
+	}
+	if len(ladder) == 0 {
+		return nil, fmt.Errorf("empty replica ladder")
+	}
+	return ladder, nil
+}
+
+// runCluster executes the in-process replica ladder and prints the
+// ClusterReport. Exit 1 on divergences, per-rung failure, or a missed
+// -scale-floor.
+func runCluster(loadCfg load.Config, replicasSpec string, replicaCache, replicaWorkers int, scaleFloor float64, stdout, stderr io.Writer) int {
+	ladder, err := parseLadder(replicasSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ringload: -replicas: %v\n", err)
+		return 2
+	}
+	rep, err := load.RunCluster(load.ClusterConfig{
+		Replicas:       ladder,
+		ReplicaCache:   replicaCache,
+		ReplicaWorkers: replicaWorkers,
+		Load:           loadCfg,
+		ScaleFloor:     scaleFloor,
+	})
+	if rep != nil {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if encErr := enc.Encode(rep); encErr != nil {
+			fmt.Fprintf(stderr, "ringload: encoding report: %v\n", encErr)
+			return 1
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "ringload: %v\n", err)
+		return 1
+	}
+	if rep.Divergences > 0 {
+		fmt.Fprintf(stderr, "ringload: %d crosschecks DIVERGED across the ladder\n", rep.Divergences)
 		return 1
 	}
 	return 0

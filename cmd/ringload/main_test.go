@@ -142,3 +142,57 @@ func TestRunWireFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunClusterMode drives the full -cluster path through the CLI: an
+// in-process two-rung ladder, crosschecked, reported as JSON on stdout.
+func TestRunClusterMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster ladder is a long test")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-cluster", "-replicas", "1,2", "-replica-workers", "1",
+		"-n", "80", "-workers", "8", "-seed", "5", "-crosscheck", "0.25",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr=%s", code, errb.String())
+	}
+	var rep load.ClusterReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a ClusterReport: %v\n%s", err, out.String())
+	}
+	if len(rep.Rungs) != 2 || rep.Divergences != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	for _, r := range rep.Rungs {
+		if r.Report.Crosschecks == 0 {
+			t.Errorf("%d replicas: no crosschecks ran", r.Replicas)
+		}
+	}
+}
+
+// TestRunClusterFlagErrors covers the -cluster usage errors: bad
+// ladders exit 2, and a missed -scale-floor exits 1 but still prints
+// the report for diagnosis.
+func TestRunClusterFlagErrors(t *testing.T) {
+	for _, ladder := range []string{"", "0", "two", "1,,x"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-cluster", "-replicas", ladder, "-n", "10"}, &out, &errb); code != 2 {
+			t.Errorf("-replicas %q: exit %d, want 2; stderr=%s", ladder, code, errb.String())
+		}
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-cluster", "-replicas", "1", "-replica-workers", "1",
+		"-n", "30", "-scale-floor", "100",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("missed floor: exit %d, want 1; stderr=%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"rungs"`) {
+		t.Errorf("report missing alongside the floor failure:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "floor") {
+		t.Errorf("floor failure not diagnosed: %s", errb.String())
+	}
+}

@@ -15,8 +15,10 @@ import (
 // target runs the full acceptance soak with -chaos.seeds=20.
 var chaosSeeds = flag.Int("chaos.seeds", 4, "distinct seeds for the chaos soak")
 
-// ringnodeBin is built once per test binary by TestMain.
-var ringnodeBin string
+// ringnodeBin and ringdBin are built once per test binary by TestMain:
+// ringnode for the single-election fault runs, ringd for the
+// replica-kill soak.
+var ringnodeBin, ringdBin string
 
 func TestMain(m *testing.M) {
 	flag.Parse()
@@ -26,12 +28,18 @@ func TestMain(m *testing.M) {
 		os.Exit(1)
 	}
 	ringnodeBin = filepath.Join(dir, "ringnode")
-	build := exec.Command("go", "build", "-o", ringnodeBin, "repro/cmd/ringnode")
-	build.Stderr = os.Stderr
-	if err := build.Run(); err != nil {
-		fmt.Fprintln(os.Stderr, "building ringnode:", err)
-		os.RemoveAll(dir)
-		os.Exit(1)
+	ringdBin = filepath.Join(dir, "ringd")
+	for pkg, bin := range map[string]string{
+		"repro/cmd/ringnode": ringnodeBin,
+		"repro/cmd/ringd":    ringdBin,
+	} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, "building", pkg, ":", err)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
 	}
 	code := m.Run()
 	os.RemoveAll(dir)

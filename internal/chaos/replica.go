@@ -1,0 +1,434 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os/exec"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/load"
+	"repro/internal/netring"
+)
+
+// This file extends the chaos harness one level up the stack: where
+// engine.go SIGKILLs individual ringnode processes inside one election,
+// RunReplicas SIGKILLs entire ringd serving replicas behind a cluster
+// gateway while a seeded crosschecking load mix keeps arriving. The
+// contract under test is the gateway's: rendezvous routing fails over,
+// health probing steers traffic off the corpse, hedging covers the
+// detection gap, and the client sees correct answers throughout — zero
+// crosscheck divergences, errors inside a bounded budget.
+
+// ReplicaEvent is one scheduled replica fault: SIGKILL the replica's
+// ringd process at AtMS, relaunch it on the same ports RestartAfterMS
+// later.
+type ReplicaEvent struct {
+	AtMS           int64 `json:"at_ms"`
+	Replica        int   `json:"replica"`
+	RestartAfterMS int64 `json:"restart_after_ms"`
+}
+
+// ReplicaSchedule is a deterministic replica-kill plan: the same seed
+// always yields the same kills, so a failing soak is replayable.
+type ReplicaSchedule struct {
+	Seed     int64          `json:"seed"`
+	Replicas int            `json:"replicas"`
+	Events   []ReplicaEvent `json:"events"`
+}
+
+// Validate rejects schedules the runner cannot execute.
+func (s *ReplicaSchedule) Validate() error {
+	if s.Replicas < 2 {
+		return fmt.Errorf("chaos: replica schedule needs >= 2 replicas (a 1-replica fleet has nothing to fail over to), got %d", s.Replicas)
+	}
+	for i, e := range s.Events {
+		if e.Replica < 0 || e.Replica >= s.Replicas {
+			return fmt.Errorf("chaos: event %d targets replica %d of %d", i, e.Replica, s.Replicas)
+		}
+		if e.AtMS < 0 || e.RestartAfterMS < 0 {
+			return fmt.Errorf("chaos: event %d has negative timing", i)
+		}
+	}
+	return nil
+}
+
+// GenerateReplicaSchedule derives a kill plan from the seed: 2–4 kills
+// spread across the fleet round-robin — never two pending outages of the
+// same replica at once — each with a 200–600ms outage. Timings are
+// schedule-relative; the runner keeps load flowing until every event has
+// fired and every relaunch has reported ready.
+func GenerateReplicaSchedule(seed int64, replicas int) ReplicaSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := ReplicaSchedule{Seed: seed, Replicas: replicas}
+	kills := 2 + rng.Intn(3)
+	at := int64(150 + rng.Intn(200))
+	for i := 0; i < kills; i++ {
+		restart := int64(200 + rng.Intn(400))
+		s.Events = append(s.Events, ReplicaEvent{
+			AtMS:           at,
+			Replica:        (int(seed) + i) % replicas,
+			RestartAfterMS: restart,
+		})
+		// Next kill lands after this outage ends, so at most one replica
+		// is down at a time and the fleet always has a live majority.
+		at += restart + int64(100+rng.Intn(300))
+	}
+	sort.Slice(s.Events, func(i, j int) bool { return s.Events[i].AtMS < s.Events[j].AtMS })
+	return s
+}
+
+// ReplicaOptions configures one replica-kill soak.
+type ReplicaOptions struct {
+	// RingdBin is the path to the ringd binary (required).
+	RingdBin string
+	// RequestsPerWave sizes each load wave (default 400). Waves repeat
+	// until the schedule has fully executed, so total traffic scales
+	// with how long the faults take, not with a guessed request count.
+	RequestsPerWave int
+	// Workers is the load client concurrency (default 8).
+	Workers int
+	// Seed feeds both the load mix and nothing else — the kill plan has
+	// its own seed in the schedule (default 1).
+	Seed int64
+	// Alg and K shape the election requests (defaults "B", 3).
+	Alg string
+	K   int
+	// Crosscheck is the fraction of responses re-verified against the
+	// local simulator (default 0.25).
+	Crosscheck float64
+	// ErrorBudget is the tolerated client-visible failure fraction —
+	// transport errors, 5xx, sheds — across the whole soak (default
+	// 0.2). Kills are real: some in-flight requests die with the
+	// replica, and the budget bounds how many.
+	ErrorBudget float64
+	// Timeout bounds the whole soak (default 120s).
+	Timeout time.Duration
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (o ReplicaOptions) withDefaults() ReplicaOptions {
+	if o.RequestsPerWave <= 0 {
+		o.RequestsPerWave = 400
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Alg == "" {
+		o.Alg = "B"
+	}
+	if o.K <= 0 {
+		o.K = 3
+	}
+	if o.Crosscheck <= 0 {
+		o.Crosscheck = 0.25
+	}
+	if o.ErrorBudget <= 0 {
+		o.ErrorBudget = 0.2
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 120 * time.Second
+	}
+	return o
+}
+
+// ReplicaReport is the outcome of one replica-kill soak, after all
+// assertions passed.
+type ReplicaReport struct {
+	Seed        int64   `json:"seed"`
+	Replicas    int     `json:"replicas"`
+	Kills       int     `json:"kills"`
+	Relaunches  int     `json:"relaunches"`
+	Waves       int     `json:"waves"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Failed      int     `json:"failed"`
+	FailedFrac  float64 `json:"failed_frac"`
+	Crosschecks int     `json:"crosschecks"`
+	Divergences int     `json:"divergences"`
+	WallMS      int64   `json:"wall_ms"`
+}
+
+// replicaProc supervises one ringd subprocess pinned to a fixed
+// HTTP/wire address pair, so a relaunch rejoins the roster in place.
+type replicaProc struct {
+	name     string
+	bin      string
+	httpAddr string
+	wireAddr string
+
+	mu  sync.Mutex
+	cmd *exec.Cmd
+}
+
+// start launches ringd and waits until /readyz answers 200. The bind is
+// retried: right after a SIGKILL the old socket can linger for a moment,
+// and a relaunch losing that race should try again, not fail the soak.
+func (p *replicaProc) start(deadline time.Time) error {
+	var lastErr error
+	for attempt := 0; time.Now().Before(deadline); attempt++ {
+		cmd := exec.Command(p.bin,
+			"-listen", p.httpAddr,
+			"-wire-addr", p.wireAddr,
+			"-workers", "1",
+			"-log-every", "0",
+		)
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("chaos: replica %s: start: %w", p.name, err)
+		}
+		p.mu.Lock()
+		p.cmd = cmd
+		p.mu.Unlock()
+		exited := make(chan error, 1)
+		go func() { exited <- cmd.Wait() }()
+
+		url := "http://" + p.httpAddr + "/readyz"
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(url)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == 200 {
+					return nil
+				}
+			}
+			select {
+			case err := <-exited:
+				// Died before becoming ready — almost always a lost bind
+				// race; back off and relaunch.
+				lastErr = fmt.Errorf("chaos: replica %s exited during startup: %v", p.name, err)
+				goto respawn
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+		return fmt.Errorf("chaos: replica %s never became ready", p.name)
+	respawn:
+		time.Sleep(50 * time.Millisecond)
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("chaos: replica %s never became ready", p.name)
+	}
+	return lastErr
+}
+
+// kill SIGKILLs the current incarnation, if any. Reaping is left to the
+// Wait goroutine start launched — a second concurrent Wait here would
+// race with it.
+func (p *replicaProc) kill() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cmd != nil && p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+		p.cmd = nil
+	}
+}
+
+// RunReplicas executes one replica-kill soak: boot the fleet of real
+// ringd subprocesses, front it with an in-process gateway (health
+// probing, rendezvous routing, hedging), keep waves of the seeded
+// crosschecking load mix flowing while the schedule SIGKILLs and
+// relaunches whole replicas, then assert the gateway's availability
+// contract — zero divergences, client-visible failures within the error
+// budget. The returned report carries the observed numbers even
+// alongside an assertion error.
+func RunReplicas(s *ReplicaSchedule, opts ReplicaOptions) (*ReplicaReport, error) {
+	if opts.RingdBin == "" {
+		return nil, errors.New("chaos: ReplicaOptions.RingdBin is required")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	start := time.Now()
+	deadline := start.Add(opts.Timeout)
+
+	var logMu sync.Mutex
+	logf := func(format string, args ...any) {
+		if opts.Log == nil {
+			return
+		}
+		logMu.Lock()
+		defer logMu.Unlock()
+		opts.Log(format, args...)
+	}
+
+	// Fixed ports per replica: a relaunched replica must rejoin the
+	// roster in place, exactly like a process manager restarting a unit.
+	httpAddrs, err := reserveAddrs(s.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	wireAddrs, err := reserveAddrs(s.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	procs := make([]*replicaProc, s.Replicas)
+	roster := make(cluster.Roster, s.Replicas)
+	for i := range procs {
+		procs[i] = &replicaProc{
+			name:     fmt.Sprintf("r%d", i),
+			bin:      opts.RingdBin,
+			httpAddr: httpAddrs[i],
+			wireAddr: wireAddrs[i],
+		}
+		roster[i] = cluster.Replica{
+			Name:     procs[i].name,
+			WireAddr: wireAddrs[i],
+			BaseURL:  "http://" + httpAddrs[i],
+		}
+	}
+	defer func() {
+		for _, p := range procs {
+			p.kill()
+		}
+	}()
+	for _, p := range procs {
+		if err := p.start(deadline); err != nil {
+			return nil, err
+		}
+	}
+	logf("fleet of %d ringd replicas ready", s.Replicas)
+
+	// The gateway stack mirrors cmd/ringgw, tuned for fast failure
+	// detection: 50ms probes, one good probe readmits (the relaunch
+	// already waited for /readyz), and a short per-attempt budget so a
+	// request caught on a dying socket retries quickly.
+	health := cluster.StartHealth(roster, cluster.HealthConfig{
+		Interval:     50 * time.Millisecond,
+		FailAfter:    2,
+		RecoverAfter: 1,
+		Logf:         logf,
+	})
+	defer health.Stop()
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Roster:     roster,
+		Health:     health,
+		Timeout:    2 * time.Second,
+		Backoff:    netring.Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond, Attempts: 50},
+		HedgeAfter: 25 * time.Millisecond,
+		Logf:       logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+	gw := cluster.NewGateway(cluster.GatewayConfig{Router: router, Logf: logf})
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: gw.Handler()}
+	go hs.Serve(gwLn)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+
+	// The fault executor replays the schedule on its own clock; done
+	// closes only after the last relaunch reported ready, so the load
+	// loop always drives traffic through at least one full
+	// kill→detect→reroute→relaunch→readmit cycle per event. RunReplicas
+	// never returns while the executor is live: a straggling event
+	// touching procs or opts.Log after the caller moved on would be a
+	// use-after-return.
+	execDone := make(chan struct{})
+	execQuit := make(chan struct{})
+	var quitOnce sync.Once
+	joinExec := func() { quitOnce.Do(func() { close(execQuit) }); <-execDone }
+	defer joinExec()
+	var execErr error
+	var kills, relaunches int
+	go func() {
+		defer close(execDone)
+		for _, e := range s.Events {
+			if wait := time.Duration(e.AtMS)*time.Millisecond - time.Since(start); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-execQuit:
+					return
+				}
+			}
+			logf("t=%v SIGKILL replica r%d (relaunch after %dms)",
+				time.Since(start).Round(time.Millisecond), e.Replica, e.RestartAfterMS)
+			procs[e.Replica].kill()
+			kills++
+			select {
+			case <-time.After(time.Duration(e.RestartAfterMS) * time.Millisecond):
+			case <-execQuit:
+				return
+			}
+			if err := procs[e.Replica].start(deadline); err != nil {
+				execErr = err
+				return
+			}
+			relaunches++
+			logf("t=%v replica r%d relaunched and ready",
+				time.Since(start).Round(time.Millisecond), e.Replica)
+		}
+	}()
+
+	rep := &ReplicaReport{Seed: s.Seed, Replicas: s.Replicas}
+	loadCfg := load.Config{
+		BaseURL:    "http://" + gwLn.Addr().String(),
+		Requests:   opts.RequestsPerWave,
+		Workers:    opts.Workers,
+		Alg:        opts.Alg,
+		K:          opts.K,
+		Crosscheck: opts.Crosscheck,
+		Timeout:    5 * time.Second,
+	}
+	scheduleDone := false
+	for !scheduleDone {
+		if time.Now().After(deadline) {
+			return rep, fmt.Errorf("chaos: replica soak exceeded the %v deadline with the schedule unfinished (seed %d)", opts.Timeout, s.Seed)
+		}
+		// A fresh mix seed per wave keeps cold traffic flowing so every
+		// wave exercises routing, not just one warmed cache line.
+		loadCfg.Seed = opts.Seed + int64(rep.Waves)
+		wave, err := load.Run(loadCfg)
+		if err != nil {
+			return rep, fmt.Errorf("chaos: load wave %d: %w", rep.Waves, err)
+		}
+		rep.Waves++
+		rep.Requests += wave.Requests
+		rep.OK += wave.OK
+		rep.Failed += wave.TransportErrors + wave.ServerErrors + wave.Shed + wave.BadRequests
+		rep.Crosschecks += wave.Crosschecks
+		rep.Divergences += wave.Divergences
+		select {
+		case <-execDone:
+			scheduleDone = true
+		default:
+		}
+	}
+	rep.Kills, rep.Relaunches = kills, relaunches
+	rep.WallMS = time.Since(start).Milliseconds()
+	if execErr != nil {
+		return rep, execErr
+	}
+	if rep.Requests > 0 {
+		rep.FailedFrac = float64(rep.Failed) / float64(rep.Requests)
+	}
+	logf("soak done: %d waves, %d requests, %d failed (%.3f), %d crosschecks, %d divergences",
+		rep.Waves, rep.Requests, rep.Failed, rep.FailedFrac, rep.Crosschecks, rep.Divergences)
+	if rep.Divergences > 0 {
+		return rep, fmt.Errorf("chaos: %d crosscheck divergences during replica kills (seed %d) — the gateway served a wrong answer", rep.Divergences, s.Seed)
+	}
+	if rep.Crosschecks == 0 {
+		return rep, fmt.Errorf("chaos: no crosschecks ran (seed %d)", s.Seed)
+	}
+	if rep.FailedFrac > opts.ErrorBudget {
+		return rep, fmt.Errorf("chaos: %.3f of requests failed, budget %.3f (seed %d)", rep.FailedFrac, opts.ErrorBudget, s.Seed)
+	}
+	return rep, nil
+}

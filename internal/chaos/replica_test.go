@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestReplicaScheduleDeterministic pins the replay guarantee for the
+// replica-kill plans: same seed, same schedule; every schedule has at
+// least two kills, round-robin targets, and non-overlapping outages.
+func TestReplicaScheduleDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := GenerateReplicaSchedule(seed, 3)
+		b := GenerateReplicaSchedule(seed, 3)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n%+v\nvs\n%+v", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid schedule: %v", seed, err)
+		}
+		if len(a.Events) < 2 {
+			t.Fatalf("seed %d: only %d kills", seed, len(a.Events))
+		}
+		for i := 1; i < len(a.Events); i++ {
+			prev, cur := a.Events[i-1], a.Events[i]
+			if cur.AtMS < prev.AtMS+prev.RestartAfterMS {
+				t.Fatalf("seed %d: event %d overlaps the previous outage: %+v", seed, i, a.Events)
+			}
+		}
+	}
+	if reflect.DeepEqual(GenerateReplicaSchedule(1, 3), GenerateReplicaSchedule(2, 3)) {
+		t.Error("seeds 1 and 2 generated the same schedule")
+	}
+}
+
+func TestReplicaScheduleValidate(t *testing.T) {
+	cases := []ReplicaSchedule{
+		{Replicas: 1, Events: []ReplicaEvent{{Replica: 0}}},
+		{Replicas: 3, Events: []ReplicaEvent{{Replica: 3}}},
+		{Replicas: 3, Events: []ReplicaEvent{{Replica: -1}}},
+		{Replicas: 3, Events: []ReplicaEvent{{Replica: 0, AtMS: -5}}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// TestReplicaKillSoak is the cluster availability acceptance run: three
+// real ringd subprocesses behind the gateway stack, whole replicas
+// SIGKILLed and relaunched mid-traffic, and the client must see zero
+// crosscheck divergences with failures inside the error budget. The
+// Makefile's test-cluster target runs this under -race.
+func TestReplicaKillSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess replica soak")
+	}
+	for _, seed := range []int64{3, 11} {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			s := GenerateReplicaSchedule(seed, 3)
+			rep, err := RunReplicas(&s, ReplicaOptions{
+				RingdBin: ringdBin,
+				Seed:     seed,
+				Timeout:  90 * time.Second,
+				Log:      t.Logf,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v (report: %+v)", seed, err, rep)
+			}
+			if rep.Kills != len(s.Events) || rep.Relaunches != rep.Kills {
+				t.Errorf("seed %d: %d kills / %d relaunches, schedule has %d events",
+					seed, rep.Kills, rep.Relaunches, len(s.Events))
+			}
+			if rep.OK == 0 || rep.Waves < 2 {
+				t.Errorf("seed %d: degenerate soak: %+v", seed, rep)
+			}
+			t.Logf("seed %d: %d waves, %d requests, %d failed (%.3f), %d crosschecks, %dms",
+				seed, rep.Waves, rep.Requests, rep.Failed, rep.FailedFrac, rep.Crosschecks, rep.WallMS)
+		})
+	}
+}

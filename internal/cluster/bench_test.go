@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/serve"
+
+	repro "repro"
+)
+
+// benchRings builds a fixed pool of distinct ring classes large enough
+// that, against deliberately tiny replica caches, most requests are
+// misses — so the benchmark measures the fleet's election throughput,
+// not one cache's hit path, and adding replicas adds compute.
+func benchRings(b *testing.B, count int) []*ring.Ring {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	rings := make([]*ring.Ring, 0, count)
+	for len(rings) < count {
+		rg, err := ring.RandomAsymmetric(rng, 16, 3, 6)
+		if err != nil {
+			continue
+		}
+		rings = append(rings, rg)
+	}
+	return rings
+}
+
+// BenchmarkClusterElect measures routed election throughput at fleet
+// sizes 1, 2, and 4 — the ladder benchdiff's -cluster-scale check reads.
+// On a multi-core host the 2-replica rung should beat the 1-replica rung
+// by the configured floor; on a single-core host the numbers still
+// record, and the scale check skips on the report's gomaxprocs.
+func BenchmarkClusterElect(b *testing.B) {
+	rings := benchRings(b, 512)
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			f, err := StartLocalFleet(n, serve.Config{CacheEntries: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Stop()
+			r, err := NewRouter(RouterConfig{
+				Roster:     f.Roster,
+				Timeout:    30 * time.Second,
+				HedgeAfter: 10 * time.Second, // no hedging: measure one attempt per request
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			var idx atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					rg := rings[int(idx.Add(1))%len(rings)]
+					if _, err := r.Elect(context.Background(), rg.LabelsView(), repro.AlgorithmB, 3); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,519 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netring"
+	"repro/internal/ring"
+	"repro/internal/serve"
+
+	repro "repro"
+)
+
+// fastBackoff keeps pooled-client redials snappy in tests.
+var fastBackoff = netring.Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Attempts: 50}
+
+func newTestRouter(t *testing.T, f *LocalFleet, h *Health) *Router {
+	t.Helper()
+	r, err := NewRouter(RouterConfig{
+		Roster:  f.Roster,
+		Health:  h,
+		Timeout: 5 * time.Second,
+		Backoff: fastBackoff,
+		// A cold-miss election can exceed the default hedge budget, and a
+		// hedge would warm a second replica's cache — these tests assert
+		// exact per-replica traffic, so keep hedging out of the way.
+		HedgeAfter: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+// ringOwnedBy searches random asymmetric rings for one whose canonical
+// class the router currently assigns to replica want.
+func ringOwnedBy(t *testing.T, r *Router, want int) *ring.Ring {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	for tries := 0; tries < 10000; tries++ {
+		rg, err := ring.RandomAsymmetric(rng, 6+rng.Intn(10), 3, 6)
+		if err != nil {
+			continue
+		}
+		if r.Owner(rg.LabelsView(), repro.AlgorithmB, 3) == want {
+			return rg
+		}
+	}
+	t.Fatal("no ring found for the target owner")
+	return nil
+}
+
+// TestRouterCacheAffinity pins the tentpole's economic claim: the
+// router sends every rotation of a ring to one replica, so the class is
+// computed once fleet-wide and every later request — rotated or not —
+// is that replica's cache hit. The other replicas never see the class.
+func TestRouterCacheAffinity(t *testing.T) {
+	f, err := StartLocalFleet(3, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	r := newTestRouter(t, f, nil)
+
+	base := ringOwnedBy(t, r, 1)
+	owner := 1
+	var first serve.WireOutcome
+	for d := 0; d < base.N(); d++ {
+		out, err := r.Elect(context.Background(), base.Rotate(d).LabelsView(), repro.AlgorithmB, 3)
+		if err != nil {
+			t.Fatalf("rotation %d: %v", d, err)
+		}
+		if d == 0 {
+			first = out
+			if out.Cached {
+				t.Error("first request of a class reported cached")
+			}
+			continue
+		}
+		if !out.Cached {
+			t.Errorf("rotation %d missed the cache", d)
+		}
+		// Map both leaders into canonical frame to compare across rotations.
+		want := base.Rotate(d).Labels()[out.Leader]
+		if want != first.LeaderLabel || out.LeaderLabel != first.LeaderLabel {
+			t.Errorf("rotation %d: leader label %v, want %v", d, out.LeaderLabel, first.LeaderLabel)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		snap := f.Server(i).Metrics().Snapshot()
+		if i == owner {
+			if snap.Misses != 1 || snap.Hits != int64(base.N()-1) {
+				t.Errorf("owner: %d misses / %d hits, want 1 / %d", snap.Misses, snap.Hits, base.N()-1)
+			}
+		} else if snap.Misses+snap.Hits != 0 {
+			t.Errorf("replica %d saw %d requests for a class it does not own", i, snap.Misses+snap.Hits)
+		}
+	}
+}
+
+// TestRouterAgreesWithEngine routes a batch of random rings through a
+// 4-replica fleet and crosschecks every answer against a direct run of
+// the deterministic engine — the cluster-level analogue of serve's
+// crosscheck, with zero tolerance.
+func TestRouterAgreesWithEngine(t *testing.T) {
+	f, err := StartLocalFleet(4, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	r := newTestRouter(t, f, nil)
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		rg, err := ring.RandomAsymmetric(rng, 4+rng.Intn(20), 3, 6)
+		if err != nil {
+			continue
+		}
+		out, err := r.Elect(context.Background(), rg.LabelsView(), repro.AlgorithmB, 3)
+		if err != nil {
+			t.Fatalf("ring %d: %v", i, err)
+		}
+		direct, err := repro.Elect(rg, repro.AlgorithmB, 3)
+		if err != nil {
+			t.Fatalf("direct elect %d: %v", i, err)
+		}
+		if out.Leader != direct.Leader || out.LeaderLabel != direct.LeaderLabel || out.Messages != direct.Messages {
+			t.Fatalf("ring %d %v: routed (%d,%v,%d) != direct (%d,%v,%d)", i, rg,
+				out.Leader, out.LeaderLabel, out.Messages,
+				direct.Leader, direct.LeaderLabel, direct.Messages)
+		}
+	}
+}
+
+// TestRouterFailsOverOnCrash kills the replica that owns a class and
+// checks the next request still succeeds — transport failure to the
+// owner fails over to the next-ranked replica immediately, with no
+// health prober required — and that after a Restart the class moves
+// home again.
+func TestRouterFailsOverOnCrash(t *testing.T) {
+	f, err := StartLocalFleet(3, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	r := newTestRouter(t, f, nil)
+
+	const victim = 2
+	rg := ringOwnedBy(t, r, victim)
+	labels := rg.LabelsView()
+	if _, err := r.Elect(context.Background(), labels, repro.AlgorithmB, 3); err != nil {
+		t.Fatalf("before crash: %v", err)
+	}
+	f.Kill(victim)
+	out, err := r.Elect(context.Background(), labels, repro.AlgorithmB, 3)
+	if err != nil {
+		t.Fatalf("after crash: %v", err)
+	}
+	if out.Cached {
+		t.Error("failover answer claimed cached: the fallback replica had a cold cache")
+	}
+	if fails := r.Stats()[victim].Failed; fails == 0 {
+		t.Error("no failed attempt recorded against the crashed owner")
+	}
+
+	if err := f.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	// The pooled client redials the restarted replica; the class is home
+	// again (cold cache, so this one is a miss served by the owner).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out, err = r.Elect(context.Background(), labels, repro.AlgorithmB, 3)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("after restart: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	snap := f.Server(victim).Metrics().Snapshot()
+	if snap.Misses+snap.Hits == 0 {
+		t.Error("restarted owner saw no traffic for its class")
+	}
+}
+
+// TestRouterHealthSteersAroundDown marks the owner down via the health
+// view and checks requests go straight to the second-ranked replica —
+// no failed attempt against the downed owner at all.
+func TestRouterHealthSteersAroundDown(t *testing.T) {
+	f, err := StartLocalFleet(3, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	h := StartHealth(f.Roster, HealthConfig{Interval: 10 * time.Millisecond, FailAfter: 2, RecoverAfter: 1})
+	defer h.Stop()
+	r := newTestRouter(t, f, h)
+
+	const victim = 0
+	rg := ringOwnedBy(t, r, victim)
+	f.Kill(victim)
+	waitFor(t, 5*time.Second, func() bool { return !h.Alive(victim) }, "prober never marked the killed replica down")
+
+	before := r.Stats()[victim].Routed
+	if _, err := r.Elect(context.Background(), rg.LabelsView(), repro.AlgorithmB, 3); err != nil {
+		t.Fatalf("elect with owner down: %v", err)
+	}
+	if after := r.Stats()[victim].Routed; after != before {
+		t.Errorf("router sent %d attempts to a replica it knew was down", after-before)
+	}
+}
+
+// blackHole accepts wire connections, swallows the handshake and all
+// frames, and never answers — the shape of a stuck replica (live TCP,
+// dead service) that only hedging can route around.
+func blackHole(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(io.Discard, c) }() // read forever, answer never
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestRouterHedgesStuckReplica points a class's owner at a black hole:
+// the primary attempt hangs, the hedge fires after the budget, and the
+// second-ranked (real) replica answers. The ledger must show the hedge
+// and its win.
+func TestRouterHedgesStuckReplica(t *testing.T) {
+	f, err := StartLocalFleet(1, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+
+	roster := Roster{
+		{Name: "stuck", WireAddr: blackHole(t), BaseURL: "http://127.0.0.1:0"},
+		{Name: "live", WireAddr: f.Roster[0].WireAddr, BaseURL: f.Roster[0].BaseURL},
+	}
+	r, err := NewRouter(RouterConfig{
+		Roster:     roster,
+		Timeout:    10 * time.Second, // primary would hang this long without the hedge
+		Backoff:    fastBackoff,
+		HedgeAfter: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Find a ring owned by the black hole.
+	rng := rand.New(rand.NewSource(5))
+	var rg *ring.Ring
+	for {
+		cand, err := ring.RandomAsymmetric(rng, 8, 3, 6)
+		if err != nil {
+			continue
+		}
+		if r.Owner(cand.LabelsView(), repro.AlgorithmB, 3) == 0 {
+			rg = cand
+			break
+		}
+	}
+
+	start := time.Now()
+	out, err := r.Elect(context.Background(), rg.LabelsView(), repro.AlgorithmB, 3)
+	if err != nil {
+		t.Fatalf("hedged elect: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("hedge took %v: the primary's hang leaked into the request", elapsed)
+	}
+	direct, err := repro.Elect(rg, repro.AlgorithmB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Leader != direct.Leader {
+		t.Errorf("hedged answer leader %d, want %d", out.Leader, direct.Leader)
+	}
+	stats := r.Stats()
+	if stats[1].Hedged == 0 || stats[1].HedgeWins == 0 {
+		t.Errorf("ledger shows no hedge win on the live replica: %+v", stats)
+	}
+}
+
+// TestRouterRelaysTypedErrors pins the no-retry statuses: a 400 from
+// the owner comes back as a 400 from the router, not a second replica's
+// opinion. (The ring is valid at the gateway edge in production; here we
+// send a symmetric ring straight through the router to force the
+// replica-side 400.)
+func TestRouterRelaysTypedErrors(t *testing.T) {
+	f, err := StartLocalFleet(2, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	r := newTestRouter(t, f, nil)
+
+	_, err = r.Elect(context.Background(), []ring.Label{1, 1, 1, 1}, repro.AlgorithmB, 3)
+	var we *serve.WireError
+	if !errors.As(err, &we) || we.Status != 400 {
+		t.Fatalf("symmetric ring: got %v, want WireError 400", err)
+	}
+	total := r.Stats()[0].Routed + r.Stats()[1].Routed
+	if total != 1 {
+		t.Errorf("deterministic 400 consumed %d attempts, want 1", total)
+	}
+}
+
+// startGateway wires fleet → health → router → gateway and returns the
+// gateway plus an httptest server over its Handler.
+func startGateway(t *testing.T, f *LocalFleet) (*Gateway, *httptest.Server) {
+	t.Helper()
+	h := StartHealth(f.Roster, HealthConfig{Interval: 20 * time.Millisecond, FailAfter: 2, RecoverAfter: 1})
+	t.Cleanup(h.Stop)
+	r, err := NewRouter(RouterConfig{Roster: f.Roster, Health: h, Backoff: fastBackoff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	g := NewGateway(GatewayConfig{Router: r})
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return g, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestGatewayHTTP drives the full HTTP surface of a 3-replica cluster:
+// elections with correct leaders across rotations, local classification,
+// per-replica metrics, and the drain flip.
+func TestGatewayHTTP(t *testing.T) {
+	f, err := StartLocalFleet(3, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	g, ts := startGateway(t, f)
+
+	base := ring.Figure1()
+	want, _ := base.TrueLeader()
+	for d := 0; d < base.N(); d++ {
+		rot := base.Rotate(d)
+		resp, body := postJSON(t, ts.URL+"/v1/elect", serve.ElectRequest{Ring: labelSpec(rot.LabelsView()), Alg: "B", K: 3})
+		if resp.StatusCode != 200 {
+			t.Fatalf("rotation %d: status %d: %s", d, resp.StatusCode, body)
+		}
+		var er serve.ElectResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		if wantIdx := (want - d + base.N()) % base.N(); er.Leader != wantIdx {
+			t.Errorf("rotation %d: leader %d, want %d", d, er.Leader, wantIdx)
+		}
+		if d > 0 && !er.Cached {
+			t.Errorf("rotation %d: not cached", d)
+		}
+		if er.CanonicalRotation < 0 || er.N != base.N() || er.Alg != repro.AlgorithmB.String() {
+			t.Errorf("rotation %d: response %+v", d, er)
+		}
+	}
+
+	// Edge validation: bad rings never reach a replica.
+	for _, bad := range []serve.ElectRequest{
+		{Ring: "1 1 1 1", Alg: "B", K: 3},     // symmetric
+		{Ring: "1 2 3", Alg: "Q"},             // unknown alg
+		{Ring: ""},                            // empty
+		{Ring: "1 2 3", Engine: "goroutines"}, // engine the cluster cannot honor
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/elect", bad)
+		if resp.StatusCode != 400 {
+			t.Errorf("bad request %+v: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// Classification is answered locally.
+	resp, body := postJSON(t, ts.URL+"/v1/classify", serve.ClassifyRequest{Ring: "1 3 1 3 2 2 1 2"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("classify: %d: %s", resp.StatusCode, body)
+	}
+	var cr serve.ClassifyResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Asymmetric || !cr.Electable || cr.N != 8 {
+		t.Errorf("classify: %+v", cr)
+	}
+
+	// Metrics carry the routing ledger.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"ringgw_replica_up{", "ringgw_replica_routed_total{", "ringgw_replica_hedged_total{"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Drain: readyz flips to 503, elections refuse with 503, classify
+	// (local, harmless) keeps answering.
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("readyz before drain: %v %v", resp, err)
+	}
+	g.BeginDrain()
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != 503 {
+		t.Fatalf("readyz after drain: %v %v", resp, err)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/elect", serve.ElectRequest{Ring: "1 2 2", Alg: "A", K: 2}); resp.StatusCode != 503 {
+		t.Errorf("elect while draining: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestGatewayWireTermination runs the cluster's binary front: a
+// serve.WireFrontend terminating RGV1 onto the Gateway, so a wire
+// client cannot tell the gateway from a single ringd.
+func TestGatewayWireTermination(t *testing.T) {
+	f, err := StartLocalFleet(2, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	g, _ := startGateway(t, f)
+
+	fe := serve.NewWireFrontend(g, serve.WireFrontendConfig{Metrics: g.Metrics()})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fe.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		fe.Shutdown(ctx)
+	}()
+
+	c, err := serve.DialWire(ln.Addr().String(), 2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rg := ring.Figure1()
+	direct, err := repro.Elect(rg, repro.AlgorithmB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Elect(rg.LabelsView(), repro.AlgorithmB, 3)
+	if err != nil {
+		t.Fatalf("wire elect through gateway: %v", err)
+	}
+	if out.Leader != direct.Leader || out.LeaderLabel != direct.LeaderLabel {
+		t.Errorf("wire answer (%d,%v), direct (%d,%v)", out.Leader, out.LeaderLabel, direct.Leader, direct.LeaderLabel)
+	}
+
+	g.BeginDrain()
+	_, err = c.Elect(rg.LabelsView(), repro.AlgorithmB, 3)
+	var we *serve.WireError
+	if !errors.As(err, &we) || we.Status != 503 {
+		t.Errorf("wire elect while draining: %v, want WireError 503", err)
+	}
+}
+
+// TestGatewayStatsString smoke-checks fmt interactions that only fire
+// at runtime (Stats on an idle router, every field zero).
+func TestGatewayStatsString(t *testing.T) {
+	r, err := NewRouter(RouterConfig{Roster: Roster{{Name: "x", WireAddr: "a:1", BaseURL: "http://b"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	s := r.Stats()
+	if len(s) != 1 || s[0].Name != "x" || !s[0].Up {
+		t.Errorf("Stats() = %+v", s)
+	}
+	_ = fmt.Sprintf("%+v", s)
+}

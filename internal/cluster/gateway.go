@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/serve"
+	"repro/internal/words"
+
+	repro "repro"
+)
+
+// GatewayConfig tunes a Gateway. Router is required.
+type GatewayConfig struct {
+	Router *Router
+	// MaxRingSize rejects larger rings with 400 at the edge, before any
+	// replica sees them (default 4096).
+	MaxRingSize int
+	// Metrics receives request accounting; a fresh registry is built
+	// when nil. The same registry should back the wire frontend so
+	// /metrics tells one story for both protocols.
+	Metrics *serve.Metrics
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Gateway is the cluster's front door: one process that speaks the same
+// two protocols as a single ringd — the HTTP/JSON API and RGV1 — and
+// answers by routing each election to the replica that owns its
+// canonical class. Validation happens at the edge (bad requests never
+// cost a replica round trip), classification is answered locally (it is
+// pure ring arithmetic), and /metrics merges the request registry with
+// the router's per-replica ledger.
+//
+// Gateway implements serve.WireBackend, so a serve.WireFrontend can
+// terminate wire traffic onto it directly.
+type Gateway struct {
+	cfg      GatewayConfig
+	router   *Router
+	metrics  *serve.Metrics
+	draining atomic.Bool
+}
+
+// NewGateway builds a Gateway over cfg.Router.
+func NewGateway(cfg GatewayConfig) *Gateway {
+	if cfg.MaxRingSize <= 0 {
+		cfg.MaxRingSize = 4096
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	g := &Gateway{cfg: cfg, router: cfg.Router}
+	g.metrics = cfg.Metrics
+	if g.metrics == nil {
+		g.metrics = serve.NewMetrics(nil)
+	}
+	return g
+}
+
+// Metrics exposes the gateway's request registry (shared with the wire
+// frontend when the caller wired it that way).
+func (g *Gateway) Metrics() *serve.Metrics { return g.metrics }
+
+// BeginDrain flips /readyz to 503 and fails new elections with a typed
+// draining error, without touching requests already in flight — the
+// same contract as serve.Server.BeginDrain, one level up.
+func (g *Gateway) BeginDrain() { g.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// Elect implements serve.WireBackend: wire traffic terminated by a
+// WireFrontend lands here and is routed like HTTP traffic.
+func (g *Gateway) Elect(ctx context.Context, labels []ring.Label, alg repro.Algorithm, k int) (serve.WireOutcome, error) {
+	if g.draining.Load() {
+		return serve.WireOutcome{}, &serve.WireError{Status: 503, Msg: "gateway shutting down"}
+	}
+	return g.router.Elect(ctx, labels, alg, k)
+}
+
+// Handler returns the gateway's HTTP API — the same five routes as a
+// single ringd, so clients and load balancers cannot tell the
+// difference:
+//
+//	POST /v1/elect    → routed to the owning replica
+//	POST /v1/classify → answered locally
+//	GET  /healthz     → gateway process liveness
+//	GET  /readyz      → 503 once draining
+//	GET  /metrics     → request registry + per-replica routing ledger
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/elect", g.instrument("/v1/elect", g.handleElect))
+	mux.Handle("POST /v1/classify", g.instrument("/v1/classify", g.handleClassify))
+	mux.Handle("GET /healthz", g.instrument("/healthz", g.handleHealthz))
+	mux.Handle("GET /readyz", g.instrument("/readyz", g.handleReadyz))
+	mux.Handle("GET /metrics", g.instrument("/metrics", g.handleMetrics))
+	return mux
+}
+
+// statusRecorder mirrors serve's: capture the status for the registry.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (g *Gateway) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g.metrics.IncInFlight()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			g.metrics.DecInFlight()
+			g.metrics.ObserveRequest(endpoint, rec.status, time.Since(start))
+		}()
+		h(rec, r)
+	})
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// labelSpec renders labels in the API's ring-spec form ("1 3 1 3 ...").
+func labelSpec(labels []ring.Label) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(l.String())
+	}
+	return b.String()
+}
+
+func labelSpecRotated(labels []ring.Label, rot int) string {
+	n := len(labels)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(labels[(rot+i)%n].String())
+	}
+	return b.String()
+}
+
+func (g *Gateway) handleElect(w http.ResponseWriter, r *http.Request) {
+	var req serve.ElectRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Alg == "" {
+		req.Alg = "A"
+	}
+	if req.K == 0 {
+		req.K = 2
+	}
+	if req.K < 1 || req.K > 1024 {
+		writeError(w, http.StatusBadRequest, "k must be in [1, 1024], got %d", req.K)
+		return
+	}
+	// The cluster path always computes on the replicas' deterministic
+	// simulator; an explicit engine other than the default is a request
+	// the gateway cannot honor and must not silently reinterpret.
+	if req.Engine != "" && req.Engine != "sim" {
+		writeError(w, http.StatusBadRequest, "cluster gateway serves engine \"sim\" only, got %q", req.Engine)
+		return
+	}
+	alg, err := repro.ParseAlgorithm(req.Alg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rg, err := ring.Parse(req.Ring)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if rg.N() > g.cfg.MaxRingSize {
+		writeError(w, http.StatusBadRequest, "ring has %d processes, limit is %d", rg.N(), g.cfg.MaxRingSize)
+		return
+	}
+	// Full class validation at the edge: an unservable ring costs no
+	// replica round trip and no routing-ledger noise.
+	if _, err := repro.ProtocolFor(rg, alg, req.K); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	labels := rg.LabelsView()
+	out, err := g.Elect(r.Context(), labels, alg, req.K)
+	if err != nil {
+		g.writeElectError(w, err)
+		return
+	}
+	rot := words.LeastRotationIndex(labels)
+	writeJSON(w, http.StatusOK, serve.ElectResponse{
+		Ring:              labelSpec(labels),
+		N:                 rg.N(),
+		Alg:               alg.String(),
+		K:                 req.K,
+		Engine:            "sim",
+		Leader:            out.Leader,
+		LeaderLabel:       out.LeaderLabel.String(),
+		Messages:          out.Messages,
+		TimeUnits:         out.TimeUnits,
+		PeakSpaceBits:     out.PeakSpaceBits,
+		Cached:            out.Cached,
+		Canonical:         labelSpecRotated(labels, rot),
+		CanonicalRotation: rot,
+	})
+}
+
+// writeElectError maps a routing failure onto HTTP: typed replica
+// errors keep their status (with Retry-After on sheds), the gateway's
+// own draining error is a 503, and transport-level failure to reach any
+// replica is a 502 — the honest "the fleet is unreachable" answer.
+func (g *Gateway) writeElectError(w http.ResponseWriter, err error) {
+	var we *serve.WireError
+	if errors.As(err, &we) {
+		if we.Status == 429 && we.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(we.RetryAfter))
+		}
+		writeError(w, we.Status, "%s", we.Msg)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusServiceUnavailable, "timed out: %v", err)
+		return
+	}
+	writeError(w, http.StatusBadGateway, "no replica could answer: %v", err)
+}
+
+func (g *Gateway) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req serve.ClassifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	rg, err := ring.Parse(req.Ring)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if rg.N() > g.cfg.MaxRingSize {
+		writeError(w, http.StatusBadRequest, "ring has %d processes, limit is %d", rg.N(), g.cfg.MaxRingSize)
+		return
+	}
+	labels := rg.Labels()
+	rot := words.LeastRotationIndex(labels)
+	tl, ok := rg.TrueLeader()
+	if !ok {
+		tl = -1
+	}
+	writeJSON(w, http.StatusOK, serve.ClassifyResponse{
+		Ring:              labelSpec(labels),
+		N:                 rg.N(),
+		Asymmetric:        rg.IsAsymmetric(),
+		MaxMultiplicity:   rg.MaxMultiplicity(),
+		UniqueLabel:       rg.HasUniqueLabel(),
+		LabelBits:         rg.LabelBits(),
+		Electable:         ok,
+		TrueLeader:        tl,
+		Canonical:         labelSpec(rg.Rotate(rot).Labels()),
+		CanonicalRotation: rot,
+	})
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if g.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// handleMetrics merges the request registry with the routing ledger:
+// per-replica routed/hedged/failed counters, hedge wins, an up gauge,
+// and attempt-latency quantiles, all labeled by replica name.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.metrics.WritePrometheus(w)
+	fmt.Fprintf(w, "# HELP ringgw_replica_up 1 while the health prober considers the replica live.\n")
+	fmt.Fprintf(w, "# TYPE ringgw_replica_up gauge\n")
+	stats := g.router.Stats()
+	for _, s := range stats {
+		up := 0
+		if s.Up {
+			up = 1
+		}
+		fmt.Fprintf(w, "ringgw_replica_up{replica=%q} %d\n", s.Name, up)
+	}
+	fmt.Fprintf(w, "# HELP ringgw_replica_routed_total Election attempts launched at the replica.\n")
+	fmt.Fprintf(w, "# TYPE ringgw_replica_routed_total counter\n")
+	for _, s := range stats {
+		fmt.Fprintf(w, "ringgw_replica_routed_total{replica=%q} %d\n", s.Name, s.Routed)
+	}
+	fmt.Fprintf(w, "# HELP ringgw_replica_hedged_total Attempts launched as hedges.\n")
+	fmt.Fprintf(w, "# TYPE ringgw_replica_hedged_total counter\n")
+	for _, s := range stats {
+		fmt.Fprintf(w, "ringgw_replica_hedged_total{replica=%q} %d\n", s.Name, s.Hedged)
+	}
+	fmt.Fprintf(w, "# HELP ringgw_replica_hedge_wins_total Hedge attempts whose answer was used.\n")
+	fmt.Fprintf(w, "# TYPE ringgw_replica_hedge_wins_total counter\n")
+	for _, s := range stats {
+		fmt.Fprintf(w, "ringgw_replica_hedge_wins_total{replica=%q} %d\n", s.Name, s.HedgeWins)
+	}
+	fmt.Fprintf(w, "# HELP ringgw_replica_failed_total Attempts that errored.\n")
+	fmt.Fprintf(w, "# TYPE ringgw_replica_failed_total counter\n")
+	for _, s := range stats {
+		fmt.Fprintf(w, "ringgw_replica_failed_total{replica=%q} %d\n", s.Name, s.Failed)
+	}
+	fmt.Fprintf(w, "# HELP ringgw_replica_latency_seconds Attempt latency quantiles.\n")
+	fmt.Fprintf(w, "# TYPE ringgw_replica_latency_seconds gauge\n")
+	for _, s := range stats {
+		fmt.Fprintf(w, "ringgw_replica_latency_seconds{replica=%q,quantile=\"0.5\"} %g\n", s.Name, s.P50)
+		fmt.Fprintf(w, "ringgw_replica_latency_seconds{replica=%q,quantile=\"0.99\"} %g\n", s.Name, s.P99)
+	}
+}

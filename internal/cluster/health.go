@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HealthConfig tunes the liveness prober. The zero value is usable.
+type HealthConfig struct {
+	// Interval between probes of one replica (default 500ms).
+	Interval time.Duration
+	// Timeout bounds one probe; it must not exceed Interval or probes
+	// would stack up (default: Interval).
+	Timeout time.Duration
+	// FailAfter is the consecutive-failure threshold before a replica is
+	// marked down (default 2). One lost probe — a GC pause, a dropped
+	// SYN — must not dump a replica's whole keyspace onto its neighbor.
+	FailAfter int
+	// RecoverAfter is the consecutive-success threshold before a down
+	// replica is marked up again (default 2): the recovery half of the
+	// hysteresis, so a flapping replica does not slosh its keyspace back
+	// and forth on every heartbeat.
+	RecoverAfter int
+	// Logf receives up/down transition lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.Timeout <= 0 || c.Timeout > c.Interval {
+		c.Timeout = c.Interval
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 2
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Health probes every replica's GET /readyz on a fixed interval — one
+// goroutine per replica, so one dead replica's probe timeouts never
+// delay the others' — and maintains a lock-free liveness view with
+// failure/recovery hysteresis. Replicas start presumed-alive: a gateway
+// that boots faster than its first probe round should route optimistically
+// (and hedge) rather than refuse everything.
+//
+// A draining replica answers /readyz with 503 by design (serve's
+// BeginDrain contract), so the prober marks it down and the router
+// steers new traffic away while its in-flight work finishes — the
+// cluster-level half of graceful shutdown.
+type Health struct {
+	roster Roster
+	cfg    HealthConfig
+	client *http.Client
+	up     []atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// StartHealth launches the prober for roster.
+func StartHealth(roster Roster, cfg HealthConfig) *Health {
+	cfg = cfg.withDefaults()
+	h := &Health{
+		roster: roster,
+		cfg:    cfg,
+		client: &http.Client{Timeout: cfg.Timeout},
+		up:     make([]atomic.Bool, len(roster)),
+		stop:   make(chan struct{}),
+	}
+	for i := range h.up {
+		h.up[i].Store(true)
+	}
+	for i := range roster {
+		h.wg.Add(1)
+		go h.probeLoop(i)
+	}
+	return h
+}
+
+// Alive reports the current liveness view of replica i.
+func (h *Health) Alive(i int) bool { return h.up[i].Load() }
+
+// Up snapshots the liveness view across the roster.
+func (h *Health) Up() []bool {
+	out := make([]bool, len(h.up))
+	for i := range h.up {
+		out[i] = h.up[i].Load()
+	}
+	return out
+}
+
+// Stop halts all probing. The liveness view freezes at its last state.
+func (h *Health) Stop() {
+	close(h.stop)
+	h.wg.Wait()
+}
+
+func (h *Health) probeLoop(i int) {
+	defer h.wg.Done()
+	url := h.roster[i].BaseURL + "/readyz"
+	t := time.NewTicker(h.cfg.Interval)
+	defer t.Stop()
+	fails, oks := 0, 0
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+		}
+		if h.probe(url) {
+			fails = 0
+			oks++
+			if !h.up[i].Load() && oks >= h.cfg.RecoverAfter {
+				h.up[i].Store(true)
+				h.cfg.Logf("cluster: replica %s up after %d healthy probes", h.roster[i].Name, oks)
+			}
+		} else {
+			oks = 0
+			fails++
+			if h.up[i].Load() && fails >= h.cfg.FailAfter {
+				h.up[i].Store(false)
+				h.cfg.Logf("cluster: replica %s down after %d failed probes", h.roster[i].Name, fails)
+			}
+		}
+	}
+}
+
+func (h *Health) probe(url string) bool {
+	resp, err := h.client.Get(url)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

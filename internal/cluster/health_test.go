@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestHealthHysteresis drives a replica through ready → not-ready →
+// ready and checks both transition thresholds: down only after FailAfter
+// consecutive failures, up again only after RecoverAfter consecutive
+// successes, starting from the optimistic presumed-alive state.
+func TestHealthHysteresis(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probed %s, want /readyz", r.URL.Path)
+		}
+		if ready.Load() {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+
+	roster := Roster{{Name: "r0", WireAddr: "unused:0", BaseURL: ts.URL}}
+	h := StartHealth(roster, HealthConfig{Interval: 10 * time.Millisecond, FailAfter: 2, RecoverAfter: 3})
+	defer h.Stop()
+
+	if !h.Alive(0) {
+		t.Fatal("replica must start presumed alive")
+	}
+	waitFor(t, 2*time.Second, func() bool { return h.Alive(0) }, "healthy replica marked down")
+
+	ready.Store(false)
+	waitFor(t, 2*time.Second, func() bool { return !h.Alive(0) }, "failing replica never marked down")
+
+	ready.Store(true)
+	waitFor(t, 2*time.Second, func() bool { return h.Alive(0) }, "recovered replica never marked up")
+	if up := h.Up(); len(up) != 1 || !up[0] {
+		t.Errorf("Up() = %v", up)
+	}
+}
+
+// TestHealthUnreachable probes an address nothing listens on: the
+// replica must go down within a few intervals (connection errors count
+// as failed probes, subject to the same threshold).
+func TestHealthUnreachable(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // bound then released: refused connections
+	h := StartHealth(Roster{{Name: "r0", WireAddr: "unused:0", BaseURL: url}},
+		HealthConfig{Interval: 10 * time.Millisecond, FailAfter: 2})
+	defer h.Stop()
+	waitFor(t, 2*time.Second, func() bool { return !h.Alive(0) }, "unreachable replica never marked down")
+}

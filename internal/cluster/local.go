@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/serve"
+)
+
+// LocalFleet runs N complete ringd replicas — serve.Server, RGV1 wire
+// listener, HTTP listener — inside one process, on loopback ports. It
+// exists for the cluster's own tests, benchmarks, and ringload's
+// -cluster mode: everything above the sockets is exactly the production
+// stack, so a router pointed at a LocalFleet exercises the real wire
+// protocol, the real health endpoints, and the real drain behavior
+// without spawning processes. Kill and Restart tear one replica down
+// abruptly and bring it back on the same addresses, for
+// failover-under-churn tests.
+type LocalFleet struct {
+	Roster Roster
+	cfg    serve.Config
+
+	mu       sync.Mutex
+	replicas []*localReplica
+}
+
+type localReplica struct {
+	server *serve.Server
+	ws     *serve.WireServer
+	hs     *http.Server
+	wireLn net.Listener
+	httpLn net.Listener
+	done   chan struct{} // closed when both serve loops have exited
+}
+
+// StartLocalFleet boots n replicas with the given per-replica serving
+// config (zero value defaulted by serve.New). Replica names are
+// "r0".."r<n-1>".
+func StartLocalFleet(n int, cfg serve.Config) (*LocalFleet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: fleet size %d", n)
+	}
+	f := &LocalFleet{cfg: cfg, replicas: make([]*localReplica, n)}
+	for i := 0; i < n; i++ {
+		wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Stop()
+			return nil, err
+		}
+		httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			wireLn.Close()
+			f.Stop()
+			return nil, err
+		}
+		f.Roster = append(f.Roster, Replica{
+			Name:     fmt.Sprintf("r%d", i),
+			WireAddr: wireLn.Addr().String(),
+			BaseURL:  "http://" + httpLn.Addr().String(),
+		})
+		f.replicas[i] = startLocalReplica(cfg, wireLn, httpLn)
+	}
+	return f, nil
+}
+
+func startLocalReplica(cfg serve.Config, wireLn, httpLn net.Listener) *localReplica {
+	s := serve.New(cfg)
+	ws := serve.NewWireServer(s)
+	r := &localReplica{
+		server: s,
+		ws:     ws,
+		hs:     &http.Server{Handler: s.Handler()},
+		wireLn: wireLn,
+		httpLn: httpLn,
+		done:   make(chan struct{}),
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); ws.Serve(wireLn) }()
+	go func() { defer wg.Done(); r.hs.Serve(httpLn) }()
+	go func() { wg.Wait(); close(r.done) }()
+	return r
+}
+
+// stop tears one replica down. Abrupt (expired context) models a crash:
+// connections reset, nothing drains. Graceful models a rolling restart.
+func (r *localReplica) stop(graceful bool) {
+	ctx := context.Background()
+	if graceful {
+		r.server.BeginDrain()
+	} else {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		cancel() // already expired: hard teardown
+	}
+	r.hs.Shutdown(ctx)
+	if !graceful {
+		r.hs.Close()
+	}
+	r.ws.Shutdown(ctx)
+	r.server.Close()
+	<-r.done
+}
+
+// Kill crashes replica i: listeners close, live connections reset, no
+// drain. The addresses stay reserved in the roster for Restart.
+func (f *LocalFleet) Kill(i int) {
+	f.mu.Lock()
+	r := f.replicas[i]
+	f.replicas[i] = nil
+	f.mu.Unlock()
+	if r != nil {
+		r.stop(false)
+	}
+}
+
+// Restart brings a killed replica back on its original addresses with a
+// cold cache — exactly what a supervisor restart does to a real ringd.
+func (f *LocalFleet) Restart(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.replicas[i] != nil {
+		return fmt.Errorf("cluster: replica %d is running", i)
+	}
+	wireLn, err := net.Listen("tcp", f.Roster[i].WireAddr)
+	if err != nil {
+		return fmt.Errorf("cluster: rebind wire %s: %w", f.Roster[i].WireAddr, err)
+	}
+	httpAddr := f.Roster[i].BaseURL[len("http://"):]
+	httpLn, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		wireLn.Close()
+		return fmt.Errorf("cluster: rebind http %s: %w", httpAddr, err)
+	}
+	f.replicas[i] = startLocalReplica(f.cfg, wireLn, httpLn)
+	return nil
+}
+
+// Server returns replica i's serve.Server (nil while killed), for tests
+// asserting on cache metrics.
+func (f *LocalFleet) Server(i int) *serve.Server {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.replicas[i] == nil {
+		return nil
+	}
+	return f.replicas[i].server
+}
+
+// Stop gracefully drains every running replica.
+func (f *LocalFleet) Stop() {
+	f.mu.Lock()
+	replicas := f.replicas
+	f.replicas = make([]*localReplica, len(replicas))
+	f.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, r := range replicas {
+		if r == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(r *localReplica) { defer wg.Done(); r.stop(true) }(r)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/netring"
+	"repro/internal/serve"
+)
+
+// pool holds one lazily dialed serve.WireClient per replica. The client
+// itself repairs broken pooled connections (redialing under its
+// netring.Backoff), so once a replica's client exists it stays in the
+// slot for the pool's lifetime; only the initial dial — a replica that
+// was down the first time traffic ranked to it — is retried here, on
+// the next request that needs it.
+type pool struct {
+	roster  Roster
+	conns   int
+	timeout time.Duration
+	backoff netring.Backoff
+
+	mu      sync.Mutex
+	clients []*serve.WireClient
+	closed  bool
+}
+
+func newPool(roster Roster, conns int, timeout time.Duration, b netring.Backoff) *pool {
+	if conns <= 0 {
+		conns = 2
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &pool{
+		roster:  roster,
+		conns:   conns,
+		timeout: timeout,
+		backoff: b,
+		clients: make([]*serve.WireClient, len(roster)),
+	}
+}
+
+// client returns replica i's wire client, dialing it on first use. The
+// dial happens outside the pool lock so a slow dial to one replica never
+// blocks requests to the others; if two requests race the first dial,
+// the loser's client is closed and the winner's kept.
+func (p *pool) client(i int) (*serve.WireClient, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, serve.ErrWireClientClosed
+	}
+	if c := p.clients[i]; c != nil {
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+
+	c, err := serve.DialWireBackoff(p.roster[i].WireAddr, p.conns, p.timeout, p.backoff)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return nil, serve.ErrWireClientClosed
+	}
+	if existing := p.clients[i]; existing != nil {
+		p.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	p.clients[i] = c
+	p.mu.Unlock()
+	return c, nil
+}
+
+// close tears down every dialed client. In-flight calls fail with
+// serve.ErrWireClientClosed.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	clients := p.clients
+	p.clients = make([]*serve.WireClient, len(p.roster))
+	p.mu.Unlock()
+	for _, c := range clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package cluster
+
+// Rendezvous implements highest-random-weight (rendezvous) hashing over
+// replica names: every key gets an independent pseudo-random score per
+// replica, and the key's owner is the highest-scoring live replica.
+// The properties the cluster design rests on:
+//
+//   - Determinism: every gateway with the same roster computes the same
+//     owner for a key, with no coordination — so all gateways route one
+//     canonical ring class to one replica's cache.
+//   - Minimal disruption: when a replica dies, exactly the keys it owned
+//     move (each to its second-ranked replica); the other replicas' key
+//     sets — and therefore their warm caches — are untouched. Restoring
+//     the replica moves exactly those keys back.
+//   - No ring topology or virtual nodes to configure: the score function
+//     is stateless in the key.
+//
+// Scores are FNV-1a over the key bytes, seeded per replica by hashing
+// the replica name first, then finished with a splitmix64-style
+// avalanche so single-bit key differences decorrelate the per-replica
+// rankings. (FNV alone is too linear: without the finisher, nearby keys
+// produce correlated score *orderings*, which skews ownership.)
+type Rendezvous struct {
+	seeds []uint64
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// NewRendezvous builds the score table for a replica name set. The
+// names, not their order, determine scores.
+func NewRendezvous(names []string) *Rendezvous {
+	rv := &Rendezvous{seeds: make([]uint64, len(names))}
+	for i, name := range names {
+		h := fnvOffset
+		for j := 0; j < len(name); j++ {
+			h ^= uint64(name[j])
+			h *= fnvPrime
+		}
+		rv.seeds[i] = h
+	}
+	return rv
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Score is replica i's weight for key. Exported for tests; routing goes
+// through Rank and Owner.
+func (rv *Rendezvous) Score(i int, key []byte) uint64 {
+	h := rv.seeds[i]
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return mix64(h)
+}
+
+// Rank writes the replica indexes in descending score order for key into
+// dst (grown as needed from length zero) and returns it. Ties — a
+// 2^-64 event — break toward the lower index, keeping the order total
+// and identical on every gateway. The sort is insertion sort: rosters
+// are small (a handful of replicas), and dst is caller-recycled so the
+// hot path allocates nothing.
+func (rv *Rendezvous) Rank(key []byte, dst []int) []int {
+	dst = dst[:0]
+	n := len(rv.seeds)
+	var sbuf [16]uint64 // stack space for the common small-roster case
+	var scores []uint64
+	if n <= len(sbuf) {
+		scores = sbuf[:n]
+	} else {
+		scores = make([]uint64, n)
+	}
+	for i := 0; i < n; i++ {
+		scores[i] = rv.Score(i, key)
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+		for j := len(dst) - 1; j > 0; j-- {
+			a, b := dst[j-1], dst[j]
+			if scores[a] > scores[b] || (scores[a] == scores[b] && a < b) {
+				break
+			}
+			dst[j-1], dst[j] = b, a
+		}
+	}
+	return dst
+}
+
+// Owner returns the highest-ranked replica for key that alive reports
+// true, or -1 when none is. A nil alive means every replica counts.
+func (rv *Rendezvous) Owner(key []byte, alive func(int) bool) int {
+	best, bestScore := -1, uint64(0)
+	for i := range rv.seeds {
+		if alive != nil && !alive(i) {
+			continue
+		}
+		s := rv.Score(i, key)
+		if best == -1 || s > bestScore || (s == bestScore && i < best) {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}

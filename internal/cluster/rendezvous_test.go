@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ring"
+	"repro/internal/serve"
+
+	repro "repro"
+)
+
+func testNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("replica-%d", i)
+	}
+	return names
+}
+
+// testKeys derives ≥count distinct canonical election keys from random
+// asymmetric rings — the real key distribution the router hashes, not
+// synthetic byte strings.
+func testKeys(t testing.TB, count int) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(20260808))
+	keys := make([][]byte, 0, count)
+	seen := make(map[string]struct{}, count)
+	for len(keys) < count {
+		n := 4 + rng.Intn(29)
+		r, err := ring.RandomAsymmetric(rng, n, 3, 8)
+		if err != nil {
+			continue
+		}
+		key, _ := serve.CanonicalKey(r.LabelsView(), repro.AlgorithmB, 3)
+		if _, dup := seen[string(key)]; dup {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+// TestRendezvousDeterministicAndStable pins that ownership is a pure
+// function of (names, key): two independently built Rendezvous agree on
+// every owner and every full ranking — the property that lets any number
+// of gateways route without coordinating.
+func TestRendezvousDeterministicAndStable(t *testing.T) {
+	names := testNames(5)
+	a, b := NewRendezvous(names), NewRendezvous(names)
+	var rankA, rankB []int
+	for _, key := range testKeys(t, 500) {
+		if oa, ob := a.Owner(key, nil), b.Owner(key, nil); oa != ob {
+			t.Fatalf("key % x: owners %d vs %d from identical rosters", key, oa, ob)
+		}
+		rankA, rankB = a.Rank(key, rankA), b.Rank(key, rankB)
+		for j := range rankA {
+			if rankA[j] != rankB[j] {
+				t.Fatalf("key % x: rankings diverge at position %d", key, j)
+			}
+		}
+		if rankA[0] != a.Owner(key, nil) {
+			t.Fatalf("key % x: Rank[0]=%d but Owner=%d", key, rankA[0], a.Owner(key, nil))
+		}
+	}
+}
+
+// TestRendezvousBalance checks no replica owns a grossly outsized share:
+// over 10k real election keys and 4 replicas, every share must be within
+// a factor of 1.35 of fair. (Rendezvous hashing balances to within
+// sampling noise when the score function avalanches properly; a failure
+// here means the mixing broke.)
+func TestRendezvousBalance(t *testing.T) {
+	const replicas, keys = 4, 10000
+	rv := NewRendezvous(testNames(replicas))
+	counts := make([]int, replicas)
+	for _, key := range testKeys(t, keys) {
+		counts[rv.Owner(key, nil)]++
+	}
+	fair := float64(keys) / replicas
+	for i, c := range counts {
+		if float64(c) > 1.35*fair || float64(c) < fair/1.35 {
+			t.Errorf("replica %d owns %d of %d keys (fair share %.0f): %v", i, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestRendezvousMinimalMovement is the property the cluster's cache
+// economics rest on: killing one of N replicas moves exactly the keys it
+// owned — about 1/N of the keyspace, and certainly no more than
+// (1/N + ε) — and every surviving replica keeps every key it had.
+// Restoring the replica moves exactly those keys back.
+func TestRendezvousMinimalMovement(t *testing.T) {
+	const replicas, keyCount = 4, 10000
+	rv := NewRendezvous(testNames(replicas))
+	keys := testKeys(t, keyCount)
+
+	before := make([]int, keyCount)
+	for i, key := range keys {
+		before[i] = rv.Owner(key, nil)
+	}
+	const dead = 2
+	alive := func(i int) bool { return i != dead }
+	moved := 0
+	for i, key := range keys {
+		after := rv.Owner(key, alive)
+		if after == dead {
+			t.Fatalf("key % x still owned by the dead replica", key)
+		}
+		if before[i] == dead {
+			moved++
+			continue
+		}
+		if after != before[i] {
+			t.Fatalf("key % x moved from healthy replica %d to %d when replica %d died",
+				key, before[i], after, dead)
+		}
+	}
+	// The dead replica's whole share moved — and nothing else did (the
+	// loop above already proved the survivors' keys stayed). The share
+	// itself must be about 1/N: at most (1/N + ε) with ε = 5 points.
+	frac := float64(moved) / keyCount
+	if max := 1.0/replicas + 0.05; frac > max {
+		t.Errorf("%.1f%% of the keyspace moved on one death, want <= %.1f%%", 100*frac, 100*max)
+	}
+	if frac == 0 {
+		t.Error("no keys moved: the dead replica owned nothing, which balance forbids")
+	}
+
+	// Recovery: the original assignment is restored exactly.
+	for i, key := range keys {
+		if got := rv.Owner(key, nil); got != before[i] {
+			t.Fatalf("key % x owner %d after recovery, want %d", key, got, before[i])
+		}
+	}
+}
+
+// TestRendezvousRotationInvariantRouting glues the two layers together:
+// every rotation of one ring produces one key and therefore one owner —
+// the invariant that makes the fleet's caches partition by class.
+func TestRendezvousRotationInvariantRouting(t *testing.T) {
+	rv := NewRendezvous(testNames(3))
+	base := ring.Figure1()
+	key0, _ := serve.CanonicalKey(base.LabelsView(), repro.AlgorithmB, 3)
+	want := rv.Owner(key0, nil)
+	for d := 1; d < base.N(); d++ {
+		key, _ := serve.CanonicalKey(base.Rotate(d).LabelsView(), repro.AlgorithmB, 3)
+		if got := rv.Owner(key, nil); got != want {
+			t.Fatalf("rotation %d routed to %d, rotation 0 to %d", d, got, want)
+		}
+	}
+}

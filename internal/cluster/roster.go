@@ -1,0 +1,113 @@
+// Package cluster scales the election-serving subsystem horizontally: a
+// roster of ringd replicas, health-probed liveness with hysteresis,
+// rendezvous (highest-random-weight) routing over the canonical election
+// key, pooled RGV1 connections per replica, and latency-budget request
+// hedging — composed into a Gateway that terminates both the HTTP/JSON
+// API and the binary wire protocol and proxies to whichever replica owns
+// each canonical ring class.
+//
+// The routing invariant is the paper's rotation equivalence made
+// operational: every rotation of a labeled ring canonicalizes to one
+// byte key (serve.CanonicalKey), rendezvous hashing assigns that key to
+// exactly one live replica, so each canonical class is cached on one
+// machine and the fleet's aggregate cache is the sum of its parts rather
+// than N copies of the same hot set. When a replica dies, only its own
+// 1/N-th of the keyspace moves; the survivors' cache entries stay warm.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Replica is one ringd instance a gateway can route to: its stable name
+// (the rendezvous identity — renaming a replica reassigns its keyspace),
+// its RGV1 wire address, and the base URL of its HTTP API (used for
+// health probes).
+type Replica struct {
+	Name     string `json:"name"`
+	WireAddr string `json:"wire_addr"`
+	BaseURL  string `json:"base_url"`
+}
+
+// Roster is an ordered replica set. Order is presentation only — routing
+// depends on names, not positions — but indexes into a Roster are the
+// working currency of the health monitor, pool, and router.
+type Roster []Replica
+
+// Validate rejects rosters the router cannot serve from: empty, missing
+// fields, or duplicate names (two replicas with one name would collapse
+// into one rendezvous identity and shadow each other).
+func (r Roster) Validate() error {
+	if len(r) == 0 {
+		return fmt.Errorf("cluster: empty roster")
+	}
+	seen := make(map[string]struct{}, len(r))
+	for i, rep := range r {
+		if rep.Name == "" {
+			return fmt.Errorf("cluster: replica %d has no name", i)
+		}
+		if rep.WireAddr == "" {
+			return fmt.Errorf("cluster: replica %q has no wire address", rep.Name)
+		}
+		if rep.BaseURL == "" {
+			return fmt.Errorf("cluster: replica %q has no base URL", rep.Name)
+		}
+		if _, dup := seen[rep.Name]; dup {
+			return fmt.Errorf("cluster: duplicate replica name %q", rep.Name)
+		}
+		seen[rep.Name] = struct{}{}
+	}
+	return nil
+}
+
+// Names returns the replica names in roster order.
+func (r Roster) Names() []string {
+	names := make([]string, len(r))
+	for i, rep := range r {
+		names[i] = rep.Name
+	}
+	return names
+}
+
+// ParseRoster parses the flag form: comma-separated
+// "name=wireAddr=baseURL" triples, e.g.
+//
+//	r0=127.0.0.1:7001=http://127.0.0.1:8001,r1=127.0.0.1:7002=http://127.0.0.1:8002
+func ParseRoster(spec string) (Roster, error) {
+	var r Roster
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.SplitN(part, "=", 3)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("cluster: replica spec %q: want name=wireAddr=baseURL", part)
+		}
+		r = append(r, Replica{Name: fields[0], WireAddr: fields[1], BaseURL: fields[2]})
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// LoadRoster reads a JSON roster file: an array of {name, wire_addr,
+// base_url} objects.
+func LoadRoster(path string) (Roster, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: read roster: %w", err)
+	}
+	var r Roster
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("cluster: parse roster %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

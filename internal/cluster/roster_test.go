@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseRoster(t *testing.T) {
+	r, err := ParseRoster("r0=127.0.0.1:7001=http://127.0.0.1:8001, r1=127.0.0.1:7002=http://127.0.0.1:8002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 || r[0].Name != "r0" || r[1].WireAddr != "127.0.0.1:7002" || r[1].BaseURL != "http://127.0.0.1:8002" {
+		t.Errorf("parsed %+v", r)
+	}
+	for _, bad := range []string{
+		"",                            // empty roster
+		"r0=127.0.0.1:7001",           // missing base URL
+		"r0=a=http://b,r0=c=http://d", // duplicate name
+		"=a=http://b",                 // empty name
+	} {
+		if _, err := ParseRoster(bad); err == nil {
+			t.Errorf("ParseRoster(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadRoster(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "roster.json")
+	data := `[{"name":"a","wire_addr":"127.0.0.1:1","base_url":"http://127.0.0.1:2"},
+	          {"name":"b","wire_addr":"127.0.0.1:3","base_url":"http://127.0.0.1:4"}]`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadRoster(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 || r[1].Name != "b" || r[1].WireAddr != "127.0.0.1:3" {
+		t.Errorf("loaded %+v", r)
+	}
+	if _, err := LoadRoster(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

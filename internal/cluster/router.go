@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netring"
+	"repro/internal/ring"
+	"repro/internal/serve"
+	"repro/internal/stats"
+
+	repro "repro"
+)
+
+// RouterConfig tunes a Router. Roster is required; everything else has
+// defaults.
+type RouterConfig struct {
+	Roster Roster
+	// Health supplies the liveness view. Nil means all replicas are
+	// presumed alive (useful for tests and single-replica rosters).
+	Health *Health
+	// PoolConns is the pooled wire connections per replica (default 2).
+	PoolConns int
+	// Timeout bounds one replica attempt end to end (default 5s).
+	Timeout time.Duration
+	// Backoff paces broken-connection redials inside each pooled client.
+	Backoff netring.Backoff
+	// HedgeAfter is the floor of the hedge budget (default 10ms): before
+	// any latency history exists, a hedge fires after this long.
+	HedgeAfter time.Duration
+	// HedgeMultiplier scales the observed EWMA latency into the hedge
+	// budget (default 4): a request is hedged once it has taken this
+	// many times the typical request, i.e. once it is likelier stuck
+	// than slow.
+	HedgeMultiplier float64
+	// MaxAttempts bounds how many distinct replicas one request may try,
+	// hedges included (default: the whole roster).
+	MaxAttempts int
+	// Logf receives routing diagnostics (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.PoolConns <= 0 {
+		c.PoolConns = 2
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.HedgeAfter <= 0 {
+		c.HedgeAfter = 10 * time.Millisecond
+	}
+	if c.HedgeMultiplier <= 0 {
+		c.HedgeMultiplier = 4
+	}
+	if c.MaxAttempts <= 0 || c.MaxAttempts > len(c.Roster) {
+		c.MaxAttempts = len(c.Roster)
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// replicaCounters is one replica's routing ledger, all lock-free.
+type replicaCounters struct {
+	routed    atomic.Int64 // attempts launched at this replica
+	hedged    atomic.Int64 // of those, launched as hedges
+	hedgeWins atomic.Int64 // hedge attempts whose answer was used
+	failed    atomic.Int64 // attempts that errored (typed or transport)
+	latency   *stats.Striped
+}
+
+// ReplicaStats is a snapshot of one replica's routing ledger for
+// /metrics and operational logs.
+type ReplicaStats struct {
+	Name      string
+	Up        bool
+	Routed    int64
+	Hedged    int64
+	HedgeWins int64
+	Failed    int64
+	// P50 and P99 are attempt latencies in seconds (0 with no samples).
+	P50 float64
+	P99 float64
+}
+
+// Router routes elections to the replica fleet. For each request it
+// canonicalizes the ring to its class key, ranks replicas by rendezvous
+// score, and sends to the highest-ranked live replica — the one whose
+// cache owns the class. A request that outlives its hedge budget (an
+// EWMA of observed latency times HedgeMultiplier, floored at HedgeAfter)
+// is hedged to the next-ranked replica and the first answer wins; the
+// loser is abandoned, not awaited. Retryable failures — transport
+// errors, a draining replica's typed 503 — fail over to the next rank
+// immediately. Deterministic outcomes (400), backpressure (429), and
+// engine failures (500) are relayed to the caller as-is: retrying those
+// elsewhere would either waste work or defeat the replicas' load
+// shedding.
+//
+// Router implements serve.WireBackend; its Elect returns the leader in
+// the caller's frame (the replicas' wire protocol already guarantees
+// that).
+type Router struct {
+	cfg      RouterConfig
+	rv       *Rendezvous
+	pool     *pool
+	counters []replicaCounters
+
+	// ewmaNs holds the float64 bits of the exponentially weighted moving
+	// average of successful attempt latency, in nanoseconds. CAS-updated.
+	ewmaNs atomic.Uint64
+
+	scratch sync.Pool // *routeScratch
+}
+
+// routeScratch recycles the per-request key and ranking buffers: the
+// routing decision for a cached class costs no allocation.
+type routeScratch struct {
+	key  []byte
+	rank []int
+}
+
+// NewRouter builds a Router over cfg.Roster. Call Close when done.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if err := cfg.Roster.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:      cfg,
+		rv:       NewRendezvous(cfg.Roster.Names()),
+		pool:     newPool(cfg.Roster, cfg.PoolConns, cfg.Timeout, cfg.Backoff),
+		counters: make([]replicaCounters, len(cfg.Roster)),
+	}
+	for i := range r.counters {
+		r.counters[i].latency = stats.MustStriped(0, stats.DefaultLatencyBuckets)
+	}
+	r.scratch.New = func() any { return &routeScratch{} }
+	return r, nil
+}
+
+// Close releases every pooled connection. In-flight calls fail.
+func (r *Router) Close() { r.pool.close() }
+
+// Alive reports the router's liveness view of replica i.
+func (r *Router) alive(i int) bool {
+	return r.cfg.Health == nil || r.cfg.Health.Alive(i)
+}
+
+// Stats snapshots every replica's routing ledger, in roster order.
+func (r *Router) Stats() []ReplicaStats {
+	out := make([]ReplicaStats, len(r.cfg.Roster))
+	for i := range out {
+		c := &r.counters[i]
+		h := c.latency.Snapshot()
+		out[i] = ReplicaStats{
+			Name:      r.cfg.Roster[i].Name,
+			Up:        r.alive(i),
+			Routed:    c.routed.Load(),
+			Hedged:    c.hedged.Load(),
+			HedgeWins: c.hedgeWins.Load(),
+			Failed:    c.failed.Load(),
+		}
+		if h.Count() > 0 {
+			out[i].P50 = h.Quantile(0.5)
+			out[i].P99 = h.Quantile(0.99)
+		}
+	}
+	return out
+}
+
+// Owner returns the roster index that currently owns the canonical
+// class of (labels, alg, k) under the router's liveness view, or -1
+// when every replica is down. Diagnostic; Elect does its own ranking.
+func (r *Router) Owner(labels []ring.Label, alg repro.Algorithm, k int) int {
+	sc := r.scratch.Get().(*routeScratch)
+	sc.key, _ = serve.AppendCanonicalKey(sc.key, labels, alg, k)
+	owner := r.rv.Owner(sc.key, r.alive)
+	r.scratch.Put(sc)
+	return owner
+}
+
+// attemptResult carries one replica attempt's outcome back to Elect.
+type attemptResult struct {
+	replica int
+	hedge   bool
+	out     serve.WireOutcome
+	err     error
+}
+
+// retryable reports whether an attempt failure may legitimately be
+// answered by a different replica: transport-level errors (the replica
+// or its connection died) and a typed 503 (the replica is draining —
+// the rest of the fleet is exactly where that traffic should go).
+func retryable(err error) bool {
+	var we *serve.WireError
+	if errors.As(err, &we) {
+		return we.Status == 503
+	}
+	return true
+}
+
+// Elect routes one election. labels must not be mutated until Elect
+// returns (the attempt goroutines read it concurrently).
+func (r *Router) Elect(ctx context.Context, labels []ring.Label, alg repro.Algorithm, k int) (serve.WireOutcome, error) {
+	sc := r.scratch.Get().(*routeScratch)
+	sc.key, _ = serve.AppendCanonicalKey(sc.key, labels, alg, k)
+	sc.rank = r.rv.Rank(sc.key, sc.rank)
+
+	// Candidate order: live replicas by rank — the first is the class
+	// owner — then dead ones by rank as a last resort, because the
+	// liveness view is hysteretic and may lag a recovery by a probe
+	// round or two. Trying a "dead" replica beats refusing the request.
+	cands := make([]int, 0, len(sc.rank))
+	for _, i := range sc.rank {
+		if r.alive(i) {
+			cands = append(cands, i)
+		}
+	}
+	for _, i := range sc.rank {
+		if !r.alive(i) {
+			cands = append(cands, i)
+		}
+	}
+	r.scratch.Put(sc)
+	if len(cands) > r.cfg.MaxAttempts {
+		cands = cands[:r.cfg.MaxAttempts]
+	}
+
+	results := make(chan attemptResult, len(cands))
+	launched, pending := 0, 0
+	launch := func(hedge bool) {
+		idx := cands[launched]
+		launched++
+		pending++
+		c := &r.counters[idx]
+		c.routed.Add(1)
+		if hedge {
+			c.hedged.Add(1)
+		}
+		go r.attempt(idx, hedge, labels, alg, k, results)
+	}
+	launch(false)
+
+	hedgeTimer := time.NewTimer(r.hedgeBudget())
+	defer hedgeTimer.Stop()
+
+	var lastErr error
+	for pending > 0 {
+		select {
+		case res := <-results:
+			pending--
+			if res.err == nil {
+				if res.hedge {
+					r.counters[res.replica].hedgeWins.Add(1)
+				}
+				return res.out, nil
+			}
+			lastErr = res.err
+			if !retryable(res.err) {
+				// Deterministic or backpressure failure: relay it now.
+				// A still-outstanding hedge resolves into the buffered
+				// channel and is dropped — never awaited.
+				return serve.WireOutcome{}, res.err
+			}
+			if launched < len(cands) {
+				launch(false)
+			}
+		case <-hedgeTimer.C:
+			if launched < len(cands) {
+				launch(true)
+			}
+		case <-ctx.Done():
+			return serve.WireOutcome{}, ctx.Err()
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: no replica available")
+	}
+	return serve.WireOutcome{}, fmt.Errorf("cluster: all %d attempts failed: %w", launched, lastErr)
+}
+
+// attempt runs one election against one replica and reports into the
+// buffered results channel (never blocking, so abandoned attempts leak
+// nothing).
+func (r *Router) attempt(idx int, hedge bool, labels []ring.Label, alg repro.Algorithm, k int, results chan<- attemptResult) {
+	c := &r.counters[idx]
+	client, err := r.pool.client(idx)
+	if err != nil {
+		c.failed.Add(1)
+		results <- attemptResult{replica: idx, hedge: hedge, err: err}
+		return
+	}
+	start := time.Now()
+	out, err := client.Elect(labels, alg, k)
+	d := time.Since(start)
+	if err != nil {
+		c.failed.Add(1)
+		results <- attemptResult{replica: idx, hedge: hedge, err: err}
+		return
+	}
+	c.latency.Observe(d.Seconds())
+	r.observeLatency(d)
+	results <- attemptResult{replica: idx, hedge: hedge, out: out}
+}
+
+// ewmaAlpha is the smoothing factor of the latency estimate: each new
+// sample contributes 20%, so the hedge budget tracks shifts in load
+// within a few tens of requests without chasing single outliers.
+const ewmaAlpha = 0.2
+
+// observeLatency folds one successful attempt into the EWMA with a CAS
+// loop — contended updates retry rather than lock.
+func (r *Router) observeLatency(d time.Duration) {
+	ns := float64(d.Nanoseconds())
+	for {
+		old := r.ewmaNs.Load()
+		cur := math.Float64frombits(old)
+		var next float64
+		if old == 0 {
+			next = ns
+		} else {
+			next = cur + ewmaAlpha*(ns-cur)
+		}
+		if r.ewmaNs.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// hedgeBudget derives how long to wait before hedging: the EWMA scaled
+// by the multiplier, floored at HedgeAfter (covering the cold start)
+// and capped at half the attempt timeout (a hedge that cannot finish
+// before the primary's timeout is pointless).
+func (r *Router) hedgeBudget() time.Duration {
+	b := r.cfg.HedgeAfter
+	if bits := r.ewmaNs.Load(); bits != 0 {
+		est := time.Duration(r.cfg.HedgeMultiplier * math.Float64frombits(bits))
+		if est > b {
+			b = est
+		}
+	}
+	if max := r.cfg.Timeout / 2; b > max {
+		b = max
+	}
+	return b
+}

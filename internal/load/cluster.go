@@ -1,0 +1,176 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// ClusterConfig parameterizes a cluster scaling run: the same seeded
+// load plan driven through a gateway at each rung of a replica ladder,
+// so the only variable between rungs is fleet width. Everything runs in
+// process (cluster.LocalFleet), but over real sockets and the real wire
+// protocol — the numbers measure the production stack.
+type ClusterConfig struct {
+	// Replicas is the fleet-size ladder (default [1, 2, 4]).
+	Replicas []int
+	// ReplicaCache is each replica's result-cache capacity (0 = serve's
+	// default). Small values force miss-heavy traffic, making the
+	// compute-scaling term visible; the default makes the run
+	// cache-realistic instead.
+	ReplicaCache int
+	// ReplicaWorkers is each replica's election worker-pool width
+	// (0 = serve's default, one per CPU). In-process fleets share one
+	// runtime, so pinning this to 1 keeps an N-replica rung from
+	// overcommitting the box N-fold.
+	ReplicaWorkers int
+	// Load is the per-rung load configuration. BaseURL and WireAddr are
+	// overwritten to point at each rung's gateway; everything else —
+	// seed, mix, protocol, crosscheck — applies to every rung
+	// identically.
+	Load Config
+	// ScaleFloor, when positive, makes RunCluster fail unless the best
+	// rung achieves at least this speedup over the first (e.g. 2.5 for
+	// the 1→4-replica acceptance bar). Callers should only set it when
+	// the host can physically scale (GOMAXPROCS ≥ the top rung).
+	ScaleFloor float64
+}
+
+// ClusterRung is one ladder step's outcome.
+type ClusterRung struct {
+	Replicas int     `json:"replicas"`
+	Report   *Report `json:"report"`
+	// Speedup is this rung's throughput over the first rung's.
+	Speedup float64 `json:"speedup"`
+	// HotHitRate is the cached fraction of successful hot+rotated
+	// requests — the traffic whose locality the rendezvous routing is
+	// supposed to preserve as the fleet widens.
+	HotHitRate float64 `json:"hot_hit_rate"`
+}
+
+// ClusterReport is the JSON result of a cluster scaling run.
+type ClusterReport struct {
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Rungs       []ClusterRung `json:"rungs"`
+	Divergences int           `json:"divergences"` // summed over rungs
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if len(c.Replicas) == 0 {
+		c.Replicas = []int{1, 2, 4}
+	}
+	return c
+}
+
+// hotHitRate extracts the cached fraction of hot+rotated successes.
+func hotHitRate(rep *Report) float64 {
+	hot, rot := rep.Classes[ClassHot], rep.Classes[ClassRotated]
+	ok := hot.OK + rot.OK
+	if ok == 0 {
+		return 0
+	}
+	return float64(hot.Cached+rot.Cached) / float64(ok)
+}
+
+// RunCluster executes the ladder. Each rung gets a fresh fleet, health
+// prober, router, and gateway; the identical seeded plan runs against
+// the gateway's HTTP (or wire) front; then everything drains. Failures
+// to scale only error when ScaleFloor demands it — the report always
+// carries the observed numbers.
+func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
+	cfg = cfg.withDefaults()
+	out := &ClusterReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, n := range cfg.Replicas {
+		rep, err := runRung(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("load: cluster rung %d: %w", n, err)
+		}
+		rung := ClusterRung{Replicas: n, Report: rep, HotHitRate: hotHitRate(rep)}
+		if base := firstThroughput(out); base > 0 {
+			rung.Speedup = rep.ThroughputRPS / base
+		} else {
+			rung.Speedup = 1
+		}
+		out.Rungs = append(out.Rungs, rung)
+		out.Divergences += rep.Divergences
+	}
+	if cfg.ScaleFloor > 0 {
+		best := 0.0
+		for _, r := range out.Rungs {
+			if r.Speedup > best {
+				best = r.Speedup
+			}
+		}
+		if best < cfg.ScaleFloor {
+			return out, fmt.Errorf("load: best cluster speedup %.2fx is below the %.2fx floor", best, cfg.ScaleFloor)
+		}
+	}
+	return out, nil
+}
+
+func firstThroughput(out *ClusterReport) float64 {
+	if len(out.Rungs) == 0 {
+		return 0
+	}
+	return out.Rungs[0].Report.ThroughputRPS
+}
+
+// runRung boots one fleet-plus-gateway stack, runs the plan, and tears
+// it all down in reverse order.
+func runRung(cfg ClusterConfig, replicas int) (*Report, error) {
+	fleet, err := cluster.StartLocalFleet(replicas, serve.Config{
+		CacheEntries: cfg.ReplicaCache,
+		Workers:      cfg.ReplicaWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.Stop()
+
+	health := cluster.StartHealth(fleet.Roster, cluster.HealthConfig{Interval: 100 * time.Millisecond})
+	defer health.Stop()
+
+	router, err := cluster.NewRouter(cluster.RouterConfig{Roster: fleet.Roster, Health: health})
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+
+	gw := cluster.NewGateway(cluster.GatewayConfig{Router: router})
+
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: gw.Handler()}
+	go hs.Serve(httpLn)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+
+	loadCfg := cfg.Load
+	loadCfg.BaseURL = "http://" + httpLn.Addr().String()
+	if loadCfg.Proto == ProtoWire {
+		wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		fe := serve.NewWireFrontend(gw, serve.WireFrontendConfig{Metrics: gw.Metrics()})
+		go fe.Serve(wireLn)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			fe.Shutdown(ctx)
+		}()
+		loadCfg.WireAddr = wireLn.Addr().String()
+	}
+	return Run(loadCfg)
+}

@@ -1,0 +1,84 @@
+package load
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestClusterScaling is the PR's load acceptance gate: the same seeded
+// plan through 1, 2, and 4 replicas must (a) never diverge from the
+// local simulator, (b) keep the hot+rotated hit rate within 5 points of
+// the single-node run — rendezvous routing preserves cache locality as
+// the fleet widens — and (c), on hosts with the cores to show it,
+// scale throughput by at least 2.5x from 1 to 4 replicas. On narrower
+// hosts the throughput floor is informational: a single-core box cannot
+// speed up CPU-bound elections by adding in-process replicas, and
+// asserting otherwise would just encode a flaky lie.
+func TestClusterScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster ladder is a long test")
+	}
+	rep, err := RunCluster(ClusterConfig{
+		Replicas:       []int{1, 2, 4},
+		ReplicaWorkers: 1, // in-process fleet: don't overcommit the box N-fold
+		Load: Config{
+			Requests:   600,
+			Workers:    16,
+			Seed:       7,
+			Crosscheck: 0.25,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergences != 0 {
+		t.Fatalf("%d crosscheck divergences across the ladder", rep.Divergences)
+	}
+	if len(rep.Rungs) != 3 {
+		t.Fatalf("rungs: %+v", rep.Rungs)
+	}
+	for _, r := range rep.Rungs {
+		lr := r.Report
+		if lr.TransportErrors != 0 || lr.ServerErrors != 0 || lr.BadRequests != 0 {
+			t.Errorf("%d replicas: %d transport / %d server / %d bad-request errors on a healthy fleet",
+				r.Replicas, lr.TransportErrors, lr.ServerErrors, lr.BadRequests)
+		}
+		if lr.Crosschecks == 0 {
+			t.Errorf("%d replicas: no crosschecks ran", r.Replicas)
+		}
+		t.Logf("replicas=%d throughput=%.0f rps speedup=%.2fx hot-hit-rate=%.3f",
+			r.Replicas, lr.ThroughputRPS, r.Speedup, r.HotHitRate)
+	}
+
+	single := rep.Rungs[0].HotHitRate
+	for _, r := range rep.Rungs[1:] {
+		if r.HotHitRate < single-0.05 {
+			t.Errorf("%d replicas: hot hit rate %.3f fell more than 5 points below single-node %.3f",
+				r.Replicas, r.HotHitRate, single)
+		}
+	}
+
+	if runtime.NumCPU() < 4 {
+		t.Skipf("host has %d CPUs; skipping the 2.5x @ 4-replica throughput floor (needs >= 4)", runtime.NumCPU())
+	}
+	if best := rep.Rungs[len(rep.Rungs)-1].Speedup; best < 2.5 {
+		t.Errorf("4-replica speedup %.2fx, want >= 2.5x", best)
+	}
+}
+
+// TestClusterScaleFloorEnforced pins that ScaleFloor actually fails a
+// run: one rung cannot beat itself by 100x, and the report must still
+// come back alongside the error for diagnosis.
+func TestClusterScaleFloorEnforced(t *testing.T) {
+	rep, err := RunCluster(ClusterConfig{
+		Replicas:   []int{1},
+		ScaleFloor: 100,
+		Load:       Config{Requests: 50, Workers: 4, Seed: 3},
+	})
+	if err == nil {
+		t.Fatal("a 100x floor on a one-rung ladder must fail")
+	}
+	if rep == nil || len(rep.Rungs) != 1 {
+		t.Fatalf("report missing alongside the floor error: %+v", rep)
+	}
+}

@@ -73,6 +73,52 @@ func TestBackoffSleepCancelled(t *testing.T) {
 	}
 }
 
+// TestBackoffExportedDelayMatches pins that the exported Delay is the
+// defaults-filled twin of the internal pacing — the serve wire client's
+// redial path must see exactly the schedule the transport uses.
+func TestBackoffExportedDelayMatches(t *testing.T) {
+	cfgs := []Backoff{
+		{},
+		{Base: time.Millisecond, Max: 10 * time.Millisecond, Factor: 3, Jitter: 0.9},
+	}
+	for _, cfg := range cfgs {
+		r1 := rand.New(rand.NewSource(11))
+		r2 := rand.New(rand.NewSource(11))
+		filled := cfg.withDefaults()
+		for attempt := 1; attempt <= 20; attempt++ {
+			if got, want := cfg.Delay(attempt, r1), filled.delay(attempt, r2); got != want {
+				t.Fatalf("%+v attempt %d: Delay = %v, internal delay = %v", cfg, attempt, got, want)
+			}
+		}
+	}
+	if got := (Backoff{}).WithDefaults(); got.Attempts != 25 || got.Base != 5*time.Millisecond {
+		t.Fatalf("WithDefaults() = %+v, want the documented defaults", got)
+	}
+}
+
+// TestBackoffExportedSleepCancelled closes the cancel channel mid-sleep:
+// Sleep must return false promptly instead of running out the delay.
+func TestBackoffExportedSleepCancelled(t *testing.T) {
+	b := Backoff{Base: time.Minute, Max: time.Minute}
+	cancel := make(chan struct{})
+	done := make(chan bool, 1)
+	start := time.Now()
+	go func() { done <- b.Sleep(cancel, 1, rand.New(rand.NewSource(1))) }()
+	time.Sleep(5 * time.Millisecond)
+	close(cancel)
+	select {
+	case full := <-done:
+		if full {
+			t.Fatal("cancelled Sleep reported a full elapse")
+		}
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Fatalf("cancellation took %v", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("closing cancel did not interrupt Sleep")
+	}
+}
+
 // TestDialErrorSurfacesAddress runs a node whose successor address never
 // answers: the give-up error must be a *DialError carrying the address and
 // attempt count, and unwrap to the underlying dial failure.

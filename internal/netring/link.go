@@ -75,6 +75,43 @@ func (b Backoff) delay(attempt int, rng *rand.Rand) time.Duration {
 	return time.Duration(d)
 }
 
+// WithDefaults returns b with every zero field replaced by its default —
+// the same filling the transport applies internally. Exported so other
+// subsystems pacing retries with a Backoff (the serve wire client's
+// broken-connection redial, the cluster router's pool) can read the
+// effective attempt budget without duplicating the defaults.
+func (b Backoff) WithDefaults() Backoff { return b.withDefaults() }
+
+// Delay reports the jittered sleep before retry attempt (attempt >= 1 is
+// the first retry), with zero fields defaulted first. Deterministic for a
+// given rng state, which is what the pacing tests pin.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	return b.withDefaults().delay(attempt, rng)
+}
+
+// Sleep blocks for Delay(attempt, rng), or until cancel closes. It
+// reports whether the full delay elapsed; false means the caller is being
+// torn down and must stop retrying.
+func (b Backoff) Sleep(cancel <-chan struct{}, attempt int, rng *rand.Rand) bool {
+	d := b.Delay(attempt, rng)
+	if d <= 0 {
+		select {
+		case <-cancel:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
 // DialError is the sender's give-up error: the successor stayed
 // unreachable through the whole retry budget. It carries the address, the
 // attempt count, and the last underlying dial error, and unwraps to the

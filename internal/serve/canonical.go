@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"repro/internal/ring"
+	"repro/internal/words"
+
+	repro "repro"
+)
+
+// CanonicalKey returns the stable byte encoding of the canonical election
+// class of (labels, alg, k), plus the rotation that canonicalizes labels
+// (the index of the caller's process that becomes canonical process 0).
+//
+// The layout is pinned — it is simultaneously the sharded result cache's
+// key (cache.go appendCacheKey), the RGV1 ELECT payload after the
+// algorithm byte (wire.go appendWireElect), and the cluster router's
+// rendezvous-hash input, and those three must provably hash the same
+// bytes so a gateway routes every rotation of a ring to the replica that
+// caches its class:
+//
+//	byte 0:  the algorithm byte (repro.Algorithm's numeric value)
+//	next:    k as a zigzag varint (encoding/binary.AppendVarint)
+//	rest:    each label as a zigzag varint, in clockwise order starting
+//	         from the lexicographically least rotation (Booth's algorithm)
+//
+// Varints are self-delimiting, so distinct canonical (alg, k, sequence)
+// triples always encode to distinct keys. All n rotations of a labeled
+// ring produce the identical key — the equivalence the paper's Figure 1
+// rings form one class under.
+//
+// The returned slice is freshly allocated; hot paths that want to amortize
+// the allocation use AppendCanonicalKey with a reused buffer.
+func CanonicalKey(labels []ring.Label, alg repro.Algorithm, k int) (key []byte, rot int) {
+	key, rot = AppendCanonicalKey(nil, labels, alg, k)
+	return key, rot
+}
+
+// AppendCanonicalKey encodes the canonical key of (labels, alg, k) into
+// dst — overwriting it from the start, like appendCacheKey — growing it
+// as needed, and returns the encoded key plus the canonicalizing
+// rotation. Booth's failure table is computed in pooled scratch, so the
+// only allocation on a warm buffer is none at all.
+func AppendCanonicalKey(dst []byte, labels []ring.Label, alg repro.Algorithm, k int) (key []byte, rot int) {
+	sc := canonScratchPool.Get().(*canonScratch)
+	if need := 2 * len(labels); cap(sc.booth) < need {
+		sc.booth = make([]int, need)
+	}
+	rot = words.LeastRotationIndexInto(labels, sc.booth)
+	dst = appendCacheKey(dst, alg, k, labels, rot)
+	sc.release()
+	return dst, rot
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ring"
+
+	repro "repro"
+)
+
+// TestCanonicalKeyGoldenBytes pins the exported key's exact byte layout.
+// Anything that changes these bytes silently re-keys every deployed
+// cache and re-routes every canonical class in a cluster — it must be a
+// deliberate, versioned decision, so the expected values are spelled out
+// literally rather than derived from the encoder under test.
+func TestCanonicalKeyGoldenBytes(t *testing.T) {
+	cases := []struct {
+		name   string
+		labels []ring.Label
+		alg    repro.Algorithm
+		k      int
+		want   []byte
+		rot    int
+	}{
+		{
+			// Figure 1's ring "1 3 1 3 2 2 1 2": the least rotation starts
+			// at index 0 (1 2 ... sorts below every other start? no: the
+			// canonical form is "1 2 1 3 1 3 2 2", starting at index 6).
+			// Zigzag varints: 1→0x02, 2→0x04, 3→0x06; k=3→0x06.
+			name:   "figure1",
+			labels: []ring.Label{1, 3, 1, 3, 2, 2, 1, 2},
+			alg:    repro.AlgorithmB, // algorithm byte 1
+			k:      3,
+			want:   []byte{1, 0x06, 0x02, 0x04, 0x02, 0x06, 0x02, 0x06, 0x04, 0x04},
+			rot:    6,
+		},
+		{
+			// Already canonical: rotation 0, algorithm A (byte 0), k=2.
+			name:   "already-canonical",
+			labels: []ring.Label{1, 2, 2},
+			alg:    repro.AlgorithmA,
+			k:      2,
+			want:   []byte{0, 0x04, 0x02, 0x04, 0x04},
+			rot:    0,
+		},
+		{
+			// A label and k large enough to need two varint bytes:
+			// 64 zigzags to 128 = 0x80 0x01; k=200 zigzags to 400 = 0x90 0x03.
+			name:   "multi-byte-varints",
+			labels: []ring.Label{64, 1},
+			alg:    repro.AlgorithmKnownN, // algorithm byte 5
+			k:      200,
+			want:   []byte{5, 0x90, 0x03, 0x02, 0x80, 0x01},
+			rot:    1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			key, rot := CanonicalKey(tc.labels, tc.alg, tc.k)
+			if !bytes.Equal(key, tc.want) {
+				t.Errorf("CanonicalKey(%v, %v, %d) = % x, want % x", tc.labels, tc.alg, tc.k, key, tc.want)
+			}
+			if rot != tc.rot {
+				t.Errorf("rotation = %d, want %d", rot, tc.rot)
+			}
+		})
+	}
+}
+
+// TestCanonicalKeyMatchesCacheAndWire pins the three-way byte agreement
+// the cluster's routing correctness rests on: the exported key, the
+// internal cache key, and the RGV1 ELECT payload (after the algorithm
+// byte) are the same bytes for every rotation of a ring.
+func TestCanonicalKeyMatchesCacheAndWire(t *testing.T) {
+	base := ring.Figure1()
+	alg, k := repro.AlgorithmB, 3
+	canonical, _ := CanonicalKey(base.LabelsView(), alg, k)
+	for d := 0; d < base.N(); d++ {
+		rotated := base.Rotate(d)
+		labels := rotated.LabelsView()
+
+		got, _ := CanonicalKey(labels, alg, k)
+		if !bytes.Equal(got, canonical) {
+			t.Fatalf("rotation %d: exported key % x != % x", d, got, canonical)
+		}
+
+		key, _, sc := canonicalKey(labels, alg, k)
+		if !bytes.Equal(key, canonical) {
+			t.Fatalf("rotation %d: internal cache key % x != exported % x", d, key, canonical)
+		}
+		sc.release()
+
+		// The wire ELECT payload is [alg byte | varint k | caller-frame
+		// labels]: canonicalizing the ELECT encoding of the *canonical*
+		// rotation must reproduce the key byte for byte.
+		frame := appendWireElect(nil, 7, alg, k, base.Rotate(6).LabelsView())
+		payload := frame[4+wireHeaderLen:]
+		if !bytes.Equal(payload, canonical) {
+			t.Fatalf("canonical ELECT payload % x != key % x", payload, canonical)
+		}
+	}
+}
+
+// TestAppendCanonicalKeyReusesBuffer pins the amortization contract: a
+// warm destination buffer is overwritten in place, not grown or leaked.
+func TestAppendCanonicalKeyReusesBuffer(t *testing.T) {
+	labels := []ring.Label{2, 1, 2}
+	buf := make([]byte, 0, 64)
+	key1, rot1 := AppendCanonicalKey(buf, labels, repro.AlgorithmA, 2)
+	key2, rot2 := AppendCanonicalKey(key1, labels, repro.AlgorithmA, 2)
+	if &key1[0] != &key2[0] {
+		t.Error("second append reallocated a warm buffer")
+	}
+	if !bytes.Equal(key1, key2) || rot1 != rot2 {
+		t.Errorf("unstable encoding: % x rot %d vs % x rot %d", key1, rot1, key2, rot2)
+	}
+	want, _ := CanonicalKey(labels, repro.AlgorithmA, 2)
+	if !bytes.Equal(key1, want) {
+		t.Errorf("append form % x, fresh form % x", key1, want)
+	}
+}

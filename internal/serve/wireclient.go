@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/netring"
 	"repro/internal/ring"
 
 	repro "repro"
@@ -30,7 +32,7 @@ type WireOutcome struct {
 // HTTP-equivalent status so wire and HTTP callers can share one
 // accounting path, and the server's Retry-After hint on sheds.
 type WireError struct {
-	Status     int // HTTP-equivalent status (400/429/503/500)
+	Status     int // HTTP-equivalent status (400/429/502/503/500)
 	RetryAfter int // seconds; only meaningful when Status == 429
 	Msg        string
 }
@@ -50,17 +52,39 @@ var ErrWireClientClosed = errors.New("serve: wire client closed")
 // connection dispatches RESULT/ERROR frames by request id, so any number
 // of callers share the pool without head-of-line blocking on the
 // response side. Safe for concurrent use.
+//
+// A broken pooled connection does not poison its slot: calls already in
+// flight on it fail (their frames may or may not have reached the
+// server), but the next Elect routed to the slot redials the address
+// under the configured netring.Backoff — jittered exponential pacing,
+// cancelled promptly by Close — so a restarted or briefly unreachable
+// server costs one round of failures, not the client.
 type WireClient struct {
+	addr    string
 	timeout time.Duration
+	backoff netring.Backoff
 	conns   []*wireClientConn
 	next    uint64 // round-robin cursor over conns; also the id sequence
 	mu      sync.Mutex
 	closed  bool
+	done    chan struct{} // closed by Close; cancels redial backoff sleeps
 }
 
-// wireClientConn is one pooled connection: a write-locked framer on the
-// send side and a reader goroutine fanning responses out by id.
+// wireClientConn is one pool slot. The live connection state is swapped
+// out wholesale on redial, so a late reader from a dead incarnation can
+// never complete (or fail) calls parked on its successor.
 type wireClientConn struct {
+	c   *WireClient
+	rng *rand.Rand // backoff jitter; guarded by dialMu
+
+	dialMu sync.Mutex // serializes redials of this slot
+	mu     sync.Mutex // guards st
+	st     *wireConnState
+}
+
+// wireConnState is one connection incarnation: a write-locked framer on
+// the send side and a reader goroutine fanning responses out by id.
+type wireConnState struct {
 	conn net.Conn
 
 	wmu  sync.Mutex // serializes frame writes
@@ -78,37 +102,120 @@ type wireReply struct {
 }
 
 // DialWire connects a pool of conns RGV1 connections to addr. timeout
-// bounds each Elect call end to end (0 means 30s).
+// bounds each Elect call end to end (0 means 30s). Redials of broken
+// connections are paced by the default netring.Backoff; use
+// DialWireBackoff to tune it.
 func DialWire(addr string, conns int, timeout time.Duration) (*WireClient, error) {
+	return DialWireBackoff(addr, conns, timeout, netring.Backoff{})
+}
+
+// DialWireBackoff is DialWire with an explicit redial pacing policy
+// (zero fields take the netring defaults). The Attempts field bounds how
+// many dials one Elect will make before giving up on a dead slot.
+func DialWireBackoff(addr string, conns int, timeout time.Duration, b netring.Backoff) (*WireClient, error) {
 	if conns <= 0 {
 		conns = 1
 	}
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	c := &WireClient{timeout: timeout}
+	c := &WireClient{
+		addr:    addr,
+		timeout: timeout,
+		backoff: b.WithDefaults(),
+		done:    make(chan struct{}),
+	}
 	for i := 0; i < conns; i++ {
-		nc, err := net.DialTimeout("tcp", addr, timeout)
+		st, err := dialWireConn(addr, timeout)
 		if err != nil {
 			c.Close()
-			return nil, fmt.Errorf("serve: dial wire %s: %w", addr, err)
+			return nil, err
 		}
-		if _, err := nc.Write([]byte(wireMagic)); err != nil {
-			nc.Close()
-			c.Close()
-			return nil, fmt.Errorf("serve: wire handshake %s: %w", addr, err)
-		}
-		cc := &wireClientConn{conn: nc, pending: make(map[uint64]chan wireReply)}
-		go cc.readLoop()
+		cc := &wireClientConn{c: c, rng: rand.New(rand.NewSource(int64(i) + 1)), st: st}
+		go st.readLoop()
 		c.conns = append(c.conns, cc)
 	}
 	return c, nil
 }
 
+// dialWireConn opens one RGV1 connection: TCP dial plus the magic
+// handshake that tells the server's framer this is a wire client.
+func dialWireConn(addr string, timeout time.Duration) (*wireConnState, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial wire %s: %w", addr, err)
+	}
+	if _, err := nc.Write([]byte(wireMagic)); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("serve: wire handshake %s: %w", addr, err)
+	}
+	return &wireConnState{conn: nc, pending: make(map[uint64]chan wireReply)}, nil
+}
+
+// deadErr reports the state's terminal error, nil while it is live.
+func (st *wireConnState) deadErr() error {
+	st.pmu.Lock()
+	defer st.pmu.Unlock()
+	return st.dead
+}
+
+// state returns the slot's live connection, redialing a dead one. The
+// redial is serialized per slot: concurrent callers hitting the same
+// dead incarnation make one dial, not a stampede.
+func (cc *wireClientConn) state() (*wireConnState, error) {
+	cc.mu.Lock()
+	st := cc.st
+	cc.mu.Unlock()
+	if st.deadErr() == nil {
+		return st, nil
+	}
+	cc.dialMu.Lock()
+	defer cc.dialMu.Unlock()
+	// Someone may have redialed while we waited for the lock.
+	cc.mu.Lock()
+	st = cc.st
+	cc.mu.Unlock()
+	if st.deadErr() == nil {
+		return st, nil
+	}
+	c := cc.c
+	var lastErr error = st.deadErr()
+	for attempt := 1; attempt <= c.backoff.Attempts; attempt++ {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, ErrWireClientClosed
+		}
+		nst, err := dialWireConn(c.addr, c.timeout)
+		if err == nil {
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				nst.conn.Close()
+				return nil, ErrWireClientClosed
+			}
+			c.mu.Unlock()
+			cc.mu.Lock()
+			cc.st = nst
+			cc.mu.Unlock()
+			go nst.readLoop()
+			return nst, nil
+		}
+		lastErr = err
+		if !c.backoff.Sleep(c.done, attempt, cc.rng) {
+			return nil, ErrWireClientClosed
+		}
+	}
+	return nil, fmt.Errorf("serve: wire redial %s gave up after %d attempts: %w", c.addr, c.backoff.Attempts, lastErr)
+}
+
 // Elect runs one election over the wire: labels is the clockwise label
 // sequence in the caller's frame, and the returned leader index is in
 // that same frame. A typed server failure comes back as *WireError; a
-// transport failure as an ordinary error.
+// transport failure as an ordinary error. A call that finds its pooled
+// connection dead redials it first (bounded by the backoff's attempt
+// budget) rather than failing outright.
 func (c *WireClient) Elect(labels []ring.Label, alg repro.Algorithm, k int) (WireOutcome, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -119,33 +226,38 @@ func (c *WireClient) Elect(labels []ring.Label, alg repro.Algorithm, k int) (Wir
 	c.next++
 	c.mu.Unlock()
 	cc := c.conns[id%uint64(len(c.conns))]
-
-	ch := make(chan wireReply, 1)
-	cc.pmu.Lock()
-	if cc.dead != nil {
-		err := cc.dead
-		cc.pmu.Unlock()
+	st, err := cc.state()
+	if err != nil {
 		return WireOutcome{}, err
 	}
-	cc.pending[id] = ch
-	cc.pmu.Unlock()
 
-	cc.wmu.Lock()
-	cc.wbuf = appendWireElect(cc.wbuf[:0], id, alg, k, labels)
-	_, werr := cc.conn.Write(cc.wbuf)
-	cc.wmu.Unlock()
+	ch := make(chan wireReply, 1)
+	st.pmu.Lock()
+	if st.dead != nil {
+		err := st.dead
+		st.pmu.Unlock()
+		return WireOutcome{}, err
+	}
+	st.pending[id] = ch
+	st.pmu.Unlock()
+
+	st.wmu.Lock()
+	st.wbuf = appendWireElect(st.wbuf[:0], id, alg, k, labels)
+	_, werr := st.conn.Write(st.wbuf)
+	st.wmu.Unlock()
 	if werr != nil {
 		// A failed write means the connection is gone (the server closed
 		// it — e.g. a drain — or the transport died); the frame was never
 		// accepted, so this is a clean closed-connection outcome, not a
-		// truncation.
-		cc.forget(id)
-		cc.pmu.Lock()
-		if cc.dead == nil {
-			cc.dead = fmt.Errorf("%w (write: %v)", ErrWireClientClosed, werr)
+		// truncation. The slot redials on the next call through it.
+		st.forget(id)
+		st.pmu.Lock()
+		if st.dead == nil {
+			st.dead = fmt.Errorf("%w (write: %v)", ErrWireClientClosed, werr)
 		}
-		err := cc.dead
-		cc.pmu.Unlock()
+		err := st.dead
+		st.pmu.Unlock()
+		st.conn.Close()
 		return WireOutcome{}, err
 	}
 
@@ -154,9 +266,7 @@ func (c *WireClient) Elect(labels []ring.Label, alg repro.Algorithm, k int) (Wir
 	select {
 	case rep, ok := <-ch:
 		if !ok {
-			cc.pmu.Lock()
-			err := cc.dead
-			cc.pmu.Unlock()
+			err := st.deadErr()
 			if err == nil {
 				err = ErrWireClientClosed
 			}
@@ -178,40 +288,40 @@ func (c *WireClient) Elect(labels []ring.Label, alg repro.Algorithm, k int) (Wir
 			Cached:        rep.res.cached,
 		}, nil
 	case <-t.C:
-		cc.forget(id)
+		st.forget(id)
 		return WireOutcome{}, fmt.Errorf("serve: wire elect %d timed out after %v", id, c.timeout)
 	}
 }
 
 // forget drops a pending call (write failure or timeout) so a late
 // response is discarded instead of leaking the channel.
-func (cc *wireClientConn) forget(id uint64) {
-	cc.pmu.Lock()
-	delete(cc.pending, id)
-	cc.pmu.Unlock()
+func (st *wireConnState) forget(id uint64) {
+	st.pmu.Lock()
+	delete(st.pending, id)
+	st.pmu.Unlock()
 }
 
 // readLoop decodes response frames and completes pending calls by id.
-// On any read or protocol error it marks the connection dead and fails
-// everything still parked on it.
-func (cc *wireClientConn) readLoop() {
-	err := cc.readFrames()
-	cc.pmu.Lock()
-	if cc.dead == nil {
-		cc.dead = err
+// On any read or protocol error it marks this incarnation dead and fails
+// everything still parked on it; the slot's next caller redials.
+func (st *wireConnState) readLoop() {
+	err := st.readFrames()
+	st.pmu.Lock()
+	if st.dead == nil {
+		st.dead = err
 	}
-	for id, ch := range cc.pending {
-		delete(cc.pending, id)
+	for id, ch := range st.pending {
+		delete(st.pending, id)
 		close(ch)
 	}
-	cc.pmu.Unlock()
+	st.pmu.Unlock()
 }
 
-func (cc *wireClientConn) readFrames() error {
+func (st *wireConnState) readFrames() error {
 	var pfx [4]byte
 	var body []byte
 	for {
-		if _, err := io.ReadFull(cc.conn, pfx[:]); err != nil {
+		if _, err := io.ReadFull(st.conn, pfx[:]); err != nil {
 			if errors.Is(err, io.EOF) {
 				return ErrWireClientClosed
 			}
@@ -225,7 +335,7 @@ func (cc *wireClientConn) readFrames() error {
 			body = make([]byte, n)
 		}
 		body = body[:n]
-		if _, err := io.ReadFull(cc.conn, body); err != nil {
+		if _, err := io.ReadFull(st.conn, body); err != nil {
 			return fmt.Errorf("serve: wire read body: %w", err)
 		}
 		typ, id, payload, err := decodeWireHeader(body)
@@ -249,10 +359,10 @@ func (cc *wireClientConn) readFrames() error {
 		default:
 			return fmt.Errorf("serve: unexpected %v frame from server", typ)
 		}
-		cc.pmu.Lock()
-		ch, ok := cc.pending[id]
-		delete(cc.pending, id)
-		cc.pmu.Unlock()
+		st.pmu.Lock()
+		ch, ok := st.pending[id]
+		delete(st.pending, id)
+		st.pmu.Unlock()
 		if ok {
 			ch <- rep // buffered; never blocks the reader
 		}
@@ -260,7 +370,7 @@ func (cc *wireClientConn) readFrames() error {
 }
 
 // Close tears the pool down. In-flight calls fail with
-// ErrWireClientClosed.
+// ErrWireClientClosed, and any redial backoff sleep is cancelled.
 func (c *WireClient) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -268,15 +378,19 @@ func (c *WireClient) Close() error {
 		return nil
 	}
 	c.closed = true
+	close(c.done)
 	c.mu.Unlock()
 	var first error
 	for _, cc := range c.conns {
-		cc.pmu.Lock()
-		if cc.dead == nil {
-			cc.dead = ErrWireClientClosed
+		cc.mu.Lock()
+		st := cc.st
+		cc.mu.Unlock()
+		st.pmu.Lock()
+		if st.dead == nil {
+			st.dead = ErrWireClientClosed
 		}
-		cc.pmu.Unlock()
-		if err := cc.conn.Close(); err != nil && first == nil {
+		st.pmu.Unlock()
+		if err := st.conn.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/netring"
+	"repro/internal/ring"
+
+	repro "repro"
+)
+
+// reconnectBackoff keeps the redial loop fast enough for a test but with
+// enough attempt budget to ride out a deliberate server outage.
+var reconnectBackoff = netring.Backoff{
+	Base:     2 * time.Millisecond,
+	Max:      20 * time.Millisecond,
+	Attempts: 200,
+}
+
+// bootWire starts a fresh Server+WireServer pair on ln and returns a
+// shutdown func that tears both down (abandoning ln to the caller).
+func bootWire(t *testing.T, ln net.Listener) func() {
+	t.Helper()
+	s := New(Config{QueueDepth: 64})
+	ws := NewWireServer(s)
+	served := make(chan error, 1)
+	go func() { served <- ws.Serve(ln) }()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := ws.Shutdown(ctx); err != nil {
+			t.Errorf("wire shutdown: %v", err)
+		}
+		if err := <-served; !errors.Is(err, ErrWireServerClosed) {
+			t.Errorf("Serve returned %v, want ErrWireServerClosed", err)
+		}
+		s.Close()
+	}
+}
+
+// relisten rebinds the exact address a closed listener vacated, retrying
+// briefly in case the kernel has not released it yet.
+func relisten(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWireClientReconnects kills the server out from under a pooled
+// connection and checks the client recovers on its own: the next request
+// through the dead slot redials (paced by netring.Backoff) and succeeds
+// against the restarted server — including when the request arrives
+// while the server is still down and the redial loop has to wait it out.
+func TestWireClientReconnects(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	shutdown := bootWire(t, ln)
+
+	c, err := DialWireBackoff(addr, 1, 5*time.Second, reconnectBackoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	r := ring.Figure1()
+	first, err := c.Elect(r.LabelsView(), repro.AlgorithmB, 3)
+	if err != nil {
+		t.Fatalf("elect before kill: %v", err)
+	}
+
+	// Kill the server: the pooled connection's reader sees the close and
+	// marks the slot dead. A restarted server on the same address must be
+	// reachable through the same client with no intervention.
+	shutdown()
+	shutdown = bootWire(t, relisten(t, addr))
+	second, err := c.Elect(r.LabelsView(), repro.AlgorithmB, 3)
+	if err != nil {
+		t.Fatalf("elect after restart: %v", err)
+	}
+	if second.Leader != first.Leader || second.LeaderLabel != first.LeaderLabel {
+		t.Errorf("restart changed the outcome: %+v vs %+v", second, first)
+	}
+
+	// Kill it again and issue the request while nothing is listening:
+	// the redial loop must absorb the outage and complete once the
+	// server returns.
+	shutdown()
+	done := make(chan error, 1)
+	go func() {
+		out, err := c.Elect(r.LabelsView(), repro.AlgorithmB, 3)
+		if err == nil && out.Leader != first.Leader {
+			err = errors.New("outage-spanning elect disagreed on the leader")
+		}
+		done <- err
+	}()
+	time.Sleep(25 * time.Millisecond) // let the redial loop hit refused dials
+	shutdown = bootWire(t, relisten(t, addr))
+	defer shutdown()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("elect spanning the outage: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("elect never recovered after the server came back")
+	}
+}
+
+// TestWireClientCloseCancelsRedial closes the client while a call is
+// parked in the redial backoff loop against a dead address: the call
+// must fail promptly with ErrWireClientClosed, not run out the attempt
+// budget.
+func TestWireClientCloseCancelsRedial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	shutdown := bootWire(t, ln)
+
+	b := netring.Backoff{Base: 50 * time.Millisecond, Max: 50 * time.Millisecond, Attempts: 1000}
+	c, err := DialWireBackoff(addr, 1, 5*time.Second, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown() // strand the client against a dead address
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Elect(ring.Figure1().LabelsView(), repro.AlgorithmB, 3)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let it enter the redial loop
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrWireClientClosed) {
+			t.Fatalf("got %v, want ErrWireClientClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not cancel the redial loop")
+	}
+}

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ring"
+
+	repro "repro"
+)
+
+// WireBackend is the election engine behind a WireFrontend. The labels
+// are in the requester's frame and the returned Leader must be too; the
+// cluster router satisfies this, as does any wrapper over a WireClient.
+// A *WireError return is relayed to the wire client as a typed ERROR
+// frame; any other error becomes an internal-error frame.
+type WireBackend interface {
+	Elect(ctx context.Context, labels []ring.Label, alg repro.Algorithm, k int) (WireOutcome, error)
+}
+
+// WireFrontendConfig tunes a WireFrontend. The zero value is usable.
+type WireFrontendConfig struct {
+	// MaxRingSize bounds the label count a single ELECT may carry,
+	// and thereby the frame size the reader will accept. Default 4096.
+	MaxRingSize int
+	// RequestTimeout bounds one backend call. Default 30s.
+	RequestTimeout time.Duration
+	// Metrics, when set, records every terminated request under the
+	// "wire/elect" endpoint with the HTTP-equivalent status.
+	Metrics *Metrics
+}
+
+func (c WireFrontendConfig) withDefaults() WireFrontendConfig {
+	if c.MaxRingSize <= 0 {
+		c.MaxRingSize = 4096
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// WireFrontend terminates the RGV1 protocol over any WireBackend. It is
+// the gateway-side twin of WireServer: the same framing, the same
+// per-connection batching writer, and the same drain discipline (stop
+// reading, answer everything in flight, flush, FIN, linger) — but the
+// election itself is delegated, so a proxy can terminate wire traffic
+// without owning a cache or an admission queue. Every decoded ELECT
+// detaches onto a goroutine, because the backend call blocks on the
+// network rather than on a local cache lookup.
+type WireFrontend struct {
+	b   WireBackend
+	cfg WireFrontendConfig
+	ep  *endpointStats
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*feConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewWireFrontend builds a frontend terminating RGV1 onto b.
+func NewWireFrontend(b WireBackend, cfg WireFrontendConfig) *WireFrontend {
+	f := &WireFrontend{
+		b:     b,
+		cfg:   cfg.withDefaults(),
+		conns: make(map[*feConn]struct{}),
+	}
+	if f.cfg.Metrics != nil {
+		f.ep = f.cfg.Metrics.Endpoint("wire/elect")
+	}
+	return f
+}
+
+// Serve accepts RGV1 connections on ln until Shutdown. It returns
+// ErrWireServerClosed after a graceful stop, or the accept error that
+// ended the loop.
+func (f *WireFrontend) Serve(ln net.Listener) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		ln.Close()
+		return ErrWireServerClosed
+	}
+	f.ln = ln
+	f.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			f.mu.Lock()
+			closed := f.closed
+			f.mu.Unlock()
+			if closed {
+				return ErrWireServerClosed
+			}
+			return err
+		}
+		fc := &feConn{f: f, conn: c, w: newWireWriter(c), draining: make(chan struct{})}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			c.Close()
+			return ErrWireServerClosed
+		}
+		f.conns[fc] = struct{}{}
+		f.wg.Add(1)
+		f.mu.Unlock()
+		go fc.serve()
+	}
+}
+
+// Shutdown drains the frontend with the WireServer discipline: stop
+// accepting, stop reading, answer every in-flight proxied election,
+// flush each writer completely, half-close, linger, close. If ctx
+// expires first the remaining connections are torn down hard and
+// ctx.Err is returned.
+func (f *WireFrontend) Shutdown(ctx context.Context) error {
+	f.mu.Lock()
+	f.closed = true
+	ln := f.ln
+	conns := make([]*feConn, 0, len(f.conns))
+	for fc := range f.conns {
+		conns = append(conns, fc)
+	}
+	f.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, fc := range conns {
+		fc.beginDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		f.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		f.mu.Lock()
+		for fc := range f.conns {
+			fc.conn.Close()
+		}
+		f.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// feConn is one terminated client connection of a WireFrontend.
+type feConn struct {
+	f        *WireFrontend
+	conn     net.Conn
+	w        *wireWriter
+	draining chan struct{}
+	drainOne sync.Once
+
+	// Reader-goroutine-only scratch.
+	body   []byte
+	labels []ring.Label
+}
+
+func (fc *feConn) beginDrain() {
+	fc.drainOne.Do(func() {
+		close(fc.draining)
+		fc.conn.SetReadDeadline(time.Now())
+	})
+}
+
+func (fc *feConn) isDraining() bool {
+	select {
+	case <-fc.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// serve is the reader loop; the teardown mirrors wireConn.serve so a
+// client of the gateway gets exactly the byte-level close behavior a
+// client of ringd gets.
+func (fc *feConn) serve() {
+	defer fc.f.wg.Done()
+	defer func() {
+		fc.w.inflight.Wait()
+		fc.w.close()
+		if hc, ok := fc.conn.(interface{ CloseWrite() error }); ok {
+			if hc.CloseWrite() == nil {
+				fc.conn.SetReadDeadline(time.Now().Add(wireLingerTimeout))
+				io.Copy(io.Discard, fc.conn)
+			}
+		}
+		fc.conn.Close()
+		fc.f.mu.Lock()
+		delete(fc.f.conns, fc)
+		fc.f.mu.Unlock()
+	}()
+
+	var magic [4]byte
+	if _, err := io.ReadFull(fc.conn, magic[:]); err != nil || string(magic[:]) != wireMagic {
+		return
+	}
+	maxBody := wireMaxRequestBody(fc.f.cfg.MaxRingSize)
+	var pfx [4]byte
+	for {
+		if _, err := io.ReadFull(fc.conn, pfx[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(pfx[:])
+		if int(n) < wireHeaderLen || int(n) > maxBody {
+			return
+		}
+		if cap(fc.body) < int(n) {
+			fc.body = make([]byte, n)
+		}
+		body := fc.body[:n]
+		if _, err := io.ReadFull(fc.conn, body); err != nil {
+			return
+		}
+		if !fc.processFrame(body) {
+			return
+		}
+	}
+}
+
+// processFrame decodes one ELECT and detaches the backend call. The
+// decoded labels alias reader scratch, so they are copied before the
+// goroutine launches — the one structural difference from wireConn,
+// which consumes them synchronously.
+func (fc *feConn) processFrame(body []byte) bool {
+	start := time.Now()
+	typ, id, payload, err := decodeWireHeader(body)
+	if err != nil || typ != wireFrameElect {
+		return false
+	}
+	var req wireElect
+	req, fc.labels, err = decodeWireElect(id, payload, fc.labels, fc.f.cfg.MaxRingSize)
+	if err != nil {
+		fc.respondError(start, id, wireErrBadRequest, 0, err.Error())
+		return true
+	}
+	if fc.isDraining() {
+		fc.respondError(start, id, wireErrDraining, 0, "shutting down")
+		return true
+	}
+	labels := make([]ring.Label, len(req.labels))
+	copy(labels, req.labels)
+	alg, k := req.alg, req.k
+	fc.w.inflight.Add(1)
+	go func() {
+		defer fc.w.inflight.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), fc.f.cfg.RequestTimeout)
+		defer cancel()
+		out, err := fc.f.b.Elect(ctx, labels, alg, k)
+		if err != nil {
+			fc.respondBackendError(start, id, err)
+			return
+		}
+		co := canonOutcome{
+			Leader:        out.Leader, // already in the requester's frame
+			LeaderLabel:   out.LeaderLabel,
+			Messages:      out.Messages,
+			PeakSpaceBits: out.PeakSpaceBits,
+			TimeUnits:     out.TimeUnits,
+		}
+		fc.w.appendResult(id, out.Cached, out.Leader, &co)
+		fc.observe(start, 200)
+	}()
+	return true
+}
+
+// respondBackendError maps a backend failure onto the ERROR frame
+// vocabulary: a typed *WireError keeps its status (and Retry-After on
+// sheds); anything else — including a transport failure to every
+// replica — is an internal error from the client's point of view.
+func (fc *feConn) respondBackendError(start time.Time, id uint64, err error) {
+	var we *WireError
+	if errors.As(err, &we) {
+		switch we.Status {
+		case 400:
+			fc.respondError(start, id, wireErrBadRequest, 0, we.Msg)
+		case 429:
+			fc.respondError(start, id, wireErrShed, we.RetryAfter, we.Msg)
+		case 503:
+			fc.respondError(start, id, wireErrDraining, 0, we.Msg)
+		default:
+			fc.respondError(start, id, wireErrInternal, 0, we.Msg)
+		}
+		return
+	}
+	fc.respondError(start, id, wireErrInternal, 0, "election failed: "+err.Error())
+}
+
+func (fc *feConn) respondError(start time.Time, id uint64, code wireErrCode, retryAfter int, msg string) {
+	fc.w.appendError(id, code, retryAfter, msg)
+	fc.observe(start, code.httpStatus())
+}
+
+func (fc *feConn) observe(start time.Time, status int) {
+	if fc.f.ep != nil {
+		fc.f.cfg.Metrics.observe(fc.f.ep, status, time.Since(start))
+	}
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ring"
+
+	repro "repro"
+)
+
+// stubBackend answers elections from a fixed script and records calls.
+type stubBackend struct {
+	mu    sync.Mutex
+	calls int
+	out   WireOutcome
+	err   error
+}
+
+func (b *stubBackend) Elect(ctx context.Context, labels []ring.Label, alg repro.Algorithm, k int) (WireOutcome, error) {
+	b.mu.Lock()
+	b.calls++
+	b.mu.Unlock()
+	return b.out, b.err
+}
+
+// startFrontend brings a WireFrontend up on a loopback listener.
+func startFrontend(t *testing.T, b WireBackend, cfg WireFrontendConfig) string {
+	t.Helper()
+	f := NewWireFrontend(b, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- f.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := f.Shutdown(ctx); err != nil {
+			t.Errorf("frontend shutdown: %v", err)
+		}
+		if err := <-served; !errors.Is(err, ErrWireServerClosed) {
+			t.Errorf("Serve returned %v, want ErrWireServerClosed", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+// TestWireFrontendTerminates checks a WireClient can speak to a
+// WireFrontend exactly as it speaks to a WireServer: results come back
+// by id, the Cached bit survives, and typed errors keep their status
+// and Retry-After through the two protocol hops.
+func TestWireFrontendTerminates(t *testing.T) {
+	b := &stubBackend{out: WireOutcome{Leader: 4, LeaderLabel: 3, Messages: 17, TimeUnits: 2.5, Cached: true}}
+	addr := startFrontend(t, b, WireFrontendConfig{})
+	c, err := DialWire(addr, 2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	r := ring.Figure1()
+	out, err := c.Elect(r.LabelsView(), repro.AlgorithmB, 3)
+	if err != nil {
+		t.Fatalf("elect through frontend: %v", err)
+	}
+	if out != b.out {
+		t.Errorf("outcome through frontend = %+v, want %+v", out, b.out)
+	}
+
+	// Typed backend failures must round-trip as the same status.
+	for _, tc := range []struct {
+		status, retryAfter int
+	}{{400, 0}, {429, 7}, {503, 0}, {500, 0}} {
+		b.mu.Lock()
+		b.err = &WireError{Status: tc.status, RetryAfter: tc.retryAfter, Msg: "scripted"}
+		b.mu.Unlock()
+		_, err := c.Elect(r.LabelsView(), repro.AlgorithmB, 3)
+		var we *WireError
+		if !errors.As(err, &we) || we.Status != tc.status || we.RetryAfter != tc.retryAfter {
+			t.Errorf("status %d: got %v, want WireError with that status", tc.status, err)
+		}
+	}
+
+	// An untyped failure is an internal error to the wire client.
+	b.mu.Lock()
+	b.err = errors.New("replica pool exhausted")
+	b.mu.Unlock()
+	_, err = c.Elect(r.LabelsView(), repro.AlgorithmB, 3)
+	var we *WireError
+	if !errors.As(err, &we) || we.Status != 500 {
+		t.Errorf("untyped backend error: got %v, want WireError 500", err)
+	}
+}
+
+// wireClientBackend proxies frontend elections to a real ringd wire
+// port — the minimal gateway, with no routing layer in between.
+type wireClientBackend struct{ c *WireClient }
+
+func (b wireClientBackend) Elect(ctx context.Context, labels []ring.Label, alg repro.Algorithm, k int) (WireOutcome, error) {
+	return b.c.Elect(labels, alg, k)
+}
+
+// TestWireFrontendProxiesToWireServer stacks the full binary path —
+// client → frontend → client → WireServer → Server — and checks the
+// answer matches a direct election, rotation frames included, and that
+// malformed requests are rejected at the server with a 400 that
+// survives the proxy hop.
+func TestWireFrontendProxiesToWireServer(t *testing.T) {
+	_, _, backendAddr := startWire(t, Config{})
+	bc, err := DialWire(backendAddr, 2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	feAddr := startFrontend(t, wireClientBackend{bc}, WireFrontendConfig{})
+	c, err := DialWire(feAddr, 2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	base := ring.Figure1()
+	want, ok := base.TrueLeader()
+	if !ok {
+		t.Fatal("Figure1 has no unique leader")
+	}
+	for d := 0; d < base.N(); d++ {
+		rot := base.Rotate(d)
+		out, err := c.Elect(rot.LabelsView(), repro.AlgorithmB, 3)
+		if err != nil {
+			t.Fatalf("rotation %d: %v", d, err)
+		}
+		// The true leader's position in the rotated frame.
+		if wantIdx := (want - d + base.N()) % base.N(); out.Leader != wantIdx {
+			t.Errorf("rotation %d: leader %d, want %d", d, out.Leader, wantIdx)
+		}
+		if out.LeaderLabel != base.Labels()[want] {
+			t.Errorf("rotation %d: leader label %d", d, out.LeaderLabel)
+		}
+	}
+
+	// A symmetric ring is a 400 at the replica; the frontend must relay
+	// it typed, not wrap it as a 500.
+	_, err = c.Elect([]ring.Label{1, 1, 1, 1}, repro.AlgorithmB, 3)
+	var we *WireError
+	if !errors.As(err, &we) || we.Status != 400 {
+		t.Errorf("symmetric ring through proxy: got %v, want WireError 400", err)
+	}
+}
