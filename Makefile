@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build check vet fmt-check test test-net test-serve test-wire \
-        test-cluster test-chaos test-race race-concurrency test-short bench \
+        test-cluster test-chaos test-rand test-race race-concurrency test-short bench \
         bench-serve bench-wire bench-cluster bench-json bench-compare \
         profile-serve experiments experiments-md fuzz fuzz-parse fuzz-wire \
         figures clean
@@ -19,7 +19,7 @@ build:
 # protocol's pipelining/drain soak, the cluster gateway's routing/
 # failover/replica-kill soak, and the crash-recovery chaos soak, wired
 # into the default flow.
-check: vet fmt-check test-net test-serve test-wire test-cluster test-chaos
+check: vet fmt-check test-net test-serve test-wire test-cluster test-chaos test-rand
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +74,16 @@ test-chaos:
 	$(GO) test -race -count=1 -timeout 20m ./internal/chaos/ -chaos.seeds=20
 	$(GO) test -race -count=1 ./cmd/ringchaos/
 
+# The randomized election engine: the seeded ensemble (200 seeds of
+# deterministic replay, draw statistics, rotation equivariance) plus a
+# -race soak of the three-way simulator/goroutine/TCP agreement — the
+# exact place where a scheduler-dependent PRNG stream would surface as a
+# cross-engine message-count mismatch.
+test-rand:
+	$(GO) test -count=1 ./internal/rand/
+	$(GO) test -race -count=3 -run 'ThreeWay|Ensemble|CrashRecovery' ./internal/rand/
+	$(GO) test -race -count=1 -run 'Rand|Symmetric' ./internal/serve/ ./internal/cluster/
+
 test-race:
 	$(GO) test -race ./...
 
@@ -108,7 +118,7 @@ bench-wire:
 bench-cluster:
 	$(GO) test -run '^$$' -bench 'ClusterElect' -benchmem -count 1 ./internal/cluster/
 
-# Machine-readable experiment benchmark (same schema as BENCH_PR7.json),
+# Machine-readable experiment benchmark (same schema as BENCH_PR8.json),
 # with the serving, wire, and cluster benchmarks merged into its
 # serve_bench, wire_bench, and cluster_bench sections.
 bench-json:
@@ -126,7 +136,7 @@ bench-json:
 # slipping below 5x the HTTP hit, and (on multi-core hosts) a replica
 # ladder that stopped scaling fail the target.
 bench-compare: bench-json
-	$(GO) run ./cmd/benchdiff BENCH_PR7.json BENCH_NEW.json
+	$(GO) run ./cmd/benchdiff BENCH_PR8.json BENCH_NEW.json
 
 # Capture CPU and heap profiles of ringd under ringload traffic.
 # Artifacts land in ./profiles/ for `go tool pprof`.
@@ -145,7 +155,7 @@ profile-serve:
 	kill $$RINGD_PID; \
 	echo "profiles/cpu.pb.gz, profiles/heap.pb.gz, profiles/ringload.json"
 
-# Regenerate every experiment table (E1..E13).
+# Regenerate every experiment table (E1..E14).
 experiments:
 	$(GO) run ./cmd/ringbench
 

@@ -88,6 +88,17 @@ type serveBench struct {
 	Benchmarks []serveBenchmark `json:"benchmarks"`
 }
 
+// algorithm is one registry algorithm's fingerprint: a reference
+// election with exact leader/message/bit counts (see cmd/ringbench).
+type algorithm struct {
+	Name      string `json:"name"`
+	Ring      string `json:"ring"`
+	K         int    `json:"k"`
+	Leader    int    `json:"leader"`
+	Messages  int    `json:"messages"`
+	TotalBits int    `json:"total_bits"`
+}
+
 type report struct {
 	Schema       string       `json:"schema"`
 	Seed         int64        `json:"seed"`
@@ -95,6 +106,7 @@ type report struct {
 	Par          int          `json:"par"`
 	Engine       string       `json:"engine,omitempty"`
 	GOMAXPROCS   int          `json:"gomaxprocs,omitempty"`
+	Algorithms   []algorithm  `json:"algorithms,omitempty"`
 	TotalWallMS  float64      `json:"total_wall_ms"`
 	Experiments  []experiment `json:"experiments"`
 	ServeBench   *serveBench  `json:"serve_bench,omitempty"`
@@ -225,6 +237,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "total %10.1f %10.1f (par %d -> %d)\n", old.TotalWallMS, cur.TotalWallMS, old.Par, cur.Par)
 
+	drift += compareAlgorithms(old.Algorithms, cur.Algorithms, stdout)
 	drift += compareBenchSection("serve_bench", old.ServeBench, cur.ServeBench, *serveTol, stdout)
 	drift += compareBenchSection("wire_bench", old.WireBench, cur.WireBench, *serveTol, stdout)
 	drift += compareBenchSection("cluster_bench", old.ClusterBench, cur.ClusterBench, *serveTol, stdout)
@@ -236,6 +249,51 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// compareAlgorithms diffs the registry rosters. An algorithm present in
+// only one report is drift — a protocol silently appearing in (or
+// vanishing from) the registry must never pass a baseline comparison —
+// and so is any change to an algorithm's reference election, which is a
+// pure function of the registry's machines and therefore as
+// deterministic as an experiment row. Two reports that both predate the
+// field compare clean.
+func compareAlgorithms(old, cur []algorithm, stdout io.Writer) int {
+	if len(old) == 0 && len(cur) == 0 {
+		return 0
+	}
+	drift := 0
+	fmt.Fprintf(stdout, "algorithms (reference elections):\n")
+	oldByName := make(map[string]algorithm, len(old))
+	for _, a := range old {
+		oldByName[a.Name] = a
+	}
+	for _, na := range cur {
+		oa, ok := oldByName[na.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-14s %-18s msgs %6d bits %6d  only in new report\n", na.Name, na.Ring, na.Messages, na.TotalBits)
+			drift++
+			continue
+		}
+		delete(oldByName, na.Name)
+		verdict := "identical"
+		if oa != na {
+			verdict = "DIFFERS"
+			drift++
+		}
+		fmt.Fprintf(stdout, "%-14s %-18s msgs %6d bits %6d  %s\n", na.Name, na.Ring, na.Messages, na.TotalBits, verdict)
+	}
+	leftover := make([]string, 0, len(oldByName))
+	for name := range oldByName {
+		leftover = append(leftover, name)
+	}
+	sort.Strings(leftover)
+	for _, name := range leftover {
+		fmt.Fprintf(stdout, "%-14s %-18s msgs %6d bits %6d  only in old report\n",
+			name, oldByName[name].Ring, oldByName[name].Messages, oldByName[name].TotalBits)
+		drift++
+	}
+	return drift
 }
 
 // compareBenchSection diffs one micro-benchmark section (serve_bench or

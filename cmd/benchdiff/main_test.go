@@ -561,3 +561,70 @@ func TestClusterBenchDrift(t *testing.T) {
 		t.Errorf("section drift not explicit:\n%s", out.String())
 	}
 }
+
+// reportWithAlgs builds a report carrying an algorithms roster.
+const reportAlgs = `{
+  "schema": "ringbench/bench/v1",
+  "seed": 1, "quick": true, "par": 1, "total_wall_ms": 100,
+  "algorithms": [
+    {"name": "Bk", "ring": "1 3 1 3 2 2 1 2", "k": 3, "leader": 4, "messages": 276, "total_bits": 1380},
+    {"name": "ItaiRodeh", "ring": "3 3 3 3 3 3", "k": 3, "leader": 2, "messages": 60, "total_bits": 600}
+  ],
+  "experiments": [
+    {"id": "E4", "title": "t", "wall_ms": 80, "header": ["a"], "rows": [["1"]], "notes": ["n"]}
+  ]
+}`
+
+// TestAlgorithmsIdentical: matching rosters with matching reference
+// elections compare clean.
+func TestAlgorithmsIdentical(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", reportAlgs)
+	b := write(t, dir, "b.json", reportAlgs)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s\n%s", code, errBuf.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "ItaiRodeh") {
+		t.Errorf("roster not printed:\n%s", out.String())
+	}
+}
+
+// TestAlgorithmMissingIsDrift pins the issue's rule: an algorithm
+// present in only one report is drift — here the baseline predates the
+// randomized engine, so its roster lacks ItaiRodeh.
+func TestAlgorithmMissingIsDrift(t *testing.T) {
+	dir := t.TempDir()
+	old := strings.Replace(reportAlgs,
+		`,
+    {"name": "ItaiRodeh", "ring": "3 3 3 3 3 3", "k": 3, "leader": 2, "messages": 60, "total_bits": 600}`,
+		"", 1)
+	a := write(t, dir, "a.json", old)
+	b := write(t, dir, "b.json", reportAlgs)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (missing algorithm): %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "only in new report") {
+		t.Errorf("missing algorithm not reported:\n%s", out.String())
+	}
+	// Symmetric direction: an algorithm that vanished is equally drift.
+	if code := run([]string{b, a}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (vanished algorithm)", code)
+	}
+}
+
+// TestAlgorithmBitDriftFails: a changed reference bit count — the
+// accounting moved under an unchanged protocol name — is drift.
+func TestAlgorithmBitDriftFails(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", reportAlgs)
+	b := write(t, dir, "b.json", strings.Replace(reportAlgs, `"total_bits": 1380`, `"total_bits": 1381`, 1))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (bit drift): %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "DIFFERS") {
+		t.Errorf("bit drift not reported:\n%s", out.String())
+	}
+}

@@ -1,4 +1,4 @@
-// Command ringbench regenerates the experiment tables E1…E13 of DESIGN.md:
+// Command ringbench regenerates the experiment tables E1…E14 of DESIGN.md:
 // every table and figure artifact of "Leader Election in Asymmetric Labeled
 // Unidirectional Rings" (Altisen et al., IPPS 2017) as measured by the
 // simulator, goroutine, and TCP transport engines.
@@ -28,6 +28,9 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/ring"
+
+	repro "repro"
 )
 
 func main() {
@@ -48,6 +51,21 @@ type jsonExperiment struct {
 	Notes  []string   `json:"notes"`
 }
 
+// jsonAlgorithm fingerprints one registry algorithm for the report: a
+// deterministic reference election (the first reference ring the
+// algorithm can serve) with its exact leader, message count, and payload
+// bit count. cmd/benchdiff compares these between reports — an
+// algorithm present in only one report, or whose reference outcome
+// moved, is drift, exactly like a changed experiment row.
+type jsonAlgorithm struct {
+	Name      string `json:"name"`
+	Ring      string `json:"ring"`
+	K         int    `json:"k"`
+	Leader    int    `json:"leader"`
+	Messages  int    `json:"messages"`
+	TotalBits int    `json:"total_bits"`
+}
+
 // jsonReport is the schema of the -json output. Engine names the engine
 // roster the experiments exercise; benchdiff refuses to compare reports
 // whose rosters differ (old reports without the field stay comparable).
@@ -58,8 +76,46 @@ type jsonReport struct {
 	Par         int              `json:"par"`
 	Engine      string           `json:"engine"`
 	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Algorithms  []jsonAlgorithm  `json:"algorithms,omitempty"`
 	TotalWallMS float64          `json:"total_wall_ms"`
 	Experiments []jsonExperiment `json:"experiments"`
+}
+
+// algorithmRoster runs every registry algorithm on the first reference
+// ring it accepts. The symmetric ring leads the candidate list so the
+// randomized engine's fingerprint records the capability the
+// deterministic algorithms lack; they fall through to the paper's
+// Figure 1 ring or, for unique-label protocols, the distinct ring.
+func algorithmRoster() ([]jsonAlgorithm, error) {
+	refs := []string{"3 3 3 3 3 3", "1 3 1 3 2 2 1 2", "1 2 3 4 5"}
+	const k = 3
+	var roster []jsonAlgorithm
+	for _, alg := range repro.Algorithms() {
+		var entry *jsonAlgorithm
+		for _, spec := range refs {
+			r, err := ring.Parse(spec)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := repro.ProtocolFor(r, alg, k); err != nil {
+				continue
+			}
+			out, err := repro.Elect(r, alg, k)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %q: %w", alg, spec, err)
+			}
+			entry = &jsonAlgorithm{
+				Name: alg.String(), Ring: spec, K: k,
+				Leader: out.Leader, Messages: out.Messages, TotalBits: out.TotalBits,
+			}
+			break
+		}
+		if entry == nil {
+			return nil, fmt.Errorf("algorithm %s accepts no reference ring", alg)
+		}
+		roster = append(roster, *entry)
+	}
+	return roster, nil
 }
 
 // engineRoster is the engine set behind the current experiment suite: the
@@ -106,6 +162,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	algs, err := algorithmRoster()
+	if err != nil {
+		fmt.Fprintf(stderr, "ringbench: algorithm roster: %v\n", err)
+		return 1
+	}
 	report := jsonReport{
 		Schema:     "ringbench/bench/v1",
 		Seed:       *seed,
@@ -113,6 +174,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Par:        *par,
 		Engine:     engineRoster,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Algorithms: algs,
 	}
 	failed := 0
 	total := time.Now()

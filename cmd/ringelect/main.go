@@ -9,7 +9,8 @@
 //	ringelect -ring "5 1 4 2 3" -alg A -k 1 -engine sync -trace
 //
 // Algorithms: A (paper Table 1), B (paper Table 2), Astar, CR
-// (Chang–Roberts), Peterson, KnownN. Engines: unit (default; asynchronous
+// (Chang–Roberts), Peterson, KnownN, IR (randomized Itai–Rodeh; elects on
+// symmetric rings too). Engines: unit (default; asynchronous
 // with unit delays), sync (the paper's synchronous execution), random
 // (asynchronous with random delays), goroutines (real parallelism), tcp
 // (one OS-level node per process over loopback sockets; see cmd/ringnode
@@ -46,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		distinct = fs.Bool("distinct", false, "with -n: distinct labels 1..n")
 		seed     = fs.Int64("seed", 1, "with -n and not -distinct: random asymmetric ring seed")
 		alpha    = fs.Int("alpha", 4, "with -n random rings: alphabet size")
-		algName  = fs.String("alg", "A", "algorithm: A, B, Astar, CR, Peterson, KnownN")
+		algName  = fs.String("alg", "A", "algorithm: "+strings.Join(repro.AlgorithmNames(), ", "))
 		k        = fs.Int("k", 2, "multiplicity bound known to the processes")
 		engine   = fs.String("engine", "unit", "engine: unit, sync, random, goroutines, tcp")
 		jsonOut  = fs.Bool("json", false, "emit the outcome as a single JSON object instead of text")
@@ -87,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *jsonOut {
 			return emitJSON(stdout, stderr, jsonFromOutcome(r, alg, *k, *engine, out))
 		}
-		fmt.Fprintf(stdout, "elected: p%d (label %s) with %d messages [goroutine engine]\n", out.Leader, out.LeaderLabel, out.Messages)
+		fmt.Fprintf(stdout, "elected: p%d (label %s) with %d messages (%d payload bits) [goroutine engine]\n", out.Leader, out.LeaderLabel, out.Messages, out.TotalBits)
 		return 0
 	case "tcp":
 		out, err := repro.RunTCP(r, alg, *k, time.Minute)
@@ -98,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *jsonOut {
 			return emitJSON(stdout, stderr, jsonFromOutcome(r, alg, *k, *engine, out))
 		}
-		fmt.Fprintf(stdout, "elected: p%d (label %s) with %d messages [tcp engine]\n", out.Leader, out.LeaderLabel, out.Messages)
+		fmt.Fprintf(stdout, "elected: p%d (label %s) with %d messages (%d payload bits) [tcp engine]\n", out.Leader, out.LeaderLabel, out.Messages, out.TotalBits)
 		return 0
 	}
 
@@ -173,12 +174,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			LeaderLabel:   r.Label(res.LeaderIndex),
 			TimeUnits:     res.TimeUnits,
 			Messages:      res.Messages,
+			TotalBits:     res.TotalBits,
 			PeakSpaceBits: res.PeakSpaceBits,
 		}))
 	}
 	fmt.Fprintf(stdout, "elected: p%d (label %s)\n", res.LeaderIndex, r.Label(res.LeaderIndex))
-	fmt.Fprintf(stdout, "cost:    time %.0f units, %d messages, peak space %d bits/process, %d actions, max link depth %d\n",
-		res.TimeUnits, res.Messages, res.PeakSpaceBits, res.Actions, res.MaxLinkDepth)
+	fmt.Fprintf(stdout, "cost:    time %.0f units, %d messages (%d payload bits), peak space %d bits/process, %d actions, max link depth %d\n",
+		res.TimeUnits, res.Messages, res.TotalBits, res.PeakSpaceBits, res.Actions, res.MaxLinkDepth)
 	return 0
 }
 
@@ -194,6 +196,7 @@ type jsonOutcome struct {
 	LeaderLabel   string  `json:"leader_label"`
 	TrueLeader    int     `json:"true_leader"` // -1 when the ring is symmetric
 	Messages      int     `json:"messages"`
+	TotalBits     int     `json:"total_bits"`
 	TimeUnits     float64 `json:"time_units,omitempty"`
 	PeakSpaceBits int     `json:"peak_space_bits,omitempty"`
 }
@@ -218,6 +221,7 @@ func jsonFromOutcome(r *ring.Ring, alg repro.Algorithm, k int, engine string, ou
 		LeaderLabel:   out.LeaderLabel.String(),
 		TrueLeader:    tl,
 		Messages:      out.Messages,
+		TotalBits:     out.TotalBits,
 		TimeUnits:     out.TimeUnits,
 		PeakSpaceBits: out.PeakSpaceBits,
 	}

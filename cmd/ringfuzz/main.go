@@ -1,9 +1,12 @@
 // Command ringfuzz stress-tests the reproduction: it draws random rings
-// from A ∩ Kk, runs every algorithm under randomized and adversarial
-// schedules (plus the goroutine engine), checks the full election
-// specification and cross-engine agreement on each run, and exhaustively
-// model-checks all schedules of small rings. Any violation is reported
-// with the reproducing seed.
+// from A ∩ Kk, runs every registered algorithm that accepts the ring
+// under randomized and adversarial schedules (plus the goroutine engine),
+// checks the full election specification and cross-engine agreement —
+// leader, message count, and payload-bit total — on each run, and
+// exhaustively model-checks all schedules of small rings. Each trial also
+// runs the randomized Itai–Rodeh engine on a SYMMETRIC ring of the same
+// size, where every deterministic algorithm is provably stuck. Any
+// violation is reported with the reproducing seed.
 //
 // Usage:
 //
@@ -27,13 +30,14 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/gorun"
 	"repro/internal/netring"
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/trace"
+
+	repro "repro"
 )
 
 func main() {
@@ -105,23 +109,21 @@ func fuzzOneTrial(trial int, rng *rand.Rand, maxN, maxK int, tcp bool, report fu
 		report("trial %d: generator produced symmetric ring %s", trial, r)
 		return
 	}
-	b := r.LabelBits()
+	// Every registered algorithm that accepts this ring joins the trial —
+	// CR and Peterson only when the draw happens to have unique labels,
+	// ItaiRodeh always. New registry entries are fuzzed with no change
+	// here.
 	var protos []core.Protocol
-	if p, err := core.NewAProtocol(k, b); err == nil {
-		protos = append(protos, p)
-	}
-	if p, err := core.NewStarProtocol(k, b); err == nil {
-		protos = append(protos, p)
-	}
-	if p, err := core.NewBProtocol(k, b); err == nil {
-		protos = append(protos, p)
-	}
-	if p, err := baseline.NewKnownNProtocol(n, b); err == nil {
-		protos = append(protos, p)
+	var randomized []bool
+	for _, alg := range repro.Algorithms() {
+		if p, err := repro.ProtocolFor(r, alg, k); err == nil {
+			protos = append(protos, p)
+			randomized = append(randomized, alg == repro.AlgorithmItaiRodeh)
+		}
 	}
 	// The Bk run doubles as an Observation 1 conformance check: its traced
 	// unit-delay execution must keep every message within its phase.
-	if pb, err := core.NewBProtocol(k, b); err == nil {
+	if pb, err := repro.ProtocolFor(r, repro.AlgorithmB, k); err == nil {
 		mem := &trace.Mem{}
 		if _, err := sim.RunAsync(r, pb, sim.ConstantDelay(1), sim.Options{Sink: mem}); err == nil {
 			if err := trace.CheckPhaseAlignment(mem.Events, n); err != nil {
@@ -129,14 +131,21 @@ func fuzzOneTrial(trial int, rng *rand.Rand, maxN, maxK int, tcp bool, report fu
 			}
 		}
 	}
-	for _, p := range protos {
+	// And each trial exercises the randomized engine where no deterministic
+	// algorithm can follow: a symmetric ring of the same size class.
+	fuzzSymmetric(trial, rng, n, tcp, report)
+	for pi, p := range protos {
 		ref, err := sim.RunSync(r, p, sim.Options{})
 		if err != nil {
 			report("trial %d: %s on %s: sync: %v", trial, p.Name(), r, err)
 			continue
 		}
-		if ref.LeaderIndex != trueLeader {
+		if !randomized[pi] && ref.LeaderIndex != trueLeader {
 			report("trial %d: %s on %s elected p%d, true leader p%d", trial, p.Name(), r, ref.LeaderIndex, trueLeader)
+			continue
+		}
+		if randomized[pi] && (ref.LeaderIndex < 0 || ref.LeaderIndex >= n) {
+			report("trial %d: %s on %s elected out-of-range p%d", trial, p.Name(), r, ref.LeaderIndex)
 			continue
 		}
 		schedules := []struct {
@@ -153,18 +162,18 @@ func fuzzOneTrial(trial int, rng *rand.Rand, maxN, maxK int, tcp bool, report fu
 				report("trial %d: %s on %s (%s): %v", trial, p.Name(), r, s.name, err)
 				continue
 			}
-			if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages {
-				report("trial %d: %s on %s (%s): p%d/%d msgs vs sync p%d/%d",
-					trial, p.Name(), r, s.name, res.LeaderIndex, res.Messages, ref.LeaderIndex, ref.Messages)
+			if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages || res.TotalBits != ref.TotalBits {
+				report("trial %d: %s on %s (%s): p%d/%d msgs/%d bits vs sync p%d/%d/%d",
+					trial, p.Name(), r, s.name, res.LeaderIndex, res.Messages, res.TotalBits, ref.LeaderIndex, ref.Messages, ref.TotalBits)
 			}
 		}
 		if trial%10 == 0 { // the goroutine engine is slower; sample it
 			res, err := gorun.Run(r, p, time.Minute)
 			if err != nil {
 				report("trial %d: %s on %s (goroutines): %v", trial, p.Name(), r, err)
-			} else if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages {
-				report("trial %d: %s on %s (goroutines): p%d/%d msgs vs sync p%d/%d",
-					trial, p.Name(), r, res.LeaderIndex, res.Messages, ref.LeaderIndex, ref.Messages)
+			} else if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages || res.TotalBits != ref.TotalBits {
+				report("trial %d: %s on %s (goroutines): p%d/%d msgs/%d bits vs sync p%d/%d/%d",
+					trial, p.Name(), r, res.LeaderIndex, res.Messages, res.TotalBits, ref.LeaderIndex, ref.Messages, ref.TotalBits)
 			}
 		}
 		if tcp && n <= 12 && trial%5 == 0 { // real sockets are slowest; small rings, sampled
@@ -177,18 +186,91 @@ func fuzzOneTrial(trial int, rng *rand.Rand, maxN, maxK int, tcp bool, report fu
 			res, err := netring.RunLocal(r, p, opts)
 			if err != nil {
 				report("trial %d: %s on %s (%s): %v", trial, p.Name(), r, engineName, err)
-			} else if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages {
-				report("trial %d: %s on %s (%s): p%d/%d msgs vs sync p%d/%d",
-					trial, p.Name(), r, engineName, res.LeaderIndex, res.Messages, ref.LeaderIndex, ref.Messages)
+			} else if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages || res.TotalBits != ref.TotalBits {
+				report("trial %d: %s on %s (%s): p%d/%d msgs/%d bits vs sync p%d/%d/%d",
+					trial, p.Name(), r, engineName, res.LeaderIndex, res.Messages, res.TotalBits, ref.LeaderIndex, ref.Messages, ref.TotalBits)
 			}
 		}
 	}
 }
 
+// fuzzSymmetric builds a symmetric ring of size n (a short random pattern
+// repeated) and cross-checks the randomized engine on it: the simulator
+// under three schedules must agree exactly — leader, messages, bits — and
+// sampled trials also run the goroutine and TCP engines. Deterministic
+// protocols cannot even start here (ProtocolFor rejects the ring), so
+// this path is the randomized engine's alone.
+func fuzzSymmetric(trial int, rng *rand.Rand, n int, tcp bool, report func(string, ...any)) {
+	// Pick a proper divisor d of n and repeat a d-label pattern n/d times:
+	// the ring is invariant under rotation by d, hence symmetric.
+	var divs []int
+	for d := 1; d < n; d++ {
+		if n%d == 0 {
+			divs = append(divs, d)
+		}
+	}
+	d := divs[rng.Intn(len(divs))]
+	labels := make([]ring.Label, n)
+	for i := 0; i < d; i++ {
+		labels[i] = ring.Label(1 + rng.Intn(4))
+	}
+	for i := d; i < n; i++ {
+		labels[i] = labels[i%d]
+	}
+	r, err := ring.New(labels)
+	if err != nil {
+		report("trial %d: symmetric generator: %v", trial, err)
+		return
+	}
+	p, err := repro.ProtocolFor(r, repro.AlgorithmItaiRodeh, 0)
+	if err != nil {
+		report("trial %d: ItaiRodeh on symmetric %s: %v", trial, r, err)
+		return
+	}
+	ref, err := sim.RunSync(r, p, sim.Options{})
+	if err != nil {
+		report("trial %d: ItaiRodeh on symmetric %s: sync: %v", trial, r, err)
+		return
+	}
+	if ref.LeaderIndex < 0 || ref.LeaderIndex >= n {
+		report("trial %d: ItaiRodeh on symmetric %s elected out-of-range p%d", trial, r, ref.LeaderIndex)
+		return
+	}
+	for _, delay := range []sim.DelayModel{sim.ConstantDelay(1), sim.NewUniformDelay(rng.Int63(), 0)} {
+		res, err := sim.RunAsync(r, p, delay, sim.Options{})
+		if err != nil {
+			report("trial %d: ItaiRodeh on symmetric %s: %v", trial, r, err)
+			continue
+		}
+		if res.LeaderIndex != ref.LeaderIndex || res.Messages != ref.Messages || res.TotalBits != ref.TotalBits {
+			report("trial %d: ItaiRodeh on symmetric %s: p%d/%d msgs/%d bits vs sync p%d/%d/%d",
+				trial, r, res.LeaderIndex, res.Messages, res.TotalBits, ref.LeaderIndex, ref.Messages, ref.TotalBits)
+		}
+	}
+	if trial%10 == 0 {
+		if res, err := gorun.Run(r, p, time.Minute); err != nil {
+			report("trial %d: ItaiRodeh on symmetric %s (goroutines): %v", trial, r, err)
+		} else if res.LeaderIndex != ref.LeaderIndex || res.TotalBits != ref.TotalBits {
+			report("trial %d: ItaiRodeh on symmetric %s (goroutines): p%d/%d bits vs sync p%d/%d",
+				trial, r, res.LeaderIndex, res.TotalBits, ref.LeaderIndex, ref.TotalBits)
+		}
+	}
+	if tcp && n <= 12 && trial%5 == 0 {
+		if res, err := netring.RunLocal(r, p, netring.Options{Timeout: time.Minute}); err != nil {
+			report("trial %d: ItaiRodeh on symmetric %s (tcp): %v", trial, r, err)
+		} else if res.LeaderIndex != ref.LeaderIndex || res.TotalBits != ref.TotalBits {
+			report("trial %d: ItaiRodeh on symmetric %s (tcp): p%d/%d bits vs sync p%d/%d",
+				trial, r, res.LeaderIndex, res.TotalBits, ref.LeaderIndex, ref.TotalBits)
+		}
+	}
+}
+
 // exploreSmallRings exhaustively model-checks the schedule space of the
-// canonical small rings.
+// canonical small rings. Symmetric specs (e.g. "1 1", "1 2 1 2") reach
+// only the randomized engine; asymmetric ones run the deterministic
+// algorithms too.
 func exploreSmallRings(stdout io.Writer, report func(string, ...any)) {
-	for _, spec := range []string{"1 2", "1 2 2", "2 1 3", "1 1 2 2", "2 1 2 1 3", "1 2 3 4 5", "2 1 2 1 3 3"} {
+	for _, spec := range []string{"1 2", "1 2 2", "2 1 3", "1 1 2 2", "2 1 2 1 3", "1 2 3 4 5", "2 1 2 1 3 3", "1 1", "1 1 1", "1 2 1 2"} {
 		r, err := ring.Parse(spec)
 		if err != nil {
 			report("explore: %v", err)
@@ -196,11 +278,18 @@ func exploreSmallRings(stdout io.Writer, report func(string, ...any)) {
 		}
 		k := max(2, r.MaxMultiplicity())
 		var protos []core.Protocol
-		if p, err := core.NewAProtocol(k, r.LabelBits()); err == nil {
-			protos = append(protos, p)
+		if r.IsAsymmetric() {
+			if p, err := repro.ProtocolFor(r, repro.AlgorithmA, k); err == nil {
+				protos = append(protos, p)
+			}
+			if p, err := repro.ProtocolFor(r, repro.AlgorithmAStar, k); err == nil {
+				protos = append(protos, p)
+			}
 		}
-		if p, err := core.NewStarProtocol(k, r.LabelBits()); err == nil {
-			protos = append(protos, p)
+		if r.N() <= 4 { // the randomized state space grows with the round count; keep it exact-checkable
+			if p, err := repro.ProtocolFor(r, repro.AlgorithmItaiRodeh, k); err == nil {
+				protos = append(protos, p)
+			}
 		}
 		for _, p := range protos {
 			res, err := sim.ExploreAll(r, p, 2_000_000)

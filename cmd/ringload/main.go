@@ -65,7 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hotRings   = fs.Int("hot", 4, "hot working-set size")
 		hotFrac    = fs.Float64("hot-frac", 0.45, "fraction of requests repeating a hot ring")
 		rotFrac    = fs.Float64("rot-frac", 0.30, "fraction resubmitting a hot ring rotated")
-		alg        = fs.String("alg", "B", "algorithm (A, B, Astar, CR, Peterson, KnownN)")
+		symFrac    = fs.Float64("symmetric-fraction", 0, "fraction of requests sending symmetric rings under ItaiRodeh")
+		alg        = fs.String("alg", "B", "algorithm (A, B, Astar, CR, Peterson, KnownN, IR)")
 		k          = fs.Int("k", 3, "multiplicity bound k")
 		engine     = fs.String("engine", "sim", "execution engine: sim or goroutines")
 		crosscheck = fs.Float64("crosscheck", 0, "fraction of responses re-verified locally (0 disables)")
@@ -99,21 +100,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	loadCfg := load.Config{
-		BaseURL:         *url,
-		Proto:           *proto,
-		WireAddr:        *wireAddr,
-		WireConns:       *wireConns,
-		Requests:        *n,
-		Workers:         *workers,
-		Seed:            *seed,
-		HotRings:        *hotRings,
-		HotFraction:     *hotFrac,
-		RotatedFraction: *rotFrac,
-		Alg:             *alg,
-		K:               *k,
-		Engine:          *engine,
-		Crosscheck:      *crosscheck,
-		Timeout:         *timeout,
+		BaseURL:           *url,
+		Proto:             *proto,
+		WireAddr:          *wireAddr,
+		WireConns:         *wireConns,
+		Requests:          *n,
+		Workers:           *workers,
+		Seed:              *seed,
+		HotRings:          *hotRings,
+		HotFraction:       *hotFrac,
+		RotatedFraction:   *rotFrac,
+		SymmetricFraction: *symFrac,
+		Alg:               *alg,
+		K:                 *k,
+		Engine:            *engine,
+		Crosscheck:        *crosscheck,
+		Timeout:           *timeout,
 	}
 
 	if *clusterMode {

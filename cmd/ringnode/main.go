@@ -65,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		next    = fs.String("next", "", "successor's listen address, e.g. host:7002")
 		spc     = fs.String("ring", "", "clockwise label sequence shared by all nodes, e.g. \"1 3 1 3 2 2 1 2\"")
 		index   = fs.Int("index", -1, "this node's position in the ring (0-based)")
-		algo    = fs.String("algo", "ak", "algorithm: ak, bk, astar, cr, peterson, knownn")
+		algo    = fs.String("algo", "ak", "algorithm: "+strings.Join(repro.AlgorithmNames(), ", "))
 		k       = fs.Int("k", 2, "multiplicity bound known to the processes")
 		timeout = fs.Duration("timeout", time.Minute, "abort if the election has not terminated in time")
 		verbose = fs.Bool("v", false, "log every delivered message and link event")
@@ -90,7 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ringnode: -index %d outside ring of %d processes\n", *index, r.N())
 		return 1
 	}
-	alg, err := parseAlg(*algo)
+	alg, err := repro.ParseAlgorithm(*algo)
 	if err != nil {
 		fmt.Fprintln(stderr, "ringnode:", err)
 		return 1
@@ -206,24 +206,5 @@ func exitCodeFor(err error) int {
 		return 5
 	default:
 		return 1
-	}
-}
-
-func parseAlg(s string) (repro.Algorithm, error) {
-	switch strings.ToLower(s) {
-	case "a", "ak":
-		return repro.AlgorithmA, nil
-	case "b", "bk":
-		return repro.AlgorithmB, nil
-	case "astar", "a*":
-		return repro.AlgorithmAStar, nil
-	case "cr", "changroberts":
-		return repro.AlgorithmChangRoberts, nil
-	case "peterson":
-		return repro.AlgorithmPeterson, nil
-	case "knownn":
-		return repro.AlgorithmKnownN, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q (want ak, bk, astar, cr, peterson, knownn)", s)
 	}
 }

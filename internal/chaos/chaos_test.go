@@ -147,14 +147,32 @@ func TestChaosSurvivesKillAndPartition(t *testing.T) {
 	}
 }
 
+// TestChaosRandomizedSymmetric runs the randomized Itai–Rodeh engine on
+// a fully symmetric ring through the chaos harness: SIGKILLed and
+// partitioned nodes must recover from their snapshots (machine state
+// plus the PRNG cursor) and still reproduce the simulator oracle's
+// leader and exact message count — the strongest replay claim the
+// engine makes, on the input no deterministic algorithm can serve.
+func TestChaosRandomizedSymmetric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess chaos run")
+	}
+	rep := runSeed(t, 3, "1 2 1 2 1 2", "ir", 3, 6)
+	if rep.SurvivedFaults[KindKill]+rep.SurvivedFaults[KindSlowRestart] < 1 ||
+		rep.SurvivedFaults[KindPartition] < 1 {
+		t.Fatalf("schedule missing required faults: %+v", rep.SurvivedFaults)
+	}
+}
+
 // TestChaosSoak sweeps -chaos.seeds distinct seeds across the paper's
-// three algorithms on the Figure 1 ring (8 nodes, k = 3). The Makefile's
+// three algorithms plus the randomized engine on the Figure 1 ring
+// (8 nodes, k = 3). The Makefile's
 // test-chaos target runs this with -race and -chaos.seeds=20.
 func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping chaos soak")
 	}
-	algs := []string{"ak", "bk", "astar"}
+	algs := []string{"ak", "bk", "astar", "ir"}
 	recoveries := 0
 	for seed := int64(0); seed < int64(*chaosSeeds); seed++ {
 		alg := algs[seed%int64(len(algs))]

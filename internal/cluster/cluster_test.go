@@ -366,6 +366,76 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 	return resp, out
 }
 
+// TestGatewaySymmetricRandomized is the cluster leg of the randomized
+// engine's acceptance: a symmetric ring — a 400 at the edge under every
+// deterministic algorithm — served through a 2-replica gateway under
+// ItaiRodeh, with every rotation landing on the one owning replica as a
+// rotation-canonical cache hit and electing the same canonical process.
+func TestGatewaySymmetricRandomized(t *testing.T) {
+	f, err := StartLocalFleet(2, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	_, ts := startGateway(t, f)
+
+	base, err := ring.Parse("1 2 1 2 1 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := base.N()
+
+	// Deterministic algorithms stay a 400 at the edge.
+	resp, _ := postJSON(t, ts.URL+"/v1/elect", serve.ElectRequest{Ring: labelSpec(base.LabelsView()), Alg: "B", K: 3})
+	if resp.StatusCode != 400 {
+		t.Fatalf("alg B on symmetric ring: status %d, want 400", resp.StatusCode)
+	}
+
+	canonLeader := -1
+	var firstMsgs int
+	for d := 0; d < n; d++ {
+		rot := base.Rotate(d)
+		resp, body := postJSON(t, ts.URL+"/v1/elect", serve.ElectRequest{Ring: labelSpec(rot.LabelsView()), Alg: "IR", K: 3})
+		if resp.StatusCode != 200 {
+			t.Fatalf("rotation %d: status %d: %s", d, resp.StatusCode, body)
+		}
+		var er serve.ElectResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		if er.LeaderLabel != rot.Label(er.Leader).String() {
+			t.Errorf("rotation %d: leader_label %q at index %d, want %q", d, er.LeaderLabel, er.Leader, rot.Label(er.Leader))
+		}
+		canon := (er.Leader - er.CanonicalRotation + n) % n
+		switch d {
+		case 0:
+			canonLeader, firstMsgs = canon, er.Messages
+			if er.Cached {
+				t.Error("first request of the class reported cached")
+			}
+		default:
+			if !er.Cached {
+				t.Errorf("rotation %d: not cached", d)
+			}
+			if canon != canonLeader || er.Messages != firstMsgs {
+				t.Errorf("rotation %d: canonical leader %d / %d messages, want %d / %d",
+					d, canon, er.Messages, canonLeader, firstMsgs)
+			}
+		}
+	}
+
+	// Rendezvous routing computed the class exactly once fleet-wide.
+	var misses, hits int64
+	for i := 0; i < 2; i++ {
+		snap := f.Server(i).Metrics().Snapshot()
+		misses += snap.Misses
+		hits += snap.Hits
+	}
+	if misses != 1 || hits != int64(n-1) {
+		t.Errorf("fleet saw %d misses / %d hits, want 1 / %d", misses, hits, n-1)
+	}
+}
+
 // TestGatewayHTTP drives the full HTTP surface of a 3-replica cluster:
 // elections with correct leaders across rotations, local classification,
 // per-replica metrics, and the drain flip.

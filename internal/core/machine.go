@@ -102,6 +102,29 @@ type Protocol interface {
 	NewMachine(id ring.Label) Machine
 }
 
+// IndexedProtocol is implemented by protocols whose machines depend on
+// their ring position as well as their label — the seeded randomized
+// protocols (internal/rand), where the per-machine PRNG stream is derived
+// from the position. Engines construct machines through NewMachineFor, so
+// a single-process runtime (one OS node of a distributed ring) builds the
+// exact machine the in-memory engines would.
+type IndexedProtocol interface {
+	Protocol
+	// NewMachineAt builds the local algorithm of the process at ring index
+	// `index` labeled id.
+	NewMachineAt(index int, id ring.Label) Machine
+}
+
+// NewMachineFor builds process index's machine, routing through
+// NewMachineAt when the protocol is position-dependent. Every engine in
+// this repository constructs machines through it.
+func NewMachineFor(p Protocol, index int, id ring.Label) Machine {
+	if ip, ok := p.(IndexedProtocol); ok {
+		return ip.NewMachineAt(index, id)
+	}
+	return p.NewMachine(id)
+}
+
 // Cloner is implemented by machines that can deep-copy their state. The
 // schedule-space explorer (internal/sim.ExploreAll) uses clones to branch
 // configurations in O(state) instead of replaying move prefixes; machines

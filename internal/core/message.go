@@ -42,6 +42,16 @@ const (
 	// values of a Peterson/Dolev–Klawe–Rodeh phase (internal/baseline).
 	KindPeterson1
 	KindPeterson2
+	// KindRandToken is ⟨id, round, hop, uniq⟩ — the Itai–Rodeh candidacy
+	// token (internal/rand). Label carries the drawn random id (not a ring
+	// label), Round the election round, Hop the distance traveled, and
+	// Flag the uniqueness bit (true while no same-round collision with the
+	// originator's id has been observed).
+	KindRandToken
+	// KindRandLeader is ⟨LEADER, x, hop⟩ — the Itai–Rodeh announcement:
+	// Label carries the elected process's ring label and Hop the distance
+	// traveled; it circulates exactly one lap.
+	KindRandLeader
 )
 
 // String names the kind as in the paper.
@@ -59,16 +69,29 @@ func (k Kind) String() string {
 		return "PETERSON_1"
 	case KindPeterson2:
 		return "PETERSON_2"
+	case KindRandToken:
+		return "RAND_TOKEN"
+	case KindRandLeader:
+		return "RAND_LEADER"
 	default:
 		return fmt.Sprintf("KIND(%d)", uint8(k))
 	}
 }
 
 // Message is the paper's tuple ⟨x1, …, xz⟩, restricted to the forms the
-// implemented protocols use: a kind tag plus at most one label payload.
+// implemented protocols use: a kind tag, at most one label payload, and —
+// for the randomized kinds — a round number, a hop count, and one flag
+// bit. The deterministic kinds leave Round, Hop, and Flag zero.
 type Message struct {
 	Kind  Kind
 	Label ring.Label
+	// Round is the election round the message belongs to (KindRandToken).
+	Round uint32
+	// Hop counts the links the message has crossed so far, starting at 1
+	// on the originator's outgoing link (KindRandToken, KindRandLeader).
+	Hop uint32
+	// Flag is the Itai–Rodeh uniqueness bit (KindRandToken).
+	Flag bool
 }
 
 // Token builds ⟨x⟩.
@@ -83,6 +106,16 @@ func PhaseShift(x ring.Label) Message { return Message{Kind: KindPhaseShift, Lab
 // FinishLabel builds ⟨FINISH, x⟩.
 func FinishLabel(x ring.Label) Message { return Message{Kind: KindFinishLabel, Label: x} }
 
+// RandToken builds the Itai–Rodeh candidacy token ⟨id, round, hop, uniq⟩.
+func RandToken(id ring.Label, round, hop uint32, uniq bool) Message {
+	return Message{Kind: KindRandToken, Label: id, Round: round, Hop: hop, Flag: uniq}
+}
+
+// RandLeader builds the Itai–Rodeh announcement ⟨LEADER, x, hop⟩.
+func RandLeader(x ring.Label, round, hop uint32) Message {
+	return Message{Kind: KindRandLeader, Label: x, Round: round, Hop: hop}
+}
+
 // String renders the message as in the paper, e.g. "⟨3⟩" or
 // "⟨PHASE_SHIFT,2⟩".
 func (m Message) String() string {
@@ -91,17 +124,31 @@ func (m Message) String() string {
 		return fmt.Sprintf("⟨%s⟩", m.Label)
 	case KindFinish:
 		return "⟨FINISH⟩"
+	case KindRandToken:
+		return fmt.Sprintf("⟨%s,r%d,h%d,%c⟩", m.Label, m.Round, m.Hop, boolBit(m.Flag))
+	case KindRandLeader:
+		return fmt.Sprintf("⟨LEADER,%s,h%d⟩", m.Label, m.Hop)
 	default:
 		return fmt.Sprintf("⟨%s,%s⟩", m.Kind, m.Label)
 	}
 }
 
-// Bits returns the message's size in bits for accounting: a kind tag (3
-// bits here) plus b bits of label payload when present.
-func (m Message) Bits(labelBits int) int {
+// Bits returns the message's size in bits for accounting on an n-process
+// ring whose labels cost labelBits bits: a kind tag (3 bits here) plus the
+// payload. The deterministic kinds carry at most one label. The randomized
+// kinds additionally carry a hop counter (⌈log n⌉ bits), KindRandToken a
+// 2-bit id (the K = 3 alphabet of internal/rand), a round number at its
+// ⌈log(round+1)⌉ self-cost, and the 1-bit uniqueness flag. The result is a
+// pure function of the message content, n, and labelBits, so every engine
+// accounts identically.
+func (m Message) Bits(labelBits, n int) int {
 	switch m.Kind {
 	case KindFinish:
 		return 3
+	case KindRandToken:
+		return 3 + 2 + ceilLog2(n) + ceilLog2(int(m.Round)+1) + 1
+	case KindRandLeader:
+		return 3 + labelBits + ceilLog2(n)
 	default:
 		return 3 + labelBits
 	}

@@ -38,11 +38,19 @@ func TestMessageString(t *testing.T) {
 }
 
 func TestMessageBits(t *testing.T) {
-	if got := Finish().Bits(8); got != 3 {
+	if got := Finish().Bits(8, 8); got != 3 {
 		t.Errorf("Finish bits = %d, want 3 (tag only)", got)
 	}
-	if got := Token(1).Bits(8); got != 11 {
+	if got := Token(1).Bits(8, 8); got != 11 {
 		t.Errorf("Token bits = %d, want 3+8", got)
+	}
+	// Rand token on an 8-ring, round 2: 3 tag + 2 id + 3 hop + 2 round + 1 flag.
+	if got := RandToken(3, 2, 1, true).Bits(8, 8); got != 11 {
+		t.Errorf("RandToken bits = %d, want 11", got)
+	}
+	// Announcement on an 8-ring: 3 tag + 8 label + 3 hop.
+	if got := RandLeader(5, 2, 1).Bits(8, 8); got != 14 {
+		t.Errorf("RandLeader bits = %d, want 14", got)
 	}
 }
 

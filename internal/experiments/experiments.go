@@ -157,6 +157,7 @@ func Runners() []Runner {
 		{"E11", "Knowledge trade-off: know-k vs know-n vs unique labels", (*Suite).E11},
 		{"E12", "Model comparison: multiplicity bound k vs size bounds [m, M]", (*Suite).E12},
 		{"E13", "Ablation: tightness of the 2k+1 and k+1 detection thresholds", (*Suite).E13},
+		{"E14", "Itai–Rodeh randomness: drawn bits vs the 2.4417·n expectation", (*Suite).E14},
 	}
 }
 

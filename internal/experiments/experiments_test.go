@@ -85,8 +85,8 @@ func TestFind(t *testing.T) {
 	if _, ok := Find("E99"); ok {
 		t.Error("Find must reject unknown ids")
 	}
-	if len(Runners()) != 13 {
-		t.Errorf("Runners = %d, want 13 (E1..E13)", len(Runners()))
+	if len(Runners()) != 14 {
+		t.Errorf("Runners = %d, want 14 (E1..E14)", len(Runners()))
 	}
 }
 

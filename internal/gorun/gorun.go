@@ -27,6 +27,11 @@ type Result struct {
 	N int
 	// Messages is the total number of sends.
 	Messages int
+	// TotalBits is the total payload cost of all sends in bits
+	// (core.Message.Bits) — identical to the simulator's for the same
+	// (ring, protocol), since it is a pure function of the message
+	// sequence.
+	TotalBits int
 	// LeaderIndex is the elected process's index.
 	LeaderIndex int
 	// Statuses is the terminal status of every process.
@@ -57,9 +62,10 @@ func Run(r *ring.Ring, p core.Protocol, timeout time.Duration) (*Result, error) 
 // executions. sink may be nil.
 func RunTraced(r *ring.Ring, p core.Protocol, timeout time.Duration, sink trace.Sink) (*Result, error) {
 	n := r.N()
+	labelBits := r.LabelBits()
 	machines := make([]core.Machine, n)
 	for i := 0; i < n; i++ {
-		machines[i] = p.NewMachine(r.Label(i))
+		machines[i] = core.NewMachineFor(p, i, r.Label(i))
 	}
 
 	res := &Result{
@@ -71,6 +77,7 @@ func RunTraced(r *ring.Ring, p core.Protocol, timeout time.Duration, sink trace.
 
 	var (
 		msgCount atomic.Int64
+		bitCount atomic.Int64
 		done     = make(chan struct{})
 		stopOnce sync.Once
 		firstErr atomic.Pointer[error]
@@ -105,7 +112,7 @@ func RunTraced(r *ring.Ring, p core.Protocol, timeout time.Duration, sink trace.
 				}
 			}
 			for _, sm := range sent {
-				sink.Record(trace.Event{Op: trace.OpSend, Proc: i, Msg: sm})
+				sink.Record(trace.Event{Op: trace.OpSend, Proc: i, Msg: sm, Bits: sm.Bits(labelBits, n)})
 			}
 			if m.Halted() {
 				sink.Record(trace.Event{Op: trace.OpHalt, Proc: i, State: m.StateName()})
@@ -176,6 +183,7 @@ func RunTraced(r *ring.Ring, p core.Protocol, timeout time.Duration, sink trace.
 			send := func(msgs []core.Message) bool {
 				for _, msg := range msgs {
 					msgCount.Add(1)
+					bitCount.Add(int64(msg.Bits(labelBits, n)))
 					select {
 					case outbox[i] <- msg:
 					case <-done:
@@ -236,6 +244,7 @@ func RunTraced(r *ring.Ring, p core.Protocol, timeout time.Duration, sink trace.
 	}
 	res.Wall = time.Since(start)
 	res.Messages = int(msgCount.Load())
+	res.TotalBits = int(bitCount.Load())
 
 	if errp := firstErr.Load(); errp != nil {
 		return res, *errp

@@ -61,6 +61,12 @@ type Config struct {
 	// random rotation, the rest are cold fresh rings. Defaults 0.45/0.30.
 	HotFraction     float64
 	RotatedFraction float64
+	// SymmetricFraction (default 0) carves this share of the mix into
+	// symmetric-ring requests served under the randomized ItaiRodeh
+	// engine — rings every deterministic algorithm 400s. They draw from a
+	// symmetric hot set under random rotations, so they exercise the
+	// rotation-canonical cache exactly like the asymmetric classes.
+	SymmetricFraction float64
 	// Alg, K, Engine are passed through to /v1/elect (defaults "B", 3,
 	// "sim").
 	Alg    string
@@ -123,15 +129,17 @@ const (
 
 // Request classes.
 const (
-	ClassHot     = "hot"
-	ClassRotated = "rotated"
-	ClassCold    = "cold"
+	ClassHot       = "hot"
+	ClassRotated   = "rotated"
+	ClassCold      = "cold"
+	ClassSymmetric = "symmetric"
 )
 
 // PlannedRequest is one entry of the deterministic request plan.
 type PlannedRequest struct {
 	Spec       string // clockwise label sequence
-	Class      string // hot, rotated, cold
+	Class      string // hot, rotated, cold, symmetric
+	Alg        string // algorithm for this request (symmetric requests use ItaiRodeh)
 	Crosscheck bool   // verify this response against the local simulator
 }
 
@@ -156,6 +164,28 @@ func BuildPlan(cfg Config) ([]PlannedRequest, error) {
 		hot = append(hot, r)
 	}
 
+	// The symmetric hot set: a short pattern repeated, so the ring has a
+	// proper period and is provably symmetric.
+	var symHot []*ring.Ring
+	if cfg.SymmetricFraction > 0 {
+		for len(symHot) < cfg.HotRings {
+			d := 1 + rng.Intn(3) // pattern length
+			m := 2 + rng.Intn(3) // repetitions ≥ 2 ⇒ symmetric
+			labels := make([]ring.Label, d*m)
+			for i := 0; i < d; i++ {
+				labels[i] = ring.Label(1 + rng.Intn(4))
+			}
+			for i := d; i < len(labels); i++ {
+				labels[i] = labels[i%d]
+			}
+			r, err := ring.New(labels)
+			if err != nil {
+				return nil, fmt.Errorf("load: generating symmetric ring: %w", err)
+			}
+			symHot = append(symHot, r)
+		}
+	}
+
 	sampleEvery := 0
 	if cfg.Crosscheck > 0 {
 		sampleEvery = int(1 / cfg.Crosscheck)
@@ -167,6 +197,7 @@ func BuildPlan(cfg Config) ([]PlannedRequest, error) {
 	plan := make([]PlannedRequest, cfg.Requests)
 	for i := range plan {
 		var spec, class string
+		alg := cfg.Alg
 		switch u := rng.Float64(); {
 		case u < cfg.HotFraction:
 			class = ClassHot
@@ -175,6 +206,11 @@ func BuildPlan(cfg Config) ([]PlannedRequest, error) {
 			class = ClassRotated
 			r := hot[rng.Intn(len(hot))]
 			spec = specOf(r.Rotate(1 + rng.Intn(r.N()-1)))
+		case u < cfg.HotFraction+cfg.RotatedFraction+cfg.SymmetricFraction:
+			class = ClassSymmetric
+			alg = "ItaiRodeh"
+			r := symHot[rng.Intn(len(symHot))]
+			spec = specOf(r.Rotate(rng.Intn(r.N())))
 		default:
 			class = ClassCold
 			n := 4 + rng.Intn(9) // 4..12 processes
@@ -187,6 +223,7 @@ func BuildPlan(cfg Config) ([]PlannedRequest, error) {
 		plan[i] = PlannedRequest{
 			Spec:       spec,
 			Class:      class,
+			Alg:        alg,
 			Crosscheck: sampleEvery > 0 && i%sampleEvery == 0,
 		}
 	}
@@ -408,7 +445,7 @@ func Run(cfg Config) (*Report, error) {
 // against the local deterministic simulator in the request's own frame —
 // which exercises the server's canonicalization round trip.
 func (cfg Config) do(client *http.Client, p PlannedRequest) result {
-	body, _ := json.Marshal(serve.ElectRequest{Ring: p.Spec, Alg: cfg.Alg, K: cfg.K, Engine: cfg.Engine})
+	body, _ := json.Marshal(serve.ElectRequest{Ring: p.Spec, Alg: p.Alg, K: cfg.K, Engine: cfg.Engine})
 	start := time.Now()
 	resp, err := client.Post(cfg.BaseURL+"/v1/elect", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -436,7 +473,7 @@ func (cfg Config) do(client *http.Client, p PlannedRequest) result {
 	res.cached = er.Cached
 	if p.Crosscheck {
 		res.checked = true
-		res.diverged = !verify(p.Spec, cfg.Alg, cfg.K, er)
+		res.diverged = !verify(p.Spec, p.Alg, cfg.K, er)
 	}
 	return res
 }
@@ -449,17 +486,19 @@ func (cfg Config) do(client *http.Client, p PlannedRequest) result {
 type wireRunner struct {
 	cfg    Config
 	client *serve.WireClient
-	alg    repro.Algorithm
-	labels [][]ring.Label // plan[i].Spec parsed, index-aligned
+	algs   []repro.Algorithm // plan[i].Alg parsed, index-aligned
+	labels [][]ring.Label    // plan[i].Spec parsed, index-aligned
 }
 
 func newWireRunner(cfg Config, plan []PlannedRequest) (*wireRunner, error) {
-	alg, err := repro.ParseAlgorithm(cfg.Alg)
-	if err != nil {
-		return nil, fmt.Errorf("load: %w", err)
-	}
+	algs := make([]repro.Algorithm, len(plan))
 	labels := make([][]ring.Label, len(plan))
 	for i, p := range plan {
+		alg, err := repro.ParseAlgorithm(p.Alg)
+		if err != nil {
+			return nil, fmt.Errorf("load: planned request %d: %w", i, err)
+		}
+		algs[i] = alg
 		r, err := ring.Parse(p.Spec)
 		if err != nil {
 			return nil, fmt.Errorf("load: planned ring %d: %w", i, err)
@@ -470,7 +509,7 @@ func newWireRunner(cfg Config, plan []PlannedRequest) (*wireRunner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("load: %w", err)
 	}
-	return &wireRunner{cfg: cfg, client: client, alg: alg, labels: labels}, nil
+	return &wireRunner{cfg: cfg, client: client, algs: algs, labels: labels}, nil
 }
 
 func (wr *wireRunner) close() { wr.client.Close() }
@@ -481,7 +520,7 @@ func (wr *wireRunner) close() { wr.client.Close() }
 // frame's hint is positive, matching the HTTP header contract.
 func (wr *wireRunner) do(i int, p PlannedRequest) result {
 	start := time.Now()
-	out, err := wr.client.Elect(wr.labels[i], wr.alg, wr.cfg.K)
+	out, err := wr.client.Elect(wr.labels[i], wr.algs[i], wr.cfg.K)
 	lat := time.Since(start).Seconds()
 	if err != nil {
 		var we *serve.WireError
@@ -493,7 +532,7 @@ func (wr *wireRunner) do(i int, p PlannedRequest) result {
 	res := result{status: http.StatusOK, cached: out.Cached, latency: lat}
 	if p.Crosscheck {
 		res.checked = true
-		res.diverged = !verifyWire(p.Spec, wr.alg, wr.cfg.K, out)
+		res.diverged = !verifyWire(p.Spec, wr.algs[i], wr.cfg.K, out)
 	}
 	return res
 }
@@ -529,7 +568,12 @@ func verify(spec, algName string, k int, er serve.ElectResponse) bool {
 	if err != nil {
 		return false
 	}
+	// A zero TotalBits means the server did not report bit accounting
+	// (the cluster gateway proxies over the RGV1 wire, whose RESULT frame
+	// carries no bit totals) — real elections always cost bits, so zero is
+	// "absent", not "disagrees".
 	return out.Leader == er.Leader &&
 		out.LeaderLabel.String() == er.LeaderLabel &&
-		out.Messages == er.Messages
+		out.Messages == er.Messages &&
+		(er.TotalBits == 0 || out.TotalBits == er.TotalBits)
 }

@@ -103,7 +103,7 @@ func TestRunAggregatesReport(t *testing.T) {
 		default:
 			// Answer the hot ring truthfully (leader 0, label 1); anything
 			// else gets a wrong answer so planned crosschecks flag it.
-			resp := serve.ElectResponse{Ring: req.Ring, Leader: 0, LeaderLabel: "1", Messages: 276, Cached: req.Ring == fig1}
+			resp := serve.ElectResponse{Ring: req.Ring, Leader: 0, LeaderLabel: "1", Messages: 276, TotalBits: 1380, Cached: req.Ring == fig1}
 			if req.Ring != fig1 {
 				resp.Leader = -1
 			}

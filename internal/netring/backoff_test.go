@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/ring"
 )
 
@@ -54,7 +55,7 @@ func TestBackoffDelayDeterministic(t *testing.T) {
 // TestBackoffSleepCancelled stops a sender mid-backoff-sleep: the sleep
 // must return promptly (reporting interruption), not run out the clock.
 func TestBackoffSleepCancelled(t *testing.T) {
-	s := newSender(0, 1, "127.0.0.1:1", frame{}, Backoff{}, LinkFault{}, rand.New(rand.NewSource(1)), nil)
+	s := newSender(0, 1, "127.0.0.1:1", frame{}, Backoff{}, LinkFault{}, rand.New(rand.NewSource(1)), nil, func(core.Message) int { return 0 })
 	done := make(chan bool, 1)
 	start := time.Now()
 	go func() { done <- s.sleep(time.Minute) }()

@@ -186,10 +186,15 @@ type sender struct {
 	onGoodbyeAcked  func() error
 	finished        bool // restored OutFinished: nothing left to do
 
+	// msgBits prices one message for bit accounting (core.Message.Bits
+	// with the ring's labelBits and n bound in).
+	msgBits func(core.Message) int
+
 	mu          sync.Mutex
 	cond        *sync.Cond
 	base        uint64  // Seq of queue[0]; frames below it are acked and discarded
 	queue       []frame // retained data frames; queue[i].Seq == base+i
+	bits        uint64  // payload bits of all distinct frames ever enqueued
 	goodbye     bool    // machine halted: flush, send GOODBYE, exit
 	stopped     bool    // abandon immediately (failure elsewhere)
 	stopCh      chan struct{}
@@ -215,11 +220,12 @@ type sender struct {
 // the encode buffer stays a few KiB.
 const maxWriteBatch = 64
 
-func newSender(self, target int, addr string, hello frame, b Backoff, fault LinkFault, rng *rand.Rand, onLink func(string)) *sender {
+func newSender(self, target int, addr string, hello frame, b Backoff, fault LinkFault, rng *rand.Rand, onLink func(string), msgBits func(core.Message) int) *sender {
 	s := &sender{
 		self: self, target: target, addr: addr, hello: hello,
 		backoff: b.withDefaults(), fault: fault, rng: rng, onLink: onLink,
-		stopCh: make(chan struct{}), goodbyeAcks: make(chan frame, 1),
+		msgBits: msgBits,
+		stopCh:  make(chan struct{}), goodbyeAcks: make(chan frame, 1),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -228,8 +234,9 @@ func newSender(self, target int, addr string, hello frame, b Backoff, fault Link
 // preload restores the retransmit queue from a durable snapshot: frames
 // [base, base+len(tail)) regenerated from the persisted tail. finished
 // marks an outgoing link whose GOODBYE was already acknowledged.
-func (s *sender) preload(base uint64, tail []core.Message, finished bool) {
+func (s *sender) preload(base uint64, tail []core.Message, finished bool, bits uint64) {
 	s.base = base
+	s.bits = bits
 	s.queue = s.queue[:0]
 	for i, m := range tail {
 		s.queue = append(s.queue, frame{Type: frameData, Seq: base + uint64(i), Msg: m})
@@ -246,6 +253,12 @@ func (s *sender) enqueue(msgs []core.Message) {
 	}
 	s.mu.Lock()
 	for _, m := range msgs {
+		// Bits count every message the machine produces exactly once per
+		// counting timeline: a snapshot restore resumes the persisted
+		// total instead of replaying, a clean-start fallback replays the
+		// machine (and so re-counts) from zero — either way the terminal
+		// total equals the canonical execution's.
+		s.bits += uint64(s.msgBits(m))
 		seq := s.base + uint64(len(s.queue))
 		if seq < s.aheadAck {
 			// A regenerated frame the successor already has (see the
@@ -273,16 +286,25 @@ func (s *sender) sent() int {
 
 func (s *sender) sentU() uint64 { return uint64(s.sent()) }
 
+// sentBits returns the payload-bit total of all distinct frames enqueued,
+// in the same retransmit-excluded sense as sent().
+func (s *sender) sentBits() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bits
+}
+
 // snapshotOut returns the durable view of the outgoing link: total frames
-// produced, the retransmit base, and a copy of the retained tail.
-func (s *sender) snapshotOut() (sent, base uint64, tail []core.Message) {
+// produced, the retransmit base, a copy of the retained tail, and the
+// payload-bit total.
+func (s *sender) snapshotOut() (sent, base uint64, tail []core.Message, bits uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	tail = make([]core.Message, len(s.queue))
 	for i, f := range s.queue {
 		tail[i] = f.Msg
 	}
-	return s.base + uint64(len(s.queue)), s.base, tail
+	return s.base + uint64(len(s.queue)), s.base, tail, s.bits
 }
 
 // noteAck records a successor handshake ack: everything below ack needs no

@@ -37,6 +37,11 @@ type Result struct {
 	// retransmissions after a reconnect are not protocol messages and are
 	// not counted).
 	Messages int
+	// TotalBits is the total payload cost of those messages in bits
+	// (core.Message.Bits) — identical to the simulator's for the same
+	// (ring, protocol), since it is a pure function of the message
+	// sequence.
+	TotalBits int
 	// Reconnects is the total number of link drops that were re-dialed.
 	Reconnects int
 	// Statuses is the terminal status of every process.
@@ -88,6 +93,7 @@ func RunLocal(r *ring.Ring, p core.Protocol, opts Options) (*Result, error) {
 	// under one lock so the recorded stream is a valid linearization (per
 	// -process program order, per-link FIFO order, sends before their
 	// deliveries), as in internal/gorun.
+	labelBits := r.LabelBits()
 	checker := spec.New(n)
 	var mu sync.Mutex
 	lastPhase := make([]int, n)
@@ -105,7 +111,7 @@ func RunLocal(r *ring.Ring, p core.Protocol, opts Options) (*Result, error) {
 				}
 			}
 			for _, sm := range sent {
-				opts.Sink.Record(trace.Event{Op: trace.OpSend, Proc: proc, Msg: sm})
+				opts.Sink.Record(trace.Event{Op: trace.OpSend, Proc: proc, Msg: sm, Bits: sm.Bits(labelBits, n)})
 			}
 			if m.Halted() {
 				opts.Sink.Record(trace.Event{Op: trace.OpHalt, Proc: proc, State: m.StateName()})
@@ -159,6 +165,7 @@ func RunLocal(r *ring.Ring, p core.Protocol, opts Options) (*Result, error) {
 		}
 		nr := results[i]
 		res.Messages += nr.Sent
+		res.TotalBits += nr.SentBits
 		res.Reconnects += nr.Reconnects
 		res.Statuses[i] = nr.Status
 		res.PeakSpacePerProc[i] = nr.PeakSpaceBits

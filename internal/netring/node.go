@@ -94,6 +94,9 @@ type NodeResult struct {
 	// incarnations (retransmits after a reconnect or restart are not
 	// counted — each sequence number counts once).
 	Sent int
+	// SentBits is the payload cost of those frames in bits
+	// (core.Message.Bits), with the same each-frame-counts-once rule.
+	SentBits int
 	// Reconnects counts outgoing-link drops that were re-dialed.
 	Reconnects int
 	// Retransmits counts data frames written to the wire more than once
@@ -157,7 +160,7 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		}
 	}
 
-	m := cfg.Protocol.NewMachine(cfg.Ring.Label(cfg.Index))
+	m := core.NewMachineFor(cfg.Protocol, cfg.Index, cfg.Ring.Label(cfg.Index))
 	res := &NodeResult{Index: cfg.Index}
 
 	// Durable mode: restore the previous incarnation's snapshot, if any.
@@ -182,7 +185,7 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 				// fit this machine: same treatment as corruption.
 				onLink("state-corrupt")
 				st = nil
-				m = cfg.Protocol.NewMachine(cfg.Ring.Label(cfg.Index))
+				m = core.NewMachineFor(cfg.Protocol, cfg.Index, cfg.Ring.Label(cfg.Index))
 				snap = m.(core.Snapshotter)
 			}
 		case errors.Is(err, os.ErrNotExist):
@@ -220,13 +223,15 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	// perturbs retry pacing, never delivery order.
 	rng := rand.New(rand.NewSource(int64(cfg.Index) + 1))
 	hello := frame{Type: frameHello, Sender: cfg.Index, Target: succ, N: n, RingHash: hash}
-	snd := newSender(cfg.Index, succ, cfg.NextAddr, hello, cfg.Backoff, cfg.Fault, rng, onLink)
+	labelBits := cfg.Ring.LabelBits()
+	msgBits := func(m core.Message) int { return m.Bits(labelBits, n) }
+	snd := newSender(cfg.Index, succ, cfg.NextAddr, hello, cfg.Backoff, cfg.Fault, rng, onLink, msgBits)
 	rcv := newReceiver(cfg.Index, n, hash, ln, onLink)
 
 	inFinished := st != nil && st.InFinished
 	delivered := uint64(0)
 	if st != nil {
-		snd.preload(st.OutAcked, st.Tail, st.OutFinished)
+		snd.preload(st.OutAcked, st.Tail, st.OutFinished, st.SentBits)
 		rcv.expected = st.InExpected
 		delivered = st.InExpected
 	}
@@ -338,12 +343,13 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		if err != nil {
 			return err
 		}
-		sent, base, tail := snd.snapshotOut()
+		sent, base, tail, bits := snd.snapshotOut()
 		return per.save(func(s *NodeState) {
 			s.Inited = true
 			s.InExpected = delivered
 			s.OutSent = sent
 			s.OutAcked = base
+			s.SentBits = bits
 			s.Tail = tail
 			s.Machine = blob
 		})
@@ -356,6 +362,7 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		res.Status = m.Status()
 		res.Halted = m.Halted()
 		res.Sent = snd.sent()
+		res.SentBits = int(snd.sentBits())
 		res.Reconnects = snd.reconnectCount()
 		res.Retransmits = snd.retransmitCount()
 	}

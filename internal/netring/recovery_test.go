@@ -483,11 +483,11 @@ func (nonSnapshotMachine) Fingerprint() string { return "" }
 // absorbs the ack and swallows the regenerated frames instead of
 // re-writing them at stale sequence numbers (or failing the link).
 func TestAckAheadAbsorbed(t *testing.T) {
-	s := newSender(3, 4, "127.0.0.1:1", frame{}, Backoff{}, LinkFault{}, nil, nil)
+	s := newSender(3, 4, "127.0.0.1:1", frame{}, Backoff{}, LinkFault{}, nil, nil, func(core.Message) int { return 0 })
 	s.reliableGoodbye = true // durable mode
 	// Restored state: 11 frames produced over the node's history, the
 	// last two not yet covered by a persisted ack.
-	s.preload(9, []core.Message{core.Token(1), core.Token(2)}, false)
+	s.preload(9, []core.Message{core.Token(1), core.Token(2)}, false, 0)
 
 	// The successor's HELLO_ACK says it expects seq 12: it persisted a
 	// 12th frame whose producing action our crash rolled back.
@@ -515,8 +515,8 @@ func TestAckAheadAbsorbed(t *testing.T) {
 
 	// Without durable state nothing can roll back, so the same ack stays
 	// a link violation.
-	nd := newSender(3, 4, "127.0.0.1:1", frame{}, Backoff{}, LinkFault{}, nil, nil)
-	nd.preload(9, []core.Message{core.Token(1), core.Token(2)}, false)
+	nd := newSender(3, 4, "127.0.0.1:1", frame{}, Backoff{}, LinkFault{}, nil, nil, func(core.Message) int { return 0 })
+	nd.preload(9, []core.Message{core.Token(1), core.Token(2)}, false, 0)
 	if err := nd.noteAck(12); err == nil {
 		t.Fatal("non-durable ack beyond produced count accepted")
 	}

@@ -44,6 +44,11 @@ type NodeState struct {
 	// OutAcked is the outgoing retransmit queue's base: every frame below
 	// it was covered by a successor handshake ack and discarded.
 	OutAcked uint64
+	// SentBits is the total payload cost, in bits (core.Message.Bits), of
+	// every frame produced on the outgoing link — the bit-accounting
+	// counterpart of OutSent, restored instead of recomputed because a
+	// snapshot-restored machine does not replay the sends it already made.
+	SentBits uint64
 	// Tail is the retained outgoing frames [OutAcked, OutSent), replayed
 	// into the sender's queue on restore.
 	Tail []core.Message
@@ -56,15 +61,23 @@ type NodeState struct {
 // back to a clean start rather than trusting it.
 var ErrCorruptState = errors.New("netring: corrupt node state file")
 
-// State file layout: magic "RNS1", then the fields below in fixed-width
+// State file layout: magic "RNS2", then the fields below in fixed-width
 // big-endian encoding, then a CRC-32 (IEEE) of everything before it.
-var stateMagic = [4]byte{'R', 'N', 'S', '1'}
+// RNS2 widened the retransmit-tail entries with the randomized-election
+// message fields (round, hop, flag) and added the SentBits counter; RNS1
+// files fail the magic check and fall back to a clean start, like any
+// other unreadable snapshot.
+var stateMagic = [4]byte{'R', 'N', 'S', '2'}
+
+// tailEntryLen is the encoded size of one retransmit-tail message:
+// kind(1) label(8) round(4) hop(4) flag(1).
+const tailEntryLen = 18
 
 const stateFlagInited, stateFlagInFinished, stateFlagOutFinished = 1, 2, 4
 
 // encode serializes the state, checksum included.
 func (st *NodeState) encode() []byte {
-	b := make([]byte, 0, 64+len(st.Protocol)+17*len(st.Tail)+len(st.Machine))
+	b := make([]byte, 0, 64+len(st.Protocol)+tailEntryLen*len(st.Tail)+len(st.Machine))
 	b = append(b, stateMagic[:]...)
 	b = binary.BigEndian.AppendUint64(b, st.RingHash)
 	b = binary.BigEndian.AppendUint32(b, uint32(st.Index))
@@ -82,12 +95,20 @@ func (st *NodeState) encode() []byte {
 	b = binary.BigEndian.AppendUint64(b, st.InExpected)
 	b = binary.BigEndian.AppendUint64(b, st.OutSent)
 	b = binary.BigEndian.AppendUint64(b, st.OutAcked)
+	b = binary.BigEndian.AppendUint64(b, st.SentBits)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(st.Protocol)))
 	b = append(b, st.Protocol...)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(st.Tail)))
 	for _, m := range st.Tail {
 		b = append(b, byte(m.Kind))
 		b = binary.BigEndian.AppendUint64(b, uint64(int64(m.Label)))
+		b = binary.BigEndian.AppendUint32(b, m.Round)
+		b = binary.BigEndian.AppendUint32(b, m.Hop)
+		var flag byte
+		if m.Flag {
+			flag = 1
+		}
+		b = append(b, flag)
 	}
 	b = binary.BigEndian.AppendUint32(b, uint32(len(st.Machine)))
 	b = append(b, st.Machine...)
@@ -112,7 +133,7 @@ func decodeNodeState(b []byte) (*NodeState, error) {
 	}
 	p := body[4:]
 	need := func(n int) bool { return len(p) >= n }
-	if !need(8 + 4 + 1 + 8 + 8 + 8 + 4) {
+	if !need(8 + 4 + 1 + 8 + 8 + 8 + 8 + 4) {
 		return corrupt("truncated header")
 	}
 	st := &NodeState{}
@@ -125,22 +146,32 @@ func decodeNodeState(b []byte) (*NodeState, error) {
 	st.InExpected = binary.BigEndian.Uint64(p[13:])
 	st.OutSent = binary.BigEndian.Uint64(p[21:])
 	st.OutAcked = binary.BigEndian.Uint64(p[29:])
-	protoLen := int(binary.BigEndian.Uint32(p[37:]))
-	p = p[41:]
+	st.SentBits = binary.BigEndian.Uint64(p[37:])
+	protoLen := int(binary.BigEndian.Uint32(p[45:]))
+	p = p[49:]
 	if protoLen < 0 || !need(protoLen+4) {
 		return corrupt("truncated protocol name")
 	}
 	st.Protocol = string(p[:protoLen])
 	tailLen := int(binary.BigEndian.Uint32(p[protoLen:]))
 	p = p[protoLen+4:]
-	if tailLen < 0 || !need(9*tailLen+4) {
+	if tailLen < 0 || !need(tailEntryLen*tailLen+4) {
 		return corrupt("truncated frame tail")
 	}
 	if tailLen > 0 {
 		st.Tail = make([]core.Message, tailLen)
 		for i := range st.Tail {
-			st.Tail[i] = core.Message{Kind: core.Kind(p[0]), Label: ring.Label(int64(binary.BigEndian.Uint64(p[1:])))}
-			p = p[9:]
+			if p[17] > 1 {
+				return corrupt(fmt.Sprintf("tail entry %d has unknown flag bits %#x", i, p[17]))
+			}
+			st.Tail[i] = core.Message{
+				Kind:  core.Kind(p[0]),
+				Label: ring.Label(int64(binary.BigEndian.Uint64(p[1:]))),
+				Round: binary.BigEndian.Uint32(p[9:]),
+				Hop:   binary.BigEndian.Uint32(p[13:]),
+				Flag:  p[17] == 1,
+			}
+			p = p[tailEntryLen:]
 		}
 	}
 	machineLen := int(binary.BigEndian.Uint32(p))

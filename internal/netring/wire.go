@@ -29,8 +29,9 @@ import (
 // wireVersion is the protocol version carried in every frame header.
 // Nodes reject frames from any other version. Version 2 extended HELLO
 // with the sender's resume base sequence number (crash recovery) and
-// added GOODBYE_ACK.
-const wireVersion = 2
+// added GOODBYE_ACK. Version 3 widened DATA with the randomized-election
+// message fields (round, hop, flags).
+const wireVersion = 3
 
 // maxFrameBody bounds the body length a receiver accepts; every frame the
 // protocol defines is far smaller, so anything larger is a corrupt or
@@ -102,20 +103,22 @@ type frame struct {
 // Body layouts (after the 4-byte big-endian length prefix). Every body
 // starts with version and type; the rest is type-specific:
 //
-//	HELLO:       ver(1) type(1) sender(4) target(4) n(4) ringHash(8) baseSeq(8) = 30
-//	HELLO_ACK:   ver(1) type(1) nextSeq(8)                                      = 10
-//	DATA:        ver(1) type(1) seq(8) kind(1) label(8)                         = 19
-//	GOODBYE:     ver(1) type(1) totalSent(8)                                    = 10
-//	GOODBYE_ACK: ver(1) type(1) nextSeq(8)                                      = 10
+//	HELLO:       ver(1) type(1) sender(4) target(4) n(4) ringHash(8) baseSeq(8)       = 30
+//	HELLO_ACK:   ver(1) type(1) nextSeq(8)                                            = 10
+//	DATA:        ver(1) type(1) seq(8) kind(1) label(8) round(4) hop(4) flags(1)      = 28
+//	GOODBYE:     ver(1) type(1) totalSent(8)                                          = 10
+//	GOODBYE_ACK: ver(1) type(1) nextSeq(8)                                            = 10
 //
 // HELLO's baseSeq is the RESUME extension: a freshly started sender says
 // 0 (it holds everything); a crash-recovered sender says the persisted
 // base of its retransmit queue, so the receiver can detect — rather than
 // hang on — a predecessor that can no longer supply the frames it needs.
+// DATA's round/hop/flags carry the randomized-election message fields
+// (internal/rand); the deterministic protocols send them as zero.
 const (
 	helloLen      = 30
 	helloAckLen   = 10
-	dataLen       = 19
+	dataLen       = 28
 	goodbyeLen    = 10
 	goodbyeAckLen = 10
 )
@@ -141,6 +144,13 @@ func appendFrame(dst []byte, f frame) []byte {
 		binary.BigEndian.PutUint64(body[2:], f.Seq)
 		body[10] = byte(f.Msg.Kind)
 		binary.BigEndian.PutUint64(body[11:], uint64(int64(f.Msg.Label)))
+		binary.BigEndian.PutUint32(body[19:], f.Msg.Round)
+		binary.BigEndian.PutUint32(body[23:], f.Msg.Hop)
+		if f.Msg.Flag {
+			body[27] = 1
+		} else {
+			body[27] = 0
+		}
 		n = dataLen
 	case frameGoodbye:
 		binary.BigEndian.PutUint64(body[2:], f.NextSeq)
@@ -192,10 +202,19 @@ func decodeFrame(body []byte) (frame, error) {
 		}
 		f.Seq = binary.BigEndian.Uint64(body[2:])
 		kind := core.Kind(body[10])
-		if kind > core.KindPeterson2 {
+		if kind > core.KindRandLeader {
 			return frame{}, fmt.Errorf("netring: DATA with unknown message kind %d", body[10])
 		}
-		f.Msg = core.Message{Kind: kind, Label: ring.Label(int64(binary.BigEndian.Uint64(body[11:])))}
+		if flags := body[27]; flags > 1 {
+			return frame{}, fmt.Errorf("netring: DATA with unknown flag bits %#x", flags)
+		}
+		f.Msg = core.Message{
+			Kind:  kind,
+			Label: ring.Label(int64(binary.BigEndian.Uint64(body[11:]))),
+			Round: binary.BigEndian.Uint32(body[19:]),
+			Hop:   binary.BigEndian.Uint32(body[23:]),
+			Flag:  body[27] == 1,
+		}
 	case frameGoodbye:
 		if len(body) != goodbyeLen {
 			return frame{}, fmt.Errorf("netring: GOODBYE body %d bytes, want %d", len(body), goodbyeLen)

@@ -1,0 +1,26 @@
+package rand
+
+// prng is a splitmix64 generator: one uint64 of state, full period 2^64,
+// and — the property everything downstream leans on — trivially
+// serializable. A machine snapshot (core.Snapshotter) persists the single
+// state word, so a crash-recovered process replays the exact draw
+// sequence the in-memory engines produce.
+type prng struct{ s uint64 }
+
+// next advances the state and returns the next 64-bit output.
+func (p *prng) next() uint64 {
+	p.s += 0x9e3779b97f4a7c15
+	z := p.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// streamSeed derives the initial PRNG state of machine stream i from the
+// protocol seed. One scrambling step decorrelates adjacent streams, so
+// neighboring processes do not draw correlated ids even under seeds that
+// differ in a single bit.
+func streamSeed(seed uint64, stream int) uint64 {
+	p := prng{s: seed ^ (0x9e3779b97f4a7c15 * uint64(stream+1))}
+	return p.next()
+}

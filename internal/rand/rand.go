@@ -1,0 +1,283 @@
+// Package rand implements Itai–Rodeh randomized leader election for
+// labeled unidirectional rings of known size n — the engine that serves
+// the rings the paper's Ak/Bk cannot: symmetric (and in particular
+// anonymous-equivalent all-equal-label) rings, where no deterministic
+// algorithm can break the tie.
+//
+// The formulation is Fokkink–Pang's round-based variant. Every process
+// starts active in round 1 and draws a random id from {1..k}; the token
+// ⟨id, round, hop, uniq⟩ circulates, actives with lexicographically
+// smaller (round, id) turn passive, same-id collisions clear the token's
+// uniqueness bit, and a token returning to its still-active originator
+// after n hops either crowns it (uniq still set) or starts the next round
+// (redraw). The winner announces its ring label for one lap; everyone
+// adopts it and halts. Election terminates with probability 1; for k = 3
+// the expected number of draws is ≈ 1.5n, i.e. ≈ 2.38n bits of drawn
+// randomness — within 3% of Lavault–Louchard's L·n ≃ 2.4417n expected
+// bit-communication constant (arXiv:cs/0607032; EXPERIMENTS.md E14).
+//
+// Determinism: randomness comes from per-machine splitmix64 streams
+// derived from one protocol seed, so a fixed (ring, seed) pair yields one
+// execution — the simulator, the goroutine engine, the TCP engine, and a
+// crash-recovered chaos run all elect the same leader with identical
+// message and bit counts. Machines at ring index i use stream
+// (i - rot) mod n, where rot is the ring's Booth least-rotation offset;
+// executions on rotations of one canonical ring are therefore isomorphic,
+// which is what lets the serving cache answer every rotation from one
+// canonical entry.
+package rand
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+)
+
+// Alphabet is the id-alphabet size the registry uses: the smallest k
+// whose expected drawn-randomness cost (≈ 1.5n·log₂3 ≈ 2.38n bits) sits
+// within a few percent of the Lavault–Louchard 2.4417n constant (k = 2
+// costs exactly 2n bits, 18% under).
+const Alphabet = 3
+
+// Protocol is the Itai–Rodeh election as a core.Protocol. It is
+// position-dependent (core.IndexedProtocol): every engine must construct
+// machines through core.NewMachineFor.
+type Protocol struct {
+	n, k, labelBits, rot int
+	seed                 uint64
+}
+
+// New returns the protocol for an n-process ring whose labels fit in
+// labelBits bits, drawing ids from {1..k}, seeded by seed. rot is the
+// ring's least-rotation offset (canonical[j] = labels[(rot+j) mod n]):
+// the machine at ring index i uses PRNG stream (i-rot) mod n, so rotated
+// copies of one ring run isomorphic executions. Pass rot = 0 when the
+// ring is already canonical (or rotation invariance is irrelevant, as in
+// seeded ensembles).
+func New(n, k, labelBits, rot int, seed uint64) (*Protocol, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("rand: ring size %d < 2", n)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("rand: id alphabet size %d < 2 (a 1-letter alphabet collides forever)", k)
+	}
+	if labelBits < 1 {
+		return nil, fmt.Errorf("rand: labelBits %d < 1", labelBits)
+	}
+	if rot < 0 || rot >= n {
+		return nil, fmt.Errorf("rand: rotation offset %d outside [0, %d)", rot, n)
+	}
+	return &Protocol{n: n, k: k, labelBits: labelBits, rot: rot, seed: seed}, nil
+}
+
+// Name identifies the protocol. The seed is part of the name: two runs
+// agree on every count exactly when they agree on (n, k, seed, rot), and
+// the netring durable-state layer compares names to reject a snapshot
+// taken under a different seed.
+func (p *Protocol) Name() string {
+	return fmt.Sprintf("IR(n=%d,k=%d,seed=%#x,rot=%d)", p.n, p.k, p.seed, p.rot)
+}
+
+// NewMachine builds the machine of stream 0; engines must prefer
+// NewMachineAt (via core.NewMachineFor) so each process gets its own
+// stream.
+func (p *Protocol) NewMachine(id ring.Label) core.Machine { return p.NewMachineAt(0, id) }
+
+// NewMachineAt builds the machine of the process at ring index `index`
+// labeled id, implementing core.IndexedProtocol.
+func (p *Protocol) NewMachineAt(index int, id ring.Label) core.Machine {
+	stream := ((index-p.rot)%p.n + p.n) % p.n
+	return &machine{p: p, id: id, rng: prng{s: streamSeed(p.seed, stream)}}
+}
+
+// machine is one process's Itai–Rodeh automaton.
+type machine struct {
+	p  *Protocol
+	id ring.Label // own ring label
+
+	rng    prng
+	active bool
+	round  uint32
+	myid   uint32 // current drawn id in {1..k}; 0 before Init
+	draws  int
+
+	isLeader, done, ledSet, halted bool
+	leader                         ring.Label
+}
+
+// draw replaces myid with a fresh uniform draw from {1..k}.
+func (m *machine) draw() {
+	m.myid = 1 + uint32(m.rng.next()%uint64(m.p.k))
+	m.draws++
+}
+
+// Init starts round 1: draw an id, emit the candidacy token (action R1).
+func (m *machine) Init(out *core.Outbox) string {
+	m.active = true
+	m.round = 1
+	m.draw()
+	out.Send(core.RandToken(ring.Label(m.myid), m.round, 1, true))
+	return "R1"
+}
+
+// cmp orders (round, id) pairs lexicographically against the machine's
+// own (round, myid): -1 below, 0 equal, +1 above.
+func (m *machine) cmp(round, id uint32) int {
+	switch {
+	case round != m.round:
+		if round > m.round {
+			return 1
+		}
+		return -1
+	case id != m.myid:
+		if id > m.myid {
+			return 1
+		}
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Receive executes the single enabled action for the head message.
+func (m *machine) Receive(msg core.Message, out *core.Outbox) (string, error) {
+	switch msg.Kind {
+	case core.KindRandToken:
+		return m.receiveToken(msg, out)
+	case core.KindRandLeader:
+		return m.receiveLeader(msg, out)
+	default:
+		return "", fmt.Errorf("rand: no action enabled for %s", msg)
+	}
+}
+
+func (m *machine) receiveToken(msg core.Message, out *core.Outbox) (string, error) {
+	n := uint32(m.p.n)
+	if msg.Hop < 1 || msg.Hop > n {
+		return "", fmt.Errorf("rand: token %s has hop outside [1, %d]", msg, n)
+	}
+	if !m.active {
+		// R5/R6: a passive process relays foreign tokens and purges the
+		// one that completed its lap (its own stale candidacy, or the
+		// stale candidacy of a process that turned passive after us —
+		// hop = n only ever happens at the originator).
+		if msg.Hop == n {
+			return "R6", nil
+		}
+		out.Send(core.Message{Kind: core.KindRandToken, Label: msg.Label, Round: msg.Round, Hop: msg.Hop + 1, Flag: msg.Flag})
+		return "R5", nil
+	}
+	switch m.cmp(msg.Round, uint32(msg.Label)) {
+	case 1:
+		// R4: a lexicographically larger candidacy — yield and relay.
+		m.active = false
+		out.Send(core.Message{Kind: core.KindRandToken, Label: msg.Label, Round: msg.Round, Hop: msg.Hop + 1, Flag: msg.Flag})
+		return "R4", nil
+	case -1:
+		// R3: a smaller candidacy — purge it.
+		return "R3", nil
+	}
+	if msg.Hop < n {
+		// R2c: someone else drew our exact (round, id) — relay with the
+		// uniqueness bit cleared so neither of us wins this round.
+		out.Send(core.Message{Kind: core.KindRandToken, Label: msg.Label, Round: msg.Round, Hop: msg.Hop + 1, Flag: false})
+		return "R2c", nil
+	}
+	// Our own token is back (hop = n ⇔ originator).
+	if msg.Flag {
+		// R2w: unique across the lap — we win. Announce our ring label
+		// and stay active (not halted) to purge the stale tokens still in
+		// flight ahead of the announcement; we halt when it returns.
+		m.isLeader, m.done, m.ledSet = true, true, true
+		m.leader = m.id
+		out.Send(core.RandLeader(m.id, m.round, 1))
+		return "R2w", nil
+	}
+	// R2r: collided — next round, fresh draw.
+	m.round++
+	m.draw()
+	out.Send(core.RandToken(ring.Label(m.myid), m.round, 1, true))
+	return "R2r", nil
+}
+
+func (m *machine) receiveLeader(msg core.Message, out *core.Outbox) (string, error) {
+	n := uint32(m.p.n)
+	if m.active {
+		// R7: our announcement completed its lap; nothing can follow it
+		// on the incoming link (no process sends after relaying it), so
+		// halting is safe.
+		if !m.isLeader || msg.Hop != n || msg.Label != m.id {
+			return "", fmt.Errorf("rand: active process received foreign announcement %s", msg)
+		}
+		m.halted = true
+		return "R7", nil
+	}
+	if msg.Hop >= n {
+		return "", fmt.Errorf("rand: announcement %s overran its lap", msg)
+	}
+	// R8: adopt the leader, relay the announcement, halt.
+	m.leader, m.ledSet, m.done = msg.Label, true, true
+	out.Send(core.RandLeader(msg.Label, msg.Round, msg.Hop+1))
+	m.halted = true
+	return "R8", nil
+}
+
+// Halted reports whether the process executed its halting statement.
+func (m *machine) Halted() bool { return m.halted }
+
+// Status returns the specification variables.
+func (m *machine) Status() core.Status {
+	return core.Status{IsLeader: m.isLeader, Done: m.done, Leader: m.leader, LeaderSet: m.ledSet}
+}
+
+// StateName names the control state for diagnostics.
+func (m *machine) StateName() string {
+	switch {
+	case m.halted:
+		return "HALT"
+	case m.isLeader:
+		return "LEADER"
+	case m.active:
+		return fmt.Sprintf("ACTIVE(r%d)", m.round)
+	default:
+		return "PASSIVE"
+	}
+}
+
+// SpaceBits returns the current variable size in the units of the paper's
+// space theorems: 64 bits of PRNG state, one label (leader), the current
+// id (⌈log k⌉), the round counter at its current self-cost, and four
+// booleans (active, isLeader, done, leaderSet).
+func (m *machine) SpaceBits() int {
+	return 64 + m.p.labelBits + ceilLog2(m.p.k) + ceilLog2(int(m.round)+1) + 4
+}
+
+// Draws returns how many random ids this process has drawn so far — the
+// quantity whose expectation Lavault–Louchard's constant bounds.
+func (m *machine) Draws() int { return m.draws }
+
+// Fingerprint serializes the full local state.
+func (m *machine) Fingerprint() string {
+	leader := "-"
+	if m.ledSet {
+		leader = m.leader.String()
+	}
+	return fmt.Sprintf("IR[id=%s active=%t round=%d myid=%d rng=%#x isLeader=%t done=%t leader=%s halted=%t]",
+		m.id, m.active, m.round, m.myid, m.rng.s, m.isLeader, m.done, leader, m.halted)
+}
+
+// Clone implements core.Cloner.
+func (m *machine) Clone() core.Machine {
+	c := *m
+	return &c
+}
+
+// ceilLog2 returns ⌈log2 v⌉ for v ≥ 1 (0 for v ≤ 1).
+func ceilLog2(v int) int {
+	bits := 0
+	for p := 1; p < v; p <<= 1 {
+		bits++
+	}
+	return bits
+}

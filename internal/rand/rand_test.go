@@ -1,0 +1,319 @@
+package rand_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gorun"
+	"repro/internal/netring"
+	randalg "repro/internal/rand"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// mustRing parses a ring spec or fails the test.
+func mustRing(t *testing.T, spec string) *ring.Ring {
+	t.Helper()
+	r, err := ring.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// newIR builds an Itai–Rodeh protocol for r with the canonical rotation 0.
+func newIR(t *testing.T, r *ring.Ring, seed uint64) *randalg.Protocol {
+	t.Helper()
+	p, err := randalg.New(r.N(), randalg.Alphabet, r.LabelBits(), 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// testRings covers the shapes the deterministic algorithms split on: fully
+// symmetric (unsolvable for them), partially symmetric, asymmetric, and
+// unique-label.
+var testRings = []string{
+	"1 1 1 1",
+	"1 2 1 2",
+	"7 7 7 7 7 7",
+	"1 3 1 3 2 2 1 2",
+	"1 2 3 4 5",
+}
+
+// TestNewValidation checks the constructor's parameter contract.
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		n, k, labelBits, rot int
+		wantErr              string
+	}{
+		{1, 3, 8, 0, "ring size 1"},
+		{4, 1, 8, 0, "alphabet size 1"},
+		{4, 3, 0, 0, "labelBits 0"},
+		{4, 3, 8, -1, "rotation offset -1"},
+		{4, 3, 8, 4, "rotation offset 4"},
+		{4, 3, 8, 3, ""},
+	}
+	for _, c := range cases {
+		_, err := randalg.New(c.n, c.k, c.labelBits, c.rot, 1)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("New(%d,%d,%d,%d): unexpected error %v", c.n, c.k, c.labelBits, c.rot, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("New(%d,%d,%d,%d): error %v, want substring %q", c.n, c.k, c.labelBits, c.rot, err, c.wantErr)
+		}
+	}
+}
+
+// TestDeterministicReplay checks that a fixed seed fully determines the
+// execution: two independent simulator runs are outcome-identical, and a
+// different seed (usually) produces a different draw sequence.
+func TestDeterministicReplay(t *testing.T) {
+	for _, spec := range testRings {
+		r := mustRing(t, spec)
+		a, err := sim.RunSync(r, newIR(t, r, 42), sim.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		b, err := sim.RunSync(r, newIR(t, r, 42), sim.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if a.LeaderIndex != b.LeaderIndex || a.Messages != b.Messages || a.TotalBits != b.TotalBits || a.RandDraws != b.RandDraws {
+			t.Errorf("%s: same seed diverged: (%d,%d,%d,%d) vs (%d,%d,%d,%d)", spec,
+				a.LeaderIndex, a.Messages, a.TotalBits, a.RandDraws,
+				b.LeaderIndex, b.Messages, b.TotalBits, b.RandDraws)
+		}
+	}
+}
+
+// TestThreeWayAgreement runs the same seeded protocol through all three
+// engines — deterministic simulator, goroutine runtime, real TCP — and
+// requires exact agreement on the leader, the message count, and the bit
+// total. The FIFO ring makes the execution a Kahn network: the per-link
+// message sequences are schedule-independent, so real concurrency and
+// real sockets cannot change the outcome.
+func TestThreeWayAgreement(t *testing.T) {
+	for _, spec := range testRings {
+		for _, seed := range []uint64{1, 0xdeadbeef} {
+			r := mustRing(t, spec)
+			simRes, err := sim.RunAsync(r, newIR(t, r, seed), sim.ConstantDelay(1), sim.Options{})
+			if err != nil {
+				t.Fatalf("%s/%#x sim: %v", spec, seed, err)
+			}
+			goRes, err := gorun.Run(r, newIR(t, r, seed), 30*time.Second)
+			if err != nil {
+				t.Fatalf("%s/%#x gorun: %v", spec, seed, err)
+			}
+			tcpRes, err := netring.RunLocal(r, newIR(t, r, seed), netring.Options{})
+			if err != nil {
+				t.Fatalf("%s/%#x netring: %v", spec, seed, err)
+			}
+			if simRes.LeaderIndex != goRes.LeaderIndex || simRes.LeaderIndex != tcpRes.LeaderIndex {
+				t.Errorf("%s/%#x: leaders disagree: sim=%d gorun=%d tcp=%d", spec, seed,
+					simRes.LeaderIndex, goRes.LeaderIndex, tcpRes.LeaderIndex)
+			}
+			if simRes.Messages != goRes.Messages || simRes.Messages != tcpRes.Messages {
+				t.Errorf("%s/%#x: message counts disagree: sim=%d gorun=%d tcp=%d", spec, seed,
+					simRes.Messages, goRes.Messages, tcpRes.Messages)
+			}
+			if simRes.TotalBits != goRes.TotalBits || simRes.TotalBits != tcpRes.TotalBits {
+				t.Errorf("%s/%#x: bit totals disagree: sim=%d gorun=%d tcp=%d", spec, seed,
+					simRes.TotalBits, goRes.TotalBits, tcpRes.TotalBits)
+			}
+		}
+	}
+}
+
+// TestExploreAllConfluence model-checks every asynchronous schedule of a
+// seeded run on a small fully-symmetric ring: all interleavings must reach
+// one terminal configuration with one leader and one message count. This
+// is the schedule-independence claim behind the cross-engine agreement,
+// verified exhaustively rather than by sampling.
+func TestExploreAllConfluence(t *testing.T) {
+	r := mustRing(t, "1 1 1")
+	res, err := sim.ExploreAll(r, newIR(t, r, 7), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminals != 1 {
+		t.Errorf("terminals = %d, want 1", res.Terminals)
+	}
+	if res.LeaderIndex < 0 || res.LeaderIndex >= r.N() {
+		t.Errorf("leader index %d out of range", res.LeaderIndex)
+	}
+	if !res.Cloned {
+		t.Error("machines should implement core.Cloner")
+	}
+	t.Logf("explored %d states, leader=%d, msgs=%d", res.States, res.LeaderIndex, res.Messages)
+}
+
+// TestRotationEquivariance checks the property the serving layer's cache
+// depends on: running the protocol on a rotated ring with the matching rot
+// offset produces the SAME execution up to index relabeling — the leader
+// maps through the rotation, and messages and bits are identical.
+func TestRotationEquivariance(t *testing.T) {
+	const seed = 0xfeedface
+	for _, spec := range []string{"1 2 1 2", "1 3 1 3 2 2 1 2", "2 2 2 2 2"} {
+		canon := mustRing(t, spec)
+		n := canon.N()
+		base, err := sim.RunSync(canon, newIR(t, canon, seed), sim.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		for d := 1; d < n; d++ {
+			// rotated.Label(i) == canon.Label((i+d) mod n), so the offset
+			// with canonical[i] == rotated[(i+rot) mod n] is rot = n-d —
+			// the convention ProtocolFor derives via Booth's algorithm.
+			rotated := canon.Rotate(d)
+			rot := (n - d) % n
+			p, err := randalg.New(n, randalg.Alphabet, rotated.LabelBits(), rot, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.RunSync(rotated, p, sim.Options{})
+			if err != nil {
+				t.Fatalf("%s rot %d: %v", spec, d, err)
+			}
+			// Canonical leader L sits at rotated index (L-d) mod n (same
+			// label, same PRNG stream).
+			wantLeader := ((base.LeaderIndex-d)%n + n) % n
+			if res.LeaderIndex != wantLeader {
+				t.Errorf("%s rot %d: leader %d, want %d", spec, d, res.LeaderIndex, wantLeader)
+			}
+			if res.Messages != base.Messages || res.TotalBits != base.TotalBits {
+				t.Errorf("%s rot %d: (msgs,bits)=(%d,%d), want (%d,%d)", spec, d,
+					res.Messages, res.TotalBits, base.Messages, base.TotalBits)
+			}
+		}
+	}
+}
+
+// TestCloneIndependence advances machines mid-election, clones one, steps
+// the original further, and checks the clone's fingerprint is unaffected —
+// the contract ExploreAll's branching relies on.
+func TestCloneIndependence(t *testing.T) {
+	p, err := randalg.New(4, 3, 8, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMachineAt(0, 1)
+	var out core.Outbox
+	m.Init(&out)
+	sent := out.Drain()
+	if len(sent) != 1 {
+		t.Fatalf("init sent %d messages, want 1", len(sent))
+	}
+	clone := m.(core.Cloner).Clone()
+	before := clone.Fingerprint()
+	// Deliver a round-2 token to the original: a higher round always beats
+	// a round-1 active, so the original must go passive; the clone must
+	// not move.
+	if _, err := m.Receive(core.RandToken(1, 2, 1, true), &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Drain()
+	if clone.Fingerprint() != before {
+		t.Error("clone fingerprint changed when original advanced")
+	}
+	if m.Fingerprint() == before {
+		t.Error("original fingerprint unchanged after a delivery")
+	}
+}
+
+// TestSnapshotRoundTrip serializes a mid-election machine and restores it
+// into a fresh one: fingerprints must match, and the restored machine must
+// behave identically from there (the crash-recovery path in netring).
+func TestSnapshotRoundTrip(t *testing.T) {
+	p, err := randalg.New(4, 3, 8, 0, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMachineAt(2, 5)
+	var out core.Outbox
+	m.Init(&out)
+	out.Drain()
+	if _, err := m.Receive(core.RandToken(2, 1, 1, true), &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Drain()
+
+	blob, err := m.(core.Snapshotter).SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := p.NewMachineAt(2, 5)
+	if err := fresh.(core.Snapshotter).RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Fingerprint() != m.Fingerprint() {
+		t.Errorf("restored fingerprint %q != original %q", fresh.Fingerprint(), m.Fingerprint())
+	}
+
+	// Corrupt inputs must error, not panic.
+	if err := fresh.(core.Snapshotter).RestoreState(nil); err == nil {
+		t.Error("RestoreState(nil) succeeded")
+	}
+	if err := fresh.(core.Snapshotter).RestoreState([]byte{'X', 1}); err == nil {
+		t.Error("RestoreState with bad magic succeeded")
+	}
+	if err := fresh.(core.Snapshotter).RestoreState(blob[:len(blob)-1]); err == nil {
+		t.Error("RestoreState with truncated blob succeeded")
+	}
+}
+
+// TestCrashRecoveryAgreement kills the netring engine's determinism the
+// hard way: a run with an injected link drop must still produce the same
+// leader, message count, and bit total as the fault-free simulator run —
+// retransmissions are transport frames, not protocol messages or bits.
+func TestCrashRecoveryAgreement(t *testing.T) {
+	r := mustRing(t, "2 2 2 2")
+	want, err := sim.RunSync(r, newIR(t, r, 77), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := netring.RunLocal(r, newIR(t, r, 77), netring.Options{
+		Faults: netring.Faults{1: {DropAfter: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LeaderIndex != want.LeaderIndex || got.Messages != want.Messages || got.TotalBits != want.TotalBits {
+		t.Errorf("faulted run (leader=%d msgs=%d bits=%d) != sim (leader=%d msgs=%d bits=%d)",
+			got.LeaderIndex, got.Messages, got.TotalBits, want.LeaderIndex, want.Messages, want.TotalBits)
+	}
+	if got.Reconnects == 0 {
+		t.Error("fault injection produced no reconnects — the test exercised nothing")
+	}
+}
+
+// TestEnsembleElects runs a seeded ensemble on a symmetric ring and checks
+// every run terminates with a valid leader — the probability-1 claim,
+// sampled. Draw counts land in a loose sanity band around the 1.5n mean
+// (the tight bound is asserted by experiment E14).
+func TestEnsembleElects(t *testing.T) {
+	r := mustRing(t, "3 3 3 3 3 3 3 3")
+	n := r.N()
+	totalDraws := 0
+	const runs = 200
+	for seed := uint64(0); seed < runs; seed++ {
+		res, err := sim.RunSync(r, newIR(t, r, seed), sim.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.LeaderIndex < 0 || res.LeaderIndex >= n {
+			t.Fatalf("seed %d: leader index %d out of range", seed, res.LeaderIndex)
+		}
+		totalDraws += res.RandDraws
+	}
+	mean := float64(totalDraws) / runs
+	if mean < float64(n) || mean > 2.5*float64(n) {
+		t.Errorf("mean draws %.2f outside sanity band [n, 2.5n] = [%d, %.1f]", mean, n, 2.5*float64(n))
+	}
+}

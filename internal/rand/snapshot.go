@@ -1,0 +1,128 @@
+package rand
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ring"
+)
+
+// Snapshot blob layout (core.Snapshotter, netring crash recovery): magic
+// 'R', a format version, then varint fields. The PRNG state word is part
+// of the snapshot — a restored machine continues the exact draw sequence,
+// which is what keeps chaos-run message counts equal to the simulator's
+// across SIGKILLs.
+const snapshotVersion = 1
+
+// SnapshotState implements core.Snapshotter.
+func (m *machine) SnapshotState() ([]byte, error) {
+	b := make([]byte, 0, 32)
+	b = append(b, 'R', snapshotVersion)
+	b = binary.AppendVarint(b, int64(m.id))
+	b = append(b, packBits(m.active, m.isLeader, m.done, m.ledSet, m.halted))
+	b = binary.AppendUvarint(b, uint64(m.round))
+	b = binary.AppendUvarint(b, uint64(m.myid))
+	b = binary.AppendUvarint(b, uint64(m.draws))
+	b = binary.AppendUvarint(b, m.rng.s)
+	b = binary.AppendVarint(b, int64(m.leader))
+	return b, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (m *machine) RestoreState(data []byte) error {
+	r := &snapReader{b: data}
+	if got := r.byte(); got != 'R' && r.err == nil {
+		r.fail("rand: snapshot is not an IR state (magic %q, want 'R')", got)
+	}
+	if v := r.byte(); v != snapshotVersion && r.err == nil {
+		r.fail("rand: snapshot version %d, want %d", v, snapshotVersion)
+	}
+	if got := ring.Label(r.varint()); got != m.id && r.err == nil {
+		r.fail("rand: snapshot belongs to label %s, machine has label %s", got, m.id)
+	}
+	flags := r.byte()
+	round := r.uvarint()
+	myid := r.uvarint()
+	draws := r.uvarint()
+	rng := r.uvarint()
+	leader := ring.Label(r.varint())
+	if r.err == nil && myid > uint64(m.p.k) {
+		r.fail("rand: snapshot id %d outside alphabet {1..%d}", myid, m.p.k)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("rand: snapshot has %d trailing bytes", len(r.b))
+	}
+	m.active, m.isLeader, m.done, m.ledSet, m.halted =
+		bit(flags, 0), bit(flags, 1), bit(flags, 2), bit(flags, 3), bit(flags, 4)
+	m.round, m.myid, m.draws = uint32(round), uint32(myid), int(draws)
+	m.rng.s = rng
+	m.leader = leader
+	return nil
+}
+
+// snapReader decodes with sticky-error semantics (the internal/core
+// snapshot idiom; that reader is unexported).
+type snapReader struct {
+	b   []byte
+	err error
+}
+
+func (r *snapReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *snapReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.fail("rand: snapshot truncated")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *snapReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail("rand: snapshot truncated (varint)")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *snapReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("rand: snapshot truncated (uvarint)")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func packBits(bits ...bool) byte {
+	var b byte
+	for i, v := range bits {
+		if v {
+			b |= 1 << i
+		}
+	}
+	return b
+}
+
+func bit(b byte, i int) bool { return b&(1<<i) != 0 }

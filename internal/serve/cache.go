@@ -73,6 +73,7 @@ type canonOutcome struct {
 	Leader        int // index in the canonical rotation
 	LeaderLabel   ring.Label
 	Messages      int
+	TotalBits     int
 	TimeUnits     float64
 	PeakSpaceBits int
 	Engine        string // engine that computed the entry

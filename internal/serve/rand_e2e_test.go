@@ -1,0 +1,232 @@
+// End-to-end coverage for the randomized engine: symmetric rings — which
+// every deterministic algorithm must 400 — served through ringd over both
+// HTTP and the RGV1 wire, with rotation-canonical cache hits, plus a full
+// load-generator mix that includes a symmetric class. Black-box (package
+// serve_test) so the serve -> load import direction stays acyclic.
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	repro "repro"
+	"repro/internal/load"
+	"repro/internal/ring"
+	"repro/internal/serve"
+)
+
+// electJSON posts one election request and decodes the response,
+// returning the status code alongside the (possibly zero) body.
+func electJSON(t *testing.T, url, spec, alg string, k int) (int, serve.ElectResponse) {
+	t.Helper()
+	body := fmt.Sprintf(`{"ring":%q,"alg":%q,"k":%d}`, spec, alg, k)
+	resp, err := http.Post(url+"/v1/elect", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/elect: %v", err)
+	}
+	defer resp.Body.Close()
+	var er serve.ElectResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("decoding elect response: %v", err)
+		}
+	}
+	return resp.StatusCode, er
+}
+
+// TestSymmetricRingServedEndToEnd is the acceptance scenario from the
+// issue: a symmetric ring is a 400 under every deterministic algorithm,
+// but under the randomized engine it is served, cached under its
+// rotation-canonical key (a rotated resubmission is a cache hit), and
+// the RGV1 wire path returns the identical outcome.
+func TestSymmetricRingServedEndToEnd(t *testing.T) {
+	var divergences []string
+	var mu sync.Mutex
+	s, url, shutdown := startServer(t, serve.Config{
+		Workers:    2,
+		Crosscheck: 1.0,
+		OnDivergence: func(d string) {
+			mu.Lock()
+			divergences = append(divergences, d)
+			mu.Unlock()
+		},
+	})
+	defer shutdown()
+
+	const spec = "1 2 1 2 1 2"
+	const n = 6
+
+	// Deterministic algorithms must refuse the symmetric ring.
+	for _, alg := range []string{"A", "B", "A*", "ChangRoberts", "Peterson", "KnownN"} {
+		if status, _ := electJSON(t, url, spec, alg, 3); status != http.StatusBadRequest {
+			t.Errorf("alg %s on symmetric ring: status %d, want 400", alg, status)
+		}
+	}
+
+	// The randomized engine serves it.
+	status, first := electJSON(t, url, spec, "IR", 3)
+	if status != http.StatusOK {
+		t.Fatalf("IR on symmetric ring: status %d, want 200", status)
+	}
+	if first.Leader < 0 || first.Leader >= n {
+		t.Fatalf("leader index %d outside [0, %d)", first.Leader, n)
+	}
+	labels := strings.Fields(spec)
+	if first.LeaderLabel != labels[first.Leader] {
+		t.Errorf("leader_label %q, want %q (label at index %d)", first.LeaderLabel, labels[first.Leader], first.Leader)
+	}
+	if first.Messages <= 0 || first.TotalBits <= 0 {
+		t.Errorf("accounting missing: messages=%d total_bits=%d", first.Messages, first.TotalBits)
+	}
+	if first.Alg != "ItaiRodeh" {
+		t.Errorf("alg echoed as %q, want ItaiRodeh", first.Alg)
+	}
+
+	// Exact repeat: a cache hit with the identical outcome — the seeded
+	// engine is deterministic per ring, so "randomized" never means "a
+	// different answer on the next request".
+	status, again := electJSON(t, url, spec, "randomized", 3)
+	if status != http.StatusOK || !again.Cached {
+		t.Fatalf("repeat request: status=%d cached=%v, want 200 cached", status, again.Cached)
+	}
+	if again.Leader != first.Leader || again.Messages != first.Messages || again.TotalBits != first.TotalBits {
+		t.Errorf("repeat diverged: %+v vs %+v", again, first)
+	}
+
+	// Every rotation of the ring hits the same canonical cache entry and
+	// names the same canonical process as leader.
+	canonLeader := (first.Leader - first.CanonicalRotation + n) % n
+	for d := 1; d < n; d++ {
+		rotSpec := strings.Join(append(append([]string{}, labels[d:]...), labels[:d]...), " ")
+		status, rot := electJSON(t, url, rotSpec, "ir", 3)
+		if status != http.StatusOK {
+			t.Fatalf("rotation %d: status %d, want 200", d, status)
+		}
+		if !rot.Cached {
+			t.Errorf("rotation %d missed the cache", d)
+		}
+		if rot.Canonical != first.Canonical {
+			t.Errorf("rotation %d canonicalized to %q, want %q", d, rot.Canonical, first.Canonical)
+		}
+		if got := (rot.Leader - rot.CanonicalRotation + n) % n; got != canonLeader {
+			t.Errorf("rotation %d elected canonical process %d, want %d", d, got, canonLeader)
+		}
+		if rot.Messages != first.Messages || rot.TotalBits != first.TotalBits {
+			t.Errorf("rotation %d accounting diverged: messages=%d bits=%d, want %d/%d",
+				d, rot.Messages, rot.TotalBits, first.Messages, first.TotalBits)
+		}
+	}
+
+	// The RGV1 wire path serves the same symmetric ring with the same
+	// outcome (and, with the cache warmed above, as a hit).
+	ws := serve.NewWireServer(s)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- ws.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := ws.Shutdown(ctx); err != nil {
+			t.Errorf("wire shutdown: %v", err)
+		}
+		if err := <-served; !errors.Is(err, serve.ErrWireServerClosed) {
+			t.Errorf("wire Serve returned %v", err)
+		}
+	}()
+	c, err := serve.DialWire(ln.Addr().String(), 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rl := make([]ring.Label, 0, n)
+	for _, f := range labels {
+		var l int64
+		fmt.Sscan(f, &l)
+		rl = append(rl, ring.Label(l))
+	}
+	out, err := c.Elect(rl, repro.AlgorithmItaiRodeh, 3)
+	if err != nil {
+		t.Fatalf("wire elect on symmetric ring: %v", err)
+	}
+	if out.Leader != first.Leader || out.Messages != first.Messages {
+		t.Errorf("wire outcome %+v disagrees with HTTP %+v", out, first)
+	}
+	if !out.Cached {
+		t.Error("wire request after HTTP warmup was not a cache hit")
+	}
+
+	// A deterministic algorithm over the wire gets the typed 400, not a
+	// dropped connection.
+	var we *serve.WireError
+	if _, err := c.Elect(rl, repro.AlgorithmB, 3); !errors.As(err, &we) || we.Status != 400 {
+		t.Errorf("wire alg B on symmetric ring: err %v, want *WireError status 400", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if snap := s.Metrics().Snapshot(); snap.Divergences != 0 || len(divergences) != 0 {
+		t.Errorf("crosscheck divergences: %d, %v", snap.Divergences, divergences)
+	}
+}
+
+// TestEndToEndSymmetricLoadMix runs the load generator with a symmetric
+// share in the mix: symmetric-class requests ride the ItaiRodeh engine
+// while the rest stay on B, and the whole run must verify clean — zero
+// client crosscheck divergences and zero server-side ones.
+func TestEndToEndSymmetricLoadMix(t *testing.T) {
+	var divergences []string
+	var mu sync.Mutex
+	s, url, shutdown := startServer(t, serve.Config{
+		Workers:    2,
+		Crosscheck: 0.2,
+		OnDivergence: func(d string) {
+			mu.Lock()
+			divergences = append(divergences, d)
+			mu.Unlock()
+		},
+	})
+	defer shutdown()
+
+	rep, err := load.Run(load.Config{
+		BaseURL:           url,
+		Requests:          400,
+		Workers:           8,
+		Seed:              2,
+		Alg:               "B",
+		K:                 3,
+		Crosscheck:        0.5,
+		SymmetricFraction: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TransportErrors != 0 || rep.ServerErrors != 0 || rep.BadRequests != 0 {
+		t.Errorf("unexpected failures: %+v", rep)
+	}
+	if rep.Crosschecks == 0 || rep.Divergences != 0 {
+		t.Errorf("crosschecks=%d divergences=%d, want >0 and 0", rep.Crosschecks, rep.Divergences)
+	}
+	sym := rep.Classes[load.ClassSymmetric]
+	if sym.Sent < 50 || sym.OK == 0 {
+		t.Errorf("symmetric class: %+v, want ~100 sent and served", sym)
+	}
+	if sym.Cached == 0 {
+		t.Error("symmetric hot set produced no cache hits")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if snap := s.Metrics().Snapshot(); snap.Divergences != 0 || len(divergences) != 0 {
+		t.Errorf("server crosscheck diverged: %d, %v", snap.Divergences, divergences)
+	}
+}

@@ -332,6 +332,7 @@ type ElectResponse struct {
 	Leader        int     `json:"leader"` // index in the request's frame
 	LeaderLabel   string  `json:"leader_label"`
 	Messages      int     `json:"messages"`
+	TotalBits     int     `json:"total_bits"`
 	TimeUnits     float64 `json:"time_units,omitempty"`
 	PeakSpaceBits int     `json:"peak_space_bits,omitempty"`
 	Cached        bool    `json:"cached"`
@@ -459,6 +460,7 @@ func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
 		Leader:            (out.Leader + rot) % rg.N(),
 		LeaderLabel:       out.LeaderLabel.String(),
 		Messages:          out.Messages,
+		TotalBits:         out.TotalBits,
 		TimeUnits:         out.TimeUnits,
 		PeakSpaceBits:     out.PeakSpaceBits,
 		Cached:            !owner,
@@ -484,6 +486,7 @@ func (s *Server) runElection(canon *ring.Ring, alg repro.Algorithm, k int, engin
 		Leader:        out.Leader,
 		LeaderLabel:   out.LeaderLabel,
 		Messages:      out.Messages,
+		TotalBits:     out.TotalBits,
 		TimeUnits:     out.TimeUnits,
 		PeakSpaceBits: out.PeakSpaceBits,
 		Engine:        engine,
@@ -516,14 +519,15 @@ func (s *Server) crosscheck(canon *ring.Ring, alg repro.Algorithm, k int, cached
 	}
 	diverged := fresh.Leader != cached.Leader ||
 		fresh.LeaderLabel != cached.LeaderLabel ||
-		fresh.Messages != cached.Messages
+		fresh.Messages != cached.Messages ||
+		fresh.TotalBits != cached.TotalBits
 	s.metrics.Crosscheck(diverged)
 	if diverged {
 		s.cfg.OnDivergence(fmt.Sprintf(
-			"ring [%s] alg=%s k=%d: cached leader=%d label=%s messages=%d (engine %s), fresh leader=%d label=%s messages=%d",
+			"ring [%s] alg=%s k=%d: cached leader=%d label=%s messages=%d bits=%d (engine %s), fresh leader=%d label=%s messages=%d bits=%d",
 			canonStr, alg, k,
-			cached.Leader, cached.LeaderLabel, cached.Messages, cached.Engine,
-			fresh.Leader, fresh.LeaderLabel, fresh.Messages))
+			cached.Leader, cached.LeaderLabel, cached.Messages, cached.TotalBits, cached.Engine,
+			fresh.Leader, fresh.LeaderLabel, fresh.Messages, fresh.TotalBits))
 	}
 }
 

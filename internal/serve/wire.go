@@ -250,7 +250,7 @@ func decodeWireElect(id uint64, payload []byte, scratch []ring.Label, maxLabels 
 		return req, scratch, fmt.Errorf("serve: ELECT payload %d bytes, want >= 2", len(payload))
 	}
 	alg := repro.Algorithm(payload[0])
-	if alg < 0 || alg > repro.AlgorithmKnownN {
+	if !repro.ValidAlgorithm(alg) {
 		return req, scratch, fmt.Errorf("serve: ELECT with unknown algorithm byte %d", payload[0])
 	}
 	req.alg = alg

@@ -23,6 +23,12 @@ func FuzzWireRequest(f *testing.F) {
 	// Well-formed seeds, one per frame type, plus boundary garbage.
 	f.Add(appendWireElect(nil, 1, repro.AlgorithmB, 3, []ring.Label{1, 3, 1, 3, 2, 2, 1, 2})[4:])
 	f.Add(appendWireElect(nil, 0, repro.AlgorithmA, 2, []ring.Label{1, 2, 2})[4:])
+	// The randomized engine's alg byte on a symmetric ring — a payload
+	// that was unservable before ItaiRodeh joined the registry.
+	f.Add(appendWireElect(nil, 2, repro.AlgorithmItaiRodeh, 3, []ring.Label{1, 2, 1, 2, 1, 2})[4:])
+	// First alg byte past the registry: must decode to a typed error,
+	// never a panic or a silently-accepted request.
+	f.Add(appendWireElect(nil, 3, repro.AlgorithmItaiRodeh+1, 2, []ring.Label{1, 2, 2})[4:])
 	f.Add(appendWireResult(nil, 7, true, 5, &canonOutcome{LeaderLabel: 1, Messages: 276, TimeUnits: 19.5, PeakSpaceBits: 88})[4:])
 	f.Add(appendWireError(nil, 9, wireErrShed, 4, "overloaded")[4:])
 	f.Add([]byte{})

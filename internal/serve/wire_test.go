@@ -332,6 +332,43 @@ func TestWireBadRequestKeepsConnection(t *testing.T) {
 	}
 }
 
+// TestWireUnknownAlgTypedError: an alg byte past the registry — the
+// exact frame an old server would see from a newer client — answers a
+// typed 400 ERROR naming the algorithm, the connection keeps serving,
+// and the very next request may ride the randomized engine on a
+// symmetric ring the deterministic algorithms refuse.
+func TestWireUnknownAlgTypedError(t *testing.T) {
+	s, _, addr := startWire(t, Config{Workers: 1})
+	c, err := DialWire(addr, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sym := []ring.Label{1, 2, 1, 2, 1, 2}
+	var we *WireError
+	for _, alg := range []repro.Algorithm{repro.AlgorithmItaiRodeh + 1, 99} {
+		_, err := c.Elect(sym, alg, 3)
+		if !errors.As(err, &we) || we.Status != 400 {
+			t.Fatalf("alg byte %d returned %v, want *WireError 400", alg, err)
+		}
+	}
+	if got := s.cache.len(); got != 0 {
+		t.Errorf("unknown alg left %d cache entries", got)
+	}
+
+	out, err := c.Elect(sym, repro.AlgorithmItaiRodeh, 3)
+	if err != nil {
+		t.Fatalf("IR elect after unknown-alg rejections: %v", err)
+	}
+	if out.Leader < 0 || out.Leader >= len(sym) {
+		t.Errorf("leader %d outside the ring", out.Leader)
+	}
+	if out.LeaderLabel != sym[out.Leader] {
+		t.Errorf("leader label %v at index %d, want %v", out.LeaderLabel, out.Leader, sym[out.Leader])
+	}
+}
+
 // TestWireGarbageClosesConnection: streams the framer cannot trust —
 // wrong magic, bad frame version, an unknown frame type, an oversized
 // length prefix — must close the connection (no panic, no reply loop).

@@ -63,7 +63,7 @@ func newExplorer(r *ring.Ring, p core.Protocol) *explorer {
 // canClone reports whether every machine implements core.Cloner.
 func (x *explorer) canClone() bool {
 	for i := 0; i < x.n; i++ {
-		if _, ok := x.p.NewMachine(x.r.Label(i)).(core.Cloner); !ok {
+		if _, ok := core.NewMachineFor(x.p, i, x.r.Label(i)).(core.Cloner); !ok {
 			return false
 		}
 	}
@@ -79,7 +79,7 @@ func (x *explorer) fresh() *exploreConfig {
 		checker:  spec.New(x.n),
 	}
 	for i := 0; i < x.n; i++ {
-		c.machines[i] = x.p.NewMachine(x.r.Label(i))
+		c.machines[i] = core.NewMachineFor(x.p, i, x.r.Label(i))
 		c.initLeft[i] = true
 	}
 	return c

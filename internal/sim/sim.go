@@ -71,6 +71,18 @@ type Result struct {
 	Messages int
 	// MessagesByKind breaks Messages down by message kind.
 	MessagesByKind map[core.Kind]int
+	// TotalBits is the total payload cost of all sends in bits
+	// (core.Message.Bits) — the unit of the Lavault–Louchard expected-bit
+	// bounds (EXPERIMENTS.md E14). A pure function of the message
+	// sequence, so all engines agree on it exactly.
+	TotalBits int
+	// BitsByRound breaks TotalBits down by the messages' Round field
+	// (index = round). Deterministic protocols leave Round at 0, so their
+	// whole total lands in BitsByRound[0].
+	BitsByRound []int
+	// RandDraws counts fresh random-id draws (hop-1 RAND_TOKEN sends) —
+	// zero for the deterministic protocols.
+	RandDraws int
 	// PeakSpaceBits is the maximum over processes of the peak SpaceBits
 	// observed after any action.
 	PeakSpaceBits int
@@ -94,11 +106,12 @@ var ErrMaxActions = errors.New("sim: action budget exhausted (non-terminating ex
 
 // engine is the shared execution core of both modes.
 type engine struct {
-	r        *ring.Ring
-	n        int
-	machines []core.Machine
-	checker  *spec.Checker
-	sink     trace.Sink
+	r         *ring.Ring
+	n         int
+	labelBits int
+	machines  []core.Machine
+	checker   *spec.Checker
+	sink      trace.Sink
 
 	res       *Result
 	lastPhase []int
@@ -112,12 +125,13 @@ type engine struct {
 func newEngine(r *ring.Ring, p core.Protocol, opts Options) *engine {
 	n := r.N()
 	e := &engine{
-		r:       r,
-		n:       n,
-		checker: spec.New(n),
-		sink:    opts.Sink,
-		maxAct:  opts.MaxActions,
-		noSpec:  opts.DisableSpec,
+		r:         r,
+		n:         n,
+		labelBits: r.LabelBits(),
+		checker:   spec.New(n),
+		sink:      opts.Sink,
+		maxAct:    opts.MaxActions,
+		noSpec:    opts.DisableSpec,
 	}
 	if e.sink == nil {
 		e.sink = trace.Nop{}
@@ -127,7 +141,7 @@ func newEngine(r *ring.Ring, p core.Protocol, opts Options) *engine {
 	}
 	e.machines = make([]core.Machine, n)
 	for i := 0; i < n; i++ {
-		e.machines[i] = p.NewMachine(r.Label(i))
+		e.machines[i] = core.NewMachineFor(p, i, r.Label(i))
 	}
 	e.lastPhase = make([]int, n)
 	e.res = &Result{
@@ -177,7 +191,20 @@ func (e *engine) recordSends(i int, msgs []core.Message, step int, tm float64) {
 		} else {
 			e.res.MessagesByKind[m.Kind]++
 		}
-		e.sink.Record(trace.Event{Op: trace.OpSend, Step: step, Time: tm, Proc: i, Msg: m})
+		bits := m.Bits(e.labelBits, e.n)
+		e.res.TotalBits += bits
+		if round := int(m.Round); round < len(e.res.BitsByRound) {
+			e.res.BitsByRound[round] += bits
+		} else {
+			for len(e.res.BitsByRound) <= round {
+				e.res.BitsByRound = append(e.res.BitsByRound, 0)
+			}
+			e.res.BitsByRound[round] = bits
+		}
+		if m.Kind == core.KindRandToken && m.Hop == 1 {
+			e.res.RandDraws++
+		}
+		e.sink.Record(trace.Event{Op: trace.OpSend, Step: step, Time: tm, Proc: i, Msg: m, Bits: bits})
 	}
 }
 

@@ -49,6 +49,6 @@ func Diff(golden, fresh []Event) string {
 
 // describe renders an event for diff messages.
 func describe(e Event) string {
-	return fmt.Sprintf("{%s step=%d t=%.3f p%d action=%q msg=%s state=%q phase=%d guest=%s active=%t}",
-		e.Op, e.Step, e.Time, e.Proc, e.Action, e.Msg, e.State, e.Phase, e.Guest, e.Active)
+	return fmt.Sprintf("{%s step=%d t=%.3f p%d action=%q msg=%s bits=%d state=%q phase=%d guest=%s active=%t}",
+		e.Op, e.Step, e.Time, e.Proc, e.Action, e.Msg, e.Bits, e.State, e.Phase, e.Guest, e.Active)
 }

@@ -66,6 +66,7 @@ type Event struct {
 	Proc   int
 	Action string       // fired action id (OpInit, OpDeliver)
 	Msg    core.Message // OpDeliver, OpSend
+	Bits   int          // OpSend: the message's payload cost (core.Message.Bits)
 	State  string       // machine StateName after the action
 	Phase  int          // OpPhase: the phase being entered
 	Guest  ring.Label   // OpPhase: the guest adopted for that phase

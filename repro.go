@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"strings"
 	"time"
@@ -10,8 +12,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/gorun"
 	"repro/internal/netring"
+	randalg "repro/internal/rand"
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/words"
 )
 
 // Label is a process label; homonym processes may share one. Algorithms
@@ -73,96 +77,219 @@ const (
 	// knowledge assumption of the related work the paper contrasts with.
 	// Build it with ProtocolFor (it needs the ring's size).
 	AlgorithmKnownN
+	// AlgorithmItaiRodeh is the randomized Itai–Rodeh election
+	// (internal/rand): processes know n, draw random identities, and elect
+	// with probability 1 — on ANY ring, symmetric ones included, where
+	// every deterministic algorithm is provably stuck. The run is
+	// deterministic per seed (ProtocolFor derives the seed from the ring
+	// via RingSeed, so every engine replays identically). Build it with
+	// ProtocolFor (it needs the ring's size and seed).
+	AlgorithmItaiRodeh
 )
 
-// String names the algorithm.
-func (a Algorithm) String() string {
-	switch a {
-	case AlgorithmA:
-		return "Ak"
-	case AlgorithmB:
-		return "Bk"
-	case AlgorithmAStar:
-		return "A*"
-	case AlgorithmChangRoberts:
-		return "ChangRoberts"
-	case AlgorithmPeterson:
-		return "Peterson"
-	case AlgorithmKnownN:
-		return "KnownN"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", int(a))
+// algorithmSpec is one registry row: the canonical display name, the
+// aliases ParseAlgorithm accepts (lower-case), the ring-class precondition,
+// and the two constructors. Algorithms are wired here once; ParseAlgorithm,
+// String, NewProtocol, and ProtocolFor are all table lookups, so adding an
+// algorithm never touches the call sites (cmd/ringelect, cmd/ringfuzz,
+// internal/serve, internal/cluster, internal/load reach it immediately).
+type algorithmSpec struct {
+	name    string
+	aliases []string
+	// check validates the ring against the algorithm's class; nil means no
+	// precondition (the randomized engine runs on any ring).
+	check func(r *Ring, k int) error
+	// build constructs the protocol sized for r (k is the multiplicity
+	// bound; algorithms that do not use it ignore it).
+	build func(r *Ring, k int) (Protocol, error)
+	// buildFree constructs the protocol from k and labelBits alone, for
+	// NewProtocol; nil when construction needs the ring itself.
+	buildFree func(k, labelBits int) (Protocol, error)
+}
+
+// checkKkAsym is the paper algorithms' class: A ∩ Kk.
+func checkKkAsym(r *Ring, k int) error {
+	if !r.InKk(k) {
+		return fmt.Errorf("repro: ring %s has multiplicity %d > k = %d (outside Kk)", r, r.MaxMultiplicity(), k)
+	}
+	if !r.IsAsymmetric() {
+		return fmt.Errorf("repro: ring %s is symmetric; leader election is unsolvable on it", r)
+	}
+	return nil
+}
+
+// checkUnique is the unique-label baselines' class: K1.
+func checkUnique(name string) func(r *Ring, k int) error {
+	return func(r *Ring, k int) error {
+		if !r.InKk(1) {
+			return fmt.Errorf("repro: %s requires unique labels, but %s has multiplicity %d", name, r, r.MaxMultiplicity())
+		}
+		return nil
 	}
 }
 
-// ParseAlgorithm resolves a user-supplied algorithm name ("A"/"Ak", "B"/
-// "Bk", "Astar"/"A*", "CR"/"ChangRoberts", "Peterson", "KnownN"; case-
-// insensitive) to an Algorithm. Shared by cmd/ringelect, the election-
-// serving daemon (internal/serve), and the load generator (internal/load).
-func ParseAlgorithm(s string) (Algorithm, error) {
-	switch strings.ToLower(s) {
-	case "a", "ak":
-		return AlgorithmA, nil
-	case "b", "bk":
-		return AlgorithmB, nil
-	case "astar", "a*":
-		return AlgorithmAStar, nil
-	case "cr", "changroberts":
-		return AlgorithmChangRoberts, nil
-	case "peterson":
-		return AlgorithmPeterson, nil
-	case "knownn":
-		return AlgorithmKnownN, nil
-	default:
-		return 0, fmt.Errorf("repro: unknown algorithm %q (want A, B, Astar, CR, Peterson, KnownN)", s)
+// checkAsym is KnownN's class: any asymmetric ring.
+func checkAsym(r *Ring, k int) error {
+	if !r.IsAsymmetric() {
+		return fmt.Errorf("repro: ring %s is symmetric; leader election is unsolvable on it", r)
 	}
+	return nil
+}
+
+// registry is indexed by Algorithm; the order fixes the enumeration in
+// AlgorithmNames and in ParseAlgorithm's error message.
+var registry = [...]algorithmSpec{
+	AlgorithmA: {
+		name: "Ak", aliases: []string{"a", "ak"},
+		check:     checkKkAsym,
+		build:     func(r *Ring, k int) (Protocol, error) { return core.NewAProtocol(k, r.LabelBits()) },
+		buildFree: func(k, labelBits int) (Protocol, error) { return core.NewAProtocol(k, labelBits) },
+	},
+	AlgorithmB: {
+		name: "Bk", aliases: []string{"b", "bk"},
+		check:     checkKkAsym,
+		build:     func(r *Ring, k int) (Protocol, error) { return core.NewBProtocol(k, r.LabelBits()) },
+		buildFree: func(k, labelBits int) (Protocol, error) { return core.NewBProtocol(k, labelBits) },
+	},
+	AlgorithmAStar: {
+		name: "A*", aliases: []string{"astar", "a*"},
+		check:     checkKkAsym,
+		build:     func(r *Ring, k int) (Protocol, error) { return core.NewStarProtocol(k, r.LabelBits()) },
+		buildFree: func(k, labelBits int) (Protocol, error) { return core.NewStarProtocol(k, labelBits) },
+	},
+	AlgorithmChangRoberts: {
+		name: "ChangRoberts", aliases: []string{"cr", "changroberts"},
+		check:     checkUnique("ChangRoberts"),
+		build:     func(r *Ring, k int) (Protocol, error) { return baseline.NewCRProtocol(r.LabelBits()) },
+		buildFree: func(k, labelBits int) (Protocol, error) { return baseline.NewCRProtocol(labelBits) },
+	},
+	AlgorithmPeterson: {
+		name: "Peterson", aliases: []string{"peterson"},
+		check:     checkUnique("Peterson"),
+		build:     func(r *Ring, k int) (Protocol, error) { return baseline.NewPetersonProtocol(r.LabelBits()) },
+		buildFree: func(k, labelBits int) (Protocol, error) { return baseline.NewPetersonProtocol(labelBits) },
+	},
+	AlgorithmKnownN: {
+		name: "KnownN", aliases: []string{"knownn"},
+		check: checkAsym,
+		build: func(r *Ring, k int) (Protocol, error) { return baseline.NewKnownNProtocol(r.N(), r.LabelBits()) },
+	},
+	AlgorithmItaiRodeh: {
+		name: "ItaiRodeh", aliases: []string{"ir", "itairodeh", "rand", "randomized"},
+		build: func(r *Ring, k int) (Protocol, error) {
+			rot := words.LeastRotationIndex(r.LabelsView())
+			return randalg.New(r.N(), randalg.Alphabet, r.LabelBits(), rot, RingSeed(r))
+		},
+	},
+}
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	if ValidAlgorithm(a) {
+		return registry[a].name
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ValidAlgorithm reports whether a is a registered algorithm — the single
+// validity check used by the wire decoders (internal/serve, cmd/ringgw) so
+// new algorithms become servable by registration alone.
+func ValidAlgorithm(a Algorithm) bool {
+	return a >= 0 && int(a) < len(registry)
+}
+
+// Algorithms returns every registered algorithm in registry order.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, len(registry))
+	for i := range registry {
+		out[i] = Algorithm(i)
+	}
+	return out
+}
+
+// AlgorithmNames returns the canonical display names in registry order.
+func AlgorithmNames() []string {
+	out := make([]string, len(registry))
+	for i := range registry {
+		out[i] = registry[i].name
+	}
+	return out
+}
+
+// ParseAlgorithm resolves a user-supplied algorithm name to an Algorithm.
+// Matching is case-insensitive over each registry entry's canonical name
+// and aliases (e.g. "A"/"Ak", "Astar"/"A*", "CR"/"ChangRoberts", "IR"/
+// "rand"/"ItaiRodeh"). Shared by cmd/ringelect, the election-serving
+// daemon (internal/serve), and the load generator (internal/load). The
+// error enumerates every registered name, so a typo's message is always
+// current.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	want := strings.ToLower(s)
+	for i := range registry {
+		if strings.ToLower(registry[i].name) == want {
+			return Algorithm(i), nil
+		}
+		for _, alias := range registry[i].aliases {
+			if alias == want {
+				return Algorithm(i), nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("repro: unknown algorithm %q (want %s)", s, strings.Join(AlgorithmNames(), ", "))
+}
+
+// RingSeed derives the randomized engine's PRNG seed from the ring itself:
+// FNV-1a over n and the ring's least-rotation label sequence. Keying on
+// the CANONICAL rotation (not the given one) makes the seed — and with it
+// the whole execution — rotation-invariant, which is what lets the serving
+// layer cache one canonical execution per ring class and replay it for
+// every rotation (internal/serve).
+func RingSeed(r *Ring) uint64 {
+	labels := r.LabelsView()
+	n := len(labels)
+	rot := words.LeastRotationIndex(labels)
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(n))
+	h.Write(b[:])
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(b[:], uint64(int64(labels[(rot+i)%n])))
+		h.Write(b[:])
+	}
+	return h.Sum64()
 }
 
 // NewProtocol constructs the chosen algorithm for processes whose labels
 // fit in labelBits bits. k is the multiplicity bound (ignored by the
-// baselines).
+// baselines). Algorithms whose construction needs the ring itself (KnownN,
+// ItaiRodeh) must be built with ProtocolFor.
 func NewProtocol(alg Algorithm, k, labelBits int) (Protocol, error) {
-	switch alg {
-	case AlgorithmA:
-		return core.NewAProtocol(k, labelBits)
-	case AlgorithmB:
-		return core.NewBProtocol(k, labelBits)
-	case AlgorithmAStar:
-		return core.NewStarProtocol(k, labelBits)
-	case AlgorithmChangRoberts:
-		return baseline.NewCRProtocol(labelBits)
-	case AlgorithmPeterson:
-		return baseline.NewPetersonProtocol(labelBits)
-	case AlgorithmKnownN:
-		return nil, fmt.Errorf("repro: KnownN needs the ring size; build it with ProtocolFor")
-	default:
+	if !ValidAlgorithm(alg) {
 		return nil, fmt.Errorf("repro: unknown algorithm %d", int(alg))
 	}
+	spec := &registry[alg]
+	if spec.buildFree == nil {
+		return nil, fmt.Errorf("repro: %s needs the ring; build it with ProtocolFor", spec.name)
+	}
+	return spec.buildFree(k, labelBits)
 }
 
 // ProtocolFor builds the chosen algorithm sized for the given ring,
 // validating the ring against the algorithm's class: A ∩ Kk for the
-// paper's algorithms, K1 for the baselines.
+// paper's algorithms, K1 for the unique-label baselines, A for KnownN —
+// and NO precondition for ItaiRodeh, which elects on any ring (symmetric
+// ones included) with probability 1.
 func ProtocolFor(r *Ring, alg Algorithm, k int) (Protocol, error) {
-	switch alg {
-	case AlgorithmChangRoberts, AlgorithmPeterson:
-		if !r.InKk(1) {
-			return nil, fmt.Errorf("repro: %s requires unique labels, but %s has multiplicity %d", alg, r, r.MaxMultiplicity())
-		}
-	case AlgorithmKnownN:
-		if !r.IsAsymmetric() {
-			return nil, fmt.Errorf("repro: ring %s is symmetric; leader election is unsolvable on it", r)
-		}
-		return baseline.NewKnownNProtocol(r.N(), r.LabelBits())
-	default:
-		if !r.InKk(k) {
-			return nil, fmt.Errorf("repro: ring %s has multiplicity %d > k = %d (outside Kk)", r, r.MaxMultiplicity(), k)
-		}
-		if !r.IsAsymmetric() {
-			return nil, fmt.Errorf("repro: ring %s is symmetric; leader election is unsolvable on it", r)
+	if !ValidAlgorithm(alg) {
+		return nil, fmt.Errorf("repro: unknown algorithm %d", int(alg))
+	}
+	spec := &registry[alg]
+	if spec.check != nil {
+		if err := spec.check(r, k); err != nil {
+			return nil, err
 		}
 	}
-	return NewProtocol(alg, k, r.LabelBits())
+	return spec.build(r, k)
 }
 
 // Outcome summarizes a completed election.
@@ -175,6 +302,9 @@ type Outcome struct {
 	TimeUnits float64
 	// Messages is the total number of messages exchanged.
 	Messages int
+	// TotalBits is the total payload cost of those messages in bits
+	// (core.Message.Bits summed over every send).
+	TotalBits int
 	// PeakSpaceBits is the largest per-process state, in bits.
 	PeakSpaceBits int
 }
@@ -196,6 +326,7 @@ func Elect(r *Ring, alg Algorithm, k int) (*Outcome, error) {
 		LeaderLabel:   r.Label(res.LeaderIndex),
 		TimeUnits:     res.TimeUnits,
 		Messages:      res.Messages,
+		TotalBits:     res.TotalBits,
 		PeakSpaceBits: res.PeakSpaceBits,
 	}, nil
 }
@@ -221,6 +352,7 @@ func ElectParallel(r *Ring, alg Algorithm, k int, timeout time.Duration) (*Outco
 		Leader:        res.LeaderIndex,
 		LeaderLabel:   r.Label(res.LeaderIndex),
 		Messages:      res.Messages,
+		TotalBits:     res.TotalBits,
 		PeakSpaceBits: peak,
 	}, nil
 }
@@ -252,6 +384,7 @@ func RunTCP(r *Ring, alg Algorithm, k int, timeout time.Duration) (*Outcome, err
 		Leader:        res.LeaderIndex,
 		LeaderLabel:   r.Label(res.LeaderIndex),
 		Messages:      res.Messages,
+		TotalBits:     res.TotalBits,
 		PeakSpaceBits: peak,
 	}, nil
 }
