@@ -4,8 +4,8 @@
 GO ?= go
 
 .PHONY: all build check vet fmt-check test test-net test-serve test-wire \
-        test-cluster test-chaos test-rand test-race race-concurrency test-short bench \
-        bench-serve bench-wire bench-cluster bench-json bench-compare \
+        test-cluster test-chaos test-rand test-kernel test-race race-concurrency test-short bench \
+        bench-serve bench-wire bench-cluster bench-miss bench-json bench-compare \
         profile-serve experiments experiments-md fuzz fuzz-parse fuzz-wire \
         figures clean
 
@@ -17,9 +17,9 @@ build:
 # Static checks plus the TCP transport engine's race/fault soak, the
 # election-serving daemon's race/shed/drain soak, the binary wire
 # protocol's pipelining/drain soak, the cluster gateway's routing/
-# failover/replica-kill soak, and the crash-recovery chaos soak, wired
-# into the default flow.
-check: vet fmt-check test-net test-serve test-wire test-cluster test-chaos test-rand
+# failover/replica-kill soak, the crash-recovery chaos soak, and the
+# miss-path kernel's equivalence soak, wired into the default flow.
+check: vet fmt-check test-net test-serve test-wire test-cluster test-chaos test-rand test-kernel
 
 vet:
 	$(GO) vet ./...
@@ -84,6 +84,17 @@ test-rand:
 	$(GO) test -race -count=3 -run 'ThreeWay|Ensemble|CrashRecovery' ./internal/rand/
 	$(GO) test -race -count=1 -run 'Rand|Symmetric' ./internal/serve/ ./internal/cluster/
 
+# The allocation-free miss-path kernel: the sim-layer scratch equivalence
+# suite (Into runs vs legacy runs, trace streams included), the root-level
+# ElectInto equivalence soak over the golden ring corpus for every registry
+# algorithm, and the serving layer's concurrent-miss soak under the race
+# detector.
+test-kernel:
+	$(GO) test -count=1 -run 'Scratch' ./internal/sim/
+	$(GO) test -count=1 -run 'ElectInto|RingSeed' .
+	$(GO) test -count=1 -run 'MissPath' ./internal/serve/
+	$(GO) test -race -count=1 -run 'MissPath|ServeMissConcurrentSoak' ./internal/serve/
+
 test-race:
 	$(GO) test -race ./...
 
@@ -99,10 +110,19 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The serving hot-path micro-benchmarks (cache hit, legacy global-mutex
-# hit, miss, singleflight). -cpu 8 exercises the sharded cache under the
-# contention it exists for, even on smaller machines.
+# hit, cache-churn miss, singleflight). -cpu 8 exercises the sharded
+# cache under the contention it exists for, even on smaller machines.
+# The pattern excludes the ServeMissKernel/ServeMissLegacy pair, which
+# has its own section (bench-miss) and runs single-threaded.
 bench-serve:
-	$(GO) test -run '^$$' -bench 'Serve' -benchmem -cpu 8 -count 1 ./internal/serve/
+	$(GO) test -run '^$$' -bench 'Serve(Hit|Miss$$|Singleflight)' -benchmem -cpu 8 -count 1 ./internal/serve/
+
+# The miss-path before/after pair: one cold election through the
+# per-worker scratch-arena kernel against the same election through the
+# legacy allocating path. The committed baseline requires the kernel to
+# hold >=3x fewer allocs/op and >=1.5x ns/op.
+bench-miss:
+	$(GO) test -run '^$$' -bench 'ServeMiss(Kernel|Legacy)' -benchmem -count 1 ./internal/serve/
 
 # The wire-vs-HTTP A/B pair: one cached hit through the RGV1 binary
 # protocol against the same hit through HTTP/JSON. The committed
@@ -118,25 +138,28 @@ bench-wire:
 bench-cluster:
 	$(GO) test -run '^$$' -bench 'ClusterElect' -benchmem -count 1 ./internal/cluster/
 
-# Machine-readable experiment benchmark (same schema as BENCH_PR8.json),
-# with the serving, wire, and cluster benchmarks merged into its
-# serve_bench, wire_bench, and cluster_bench sections.
+# Machine-readable experiment benchmark (same schema as BENCH_PR9.json),
+# with the serving, wire, cluster, and miss-path benchmarks merged into
+# its serve_bench, wire_bench, cluster_bench, and miss_bench sections.
 bench-json:
 	$(GO) run ./cmd/ringbench -json BENCH_NEW.json > /dev/null
-	$(GO) test -run '^$$' -bench 'Serve' -benchmem -cpu 8 -count 1 ./internal/serve/ \
+	$(GO) test -run '^$$' -bench 'Serve(Hit|Miss$$|Singleflight)' -benchmem -cpu 8 -count 1 ./internal/serve/ \
 		| $(GO) run ./cmd/benchdiff -merge-serve BENCH_NEW.json
 	$(GO) test -run '^$$' -bench 'WireHit|HTTPHit' -benchmem -cpu 8 -count 1 ./internal/serve/ \
 		| $(GO) run ./cmd/benchdiff -merge-wire BENCH_NEW.json
 	$(GO) test -run '^$$' -bench 'ClusterElect' -benchmem -count 1 ./internal/cluster/ \
 		| $(GO) run ./cmd/benchdiff -merge-cluster BENCH_NEW.json
+	$(GO) test -run '^$$' -bench 'ServeMiss(Kernel|Legacy)' -benchmem -count 1 ./internal/serve/ \
+		| $(GO) run ./cmd/benchdiff -merge-miss BENCH_NEW.json
 
 # Diff a fresh benchmark report against the committed baseline:
-# wall-clock deltas are informational; content drift, serve/wire/cluster
-# ns/op regressions past tolerance, allocs/op increases, a wire hit
-# slipping below 5x the HTTP hit, and (on multi-core hosts) a replica
-# ladder that stopped scaling fail the target.
+# wall-clock deltas are informational; content drift, serve/wire/cluster/
+# miss ns/op regressions past tolerance, allocs/op increases, a wire hit
+# slipping below 5x the HTTP hit, a miss kernel slipping below 3x fewer
+# allocs or 1.5x the legacy path's speed, and (on multi-core hosts) a
+# replica ladder that stopped scaling fail the target.
 bench-compare: bench-json
-	$(GO) run ./cmd/benchdiff BENCH_PR8.json BENCH_NEW.json
+	$(GO) run ./cmd/benchdiff BENCH_PR9.json BENCH_NEW.json
 
 # Capture CPU and heap profiles of ringd under ringload traffic.
 # Artifacts land in ./profiles/ for `go tool pprof`.

@@ -26,6 +26,15 @@
 // wire protocol's whole reason to exist is that a cached hit costs a
 // small fraction of its HTTP equivalent, and this pins it.
 //
+// A miss_bench section carries the miss-path before/after pair
+// (BenchmarkServeMissKernel / BenchmarkServeMissLegacy from `go test
+// -bench 'ServeMiss(Kernel|Legacy)'`), compared under the same tolerance
+// and allocation rules, plus two kernel invariants checked on the NEW
+// report alone: the arena kernel must beat the legacy allocating path by
+// at least -miss-alloc-factor in allocs/op (default 3) and by at least
+// -miss-speedup in ns/op (default 1.5) — the scratch arenas' whole
+// reason to exist.
+//
 // A cluster_bench section carries the replica-scaling ladder
 // (BenchmarkClusterElect/replicas=N from `go test -bench ClusterElect`
 // in internal/cluster), compared under the same tolerance and
@@ -42,6 +51,7 @@
 //	go test -run '^$' -bench Serve -benchmem ./internal/serve/ | benchdiff -merge-serve REPORT.json
 //	go test -run '^$' -bench 'WireHit|HTTPHit' -benchmem ./internal/serve/ | benchdiff -merge-wire REPORT.json
 //	go test -run '^$' -bench ClusterElect -benchmem ./internal/cluster/ | benchdiff -merge-cluster REPORT.json
+//	go test -run '^$' -bench 'ServeMiss(Kernel|Legacy)' -benchmem ./internal/serve/ | benchdiff -merge-miss REPORT.json
 //
 // The merge forms parse `go test -bench` output from stdin and write
 // it into REPORT.json's serve_bench / wire_bench / cluster_bench
@@ -112,6 +122,7 @@ type report struct {
 	ServeBench   *serveBench  `json:"serve_bench,omitempty"`
 	WireBench    *serveBench  `json:"wire_bench,omitempty"`
 	ClusterBench *serveBench  `json:"cluster_bench,omitempty"`
+	MissBench    *serveBench  `json:"miss_bench,omitempty"`
 }
 
 func main() {
@@ -142,6 +153,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	mergeServe := fs.String("merge-serve", "", "parse `go test -bench` output from stdin into FILE's serve_bench section and exit")
 	mergeWire := fs.String("merge-wire", "", "parse `go test -bench` output from stdin into FILE's wire_bench section and exit")
 	mergeCluster := fs.String("merge-cluster", "", "parse `go test -bench` output from stdin into FILE's cluster_bench section and exit")
+	mergeMiss := fs.String("merge-miss", "", "parse `go test -bench` output from stdin into FILE's miss_bench section and exit")
+	missAllocFactor := fs.Float64("miss-alloc-factor", 3, "minimum ServeMissLegacy/ServeMissKernel allocs/op factor the new report's miss_bench must hold (0 disables)")
+	missSpeedup := fs.Float64("miss-speedup", 1.5, "minimum ServeMissLegacy/ServeMissKernel ns/op speedup the new report's miss_bench must hold (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -149,6 +163,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		"serve_bench":   *mergeServe,
 		"wire_bench":    *mergeWire,
 		"cluster_bench": *mergeCluster,
+		"miss_bench":    *mergeMiss,
 	}
 	active := 0
 	for _, path := range merges {
@@ -241,8 +256,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	drift += compareBenchSection("serve_bench", old.ServeBench, cur.ServeBench, *serveTol, stdout)
 	drift += compareBenchSection("wire_bench", old.WireBench, cur.WireBench, *serveTol, stdout)
 	drift += compareBenchSection("cluster_bench", old.ClusterBench, cur.ClusterBench, *serveTol, stdout)
+	drift += compareBenchSection("miss_bench", old.MissBench, cur.MissBench, *serveTol, stdout)
 	drift += checkWireRatio(cur.WireBench, *wireRatio, stdout)
 	drift += checkClusterScale(cur.ClusterBench, *clusterScale, stdout)
+	drift += checkMissFloors(cur.MissBench, *missAllocFactor, *missSpeedup, stdout)
 
 	if drift > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d item(s) drifted\n", drift)
@@ -435,6 +452,52 @@ func checkClusterScale(cur *serveBench, minScale float64, stdout io.Writer) int 
 	return drift
 }
 
+// checkMissFloors enforces the miss-path kernel's reason to exist on the
+// NEW report alone: the arena kernel (ServeMissKernel) must beat the
+// legacy allocating path (ServeMissLegacy) by allocFactor in allocs/op
+// and by speedup in ns/op. Skipped (not drift) when the report has no
+// miss_bench or lacks either side of the pair — the section-drift check
+// already catches a pair that used to exist. An allocation-free kernel
+// (0 allocs/op) satisfies any factor.
+func checkMissFloors(cur *serveBench, allocFactor, speedup float64, stdout io.Writer) int {
+	if cur == nil {
+		return 0
+	}
+	var kernel, legacy *serveBenchmark
+	for i := range cur.Benchmarks {
+		switch cur.Benchmarks[i].Name {
+		case "ServeMissKernel":
+			kernel = &cur.Benchmarks[i]
+		case "ServeMissLegacy":
+			legacy = &cur.Benchmarks[i]
+		}
+	}
+	if kernel == nil || legacy == nil {
+		return 0
+	}
+	drift := 0
+	if allocFactor > 0 {
+		verdict := "ok"
+		if float64(kernel.AllocsPerOp)*allocFactor > float64(legacy.AllocsPerOp) {
+			verdict = "BELOW FLOOR"
+			drift++
+		}
+		fmt.Fprintf(stdout, "miss allocs: ServeMissLegacy %d allocs/op / ServeMissKernel %d allocs/op (floor %.1fx)  %s\n",
+			legacy.AllocsPerOp, kernel.AllocsPerOp, allocFactor, verdict)
+	}
+	if speedup > 0 && kernel.NsPerOp > 0 {
+		ratio := legacy.NsPerOp / kernel.NsPerOp
+		verdict := "ok"
+		if ratio < speedup {
+			verdict = "BELOW FLOOR"
+			drift++
+		}
+		fmt.Fprintf(stdout, "miss speedup: ServeMissLegacy %.1f ns/op / ServeMissKernel %.1f ns/op = %.2fx (floor %.2fx)  %s\n",
+			legacy.NsPerOp, kernel.NsPerOp, ratio, speedup, verdict)
+	}
+	return drift
+}
+
 // benchLine matches one `go test -bench` result line, e.g.
 //
 //	BenchmarkServeHit-8   1254979   923.4 ns/op   0 B/op   0 allocs/op
@@ -485,6 +548,8 @@ func runMerge(path, section string, stdin io.Reader, stdout, stderr io.Writer) i
 		r.WireBench = sb
 	case "cluster_bench":
 		r.ClusterBench = sb
+	case "miss_bench":
+		r.MissBench = sb
 	default:
 		r.ServeBench = sb
 	}

@@ -628,3 +628,111 @@ func TestAlgorithmBitDriftFails(t *testing.T) {
 		t.Errorf("bit drift not reported:\n%s", out.String())
 	}
 }
+
+func withMiss(section string) string {
+	return strings.ReplaceAll(reportA, `"total_wall_ms": 100,`,
+		`"total_wall_ms": 100, "miss_bench": `+section+`,`)
+}
+
+const missSectionOld = `{
+  "gomaxprocs": 1,
+  "benchmarks": [
+    {"name": "ServeMissKernel", "ns_per_op": 67000, "bytes_per_op": 64, "allocs_per_op": 1},
+    {"name": "ServeMissLegacy", "ns_per_op": 150000, "bytes_per_op": 46978, "allocs_per_op": 311}
+  ]
+}`
+
+// TestMergeMiss: -merge-miss lands the before/after pair in miss_bench,
+// leaving the other sections untouched, and a self-compare of the merged
+// report prints both kernel floor verdicts.
+func TestMergeMiss(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "r.json", withServe(serveSectionOld))
+	benchOut := `BenchmarkServeMissKernel    17877    66987 ns/op    64 B/op    1 allocs/op
+BenchmarkServeMissLegacy     7192   145346 ns/op    46978 B/op    311 allocs/op
+PASS
+`
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-merge-miss", path}, strings.NewReader(benchOut), &out, &errBuf); code != 0 {
+		t.Fatalf("merge exit %d: %s", code, errBuf.String())
+	}
+	merged, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.MissBench == nil || len(merged.MissBench.Benchmarks) != 2 {
+		t.Fatalf("miss_bench not merged: %+v", merged.MissBench)
+	}
+	if k := merged.MissBench.Benchmarks[0]; k.Name != "ServeMissKernel" || k.AllocsPerOp != 1 {
+		t.Errorf("kernel benchmark parsed as %+v", k)
+	}
+	if merged.ServeBench == nil || len(merged.ServeBench.Benchmarks) != 2 {
+		t.Errorf("serve_bench clobbered by -merge-miss: %+v", merged.ServeBench)
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{path, path}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("self-compare after -merge-miss: exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "miss allocs:") || !strings.Contains(out.String(), "miss speedup:") {
+		t.Errorf("miss floor verdicts missing from compare:\n%s", out.String())
+	}
+}
+
+// TestMissFloors: the new report's kernel must beat the legacy path by
+// the alloc factor and the speedup floor; either side slipping fails even
+// when each benchmark individually sits inside -serve-tol.
+func TestMissFloors(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", withMiss(missSectionOld))
+	b := write(t, dir, "b.json", withMiss(missSectionOld))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 0 { // 311x allocs, 2.24x ns
+		t.Fatalf("exit %d, want 0:\n%s", code, out.String())
+	}
+	// Alloc floor violated: the kernel started allocating again.
+	leaky := strings.ReplaceAll(missSectionOld, `"allocs_per_op": 1`, `"allocs_per_op": 150`)
+	c := write(t, dir, "c.json", withMiss(leaky))
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-serve-tol", "1000", b, c}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (150*3 > 311 violates the alloc floor):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "miss allocs:") || !strings.Contains(out.String(), "BELOW FLOOR") {
+		t.Errorf("alloc floor violation not flagged:\n%s", out.String())
+	}
+	// Speedup floor violated: the kernel slowed to near-legacy.
+	slow := strings.ReplaceAll(missSectionOld, `"name": "ServeMissKernel", "ns_per_op": 67000`,
+		`"name": "ServeMissKernel", "ns_per_op": 140000`)
+	d := write(t, dir, "d.json", withMiss(slow))
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-serve-tol", "1000", b, d}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (1.07x is below the 1.5x speedup floor):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "miss speedup:") || !strings.Contains(out.String(), "BELOW FLOOR") {
+		t.Errorf("speedup floor violation not flagged:\n%s", out.String())
+	}
+	// Both floors disabled: the slow kernel sits inside -serve-tol with
+	// unchanged allocs, so nothing else fails the comparison.
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-serve-tol", "1000", "-miss-alloc-factor", "0", "-miss-speedup", "0", b, d}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, want 0 (floors disabled):\n%s", code, out.String())
+	}
+}
+
+// TestMissBenchDrift: miss_bench follows the same section drift rules as
+// the other sections.
+func TestMissBenchDrift(t *testing.T) {
+	dir := t.TempDir()
+	plain := write(t, dir, "plain.json", reportA)
+	missy := write(t, dir, "missy.json", withMiss(missSectionOld))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{missy, plain}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (miss_bench vanished):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "miss_bench: only in old report") {
+		t.Errorf("section drift not explicit:\n%s", out.String())
+	}
+}

@@ -104,6 +104,17 @@ func (m *crMachine) Receive(msg core.Message, out *core.Outbox) (string, error) 
 	}
 }
 
+// ResetFor implements core.Resetter: crMachine holds only value fields,
+// so a reset is a plain re-initialization.
+func (m *crMachine) ResetFor(p core.Protocol, _ int, id ring.Label) bool {
+	cp, ok := p.(*CRProtocol)
+	if !ok {
+		return false
+	}
+	*m = crMachine{id: id, labelBits: cp.LabelBits}
+	return true
+}
+
 // Clone implements core.Cloner: crMachine holds only value fields.
 func (m *crMachine) Clone() core.Machine {
 	cp := *m

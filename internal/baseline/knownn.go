@@ -62,6 +62,7 @@ type knownNMachine struct {
 	labelBits int
 
 	str      []ring.Label // prefix of LLabels(p), up to length n
+	booth    []int        // scratch for the Lyndon test; survives ResetFor
 	isLeader bool
 	done     bool
 	leader   ring.Label
@@ -79,7 +80,8 @@ func (m *knownNMachine) Init(out *core.Outbox) string {
 // decide runs once the window is complete: elect iff it is the Lyndon
 // rotation.
 func (m *knownNMachine) decide(out *core.Outbox) (string, error) {
-	if words.IsLyndon(m.str) {
+	m.booth = words.LyndonScratch(m.booth, len(m.str))
+	if words.IsLyndonInto(m.str, m.booth) {
 		// N3: the window is minimal among rotations — p is the true leader.
 		m.isLeader = true
 		m.leader = m.id
@@ -133,9 +135,22 @@ func (m *knownNMachine) Receive(msg core.Message, out *core.Outbox) (string, err
 	}
 }
 
+// ResetFor implements core.Resetter: re-initialize in place, keeping the
+// window's backing array (truncated to empty).
+func (m *knownNMachine) ResetFor(p core.Protocol, _ int, id ring.Label) bool {
+	kp, ok := p.(*KnownNProtocol)
+	if !ok {
+		return false
+	}
+	str := m.str[:0]
+	*m = knownNMachine{id: id, n: kp.N, labelBits: kp.LabelBits, str: str, booth: m.booth}
+	return true
+}
+
 // Clone implements core.Cloner.
 func (m *knownNMachine) Clone() core.Machine {
 	cp := *m
+	cp.booth = nil // scratch: never shared between machines
 	cp.str = make([]ring.Label, len(m.str))
 	copy(cp.str, m.str)
 	return &cp

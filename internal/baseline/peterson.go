@@ -129,6 +129,17 @@ func (m *petersonMachine) Receive(msg core.Message, out *core.Outbox) (string, e
 	}
 }
 
+// ResetFor implements core.Resetter: petersonMachine holds only value
+// fields, so a reset is a plain re-initialization.
+func (m *petersonMachine) ResetFor(p core.Protocol, _ int, id ring.Label) bool {
+	pp, ok := p.(*PetersonProtocol)
+	if !ok {
+		return false
+	}
+	*m = petersonMachine{id: id, labelBits: pp.LabelBits, tid: id}
+	return true
+}
+
 // Clone implements core.Cloner: petersonMachine holds only value fields.
 func (m *petersonMachine) Clone() core.Machine {
 	cp := *m

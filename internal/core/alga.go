@@ -90,6 +90,10 @@ type algA struct {
 	maxCount  int
 	decided   bool // Leader(σ) verdict cached
 	candidate bool // cached verdict
+
+	// booth is scratch for the Lyndon tests (words.LyndonScratch); it
+	// survives ResetFor so pooled machines stop allocating once grown.
+	booth []int
 }
 
 // leaderPredicate evaluates Leader(p.string): true iff the string contains
@@ -109,7 +113,10 @@ func (a *algA) leaderPredicate() bool {
 	}
 	// Memoized on the smallest period: ablated thresholds re-evaluate on
 	// every receive, and without the memo each test is a Θ(n) scan.
-	verdict := a.str.CheckSRP(words.IsLyndon[ring.Label])
+	verdict := a.str.CheckSRP(func(w []ring.Label) bool {
+		a.booth = words.LyndonScratch(a.booth, len(w))
+		return words.IsLyndonInto(w, a.booth)
+	})
 	if a.threshold >= 2*a.k+1 {
 		a.decided = true
 		a.candidate = verdict
@@ -174,11 +181,12 @@ func (a *algA) Receive(m Message, out *Outbox) (string, error) {
 		}
 		// A4: learn the leader's label from the string, forward, halt.
 		w := a.str.SRP()
-		lw, ok := words.LyndonRotation(w)
+		a.booth = words.LyndonScratch(a.booth, len(w))
+		start, ok := words.LyndonRotationStart(w, a.booth)
 		if !ok {
 			return "", fmt.Errorf("Ak: srp %v not primitive at A4 (string too short, len=%d)", w, a.str.Len())
 		}
-		a.leader = lw[0]
+		a.leader = w[start]
 		a.ledSet = true
 		a.done = true
 		out.Send(Finish())
@@ -190,9 +198,31 @@ func (a *algA) Receive(m Message, out *Outbox) (string, error) {
 	}
 }
 
+// ResetFor implements Resetter: re-initialize in place as NewMachine
+// would, keeping the string's backing arrays and the counts map.
+func (a *algA) ResetFor(p Protocol, _ int, id ring.Label) bool {
+	ap, ok := p.(*AProtocol)
+	if !ok {
+		return false
+	}
+	a.id = id
+	a.k = ap.K
+	a.threshold = ap.threshold()
+	a.labelBits = ap.LabelBits
+	a.init = true
+	a.isLeader, a.done, a.ledSet, a.halted = false, false, false, false
+	a.leader = 0
+	a.str.Reset()
+	clear(a.counts)
+	a.maxCount = 0
+	a.decided, a.candidate = false, false
+	return true
+}
+
 // Clone implements Cloner.
 func (a *algA) Clone() Machine {
 	cp := *a
+	cp.booth = nil // scratch: never shared between machines
 	cp.str = a.str.Clone()
 	if a.counts != nil {
 		cp.counts = make(map[ring.Label]int, len(a.counts))

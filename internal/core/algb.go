@@ -239,6 +239,17 @@ func (b *algB) Receive(m Message, out *Outbox) (string, error) {
 	}
 }
 
+// ResetFor implements Resetter: algB holds only value fields, so a reset
+// is a plain re-initialization.
+func (b *algB) ResetFor(p Protocol, _ int, id ring.Label) bool {
+	bp, ok := p.(*BProtocol)
+	if !ok {
+		return false
+	}
+	*b = algB{id: id, k: bp.K, winAt: bp.outerThreshold(), labelBits: bp.LabelBits, state: BInit}
+	return true
+}
+
 // Clone implements Cloner: algB holds only value fields.
 func (b *algB) Clone() Machine {
 	cp := *b

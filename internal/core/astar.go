@@ -76,6 +76,10 @@ type algStar struct {
 
 	decided   bool
 	candidate bool
+
+	// booth is scratch for the Lyndon tests (words.LyndonScratch); it
+	// survives ResetFor so pooled machines stop allocating once grown.
+	booth []int
 }
 
 // leaderPredicate evaluates the A* termination test on the current string.
@@ -92,7 +96,8 @@ func (s *algStar) leaderPredicate() bool {
 	}
 	// d = n is now certain; the verdict is final either way.
 	s.decided = true
-	s.candidate = words.IsLyndon(s.str.Seq()[:d])
+	s.booth = words.LyndonScratch(s.booth, d)
+	s.candidate = words.IsLyndonInto(s.str.Seq()[:d], s.booth)
 	return s.candidate
 }
 
@@ -151,11 +156,12 @@ func (s *algStar) Receive(m Message, out *Outbox) (string, error) {
 		// leader decided at length d+P ≥ 2n and FIFO delivered all tokens it
 		// forwarded first), so srp(σ) is the ring window by Fine–Wilf.
 		w := s.str.SRP()
-		lw, ok := words.LyndonRotation(w)
+		s.booth = words.LyndonScratch(s.booth, len(w))
+		start, ok := words.LyndonRotationStart(w, s.booth)
 		if !ok {
 			return "", fmt.Errorf("A*: srp %v not primitive at S4 (string too short, len=%d)", w, s.str.Len())
 		}
-		s.leader = lw[0]
+		s.leader = w[start]
 		s.ledSet = true
 		s.done = true
 		out.Send(Finish())
@@ -167,9 +173,30 @@ func (s *algStar) Receive(m Message, out *Outbox) (string, error) {
 	}
 }
 
+// ResetFor implements Resetter: re-initialize in place as NewMachine
+// would, keeping the string's backing arrays and the counts map.
+func (s *algStar) ResetFor(p Protocol, _ int, id ring.Label) bool {
+	sp, ok := p.(*StarProtocol)
+	if !ok {
+		return false
+	}
+	s.id = id
+	s.k = sp.K
+	s.labelBits = sp.LabelBits
+	s.init = true
+	s.isLeader, s.done, s.ledSet, s.halted = false, false, false, false
+	s.leader = 0
+	s.str.Reset()
+	clear(s.counts)
+	s.certP = -1
+	s.decided, s.candidate = false, false
+	return true
+}
+
 // Clone implements Cloner.
 func (s *algStar) Clone() Machine {
 	cp := *s
+	cp.booth = nil // scratch: never shared between machines
 	cp.str = s.str.Clone()
 	if s.counts != nil {
 		cp.counts = make(map[ring.Label]int, len(s.counts))

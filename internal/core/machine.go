@@ -125,6 +125,36 @@ func NewMachineFor(p Protocol, index int, id ring.Label) Machine {
 	return p.NewMachine(id)
 }
 
+// Resetter is implemented by machines that can re-initialize themselves in
+// place for a fresh execution, retaining their backing storage (grown
+// slices, maps, failure tables). The serving miss path pools machines in
+// per-worker scratch arenas (internal/sim.Scratch): electing on a pooled
+// machine must be indistinguishable from electing on a machine freshly
+// built by NewMachineFor, so ResetFor must restore EVERY field — including
+// protocol parameters, which may differ between consecutive elections.
+//
+// ResetFor returns false when the machine cannot represent p (the concrete
+// protocol type differs); the caller then falls back to NewMachineFor. It
+// must not partially mutate the machine in that case.
+type Resetter interface {
+	// ResetFor re-initializes the machine as process `index` of a ring,
+	// labeled id, running protocol p, exactly as NewMachineFor(p, index, id)
+	// would have built it.
+	ResetFor(p Protocol, index int, id ring.Label) bool
+}
+
+// ResetMachineFor re-initializes m in place for protocol p at ring index
+// `index` labeled id when m supports it, and otherwise builds a fresh
+// machine. The scratch-arena engines construct all pooled machines through
+// it, so protocols without Resetter support remain correct (they just
+// allocate).
+func ResetMachineFor(m Machine, p Protocol, index int, id ring.Label) Machine {
+	if r, ok := m.(Resetter); ok && r.ResetFor(p, index, id) {
+		return m
+	}
+	return NewMachineFor(p, index, id)
+}
+
 // Cloner is implemented by machines that can deep-copy their state. The
 // schedule-space explorer (internal/sim.ExploreAll) uses clones to branch
 // configurations in O(state) instead of replaying move prefixes; machines

@@ -262,6 +262,18 @@ type ClassStats struct {
 	Cached int `json:"cached"`
 }
 
+// LatencyStats summarizes the latency distribution of one response
+// outcome. The combined quantiles hide the cache's bimodality — a hit is
+// microseconds, a miss runs a full election, a shed is an immediate
+// refusal — so the report breaks them out per outcome.
+type LatencyStats struct {
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
 // Report is the JSON result of a load run.
 type Report struct {
 	BaseURL         string  `json:"base_url"`
@@ -280,8 +292,14 @@ type Report struct {
 	P50MS           float64 `json:"p50_ms"`
 	P95MS           float64 `json:"p95_ms"`
 	P99MS           float64 `json:"p99_ms"`
-	Crosschecks     int     `json:"crosschecks"`
-	Divergences     int     `json:"divergences"`
+	// HitLatency/MissLatency/ShedLatency split the latency distribution
+	// by outcome: cache hits (200, cached), cache misses (200, a fresh
+	// election ran), and sheds (429).
+	HitLatency  LatencyStats `json:"hit_latency"`
+	MissLatency LatencyStats `json:"miss_latency"`
+	ShedLatency LatencyStats `json:"shed_latency"`
+	Crosschecks int          `json:"crosschecks"`
+	Divergences int          `json:"divergences"`
 	// ShedsWithRetryAfter counts 429 responses carrying a Retry-After
 	// header; the admission contract is that every shed does.
 	ShedsWithRetryAfter int                   `json:"sheds_with_retry_after"`
@@ -397,6 +415,9 @@ func Run(cfg Config) (*Report, error) {
 		Classes: map[string]ClassStats{},
 	}
 	hist := stats.MustHistogram(stats.DefaultLatencyBuckets)
+	hitHist := stats.MustHistogram(stats.DefaultLatencyBuckets)
+	missHist := stats.MustHistogram(stats.DefaultLatencyBuckets)
+	shedHist := stats.MustHistogram(stats.DefaultLatencyBuckets)
 	for i, res := range results {
 		cs := rep.Classes[plan[i].Class]
 		cs.Sent++
@@ -409,6 +430,9 @@ func Run(cfg Config) (*Report, error) {
 			if res.cached {
 				rep.Cached++
 				cs.Cached++
+				hitHist.Observe(res.latency)
+			} else {
+				missHist.Observe(res.latency)
 			}
 			hist.Observe(res.latency)
 		case res.status == http.StatusTooManyRequests:
@@ -416,6 +440,7 @@ func Run(cfg Config) (*Report, error) {
 			if res.retryHdr {
 				rep.ShedsWithRetryAfter++
 			}
+			shedHist.Observe(res.latency)
 		case res.status >= 500:
 			rep.ServerErrors++
 		default:
@@ -438,7 +463,25 @@ func Run(cfg Config) (*Report, error) {
 		rep.P95MS = hist.Quantile(0.95) * 1000
 		rep.P99MS = hist.Quantile(0.99) * 1000
 	}
+	rep.HitLatency = latencySummary(hitHist)
+	rep.MissLatency = latencySummary(missHist)
+	rep.ShedLatency = latencySummary(shedHist)
 	return rep, nil
+}
+
+// latencySummary condenses one outcome histogram; an outcome with no
+// observations reports zeroes.
+func latencySummary(h *stats.Histogram) LatencyStats {
+	if h.Count() == 0 {
+		return LatencyStats{}
+	}
+	return LatencyStats{
+		Count:  int(h.Count()),
+		MeanMS: h.Mean() * 1000,
+		P50MS:  h.Quantile(0.50) * 1000,
+		P95MS:  h.Quantile(0.95) * 1000,
+		P99MS:  h.Quantile(0.99) * 1000,
+	}
 }
 
 // do issues one request and, when planned, crosschecks the response

@@ -144,6 +144,18 @@ func TestRunAggregatesReport(t *testing.T) {
 	if rep.P50MS <= 0 || rep.P99MS < rep.P50MS || rep.ThroughputRPS <= 0 {
 		t.Errorf("latency/throughput stats missing: %+v", rep)
 	}
+	// Per-outcome latency split: the stub marks every OK hot answer
+	// cached, so all OK latencies are hits, none are misses, and every
+	// shed carries its own quantiles.
+	if rep.HitLatency.Count != rep.OK || rep.HitLatency.P50MS <= 0 || rep.HitLatency.P99MS < rep.HitLatency.P50MS {
+		t.Errorf("hit latency stats wrong: %+v (ok=%d)", rep.HitLatency, rep.OK)
+	}
+	if rep.MissLatency.Count != 0 {
+		t.Errorf("miss latency counted %d, want 0 (all-cached stub)", rep.MissLatency.Count)
+	}
+	if rep.ShedLatency.Count != rep.Shed || rep.ShedLatency.P50MS <= 0 {
+		t.Errorf("shed latency stats wrong: %+v (shed=%d)", rep.ShedLatency, rep.Shed)
+	}
 	if cs := rep.Classes[ClassHot]; cs.Sent < 95 {
 		t.Errorf("hot class sent %d, want ~100", cs.Sent)
 	}

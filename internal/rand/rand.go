@@ -273,6 +273,22 @@ func (m *machine) Clone() core.Machine {
 	return &c
 }
 
+// ResetFor implements core.Resetter. The PRNG stream is re-derived from
+// the (possibly different) protocol's seed and the machine's new ring
+// position, exactly as NewMachineAt does — a pooled machine's next
+// election draws the identical random sequence a fresh machine would, so
+// the seeded determinism contract (one execution per (ring, seed) pair,
+// across every engine) survives pooling.
+func (m *machine) ResetFor(p core.Protocol, index int, id ring.Label) bool {
+	rp, ok := p.(*Protocol)
+	if !ok {
+		return false
+	}
+	stream := ((index-rp.rot)%rp.n + rp.n) % rp.n
+	*m = machine{p: rp, id: id, rng: prng{s: streamSeed(rp.seed, stream)}}
+	return true
+}
+
 // ceilLog2 returns ⌈log2 v⌉ for v ≥ 1 (0 for v ≤ 1).
 func ceilLog2(v int) int {
 	bits := 0

@@ -4,10 +4,14 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/sweep"
+
+	repro "repro"
 )
 
 // Shed errors returned by admission.submit. Handlers map all of them to
@@ -46,6 +50,14 @@ type admission struct {
 	batchSize int
 	batchWait time.Duration
 
+	// arenas holds one election scratch per sweep worker. runBatch is only
+	// ever called from the single dispatcher goroutine and ForEachWorker
+	// hands each concurrent job a distinct worker index, so arena w is
+	// always owned by exactly one election at a time — cold misses run
+	// allocation-free against warmed per-worker state, with no locking and
+	// no cross-batch allocation.
+	arenas []*repro.ElectScratch
+
 	mu         sync.Mutex
 	closing    bool
 	submitters sync.WaitGroup // one per accepted (enqueued) task
@@ -59,9 +71,15 @@ type admission struct {
 }
 
 type task struct {
-	ctx  context.Context
-	run  func()
+	ctx context.Context
+	// run executes the election inside the worker-owned scratch arena it
+	// is handed; it must not retain the arena past its return.
+	run  func(sc *repro.ElectScratch)
 	done chan error // buffered(1); nil = ran, shed error otherwise
+	// alg and engine label the task's pprof profile samples, so `ringd
+	// -pprof` CPU/heap profiles attribute election cost per algorithm and
+	// engine.
+	alg, engine string
 }
 
 func newAdmission(queueDepth, workers, batchSize int, batchWait time.Duration) *admission {
@@ -70,21 +88,26 @@ func newAdmission(queueDepth, workers, batchSize int, batchWait time.Duration) *
 		workers:   workers,
 		batchSize: batchSize,
 		batchWait: batchWait,
+		arenas:    make([]*repro.ElectScratch, workers),
 		stop:      make(chan struct{}),
+	}
+	for i := range a.arenas {
+		a.arenas[i] = repro.NewElectScratch()
 	}
 	a.done.Add(1)
 	go a.dispatch()
 	return a
 }
 
-// submit queues run and blocks until it has executed or been shed.
-func (a *admission) submit(ctx context.Context, run func()) error {
+// submit queues run and blocks until it has executed or been shed. alg and
+// engine become pprof labels on the worker that runs it.
+func (a *admission) submit(ctx context.Context, alg, engine string, run func(sc *repro.ElectScratch)) error {
 	a.mu.Lock()
 	if a.closing {
 		a.mu.Unlock()
 		return errClosed
 	}
-	t := &task{ctx: ctx, run: run, done: make(chan error, 1)}
+	t := &task{ctx: ctx, run: run, done: make(chan error, 1), alg: alg, engine: engine}
 	select {
 	case a.queue <- t:
 		a.submitters.Add(1)
@@ -171,9 +194,13 @@ func (a *admission) runBatch(batch []*task) {
 		return
 	}
 	start := time.Now()
-	sweep.ForEach(a.workers, len(live), func(i int) error {
-		live[i].run()
-		live[i].done <- nil
+	size := strconv.Itoa(len(live))
+	sweep.ForEachWorker(a.workers, len(live), func(w, i int) error {
+		t := live[i]
+		pprof.Do(t.ctx, pprof.Labels("alg", t.alg, "engine", t.engine, "batch_size", size), func(context.Context) {
+			t.run(a.arenas[w])
+		})
+		t.done <- nil
 		return nil
 	})
 	perTask := float64(time.Since(start).Nanoseconds()) / float64(len(live))

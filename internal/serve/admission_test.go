@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	repro "repro"
 )
 
 // TestAdmissionSaturationSheds: with one slow worker and a depth-2
@@ -20,7 +22,7 @@ func TestAdmissionSaturationSheds(t *testing.T) {
 	var running sync.WaitGroup
 	running.Add(1)
 	go func() {
-		_ = a.submit(context.Background(), func() {
+		_ = a.submit(context.Background(), "test", "sim", func(*repro.ElectScratch) {
 			running.Done()
 			<-release
 		})
@@ -31,7 +33,7 @@ func TestAdmissionSaturationSheds(t *testing.T) {
 	filled := make(chan error, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			filled <- a.submit(context.Background(), func() {})
+			filled <- a.submit(context.Background(), "test", "sim", func(*repro.ElectScratch) {})
 		}()
 	}
 	// Wait until both queued tasks are actually enqueued.
@@ -47,7 +49,7 @@ func TestAdmissionSaturationSheds(t *testing.T) {
 
 	// The next submission must shed immediately.
 	start := time.Now()
-	err := a.submit(context.Background(), func() {})
+	err := a.submit(context.Background(), "test", "sim", func(*repro.ElectScratch) {})
 	if !errors.Is(err, errSaturated) {
 		t.Fatalf("expected errSaturated, got %v", err)
 	}
@@ -76,7 +78,7 @@ func TestAdmissionShedsExpired(t *testing.T) {
 	var running sync.WaitGroup
 	running.Add(1)
 	go func() {
-		_ = a.submit(context.Background(), func() {
+		_ = a.submit(context.Background(), "test", "sim", func(*repro.ElectScratch) {
 			running.Done()
 			<-release
 		})
@@ -87,7 +89,7 @@ func TestAdmissionShedsExpired(t *testing.T) {
 	var ran atomic.Bool
 	result := make(chan error, 1)
 	go func() {
-		result <- a.submit(ctx, func() { ran.Store(true) })
+		result <- a.submit(ctx, "test", "sim", func(*repro.ElectScratch) { ran.Store(true) })
 	}()
 	// Let it enqueue, then kill its deadline while it waits.
 	deadline := time.After(2 * time.Second)
@@ -122,7 +124,7 @@ func TestAdmissionBatches(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := a.submit(context.Background(), func() { count.Add(1) }); err != nil {
+			if err := a.submit(context.Background(), "test", "sim", func(*repro.ElectScratch) { count.Add(1) }); err != nil {
 				t.Errorf("submit: %v", err)
 			}
 		}()
@@ -143,7 +145,7 @@ func TestAdmissionCloseDrains(t *testing.T) {
 	errs := make(chan error, tasks)
 	for i := 0; i < tasks; i++ {
 		go func() {
-			errs <- a.submit(context.Background(), func() {
+			errs <- a.submit(context.Background(), "test", "sim", func(*repro.ElectScratch) {
 				time.Sleep(2 * time.Millisecond)
 				completed.Add(1)
 			})
@@ -172,7 +174,7 @@ func TestAdmissionCloseDrains(t *testing.T) {
 		t.Errorf("%d tasks accepted but %d completed: close dropped work", accepted, completed.Load())
 	}
 
-	if err := a.submit(context.Background(), func() {}); !errors.Is(err, errClosed) {
+	if err := a.submit(context.Background(), "test", "sim", func(*repro.ElectScratch) {}); !errors.Is(err, errClosed) {
 		t.Errorf("submit after close: got %v, want errClosed", err)
 	}
 	a.close() // idempotent

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/ring"
+
+	repro "repro"
+)
+
+// missBenchRing is the n=16 miss-path benchmark ring: the doubled
+// analogue of the paper's Figure 1 instance (doubling Figure 1's n=8
+// ring literally would make it symmetric), drawn with multiplicity
+// bound 3 so AlgorithmA with k=3 serves it.
+func missBenchRing(tb testing.TB) *ring.Ring {
+	tb.Helper()
+	r, err := repro.RandomRing(1, 16, 3, 8)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkServeMissKernel is the after side of the miss-path pair: one
+// cold election per iteration through runElectionInto against a warmed
+// per-worker scratch arena — the path every admission worker takes on a
+// cache miss. Compare against BenchmarkServeMissLegacy; cmd/benchdiff's
+// miss_bench section enforces the allocs/op and ns/op floors between
+// the two.
+func BenchmarkServeMissKernel(b *testing.B) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	canon := missBenchRing(b)
+	sc := repro.NewElectScratch()
+	if _, err := s.runElectionInto(canon, repro.AlgorithmA, 3, "sim", sc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.runElectionInto(canon, repro.AlgorithmA, 3, "sim", sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeMissLegacy is the before side: the same election through
+// the allocating runElection path (ProtocolFor + RunAsync + fresh
+// Outcome) that the miss path used before the scratch arenas.
+func BenchmarkServeMissLegacy(b *testing.B) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	canon := missBenchRing(b)
+	if _, err := s.runElection(canon, repro.AlgorithmA, 3, "sim"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.runElection(canon, repro.AlgorithmA, 3, "sim"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestMissPathAllocationBudget pins the warmed miss path's allocation
+// budget, the miss-side sibling of TestHitPathAllocationFree: after
+// warm-up, a cold election through runElectionInto may allocate only the
+// result it hands to the cache — the canonOutcome (which outlives the
+// arena) and the Outcome staging value that escapes into it. Everything
+// the election itself touches is arena storage.
+func TestMissPathAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	canon := missBenchRing(t)
+	sc := repro.NewElectScratch()
+	run := func() {
+		if _, err := s.runElectionInto(canon, repro.AlgorithmA, 3, "sim", sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run() // warm the arena: machines, queue, protocol cache
+	}
+	const budget = 2 // canonOutcome + escaping Outcome
+	if avg := testing.AllocsPerRun(200, run); avg > budget {
+		t.Errorf("warmed miss path allocates %.1f objects per election, budget %d", avg, budget)
+	}
+}
+
+// soakRings draws count distinct rings of size n with unique labels —
+// unique labels make a ring servable by every registered algorithm
+// (multiplicity 1 is within any k, unique implies asymmetric).
+func soakRings(tb testing.TB, count, n int) []*ring.Ring {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	rings := make([]*ring.Ring, count)
+	for i := range rings {
+		labels := make([]ring.Label, n)
+		for j, p := range rng.Perm(n) {
+			// Offset by i so every ring's label set is distinct and no
+			// two rings share a canonical form.
+			labels[j] = ring.Label(1 + p + i*n)
+		}
+		rings[i] = ring.MustNew(labels...)
+	}
+	return rings
+}
+
+// TestServeMissConcurrentSoak hammers one Server with concurrent cold
+// misses across every registered algorithm, with Crosscheck=1 so each
+// cache hit is re-verified through the deterministic simulator. Every
+// response is also checked against a locally computed repro.Elect
+// outcome. Zero divergences tolerated. Run under -race this doubles as
+// the data-race soak over the per-worker scratch arenas.
+func TestServeMissConcurrentSoak(t *testing.T) {
+	var mu sync.Mutex
+	var diverged []string
+	s := New(Config{
+		Workers:    4,
+		Crosscheck: 1,
+		OnDivergence: func(d string) {
+			mu.Lock()
+			diverged = append(diverged, d)
+			mu.Unlock()
+		},
+	})
+	defer s.Close()
+	h := s.Handler()
+
+	const k = 3
+	type job struct {
+		alg  repro.Algorithm
+		spec string
+		want *repro.Outcome
+	}
+	var jobs []job
+	for _, alg := range repro.Algorithms() {
+		for _, r := range soakRings(t, 12, 9) {
+			want, err := repro.Elect(r, alg, k)
+			if err != nil {
+				t.Fatalf("%s on %v: %v", alg, r.Labels(), err)
+			}
+			jobs = append(jobs, job{alg: alg, spec: canonSpec(r.Labels()), want: want})
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		// Two replicas per job: the first is a cold miss through the
+		// arena, the replica either dedups in singleflight or hits the
+		// cache and is crosschecked.
+		for rep := 0; rep < 2; rep++ {
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				var resp ElectResponse
+				code, _ := postJSON(t, h, "/v1/elect", ElectRequest{Ring: j.spec, Alg: j.alg.String(), K: k}, &resp)
+				if code != 200 {
+					t.Errorf("%s on %s: status %d", j.alg, j.spec, code)
+					return
+				}
+				if resp.Leader != j.want.Leader || resp.LeaderLabel != j.want.LeaderLabel.String() ||
+					resp.Messages != j.want.Messages || resp.TotalBits != j.want.TotalBits {
+					t.Errorf("%s on %s: served (leader %d %s, %d msgs, %d bits), local Elect (leader %d %s, %d msgs, %d bits)",
+						j.alg, j.spec, resp.Leader, resp.LeaderLabel, resp.Messages, resp.TotalBits,
+						j.want.Leader, j.want.LeaderLabel, j.want.Messages, j.want.TotalBits)
+				}
+			}(j)
+		}
+	}
+	wg.Wait()
+	if len(diverged) != 0 {
+		t.Fatalf("%d crosscheck divergences, first: %s", len(diverged), diverged[0])
+	}
+}
+
+// TestMissPathAllocFlatOver10k drives 10k cold elections through the
+// real admission path — submit, dispatcher batch, pprof labels, worker
+// arena — and asserts the per-election allocation count stays within a
+// flat pinned budget: no per-batch or cumulative growth. The budget
+// covers only the per-request constants (task, done channel, closures,
+// pprof label set and contexts, canonOutcome); the election itself is
+// arena storage.
+func TestMissPathAllocFlatOver10k(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	if testing.Short() {
+		t.Skip("10k-election soak skipped in -short mode")
+	}
+	// BatchSize 1 keeps the dispatcher from waiting batchWait for
+	// companions that never come — submissions here are sequential.
+	s := New(Config{Workers: 1, BatchSize: 1})
+	defer s.Close()
+	canon := missBenchRing(t)
+	run := func() {
+		err := s.adm.submit(t.Context(), "A", "sim", func(sc *repro.ElectScratch) {
+			if _, err := s.runElectionInto(canon, repro.AlgorithmA, 3, "sim", sc); err != nil {
+				t.Error(err)
+			}
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		run() // warm arena and dispatcher
+	}
+	const budget = 30 // per-request constants; not a per-election heap
+	half := func() float64 { return testing.AllocsPerRun(5000, run) }
+	first, second := half(), half()
+	for i, avg := range []float64{first, second} {
+		if avg > budget {
+			t.Errorf("half %d: %.1f allocs per election through admission, budget %d", i+1, avg, budget)
+		}
+	}
+	// Flatness: the second 5k must not allocate more than the first —
+	// growth would mean the arenas or the dispatcher leak per election.
+	if second > first+2 {
+		t.Errorf("allocation count grew across 10k elections: first half %.1f, second half %.1f", first, second)
+	}
+}

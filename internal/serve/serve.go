@@ -405,8 +405,8 @@ func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
 		s.metrics.CacheMiss()
 		// Only the miss path materializes the canonical ring.
 		canon := rg.Rotate(rot)
-		if err := s.adm.submit(ctx, func() {
-			out, rerr := s.runElection(canon, alg, req.K, req.Engine)
+		if err := s.adm.submit(ctx, alg.String(), engineLabel(req.Engine), func(sc *repro.ElectScratch) {
+			out, rerr := s.runElectionInto(canon, alg, req.K, req.Engine, sc)
 			s.cache.finish(e, out, rerr)
 		}); err != nil {
 			s.cache.abandon(e, err)
@@ -469,6 +469,15 @@ func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// engineLabel normalizes a request's engine string for pprof labeling:
+// the empty default means the deterministic simulator.
+func engineLabel(engine string) string {
+	if engine == "" {
+		return "sim"
+	}
+	return engine
+}
+
 // runElection executes one election on the canonical ring.
 func (s *Server) runElection(canon *ring.Ring, alg repro.Algorithm, k int, engine string) (*canonOutcome, error) {
 	var out *repro.Outcome
@@ -480,6 +489,32 @@ func (s *Server) runElection(canon *ring.Ring, alg repro.Algorithm, k int, engin
 		out, err = repro.Elect(canon, alg, k)
 	}
 	if err != nil {
+		return nil, err
+	}
+	return &canonOutcome{
+		Leader:        out.Leader,
+		LeaderLabel:   out.LeaderLabel,
+		Messages:      out.Messages,
+		TotalBits:     out.TotalBits,
+		TimeUnits:     out.TimeUnits,
+		PeakSpaceBits: out.PeakSpaceBits,
+		Engine:        engine,
+	}, nil
+}
+
+// runElectionInto is runElection executing inside the admission worker's
+// scratch arena: the simulator engine goes through the allocation-free
+// repro.ElectInto kernel (byte-identical Outcome, pinned by the
+// equivalence soak), while the goroutine engine — inherently one-goroutine-
+// per-process — falls back to the allocating path. The returned
+// canonOutcome is freshly allocated (it outlives the arena in the result
+// cache); everything else the election touches is arena storage.
+func (s *Server) runElectionInto(canon *ring.Ring, alg repro.Algorithm, k int, engine string, sc *repro.ElectScratch) (*canonOutcome, error) {
+	if engine == "goroutines" || sc == nil {
+		return s.runElection(canon, alg, k, engine)
+	}
+	var out repro.Outcome
+	if err := repro.ElectInto(canon, alg, k, sc, &out); err != nil {
 		return nil, err
 	}
 	return &canonOutcome{

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	repro "repro"
 )
 
 // TestElectShedsOverHTTP saturates the admission layer directly (one
@@ -31,7 +33,7 @@ func TestElectShedsOverHTTP(t *testing.T) {
 		occupied.Add(1)
 		go func() {
 			defer occupied.Done()
-			_ = s.adm.submit(context.Background(), func() {
+			_ = s.adm.submit(context.Background(), "test", "sim", func(*repro.ElectScratch) {
 				if first {
 					running.Done()
 				}

@@ -233,7 +233,7 @@ func TestWireShedsTyped(t *testing.T) {
 		occupied.Add(1)
 		go func() {
 			defer occupied.Done()
-			_ = s.adm.submit(context.Background(), func() {
+			_ = s.adm.submit(context.Background(), "test", "sim", func(*repro.ElectScratch) {
 				if first {
 					running.Done()
 				}

@@ -341,8 +341,8 @@ func (wc *wireConn) runMiss(start time.Time, req wireElect, e *entry, rot int) {
 		defer wc.w.inflight.Done()
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 		defer cancel()
-		if err := s.adm.submit(ctx, func() {
-			out, rerr := s.runElection(canon, req.alg, req.k, "sim")
+		if err := s.adm.submit(ctx, req.alg.String(), "sim", func(sc *repro.ElectScratch) {
+			out, rerr := s.runElectionInto(canon, req.alg, req.k, "sim", sc)
 			s.cache.finish(e, out, rerr)
 		}); err != nil {
 			s.cache.abandon(e, err)

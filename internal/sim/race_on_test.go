@@ -1,0 +1,8 @@
+//go:build race
+
+package sim_test
+
+// raceEnabled reports whether this test binary was built with -race;
+// allocation-count assertions are skipped there (the race runtime inserts
+// its own allocations).
+const raceEnabled = true

@@ -1,0 +1,481 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Scratch is a caller-owned arena for RunSyncInto and RunAsyncInto: every
+// piece of per-execution state — protocol machines, the event heap, FIFO
+// link buffers, the spec checker, the Result itself — lives in the arena
+// and is reused across runs, so a long sequence of elections through one
+// Scratch settles into zero steady-state heap allocation. This is the
+// serving miss path's election kernel (repro.ElectInto, internal/serve).
+//
+// Ownership rules:
+//
+//   - A Scratch is single-threaded: at most one run may execute in it at a
+//     time. Concurrent elections need one Scratch each (internal/serve
+//     keeps one per admission worker).
+//   - The *Result returned by an Into run aliases the arena. It is valid
+//     until the next run on the same Scratch; callers that retain results
+//     must copy the fields they need first.
+//   - Machines are pooled by ring index and re-initialized through
+//     core.Resetter; protocols whose machines do not implement it are
+//     still correct — their machines are simply rebuilt each run.
+//
+// The zero value is ready to use.
+type Scratch struct {
+	eng engine
+
+	// machines is the machine pool, indexed by ring position. Its length
+	// only grows (the largest n seen), so shrinking rings never discard
+	// pooled state.
+	machines  []core.Machine
+	lastPhase []int
+	checker   *spec.Checker
+
+	// namedProto/protoName memoize Protocol.Name() per protocol instance:
+	// repro.ElectInto reuses one protocol value across runs, so the
+	// display-name formatting happens once, not per election.
+	namedProto core.Protocol
+	protoName  string
+
+	// Asynchronous-mode state.
+	queue     sortedQueue
+	lastSched []float64
+	inFlight  []int
+
+	// Synchronous-mode state. Like machines, links never shrinks.
+	links       []syncLink
+	acts        []delivery
+	initPending []bool
+
+	out core.Outbox
+
+	ids       []ring.Label
+	haltedBuf []bool
+
+	res Result
+}
+
+// NewScratch returns an empty arena, equivalent to new(Scratch).
+func NewScratch() *Scratch { return &Scratch{} }
+
+// syncLink is one FIFO link with an explicit head index: popping advances
+// head instead of reslicing, so the backing array survives for the next
+// run (RunSync's `links[from] = links[from][1:]` would lose it).
+type syncLink struct {
+	buf  []core.Message
+	head int
+}
+
+// grown returns s with length n, reusing the backing array when it is
+// large enough; all n elements are zeroed.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// prepare resets the arena for one execution of p on r and returns the
+// embedded engine, configured exactly as newEngine would configure a fresh
+// one.
+func (scr *Scratch) prepare(r *ring.Ring, p core.Protocol, opts Options) *engine {
+	n := r.N()
+
+	if len(scr.machines) < n {
+		ms := make([]core.Machine, n)
+		copy(ms, scr.machines)
+		scr.machines = ms
+	}
+	for i := 0; i < n; i++ {
+		if m := scr.machines[i]; m != nil {
+			scr.machines[i] = core.ResetMachineFor(m, p, i, r.Label(i))
+		} else {
+			scr.machines[i] = core.NewMachineFor(p, i, r.Label(i))
+		}
+	}
+
+	if scr.checker == nil {
+		scr.checker = spec.New(n)
+	} else {
+		scr.checker.Reset(n)
+	}
+	scr.lastPhase = grown(scr.lastPhase, n)
+	scr.ids = grown(scr.ids, n)
+	scr.haltedBuf = grown(scr.haltedBuf, n)
+
+	if scr.namedProto != p {
+		scr.namedProto, scr.protoName = p, p.Name()
+	}
+
+	res := &scr.res
+	kinds := res.MessagesByKind
+	if kinds == nil {
+		kinds = make(map[core.Kind]int)
+	} else {
+		clear(kinds)
+	}
+	*res = Result{
+		Protocol:         scr.protoName,
+		N:                n,
+		MessagesByKind:   kinds,
+		BitsByRound:      res.BitsByRound[:0],
+		PeakSpacePerProc: grown(res.PeakSpacePerProc, n),
+		Statuses:         res.Statuses[:0],
+		LeaderIndex:      -1,
+	}
+
+	e := &scr.eng
+	*e = engine{
+		r:         r,
+		n:         n,
+		labelBits: r.LabelBits(),
+		machines:  scr.machines[:n],
+		checker:   scr.checker,
+		sink:      opts.Sink,
+		res:       res,
+		lastPhase: scr.lastPhase,
+		maxAct:    opts.MaxActions,
+		noSpec:    opts.DisableSpec,
+		ids:       scr.ids,
+		haltedBuf: scr.haltedBuf,
+	}
+	if e.sink == nil {
+		e.sink = trace.Nop{}
+	}
+	if e.maxAct <= 0 {
+		e.maxAct = DefaultMaxActions
+	}
+	return e
+}
+
+// afterActionQuick is afterAction without the trace layer, used by the
+// Into runs when no Sink is configured. It preserves every Result-visible
+// effect — action count, peak-space tracking, spec observation; the
+// skipped work (trace events, phase reconstruction) feeds only Sinks.
+func (e *engine) afterActionQuick(i int) error {
+	m := e.machines[i]
+	e.res.Actions++
+	if sp := m.SpaceBits(); sp > e.res.PeakSpacePerProc[i] {
+		e.res.PeakSpacePerProc[i] = sp
+	}
+	if !e.noSpec {
+		return e.checker.Observe(i, m.Status())
+	}
+	return nil
+}
+
+// recordSendsQuick is recordSends without per-message trace events. The
+// accounting — counts, kinds, bits, rounds, draws — is identical.
+func (e *engine) recordSendsQuick(msgs []core.Message) {
+	for _, m := range msgs {
+		e.res.Messages++
+		if int(m.Kind) < len(e.kindCounts) {
+			e.kindCounts[m.Kind]++
+		} else {
+			e.res.MessagesByKind[m.Kind]++
+		}
+		bits := m.Bits(e.labelBits, e.n)
+		e.res.TotalBits += bits
+		if round := int(m.Round); round < len(e.res.BitsByRound) {
+			e.res.BitsByRound[round] += bits
+		} else {
+			for len(e.res.BitsByRound) <= round {
+				e.res.BitsByRound = append(e.res.BitsByRound, 0)
+			}
+			e.res.BitsByRound[round] = bits
+		}
+		if m.Kind == core.KindRandToken && m.Hop == 1 {
+			e.res.RandDraws++
+		}
+	}
+}
+
+// sortedQueue is the Into path's event queue: the pending events kept
+// fully sorted by (at, seq) in a slice, popped from an advancing head.
+// It replaces the legacy binary heap (still used by RunAsync) because
+// the miss-path workload is the heap's worst case: sends arrive in
+// near-FIFO (at, seq) order, so almost every push lands at the tail —
+// a zero-copy append here, but a full sift in the heap — and every heap
+// pop sinks the largest element from the root. Insertion keeps the
+// exact (at, seq) total order the heap pops in, so delivery sequences
+// are identical event for event (the trace-equivalence test pins this);
+// an adversarial delay model degrades insertion to a memmove of the
+// in-flight window, which the link-depth bound keeps small.
+type sortedQueue struct {
+	a    []linkItem
+	head int
+}
+
+func (q *sortedQueue) reset() { q.a = q.a[:0]; q.head = 0 }
+
+func (q *sortedQueue) len() int { return len(q.a) - q.head }
+
+func (q *sortedQueue) push(it linkItem) {
+	// Scan for the insertion point from the tail: monotone delay models
+	// (the serving path's ConstantDelay) append in one comparison.
+	i := len(q.a)
+	for i > q.head && it.before(q.a[i-1]) {
+		i--
+	}
+	q.a = append(q.a, linkItem{})
+	copy(q.a[i+1:], q.a[i:])
+	q.a[i] = it
+}
+
+func (q *sortedQueue) pop() linkItem {
+	it := q.a[q.head]
+	q.a[q.head] = linkItem{} // drop the message reference
+	q.head++
+	// Compact so the backing array tracks the in-flight window, not the
+	// run's total message count. Amortized O(1).
+	if q.head == len(q.a) {
+		q.reset()
+	} else if q.head > 64 && q.head > len(q.a)/2 {
+		q.a = q.a[:copy(q.a, q.a[q.head:])]
+		q.head = 0
+	}
+	return it
+}
+
+// asyncState is RunAsyncInto's per-run send bookkeeping, a struct (not a
+// closure) so the loop body stays allocation-free.
+type asyncState struct {
+	e         *engine
+	q         *sortedQueue
+	delay     DelayModel
+	drop      func(from, seq int) bool
+	seq       int
+	lastSched []float64
+	inFlight  []int
+	quiet     bool
+}
+
+// send mirrors RunAsync's send closure exactly: account the messages,
+// clamp to FIFO order, push onto the event heap.
+func (st *asyncState) send(from int, msgs []core.Message, now float64, step int) {
+	if len(msgs) == 0 {
+		return
+	}
+	if st.quiet {
+		st.e.recordSendsQuick(msgs)
+	} else {
+		st.e.recordSends(from, msgs, step, now)
+	}
+	for _, m := range msgs {
+		if st.drop != nil && st.drop(from, st.seq) {
+			st.seq++
+			continue
+		}
+		at := now + st.delay.Delay(from, st.seq)
+		if at < st.lastSched[from] {
+			at = st.lastSched[from]
+		}
+		st.lastSched[from] = at
+		st.q.push(linkItem{at: at, seq: st.seq, from: from, msg: m})
+		st.seq++
+		st.inFlight[from]++
+		if st.inFlight[from] > st.e.res.MaxLinkDepth {
+			st.e.res.MaxLinkDepth = st.inFlight[from]
+		}
+	}
+}
+
+// RunAsyncInto is RunAsync executing entirely inside scr: identical
+// semantics, identical Result (the equivalence soak in the root package
+// pins this for every registry algorithm), but the event heap, machine
+// states, delivery bookkeeping, and the Result itself are reused arena
+// storage. The returned *Result aliases scr and is valid until the next
+// run on it.
+func RunAsyncInto(r *ring.Ring, p core.Protocol, delay DelayModel, opts Options, scr *Scratch) (*Result, error) {
+	e := scr.prepare(r, p, opts)
+	n := e.n
+
+	scr.queue.reset()
+	scr.lastSched = grown(scr.lastSched, n)
+	scr.inFlight = grown(scr.inFlight, n)
+	st := asyncState{
+		e:         e,
+		q:         &scr.queue,
+		delay:     delay,
+		drop:      opts.Drop,
+		lastSched: scr.lastSched,
+		inFlight:  scr.inFlight,
+		quiet:     opts.Sink == nil,
+	}
+
+	out := &scr.out
+	for i := 0; i < n; i++ {
+		out.Reset()
+		action := e.machines[i].Init(out)
+		var err error
+		if st.quiet {
+			err = e.afterActionQuick(i)
+		} else {
+			err = e.afterAction(i, action, opInit(), core.Message{}, 0, 0)
+		}
+		if err != nil {
+			return e.res, err
+		}
+		st.send(i, out.Messages(), 0, 0)
+	}
+
+	deliveries := 0
+	var now float64
+	for st.q.len() > 0 {
+		it := st.q.pop()
+		now = it.at
+		deliveries++
+		st.inFlight[it.from]--
+		if e.res.Actions+1 > e.maxAct {
+			return e.res, fmt.Errorf("%w after %d deliveries", ErrMaxActions, deliveries)
+		}
+		to := (it.from + 1) % n
+		m := e.machines[to]
+		if m.Halted() {
+			return e.res, fmt.Errorf("sim: message %s delivered to halted process %d at t=%.3f", it.msg, to, now)
+		}
+		out.Reset()
+		action, err := m.Receive(it.msg, out)
+		if err != nil {
+			return e.res, err
+		}
+		if st.quiet {
+			err = e.afterActionQuick(to)
+		} else {
+			err = e.afterAction(to, action, opDeliver(), it.msg, deliveries, now)
+		}
+		if err != nil {
+			return e.res, err
+		}
+		st.send(to, out.Messages(), now, deliveries)
+	}
+
+	e.res.Steps = deliveries
+	e.res.TimeUnits = now
+	if err := e.finalize(true); err != nil {
+		return e.res, err
+	}
+	return e.res, nil
+}
+
+// RunSyncInto is RunSync executing entirely inside scr, with the same
+// semantics and Result. Link FIFOs use head indices instead of reslicing
+// so their backing arrays survive across runs.
+func RunSyncInto(r *ring.Ring, p core.Protocol, opts Options, scr *Scratch) (*Result, error) {
+	e := scr.prepare(r, p, opts)
+	n := e.n
+	quiet := opts.Sink == nil
+
+	if len(scr.links) < n {
+		ls := make([]syncLink, n)
+		copy(ls, scr.links)
+		scr.links = ls
+	}
+	links := scr.links[:n]
+	for i := range links {
+		links[i].buf = links[i].buf[:0]
+		links[i].head = 0
+	}
+	if cap(scr.initPending) < n {
+		scr.initPending = make([]bool, n)
+	}
+	initPending := scr.initPending[:n]
+	for i := range initPending {
+		initPending[i] = true
+	}
+	if cap(scr.acts) < n {
+		scr.acts = make([]delivery, 0, n)
+	}
+	acts := scr.acts[:0]
+	out := &scr.out
+
+	step := 0
+	for {
+		acts = acts[:0]
+		for i := 0; i < n; i++ {
+			m := e.machines[i]
+			from := (i - 1 + n) % n
+			l := &links[from]
+			switch {
+			case initPending[i]:
+				acts = append(acts, delivery{proc: i, init: true})
+			case l.head < len(l.buf):
+				if m.Halted() {
+					return e.res, fmt.Errorf("sim: message %s pending at halted process %d", l.buf[l.head], i)
+				}
+				acts = append(acts, delivery{proc: i, msg: l.buf[l.head], has: true})
+			}
+		}
+		if len(acts) == 0 {
+			break
+		}
+		step++
+		if e.res.Actions+len(acts) > e.maxAct {
+			return e.res, fmt.Errorf("%w at step %d", ErrMaxActions, step)
+		}
+		for _, d := range acts {
+			if d.has {
+				links[(d.proc-1+n)%n].head++
+			}
+		}
+		for _, d := range acts {
+			out.Reset()
+			var action string
+			var err error
+			if d.init {
+				initPending[d.proc] = false
+				action = e.machines[d.proc].Init(out)
+			} else {
+				action, err = e.machines[d.proc].Receive(d.msg, out)
+			}
+			if err == nil {
+				switch {
+				case quiet:
+					err = e.afterActionQuick(d.proc)
+				case d.init:
+					err = e.afterAction(d.proc, action, opInit(), core.Message{}, step, 0)
+				default:
+					err = e.afterAction(d.proc, action, opDeliver(), d.msg, step, 0)
+				}
+			}
+			if err != nil {
+				return e.res, err
+			}
+			if sent := out.Messages(); len(sent) > 0 {
+				if quiet {
+					e.recordSendsQuick(sent)
+				} else {
+					e.recordSends(d.proc, sent, step, 0)
+				}
+				l := &links[d.proc]
+				l.buf = append(l.buf, sent...)
+				if depth := len(l.buf) - l.head; depth > e.res.MaxLinkDepth {
+					e.res.MaxLinkDepth = depth
+				}
+			}
+		}
+	}
+
+	e.res.Steps = step
+	e.res.TimeUnits = float64(step)
+	linksEmpty := true
+	for i := range links {
+		if links[i].head < len(links[i].buf) {
+			linksEmpty = false
+		}
+	}
+	if err := e.finalize(linksEmpty); err != nil {
+		return e.res, err
+	}
+	return e.res, nil
+}

@@ -1,0 +1,303 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/rand"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// scratchCase pairs a protocol with a ring it can elect on.
+type scratchCase struct {
+	name   string
+	labels []ring.Label
+	proto  core.Protocol
+}
+
+func scratchCorpus(t *testing.T) []scratchCase {
+	t.Helper()
+	mk := func(name string, labels []ring.Label, p core.Protocol, err error) scratchCase {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return scratchCase{name: name, labels: labels, proto: p}
+	}
+	kk := []ring.Label{1, 3, 1, 3, 2, 2, 1, 2} // k = 3, asymmetric
+	uniq := []ring.Label{5, 3, 8, 1, 9}        // unique labels
+	sym := []ring.Label{3, 3, 3, 3, 3, 3}      // symmetric: IR only
+	aProto, errA := core.NewAProtocol(3, 4)
+	bProto, errB := core.NewBProtocol(3, 4)
+	sProto, errS := core.NewStarProtocol(3, 4)
+	crProto, errCR := baseline.NewCRProtocol(4)
+	petProto, errPet := baseline.NewPetersonProtocol(4)
+	knProto, errKN := baseline.NewKnownNProtocol(len(uniq), 4)
+	irProto, errIR := rand.New(len(sym), rand.Alphabet, 2, 0, 0x9e3779b97f4a7c15)
+	return []scratchCase{
+		mk("Ak", kk, aProto, errA),
+		mk("Bk", kk, bProto, errB),
+		mk("Astar", kk, sProto, errS),
+		mk("ChangRoberts", uniq, crProto, errCR),
+		mk("Peterson", uniq, petProto, errPet),
+		mk("KnownN", uniq, knProto, errKN),
+		mk("ItaiRodeh", sym, irProto, errIR),
+	}
+}
+
+// sameResult compares two Results field by field. Slices are compared
+// element-wise so a nil legacy slice equals an empty arena-backed one
+// (BitsByRound starts nil in fresh Results and resliced-to-zero in reused
+// ones); everything the accounting theorems talk about must be identical.
+func sameResult(t *testing.T, mode string, want, got *sim.Result) {
+	t.Helper()
+	if want.Protocol != got.Protocol {
+		t.Errorf("%s: Protocol = %q, want %q", mode, got.Protocol, want.Protocol)
+	}
+	if want.N != got.N || want.Steps != got.Steps || want.Actions != got.Actions {
+		t.Errorf("%s: N/Steps/Actions = %d/%d/%d, want %d/%d/%d",
+			mode, got.N, got.Steps, got.Actions, want.N, want.Steps, want.Actions)
+	}
+	if want.TimeUnits != got.TimeUnits {
+		t.Errorf("%s: TimeUnits = %v, want %v", mode, got.TimeUnits, want.TimeUnits)
+	}
+	if want.Messages != got.Messages || want.TotalBits != got.TotalBits {
+		t.Errorf("%s: Messages/TotalBits = %d/%d, want %d/%d",
+			mode, got.Messages, got.TotalBits, want.Messages, want.TotalBits)
+	}
+	if !reflect.DeepEqual(want.MessagesByKind, got.MessagesByKind) {
+		t.Errorf("%s: MessagesByKind = %v, want %v", mode, got.MessagesByKind, want.MessagesByKind)
+	}
+	if len(want.BitsByRound) != len(got.BitsByRound) {
+		t.Errorf("%s: BitsByRound lengths %d vs %d", mode, len(got.BitsByRound), len(want.BitsByRound))
+	} else {
+		for i := range want.BitsByRound {
+			if want.BitsByRound[i] != got.BitsByRound[i] {
+				t.Errorf("%s: BitsByRound[%d] = %d, want %d", mode, i, got.BitsByRound[i], want.BitsByRound[i])
+			}
+		}
+	}
+	if want.RandDraws != got.RandDraws {
+		t.Errorf("%s: RandDraws = %d, want %d", mode, got.RandDraws, want.RandDraws)
+	}
+	if want.PeakSpaceBits != got.PeakSpaceBits || want.MaxLinkDepth != got.MaxLinkDepth {
+		t.Errorf("%s: PeakSpaceBits/MaxLinkDepth = %d/%d, want %d/%d",
+			mode, got.PeakSpaceBits, got.MaxLinkDepth, want.PeakSpaceBits, want.MaxLinkDepth)
+	}
+	if len(want.PeakSpacePerProc) != len(got.PeakSpacePerProc) {
+		t.Errorf("%s: PeakSpacePerProc lengths differ", mode)
+	} else {
+		for i := range want.PeakSpacePerProc {
+			if want.PeakSpacePerProc[i] != got.PeakSpacePerProc[i] {
+				t.Errorf("%s: PeakSpacePerProc[%d] = %d, want %d", mode, i, got.PeakSpacePerProc[i], want.PeakSpacePerProc[i])
+			}
+		}
+	}
+	if want.LeaderIndex != got.LeaderIndex || want.Halted != got.Halted {
+		t.Errorf("%s: LeaderIndex/Halted = %d/%t, want %d/%t",
+			mode, got.LeaderIndex, got.Halted, want.LeaderIndex, want.Halted)
+	}
+	if len(want.Statuses) != len(got.Statuses) {
+		t.Errorf("%s: Statuses lengths differ", mode)
+	} else {
+		for i := range want.Statuses {
+			if want.Statuses[i] != got.Statuses[i] {
+				t.Errorf("%s: Statuses[%d] = %+v, want %+v", mode, i, got.Statuses[i], want.Statuses[i])
+			}
+		}
+	}
+}
+
+// TestScratchEquivalence runs every protocol through the legacy engines and
+// the arena engines — one Scratch reused across all cases, so machine pools
+// are handed from one protocol's concrete type to the next — and requires
+// field-identical Results in both modes.
+func TestScratchEquivalence(t *testing.T) {
+	scr := sim.NewScratch()
+	for _, tc := range scratchCorpus(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := ring.New(tc.labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var opts sim.Options
+
+			wantSync, err := sim.RunSync(r, tc.proto, opts)
+			if err != nil {
+				t.Fatalf("RunSync: %v", err)
+			}
+			gotSync, err := sim.RunSyncInto(r, tc.proto, opts, scr)
+			if err != nil {
+				t.Fatalf("RunSyncInto: %v", err)
+			}
+			sameResult(t, "sync", wantSync, gotSync)
+
+			wantAsync, err := sim.RunAsync(r, tc.proto, sim.ConstantDelay(1), opts)
+			if err != nil {
+				t.Fatalf("RunAsync: %v", err)
+			}
+			gotAsync, err := sim.RunAsyncInto(r, tc.proto, sim.ConstantDelay(1), opts, scr)
+			if err != nil {
+				t.Fatalf("RunAsyncInto: %v", err)
+			}
+			sameResult(t, "async", wantAsync, gotAsync)
+		})
+	}
+}
+
+// TestScratchTraceEquivalence pins that a Scratch run with a Sink attached
+// produces the exact event stream of the legacy engine — the quick
+// accounting path only ever engages when no Sink is present.
+func TestScratchTraceEquivalence(t *testing.T) {
+	for _, tc := range scratchCorpus(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := ring.New(tc.labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scr := sim.NewScratch()
+
+			var legacy, arena trace.Mem
+			if _, err := sim.RunAsync(r, tc.proto, sim.ConstantDelay(1), sim.Options{Sink: &legacy}); err != nil {
+				t.Fatalf("RunAsync: %v", err)
+			}
+			if _, err := sim.RunAsyncInto(r, tc.proto, sim.ConstantDelay(1), sim.Options{Sink: &arena}, scr); err != nil {
+				t.Fatalf("RunAsyncInto: %v", err)
+			}
+			if len(legacy.Events) != len(arena.Events) {
+				t.Fatalf("event counts differ: legacy %d, arena %d", len(legacy.Events), len(arena.Events))
+			}
+			for i := range legacy.Events {
+				if legacy.Events[i] != arena.Events[i] {
+					t.Fatalf("event %d differs:\nlegacy %+v\narena  %+v", i, legacy.Events[i], arena.Events[i])
+				}
+			}
+		})
+	}
+}
+
+// TestScratchRepeatedReuse re-runs one protocol many times through a single
+// Scratch and requires every run to reproduce the first — pooled machines
+// must re-initialize completely (a partially reset field would drift the
+// counts).
+func TestScratchRepeatedReuse(t *testing.T) {
+	for _, tc := range scratchCorpus(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := ring.New(tc.labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scr := sim.NewScratch()
+			first, err := sim.RunAsyncInto(r, tc.proto, sim.ConstantDelay(1), sim.Options{}, scr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Copy the aliased fields we compare against before reuse.
+			want := *first
+			want.Statuses = append([]core.Status(nil), first.Statuses...)
+			want.PeakSpacePerProc = append([]int(nil), first.PeakSpacePerProc...)
+			want.BitsByRound = append([]int(nil), first.BitsByRound...)
+			want.MessagesByKind = map[core.Kind]int{}
+			for k, v := range first.MessagesByKind {
+				want.MessagesByKind[k] = v
+			}
+			for run := 0; run < 5; run++ {
+				got, err := sim.RunAsyncInto(r, tc.proto, sim.ConstantDelay(1), sim.Options{}, scr)
+				if err != nil {
+					t.Fatalf("run %d: %v", run, err)
+				}
+				sameResult(t, "reuse", &want, got)
+			}
+		})
+	}
+}
+
+// TestScratchShrinkingRing runs a large ring then a smaller one through the
+// same Scratch: stale pooled machines beyond the smaller n must not leak
+// into the result.
+func TestScratchShrinkingRing(t *testing.T) {
+	big := []ring.Label{1, 3, 1, 3, 2, 2, 1, 2}
+	small := []ring.Label{1, 2, 2}
+	p, err := core.NewAProtocol(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := sim.NewScratch()
+	for _, labels := range [][]ring.Label{big, small, big, small} {
+		r, err := ring.New(labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sim.RunAsync(r, p, sim.ConstantDelay(1), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.RunAsyncInto(r, p, sim.ConstantDelay(1), sim.Options{}, scr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "shrink", want, got)
+	}
+}
+
+// TestScratchSyncErrorParity pins that the Into engines report budget
+// exhaustion with the legacy engines' exact error text.
+func TestScratchSyncErrorParity(t *testing.T) {
+	labels := []ring.Label{1, 3, 1, 3, 2, 2, 1, 2}
+	r, err := ring.New(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewAProtocol(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := sim.Options{MaxActions: 10}
+	scr := sim.NewScratch()
+
+	_, errLegacy := sim.RunSync(r, p, opts)
+	_, errArena := sim.RunSyncInto(r, p, opts, scr)
+	if errLegacy == nil || errArena == nil || errLegacy.Error() != errArena.Error() {
+		t.Fatalf("sync budget errors differ:\nlegacy: %v\narena:  %v", errLegacy, errArena)
+	}
+
+	_, errLegacy = sim.RunAsync(r, p, sim.ConstantDelay(1), opts)
+	_, errArena = sim.RunAsyncInto(r, p, sim.ConstantDelay(1), opts, scr)
+	if errLegacy == nil || errArena == nil || errLegacy.Error() != errArena.Error() {
+		t.Fatalf("async budget errors differ:\nlegacy: %v\narena:  %v", errLegacy, errArena)
+	}
+}
+
+// TestScratchSteadyStateAllocs pins the tentpole claim at the sim layer: a
+// warmed Scratch executes whole elections without heap allocation.
+func TestScratchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is distorted under -race")
+	}
+	for _, tc := range scratchCorpus(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			rr, err := ring.New(tc.labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scr := sim.NewScratch()
+			// Warm up: grow every arena buffer to this workload's size.
+			for i := 0; i < 3; i++ {
+				if _, err := sim.RunAsyncInto(rr, tc.proto, sim.ConstantDelay(1), sim.Options{}, scr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				if _, err := sim.RunAsyncInto(rr, tc.proto, sim.ConstantDelay(1), sim.Options{}, scr); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 0 {
+				t.Errorf("RunAsyncInto allocates %.1f/op after warm-up, want 0", allocs)
+			}
+		})
+	}
+}

@@ -120,6 +120,11 @@ type engine struct {
 	// kindCounts accumulates per-kind message counts without map work on
 	// the hot path; finalize publishes it as Result.MessagesByKind.
 	kindCounts [8]int
+
+	// ids and haltedBuf are scratch-provided buffers finalize fills instead
+	// of allocating (nil outside the Into variants).
+	ids       []ring.Label
+	haltedBuf []bool
 }
 
 func newEngine(r *ring.Ring, p core.Protocol, opts Options) *engine {
@@ -215,9 +220,26 @@ func (e *engine) finalize(linksEmpty bool) error {
 			e.res.MessagesByKind[core.Kind(kind)] += c
 		}
 	}
-	e.res.Statuses = make([]core.Status, e.n)
-	ids := make([]ring.Label, e.n)
-	halted := make([]bool, e.n)
+	// Reuse scratch-provided buffers when present (the Into variants); a
+	// fresh Result's slices are nil, so the legacy paths allocate exactly
+	// as before.
+	if cap(e.res.Statuses) >= e.n {
+		e.res.Statuses = e.res.Statuses[:e.n]
+	} else {
+		e.res.Statuses = make([]core.Status, e.n)
+	}
+	ids := e.ids
+	if cap(ids) >= e.n {
+		ids = ids[:e.n]
+	} else {
+		ids = make([]ring.Label, e.n)
+	}
+	halted := e.haltedBuf
+	if cap(halted) >= e.n {
+		halted = halted[:e.n]
+	} else {
+		halted = make([]bool, e.n)
+	}
 	for i, m := range e.machines {
 		e.res.Statuses[i] = m.Status()
 		ids[i] = e.r.Label(i)

@@ -70,6 +70,21 @@ func (v *LinkViolation) Error() string {
 	return fmt.Sprintf("link (p%d -> p%d) violated reliable-FIFO assumption: %s", v.From, v.To, v.Detail)
 }
 
+// Reset re-initializes the checker for a fresh n-process execution,
+// retaining the status slice's backing array when it is large enough —
+// the scratch-arena engines (internal/sim.Scratch) reset one checker per
+// election instead of allocating one.
+func (c *Checker) Reset(n int) {
+	if cap(c.last) >= n {
+		c.last = c.last[:n]
+		clear(c.last)
+	} else {
+		c.last = make([]core.Status, n)
+	}
+	c.n = n
+	c.leaderAt = -1
+}
+
 // Clone returns an independent copy of the checker's progress, for
 // branching explorations of the configuration space.
 func (c *Checker) Clone() *Checker {

@@ -115,3 +115,71 @@ func ForEach(workers, n int, job func(int) error) error {
 	})
 	return err
 }
+
+// ForEachWorker is ForEach with the executing goroutine's worker index
+// passed to each job, for callers that bind per-worker resources — the
+// serving layer hands each admission worker its own election scratch
+// arena. Worker indices are in [0, effective-workers); which worker runs
+// which item is scheduling-dependent, so jobs must treat the index as a
+// resource slot, never as data. The serial path (workers == 1, or n == 1)
+// always reports worker 0. Error semantics match Map: the lowest failing
+// index wins.
+func ForEachWorker(workers, n int, job func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var (
+		next   atomic.Int64
+		failed atomic.Int64 // lowest failing index + 1; 0 = none
+		wg     sync.WaitGroup
+	)
+	recordFailure := func(i int) {
+		for {
+			cur := failed.Load()
+			if cur != 0 && cur <= int64(i)+1 {
+				return
+			}
+			if failed.CompareAndSwap(cur, int64(i)+1) {
+				return
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if f := failed.Load(); f != 0 && int64(i) > f-1 {
+					continue
+				}
+				if err := job(worker, i); err != nil {
+					errs[i] = err
+					recordFailure(i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f := failed.Load(); f != 0 {
+		return errs[f-1]
+	}
+	return nil
+}

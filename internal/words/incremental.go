@@ -78,6 +78,16 @@ func (in *Incremental[T]) CheckSRP(eval func([]T) bool) bool {
 	return in.memoVal
 }
 
+// Reset empties the sequence while retaining the backing arrays of the
+// sequence and its failure table, so a pooled machine's next execution
+// appends without reallocating (internal/sim.Scratch).
+func (in *Incremental[T]) Reset() {
+	in.s = in.s[:0]
+	in.fail = in.fail[:0]
+	in.memoPer = 0
+	in.memoVal = false
+}
+
 // Clone returns an independent copy: appends to either side do not affect
 // the other.
 func (in *Incremental[T]) Clone() Incremental[T] {

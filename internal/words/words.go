@@ -199,6 +199,73 @@ func LyndonRotation[T cmp.Ordered](s []T) ([]T, bool) {
 	return LeastRotation(s), true
 }
 
+// LyndonScratch returns a scratch slice large enough for the *Into Lyndon
+// tests on length-n sequences (2n ints, Booth's doubled-sequence table),
+// reusing scratch's backing array when it already is. The election kernel's
+// machines hold one such slice each and grow it across pooled runs.
+func LyndonScratch(scratch []int, n int) []int {
+	if cap(scratch) < 2*n {
+		return make([]int, 2*n)
+	}
+	return scratch[:2*n]
+}
+
+// failureInto computes the KMP failure table of s into scratch when
+// cap(scratch) ≥ len(s), allocating otherwise. Unlike FailureFunction the
+// scratch contents are arbitrary on entry, so every cell is written.
+func failureInto[T comparable](s []T, scratch []int) []int {
+	n := len(s)
+	var fail []int
+	if cap(scratch) >= n {
+		fail = scratch[:n]
+	} else {
+		fail = make([]int, n)
+	}
+	fail[0] = 0
+	for i := 1; i < n; i++ {
+		j := fail[i-1]
+		for j > 0 && s[i] != s[j] {
+			j = fail[j-1]
+		}
+		if s[i] == s[j] {
+			j++
+		}
+		fail[i] = j
+	}
+	return fail
+}
+
+// IsLyndonInto is IsLyndon with caller-supplied scratch (LyndonScratch
+// sizes it): when cap(scratch) ≥ 2·len(s) the test performs no allocation.
+// The scratch contents are overwritten.
+func IsLyndonInto[T cmp.Ordered](s []T, scratch []int) bool {
+	n := len(s)
+	if n == 0 {
+		return false
+	}
+	fail := failureInto(s, scratch)
+	if p := n - fail[n-1]; p != n && n%p == 0 {
+		return false // not primitive
+	}
+	return LeastRotationIndexInto(s, scratch) == 0
+}
+
+// LyndonRotationStart is the index form of LyndonRotation with
+// caller-supplied scratch: it returns the start index of LW(s) within s and
+// true, or (0, false) when s is not primitive. Allocation-free when
+// cap(scratch) ≥ 2·len(s).
+func LyndonRotationStart[T cmp.Ordered](s []T, scratch []int) (int, bool) {
+	n := len(s)
+	if n == 0 {
+		return 0, false
+	}
+	fail := failureInto(s, scratch)
+	if p := n - fail[n-1]; p != n && n%p == 0 {
+		return 0, false
+	}
+	return LeastRotationIndexInto(s, scratch), true
+}
+
 // CountOf returns the number of occurrences of v in s.
 func CountOf[T comparable](s []T, v T) int {
 	c := 0

@@ -1,0 +1,169 @@
+package repro_test
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"repro"
+)
+
+// kernelCorpus is the golden ring corpus the equivalence soak runs every
+// registry algorithm against: the paper's Figure 1 ring and rotations, a
+// unique-label ring, homonym rings of several multiplicities, a symmetric
+// ring (only Itai–Rodeh elects; everyone else must fail identically), and
+// deterministic random A ∩ K3 rings including the n=16 miss benchmark ring.
+func kernelCorpus(t *testing.T) []*repro.Ring {
+	t.Helper()
+	rings := []*repro.Ring{
+		repro.Figure1Ring(),
+		repro.MustParseRing("3 1 3 2 2 1 2 1"), // Figure 1, rotated
+		repro.MustParseRing("4 2 5 1 3"),       // unique labels
+		repro.MustParseRing("1 2 2"),
+		repro.MustParseRing("1 1 1 2"),
+		repro.MustParseRing("1 2 1 2"), // symmetric
+		repro.MustParseRing("2 2"),     // symmetric, minimal
+	}
+	for _, seed := range []int64{1, 2, 7} {
+		r, err := repro.RandomRing(seed, 16, 3, 8)
+		if err != nil {
+			t.Fatalf("RandomRing(%d): %v", seed, err)
+		}
+		rings = append(rings, r)
+	}
+	return rings
+}
+
+// TestElectIntoEquivalence is the kernel's mandatory equivalence soak:
+// every registry algorithm crossed with the golden ring corpus, run through
+// both Elect and ElectInto, requiring byte-identical Outcomes (leader,
+// label, time, messages, bits, space) and identical error text on invalid
+// combinations. One scratch serves the whole soak, so protocol caching,
+// machine pooling, and arena reuse across algorithms and ring sizes are all
+// exercised.
+func TestElectIntoEquivalence(t *testing.T) {
+	sc := repro.NewElectScratch()
+	const k = 3
+	for _, alg := range repro.Algorithms() {
+		for _, r := range kernelCorpus(t) {
+			want, wantErr := repro.Elect(r, alg, k)
+			var got repro.Outcome
+			gotErr := repro.ElectInto(r, alg, k, sc, &got)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s on %s: Elect err = %v, ElectInto err = %v", alg, r, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Errorf("%s on %s: error text diverged:\nElect:     %v\nElectInto: %v", alg, r, wantErr, gotErr)
+				}
+				continue
+			}
+			if *want != got {
+				t.Errorf("%s on %s: outcomes diverged:\nElect:     %+v\nElectInto: %+v", alg, r, *want, got)
+			}
+		}
+	}
+}
+
+// TestElectIntoRepeatability pins that a reused scratch is not stateful
+// across elections: re-running one (ring, algorithm) pair many times yields
+// the first outcome every time — in particular the randomized engine's
+// seeded determinism survives machine pooling.
+func TestElectIntoRepeatability(t *testing.T) {
+	sc := repro.NewElectScratch()
+	fig1 := repro.Figure1Ring()
+	uniq := repro.MustParseRing("4 2 5 1 3")
+	for _, alg := range repro.Algorithms() {
+		r := fig1
+		if alg == repro.AlgorithmChangRoberts || alg == repro.AlgorithmPeterson {
+			r = uniq // the unique-label baselines reject homonym rings
+		}
+		var first repro.Outcome
+		if err := repro.ElectInto(r, alg, 3, sc, &first); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		for i := 0; i < 10; i++ {
+			var again repro.Outcome
+			if err := repro.ElectInto(r, alg, 3, sc, &again); err != nil {
+				t.Fatalf("%s run %d: %v", alg, i, err)
+			}
+			if again != first {
+				t.Fatalf("%s run %d: outcome drifted:\nfirst: %+v\nnow:   %+v", alg, i, first, again)
+			}
+		}
+	}
+}
+
+// TestRingSeedMatchesReference pins the inlined FNV-1a seed derivation to
+// the hash/fnv reference it replaced: same bytes in, same seed out, for
+// every corpus ring. The seed feeds the Itai–Rodeh PRNG streams, so a
+// drifted constant would silently change every randomized execution.
+func TestRingSeedMatchesReference(t *testing.T) {
+	for _, r := range kernelCorpus(t) {
+		labels := r.LabelsView()
+		n := len(labels)
+		rot := 0
+		best := append([]repro.Label(nil), labels...)
+		for cand := 1; cand < n; cand++ {
+			for i := 0; i < n; i++ {
+				a, b := labels[(cand+i)%n], best[i]
+				if a < b {
+					rot = cand
+					for j := 0; j < n; j++ {
+						best[j] = labels[(cand+j)%n]
+					}
+					break
+				} else if a > b {
+					break
+				}
+			}
+		}
+		h := fnv.New64a()
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(n))
+		h.Write(b[:])
+		for i := 0; i < n; i++ {
+			binary.BigEndian.PutUint64(b[:], uint64(int64(labels[(rot+i)%n])))
+			h.Write(b[:])
+		}
+		if got, want := repro.RingSeed(r), h.Sum64(); got != want {
+			t.Errorf("RingSeed(%s) = %#x, want reference FNV-1a %#x", r, got, want)
+		}
+	}
+}
+
+// TestElectIntoSteadyStateAllocs pins the kernel's headline property: a
+// warmed per-worker scratch executes whole elections — class check, seed
+// derivation, protocol resolution, simulation, outcome — with zero heap
+// allocations.
+func TestElectIntoSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is distorted under -race")
+	}
+	r, err := repro.RandomRing(1, 16, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range repro.Algorithms() {
+		t.Run(alg.String(), func(t *testing.T) {
+			sc := repro.NewElectScratch()
+			var out repro.Outcome
+			if err := repro.ElectInto(r, alg, 3, sc, &out); err != nil {
+				t.Skipf("%s does not elect on the benchmark ring: %v", alg, err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := repro.ElectInto(r, alg, 3, sc, &out); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				if err := repro.ElectInto(r, alg, 3, sc, &out); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 0 {
+				t.Errorf("ElectInto allocates %.1f/op after warm-up, want 0", allocs)
+			}
+		})
+	}
+}

@@ -1,10 +1,9 @@
 package repro
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
+	"slices"
 	"strings"
 	"time"
 
@@ -96,9 +95,9 @@ const (
 type algorithmSpec struct {
 	name    string
 	aliases []string
-	// check validates the ring against the algorithm's class; nil means no
+	// class is the algorithm's ring-class precondition; classAny means no
 	// precondition (the randomized engine runs on any ring).
-	check func(r *Ring, k int) error
+	class ringClass
 	// build constructs the protocol sized for r (k is the multiplicity
 	// bound; algorithms that do not use it ignore it).
 	build func(r *Ring, k int) (Protocol, error)
@@ -107,33 +106,81 @@ type algorithmSpec struct {
 	buildFree func(k, labelBits int) (Protocol, error)
 }
 
-// checkKkAsym is the paper algorithms' class: A ∩ Kk.
-func checkKkAsym(r *Ring, k int) error {
-	if !r.InKk(k) {
-		return fmt.Errorf("repro: ring %s has multiplicity %d > k = %d (outside Kk)", r, r.MaxMultiplicity(), k)
-	}
-	if !r.IsAsymmetric() {
-		return fmt.Errorf("repro: ring %s is symmetric; leader election is unsolvable on it", r)
-	}
-	return nil
-}
+// ringClass enumerates the algorithms' ring-class preconditions. An enum
+// (rather than per-entry check closures) lets the election kernel validate
+// rings allocation-free: one shared checker with caller-owned scratch
+// instead of a map-allocating Multiplicities call per election.
+type ringClass int
 
-// checkUnique is the unique-label baselines' class: K1.
-func checkUnique(name string) func(r *Ring, k int) error {
-	return func(r *Ring, k int) error {
-		if !r.InKk(1) {
-			return fmt.Errorf("repro: %s requires unique labels, but %s has multiplicity %d", name, r, r.MaxMultiplicity())
+const (
+	// classAny accepts every ring (Itai–Rodeh elects on any ring with
+	// probability 1).
+	classAny ringClass = iota
+	// classKkAsym is the paper algorithms' class: A ∩ Kk.
+	classKkAsym
+	// classUnique is the unique-label baselines' class: K1.
+	classUnique
+	// classAsym is KnownN's class: any asymmetric ring.
+	classAsym
+)
+
+// maxMultiplicityInto computes the ring's maximum label multiplicity by
+// sorting a scratch copy of the labels and scanning runs — equal to
+// r.MaxMultiplicity() without its per-call map. The (possibly grown)
+// scratch is returned for reuse.
+func maxMultiplicityInto(r *Ring, scratch []Label) ([]Label, int) {
+	labels := r.LabelsView()
+	n := len(labels)
+	if n == 0 {
+		return scratch, 0
+	}
+	if cap(scratch) < n {
+		scratch = make([]Label, n)
+	}
+	scratch = scratch[:n]
+	copy(scratch, labels)
+	slices.Sort(scratch)
+	best, run := 1, 1
+	for i := 1; i < n; i++ {
+		if scratch[i] == scratch[i-1] {
+			run++
+		} else {
+			run = 1
 		}
-		return nil
+		if run > best {
+			best = run
+		}
 	}
+	return scratch, best
 }
 
-// checkAsym is KnownN's class: any asymmetric ring.
-func checkAsym(r *Ring, k int) error {
-	if !r.IsAsymmetric() {
-		return fmt.Errorf("repro: ring %s is symmetric; leader election is unsolvable on it", r)
+// check validates r against the class, using (and returning) scratch for
+// the multiplicity count. name is the algorithm's display name for the
+// unique-label error. The error texts are those of the pre-enum per-entry
+// checkers, verbatim.
+func (c ringClass) check(name string, r *Ring, k int, scratch []Label) ([]Label, error) {
+	switch c {
+	case classKkAsym:
+		var m int
+		scratch, m = maxMultiplicityInto(r, scratch)
+		if m > k {
+			return scratch, fmt.Errorf("repro: ring %s has multiplicity %d > k = %d (outside Kk)", r, m, k)
+		}
+		if !r.IsAsymmetric() {
+			return scratch, fmt.Errorf("repro: ring %s is symmetric; leader election is unsolvable on it", r)
+		}
+	case classUnique:
+		var m int
+		scratch, m = maxMultiplicityInto(r, scratch)
+		if m > 1 {
+			return scratch, fmt.Errorf("repro: %s requires unique labels, but %s has multiplicity %d", name, r, m)
+		}
+	case classAsym:
+		if !r.IsAsymmetric() {
+			return scratch, fmt.Errorf("repro: ring %s is symmetric; leader election is unsolvable on it", r)
+		}
 	}
-	return nil
+	return scratch, nil
 }
 
 // registry is indexed by Algorithm; the order fixes the enumeration in
@@ -141,37 +188,37 @@ func checkAsym(r *Ring, k int) error {
 var registry = [...]algorithmSpec{
 	AlgorithmA: {
 		name: "Ak", aliases: []string{"a", "ak"},
-		check:     checkKkAsym,
+		class:     classKkAsym,
 		build:     func(r *Ring, k int) (Protocol, error) { return core.NewAProtocol(k, r.LabelBits()) },
 		buildFree: func(k, labelBits int) (Protocol, error) { return core.NewAProtocol(k, labelBits) },
 	},
 	AlgorithmB: {
 		name: "Bk", aliases: []string{"b", "bk"},
-		check:     checkKkAsym,
+		class:     classKkAsym,
 		build:     func(r *Ring, k int) (Protocol, error) { return core.NewBProtocol(k, r.LabelBits()) },
 		buildFree: func(k, labelBits int) (Protocol, error) { return core.NewBProtocol(k, labelBits) },
 	},
 	AlgorithmAStar: {
 		name: "A*", aliases: []string{"astar", "a*"},
-		check:     checkKkAsym,
+		class:     classKkAsym,
 		build:     func(r *Ring, k int) (Protocol, error) { return core.NewStarProtocol(k, r.LabelBits()) },
 		buildFree: func(k, labelBits int) (Protocol, error) { return core.NewStarProtocol(k, labelBits) },
 	},
 	AlgorithmChangRoberts: {
 		name: "ChangRoberts", aliases: []string{"cr", "changroberts"},
-		check:     checkUnique("ChangRoberts"),
+		class:     classUnique,
 		build:     func(r *Ring, k int) (Protocol, error) { return baseline.NewCRProtocol(r.LabelBits()) },
 		buildFree: func(k, labelBits int) (Protocol, error) { return baseline.NewCRProtocol(labelBits) },
 	},
 	AlgorithmPeterson: {
 		name: "Peterson", aliases: []string{"peterson"},
-		check:     checkUnique("Peterson"),
+		class:     classUnique,
 		build:     func(r *Ring, k int) (Protocol, error) { return baseline.NewPetersonProtocol(r.LabelBits()) },
 		buildFree: func(k, labelBits int) (Protocol, error) { return baseline.NewPetersonProtocol(labelBits) },
 	},
 	AlgorithmKnownN: {
 		name: "KnownN", aliases: []string{"knownn"},
-		check: checkAsym,
+		class: classAsym,
 		build: func(r *Ring, k int) (Protocol, error) { return baseline.NewKnownNProtocol(r.N(), r.LabelBits()) },
 	},
 	AlgorithmItaiRodeh: {
@@ -238,6 +285,25 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	return 0, fmt.Errorf("repro: unknown algorithm %q (want %s)", s, strings.Join(AlgorithmNames(), ", "))
 }
 
+// FNV-1a parameters (FNV-0 offset basis and 64-bit prime), inlined so the
+// seed derivation is allocation-free on the serving miss path; hash/fnv
+// would heap-allocate its digest per call.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvUint64 folds v into the running FNV-1a hash h byte by byte, in
+// big-endian order — bit-identical to writing binary.BigEndian.PutUint64(v)
+// into hash/fnv's New64a.
+func fnvUint64(h, v uint64) uint64 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		h ^= (v >> uint(shift)) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // RingSeed derives the randomized engine's PRNG seed from the ring itself:
 // FNV-1a over n and the ring's least-rotation label sequence. Keying on
 // the CANONICAL rotation (not the given one) makes the seed — and with it
@@ -246,17 +312,19 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 // every rotation (internal/serve).
 func RingSeed(r *Ring) uint64 {
 	labels := r.LabelsView()
+	return ringSeedAt(labels, words.LeastRotationIndex(labels))
+}
+
+// ringSeedAt is RingSeed with the least-rotation index already known, so
+// the kernel computes Booth's algorithm once per election rather than once
+// for the seed and once for the PRNG stream offsets.
+func ringSeedAt(labels []Label, rot int) uint64 {
 	n := len(labels)
-	rot := words.LeastRotationIndex(labels)
-	h := fnv.New64a()
-	var b [8]byte
-	binary.BigEndian.PutUint64(b[:], uint64(n))
-	h.Write(b[:])
+	h := fnvUint64(fnvOffset64, uint64(n))
 	for i := 0; i < n; i++ {
-		binary.BigEndian.PutUint64(b[:], uint64(int64(labels[(rot+i)%n])))
-		h.Write(b[:])
+		h = fnvUint64(h, uint64(int64(labels[(rot+i)%n])))
 	}
-	return h.Sum64()
+	return h
 }
 
 // NewProtocol constructs the chosen algorithm for processes whose labels
@@ -284,10 +352,8 @@ func ProtocolFor(r *Ring, alg Algorithm, k int) (Protocol, error) {
 		return nil, fmt.Errorf("repro: unknown algorithm %d", int(alg))
 	}
 	spec := &registry[alg]
-	if spec.check != nil {
-		if err := spec.check(r, k); err != nil {
-			return nil, err
-		}
+	if _, err := spec.class.check(spec.name, r, k, nil); err != nil {
+		return nil, err
 	}
 	return spec.build(r, k)
 }
@@ -393,3 +459,113 @@ func RunTCP(r *Ring, alg Algorithm, k int, timeout time.Duration) (*Outcome, err
 // whose counter-clockwise label sequence is a Lyndon word — and false when
 // the ring is symmetric (no process is distinguishable).
 func TrueLeader(r *Ring) (int, bool) { return r.TrueLeader() }
+
+// protoKey identifies the protocol instance an ElectScratch has cached:
+// the registry build functions are pure in these parameters, so two
+// elections whose keys match can share one protocol value (and, for the
+// randomized engine, one Name() string and one stream-seed layout).
+type protoKey struct {
+	alg       Algorithm
+	k, n      int
+	labelBits int
+	rot       int
+	seed      uint64
+	valid     bool
+}
+
+// ElectScratch is the caller-owned arena for ElectInto: the simulator
+// scratch (machine pools, event heap, result), the Booth and multiplicity
+// scratch used by the ring-class checks and seed derivation, and a cached
+// protocol. A warmed scratch serves whole elections without heap
+// allocation — the serving layer keeps one per admission worker.
+//
+// An ElectScratch is single-threaded; concurrent elections need one each.
+// The zero value is ready to use.
+type ElectScratch struct {
+	sim    sim.Scratch
+	booth  []int
+	sorted []Label
+	proto  Protocol
+	key    protoKey
+}
+
+// NewElectScratch returns an empty arena, equivalent to new(ElectScratch).
+func NewElectScratch() *ElectScratch { return &ElectScratch{} }
+
+// protocolInto resolves the protocol for (r, alg, k) through the registry,
+// validating the ring class with sc's scratch and reusing sc's cached
+// protocol when the build parameters are unchanged — the common case for an
+// admission worker draining a batch of same-algorithm requests.
+func protocolInto(r *Ring, alg Algorithm, k int, sc *ElectScratch) (Protocol, error) {
+	if !ValidAlgorithm(alg) {
+		return nil, fmt.Errorf("repro: unknown algorithm %d", int(alg))
+	}
+	spec := &registry[alg]
+	var err error
+	sc.sorted, err = spec.class.check(spec.name, r, k, sc.sorted)
+	if err != nil {
+		return nil, err
+	}
+	key := protoKey{alg: alg, labelBits: r.LabelBits(), valid: true}
+	switch alg {
+	case AlgorithmA, AlgorithmB, AlgorithmAStar:
+		key.k = k
+	case AlgorithmChangRoberts, AlgorithmPeterson:
+		// labelBits alone determines the protocol.
+	case AlgorithmKnownN:
+		key.n = r.N()
+	case AlgorithmItaiRodeh:
+		labels := r.LabelsView()
+		key.n = r.N()
+		sc.booth = words.LyndonScratch(sc.booth, len(labels))
+		key.rot = words.LeastRotationIndexInto(labels, sc.booth)
+		key.seed = ringSeedAt(labels, key.rot)
+	default:
+		// A registered algorithm this switch does not know: build fresh
+		// (correct, just uncached).
+		return spec.build(r, k)
+	}
+	if sc.proto != nil && key == sc.key {
+		return sc.proto, nil
+	}
+	var p Protocol
+	if alg == AlgorithmItaiRodeh {
+		// Same protocol the registry build constructs, but from the rot and
+		// seed already computed for the cache key.
+		p, err = randalg.New(key.n, randalg.Alphabet, key.labelBits, key.rot, key.seed)
+	} else {
+		p, err = spec.build(r, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sc.proto, sc.key = p, key
+	return p, nil
+}
+
+// ElectInto is Elect executing entirely inside sc: same algorithm
+// resolution through the registry, same ring-class validation (identical
+// error text), same unit-delay asynchronous execution with full
+// specification checking, and a byte-identical Outcome — written into out
+// instead of allocated. A warmed scratch runs allocation-free, which is
+// what the serving miss path's per-worker arenas rely on
+// (internal/serve; DESIGN.md §11).
+func ElectInto(r *Ring, alg Algorithm, k int, sc *ElectScratch, out *Outcome) error {
+	p, err := protocolInto(r, alg, k, sc)
+	if err != nil {
+		return err
+	}
+	res, err := sim.RunAsyncInto(r, p, sim.ConstantDelay(1), sim.Options{}, &sc.sim)
+	if err != nil {
+		return err
+	}
+	*out = Outcome{
+		Leader:        res.LeaderIndex,
+		LeaderLabel:   r.Label(res.LeaderIndex),
+		TimeUnits:     res.TimeUnits,
+		Messages:      res.Messages,
+		TotalBits:     res.TotalBits,
+		PeakSpaceBits: res.PeakSpaceBits,
+	}
+	return nil
+}
