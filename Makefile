@@ -4,9 +4,9 @@
 GO ?= go
 
 .PHONY: all build check vet fmt-check test test-net test-serve test-wire \
-        test-cluster test-chaos test-rand test-kernel test-race race-concurrency test-short bench \
-        bench-serve bench-wire bench-cluster bench-miss bench-json bench-compare \
-        profile-serve experiments experiments-md fuzz fuzz-parse fuzz-wire \
+        test-cluster test-chaos test-secure test-rand test-kernel test-race race-concurrency test-short bench \
+        bench-serve bench-wire bench-cluster bench-miss bench-secure bench-json bench-compare \
+        profile-serve experiments experiments-md fuzz fuzz-parse fuzz-wire fuzz-secure \
         figures clean
 
 all: build check test
@@ -18,8 +18,9 @@ build:
 # election-serving daemon's race/shed/drain soak, the binary wire
 # protocol's pipelining/drain soak, the cluster gateway's routing/
 # failover/replica-kill soak, the crash-recovery chaos soak, and the
-# miss-path kernel's equivalence soak, wired into the default flow.
-check: vet fmt-check test-net test-serve test-wire test-cluster test-chaos test-rand test-kernel
+# miss-path kernel's equivalence soak, plus the hardened-transport
+# suite, wired into the default flow.
+check: vet fmt-check test-net test-serve test-wire test-cluster test-chaos test-secure test-rand test-kernel
 
 vet:
 	$(GO) vet ./...
@@ -73,6 +74,20 @@ test-cluster:
 test-chaos:
 	$(GO) test -race -count=1 -timeout 20m ./internal/chaos/ -chaos.seeds=20
 	$(GO) test -race -count=1 ./cmd/ringchaos/
+
+# The hardened transport under the race detector: the ringsec
+# handshake/record layer itself, then every layer that threads it —
+# sealed ring links, the secure serve port (downgrade, replay, unknown
+# client, per-peer rate limits), the keyed cluster fleet, the encrypted
+# 8-process ring, and the daemons' -keyfile paths — and finally the
+# adversarial chaos schedules (ciphertext garbage, replay, truncation,
+# mid-handshake cuts against real encrypted ringnode processes).
+test-secure:
+	$(GO) test -race -count=1 ./internal/secure/
+	$(GO) test -race -count=1 -run 'Secure|Sealed|RateLimit|Replay|Downgrade' \
+		./internal/netring/ ./internal/serve/ ./internal/cluster/ \
+		./cmd/ringnode/ ./cmd/ringd/ ./cmd/ringgw/ ./cmd/ringload/
+	$(GO) test -race -count=1 -timeout 20m -run 'Adversary' ./internal/chaos/
 
 # The randomized election engine: the seeded ensemble (200 seeds of
 # deterministic replay, draw statistics, rotation equivariance) plus a
@@ -138,6 +153,12 @@ bench-wire:
 bench-cluster:
 	$(GO) test -run '^$$' -bench 'ClusterElect' -benchmem -count 1 ./internal/cluster/
 
+# The encryption A/B pair: one cached election round trip over loopback
+# TCP, plaintext versus ringsec. The committed baseline requires secure
+# to stay <=3x the plaintext ns/op.
+bench-secure:
+	$(GO) test -run '^$$' -bench 'WireElect(Plain|Secure)' -benchmem -count 1 ./internal/serve/
+
 # Machine-readable experiment benchmark (same schema as BENCH_PR9.json),
 # with the serving, wire, cluster, and miss-path benchmarks merged into
 # its serve_bench, wire_bench, cluster_bench, and miss_bench sections.
@@ -151,15 +172,18 @@ bench-json:
 		| $(GO) run ./cmd/benchdiff -merge-cluster BENCH_NEW.json
 	$(GO) test -run '^$$' -bench 'ServeMiss(Kernel|Legacy)' -benchmem -count 1 ./internal/serve/ \
 		| $(GO) run ./cmd/benchdiff -merge-miss BENCH_NEW.json
+	$(GO) test -run '^$$' -bench 'WireElect(Plain|Secure)' -benchmem -count 1 ./internal/serve/ \
+		| $(GO) run ./cmd/benchdiff -merge-secure BENCH_NEW.json
 
 # Diff a fresh benchmark report against the committed baseline:
 # wall-clock deltas are informational; content drift, serve/wire/cluster/
-# miss ns/op regressions past tolerance, allocs/op increases, a wire hit
-# slipping below 5x the HTTP hit, a miss kernel slipping below 3x fewer
-# allocs or 1.5x the legacy path's speed, and (on multi-core hosts) a
+# miss/secure ns/op regressions past tolerance, allocs/op increases, a
+# wire hit slipping below 5x the HTTP hit, a miss kernel slipping below
+# 3x fewer allocs or 1.5x the legacy path's speed, an encrypted round
+# trip above 3x its plaintext equivalent, and (on multi-core hosts) a
 # replica ladder that stopped scaling fail the target.
 bench-compare: bench-json
-	$(GO) run ./cmd/benchdiff BENCH_PR9.json BENCH_NEW.json
+	$(GO) run ./cmd/benchdiff BENCH_PR10.json BENCH_NEW.json
 
 # Capture CPU and heap profiles of ringd under ringload traffic.
 # Artifacts land in ./profiles/ for `go tool pprof`.
@@ -198,6 +222,16 @@ fuzz-parse:
 # under internal/serve/testdata/fuzz/).
 fuzz-wire:
 	$(GO) test -fuzz=FuzzWireRequest -fuzztime=30s ./internal/serve/
+
+# Coverage-guided fuzzing of the encrypted transport's untrusted
+# surfaces: the ringsec handshake and record layer (seed corpus under
+# internal/secure/testdata/fuzz/), the sealed ring-link stream, and the
+# secure wire port's pre-authentication surface.
+fuzz-secure:
+	$(GO) test -fuzz=FuzzServerHandshake -fuzztime=30s ./internal/secure/
+	$(GO) test -fuzz=FuzzRecordStream -fuzztime=30s ./internal/secure/
+	$(GO) test -fuzz=FuzzSealedStream -fuzztime=30s ./internal/netring/
+	$(GO) test -fuzz=FuzzWireSecureHandshake -fuzztime=30s ./internal/serve/
 
 # The paper's figures: text + SVG Figure 1, DOT Figure 2.
 figures:

@@ -35,6 +35,14 @@
 // -miss-speedup in ns/op (default 1.5) — the scratch arenas' whole
 // reason to exist.
 //
+// A secure_bench section carries the encryption A/B pair
+// (BenchmarkWireElectPlain / BenchmarkWireElectSecure from `go test
+// -bench 'WireElect(Plain|Secure)'`), compared under the same tolerance
+// and allocation rules, plus one transport invariant checked on the NEW
+// report alone: the secure/plaintext ns/op ratio must stay at or below
+// -secure-overhead (default 3) — authenticated encryption that tripled
+// the round trip would push operators back to plaintext.
+//
 // A cluster_bench section carries the replica-scaling ladder
 // (BenchmarkClusterElect/replicas=N from `go test -bench ClusterElect`
 // in internal/cluster), compared under the same tolerance and
@@ -52,6 +60,7 @@
 //	go test -run '^$' -bench 'WireHit|HTTPHit' -benchmem ./internal/serve/ | benchdiff -merge-wire REPORT.json
 //	go test -run '^$' -bench ClusterElect -benchmem ./internal/cluster/ | benchdiff -merge-cluster REPORT.json
 //	go test -run '^$' -bench 'ServeMiss(Kernel|Legacy)' -benchmem ./internal/serve/ | benchdiff -merge-miss REPORT.json
+//	go test -run '^$' -bench 'WireElect(Plain|Secure)' -benchmem ./internal/serve/ | benchdiff -merge-secure REPORT.json
 //
 // The merge forms parse `go test -bench` output from stdin and write
 // it into REPORT.json's serve_bench / wire_bench / cluster_bench
@@ -123,6 +132,7 @@ type report struct {
 	WireBench    *serveBench  `json:"wire_bench,omitempty"`
 	ClusterBench *serveBench  `json:"cluster_bench,omitempty"`
 	MissBench    *serveBench  `json:"miss_bench,omitempty"`
+	SecureBench  *serveBench  `json:"secure_bench,omitempty"`
 }
 
 func main() {
@@ -154,6 +164,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	mergeWire := fs.String("merge-wire", "", "parse `go test -bench` output from stdin into FILE's wire_bench section and exit")
 	mergeCluster := fs.String("merge-cluster", "", "parse `go test -bench` output from stdin into FILE's cluster_bench section and exit")
 	mergeMiss := fs.String("merge-miss", "", "parse `go test -bench` output from stdin into FILE's miss_bench section and exit")
+	mergeSecure := fs.String("merge-secure", "", "parse `go test -bench` output from stdin into FILE's secure_bench section and exit")
+	secureOverhead := fs.Float64("secure-overhead", 3, "maximum WireElectSecure/WireElectPlain ns/op ratio the new report's secure_bench may hold (0 disables)")
 	missAllocFactor := fs.Float64("miss-alloc-factor", 3, "minimum ServeMissLegacy/ServeMissKernel allocs/op factor the new report's miss_bench must hold (0 disables)")
 	missSpeedup := fs.Float64("miss-speedup", 1.5, "minimum ServeMissLegacy/ServeMissKernel ns/op speedup the new report's miss_bench must hold (0 disables)")
 	if err := fs.Parse(args); err != nil {
@@ -164,6 +176,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		"wire_bench":    *mergeWire,
 		"cluster_bench": *mergeCluster,
 		"miss_bench":    *mergeMiss,
+		"secure_bench":  *mergeSecure,
 	}
 	active := 0
 	for _, path := range merges {
@@ -257,9 +270,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	drift += compareBenchSection("wire_bench", old.WireBench, cur.WireBench, *serveTol, stdout)
 	drift += compareBenchSection("cluster_bench", old.ClusterBench, cur.ClusterBench, *serveTol, stdout)
 	drift += compareBenchSection("miss_bench", old.MissBench, cur.MissBench, *serveTol, stdout)
+	drift += compareBenchSection("secure_bench", old.SecureBench, cur.SecureBench, *serveTol, stdout)
 	drift += checkWireRatio(cur.WireBench, *wireRatio, stdout)
 	drift += checkClusterScale(cur.ClusterBench, *clusterScale, stdout)
 	drift += checkMissFloors(cur.MissBench, *missAllocFactor, *missSpeedup, stdout)
+	drift += checkSecureOverhead(cur.SecureBench, *secureOverhead, stdout)
 
 	if drift > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d item(s) drifted\n", drift)
@@ -498,6 +513,40 @@ func checkMissFloors(cur *serveBench, allocFactor, speedup float64, stdout io.Wr
 	return drift
 }
 
+// checkSecureOverhead enforces the hardened transport's usability bound
+// on the NEW report alone: a cached election round trip through the
+// ringsec record layer must cost at most maxOverhead times its plaintext
+// equivalent. Skipped (not drift) when the report has no secure_bench or
+// lacks either side of the A/B pair — the section-drift check already
+// catches a pair that used to exist.
+func checkSecureOverhead(cur *serveBench, maxOverhead float64, stdout io.Writer) int {
+	if cur == nil || maxOverhead <= 0 {
+		return 0
+	}
+	var plain, sec float64
+	for _, b := range cur.Benchmarks {
+		switch b.Name {
+		case "WireElectPlain":
+			plain = b.NsPerOp
+		case "WireElectSecure":
+			sec = b.NsPerOp
+		}
+	}
+	if plain <= 0 || sec <= 0 {
+		return 0
+	}
+	ratio := sec / plain
+	verdict := "ok"
+	drift := 0
+	if ratio > maxOverhead {
+		verdict = "ABOVE CEILING"
+		drift = 1
+	}
+	fmt.Fprintf(stdout, "secure overhead: WireElectSecure %.1f ns/op / WireElectPlain %.1f ns/op = %.2fx (ceiling %.2fx)  %s\n",
+		sec, plain, ratio, maxOverhead, verdict)
+	return drift
+}
+
 // benchLine matches one `go test -bench` result line, e.g.
 //
 //	BenchmarkServeHit-8   1254979   923.4 ns/op   0 B/op   0 allocs/op
@@ -550,6 +599,8 @@ func runMerge(path, section string, stdin io.Reader, stdout, stderr io.Writer) i
 		r.ClusterBench = sb
 	case "miss_bench":
 		r.MissBench = sb
+	case "secure_bench":
+		r.SecureBench = sb
 	default:
 		r.ServeBench = sb
 	}

@@ -736,3 +736,103 @@ func TestMissBenchDrift(t *testing.T) {
 		t.Errorf("section drift not explicit:\n%s", out.String())
 	}
 }
+
+// withSecure splices a secure_bench section into the reportA fixture.
+func withSecure(section string) string {
+	return strings.ReplaceAll(reportA, `"total_wall_ms": 100,`,
+		`"total_wall_ms": 100, "secure_bench": `+section+`,`)
+}
+
+const secureSectionOld = `{
+  "gomaxprocs": 1,
+  "benchmarks": [
+    {"name": "WireElectPlain", "ns_per_op": 9200, "bytes_per_op": 425, "allocs_per_op": 5},
+    {"name": "WireElectSecure", "ns_per_op": 10600, "bytes_per_op": 489, "allocs_per_op": 11}
+  ]
+}`
+
+// TestMergeSecure: -merge-secure lands benchmark output in secure_bench,
+// leaving the other sections and the experiments untouched, and the
+// merged report round-trips through compare with the overhead verdict.
+func TestMergeSecure(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "r.json", withServe(serveSectionOld))
+	benchOut := `BenchmarkWireElectPlain    130843    9159 ns/op    425 B/op    5 allocs/op
+BenchmarkWireElectSecure   113860   10558 ns/op    489 B/op   11 allocs/op
+PASS
+`
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-merge-secure", path}, strings.NewReader(benchOut), &out, &errBuf); code != 0 {
+		t.Fatalf("merge exit %d: %s", code, errBuf.String())
+	}
+	merged, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.SecureBench == nil || len(merged.SecureBench.Benchmarks) != 2 {
+		t.Fatalf("secure_bench not merged: %+v", merged.SecureBench)
+	}
+	if merged.ServeBench == nil || len(merged.ServeBench.Benchmarks) != 2 {
+		t.Errorf("serve_bench clobbered by -merge-secure: %+v", merged.ServeBench)
+	}
+	if p := merged.SecureBench.Benchmarks[0]; p.Name != "WireElectPlain" || p.NsPerOp != 9159 || p.AllocsPerOp != 5 {
+		t.Errorf("WireElectPlain parsed as %+v", p)
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{path, path}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("self-compare after -merge-secure: exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "secure overhead:") {
+		t.Errorf("overhead line missing from compare:\n%s", out.String())
+	}
+}
+
+// TestSecureOverheadCeiling: the new report's secure/plaintext ns/op
+// ratio must stay at or below -secure-overhead, even when the secure
+// benchmark individually moved less than -serve-tol would allow; the
+// check is disabled with -secure-overhead 0.
+func TestSecureOverheadCeiling(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.json", withSecure(secureSectionOld))
+	b := write(t, dir, "b.json", withSecure(secureSectionOld))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, b}, nil, &out, &errBuf); code != 0 { // 1.15x <= 3x
+		t.Fatalf("exit %d, want 0:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "secure overhead:") || !strings.Contains(out.String(), "ok") {
+		t.Errorf("overhead verdict missing:\n%s", out.String())
+	}
+	// Ceiling violated: encryption ballooned to 4x the plaintext trip.
+	slow := strings.ReplaceAll(secureSectionOld, `"name": "WireElectSecure", "ns_per_op": 10600`,
+		`"name": "WireElectSecure", "ns_per_op": 36800`)
+	c := write(t, dir, "c.json", withSecure(slow))
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-serve-tol", "1000", a, c}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (4x is above the 3x ceiling):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ABOVE CEILING") {
+		t.Errorf("ceiling violation not flagged:\n%s", out.String())
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-serve-tol", "1000", "-secure-overhead", "0", a, c}, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, want 0 (ceiling disabled):\n%s", code, out.String())
+	}
+}
+
+// TestSecureBenchDrift: secure_bench follows the same section drift
+// rules as the other sections.
+func TestSecureBenchDrift(t *testing.T) {
+	dir := t.TempDir()
+	plain := write(t, dir, "plain.json", reportA)
+	sec := write(t, dir, "sec.json", withSecure(secureSectionOld))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{sec, plain}, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1 (secure_bench vanished):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "secure_bench: only in old report") {
+		t.Errorf("section drift not explicit:\n%s", out.String())
+	}
+}

@@ -17,6 +17,15 @@
 // -schedule-json to run a (possibly hand-edited) schedule file instead of
 // generating one.
 //
+// With -secure the harness generates a keypair per node and runs the
+// ring over authenticated encrypted links (ringsec). With -adversary
+// (implies -secure) the generated schedules switch to ciphertext
+// attacks — garbage injection, record replay, mid-record truncation,
+// mid-handshake severs — plus the usual crash faults, and the same
+// exact-match assertions must still hold:
+//
+//	ringchaos -ring "1 3 1 3 2 2 1 2" -algo ak -k 3 -adversary -seeds 20
+//
 // Exit codes: 0 all runs passed, 1 a run failed an assertion or a node
 // died with a violation, 2 usage error.
 package main
@@ -55,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 90*time.Second, "per-run deadline")
 		delay    = fs.Duration("base-delay", 3*time.Millisecond, "per-chunk link pacing that stretches the election so faults land mid-run")
 		stateDir = fs.String("state-dir", "", "directory for the nodes' durable snapshots (default: a fresh temp dir per run)")
+		secureFl = fs.Bool("secure", false, "run the ring over authenticated encrypted links (per-run generated keys)")
+		advFl    = fs.Bool("adversary", false, "generate adversarial ciphertext-attack schedules (implies -secure)")
 		verbose  = fs.Bool("v", false, "log fault firings and node restarts to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -86,8 +97,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		schedules = []chaos.Schedule{*s}
 	default:
+		gen := chaos.Generate
+		if *advFl {
+			gen = chaos.GenerateAdversary
+		}
 		for i := 0; i < *seeds; i++ {
-			schedules = append(schedules, chaos.Generate(*seed+int64(i), *spc, *algo, *k, r.N()))
+			schedules = append(schedules, gen(*seed+int64(i), *spc, *algo, *k, r.N()))
+		}
+	}
+	if *advFl {
+		*secureFl = true
+	}
+	for i := range schedules {
+		if schedules[i].HasAdversary() && !*secureFl {
+			fmt.Fprintln(stderr, "ringchaos: the schedule contains adversary events; pass -secure (or -adversary)")
+			return 2
 		}
 	}
 
@@ -127,6 +151,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			StateDir:    *stateDir,
 			Timeout:     *timeout,
 			BaseDelay:   *delay,
+			Secure:      *secureFl,
 			Log:         logf,
 		})
 		if err != nil {

@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/secure"
 	"repro/internal/serve"
 )
 
@@ -75,9 +76,28 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		crosscheck   = fs.Float64("crosscheck", 0, "fraction of cache hits re-verified against a fresh election (0 disables, 1 checks every hit)")
 		logEvery     = fs.Duration("log-every", time.Minute, "metrics summary log period (0 disables)")
 		drainWait    = fs.Duration("drain-wait", 30*time.Second, "how long shutdown waits for in-flight requests")
+
+		keyFile     = fs.String("keyfile", "", "ringsec private key file; requires authenticated encryption on the wire port")
+		allowedKeys = fs.String("allowed-keys", "", "file of client public keys (one base64 key per line) allowed on the secure wire port; empty allows any authenticated client")
+		genKey      = fs.String("genkey", "", "generate a fresh private key, write it to the given path, print the public key, and exit")
+		rlRate      = fs.Float64("rate-limit", 0, "per-peer sustained requests/sec on elect endpoints (0 disables); peers are key fingerprints on the secure wire port, remote hosts elsewhere")
+		rlBurst     = fs.Int("rate-burst", 0, "per-peer burst allowance (0 = ceil of -rate-limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *genKey != "" {
+		key, err := secure.GenerateKey()
+		if err != nil {
+			fmt.Fprintf(stderr, "ringd: %v\n", err)
+			return 1
+		}
+		if err := secure.WriteKeyFile(*genKey, key); err != nil {
+			fmt.Fprintf(stderr, "ringd: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, key.Public().String())
+		return 0
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(stderr, "ringd: unexpected arguments: %v\n", fs.Args())
@@ -86,6 +106,34 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	if *crosscheck < 0 || *crosscheck > 1 {
 		fmt.Fprintf(stderr, "ringd: -crosscheck must be in [0, 1]\n")
 		return 2
+	}
+	var wireSec *secure.ServerConfig
+	if *keyFile != "" {
+		if *wireAddr == "" {
+			fmt.Fprintf(stderr, "ringd: -keyfile requires -wire-addr (only the wire port speaks ringsec)\n")
+			return 2
+		}
+		identity, err := secure.LoadKeyFile(*keyFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "ringd: %v\n", err)
+			return 1
+		}
+		wireSec = &secure.ServerConfig{Config: secure.Config{Identity: identity}}
+		if *allowedKeys != "" {
+			allowed, err := secure.LoadPeerKeys(*allowedKeys)
+			if err != nil {
+				fmt.Fprintf(stderr, "ringd: %v\n", err)
+				return 1
+			}
+			wireSec.Allowed = allowed
+		}
+	} else if *allowedKeys != "" {
+		fmt.Fprintf(stderr, "ringd: -allowed-keys requires -keyfile\n")
+		return 2
+	}
+	var rateLimit *serve.RateLimitConfig
+	if *rlRate > 0 {
+		rateLimit = &serve.RateLimitConfig{Rate: *rlRate, Burst: *rlBurst}
 	}
 
 	logger := log.New(stderr, "ringd: ", log.LstdFlags)
@@ -110,8 +158,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 			default:
 			}
 		},
-		Logf:     logger.Printf,
-		LogEvery: *logEvery,
+		Logf:      logger.Printf,
+		LogEvery:  *logEvery,
+		RateLimit: rateLimit,
 	})
 
 	ln, err := net.Listen("tcp", *listen)
@@ -148,8 +197,13 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 			s.Close()
 			return 1
 		}
-		fmt.Fprintf(stdout, "ringd: wire listening on %s\n", wln.Addr())
-		ws = serve.NewWireServer(s)
+		if wireSec != nil {
+			fmt.Fprintf(stdout, "ringd: wire listening on %s (ringsec, key %s)\n",
+				wln.Addr(), wireSec.Identity.Public().ShortFingerprint())
+		} else {
+			fmt.Fprintf(stdout, "ringd: wire listening on %s\n", wln.Addr())
+		}
+		ws = serve.NewWireServerWith(s, serve.WireServerOptions{Secure: wireSec, RateLimit: rateLimit})
 		wireErr = make(chan error, 1)
 		go func() { wireErr <- ws.Serve(wln) }()
 	}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -14,6 +16,7 @@ import (
 
 	"repro/internal/load"
 	"repro/internal/ring"
+	"repro/internal/secure"
 	"repro/internal/serve"
 
 	repro "repro"
@@ -206,6 +209,142 @@ func TestDaemonListenFailure(t *testing.T) {
 }
 
 var wireListenLine = regexp.MustCompile(`ringd: wire listening on ([\d.]+:\d+)`)
+
+// startWireDaemon boots the daemon with both ports and waits for both
+// listen announcements.
+func startWireDaemon(t *testing.T, extra ...string) (string, string, chan struct{}, chan int, *syncBuffer, *syncBuffer) {
+	t.Helper()
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	args := append([]string{"-listen", "127.0.0.1:0", "-wire-addr", "127.0.0.1:0", "-log-every", "0"}, extra...)
+	go func() { exit <- run(args, stdout, stderr, stop) }()
+
+	var baseURL, wireAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for baseURL == "" || wireAddr == "" {
+		if m := listenLine.FindStringSubmatch(stdout.String()); m != nil {
+			baseURL = "http://" + m[1]
+		}
+		if m := wireListenLine.FindStringSubmatch(stdout.String()); m != nil {
+			wireAddr = m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced both addresses; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("daemon exited early with %d; stderr=%q", code, stderr.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return baseURL, wireAddr, stop, exit, stdout, stderr
+}
+
+// stopDaemon closes the stop channel and requires a clean exit.
+func stopDaemon(t *testing.T, stop chan struct{}, exit chan int, stderr *syncBuffer) {
+	t.Helper()
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestDaemonSecureWireMatchesPlaintext is the encrypted-transport
+// acceptance run: the same seeded crosschecking mix is driven over a
+// plaintext daemon and over a -keyfile daemon (with the client pinned in
+// -allowed-keys), and the two reports must agree exactly — encryption
+// changes what crosses the socket, never an election outcome or the
+// cache's behavior. The secure daemon must also announce its key
+// fingerprint so operators can pin it.
+func TestDaemonSecureWireMatchesPlaintext(t *testing.T) {
+	dir := t.TempDir()
+	serverKey, err := secure.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientKey, err := secure.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyPath := filepath.Join(dir, "ringd.key")
+	if err := secure.WriteKeyFile(keyPath, serverKey); err != nil {
+		t.Fatal(err)
+	}
+	allowedPath := filepath.Join(dir, "allowed.keys")
+	if err := os.WriteFile(allowedPath, []byte(clientKey.Public().String()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loadCfg := func(baseURL, wireAddr string, sec *secure.ClientConfig) load.Config {
+		return load.Config{
+			BaseURL:    baseURL,
+			Proto:      load.ProtoWire,
+			WireAddr:   wireAddr,
+			WireConns:  2,
+			WireSecure: sec,
+			Requests:   60,
+			Workers:    4,
+			Seed:       11,
+			Alg:        "B",
+			K:          3,
+			Crosscheck: 0.5,
+		}
+	}
+
+	baseURL, wireAddr, stop, exit, _, stderr := startWireDaemon(t, "-workers", "2", "-crosscheck", "1")
+	plain, err := load.Run(loadCfg(baseURL, wireAddr, nil))
+	if err != nil {
+		t.Fatalf("plaintext load: %v", err)
+	}
+	stopDaemon(t, stop, exit, stderr)
+
+	baseURL, wireAddr, stop, exit, stdout, stderr := startWireDaemon(t,
+		"-workers", "2", "-crosscheck", "1", "-keyfile", keyPath, "-allowed-keys", allowedPath)
+	if s := stdout.String(); !strings.Contains(s, "ringsec, key "+serverKey.Public().ShortFingerprint()) {
+		t.Errorf("secure daemon did not announce its fingerprint: %q", s)
+	}
+	enc, err := load.Run(loadCfg(baseURL, wireAddr, &secure.ClientConfig{
+		Config:    secure.Config{Identity: clientKey},
+		ServerKey: serverKey.Public(),
+	}))
+	if err != nil {
+		t.Fatalf("encrypted load: %v", err)
+	}
+
+	if plain.OK != 60 || plain.TransportErrors != 0 || plain.Divergences != 0 {
+		t.Fatalf("plaintext baseline unhealthy: %+v", plain)
+	}
+	if enc.OK != plain.OK || enc.TransportErrors != plain.TransportErrors ||
+		enc.Cached != plain.Cached || enc.Crosschecks != plain.Crosschecks ||
+		enc.Divergences != plain.Divergences {
+		t.Errorf("encrypted run diverged from plaintext:\nplain: %+v\nenc:   %+v", plain, enc)
+	}
+	stopDaemon(t, stop, exit, stderr)
+}
+
+// TestDaemonSecureFlagErrors covers the ringsec usage and key-loading
+// exits.
+func TestDaemonSecureFlagErrors(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want int
+	}{
+		{[]string{"-keyfile", "x.key"}, 2},                                           // no -wire-addr
+		{[]string{"-allowed-keys", "x.keys"}, 2},                                     // no -keyfile
+		{[]string{"-wire-addr", "127.0.0.1:0", "-keyfile", "/no/such/ringd.key"}, 1}, // unreadable key
+	} {
+		var out, errb bytes.Buffer
+		if code := run(tc.args, &out, &errb, make(chan struct{})); code != tc.want {
+			t.Errorf("run(%v) = %d, want %d; stderr=%q", tc.args, code, tc.want, errb.String())
+		}
+	}
+}
 
 // TestDaemonWireServesAndDrains is the -wire-addr acceptance run: boot
 // the daemon with both ports, drive a seeded crosschecking load mix

@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/netring"
+	"repro/internal/secure"
 	"repro/internal/serve"
 )
 
@@ -77,6 +78,12 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		maxRing      = fs.Int("max-ring", 4096, "largest accepted ring size")
 		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request budget on the wire frontend")
 		drainWait    = fs.Duration("drain-wait", 30*time.Second, "how long shutdown waits for in-flight requests")
+
+		keyFile     = fs.String("keyfile", "", "gateway's ringsec private key file: dials replicas whose roster entries carry pub_key, and (with -wire-secure) accepts encrypted clients on the wire port")
+		allowedKeys = fs.String("allowed-keys", "", "file of client public keys allowed on the secure wire port (requires -wire-secure); empty allows any authenticated client")
+		wireSecure  = fs.Bool("wire-secure", false, "require the ringsec handshake on the gateway's own wire port (requires -keyfile)")
+		rlRate      = fs.Float64("rate-limit", 0, "per-peer sustained requests/sec on the wire frontend (0 disables)")
+		rlBurst     = fs.Int("rate-burst", 0, "per-peer burst allowance (0 = ceil of -rate-limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,6 +112,23 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		return 2
 	}
 
+	var identity *secure.PrivateKey
+	if *keyFile != "" {
+		identity, err = secure.LoadKeyFile(*keyFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "ringgw: %v\n", err)
+			return 1
+		}
+	}
+	if *wireSecure && identity == nil {
+		fmt.Fprintf(stderr, "ringgw: -wire-secure requires -keyfile\n")
+		return 2
+	}
+	if *allowedKeys != "" && !*wireSecure {
+		fmt.Fprintf(stderr, "ringgw: -allowed-keys requires -wire-secure\n")
+		return 2
+	}
+
 	logger := log.New(stderr, "ringgw: ", log.LstdFlags)
 	health := cluster.StartHealth(roster, cluster.HealthConfig{
 		Interval:     *probeEvery,
@@ -121,6 +145,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		HedgeAfter:      *hedgeAfter,
 		HedgeMultiplier: *hedgeMult,
 		MaxAttempts:     *maxAttempts,
+		Identity:        identity,
 		Logf:            logger.Printf,
 	})
 	if err != nil {
@@ -157,12 +182,33 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 			shutdown()
 			return 1
 		}
-		fmt.Fprintf(stdout, "ringgw: wire listening on %s\n", wln.Addr())
-		fe = serve.NewWireFrontend(gw, serve.WireFrontendConfig{
+		feCfg := serve.WireFrontendConfig{
 			MaxRingSize:    *maxRing,
 			RequestTimeout: *reqTimeout,
 			Metrics:        gw.Metrics(),
-		})
+		}
+		if *rlRate > 0 {
+			feCfg.RateLimit = &serve.RateLimitConfig{Rate: *rlRate, Burst: *rlBurst}
+		}
+		if *wireSecure {
+			feCfg.Secure = &secure.ServerConfig{Config: secure.Config{Identity: identity}}
+			if *allowedKeys != "" {
+				allowed, err := secure.LoadPeerKeys(*allowedKeys)
+				if err != nil {
+					fmt.Fprintf(stderr, "ringgw: %v\n", err)
+					ln.Close()
+					wln.Close()
+					shutdown()
+					return 1
+				}
+				feCfg.Secure.Allowed = allowed
+			}
+			fmt.Fprintf(stdout, "ringgw: wire listening on %s (ringsec, key %s)\n",
+				wln.Addr(), identity.Public().ShortFingerprint())
+		} else {
+			fmt.Fprintf(stdout, "ringgw: wire listening on %s\n", wln.Addr())
+		}
+		fe = serve.NewWireFrontend(gw, feCfg)
 		wireErr = make(chan error, 1)
 		go func() { wireErr <- fe.Serve(wln) }()
 	}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/load"
+	"repro/internal/secure"
 	"repro/internal/serve"
 )
 
@@ -211,6 +212,120 @@ func TestGatewayDaemonRosterFile(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("gateway did not shut down")
+	}
+}
+
+// startSecureFleet boots n keyed replicas and writes their roster —
+// pub_key entries included — to a JSON file, the only roster form that
+// can carry keys.
+func startSecureFleet(t *testing.T, n int) (*cluster.LocalFleet, string) {
+	t.Helper()
+	fleet, err := cluster.StartSecureLocalFleet(n, serve.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Stop)
+	data, err := json.Marshal(fleet.Roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return fleet, path
+}
+
+// TestGatewaySecureEndToEnd runs the fully hardened path: an encrypted
+// client dials the gateway's -wire-secure port, and the gateway's own
+// identity dials the keyed replicas — two independent ringsec hops, with
+// the plaintext HTTP API still answering beside them. The seeded
+// crosschecking mix must come back exactly as it does on a plaintext
+// ladder: every request OK, zero divergences from the local simulator.
+func TestGatewaySecureEndToEnd(t *testing.T) {
+	_, rosterPath := startSecureFleet(t, 2)
+	dir := t.TempDir()
+	gwKey, err := secure.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientKey, err := secure.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyPath := filepath.Join(dir, "gw.key")
+	if err := secure.WriteKeyFile(keyPath, gwKey); err != nil {
+		t.Fatal(err)
+	}
+	allowedPath := filepath.Join(dir, "allowed.keys")
+	if err := os.WriteFile(allowedPath, []byte(clientKey.Public().String()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	baseURL, wireAddr, stop, exit, stderr := startGateway(t,
+		"-roster", rosterPath, "-keyfile", keyPath,
+		"-wire-addr", "127.0.0.1:0", "-wire-secure", "-allowed-keys", allowedPath)
+
+	rep, err := load.Run(load.Config{
+		BaseURL:   baseURL,
+		Proto:     load.ProtoWire,
+		WireAddr:  wireAddr,
+		WireConns: 2,
+		WireSecure: &secure.ClientConfig{
+			Config:    secure.Config{Identity: clientKey},
+			ServerKey: gwKey.Public(),
+		},
+		Requests:   80,
+		Workers:    4,
+		Seed:       7,
+		Alg:        "B",
+		K:          3,
+		Crosscheck: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("secure wire load: %v", err)
+	}
+	if rep.OK != 80 || rep.TransportErrors != 0 {
+		t.Errorf("secure run: ok=%d transport=%d, want 80/0", rep.OK, rep.TransportErrors)
+	}
+	if rep.Crosschecks == 0 || rep.Divergences != 0 {
+		t.Errorf("crosschecks=%d divergences=%d, want >0 and 0", rep.Crosschecks, rep.Divergences)
+	}
+
+	resp, err := http.Post(baseURL+"/v1/elect", "application/json",
+		strings.NewReader(`{"ring":"1 3 1 3 2 2 1 2","alg":"B","k":3}`))
+	if err != nil {
+		t.Fatalf("http elect beside secure wire: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("http elect status %d, want 200", resp.StatusCode)
+	}
+
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("gateway did not shut down")
+	}
+}
+
+// TestGatewaySecureRosterNeedsKeyfile: a roster with pub_key entries and
+// no -keyfile is a misconfiguration the router rejects at construction —
+// the daemon must exit 1 naming the missing flag, not boot a gateway
+// that fails every dial.
+func TestGatewaySecureRosterNeedsKeyfile(t *testing.T) {
+	_, rosterPath := startSecureFleet(t, 1)
+	var out, errb bytes.Buffer
+	code := run([]string{"-roster", rosterPath, "-listen", "127.0.0.1:0"}, &out, &errb, make(chan struct{}))
+	if code != 1 {
+		t.Errorf("exit %d, want 1; stderr=%q", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "keyfile") {
+		t.Errorf("stderr %q does not name the missing -keyfile", errb.String())
 	}
 }
 

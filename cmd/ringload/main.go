@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/load"
+	"repro/internal/secure"
 )
 
 func main() {
@@ -71,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		engine     = fs.String("engine", "sim", "execution engine: sim or goroutines")
 		crosscheck = fs.Float64("crosscheck", 0, "fraction of responses re-verified locally (0 disables)")
 		timeout    = fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+		keyFile    = fs.String("keyfile", "", "client's ringsec private key file; with -server-key, encrypts every wire connection")
+		serverKey  = fs.String("server-key", "", "target's base64 ringsec public key (required with -keyfile)")
 
 		clusterMode    = fs.Bool("cluster", false, "run an in-process replica ladder behind a gateway instead of targeting -url")
 		replicasSpec   = fs.String("replicas", "1,2,4", "fleet-size ladder for -cluster, comma-separated")
@@ -98,12 +101,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ringload: -proto wire requires -wire-addr\n")
 		return 2
 	}
+	if (*keyFile == "") != (*serverKey == "") {
+		fmt.Fprintf(stderr, "ringload: -keyfile and -server-key must be set together\n")
+		return 2
+	}
+	var wireSec *secure.ClientConfig
+	if *keyFile != "" {
+		if *proto != load.ProtoWire {
+			fmt.Fprintf(stderr, "ringload: -keyfile requires -proto wire (only RGV1 speaks ringsec)\n")
+			return 2
+		}
+		identity, err := secure.LoadKeyFile(*keyFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "ringload: %v\n", err)
+			return 1
+		}
+		sk, err := secure.ParsePublicKey(*serverKey)
+		if err != nil {
+			fmt.Fprintf(stderr, "ringload: -server-key: %v\n", err)
+			return 1
+		}
+		wireSec = &secure.ClientConfig{Config: secure.Config{Identity: identity}, ServerKey: sk}
+	}
 
 	loadCfg := load.Config{
 		BaseURL:           *url,
 		Proto:             *proto,
 		WireAddr:          *wireAddr,
 		WireConns:         *wireConns,
+		WireSecure:        wireSec,
 		Requests:          *n,
 		Workers:           *workers,
 		Seed:              *seed,

@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"net"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/load"
+	"repro/internal/secure"
 	"repro/internal/serve"
 )
 
@@ -129,12 +131,77 @@ func TestRunWireAgainstServer(t *testing.T) {
 	}
 }
 
+// TestRunSecureWireAgainstServer drives the mix through the CLI's
+// -keyfile/-server-key path against a secure wire server: the client
+// loads its identity from disk, pins the server's public key from the
+// flag, and the report must look exactly like a plaintext wire run.
+func TestRunSecureWireAgainstServer(t *testing.T) {
+	serverKey, err := secure.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientKey, err := secure.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyPath := filepath.Join(t.TempDir(), "client.key")
+	if err := secure.WriteKeyFile(keyPath, clientKey); err != nil {
+		t.Fatal(err)
+	}
+
+	s := serve.New(serve.Config{Workers: 2})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	ws := serve.NewWireServerWith(s, serve.WireServerOptions{
+		Secure: &secure.ServerConfig{
+			Config:  secure.Config{Identity: serverKey},
+			Allowed: []secure.PublicKey{clientKey.Public()},
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ws.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := ws.Shutdown(ctx); err != nil {
+			t.Errorf("wire shutdown: %v", err)
+		}
+		s.Close()
+	}()
+
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-proto", "wire", "-wire-addr", ln.Addr().String(),
+		"-keyfile", keyPath, "-server-key", serverKey.Public().String(),
+		"-wire-conns", "2", "-n", "60", "-workers", "4", "-seed", "3",
+		"-alg", "B", "-k", "3", "-crosscheck", "0.5",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr=%q", code, errb.String())
+	}
+	var rep load.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
+	}
+	if rep.Requests != 60 || rep.OK != 60 {
+		t.Errorf("report accounting: %+v", rep)
+	}
+	if rep.Crosschecks != 30 || rep.Divergences != 0 {
+		t.Errorf("crosschecks=%d divergences=%d, want 30/0", rep.Crosschecks, rep.Divergences)
+	}
+}
+
 // TestRunWireFlagErrors: -proto validation is a usage error, before any
 // traffic.
 func TestRunWireFlagErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-proto", "grpc"},
 		{"-proto", "wire"}, // missing -wire-addr
+		{"-proto", "wire", "-wire-addr", "127.0.0.1:1", "-keyfile", "x.key"}, // no -server-key
+		{"-proto", "http", "-keyfile", "x.key", "-server-key", "AAAA"},       // ringsec is wire-only
 	} {
 		var out, errb bytes.Buffer
 		if code := run(args, &out, &errb); code != 2 {

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netring"
+	"repro/internal/secure"
 	"repro/internal/spec"
 	"repro/internal/trace"
 
@@ -73,9 +74,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stateDir = fs.String("state-dir", "", "directory for the durable state snapshot; enables crash recovery (relaunch with identical flags to resume)")
 		fsync    = fs.Bool("fsync", false, "fsync each state snapshot before the atomic rename (survive machine crashes, not just process kills)")
 		jsonOut  = fs.Bool("json", false, "print the final result as one JSON object on stdout")
+
+		keyFile  = fs.String("keyfile", "", "this node's ringsec private key file; with -peer-keys, runs both ring links over authenticated encryption")
+		peerKeys = fs.String("peer-keys", "", "roster of all nodes' public keys, one base64 key per line in ring-index order (required with -keyfile)")
+		genKey   = fs.String("genkey", "", "generate a fresh private key, write it to the given path, print the public key, and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *genKey != "" {
+		key, err := secure.GenerateKey()
+		if err != nil {
+			fmt.Fprintln(stderr, "ringnode:", err)
+			return 1
+		}
+		if err := secure.WriteKeyFile(*genKey, key); err != nil {
+			fmt.Fprintln(stderr, "ringnode:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, key.Public().String())
+		return 0
 	}
 	if *listen == "" || *next == "" || *spc == "" || *index < 0 {
 		fmt.Fprintln(stderr, "ringnode: -listen, -next, -ring and -index are required (see -help)")
@@ -99,6 +117,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "ringnode:", err)
 		return 1
+	}
+	var identity *secure.PrivateKey
+	var roster []secure.PublicKey
+	if (*keyFile == "") != (*peerKeys == "") {
+		fmt.Fprintln(stderr, "ringnode: -keyfile and -peer-keys must be set together")
+		return 2
+	}
+	if *keyFile != "" {
+		identity, err = secure.LoadKeyFile(*keyFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringnode:", err)
+			return 1
+		}
+		roster, err = secure.LoadPeerKeys(*peerKeys)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringnode:", err)
+			return 1
+		}
+		if len(roster) != r.N() {
+			fmt.Fprintf(stderr, "ringnode: -peer-keys has %d keys for a ring of %d\n", len(roster), r.N())
+			return 1
+		}
+		if !roster[*index].Equal(identity.Public()) {
+			fmt.Fprintf(stderr, "ringnode: -keyfile's public key is not entry %d of -peer-keys\n", *index)
+			return 1
+		}
 	}
 
 	if !*jsonOut {
@@ -148,6 +192,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		StatePath:  statePath,
 		Fsync:      *fsync,
 		OnRecover:  onRecover,
+		Identity:   identity,
+		PeerKeys:   roster,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "ringnode:", err)

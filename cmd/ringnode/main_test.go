@@ -123,6 +123,92 @@ func TestRingAcrossRealProcesses(t *testing.T) {
 	}
 }
 
+// TestSecureRingAcrossRealProcesses is the encrypted twin of
+// TestRingAcrossRealProcesses: keys are generated through the -genkey
+// CLI path, every process gets -keyfile/-peer-keys, and the 8-process
+// election must agree on the same leader as the plaintext run — the
+// transport must be invisible to the protocol.
+func TestSecureRingAcrossRealProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess ring")
+	}
+	const spec = "1 3 1 3 2 2 1 2"
+	const n = 8
+	dir := t.TempDir()
+	var roster strings.Builder
+	keyFiles := make([]string, n)
+	for i := 0; i < n; i++ {
+		keyFiles[i] = filepath.Join(dir, fmt.Sprintf("node-%d.key", i))
+		var pub, errBuf bytes.Buffer
+		if code := run([]string{"-genkey", keyFiles[i]}, &pub, &errBuf); code != 0 {
+			t.Fatalf("genkey %d: exit %d: %s", i, code, errBuf.String())
+		}
+		roster.WriteString(pub.String())
+	}
+	peersFile := filepath.Join(dir, "peers.keys")
+	if err := os.WriteFile(peersFile, []byte(roster.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := freeAddrs(t, n)
+	cmds := make([]*exec.Cmd, n)
+	outs := make([]bytes.Buffer, n)
+	for i := n - 1; i >= 0; i-- {
+		args := append([]string{"-test.run=TestHelperRingnode", "--"}, nodeArgs(addrs, spec, i, "ak", 3)...)
+		args = append(args, "-keyfile", keyFiles[i], "-peer-keys", peersFile)
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Env = append(os.Environ(), "RINGNODE_HELPER=1")
+		cmd.Stdout = &outs[i]
+		cmd.Stderr = &outs[i]
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds[i] = cmd
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("process %d failed: %v\n%s", i, err, outs[i].String())
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !strings.Contains(outs[i].String(), "leader label 1") {
+			t.Errorf("process %d disagrees on the leader:\n%s", i, outs[i].String())
+		}
+	}
+	if !strings.Contains(outs[0].String(), "LEADER") {
+		t.Errorf("p0 must win on the Figure 1 ring:\n%s", outs[0].String())
+	}
+}
+
+// TestSecureKeyMismatchFailsFast gives node 1 a roster that does not
+// contain its own key: the process must refuse to start rather than
+// join a ring it cannot authenticate to.
+func TestSecureKeyMismatchFailsFast(t *testing.T) {
+	dir := t.TempDir()
+	var pub0, pub1, errBuf bytes.Buffer
+	k0, k1 := filepath.Join(dir, "n0.key"), filepath.Join(dir, "n1.key")
+	if code := run([]string{"-genkey", k0}, &pub0, &errBuf); code != 0 {
+		t.Fatalf("genkey: %s", errBuf.String())
+	}
+	if code := run([]string{"-genkey", k1}, &pub1, &errBuf); code != 0 {
+		t.Fatalf("genkey: %s", errBuf.String())
+	}
+	// A roster of two copies of node 0's key: node 1's key is absent.
+	peers := filepath.Join(dir, "peers.keys")
+	if err := os.WriteFile(peers, []byte(pub0.String()+pub0.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errs bytes.Buffer
+	code := run([]string{"-listen", "127.0.0.1:0", "-next", "127.0.0.1:1", "-ring", "1 2", "-index", "1",
+		"-keyfile", k1, "-peer-keys", peers}, &out, &errs)
+	if code == 0 {
+		t.Fatalf("node started with a roster missing its own key:\n%s", out.String())
+	}
+	if !strings.Contains(errs.String(), "-peer-keys") {
+		t.Errorf("no roster diagnostic in: %s", errs.String())
+	}
+}
+
 // TestHelperRingnode is not a test: it is the child body of
 // TestRingAcrossRealProcesses, running one ringnode main.
 func TestHelperRingnode(t *testing.T) {

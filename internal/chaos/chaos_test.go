@@ -104,6 +104,7 @@ func TestValidateRejectsBadSchedules(t *testing.T) {
 		{Events: []Event{{Kind: KindKill, Node: 9}}},
 		{Events: []Event{{Kind: KindKill, Node: -1}}},
 		{Events: []Event{{Kind: KindDelay, Node: 0, DurationMS: -5}}},
+		{Events: []Event{{Kind: KindGarbage, Node: 0, Bytes: -1}}},
 	}
 	for i, s := range cases {
 		if err := s.Validate(3); err == nil {
@@ -112,23 +113,66 @@ func TestValidateRejectsBadSchedules(t *testing.T) {
 	}
 }
 
-// runSeed executes one generated schedule and fails the test with the
-// full reproduction recipe on any assertion breach.
-func runSeed(t *testing.T, seed int64, ringSpec, alg string, k, n int) *Report {
+// TestGenerateAdversaryDeterministic pins the adversary generator's
+// replay guarantee and its coverage floor: every schedule carries at
+// least one of each ciphertext attack.
+func TestGenerateAdversaryDeterministic(t *testing.T) {
+	const ringSpec = "1 3 1 3 2 2 1 2"
+	for seed := int64(0); seed < 50; seed++ {
+		a := GenerateAdversary(seed, ringSpec, "ak", 3, 8)
+		b := GenerateAdversary(seed, ringSpec, "ak", 3, 8)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n%s\nvs\n%s", seed, &a, &b)
+		}
+		if err := a.Validate(8); err != nil {
+			t.Fatalf("seed %d: invalid schedule: %v", seed, err)
+		}
+		if !a.HasAdversary() {
+			t.Fatalf("seed %d: adversary schedule without adversary events:\n%s", seed, &a)
+		}
+		counts := a.Counts()
+		for _, kind := range []string{KindGarbage, KindReplay, KindTruncate, KindHandshakeCut} {
+			if counts[kind] < 1 {
+				t.Fatalf("seed %d: no %s event in schedule:\n%s", seed, kind, &a)
+			}
+		}
+	}
+}
+
+// TestAdversaryRequiresSecure pins the downgrade guard: an adversary
+// schedule on a plaintext ring is refused before any process spawns,
+// because injected ciphertext would surface as a frame-protocol
+// violation rather than a survivable transient fault.
+func TestAdversaryRequiresSecure(t *testing.T) {
+	s := GenerateAdversary(1, "1 3 1 3 2 2 1 2", "ak", 3, 8)
+	if _, err := Run(&s, Options{RingnodeBin: ringnodeBin}); err == nil {
+		t.Fatal("adversary schedule accepted without Options.Secure")
+	}
+}
+
+// runSchedule executes one schedule and fails the test with the full
+// reproduction recipe on any assertion breach.
+func runSchedule(t *testing.T, s Schedule, secure bool) *Report {
 	t.Helper()
-	s := Generate(seed, ringSpec, alg, k, n)
 	rep, err := Run(&s, Options{
 		RingnodeBin: ringnodeBin,
 		Timeout:     60 * time.Second,
+		Secure:      secure,
 		Log:         t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.LeaderIndex < 0 || rep.Messages <= 0 {
-		t.Fatalf("seed %d: degenerate report %+v", seed, rep)
+		t.Fatalf("seed %d: degenerate report %+v", s.Seed, rep)
 	}
 	return rep
+}
+
+// runSeed executes one generated crash schedule.
+func runSeed(t *testing.T, seed int64, ringSpec, alg string, k, n int) *Report {
+	t.Helper()
+	return runSchedule(t, Generate(seed, ringSpec, alg, k, n), false)
 }
 
 // TestChaosSurvivesKillAndPartition is the acceptance core on the Figure 1
@@ -185,5 +229,44 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if recoveries == 0 {
 		t.Error("no run recovered from a snapshot: kills all landed after termination (pacing too fast?)")
+	}
+}
+
+// TestChaosSecureKillAndPartition reruns the acceptance core over
+// authenticated encrypted links: the crash schedule's guarantees — the
+// simulator's leader, the exact message count — must survive key-file
+// reloads and rekey-on-reconnect after every kill and partition.
+func TestChaosSecureKillAndPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess chaos run")
+	}
+	rep := runSchedule(t, Generate(3, "1 3 1 3 2 2 1 2", "ak", 3, 8), true)
+	if rep.SurvivedFaults[KindKill]+rep.SurvivedFaults[KindSlowRestart] < 1 ||
+		rep.SurvivedFaults[KindPartition] < 1 {
+		t.Fatalf("schedule missing required faults: %+v", rep.SurvivedFaults)
+	}
+}
+
+// TestAdversarySoak sweeps -chaos.seeds adversarial schedules — garbage
+// ciphertext, replayed records, mid-record truncations, mid-handshake
+// severs, plus crash faults — across the algorithms on the Figure 1
+// ring. Every run must still elect the simulator's leader with the
+// simulator's exact message count and no process may die with a
+// violation: the ciphertext attacks have to be indistinguishable from
+// transient link failures. The Makefile's test-chaos target runs this
+// with -race and -chaos.seeds=20.
+func TestAdversarySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping adversary soak")
+	}
+	algs := []string{"ak", "bk", "astar", "ir"}
+	for seed := int64(0); seed < int64(*chaosSeeds); seed++ {
+		alg := algs[seed%int64(len(algs))]
+		t.Run(fmt.Sprintf("seed-%d-%s", seed, alg), func(t *testing.T) {
+			s := GenerateAdversary(seed, "1 3 1 3 2 2 1 2", alg, 3, 8)
+			rep := runSchedule(t, s, true)
+			t.Logf("seed %d %s: leader p%d, %d msgs, %d retransmits, %d recoveries, faults %v, %dms",
+				seed, alg, rep.LeaderIndex, rep.Messages, rep.Retransmits, rep.Recoveries, rep.SurvivedFaults, rep.WallMS)
+		})
 	}
 }

@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"repro/internal/secure"
 	"repro/internal/sim"
 
 	repro "repro"
@@ -28,6 +31,13 @@ type Options struct {
 	// BaseDelay is the proxies' per-chunk pacing delay, stretching the
 	// election so faults land mid-run. Default 3ms.
 	BaseDelay time.Duration
+	// Secure runs the ring over authenticated encrypted links: the
+	// harness generates a fresh keypair per node, writes the key files
+	// and the peer roster into StateDir, and passes -keyfile/-peer-keys
+	// to every process. Required for adversary schedules — the
+	// ciphertext attacks are only survivable (and only meaningful)
+	// against the hardened transport.
+	Secure bool
 	// Log, when set, receives progress lines (fault firings, restarts).
 	// Calls are serialized by Run, so the callback may write to a plain
 	// io.Writer without its own locking.
@@ -238,6 +248,9 @@ func Run(s *Schedule, opts Options) (*Report, error) {
 	if err := s.Validate(n); err != nil {
 		return nil, err
 	}
+	if s.HasAdversary() && !opts.Secure {
+		return nil, errors.New("chaos: adversary events require Options.Secure — on a plaintext ring injected ciphertext is a frame-protocol violation, not a survivable fault")
+	}
 	alg, err := repro.ParseAlgorithm(s.Alg)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
@@ -302,22 +315,48 @@ func Run(s *Schedule, opts Options) (*Report, error) {
 		}
 	}
 
+	// Secure mode: a keypair per node, key files plus the shared peer
+	// roster in stateDir. A relaunched incarnation reloads the same key
+	// file, so recovery and rekey-on-reconnect compose.
+	var keyFiles []string
+	var peersFile string
+	if opts.Secure {
+		keyFiles = make([]string, n)
+		var roster bytes.Buffer
+		for i := 0; i < n; i++ {
+			key, err := secure.GenerateKey()
+			if err != nil {
+				return nil, fmt.Errorf("chaos: generating node %d key: %w", i, err)
+			}
+			keyFiles[i] = filepath.Join(stateDir, fmt.Sprintf("node-%d.key", i))
+			if err := secure.WriteKeyFile(keyFiles[i], key); err != nil {
+				return nil, fmt.Errorf("chaos: %w", err)
+			}
+			fmt.Fprintln(&roster, key.Public().String())
+		}
+		peersFile = filepath.Join(stateDir, "peers.keys")
+		if err := os.WriteFile(peersFile, roster.Bytes(), 0o644); err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+	}
+
 	sups := make([]*supervisor, n)
 	for i := 0; i < n; i++ {
-		sups[i] = &supervisor{
-			idx: i, bin: opts.RingnodeBin, log: logf,
-			args: []string{
-				"-listen", nodeAddrs[i],
-				"-next", proxyAddrs[i],
-				"-ring", s.Ring,
-				"-index", fmt.Sprint(i),
-				"-algo", s.Alg,
-				"-k", fmt.Sprint(s.K),
-				"-state-dir", stateDir,
-				"-timeout", opts.Timeout.String(),
-				"-json",
-			},
+		args := []string{
+			"-listen", nodeAddrs[i],
+			"-next", proxyAddrs[i],
+			"-ring", s.Ring,
+			"-index", fmt.Sprint(i),
+			"-algo", s.Alg,
+			"-k", fmt.Sprint(s.K),
+			"-state-dir", stateDir,
+			"-timeout", opts.Timeout.String(),
+			"-json",
 		}
+		if opts.Secure {
+			args = append(args, "-keyfile", keyFiles[i], "-peer-keys", peersFile)
+		}
+		sups[i] = &supervisor{idx: i, bin: opts.RingnodeBin, log: logf, args: args}
 	}
 
 	start := time.Now()
@@ -354,6 +393,9 @@ func Run(s *Schedule, opts Options) (*Report, error) {
 	}
 	go func() {
 		defer close(execDone)
+		// Junk bytes for garbage events; seeded so a replayed schedule
+		// injects the identical junk. Used only from this goroutine.
+		advRng := rand.New(rand.NewSource(s.Seed ^ 0x61647665727361))
 		for _, e := range s.Events {
 			e := e
 			if wait := time.Duration(e.AtMS)*time.Millisecond - time.Since(start); wait > 0 {
@@ -386,6 +428,26 @@ func Run(s *Schedule, opts Options) (*Report, error) {
 				px := proxies[e.Node]
 				px.addExtraDelay(d)
 				after(time.Duration(e.DurationMS)*time.Millisecond, func() { px.addExtraDelay(-d) })
+			case KindGarbage:
+				hit := proxies[e.Node].injectGarbage(advRng, e.Bytes)
+				if logf != nil {
+					logf("t=%v garbage %dB into link %d→%d (live conn: %t)", time.Since(start).Round(time.Millisecond), e.Bytes, e.Node, (e.Node+1)%n, hit)
+				}
+			case KindReplay:
+				hit := proxies[e.Node].injectReplay()
+				if logf != nil {
+					logf("t=%v replay last chunk on link %d→%d (captured: %t)", time.Since(start).Round(time.Millisecond), e.Node, (e.Node+1)%n, hit)
+				}
+			case KindTruncate:
+				hit := proxies[e.Node].injectTruncate()
+				if logf != nil {
+					logf("t=%v truncate+sever link %d→%d (captured: %t)", time.Since(start).Round(time.Millisecond), e.Node, (e.Node+1)%n, hit)
+				}
+			case KindHandshakeCut:
+				proxies[e.Node].injectHandshakeCut()
+				if logf != nil {
+					logf("t=%v handshake cut on link %d→%d", time.Since(start).Round(time.Millisecond), e.Node, (e.Node+1)%n)
+				}
 			}
 		}
 	}()

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -23,7 +24,18 @@ type linkProxy struct {
 	blockers int // partitions currently covering this link (they may overlap)
 	extra    time.Duration
 	conns    map[net.Conn]struct{} // live upstream+downstream conns, for severing
+	fwd      map[net.Conn]struct{} // the upstream (toward-successor) side of each live pair
 	closed   bool
+
+	// Adversary state: the last ciphertext chunk forwarded toward the
+	// successor (and which conn carried it) for replay/truncate attacks,
+	// and a count of fresh connections whose first forwarded chunk should
+	// be followed by an immediate sever (a mid-handshake cut — the
+	// ringsec msg1 is 96 bytes, two pacing chunks, so cutting after the
+	// first chunk lands inside the handshake).
+	lastChunk  []byte
+	lastUp     net.Conn
+	cutPending int
 }
 
 // proxyChunk is the pacing granularity in bytes: smaller than most frame
@@ -36,7 +48,11 @@ func newLinkProxy(addr, target string, base time.Duration) (*linkProxy, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &linkProxy{ln: ln, target: target, base: base, conns: make(map[net.Conn]struct{})}
+	p := &linkProxy{
+		ln: ln, target: target, base: base,
+		conns: make(map[net.Conn]struct{}),
+		fwd:   make(map[net.Conn]struct{}),
+	}
 	go p.acceptLoop()
 	return p, nil
 }
@@ -75,21 +91,35 @@ func (p *linkProxy) serve(down net.Conn) {
 	sever := func() { down.Close(); up.Close() }
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go func() { defer wg.Done(); defer sever(); p.pump(up, down) }() // sender → successor, paced
-	go func() { defer wg.Done(); defer sever(); p.pump(down, up) }() // acks/goodbyes back, paced
+	go func() { defer wg.Done(); defer sever(); p.pump(up, down, true) }()  // sender → successor, paced
+	go func() { defer wg.Done(); defer sever(); p.pump(down, up, false) }() // acks/goodbyes back, paced
 	wg.Wait()
 	p.untrack(down, up)
 }
 
 // pump copies src→dst in proxyChunk-sized reads, sleeping the current
-// link delay before each forwarded chunk.
-func (p *linkProxy) pump(dst io.Writer, src net.Conn) {
+// link delay before each forwarded chunk. On the forward (sender →
+// successor) direction it also records the last forwarded chunk for
+// replay/truncate injection and honors pending mid-handshake cuts.
+func (p *linkProxy) pump(dst io.Writer, src net.Conn, forward bool) {
 	buf := make([]byte, proxyChunk)
+	firstChunk := true
 	for {
 		n, err := src.Read(buf)
 		if n > 0 {
 			p.mu.Lock()
 			d := p.base + p.extra
+			cut := false
+			if forward {
+				p.lastChunk = append(p.lastChunk[:0], buf[:n]...)
+				if up, ok := dst.(net.Conn); ok {
+					p.lastUp = up
+				}
+				if firstChunk && p.cutPending > 0 {
+					p.cutPending--
+					cut = true
+				}
+			}
 			p.mu.Unlock()
 			if d > 0 {
 				time.Sleep(d)
@@ -97,6 +127,10 @@ func (p *linkProxy) pump(dst io.Writer, src net.Conn) {
 			if _, werr := dst.Write(buf[:n]); werr != nil {
 				return
 			}
+			if cut {
+				return // sever mid-handshake: the defer in serve closes both sides
+			}
+			firstChunk = false
 		}
 		if err != nil {
 			return
@@ -104,12 +138,14 @@ func (p *linkProxy) pump(dst io.Writer, src net.Conn) {
 	}
 }
 
-func (p *linkProxy) track(cs ...net.Conn) {
+// track registers a live down/up pair; the up side is also remembered as
+// a forward-direction injection target.
+func (p *linkProxy) track(down, up net.Conn) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, c := range cs {
-		p.conns[c] = struct{}{}
-	}
+	p.conns[down] = struct{}{}
+	p.conns[up] = struct{}{}
+	p.fwd[up] = struct{}{}
 }
 
 func (p *linkProxy) untrack(cs ...net.Conn) {
@@ -117,6 +153,86 @@ func (p *linkProxy) untrack(cs ...net.Conn) {
 	defer p.mu.Unlock()
 	for _, c := range cs {
 		delete(p.conns, c)
+		delete(p.fwd, c)
+		if p.lastUp == c {
+			p.lastUp = nil
+		}
+		c.Close()
+	}
+}
+
+// injectGarbage writes n random bytes into the forward ciphertext stream
+// of a live connection, concurrently with whatever the pump is
+// forwarding. Under ringsec the receiver's record MAC fails and the link
+// severs as a transient error; reconnect + resume heals it. Reports
+// whether a live connection existed to attack.
+func (p *linkProxy) injectGarbage(rng *rand.Rand, n int) bool {
+	junk := make([]byte, n)
+	rng.Read(junk)
+	p.mu.Lock()
+	var up net.Conn
+	for c := range p.fwd {
+		up = c
+		break
+	}
+	p.mu.Unlock()
+	if up == nil {
+		return false
+	}
+	up.Write(junk)
+	return true
+}
+
+// injectReplay re-sends the most recently forwarded ciphertext chunk on
+// the connection that carried it. The receiver's strict nonce counter
+// rejects the duplicate record, so no message is ever double-delivered.
+func (p *linkProxy) injectReplay() bool {
+	p.mu.Lock()
+	up := p.lastUp
+	chunk := append([]byte(nil), p.lastChunk...)
+	p.mu.Unlock()
+	if up == nil || len(chunk) == 0 {
+		return false
+	}
+	up.Write(chunk)
+	return true
+}
+
+// injectTruncate re-sends a prefix of the last forwarded chunk and then
+// severs every live connection: the receiver is left holding a
+// mid-record truncation, which must surface as a clean transient
+// connection error, never a panic or a protocol violation.
+func (p *linkProxy) injectTruncate() bool {
+	p.mu.Lock()
+	up := p.lastUp
+	chunk := append([]byte(nil), p.lastChunk...)
+	var sever []net.Conn
+	for c := range p.conns {
+		sever = append(sever, c)
+	}
+	p.mu.Unlock()
+	ok := up != nil && len(chunk) > 1
+	if ok {
+		up.Write(chunk[:len(chunk)/2])
+	}
+	for _, c := range sever {
+		c.Close()
+	}
+	return ok
+}
+
+// injectHandshakeCut severs every live connection — forcing the sender
+// to redial and rekey — and arms a cut on the next fresh connection
+// after its first forwarded chunk, landing inside the new handshake.
+func (p *linkProxy) injectHandshakeCut() {
+	p.mu.Lock()
+	p.cutPending++
+	var sever []net.Conn
+	for c := range p.conns {
+		sever = append(sever, c)
+	}
+	p.mu.Unlock()
+	for _, c := range sever {
 		c.Close()
 	}
 }

@@ -31,6 +31,24 @@ const (
 	KindDelay       = "delay"
 )
 
+// Adversary event kinds, valid only against an encrypted ring (the
+// engine's Secure option): garbage writes Bytes of random junk into a
+// live link's ciphertext stream; replay re-sends a previously forwarded
+// ciphertext chunk; truncate forwards a prefix of a captured chunk and
+// severs the link mid-record; handshake_cut severs the node's outgoing
+// link and then cuts the redialed connection again mid-handshake. A
+// hardened transport classifies every one of these as a transient
+// connection failure — reconnect, rekey, resume — so the election still
+// matches the simulator exactly. On a plaintext ring the same bytes
+// would reach the frame decoder as a protocol violation, which is why
+// the engine refuses adversary schedules without Secure.
+const (
+	KindGarbage      = "garbage"
+	KindReplay       = "replay"
+	KindTruncate     = "truncate"
+	KindHandshakeCut = "handshake_cut"
+)
+
 // Event is one scheduled fault.
 type Event struct {
 	// AtMS is when the fault fires, in milliseconds after the run starts.
@@ -45,6 +63,27 @@ type Event struct {
 	RestartAfterMS int `json:"restart_after_ms,omitempty"`
 	// DelayMS is the extra per-chunk latency for delay events.
 	DelayMS int `json:"delay_ms,omitempty"`
+	// Bytes is the junk size for garbage events.
+	Bytes int `json:"bytes,omitempty"`
+}
+
+// isAdversary reports whether the event kind needs an encrypted ring.
+func (e Event) isAdversary() bool {
+	switch e.Kind {
+	case KindGarbage, KindReplay, KindTruncate, KindHandshakeCut:
+		return true
+	}
+	return false
+}
+
+// HasAdversary reports whether any event needs an encrypted ring.
+func (s *Schedule) HasAdversary() bool {
+	for _, e := range s.Events {
+		if e.isAdversary() {
+			return true
+		}
+	}
+	return false
 }
 
 // Schedule is a complete, reproducible chaos run description: the ring,
@@ -80,6 +119,9 @@ const (
 	genMaxPartitionMS  = 900
 	genMinDelaySpikeMS = 2
 	genMaxDelaySpikeMS = 8
+	// Adversary injections land in the election's busiest window so most
+	// of them hit live ciphertext rather than an idle link.
+	genAdversaryHorizonMS = 500
 )
 
 // Generate derives the fault schedule for seed on an n-process ring.
@@ -126,6 +168,61 @@ func Generate(seed int64, ringSpec, alg string, k, n int) Schedule {
 	return s
 }
 
+// GenerateAdversary derives an adversarial schedule for seed: at least
+// one of each ciphertext attack — garbage, replay, truncate, and a
+// mid-handshake cut — plus a random tail drawn from the attacks and the
+// crash/partition faults, so the rekey-on-reconnect path is exercised
+// under the same pressure as a crash schedule. Deterministic: same
+// arguments, same schedule. Only runnable with Options.Secure.
+func GenerateAdversary(seed int64, ringSpec, alg string, k, n int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed, Ring: ringSpec, Alg: alg, K: k}
+	at := func() int { return 40 + rng.Intn(genHorizonMS) }
+	// Attacks are front-loaded: a paced election is busiest in its first
+	// half-second, and an injection only bites while ciphertext is in
+	// flight on the target link.
+	atkAt := func() int { return 40 + rng.Intn(genAdversaryHorizonMS) }
+	node := func() int { return rng.Intn(n) }
+	span := func(lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
+
+	// One of each attack, guaranteed.
+	s.Events = append(s.Events,
+		Event{AtMS: atkAt(), Kind: KindGarbage, Node: node(), Bytes: span(8, 256)},
+		Event{AtMS: atkAt(), Kind: KindReplay, Node: node()},
+		Event{AtMS: atkAt(), Kind: KindTruncate, Node: node()},
+		Event{AtMS: atkAt(), Kind: KindHandshakeCut, Node: node()},
+	)
+	count := len(s.Events) + rng.Intn(4)
+	for len(s.Events) < count {
+		e := Event{AtMS: at(), Node: node()}
+		switch rng.Intn(6) {
+		case 0:
+			e.Kind = KindGarbage
+			e.Bytes = span(8, 256)
+			e.AtMS = atkAt()
+		case 1:
+			e.Kind = KindReplay
+			e.AtMS = atkAt()
+		case 2:
+			e.Kind = KindTruncate
+			e.AtMS = atkAt()
+		case 3:
+			e.Kind = KindHandshakeCut
+			e.AtMS = atkAt()
+		case 4:
+			e.Kind = KindKill
+			e.RestartAfterMS = span(genMinRestartMS, genMaxRestartMS)
+		default:
+			e.Kind = KindDelay
+			e.DurationMS = span(200, 800)
+			e.DelayMS = span(genMinDelaySpikeMS, genMaxDelaySpikeMS)
+		}
+		s.Events = append(s.Events, e)
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].AtMS < s.Events[j].AtMS })
+	return s
+}
+
 // Validate rejects schedules that reference nodes outside the ring or
 // carry unknown kinds (loaded JSON is untrusted input).
 func (s *Schedule) Validate(n int) error {
@@ -135,10 +232,11 @@ func (s *Schedule) Validate(n int) error {
 		}
 		switch e.Kind {
 		case KindKill, KindSlowRestart, KindPartition, KindDelay:
+		case KindGarbage, KindReplay, KindTruncate, KindHandshakeCut:
 		default:
 			return fmt.Errorf("chaos: event %d has unknown kind %q", i, e.Kind)
 		}
-		if e.AtMS < 0 || e.DurationMS < 0 || e.RestartAfterMS < 0 || e.DelayMS < 0 {
+		if e.AtMS < 0 || e.DurationMS < 0 || e.RestartAfterMS < 0 || e.DelayMS < 0 || e.Bytes < 0 {
 			return fmt.Errorf("chaos: event %d has a negative time field", i)
 		}
 	}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/netring"
 	"repro/internal/ring"
+	"repro/internal/secure"
 	"repro/internal/serve"
 
 	repro "repro"
@@ -586,4 +587,87 @@ func TestGatewayStatsString(t *testing.T) {
 		t.Errorf("Stats() = %+v", s)
 	}
 	_ = fmt.Sprintf("%+v", s)
+}
+
+// TestRouterSecureFleet proxies elections over authenticated encrypted
+// pool connections: a fleet whose roster entries carry pub_key, a
+// router with its own identity, answers crosschecked against the
+// engine, and a kill/restart in the middle to prove redials rekey.
+func TestRouterSecureFleet(t *testing.T) {
+	f, err := StartSecureLocalFleet(2, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	for i, rep := range f.Roster {
+		if rep.PubKey == "" {
+			t.Fatalf("secure fleet replica %d has no pub_key", i)
+		}
+	}
+	identity, err := secure.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(RouterConfig{
+		Roster:     f.Roster,
+		Timeout:    5 * time.Second,
+		Backoff:    fastBackoff,
+		HedgeAfter: 2 * time.Second,
+		Identity:   identity,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	check := func(rg *ring.Ring) {
+		t.Helper()
+		out, err := r.Elect(context.Background(), rg.LabelsView(), repro.AlgorithmB, 3)
+		if err != nil {
+			t.Fatalf("secure elect: %v", err)
+		}
+		direct, err := repro.Elect(rg, repro.AlgorithmB, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Leader != direct.Leader || out.Messages != direct.Messages {
+			t.Fatalf("secure answer (%d,%d) != direct (%d,%d)",
+				out.Leader, out.Messages, direct.Leader, direct.Messages)
+		}
+	}
+	check(ring.Figure1())
+
+	// A crash and restart: the replica comes back with the same key, and
+	// the pool's redial handshakes afresh.
+	f.Kill(0)
+	if err := f.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5; i++ {
+		rg, err := ring.RandomAsymmetric(rng, 5+rng.Intn(8), 3, 6)
+		if err != nil {
+			continue
+		}
+		check(rg)
+	}
+}
+
+// TestRouterSecureFleetNeedsIdentity pins the configuration guard: a
+// roster with pub_key entries and no gateway identity is a setup error,
+// caught at construction rather than at the first failed dial.
+func TestRouterSecureFleetNeedsIdentity(t *testing.T) {
+	f, err := StartSecureLocalFleet(1, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	r, err := NewRouter(RouterConfig{Roster: f.Roster, Timeout: time.Second, Backoff: fastBackoff})
+	if err == nil {
+		r.Close()
+		t.Fatal("router built against a secure roster without an identity")
+	}
+	if !strings.Contains(err.Error(), "keyfile") {
+		t.Errorf("error %q does not point at the missing identity", err)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sync"
 
+	"repro/internal/secure"
 	"repro/internal/serve"
 )
 
@@ -22,6 +23,7 @@ import (
 type LocalFleet struct {
 	Roster Roster
 	cfg    serve.Config
+	keys   []*secure.PrivateKey // per-replica identities; nil for a plaintext fleet
 
 	mu       sync.Mutex
 	replicas []*localReplica
@@ -40,10 +42,25 @@ type localReplica struct {
 // config (zero value defaulted by serve.New). Replica names are
 // "r0".."r<n-1>".
 func StartLocalFleet(n int, cfg serve.Config) (*LocalFleet, error) {
+	return startFleet(n, cfg, false)
+}
+
+// StartSecureLocalFleet is StartLocalFleet with a fresh ringsec keypair
+// per replica: each wire port requires the handshake, and the roster
+// entries carry the matching pub_key so a pool with an identity dials
+// every replica encrypted.
+func StartSecureLocalFleet(n int, cfg serve.Config) (*LocalFleet, error) {
+	return startFleet(n, cfg, true)
+}
+
+func startFleet(n int, cfg serve.Config, sec bool) (*LocalFleet, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: fleet size %d", n)
 	}
 	f := &LocalFleet{cfg: cfg, replicas: make([]*localReplica, n)}
+	if sec {
+		f.keys = make([]*secure.PrivateKey, n)
+	}
 	for i := 0; i < n; i++ {
 		wireLn, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -56,19 +73,43 @@ func StartLocalFleet(n int, cfg serve.Config) (*LocalFleet, error) {
 			f.Stop()
 			return nil, err
 		}
-		f.Roster = append(f.Roster, Replica{
+		r := Replica{
 			Name:     fmt.Sprintf("r%d", i),
 			WireAddr: wireLn.Addr().String(),
 			BaseURL:  "http://" + httpLn.Addr().String(),
-		})
-		f.replicas[i] = startLocalReplica(cfg, wireLn, httpLn)
+		}
+		if sec {
+			key, err := secure.GenerateKey()
+			if err != nil {
+				wireLn.Close()
+				httpLn.Close()
+				f.Stop()
+				return nil, err
+			}
+			f.keys[i] = key
+			r.PubKey = key.Public().String()
+		}
+		f.Roster = append(f.Roster, r)
+		f.replicas[i] = startLocalReplica(cfg, f.key(i), wireLn, httpLn)
 	}
 	return f, nil
 }
 
-func startLocalReplica(cfg serve.Config, wireLn, httpLn net.Listener) *localReplica {
+// key returns replica i's identity, nil on a plaintext fleet.
+func (f *LocalFleet) key(i int) *secure.PrivateKey {
+	if f.keys == nil {
+		return nil
+	}
+	return f.keys[i]
+}
+
+func startLocalReplica(cfg serve.Config, key *secure.PrivateKey, wireLn, httpLn net.Listener) *localReplica {
 	s := serve.New(cfg)
-	ws := serve.NewWireServer(s)
+	var opts serve.WireServerOptions
+	if key != nil {
+		opts.Secure = &secure.ServerConfig{Config: secure.Config{Identity: key}}
+	}
+	ws := serve.NewWireServerWith(s, opts)
 	r := &localReplica{
 		server: s,
 		ws:     ws,
@@ -135,7 +176,7 @@ func (f *LocalFleet) Restart(i int) error {
 		wireLn.Close()
 		return fmt.Errorf("cluster: rebind http %s: %w", httpAddr, err)
 	}
-	f.replicas[i] = startLocalReplica(f.cfg, wireLn, httpLn)
+	f.replicas[i] = startLocalReplica(f.cfg, f.key(i), wireLn, httpLn)
 	return nil
 }
 

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/netring"
+	"repro/internal/secure"
 	"repro/internal/serve"
 )
 
@@ -15,17 +17,18 @@ import (
 // was down the first time traffic ranked to it — is retried here, on
 // the next request that needs it.
 type pool struct {
-	roster  Roster
-	conns   int
-	timeout time.Duration
-	backoff netring.Backoff
+	roster   Roster
+	conns    int
+	timeout  time.Duration
+	backoff  netring.Backoff
+	identity *secure.PrivateKey // gateway's client key for keyed replicas
 
 	mu      sync.Mutex
 	clients []*serve.WireClient
 	closed  bool
 }
 
-func newPool(roster Roster, conns int, timeout time.Duration, b netring.Backoff) *pool {
+func newPool(roster Roster, conns int, timeout time.Duration, b netring.Backoff, identity *secure.PrivateKey) *pool {
 	if conns <= 0 {
 		conns = 2
 	}
@@ -33,11 +36,12 @@ func newPool(roster Roster, conns int, timeout time.Duration, b netring.Backoff)
 		timeout = 5 * time.Second
 	}
 	return &pool{
-		roster:  roster,
-		conns:   conns,
-		timeout: timeout,
-		backoff: b,
-		clients: make([]*serve.WireClient, len(roster)),
+		roster:   roster,
+		conns:    conns,
+		timeout:  timeout,
+		backoff:  b,
+		identity: identity,
+		clients:  make([]*serve.WireClient, len(roster)),
 	}
 }
 
@@ -57,7 +61,18 @@ func (p *pool) client(i int) (*serve.WireClient, error) {
 	}
 	p.mu.Unlock()
 
-	c, err := serve.DialWireBackoff(p.roster[i].WireAddr, p.conns, p.timeout, p.backoff)
+	var sec *secure.ClientConfig
+	if pk := p.roster[i].PubKey; pk != "" {
+		if p.identity == nil {
+			return nil, fmt.Errorf("cluster: replica %q has a public key but the gateway has no identity (set -keyfile)", p.roster[i].Name)
+		}
+		serverKey, err := secure.ParsePublicKey(pk)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica %q: %w", p.roster[i].Name, err)
+		}
+		sec = &secure.ClientConfig{Config: secure.Config{Identity: p.identity}, ServerKey: serverKey}
+	}
+	c, err := serve.DialWireSecure(p.roster[i].WireAddr, p.conns, p.timeout, p.backoff, sec)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"repro/internal/secure"
 )
 
 // Replica is one ringd instance a gateway can route to: its stable name
@@ -30,6 +32,10 @@ type Replica struct {
 	Name     string `json:"name"`
 	WireAddr string `json:"wire_addr"`
 	BaseURL  string `json:"base_url"`
+	// PubKey is the replica's base64 ringsec public key. When set (and
+	// the gateway holds an identity), pooled wire connections to this
+	// replica run the authenticated encrypted transport.
+	PubKey string `json:"pub_key,omitempty"`
 }
 
 // Roster is an ordered replica set. Order is presentation only — routing
@@ -57,6 +63,11 @@ func (r Roster) Validate() error {
 		}
 		if _, dup := seen[rep.Name]; dup {
 			return fmt.Errorf("cluster: duplicate replica name %q", rep.Name)
+		}
+		if rep.PubKey != "" {
+			if _, err := secure.ParsePublicKey(rep.PubKey); err != nil {
+				return fmt.Errorf("cluster: replica %q: %v", rep.Name, err)
+			}
 		}
 		seen[rep.Name] = struct{}{}
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/netring"
 	"repro/internal/ring"
+	"repro/internal/secure"
 	"repro/internal/serve"
 	"repro/internal/stats"
 
@@ -41,6 +42,9 @@ type RouterConfig struct {
 	// MaxAttempts bounds how many distinct replicas one request may try,
 	// hedges included (default: the whole roster).
 	MaxAttempts int
+	// Identity is the gateway's ringsec private key, required to dial
+	// any replica whose roster entry carries a PubKey.
+	Identity *secure.PrivateKey
 	// Logf receives routing diagnostics (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -131,11 +135,20 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if err := cfg.Roster.Validate(); err != nil {
 		return nil, err
 	}
+	// A secure roster without a client identity can never dial; fail at
+	// construction rather than on the first request to rank there.
+	if cfg.Identity == nil {
+		for _, rep := range cfg.Roster {
+			if rep.PubKey != "" {
+				return nil, fmt.Errorf("cluster: replica %q has a public key but the gateway has no identity (set -keyfile)", rep.Name)
+			}
+		}
+	}
 	cfg = cfg.withDefaults()
 	r := &Router{
 		cfg:      cfg,
 		rv:       NewRendezvous(cfg.Roster.Names()),
-		pool:     newPool(cfg.Roster, cfg.PoolConns, cfg.Timeout, cfg.Backoff),
+		pool:     newPool(cfg.Roster, cfg.PoolConns, cfg.Timeout, cfg.Backoff, cfg.Identity),
 		counters: make([]replicaCounters, len(cfg.Roster)),
 	}
 	for i := range r.counters {

@@ -26,7 +26,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/netring"
 	"repro/internal/ring"
+	"repro/internal/secure"
 	"repro/internal/serve"
 	"repro/internal/stats"
 
@@ -48,6 +50,10 @@ type Config struct {
 	// WireConns is the pooled wire connection count requests are
 	// pipelined over (default 4).
 	WireConns int
+	// WireSecure, when set, runs every wire connection through the
+	// ringsec handshake against this server configuration (identity +
+	// expected server key). Only meaningful with Proto "wire".
+	WireSecure *secure.ClientConfig
 	// Requests is the total request count (default 1000).
 	Requests int
 	// Workers is the client concurrency (default 8).
@@ -548,7 +554,7 @@ func newWireRunner(cfg Config, plan []PlannedRequest) (*wireRunner, error) {
 		}
 		labels[i] = r.LabelsView()
 	}
-	client, err := serve.DialWire(cfg.WireAddr, cfg.WireConns, cfg.Timeout)
+	client, err := serve.DialWireSecure(cfg.WireAddr, cfg.WireConns, cfg.Timeout, netring.Backoff{}, cfg.WireSecure)
 	if err != nil {
 		return nil, fmt.Errorf("load: %w", err)
 	}

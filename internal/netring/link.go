@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/secure"
 	"repro/internal/spec"
 )
 
@@ -155,8 +156,19 @@ type Faults map[int]LinkFault
 
 // isConnError classifies read/write failures that mean "the connection
 // died" (and a reconnect may follow), as opposed to a malformed stream.
+// Secure-layer failures — a record that fails authentication, or a
+// handshake that does not complete — are in the "died" class: an
+// on-path adversary can force either at will by injecting or garbling
+// ciphertext, and the healing path (reconnect with a fresh handshake,
+// resume from the last ack) is identical to a severed TCP connection.
+// Only a *plaintext* stream that decodes to a protocol breach is a
+// LinkViolation; an unauthenticated byte stream proves nothing about
+// the peer.
 func isConnError(err error) bool {
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	if secure.IsTransportError(err) || secure.IsHandshakeError(err) {
 		return true
 	}
 	var ne net.Error
@@ -189,6 +201,11 @@ type sender struct {
 	// msgBits prices one message for bit accounting (core.Message.Bits
 	// with the ring's labelBits and n bound in).
 	msgBits func(core.Message) int
+
+	// sec, when set, wraps every dialed connection in an authenticated
+	// encrypted session keyed to the successor's static key. Each
+	// reconnect runs a fresh handshake (rekey-on-reconnect).
+	sec *secure.ClientConfig
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -427,10 +444,22 @@ func (s *sender) connect(event string) (net.Conn, uint64, error) {
 		if s.isStopped() {
 			return nil, 0, errSenderStopped
 		}
-		conn, err := net.DialTimeout("tcp", s.addr, 2*time.Second)
+		rawConn, err := net.DialTimeout("tcp", s.addr, 2*time.Second)
 		if err != nil {
 			lastErr = err
 			continue
+		}
+		conn := rawConn
+		if s.sec != nil {
+			enc, err := secure.Client(rawConn, s.sec)
+			if err != nil {
+				// Wrong key, a garbled handshake, or an adversary in
+				// the path: same retry treatment as a refused dial.
+				rawConn.Close()
+				lastErr = err
+				continue
+			}
+			conn = enc
 		}
 		if err := s.handshake(conn); err != nil {
 			conn.Close()
@@ -763,6 +792,12 @@ type receiver struct {
 	// ack cannot forget the predecessor is done.
 	onGoodbye func() error
 
+	// sec, when set, requires every accepted connection to complete an
+	// authenticated handshake (allowlisted to the predecessor's static
+	// key) before any frame is read. A failed handshake is treated like
+	// a dialer that vanished: drop the conn, keep listening.
+	sec *secure.ServerConfig
+
 	mu      sync.Mutex
 	conn    net.Conn
 	stopped bool
@@ -802,9 +837,30 @@ func (r *receiver) run(deliver func(core.Message) error) error {
 			}
 			return fmt.Errorf("netring: p%d accept: %w", r.self, err)
 		}
+		// Publish the raw conn first so stop() can sever a connection
+		// stuck mid-handshake, then upgrade to the encrypted session.
 		r.mu.Lock()
 		r.conn = conn
 		r.mu.Unlock()
+		if r.sec != nil {
+			enc, err := secure.Server(conn, r.sec)
+			if err != nil {
+				// Garbage, a plaintext dialer, or a peer without the
+				// predecessor's key. Nothing it sent is authenticated,
+				// so it proves nothing about the real predecessor:
+				// drop it and keep listening for the genuine reconnect.
+				conn.Close()
+				r.mu.Lock()
+				r.conn = nil
+				stopped := r.stopped
+				r.mu.Unlock()
+				if stopped {
+					return nil
+				}
+				continue
+			}
+			conn = enc
+		}
 
 		clean, err := r.serve(conn, deliver)
 		conn.Close()

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ring"
+	"repro/internal/secure"
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
@@ -23,6 +24,12 @@ type Options struct {
 	// Sink receives trace events, including OpLink transport events. The
 	// engine serializes Record calls; may be nil.
 	Sink trace.Sink
+	// Keys, when it holds one private key per node, runs every ring
+	// link through the authenticated encryption layer (internal/secure)
+	// — each node dials its successor with the successor's public key
+	// and accepts only its predecessor's. Leaders, message counts, and
+	// spec results are identical to a plaintext run.
+	Keys []*secure.PrivateKey
 }
 
 // Result is the outcome of one TCP execution.
@@ -132,6 +139,17 @@ func RunLocal(r *ring.Ring, p core.Protocol, opts Options) (*Result, error) {
 		opts.Sink.Record(trace.Event{Op: op, Proc: proc, Action: event})
 	}
 
+	var peerKeys []secure.PublicKey
+	if len(opts.Keys) > 0 {
+		if len(opts.Keys) != n {
+			return res, fmt.Errorf("netring: got %d keys for %d nodes", len(opts.Keys), n)
+		}
+		peerKeys = make([]secure.PublicKey, n)
+		for i, k := range opts.Keys {
+			peerKeys[i] = k.Public()
+		}
+	}
+
 	start := time.Now()
 	results := make([]*NodeResult, n)
 	errs := make([]error, n)
@@ -140,7 +158,7 @@ func RunLocal(r *ring.Ring, p core.Protocol, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = RunNode(NodeConfig{
+			cfg := NodeConfig{
 				Ring:     r,
 				Index:    i,
 				Protocol: p,
@@ -151,7 +169,12 @@ func RunLocal(r *ring.Ring, p core.Protocol, opts Options) (*Result, error) {
 				Fault:    opts.Faults[i],
 				OnAction: onAction,
 				OnLink:   onLink,
-			})
+			}
+			if peerKeys != nil {
+				cfg.Identity = opts.Keys[i]
+				cfg.PeerKeys = peerKeys
+			}
+			results[i], errs[i] = RunNode(cfg)
 		}(i)
 	}
 	wg.Wait()

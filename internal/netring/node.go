@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ring"
+	"repro/internal/secure"
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
@@ -80,6 +81,19 @@ type NodeConfig struct {
 	// predecessor that crashed before reading our GOODBYE_ACK and redials
 	// on restart. Durable mode only; default 500ms; negative disables.
 	Linger time.Duration
+
+	// Identity, when set, encrypts both ring links with the secure
+	// layer: the outgoing dial runs an authenticated X25519 handshake
+	// against the successor's static key and the listener only accepts
+	// the predecessor's. Requires PeerKeys. Every reconnect rekeys; the
+	// RESUME/ack machinery above the record layer is unchanged.
+	Identity *secure.PrivateKey
+	// PeerKeys holds every node's static public key in ring-index
+	// order. All peers' keys (not just the two neighbors') are folded
+	// into the handshake ring hash, so two nodes configured with
+	// different key rosters refuse each other exactly like a wrong
+	// -ring.
+	PeerKeys []secure.PublicKey
 }
 
 // NodeResult is the outcome of one node's run.
@@ -152,7 +166,13 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		cfg.Linger = 500 * time.Millisecond
 	}
 
+	if cfg.Identity != nil && len(cfg.PeerKeys) != n {
+		return nil, fmt.Errorf("netring: secure mode needs %d peer keys, got %d", n, len(cfg.PeerKeys))
+	}
 	hash := ringHash(cfg.Ring)
+	if cfg.Identity != nil {
+		hash = ringHashWithKeys(cfg.Ring, cfg.PeerKeys)
+	}
 	succ := (cfg.Index + 1) % n
 	onLink := func(event string) {
 		if cfg.OnLink != nil {
@@ -227,6 +247,17 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	msgBits := func(m core.Message) int { return m.Bits(labelBits, n) }
 	snd := newSender(cfg.Index, succ, cfg.NextAddr, hello, cfg.Backoff, cfg.Fault, rng, onLink, msgBits)
 	rcv := newReceiver(cfg.Index, n, hash, ln, onLink)
+	if cfg.Identity != nil {
+		pred := (cfg.Index - 1 + n) % n
+		snd.sec = &secure.ClientConfig{
+			Config:    secure.Config{Identity: cfg.Identity, MaxRecord: maxPlainRecord},
+			ServerKey: cfg.PeerKeys[succ],
+		}
+		rcv.sec = &secure.ServerConfig{
+			Config:  secure.Config{Identity: cfg.Identity, MaxRecord: maxPlainRecord},
+			Allowed: []secure.PublicKey{cfg.PeerKeys[pred]},
+		}
+	}
 
 	inFinished := st != nil && st.InFinished
 	delivered := uint64(0)

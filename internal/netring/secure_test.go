@@ -1,0 +1,206 @@
+package netring
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/secure"
+)
+
+func genKeys(t testing.TB, n int) []*secure.PrivateKey {
+	t.Helper()
+	keys := make([]*secure.PrivateKey, n)
+	for i := range keys {
+		k, err := secure.GenerateKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+// TestSecureRunMatchesPlaintext is the transport-equivalence pin: the
+// same election through encrypted links produces the same leader and
+// the exact same message count as the plaintext run. Encryption is a
+// conn wrapper below the frame layer, so nothing the spec checker sees
+// may change.
+func TestSecureRunMatchesPlaintext(t *testing.T) {
+	rings := []*ring.Ring{ring.Ring122(), ring.Figure1()}
+	for _, r := range rings {
+		for _, p := range protocols(t, r) {
+			plain, err := RunLocal(r, p, Options{})
+			if err != nil {
+				t.Fatalf("plaintext %s on %s: %v", p.Name(), r, err)
+			}
+			enc, err := RunLocal(r, p, Options{Keys: genKeys(t, r.N())})
+			if err != nil {
+				t.Fatalf("encrypted %s on %s: %v", p.Name(), r, err)
+			}
+			if enc.LeaderIndex != plain.LeaderIndex {
+				t.Errorf("%s on %s: encrypted leader p%d, plaintext p%d",
+					p.Name(), r, enc.LeaderIndex, plain.LeaderIndex)
+			}
+			if enc.Messages != plain.Messages {
+				t.Errorf("%s on %s: encrypted sent %d messages, plaintext %d",
+					p.Name(), r, enc.Messages, plain.Messages)
+			}
+			if enc.TotalBits != plain.TotalBits {
+				t.Errorf("%s on %s: encrypted %d bits, plaintext %d",
+					p.Name(), r, enc.TotalBits, plain.TotalBits)
+			}
+		}
+	}
+}
+
+// TestSecureRunWithFaults exercises rekey-on-reconnect: a link that
+// drops mid-election forces a fresh handshake on redial, and the resume
+// machinery above the record layer must still deliver exactly once.
+func TestSecureRunWithFaults(t *testing.T) {
+	r := ring.Figure1()
+	p := protocols(t, r)[2] // algorithm B
+	plain, err := RunLocal(r, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLocal(r, p, Options{
+		Keys:   genKeys(t, r.N()),
+		Faults: Faults{0: {DropAfter: 2}, 2: {DropAfter: 3}},
+	})
+	if err != nil {
+		t.Fatalf("encrypted faulty run: %v", err)
+	}
+	if res.LeaderIndex != plain.LeaderIndex || res.Messages != plain.Messages {
+		t.Fatalf("encrypted faulty run diverged: leader p%d msgs %d, want p%d msgs %d",
+			res.LeaderIndex, res.Messages, plain.LeaderIndex, plain.Messages)
+	}
+	if res.Reconnects == 0 {
+		t.Fatal("fault plan produced no reconnects; rekey path not exercised")
+	}
+}
+
+// TestSecureKeyRosterMismatchFailsFast: two nodes agreeing on -ring but
+// disagreeing about some node's public key must refuse each other. A
+// wrong key for a *neighbor* fails inside the secure handshake; this
+// test pins the harder case — a consistent neighborhood but a diverging
+// roster entry elsewhere — which the HELLO ring hash catches.
+func TestSecureKeyRosterMismatchFailsFast(t *testing.T) {
+	r := ring.Ring122()
+	n := r.N()
+	keys := genKeys(t, n)
+	goodRoster := make([]secure.PublicKey, n)
+	for i, k := range keys {
+		goodRoster[i] = k.Public()
+	}
+	badRoster := append([]secure.PublicKey(nil), goodRoster...)
+	rogue, _ := secure.GenerateKey()
+	badRoster[2] = rogue.Public() // disagreement about node 2's key
+
+	// Node 0 dials node 1 directly: handshake succeeds (the
+	// neighborhood keys agree) but the HELLO ring hash differs.
+	lns, addrs := testListeners(t, 2)
+	p := protocols(t, r)[0]
+	errc := make(chan error, 2)
+	go func() {
+		_, err := RunNode(NodeConfig{
+			Ring: r, Index: 1, Protocol: p,
+			Listener: lns[1], NextAddr: addrs[0],
+			Timeout: 5 * time.Second, Identity: keys[1], PeerKeys: goodRoster,
+			Backoff: Backoff{Attempts: 3},
+		})
+		errc <- err
+	}()
+	go func() {
+		_, err := RunNode(NodeConfig{
+			Ring: r, Index: 0, Protocol: p,
+			Listener: lns[0], NextAddr: addrs[1],
+			Timeout: 5 * time.Second, Identity: keys[0], PeerKeys: badRoster,
+			Backoff: Backoff{Attempts: 3},
+		})
+		errc <- err
+	}()
+	sawMismatch := false
+	for i := 0; i < 2; i++ {
+		err := <-errc
+		if err != nil && strings.Contains(err.Error(), "ring mismatch") {
+			sawMismatch = true
+		}
+	}
+	if !sawMismatch {
+		t.Fatal("diverging key roster did not surface as a handshake ring mismatch")
+	}
+}
+
+// TestSecureNeighborKeyMismatchFailsFast: a node dialing a successor
+// that holds a different static key than configured exhausts its dial
+// attempts inside the secure handshake and gives up with a DialError —
+// as fast as dialing a dead address, never delivering anything.
+func TestSecureNeighborKeyMismatchFailsFast(t *testing.T) {
+	r := ring.Ring122()
+	n := r.N()
+	keys := genKeys(t, n)
+	roster := make([]secure.PublicKey, n)
+	for i, k := range keys {
+		roster[i] = k.Public()
+	}
+	rogue, _ := secure.GenerateKey()
+	wrongRoster := append([]secure.PublicKey(nil), roster...)
+	wrongRoster[1] = rogue.Public() // node 0 will encrypt to the wrong key
+
+	lns, addrs := testListeners(t, 2)
+	// A stand-in successor with node 1's *real* identity: every
+	// handshake from node 0 must fail authentication against it.
+	go func() {
+		for {
+			conn, err := lns[1].Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				if sc, err := secure.Server(conn, &secure.ServerConfig{
+					Config: secure.Config{Identity: keys[1]},
+				}); err == nil {
+					sc.Close()
+				}
+				conn.Close()
+			}()
+		}
+	}()
+	defer lns[1].Close()
+
+	p := protocols(t, r)[0]
+	_, err := RunNode(NodeConfig{
+		Ring: r, Index: 0, Protocol: p,
+		Listener: lns[0], NextAddr: addrs[1],
+		Timeout: 20 * time.Second, Identity: keys[0], PeerKeys: wrongRoster,
+		Backoff: Backoff{Attempts: 3, Base: time.Millisecond, Max: 5 * time.Millisecond},
+	})
+	var de *DialError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DialError from key mismatch, got %v", err)
+	}
+	if de.Last == nil || !secure.IsHandshakeError(de.Last) {
+		t.Fatalf("DialError should carry the handshake failure, got %v", de.Last)
+	}
+}
+
+// testListeners binds n loopback listeners and returns them with their
+// addresses.
+func testListeners(t testing.TB, n int) ([]net.Listener, []string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	return lns, addrs
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ring"
+	"repro/internal/secure"
 )
 
 // wireVersion is the protocol version carried in every frame header.
@@ -36,7 +37,24 @@ const wireVersion = 3
 // maxFrameBody bounds the body length a receiver accepts; every frame the
 // protocol defines is far smaller, so anything larger is a corrupt or
 // hostile stream.
+//
+// This is a *plaintext* budget. On an encrypted link the frame stream is
+// carried inside secure-layer records, which add AEAD expansion
+// (secure.Overhead tag bytes per record; the nonce is an implicit
+// counter and costs nothing on the wire). The two budgets are
+// deliberately distinct: readFrameInto and the pooled
+// [4+maxFrameBody]byte scratch keep sizing against the plaintext bound,
+// while the record layer sizes its receive scratch and rejection
+// threshold against maxPlainRecord+secure.Overhead — so a maximally
+// batched sealed record is never rejected as oversized, and a sealed
+// record beyond the budget is rejected before it is buffered.
 const maxFrameBody = 64
+
+// maxPlainRecord is the largest plaintext one secure-layer record may
+// carry on a ring link: a full sender batch of maximum-size frames,
+// each with its 4-byte length prefix. A sealed record on the wire is at
+// most maxPlainRecord+secure.Overhead bytes.
+const maxPlainRecord = maxWriteBatch * (4 + maxFrameBody)
 
 // frameType tags the wire vocabulary.
 type frameType uint8
@@ -292,6 +310,22 @@ func ringHash(r *ring.Ring) uint64 {
 	for i := 0; i < r.N(); i++ {
 		binary.BigEndian.PutUint64(b[:], uint64(int64(r.Label(i))))
 		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// ringHashWithKeys extends ringHash with every node's static public key
+// in ring order. Secure nodes exchange this in HELLO, so a roster
+// disagreement about *any* node's key — not just a neighbor's — fails
+// the handshake as fast as a wrong -ring. (A wrong key for a direct
+// neighbor fails even earlier, inside the secure handshake itself.)
+func ringHashWithKeys(r *ring.Ring, keys []secure.PublicKey) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], ringHash(r))
+	h.Write(b[:])
+	for _, k := range keys {
+		h.Write(k.Bytes())
 	}
 	return h.Sum64()
 }

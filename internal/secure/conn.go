@@ -1,0 +1,233 @@
+package secure
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+const (
+	// Overhead is the AEAD expansion per sealed record (the AES-GCM
+	// tag). The nonce is implicit — a per-direction 64-bit counter —
+	// so it costs no wire bytes, and a record replayed, reordered, or
+	// dropped by the network fails authentication on arrival.
+	Overhead = 16
+
+	// recordHeaderLen is the length prefix on every sealed record.
+	recordHeaderLen = 4
+
+	// DefaultMaxRecord is the default plaintext budget per record.
+	DefaultMaxRecord = 16 * 1024
+
+	// maxRecordLimit caps any configured record budget; GCM nonce/tag
+	// safety margins are generous far beyond this, it simply bounds
+	// the per-connection scratch buffers.
+	maxRecordLimit = 1 << 20
+)
+
+var (
+	// ErrBadRecord reports a sealed record that failed authentication:
+	// flipped bits, a replayed or reordered record (the strict nonce
+	// counter makes those fail the tag check), or ciphertext sealed
+	// under a different key. The connection is unusable afterwards.
+	ErrBadRecord = errors.New("secure: record authentication failed")
+
+	// ErrRecordTooLarge reports a record header announcing a body
+	// beyond the receive budget — either a corrupted length or a peer
+	// configured with a larger MaxRecord.
+	ErrRecordTooLarge = errors.New("secure: record exceeds size budget")
+
+	// errConnClosed is returned from Read/Write after Close.
+	errConnClosed = errors.New("secure: connection closed")
+)
+
+// IsTransportError reports whether err is a secure-layer record
+// failure (authentication or framing). Transports treat these like a
+// severed TCP connection: drop the conn and let reconnection heal it,
+// because an on-path attacker can trivially cause them.
+func IsTransportError(err error) bool {
+	return errors.Is(err, ErrBadRecord) || errors.Is(err, ErrRecordTooLarge)
+}
+
+// Conn is an encrypted net.Conn. Every Write seals one or more
+// records [u32 length | AES-256-GCM ciphertext]; Read opens records and
+// buffers plaintext, so length-prefixed protocols layer on top
+// unchanged. Each direction keeps its own strict nonce counter —
+// record N must arrive as record N.
+//
+// Reads and writes may run concurrently (one reader, one writer), the
+// usual net.Conn contract.
+type Conn struct {
+	conn net.Conn
+	peer PublicKey
+
+	maxPlain int
+
+	wmu     sync.Mutex
+	send    cipher.AEAD
+	sendCtr uint64
+	wbuf    []byte // header + ciphertext scratch, reused across writes
+
+	rmu     sync.Mutex
+	recv    cipher.AEAD
+	recvCtr uint64
+	rbuf    []byte // sealed record scratch, reused across reads
+	rplain  []byte // unread decrypted plaintext (window into rbuf)
+	readErr error  // sticky: after one bad record the stream is dead
+}
+
+func newConn(conn net.Conn, peer PublicKey, sendKey, recvKey []byte, maxRecord int) (*Conn, error) {
+	if maxRecord <= 0 {
+		maxRecord = DefaultMaxRecord
+	}
+	if maxRecord > maxRecordLimit {
+		maxRecord = maxRecordLimit
+	}
+	send, err := newAEAD(sendKey)
+	if err != nil {
+		return nil, fmt.Errorf("secure: send cipher: %w", err)
+	}
+	recv, err := newAEAD(recvKey)
+	if err != nil {
+		return nil, fmt.Errorf("secure: recv cipher: %w", err)
+	}
+	return &Conn{
+		conn:     conn,
+		peer:     peer,
+		maxPlain: maxRecord,
+		send:     send,
+		recv:     recv,
+		wbuf:     make([]byte, 0, recordHeaderLen+maxRecord+Overhead),
+		rbuf:     make([]byte, 0, maxRecord+Overhead),
+	}, nil
+}
+
+// Peer returns the authenticated static public key of the other side.
+func (c *Conn) Peer() PublicKey { return c.peer }
+
+// nonce fills dst with the implicit record nonce for counter ctr.
+func nonce(dst *[12]byte, ctr uint64) {
+	binary.BigEndian.PutUint64(dst[4:], ctr)
+}
+
+// Write seals p into one or more records and writes them. It never
+// fragments below maxPlain, so a protocol batching several frames into
+// one Write pays one tag for the whole batch.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.send == nil {
+		return 0, errConnClosed
+	}
+	written := 0
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > c.maxPlain {
+			chunk = chunk[:c.maxPlain]
+		}
+		var n [12]byte
+		nonce(&n, c.sendCtr)
+		c.sendCtr++
+		c.wbuf = c.wbuf[:recordHeaderLen]
+		binary.BigEndian.PutUint32(c.wbuf, uint32(len(chunk)+Overhead))
+		c.wbuf = c.send.Seal(c.wbuf, n[:], chunk, nil)
+		if _, err := c.conn.Write(c.wbuf); err != nil {
+			return written, err
+		}
+		written += len(chunk)
+		p = p[len(chunk):]
+	}
+	return written, nil
+}
+
+// Read returns decrypted plaintext, reading and opening the next sealed
+// record when the buffer is empty. Any record that fails to open — or a
+// header announcing an over-budget record — poisons the connection: the
+// error is sticky and every later Read returns it.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.readErr != nil {
+		return 0, c.readErr
+	}
+	if c.recv == nil {
+		return 0, errConnClosed
+	}
+	for len(c.rplain) == 0 {
+		if err := c.readRecord(); err != nil {
+			// I/O errors (timeouts, EOF mid-stream) are not sticky;
+			// a retryable deadline error must not poison the conn.
+			if IsTransportError(err) {
+				c.readErr = err
+			}
+			return 0, err
+		}
+	}
+	n := copy(p, c.rplain)
+	c.rplain = c.rplain[n:]
+	return n, nil
+}
+
+func (c *Conn) readRecord() error {
+	var hdr [recordHeaderLen]byte
+	if _, err := readFullConn(c.conn, hdr[:]); err != nil {
+		return err
+	}
+	size := int(binary.BigEndian.Uint32(hdr[:]))
+	if size < Overhead {
+		return fmt.Errorf("%w: sealed length %d below tag size", ErrBadRecord, size)
+	}
+	if size > c.maxPlain+Overhead {
+		return fmt.Errorf("%w: sealed length %d, budget %d", ErrRecordTooLarge, size, c.maxPlain+Overhead)
+	}
+	c.rbuf = c.rbuf[:size]
+	if _, err := readFullConn(c.conn, c.rbuf); err != nil {
+		return err
+	}
+	var n [12]byte
+	nonce(&n, c.recvCtr)
+	pt, err := c.recv.Open(c.rbuf[:0], n[:], c.rbuf, nil)
+	if err != nil {
+		return fmt.Errorf("%w (record %d)", ErrBadRecord, c.recvCtr)
+	}
+	c.recvCtr++
+	c.rplain = pt
+	return nil
+}
+
+// readFullConn is io.ReadFull without the interface indirection cost on
+// the error path; a short read mid-record surfaces as the underlying
+// error (or io.ErrUnexpectedEOF via the net stack's EOF).
+func readFullConn(conn net.Conn, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := conn.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// CloseWrite half-closes the underlying connection when it supports it
+// (TCP FIN), so drain-then-linger shutdown sequences work unchanged.
+func (c *Conn) CloseWrite() error {
+	if cw, ok := c.conn.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
+func (c *Conn) LocalAddr() net.Addr                { return c.conn.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.conn.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.conn.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.conn.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.conn.SetWriteDeadline(t) }

@@ -1,0 +1,345 @@
+package secure
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// The handshake is a fixed two-message IK-style pattern over X25519:
+//
+//	pre-message:  <- s            (initiator knows responder's static)
+//	message 1:    -> e, es, s, ss (96 bytes)
+//	message 2:    <- e, ee, se    (48 bytes)
+//
+// Each DH output is mixed into a running HKDF-SHA256 chaining key and
+// every byte on the wire is absorbed into a transcript hash that
+// authenticates the next AEAD operation, so a single flipped handshake
+// bit fails the handshake. After message 2 the chaining key is split
+// into one AES-256-GCM key per direction.
+
+const (
+	protocolName = "ringsec/1 X25519 HKDF-SHA256 AES-256-GCM"
+
+	hsMsg1Len = KeySize + KeySize + Overhead + Overhead // e || enc(s) || tag
+	hsMsg2Len = KeySize + Overhead                      // e || tag
+
+	// DefaultHandshakeTimeout bounds the whole handshake when the
+	// config does not set one; a peer that connects and stalls (or a
+	// plaintext client that never speaks the pattern) is cut loose.
+	DefaultHandshakeTimeout = 10 * time.Second
+)
+
+// HandshakeError is the typed failure for a handshake that did not
+// complete: wrong peer key, truncated or garbled handshake message, a
+// plaintext client talking to a key-configured listener, or a peer not
+// on the allowlist. It is deliberately distinct from record-layer
+// errors so callers can count downgrade/injection attempts separately.
+type HandshakeError struct {
+	Side   string // "client" or "server"
+	Reason string
+	Err    error // underlying I/O or crypto error, if any
+}
+
+func (e *HandshakeError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("secure: %s handshake: %s: %v", e.Side, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("secure: %s handshake: %s", e.Side, e.Reason)
+}
+
+func (e *HandshakeError) Unwrap() error { return e.Err }
+
+func hsErr(side, reason string, err error) error {
+	return &HandshakeError{Side: side, Reason: reason, Err: err}
+}
+
+// Config holds the knobs shared by both handshake sides.
+type Config struct {
+	// Identity is this side's static key. Required.
+	Identity *PrivateKey
+	// MaxRecord bounds the plaintext carried by one record in each
+	// direction after the handshake; 0 means DefaultMaxRecord. The
+	// receive side rejects sealed records larger than
+	// MaxRecord+Overhead, so both peers must agree on the budget.
+	MaxRecord int
+	// HandshakeTimeout bounds the handshake round trip; 0 means
+	// DefaultHandshakeTimeout.
+	HandshakeTimeout time.Duration
+}
+
+// ClientConfig configures the initiator side.
+type ClientConfig struct {
+	Config
+	// ServerKey is the responder's static public key. Required: the IK
+	// pattern encrypts the very first message to it, so dialing a peer
+	// holding a different key fails inside one round trip.
+	ServerKey PublicKey
+}
+
+// ServerConfig configures the responder side.
+type ServerConfig struct {
+	Config
+	// Allowed, when non-empty, restricts which client static keys may
+	// complete the handshake. Empty means any key that completes the
+	// pattern is accepted (it is still authenticated and fingerprinted).
+	Allowed []PublicKey
+}
+
+// symmetric is the handshake's chaining-key + transcript-hash state.
+type symmetric struct {
+	ck [32]byte // chaining key
+	h  [32]byte // transcript hash
+	k  [32]byte // current handshake AEAD key
+}
+
+func newSymmetric() *symmetric {
+	s := &symmetric{}
+	s.h = sha256.Sum256([]byte(protocolName))
+	s.ck = s.h
+	return s
+}
+
+func (s *symmetric) mixHash(data []byte) {
+	d := sha256.New()
+	d.Write(s.h[:])
+	d.Write(data)
+	d.Sum(s.h[:0])
+}
+
+func (s *symmetric) mixKey(dh []byte) {
+	prk := hkdfExtract(s.ck[:], dh)
+	okm := hkdfExpand(prk, []byte("ringsec chain"), 64)
+	copy(s.ck[:], okm[:32])
+	copy(s.k[:], okm[32:])
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// seal encrypts plaintext under the current handshake key with a zero
+// nonce (each mixKey installs a fresh key) and the transcript as AD,
+// appends the ciphertext to dst, and absorbs it into the transcript.
+func (s *symmetric) seal(dst, plaintext []byte) ([]byte, error) {
+	aead, err := newAEAD(s.k[:])
+	if err != nil {
+		return nil, err
+	}
+	var nonce [12]byte
+	start := len(dst)
+	dst = aead.Seal(dst, nonce[:], plaintext, s.h[:])
+	s.mixHash(dst[start:])
+	return dst, nil
+}
+
+// open decrypts a handshake ciphertext sealed by the peer's matching
+// seal call and absorbs it into the transcript.
+func (s *symmetric) open(ct []byte) ([]byte, error) {
+	aead, err := newAEAD(s.k[:])
+	if err != nil {
+		return nil, err
+	}
+	var nonce [12]byte
+	pt, err := aead.Open(nil, nonce[:], ct, s.h[:])
+	if err != nil {
+		return nil, err
+	}
+	s.mixHash(ct)
+	return pt, nil
+}
+
+// split derives the two directional record keys from the chaining key.
+func (s *symmetric) split() (initiatorToResponder, responderToInitiator []byte) {
+	okm := hkdfExpand(s.ck[:], []byte("ringsec split"), 64)
+	return okm[:32], okm[32:]
+}
+
+func handshakeDeadline(conn net.Conn, d time.Duration) func() {
+	if d == 0 {
+		d = DefaultHandshakeTimeout
+	}
+	conn.SetDeadline(time.Now().Add(d))
+	return func() { conn.SetDeadline(time.Time{}) }
+}
+
+// Client runs the initiator side of the handshake over conn and returns
+// the encrypted connection. On error the caller owns closing conn.
+func Client(conn net.Conn, cfg *ClientConfig) (*Conn, error) {
+	if cfg == nil || cfg.Identity == nil {
+		return nil, hsErr("client", "no identity key configured", nil)
+	}
+	if cfg.ServerKey.IsZero() {
+		return nil, hsErr("client", "no server public key configured", nil)
+	}
+	clear := handshakeDeadline(conn, cfg.HandshakeTimeout)
+	defer clear()
+
+	sym := newSymmetric()
+	sym.mixHash(cfg.ServerKey.Bytes()) // IK pre-message: responder static
+
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, hsErr("client", "generate ephemeral", err)
+	}
+	msg1 := make([]byte, 0, hsMsg1Len)
+	msg1 = append(msg1, eph.PublicKey().Bytes()...)
+	sym.mixHash(eph.PublicKey().Bytes())
+
+	es, err := eph.ECDH(cfg.ServerKey.key)
+	if err != nil {
+		return nil, hsErr("client", "es", err)
+	}
+	sym.mixKey(es)
+	if msg1, err = sym.seal(msg1, cfg.Identity.Public().Bytes()); err != nil {
+		return nil, hsErr("client", "seal static", err)
+	}
+	ss, err := cfg.Identity.key.ECDH(cfg.ServerKey.key)
+	if err != nil {
+		return nil, hsErr("client", "ss", err)
+	}
+	sym.mixKey(ss)
+	if msg1, err = sym.seal(msg1, nil); err != nil {
+		return nil, hsErr("client", "seal tag", err)
+	}
+	if _, err := conn.Write(msg1); err != nil {
+		return nil, hsErr("client", "write message 1", err)
+	}
+
+	var msg2 [hsMsg2Len]byte
+	if _, err := io.ReadFull(conn, msg2[:]); err != nil {
+		return nil, hsErr("client", "read message 2", err)
+	}
+	ephR, err := ecdh.X25519().NewPublicKey(msg2[:KeySize])
+	if err != nil {
+		return nil, hsErr("client", "responder ephemeral", err)
+	}
+	sym.mixHash(msg2[:KeySize])
+	ee, err := eph.ECDH(ephR)
+	if err != nil {
+		return nil, hsErr("client", "ee", err)
+	}
+	sym.mixKey(ee)
+	se, err := cfg.Identity.key.ECDH(ephR)
+	if err != nil {
+		return nil, hsErr("client", "se", err)
+	}
+	sym.mixKey(se)
+	if _, err := sym.open(msg2[KeySize:]); err != nil {
+		// Authentication failed: wrong server key, or an attacker in
+		// the middle. Same-shaped failure either way.
+		return nil, hsErr("client", "server authentication failed", err)
+	}
+
+	sendKey, recvKey := sym.split()
+	return newConn(conn, cfg.ServerKey, sendKey, recvKey, cfg.MaxRecord)
+}
+
+// Server runs the responder side of the handshake over conn and returns
+// the encrypted connection. Any deviation from the pattern — truncated
+// or garbled bytes, a plaintext protocol, an ineligible client key —
+// yields a *HandshakeError; the caller owns closing conn.
+func Server(conn net.Conn, cfg *ServerConfig) (*Conn, error) {
+	if cfg == nil || cfg.Identity == nil {
+		return nil, hsErr("server", "no identity key configured", nil)
+	}
+	clear := handshakeDeadline(conn, cfg.HandshakeTimeout)
+	defer clear()
+
+	sym := newSymmetric()
+	sym.mixHash(cfg.Identity.Public().Bytes())
+
+	var msg1 [hsMsg1Len]byte
+	if _, err := io.ReadFull(conn, msg1[:]); err != nil {
+		return nil, hsErr("server", "read message 1", err)
+	}
+	ephI, err := ecdh.X25519().NewPublicKey(msg1[:KeySize])
+	if err != nil {
+		return nil, hsErr("server", "initiator ephemeral", err)
+	}
+	sym.mixHash(msg1[:KeySize])
+	es, err := cfg.Identity.key.ECDH(ephI)
+	if err != nil {
+		return nil, hsErr("server", "es", err)
+	}
+	sym.mixKey(es)
+	staticEnc := msg1[KeySize : KeySize+KeySize+Overhead]
+	staticRaw, err := sym.open(staticEnc)
+	if err != nil {
+		// A plaintext client (or garbage) lands here: the first flight
+		// does not decrypt under our static key.
+		return nil, hsErr("server", "client offered no valid handshake (plaintext or wrong key)", err)
+	}
+	clientPub, err := ecdh.X25519().NewPublicKey(staticRaw)
+	if err != nil {
+		return nil, hsErr("server", "client static", err)
+	}
+	var peer PublicKey
+	peer.key = clientPub
+	copy(peer.raw[:], staticRaw)
+
+	ss, err := cfg.Identity.key.ECDH(clientPub)
+	if err != nil {
+		return nil, hsErr("server", "ss", err)
+	}
+	sym.mixKey(ss)
+	if _, err := sym.open(msg1[KeySize+KeySize+Overhead:]); err != nil {
+		return nil, hsErr("server", "client authentication failed", err)
+	}
+	if len(cfg.Allowed) > 0 {
+		ok := false
+		for _, a := range cfg.Allowed {
+			if a.Equal(peer) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, hsErr("server", "client key "+peer.ShortFingerprint()+" not in allowlist", nil)
+		}
+	}
+
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, hsErr("server", "generate ephemeral", err)
+	}
+	msg2 := make([]byte, 0, hsMsg2Len)
+	msg2 = append(msg2, eph.PublicKey().Bytes()...)
+	sym.mixHash(eph.PublicKey().Bytes())
+	ee, err := eph.ECDH(ephI)
+	if err != nil {
+		return nil, hsErr("server", "ee", err)
+	}
+	sym.mixKey(ee)
+	se, err := eph.ECDH(clientPub)
+	if err != nil {
+		return nil, hsErr("server", "se", err)
+	}
+	sym.mixKey(se)
+	if msg2, err = sym.seal(msg2, nil); err != nil {
+		return nil, hsErr("server", "seal tag", err)
+	}
+	if _, err := conn.Write(msg2); err != nil {
+		return nil, hsErr("server", "write message 2", err)
+	}
+
+	i2r, r2i := sym.split()
+	return newConn(conn, peer, r2i, i2r, cfg.MaxRecord)
+}
+
+// IsHandshakeError reports whether err is a handshake failure.
+func IsHandshakeError(err error) bool {
+	var he *HandshakeError
+	return errors.As(err, &he)
+}

@@ -1,0 +1,32 @@
+package secure
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// HKDF-SHA256 (RFC 5869), hand-rolled over crypto/hmac so go.mod stays
+// dependency-free. Only the fixed-size shapes the handshake needs.
+
+// hkdfExtract computes PRK = HMAC-SHA256(salt, ikm).
+func hkdfExtract(salt, ikm []byte) []byte {
+	m := hmac.New(sha256.New, salt)
+	m.Write(ikm)
+	return m.Sum(nil)
+}
+
+// hkdfExpand derives length bytes of output keying material from prk.
+// length must be <= 255*32; the handshake only asks for 64.
+func hkdfExpand(prk, info []byte, length int) []byte {
+	out := make([]byte, 0, length)
+	var t []byte
+	for i := byte(1); len(out) < length; i++ {
+		m := hmac.New(sha256.New, prk)
+		m.Write(t)
+		m.Write(info)
+		m.Write([]byte{i})
+		t = m.Sum(nil)
+		out = append(out, t...)
+	}
+	return out[:length]
+}

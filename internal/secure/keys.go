@@ -1,0 +1,203 @@
+// Package secure implements the authenticated encryption layer for ring
+// links and the RGV1 serving port: X25519 static keys, an IK-style
+// handshake (the initiator must already know the responder's static
+// public key, and both sides prove possession of their statics), and an
+// AES-256-GCM record layer with strict per-direction nonce counters.
+//
+// Everything is built on the standard library (crypto/ecdh, crypto/hmac,
+// crypto/aes); go.mod stays dependency-free. The package deliberately
+// exposes a tiny surface — keypairs, two handshake entry points, and a
+// net.Conn — so the transports (internal/netring, internal/serve) can
+// treat encryption as an opt-in conn wrapper.
+//
+// Threat model: an active network attacker who can read, inject, replay,
+// reorder, truncate, and sever traffic, but who does not hold a valid
+// static private key. Out of scope (explicit non-goals): key
+// distribution and rotation, identity hiding of the initiator's static
+// key against an attacker who already holds the responder's private key,
+// and post-compromise forward secrecy beyond per-connection ephemerals.
+package secure
+
+import (
+	"bufio"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// KeySize is the size of X25519 private and public keys.
+const KeySize = 32
+
+// PrivateKey is a static X25519 identity key.
+type PrivateKey struct {
+	key *ecdh.PrivateKey
+	pub PublicKey
+}
+
+// PublicKey is a static X25519 public key. The zero value is invalid
+// and reports IsZero.
+type PublicKey struct {
+	key *ecdh.PublicKey
+	raw [KeySize]byte
+}
+
+// GenerateKey creates a fresh static identity key from crypto/rand.
+func GenerateKey() (*PrivateKey, error) {
+	k, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("secure: generate key: %w", err)
+	}
+	return wrapPrivate(k), nil
+}
+
+func wrapPrivate(k *ecdh.PrivateKey) *PrivateKey {
+	p := &PrivateKey{key: k}
+	p.pub.key = k.PublicKey()
+	copy(p.pub.raw[:], p.pub.key.Bytes())
+	return p
+}
+
+// Public returns the key's public half.
+func (k *PrivateKey) Public() PublicKey { return k.pub }
+
+// Bytes returns the 32-byte private scalar.
+func (k *PrivateKey) Bytes() []byte { return k.key.Bytes() }
+
+// String encodes the private scalar for key files.
+func (k *PrivateKey) String() string {
+	return base64.RawURLEncoding.EncodeToString(k.key.Bytes())
+}
+
+// ParsePrivateKey decodes a key in the format produced by
+// PrivateKey.String.
+func ParsePrivateKey(s string) (*PrivateKey, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(strings.TrimSpace(s))
+	if err != nil {
+		return nil, fmt.Errorf("secure: parse private key: %w", err)
+	}
+	if len(raw) != KeySize {
+		return nil, fmt.Errorf("secure: parse private key: got %d bytes, want %d", len(raw), KeySize)
+	}
+	k, err := ecdh.X25519().NewPrivateKey(raw)
+	if err != nil {
+		return nil, fmt.Errorf("secure: parse private key: %w", err)
+	}
+	return wrapPrivate(k), nil
+}
+
+// IsZero reports whether the key is unset.
+func (p PublicKey) IsZero() bool { return p.key == nil }
+
+// Bytes returns the 32-byte public key.
+func (p PublicKey) Bytes() []byte { return p.raw[:] }
+
+// Equal reports whether two public keys are the same key.
+func (p PublicKey) Equal(q PublicKey) bool {
+	return !p.IsZero() && !q.IsZero() && p.raw == q.raw
+}
+
+// String encodes the public key for key files, flags, and rosters.
+func (p PublicKey) String() string {
+	return base64.RawURLEncoding.EncodeToString(p.raw[:])
+}
+
+// Fingerprint returns the hex SHA-256 of the public key. It identifies
+// a peer in metrics, logs, and the per-peer rate limiter.
+func (p PublicKey) Fingerprint() string {
+	sum := sha256.Sum256(p.raw[:])
+	return hex.EncodeToString(sum[:])
+}
+
+// ShortFingerprint returns the first 16 hex digits of Fingerprint, for
+// log lines.
+func (p PublicKey) ShortFingerprint() string { return p.Fingerprint()[:16] }
+
+// ParsePublicKey decodes a key in the format produced by
+// PublicKey.String.
+func ParsePublicKey(s string) (PublicKey, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(strings.TrimSpace(s))
+	if err != nil {
+		return PublicKey{}, fmt.Errorf("secure: parse public key: %w", err)
+	}
+	if len(raw) != KeySize {
+		return PublicKey{}, fmt.Errorf("secure: parse public key: got %d bytes, want %d", len(raw), KeySize)
+	}
+	k, err := ecdh.X25519().NewPublicKey(raw)
+	if err != nil {
+		return PublicKey{}, fmt.Errorf("secure: parse public key: %w", err)
+	}
+	var p PublicKey
+	p.key = k
+	copy(p.raw[:], raw)
+	return p, nil
+}
+
+// WriteKeyFile writes a private key to path with 0600 permissions. The
+// format is one base64 line; lines starting with '#' are comments.
+func WriteKeyFile(path string, k *PrivateKey) error {
+	data := fmt.Sprintf("# ringsec v1 private key (public %s)\n%s\n", k.Public().String(), k.String())
+	return os.WriteFile(path, []byte(data), 0o600)
+}
+
+// LoadKeyFile reads a private key written by WriteKeyFile.
+func LoadKeyFile(path string) (*PrivateKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("secure: load key file: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return ParsePrivateKey(line)
+	}
+	return nil, fmt.Errorf("secure: load key file %s: no key line found", path)
+}
+
+// LoadPeerKeys reads a roster of public keys, one base64 key per line
+// in ring-index order ('#' comments and blank lines ignored).
+func LoadPeerKeys(path string) ([]PublicKey, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("secure: load peer keys: %w", err)
+	}
+	defer f.Close()
+	var keys []PublicKey
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		k, err := ParsePublicKey(line)
+		if err != nil {
+			return nil, fmt.Errorf("secure: peer key %d: %w", len(keys), err)
+		}
+		keys = append(keys, k)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("secure: load peer keys: %w", err)
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("secure: load peer keys %s: no keys found", path)
+	}
+	return keys, nil
+}
+
+// WritePeerKeys writes a roster of public keys in the format read by
+// LoadPeerKeys.
+func WritePeerKeys(path string, keys []PublicKey) error {
+	var b strings.Builder
+	b.WriteString("# ringsec v1 peer public keys, one per ring index\n")
+	for _, k := range keys {
+		b.WriteString(k.String())
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -41,6 +41,8 @@ type Metrics struct {
 	divergences atomic.Int64
 	panics      atomic.Int64
 	inFlight    atomic.Int64
+	handshakes  atomic.Int64              // secure handshake failures on a key-configured port
+	rateLimited atomic.Int64              // requests shed by the per-peer rate limiter
 	gauges      map[string]func() float64 // read-only after construction
 }
 
@@ -121,6 +123,19 @@ func (m *Metrics) CacheMiss() { m.misses.Add(1) }
 // Panic records one handler panic contained by the middleware.
 func (m *Metrics) Panic() { m.panics.Add(1) }
 
+// HandshakeFailure records a connection to a key-configured port that
+// did not complete the secure handshake — a plaintext client, a peer
+// with the wrong key, or injected garbage. Distinct from sheds: these
+// connections never produced a request.
+func (m *Metrics) HandshakeFailure() { m.handshakes.Add(1) }
+
+// HandshakeFailures reads the handshake-failure counter (for tests).
+func (m *Metrics) HandshakeFailures() int64 { return m.handshakes.Load() }
+
+// RateLimited records a request shed by the per-peer token-bucket rate
+// limiter (it also counts as a shed via the 429 status observation).
+func (m *Metrics) RateLimited() { m.rateLimited.Add(1) }
+
 // Crosscheck records one sampled cache hit re-verified through the
 // simulator; diverged marks the re-run disagreeing with the cached result.
 func (m *Metrics) Crosscheck(diverged bool) {
@@ -133,15 +148,17 @@ func (m *Metrics) Crosscheck(diverged bool) {
 // Snapshot is a point-in-time copy of the counters, for tests and the
 // periodic log line.
 type Snapshot struct {
-	Requests    int64
-	Hits        int64
-	Misses      int64
-	Sheds       int64
-	Errors      int64
-	Crosschecks int64
-	Divergences int64
-	Panics      int64
-	InFlight    int64
+	Requests          int64
+	Hits              int64
+	Misses            int64
+	Sheds             int64
+	Errors            int64
+	Crosschecks       int64
+	Divergences       int64
+	Panics            int64
+	InFlight          int64
+	HandshakeFailures int64
+	RateLimited       int64
 }
 
 // Snapshot returns a copy of the counters. Each counter is read
@@ -150,14 +167,16 @@ type Snapshot struct {
 // quiescence, the periodic log line) need.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Hits:        m.hits.Load(),
-		Misses:      m.misses.Load(),
-		Sheds:       m.sheds.Load(),
-		Errors:      m.errors.Load(),
-		Crosschecks: m.crosschecks.Load(),
-		Divergences: m.divergences.Load(),
-		Panics:      m.panics.Load(),
-		InFlight:    m.inFlight.Load(),
+		Hits:              m.hits.Load(),
+		Misses:            m.misses.Load(),
+		Sheds:             m.sheds.Load(),
+		Errors:            m.errors.Load(),
+		Crosschecks:       m.crosschecks.Load(),
+		Divergences:       m.divergences.Load(),
+		Panics:            m.panics.Load(),
+		InFlight:          m.inFlight.Load(),
+		HandshakeFailures: m.handshakes.Load(),
+		RateLimited:       m.rateLimited.Load(),
 	}
 	m.endpoints.Range(func(_, v any) bool {
 		s.Requests += v.(*endpointStats).requests.Load()
@@ -219,6 +238,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("ringd_crosscheck_total", "Cache hits re-verified through the simulator.", m.crosschecks.Load())
 	counter("ringd_crosscheck_divergence_total", "Crosscheck re-runs that disagreed with the cached result.", m.divergences.Load())
 	counter("ringd_panics_total", "Handler panics contained by the recovery middleware.", m.panics.Load())
+	counter("ringd_handshake_failures_total", "Connections to a key-configured port that failed the secure handshake (plaintext, wrong key, or garbage).", m.handshakes.Load())
+	counter("ringd_rate_limited_total", "Requests shed by the per-peer token-bucket rate limiter.", m.rateLimited.Load())
 
 	fmt.Fprintf(w, "# HELP ringd_in_flight Requests currently being served.\n# TYPE ringd_in_flight gauge\nringd_in_flight %d\n", m.inFlight.Load())
 	for _, name := range sortedKeys(m.gauges) {

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateLimitConfig configures the per-peer token-bucket rate limiter on
+// the serving edge. A peer is the authenticated static-key fingerprint
+// on an encrypted port, falling back to the remote address when the
+// transport is plaintext — so on a secured deployment a flooding tenant
+// cannot dodge its bucket by cycling source ports.
+type RateLimitConfig struct {
+	// Rate is the sustained request budget per peer, in requests per
+	// second (the bucket refill rate). Required (> 0).
+	Rate float64
+	// Burst is the bucket capacity: how many requests a peer may issue
+	// back to back after idling. Default: ceil(Rate), at least 1.
+	Burst int
+	// MaxPeers bounds the tracked-peer table; the least recently seen
+	// peer is evicted at the bound. Default 4096.
+	MaxPeers int
+}
+
+func (c RateLimitConfig) withDefaults() RateLimitConfig {
+	if c.Burst <= 0 {
+		c.Burst = int(math.Ceil(c.Rate))
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.MaxPeers <= 0 {
+		c.MaxPeers = 4096
+	}
+	return c
+}
+
+// tokenBucket is one peer's budget: a continuously refilling counter
+// clamped at Burst.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter is the shared table of per-peer buckets. One mutex guards
+// the table; the critical section is a map lookup and a few float ops,
+// which is noise next to even a cached election, and sidesteps the
+// eviction races a striped design would invite.
+type rateLimiter struct {
+	cfg RateLimitConfig
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+func newRateLimiter(cfg RateLimitConfig) *rateLimiter {
+	return &rateLimiter{cfg: cfg.withDefaults(), buckets: make(map[string]*tokenBucket)}
+}
+
+// allow spends one token from peer's bucket. When the bucket is empty
+// it reports false with the whole-seconds Retry-After estimate until a
+// token refills (at least 1, matching the admission layer's hint
+// semantics).
+func (rl *rateLimiter) allow(peer string, now time.Time) (ok bool, retryAfter int) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.buckets[peer]
+	if b == nil {
+		if len(rl.buckets) >= rl.cfg.MaxPeers {
+			rl.evictOldestLocked()
+		}
+		b = &tokenBucket{tokens: float64(rl.cfg.Burst), last: now}
+		rl.buckets[peer] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens = math.Min(float64(rl.cfg.Burst), b.tokens+elapsed*rl.cfg.Rate)
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := (1 - b.tokens) / rl.cfg.Rate
+	retryAfter = int(math.Ceil(wait))
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	return false, retryAfter
+}
+
+// evictOldestLocked drops the least recently seen peer. Linear scan at
+// the bound only; with the default 4096-peer table this runs rarely and
+// costs microseconds.
+func (rl *rateLimiter) evictOldestLocked() {
+	var oldestKey string
+	var oldest time.Time
+	first := true
+	for k, b := range rl.buckets {
+		if first || b.last.Before(oldest) {
+			oldestKey, oldest, first = k, b.last, false
+		}
+	}
+	if !first {
+		delete(rl.buckets, oldestKey)
+	}
+}

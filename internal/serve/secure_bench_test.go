@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/netring"
+	"repro/internal/ring"
+	"repro/internal/secure"
+
+	repro "repro"
+)
+
+// The encryption A/B pair: one cached election round trip over a real
+// loopback TCP connection, plaintext versus ringsec. Unlike the
+// in-process WireHit/HTTPHit pair this includes the sockets, because
+// that is where encryption's cost lives — two AES-GCM seals and two
+// opens per round trip, on top of the same frame work. BENCH_PR10.json
+// pins the ratio (secure must stay ≤3x plaintext ns/op) via benchdiff's
+// secure_bench section; in practice the syscall-dominated round trip
+// keeps it far lower.
+
+// benchLoopbackElect measures one client Elect per op against a wire
+// server on a real listener, with the single ring pre-warmed into the
+// cache so every op is a pure protocol round trip.
+func benchLoopbackElect(b *testing.B, opts WireServerOptions, sec *secure.ClientConfig) {
+	s := New(Config{Workers: 1, CacheEntries: 64})
+	b.Cleanup(s.Close)
+	ws := NewWireServerWith(s, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go ws.Serve(ln)
+	b.Cleanup(func() { ln.Close() })
+
+	c, err := DialWireSecure(ln.Addr().String(), 1, 5*time.Second, netring.Backoff{}, sec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	labels := ring.Figure1().LabelsView()
+	if _, err := c.Elect(labels, repro.AlgorithmB, 3); err != nil {
+		b.Fatalf("warmup elect: %v", err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Elect(labels, repro.AlgorithmB, 3); err != nil {
+			b.Fatalf("elect: %v", err)
+		}
+	}
+}
+
+// BenchmarkWireElectPlain: the plaintext denominator of the ≤3x
+// encryption-overhead ceiling.
+func BenchmarkWireElectPlain(b *testing.B) {
+	benchLoopbackElect(b, WireServerOptions{}, nil)
+}
+
+// BenchmarkWireElectSecure: the same round trip through the ringsec
+// record layer — X25519 handshake once at dial, then AES-256-GCM per
+// frame in both directions.
+func BenchmarkWireElectSecure(b *testing.B) {
+	serverKey, err := secure.GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	clientKey, err := secure.GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLoopbackElect(b,
+		WireServerOptions{Secure: &secure.ServerConfig{Config: secure.Config{Identity: serverKey}}},
+		&secure.ClientConfig{Config: secure.Config{Identity: clientKey}, ServerKey: serverKey.Public()})
+}

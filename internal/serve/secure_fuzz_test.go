@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/secure"
+
+	repro "repro"
+)
+
+// FuzzWireSecureHandshake throws arbitrary bytes at a secure wire
+// port's pre-authentication surface — the exact position a network
+// adversary occupies before it holds any key. Whatever arrives (empty
+// streams, plaintext RGV1 magic, msg1-shaped garbage, oversized junk),
+// the server must sever the connection without panicking, without ever
+// emitting a frame, and stay alive for the next client.
+func FuzzWireSecureHandshake(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(wireMagic)) // a plaintext client's downgrade attempt
+	f.Add(appendWireElect([]byte(wireMagic), 1, repro.AlgorithmB, 3, []ring.Label{1, 3, 1, 3, 2, 2, 1, 2}))
+	f.Add(make([]byte, 96)) // msg1-sized zeros
+	f.Add(make([]byte, 95)) // one byte short of a msg1
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	serverKey, err := secure.GenerateKey()
+	if err != nil {
+		f.Fatal(err)
+	}
+	s := New(Config{})
+	ws := NewWireServerWith(s, WireServerOptions{
+		Secure: &secure.ServerConfig{
+			Config: secure.Config{Identity: serverKey, HandshakeTimeout: 200 * time.Millisecond},
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	go ws.Serve(ln)
+	f.Cleanup(func() { ln.Close(); s.Close() })
+	addr := ln.Addr().String()
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Fatalf("secure port died: %v", err)
+		}
+		defer conn.Close()
+		conn.Write(input)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		// The server must answer with silence and a sever — any bytes
+		// back would be a response to an unauthenticated peer.
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if got, err := io.ReadAll(conn); err == nil && len(got) > 0 {
+			t.Fatalf("unauthenticated connection received %d bytes", len(got))
+		}
+	})
+}

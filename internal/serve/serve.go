@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -91,6 +92,12 @@ type Config struct {
 	// means the cache layer broke the engines' agreement invariant, and
 	// serving wrong leaders quietly is the one unacceptable failure.
 	OnDivergence func(detail string)
+	// RateLimit, when set, applies a per-peer token bucket to /v1/elect,
+	// keyed by remote host (the HTTP edge has no authenticated peer
+	// identity; put the encrypted wire port in front of untrusted
+	// tenants for key-keyed limits). Over-budget requests get 429 with
+	// a Retry-After hint before any parsing work is done.
+	RateLimit *RateLimitConfig
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 	// LogEvery is the period of the metrics summary log line (0 = off;
@@ -141,6 +148,7 @@ type Server struct {
 	metrics *Metrics
 	cache   *resultCache
 	adm     *admission
+	limiter *rateLimiter // nil unless Config.RateLimit is set
 
 	hitSeq   atomic.Int64 // crosscheck sampling counter
 	reqSeq   atomic.Int64 // request-id counter (panic reports)
@@ -164,6 +172,9 @@ func New(cfg Config) *Server {
 		"ringd_queue_depth":   func() float64 { return float64(len(s.adm.queue)) },
 	})
 	s.adm = newAdmission(cfg.QueueDepth, cfg.Workers, cfg.BatchSize, cfg.BatchWait)
+	if cfg.RateLimit != nil {
+		s.limiter = newRateLimiter(*cfg.RateLimit)
+	}
 	if cfg.LogEvery > 0 {
 		s.logWG.Add(1)
 		go s.logLoop()
@@ -344,6 +355,19 @@ type ElectResponse struct {
 }
 
 func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
+	if s.limiter != nil {
+		peer := r.RemoteAddr
+		if host, _, err := net.SplitHostPort(peer); err == nil {
+			peer = host
+		}
+		if ok, retry := s.limiter.allow(peer, time.Now()); !ok {
+			// Shed before any parsing: a flooding peer pays for nothing.
+			s.metrics.RateLimited()
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			writeError(w, http.StatusTooManyRequests, "rate limited; retry after the indicated delay")
+			return
+		}
+	}
 	var req ElectRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/netring"
 	"repro/internal/ring"
+	"repro/internal/secure"
 
 	repro "repro"
 )
@@ -63,6 +64,7 @@ type WireClient struct {
 	addr    string
 	timeout time.Duration
 	backoff netring.Backoff
+	sec     *secure.ClientConfig // nil: plaintext RGV1
 	conns   []*wireClientConn
 	next    uint64 // round-robin cursor over conns; also the id sequence
 	mu      sync.Mutex
@@ -113,6 +115,15 @@ func DialWire(addr string, conns int, timeout time.Duration) (*WireClient, error
 // (zero fields take the netring defaults). The Attempts field bounds how
 // many dials one Elect will make before giving up on a dead slot.
 func DialWireBackoff(addr string, conns int, timeout time.Duration, b netring.Backoff) (*WireClient, error) {
+	return DialWireSecure(addr, conns, timeout, b, nil)
+}
+
+// DialWireSecure is DialWireBackoff over authenticated encrypted
+// connections: every pooled connection (and every redial — each fresh
+// connection gets a fresh handshake and fresh keys) completes the
+// ringsec handshake against the server identified by sec.ServerKey
+// before the RGV1 magic. A nil sec dials plaintext.
+func DialWireSecure(addr string, conns int, timeout time.Duration, b netring.Backoff, sec *secure.ClientConfig) (*WireClient, error) {
 	if conns <= 0 {
 		conns = 1
 	}
@@ -123,10 +134,11 @@ func DialWireBackoff(addr string, conns int, timeout time.Duration, b netring.Ba
 		addr:    addr,
 		timeout: timeout,
 		backoff: b.WithDefaults(),
+		sec:     sec,
 		done:    make(chan struct{}),
 	}
 	for i := 0; i < conns; i++ {
-		st, err := dialWireConn(addr, timeout)
+		st, err := dialWireConn(addr, timeout, sec)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -138,18 +150,28 @@ func DialWireBackoff(addr string, conns int, timeout time.Duration, b netring.Ba
 	return c, nil
 }
 
-// dialWireConn opens one RGV1 connection: TCP dial plus the magic
-// handshake that tells the server's framer this is a wire client.
-func dialWireConn(addr string, timeout time.Duration) (*wireConnState, error) {
+// dialWireConn opens one RGV1 connection: TCP dial, the secure
+// handshake when configured, then the magic that tells the server's
+// framer this is a wire client.
+func dialWireConn(addr string, timeout time.Duration, sec *secure.ClientConfig) (*wireConnState, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("serve: dial wire %s: %w", addr, err)
 	}
-	if _, err := nc.Write([]byte(wireMagic)); err != nil {
-		nc.Close()
+	conn := nc
+	if sec != nil {
+		sconn, err := secure.Client(nc, sec)
+		if err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("serve: secure wire handshake %s: %w", addr, err)
+		}
+		conn = sconn
+	}
+	if _, err := conn.Write([]byte(wireMagic)); err != nil {
+		conn.Close()
 		return nil, fmt.Errorf("serve: wire handshake %s: %w", addr, err)
 	}
-	return &wireConnState{conn: nc, pending: make(map[uint64]chan wireReply)}, nil
+	return &wireConnState{conn: conn, pending: make(map[uint64]chan wireReply)}, nil
 }
 
 // deadErr reports the state's terminal error, nil while it is live.
@@ -187,7 +209,7 @@ func (cc *wireClientConn) state() (*wireConnState, error) {
 		if closed {
 			return nil, ErrWireClientClosed
 		}
-		nst, err := dialWireConn(c.addr, c.timeout)
+		nst, err := dialWireConn(c.addr, c.timeout, c.sec)
 		if err == nil {
 			c.mu.Lock()
 			if c.closed {

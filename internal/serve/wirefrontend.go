@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/ring"
+	"repro/internal/secure"
 
 	repro "repro"
 )
@@ -33,6 +34,14 @@ type WireFrontendConfig struct {
 	// Metrics, when set, records every terminated request under the
 	// "wire/elect" endpoint with the HTTP-equivalent status.
 	Metrics *Metrics
+	// Secure, when set, requires the ringsec handshake before the RGV1
+	// magic, exactly as on a WireServer port. Handshake failures are
+	// counted in Metrics (when set) and dropped frameless.
+	Secure *secure.ServerConfig
+	// RateLimit, when set, applies a per-peer token bucket to ELECT
+	// requests at the gateway edge, keyed by authenticated fingerprint
+	// (secure) or remote host.
+	RateLimit *RateLimitConfig
 }
 
 func (c WireFrontendConfig) withDefaults() WireFrontendConfig {
@@ -54,9 +63,10 @@ func (c WireFrontendConfig) withDefaults() WireFrontendConfig {
 // detaches onto a goroutine, because the backend call blocks on the
 // network rather than on a local cache lookup.
 type WireFrontend struct {
-	b   WireBackend
-	cfg WireFrontendConfig
-	ep  *endpointStats
+	b       WireBackend
+	cfg     WireFrontendConfig
+	ep      *endpointStats
+	limiter *rateLimiter
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -74,6 +84,9 @@ func NewWireFrontend(b WireBackend, cfg WireFrontendConfig) *WireFrontend {
 	}
 	if f.cfg.Metrics != nil {
 		f.ep = f.cfg.Metrics.Endpoint("wire/elect")
+	}
+	if f.cfg.RateLimit != nil {
+		f.limiter = newRateLimiter(*f.cfg.RateLimit)
 	}
 	return f
 }
@@ -101,7 +114,7 @@ func (f *WireFrontend) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		fc := &feConn{f: f, conn: c, w: newWireWriter(c), draining: make(chan struct{})}
+		fc := &feConn{f: f, conn: c, rw: c, w: newWireWriter(c), draining: make(chan struct{})}
 		f.mu.Lock()
 		if f.closed {
 			f.mu.Unlock()
@@ -157,8 +170,10 @@ func (f *WireFrontend) Shutdown(ctx context.Context) error {
 // feConn is one terminated client connection of a WireFrontend.
 type feConn struct {
 	f        *WireFrontend
-	conn     net.Conn
+	conn     net.Conn // the accepted socket: deadlines and hard teardown
+	rw       net.Conn // the framing stream: conn, or its secure wrapper
 	w        *wireWriter
+	peer     string // rate-limit identity
 	draining chan struct{}
 	drainOne sync.Once
 
@@ -191,7 +206,7 @@ func (fc *feConn) serve() {
 	defer func() {
 		fc.w.inflight.Wait()
 		fc.w.close()
-		if hc, ok := fc.conn.(interface{ CloseWrite() error }); ok {
+		if hc, ok := fc.rw.(interface{ CloseWrite() error }); ok {
 			if hc.CloseWrite() == nil {
 				fc.conn.SetReadDeadline(time.Now().Add(wireLingerTimeout))
 				io.Copy(io.Discard, fc.conn)
@@ -203,14 +218,34 @@ func (fc *feConn) serve() {
 		fc.f.mu.Unlock()
 	}()
 
+	if sec := fc.f.cfg.Secure; sec != nil {
+		sconn, err := secure.Server(fc.conn, sec)
+		if err != nil {
+			if fc.f.cfg.Metrics != nil {
+				fc.f.cfg.Metrics.HandshakeFailure()
+			}
+			return
+		}
+		if fc.isDraining() {
+			return
+		}
+		fc.rw = sconn
+		fc.peer = sconn.Peer().Fingerprint()
+		fc.w.setOut(sconn)
+	} else if host, _, err := net.SplitHostPort(fc.conn.RemoteAddr().String()); err == nil {
+		fc.peer = host
+	} else {
+		fc.peer = fc.conn.RemoteAddr().String()
+	}
+
 	var magic [4]byte
-	if _, err := io.ReadFull(fc.conn, magic[:]); err != nil || string(magic[:]) != wireMagic {
+	if _, err := io.ReadFull(fc.rw, magic[:]); err != nil || string(magic[:]) != wireMagic {
 		return
 	}
 	maxBody := wireMaxRequestBody(fc.f.cfg.MaxRingSize)
 	var pfx [4]byte
 	for {
-		if _, err := io.ReadFull(fc.conn, pfx[:]); err != nil {
+		if _, err := io.ReadFull(fc.rw, pfx[:]); err != nil {
 			return
 		}
 		n := binary.BigEndian.Uint32(pfx[:])
@@ -221,7 +256,7 @@ func (fc *feConn) serve() {
 			fc.body = make([]byte, n)
 		}
 		body := fc.body[:n]
-		if _, err := io.ReadFull(fc.conn, body); err != nil {
+		if _, err := io.ReadFull(fc.rw, body); err != nil {
 			return
 		}
 		if !fc.processFrame(body) {
@@ -249,6 +284,15 @@ func (fc *feConn) processFrame(body []byte) bool {
 	if fc.isDraining() {
 		fc.respondError(start, id, wireErrDraining, 0, "shutting down")
 		return true
+	}
+	if rl := fc.f.limiter; rl != nil {
+		if ok, retry := rl.allow(fc.peer, time.Now()); !ok {
+			if fc.f.cfg.Metrics != nil {
+				fc.f.cfg.Metrics.RateLimited()
+			}
+			fc.respondError(start, id, wireErrShed, retry, "rate limited")
+			return true
+		}
 	}
 	labels := make([]ring.Label, len(req.labels))
 	copy(labels, req.labels)

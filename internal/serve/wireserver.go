@@ -8,9 +8,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ring"
+	"repro/internal/secure"
 
 	repro "repro"
 )
@@ -38,8 +40,10 @@ var errWireWriterClosed = errors.New("serve: wire writer closed")
 // responses funnel through a per-connection batching writer that
 // coalesces up to wireMaxWriteBatch frames per Write syscall.
 type WireServer struct {
-	s  *Server
-	ep *endpointStats
+	s       *Server
+	ep      *endpointStats
+	opts    WireServerOptions
+	limiter *rateLimiter
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -48,15 +52,49 @@ type WireServer struct {
 	wg     sync.WaitGroup // one per live connection handler
 }
 
+// WireServerOptions hardens a WireServer's edge. The zero value serves
+// plaintext RGV1 with no per-peer limits — exactly NewWireServer.
+type WireServerOptions struct {
+	// Secure, when set, requires every connection to complete the
+	// authenticated ringsec handshake before the RGV1 magic. Plaintext
+	// clients, unknown keys, and garbage are counted in
+	// ringd_handshake_failures_total and dropped without a frame.
+	Secure *secure.ServerConfig
+	// RateLimit, when set, applies a per-peer token bucket to ELECT
+	// requests. Peers are keyed by authenticated key fingerprint on a
+	// secure port, remote host otherwise; over-budget requests get the
+	// SHED error frame with a Retry-After hint.
+	RateLimit *RateLimitConfig
+	// MaxInflightBytes bounds, per connection, the response bytes that
+	// detached responders (miss owners, singleflight waiters) may hold
+	// in flight; each reserves the worst-case response size. Excess
+	// requests are shed instead of buffered. Default 1 MiB; negative
+	// disables the budget.
+	MaxInflightBytes int
+}
+
 // NewWireServer builds the wire front end of s. One Server can carry at
 // most one WireServer per listener; sharing s between HTTP and wire is
 // the intended deployment.
 func NewWireServer(s *Server) *WireServer {
-	return &WireServer{
+	return NewWireServerWith(s, WireServerOptions{})
+}
+
+// NewWireServerWith builds a wire front end with hardening options.
+func NewWireServerWith(s *Server, opts WireServerOptions) *WireServer {
+	if opts.MaxInflightBytes == 0 {
+		opts.MaxInflightBytes = 1 << 20
+	}
+	ws := &WireServer{
 		s:     s,
 		ep:    s.metrics.Endpoint("wire/elect"),
+		opts:  opts,
 		conns: make(map[*wireConn]struct{}),
 	}
+	if opts.RateLimit != nil {
+		ws.limiter = newRateLimiter(*opts.RateLimit)
+	}
+	return ws
 }
 
 // Serve accepts RGV1 connections on ln until Shutdown. It returns
@@ -141,10 +179,16 @@ func (ws *WireServer) Shutdown(ctx context.Context) error {
 // batching writer, and the in-flight accounting the drain relies on.
 type wireConn struct {
 	ws       *WireServer
-	conn     net.Conn
+	conn     net.Conn // the accepted socket: deadlines and hard teardown
+	rw       net.Conn // the framing stream: conn, or its secure wrapper
 	w        *wireWriter
+	peer     string        // rate-limit identity: key fingerprint or remote host
 	draining chan struct{} // closed by beginDrain
 	drainOne sync.Once
+
+	// inflightBytes tracks response bytes reserved by this connection's
+	// detached responders, bounded by MaxInflightBytes.
+	inflightBytes atomic.Int64
 
 	// Reader-goroutine-only scratch.
 	body   []byte
@@ -155,10 +199,28 @@ func newWireConn(ws *WireServer, c net.Conn) *wireConn {
 	return &wireConn{
 		ws:       ws,
 		conn:     c,
+		rw:       c,
 		w:        newWireWriter(c),
 		draining: make(chan struct{}),
 	}
 }
+
+// reserveInflight claims worst-case response room for one detached
+// responder; it reports false when the connection's bytes-in-flight
+// budget is exhausted and the request should be shed instead.
+func (wc *wireConn) reserveInflight() bool {
+	max := wc.ws.opts.MaxInflightBytes
+	if max < 0 {
+		return true
+	}
+	if wc.inflightBytes.Add(wireMaxResponseBody) > int64(max) {
+		wc.inflightBytes.Add(-wireMaxResponseBody)
+		return false
+	}
+	return true
+}
+
+func (wc *wireConn) releaseInflight() { wc.inflightBytes.Add(-wireMaxResponseBody) }
 
 // beginDrain stops this connection's reader: the blocked Read is
 // interrupted via an immediate deadline, after which the reader loop
@@ -195,7 +257,7 @@ func (wc *wireConn) serve() {
 	defer func() {
 		wc.w.inflight.Wait()
 		wc.w.close()
-		if hc, ok := wc.conn.(interface{ CloseWrite() error }); ok {
+		if hc, ok := wc.rw.(interface{ CloseWrite() error }); ok {
 			if hc.CloseWrite() == nil {
 				// Closing with unread data in the receive queue sends RST,
 				// which discards responses still in flight to the client.
@@ -211,14 +273,39 @@ func (wc *wireConn) serve() {
 		wc.ws.mu.Unlock()
 	}()
 
+	if sec := wc.ws.opts.Secure; sec != nil {
+		// Authenticate before the first protocol byte. A client that
+		// cannot complete the handshake — plaintext RGV1, a wrong or
+		// unlisted key, injected garbage — never reaches the frame
+		// decoder; it is counted and hung up on, frameless, exactly like
+		// a non-RGV1 client on a plaintext port.
+		sconn, err := secure.Server(wc.conn, sec)
+		if err != nil {
+			wc.ws.s.metrics.HandshakeFailure()
+			return
+		}
+		if wc.isDraining() {
+			// The handshake cleared the drain's wakeup deadline; don't
+			// start reading frames a shutdown will never answer.
+			return
+		}
+		wc.rw = sconn
+		wc.peer = sconn.Peer().Fingerprint()
+		wc.w.setOut(sconn)
+	} else if host, _, err := net.SplitHostPort(wc.conn.RemoteAddr().String()); err == nil {
+		wc.peer = host
+	} else {
+		wc.peer = wc.conn.RemoteAddr().String()
+	}
+
 	var magic [4]byte
-	if _, err := io.ReadFull(wc.conn, magic[:]); err != nil || string(magic[:]) != wireMagic {
+	if _, err := io.ReadFull(wc.rw, magic[:]); err != nil || string(magic[:]) != wireMagic {
 		return // not an RGV1 client; hang up without a frame
 	}
 	maxBody := wireMaxRequestBody(wc.ws.s.cfg.MaxRingSize)
 	var pfx [4]byte
 	for {
-		if _, err := io.ReadFull(wc.conn, pfx[:]); err != nil {
+		if _, err := io.ReadFull(wc.rw, pfx[:]); err != nil {
 			return // EOF, hangup, or the drain deadline
 		}
 		n := binary.BigEndian.Uint32(pfx[:])
@@ -229,7 +316,7 @@ func (wc *wireConn) serve() {
 			wc.body = make([]byte, n)
 		}
 		body := wc.body[:n]
-		if _, err := io.ReadFull(wc.conn, body); err != nil {
+		if _, err := io.ReadFull(wc.rw, body); err != nil {
 			return
 		}
 		if !wc.processFrame(body) {
@@ -263,6 +350,13 @@ func (wc *wireConn) processFrame(body []byte) bool {
 		wc.respondError(start, id, wireErrDraining, 0, "shutting down")
 		return true
 	}
+	if rl := wc.ws.limiter; rl != nil {
+		if ok, retry := rl.allow(wc.peer, time.Now()); !ok {
+			s.metrics.RateLimited()
+			wc.respondError(start, id, wireErrShed, retry, "rate limited")
+			return true
+		}
+	}
 
 	// Canonicalize and look up straight from the decoded label scratch —
 	// no ring.Ring exists on this path.
@@ -291,9 +385,15 @@ func (wc *wireConn) processFrame(body []byte) bool {
 	default:
 		// Deduplicated into another requester's flight: wait off the
 		// reader loop so pipelined requests behind this one keep flowing.
+		if !wc.reserveInflight() {
+			s.metrics.RateLimited()
+			wc.respondError(start, id, wireErrShed, s.adm.retryAfterSeconds(), "connection response budget exhausted")
+			return true
+		}
 		wc.w.inflight.Add(1)
 		go func() {
 			defer wc.w.inflight.Done()
+			defer wc.releaseInflight()
 			t := time.NewTimer(s.cfg.RequestTimeout)
 			defer t.Stop()
 			select {
@@ -336,9 +436,16 @@ func (wc *wireConn) runMiss(start time.Time, req wireElect, e *entry, rot int) {
 		return
 	}
 	id := req.id
+	if !wc.reserveInflight() {
+		s.metrics.RateLimited()
+		s.cache.abandon(e, errSaturated)
+		wc.respondError(start, id, wireErrShed, s.adm.retryAfterSeconds(), "connection response budget exhausted")
+		return
+	}
 	wc.w.inflight.Add(1)
 	go func() {
 		defer wc.w.inflight.Done()
+		defer wc.releaseInflight()
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 		defer cancel()
 		if err := s.adm.submit(ctx, req.alg.String(), "sim", func(sc *repro.ElectScratch) {
@@ -415,9 +522,8 @@ func (wc *wireConn) respondEntryError(start time.Time, id uint64, err error) {
 // backpressure instead of unbounded buffering. Both buffers are recycled,
 // so a steady-state response costs no allocation.
 type wireWriter struct {
-	out io.Writer
-
 	mu      sync.Mutex
+	out     io.Writer  // guarded by mu; swapped once by setOut post-handshake
 	avail   *sync.Cond // signaled when frames become pending (or close)
 	room    *sync.Cond // signaled when the flusher drains the batch
 	pending []byte
@@ -439,6 +545,16 @@ func newWireWriter(out io.Writer) *wireWriter {
 	w.room = sync.NewCond(&w.mu)
 	go w.flushLoop()
 	return w
+}
+
+// setOut redirects the flusher to a new stream — the post-handshake swap
+// from the raw socket to its secure wrapper. Safe only while nothing has
+// been appended on this connection, which the handshake-before-magic
+// ordering guarantees.
+func (w *wireWriter) setOut(out io.Writer) {
+	w.mu.Lock()
+	w.out = out
+	w.mu.Unlock()
 }
 
 // waitRoomLocked blocks while the pending batch is full. Returns the
@@ -504,12 +620,13 @@ func (w *wireWriter) flushLoop() {
 		w.spare = nil
 		w.frames = 0
 		broken := w.err != nil
+		out := w.out
 		w.room.Broadcast()
 		w.mu.Unlock()
 
 		var werr error
 		if !broken {
-			_, werr = w.out.Write(buf)
+			_, werr = out.Write(buf)
 		}
 		w.mu.Lock()
 		w.spare = buf[:0]
